@@ -1,0 +1,329 @@
+//! The greedy, non-exploring priority inliner — a stand-in for the
+//! open-source Graal inliner the paper compares against (§V, "akin to the
+//! inlining algorithm for JIT compilers described by Steiner et al., which
+//! does not have an exploration phase").
+//!
+//! Differences from [`incline_core::IncrementalInliner`], mirroring the
+//! paper's description of the baseline:
+//!
+//! * no call-tree exploration: callsites are inlined one-by-one straight
+//!   into the root as they are discovered,
+//! * no alternation between inlining and optimization — the optimizer runs
+//!   once, at the end,
+//! * no callsite clustering and no deep inlining trials,
+//! * fixed thresholds: trivial callees always inline; larger ones inline
+//!   while hot enough, small enough, and the root is under budget,
+//! * only *monomorphic* speculation on virtual callsites (single dominant
+//!   receiver), versus the paper's 3-way typeswitch.
+
+use std::collections::HashMap;
+
+use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
+use incline_ir::graph::{CallTarget, Op};
+use incline_ir::inline::inline_call;
+use incline_ir::{CallSiteId, InstId, MethodId};
+use incline_vm::{CompileCx, CompileOutcome, InlineStats, Inliner};
+
+/// Tunables of the greedy baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyConfig {
+    /// Callees at or below this IR size always inline.
+    pub trivial_size: usize,
+    /// Callees above this IR size never inline.
+    pub max_callee_size: usize,
+    /// Minimum relative callsite frequency for non-trivial inlining.
+    pub min_frequency: f64,
+    /// Stop inlining once the root exceeds this IR size.
+    pub root_budget: usize,
+    /// Minimum receiver probability for monomorphic speculation.
+    pub mono_speculation: f64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            trivial_size: 12,
+            max_callee_size: 150,
+            min_frequency: 0.5,
+            root_budget: 2_500,
+            mono_speculation: 0.90,
+        }
+    }
+}
+
+/// The greedy inliner.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyInliner {
+    /// Tunables.
+    pub config: GreedyConfig,
+}
+
+impl GreedyInliner {
+    /// Creates the baseline with default tunables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A pending callsite in the work queue.
+struct WorkItem {
+    inst: InstId,
+    freq: f64,
+    depth: usize,
+}
+
+impl Inliner for GreedyInliner {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+        let c = &self.config;
+        let mut graph = cx.program.method(method).graph.clone();
+        let mut inlined_calls = 0u64;
+        let mut explored = 0usize;
+        // Recursive-inline guard: how many times each method was inlined
+        // along the current greedy pass (global cap, cheap and effective).
+        let mut inline_counts: HashMap<MethodId, usize> = HashMap::new();
+
+        let mut queue: Vec<WorkItem> = graph
+            .callsites()
+            .iter()
+            .map(|&(_, i)| {
+                let site = graph.inst(i).op.call_site().expect("call inst");
+                WorkItem { inst: i, freq: cx.profiles.local_frequency(site), depth: 0 }
+            })
+            .collect();
+
+        while !queue.is_empty() {
+            // Highest frequency first (the greedy priority).
+            let (idx, _) = queue
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.freq.partial_cmp(&b.freq).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("queue nonempty");
+            let item = queue.swap_remove(idx);
+
+            if graph.size() > c.root_budget {
+                break;
+            }
+            // The callsite may have been rewritten by a prior speculation.
+            let Some((block, _)) = graph.callsites().into_iter().find(|&(_, i)| i == item.inst) else {
+                continue;
+            };
+            let Op::Call(info) = graph.inst(item.inst).op.clone() else { continue };
+
+            // Resolve a concrete target, speculating monomorphically on
+            // virtual callsites with a dominant receiver.
+            let target = match info.target {
+                CallTarget::Static(m) => Some(m),
+                CallTarget::Virtual(sel) => {
+                    // Monomorphic speculation only: rewrite into a guarded
+                    // direct call and requeue the new callsite.
+                    let profile = cx.profiles.receiver_profile(info.site);
+                    let dominant = profile
+                        .first()
+                        .filter(|e| e.probability >= c.mono_speculation)
+                        .and_then(|e| cx.program.resolve(e.class, sel).map(|m| (m, e.class)));
+                    if let Some((m, guard)) = dominant {
+                        let res = emit_typeswitch(
+                            cx.program,
+                            &mut graph,
+                            block,
+                            item.inst,
+                            &[TypeswitchCase { target: m, guard }],
+                        );
+                        inlined_calls += 1; // the speculation itself
+                        queue.push(WorkItem {
+                            inst: res.case_calls[0],
+                            freq: item.freq,
+                            depth: item.depth,
+                        });
+                    }
+                    None
+                }
+            };
+            let Some(target) = target else { continue };
+
+            let callee = cx.program.method(target);
+            if !callee.can_inline() || callee.graph.size() == 0 {
+                continue;
+            }
+            let callee_size = callee.graph.size();
+            let trivial = callee_size <= c.trivial_size;
+            let worthwhile = item.freq >= c.min_frequency && callee_size <= c.max_callee_size;
+            if !(trivial || worthwhile) {
+                continue;
+            }
+            let count = inline_counts.entry(target).or_insert(0);
+            if *count >= 24 || (target == method && *count >= 1) {
+                continue; // recursion guard
+            }
+            *count += 1;
+
+            let body = callee.graph.clone();
+            explored += body.size();
+            let res = inline_call(&mut graph, block, item.inst, &body);
+            inlined_calls += 1;
+
+            // Newly exposed callsites join the queue.
+            for (&old, &new) in &res.inst_map {
+                if matches!(body.inst(old).op, Op::Call(_)) {
+                    let site: CallSiteId = body.inst(old).op.call_site().expect("call");
+                    queue.push(WorkItem {
+                        inst: new,
+                        freq: item.freq * cx.profiles.local_frequency(site),
+                        depth: item.depth + 1,
+                    });
+                }
+            }
+        }
+
+        // One optimization pass at the end (no alternation).
+        let stats = incline_opt::optimize(cx.program, &mut graph);
+        let final_size = graph.size();
+        CompileOutcome {
+            graph,
+            work_nodes: explored + final_size,
+            stats: InlineStats {
+                inlined_calls,
+                rounds: 1,
+                explored_nodes: explored as u64,
+                final_size: final_size as u64,
+                opt_events: stats.total(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::verify::verify_graph;
+    use incline_ir::{Program, RetType, Type};
+    use incline_profile::ProfileTable;
+
+    #[test]
+    fn inlines_trivial_callees_without_profiles() {
+        let mut p = Program::new();
+        let inc = p.declare_function("inc", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, inc);
+        let x = fb.param(0);
+        let one = fb.const_int(1);
+        let r = fb.iadd(x, one);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(inc, g);
+        let root = p.declare_function("root", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let x = fb.param(0);
+        let r = fb.call_static(inc, vec![x]).unwrap();
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let out = GreedyInliner::new().compile(root, &cx);
+        assert_eq!(out.stats.inlined_calls, 1);
+        assert!(out.graph.callsites().is_empty());
+        verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
+    }
+
+    #[test]
+    fn respects_budget() {
+        // A chain of self-similar medium methods: the greedy budget stops
+        // the cascade.
+        let mut p = Program::new();
+        let mut prev: Option<MethodId> = None;
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            let m = p.declare_function(format!("m{i}"), vec![Type::Int], Type::Int);
+            ids.push(m);
+            let mut fb = FunctionBuilder::new(&p, m);
+            let x = fb.param(0);
+            // Pad with arithmetic so the method is non-trivial and the
+            // cascade overruns the root budget partway through.
+            let mut acc = x;
+            for k in 0..60 {
+                let c = fb.const_int(k);
+                acc = fb.iadd(acc, c);
+            }
+            let r = match prev {
+                Some(t) => fb.call_static(t, vec![acc]).unwrap(),
+                None => acc,
+            };
+            fb.ret(Some(r));
+            let g = fb.finish();
+            p.define_method(m, g);
+            prev = Some(m);
+        }
+        let root = *ids.last().unwrap();
+        let mut profiles = ProfileTable::new();
+        for &m in &ids {
+            for _ in 0..10 {
+                profiles.record_invocation(m);
+                profiles.record_callsite(CallSiteId { method: m, index: 0 });
+            }
+        }
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let out = GreedyInliner::new().compile(root, &cx);
+        assert!(out.stats.inlined_calls > 0);
+        assert!(out.stats.inlined_calls < 39, "budget must stop the cascade");
+        assert!(out.graph.size() <= 3_500);
+        verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
+    }
+
+    #[test]
+    fn monomorphic_speculation_only() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let c = p.add_class("C", Some(a));
+        let ma = p.declare_method(a, "go", vec![], Type::Int);
+        let mb = p.declare_method(b, "go", vec![], Type::Int);
+        let mc = p.declare_method(c, "go", vec![], Type::Int);
+        for (m, k) in [(ma, 1), (mb, 2), (mc, 3)] {
+            let mut fb = FunctionBuilder::new(&p, m);
+            let v = fb.const_int(k);
+            fb.ret(Some(v));
+            let g = fb.finish();
+            p.define_method(m, g);
+        }
+        let root = p.declare_function("root", vec![Type::Object(a)], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let recv = fb.param(0);
+        let sel = fb.program().selector_by_name("go", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![recv]).unwrap();
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+        let site = CallSiteId { method: root, index: 0 };
+
+        // 50/50 profile: no speculation.
+        let mut even = ProfileTable::new();
+        even.record_invocation(root);
+        for _ in 0..50 {
+            even.record_receiver(site, b);
+            even.record_receiver(site, c);
+        }
+        let cx = CompileCx { program: &p, profiles: &even };
+        let out = GreedyInliner::new().compile(root, &cx);
+        assert_eq!(out.stats.inlined_calls, 0, "bimorphic sites stay virtual for greedy");
+
+        // 95/5 profile: speculate + inline.
+        let mut skewed = ProfileTable::new();
+        skewed.record_invocation(root);
+        for _ in 0..95 {
+            skewed.record_receiver(site, b);
+        }
+        for _ in 0..5 {
+            skewed.record_receiver(site, c);
+        }
+        let cx = CompileCx { program: &p, profiles: &skewed };
+        let out = GreedyInliner::new().compile(root, &cx);
+        assert!(out.stats.inlined_calls >= 1);
+        verify_graph(&p, &out.graph, &[Type::Object(a)], RetType::Value(Type::Int)).unwrap();
+    }
+}

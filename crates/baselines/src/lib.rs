@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # incline-baselines
+//!
+//! The inliners the paper's evaluation compares against (§V, Figure 9):
+//!
+//! * [`GreedyInliner`] — the open-source-Graal-style greedy priority
+//!   inliner (Steiner et al.): no exploration phase, no alternation with
+//!   the optimizer, fixed thresholds, monomorphic speculation only,
+//! * [`C2Inliner`] — HotSpot-C2-style: depth-first parse-time inlining of
+//!   trivial methods, fixed size/frequency/level limits, bimorphic
+//!   receiver speculation,
+//! * [`incline_vm::NoInline`] (re-exported) — compiles without inlining,
+//!   isolating scalar optimization effects.
+//!
+//! All of them implement [`incline_vm::Inliner`] and are driven by the
+//! same VM as the paper's algorithm, so measured differences come from
+//! inlining policy alone.
+
+pub mod c2;
+pub mod greedy;
+
+pub use c2::{C2Config, C2Inliner};
+pub use greedy::{GreedyConfig, GreedyInliner};
+pub use incline_vm::NoInline;

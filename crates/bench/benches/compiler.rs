@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks for the compiler itself: the inliners, the
+//! optimization passes, the inline transplant, and the two execution
+//! tiers. These measure *compile-time* costs — §II.2's argument that a
+//! JIT inliner must budget its own work.
+//!
+//! ```text
+//! cargo bench -p incline-bench --bench compiler
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incline_baselines::{C2Inliner, GreedyInliner};
+use incline_core::IncrementalInliner;
+use incline_ir::{Graph, MethodId, Program};
+use incline_profile::ProfileTable;
+use incline_vm::{CompileCx, Inliner, Machine, NoInline, Value, VmConfig};
+use incline_workloads::Workload;
+
+/// Interprets a workload once so profiles exist for compilation benches.
+fn profiled(w: &Workload) -> ProfileTable {
+    let mut vm = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+    for _ in 0..3 {
+        vm.run(w.entry, vec![Value::Int(w.input.min(10))]).expect("workload runs");
+    }
+    vm.profiles().clone()
+}
+
+fn bench_inliners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for name in ["factorie", "jython", "scalatest"] {
+        let w = incline_workloads::by_name(name).expect("benchmark exists");
+        let profiles = profiled(&w);
+        let inliners: Vec<(&str, Box<dyn Inliner>)> = vec![
+            ("incremental", Box::new(IncrementalInliner::new())),
+            ("greedy", Box::new(GreedyInliner::new())),
+            ("c2", Box::new(C2Inliner::new())),
+        ];
+        for (iname, inliner) in inliners {
+            group.bench_with_input(
+                BenchmarkId::new(iname, name),
+                &(&w, &profiles),
+                |b, (w, profiles)| {
+                    let cx = CompileCx { program: &w.program, profiles };
+                    b.iter(|| inliner.compile(w.entry, &cx));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// A mid-sized graph with folding opportunities for the pass benches.
+fn pass_fixture() -> (Program, MethodId, Graph) {
+    let w = incline_workloads::by_name("factorie").expect("benchmark exists");
+    let profiles = profiled(&w);
+    let cx = CompileCx { program: &w.program, profiles: &profiles };
+    // The greedy inliner produces a large, unoptimized-ish root graph.
+    let out = GreedyInliner::new().compile(w.entry, &cx);
+    (w.program.clone(), w.entry, out.graph)
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let (program, _m, graph) = pass_fixture();
+    let mut group = c.benchmark_group("passes");
+    group.bench_function("canonicalize", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| incline_opt::canonicalize(&program, &mut g),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("gvn", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| incline_opt::gvn(&mut g),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rw_elim", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| incline_opt::rw_elim(&program, &mut g),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dce", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| incline_opt::dce(&mut g),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full-pipeline", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| incline_opt::optimize(&program, &mut g),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("verify", |b| {
+        let method = {
+            let w = incline_workloads::by_name("factorie").unwrap();
+            w.program.method(w.entry).params.clone()
+        };
+        let ret = incline_ir::RetType::Value(incline_ir::Type::Int);
+        b.iter(|| incline_ir::verify::verify_graph(&program, &graph, &method, ret))
+    });
+    group.finish();
+}
+
+fn bench_transplant(c: &mut Criterion) {
+    // inline_call on a mid-sized callee.
+    let w = incline_workloads::by_name("factorie").expect("benchmark exists");
+    let callee = w.program.function_by_name("sample_step").expect("exists");
+    let callee_graph = w.program.method(callee).graph.clone();
+    let root_graph = w.program.method(w.entry).graph.clone();
+    let (block, call) = root_graph
+        .callsites()
+        .into_iter()
+        .find(|&(_, i)| {
+            matches!(
+                root_graph.inst(i).op,
+                incline_ir::Op::Call(incline_ir::CallInfo {
+                    target: incline_ir::CallTarget::Static(m),
+                    ..
+                }) if m == callee
+            )
+        })
+        .expect("main calls sample_step");
+    c.bench_function("inline_call/sample_step", |b| {
+        b.iter_batched(
+            || root_graph.clone(),
+            |mut g| incline_ir::inline::inline_call(&mut g, block, call, &callee_graph),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let w = incline_workloads::by_name("scalatest").expect("benchmark exists");
+    let mut group = c.benchmark_group("execution");
+    group.bench_function("interpreted", |b| {
+        let mut vm =
+            Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        b.iter(|| vm.run(w.entry, vec![Value::Int(4)]).expect("runs"))
+    });
+    group.bench_function("compiled", |b| {
+        let config = VmConfig { hotness_threshold: 1, ..VmConfig::default() };
+        let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+        vm.run(w.entry, vec![Value::Int(4)]).expect("warmup");
+        b.iter(|| vm.run(w.entry, vec![Value::Int(4)]).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inliners, bench_passes, bench_transplant, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper (DESIGN.md §5) and prints them. The same code path as the
+//! `run_all` binary, minus the `EXPERIMENTS.md` rewrite — so a plain
+//! `cargo bench --workspace` reproduces the evaluation.
+
+use incline_bench::figures;
+
+fn main() {
+    // Criterion-style CLI flags (--bench, filters) are accepted and
+    // ignored; this harness always runs the full figure suite.
+    let t = std::time::Instant::now();
+    println!("{}", figures::fig05());
+    println!("{}", figures::fig06(false));
+    println!("{}", figures::fig07(false));
+    println!("{}", figures::fig08());
+    println!("{}", figures::fig09());
+    println!("{}", figures::fig10_and_table1());
+    println!("{}", figures::ablations());
+    println!("figure suite completed in {:.1}s", t.elapsed().as_secs_f64());
+}

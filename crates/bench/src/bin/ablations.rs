@@ -1,0 +1,5 @@
+//! Ablation experiments beyond the paper (DESIGN.md §5).
+
+fn main() {
+    println!("{}", incline_bench::figures::ablations());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (DaCapo: adaptive vs. fixed thresholds).
+//! Pass `--full` for the complete 5×3 (T_e, T_i) grid.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("{}", incline_bench::figures::fig06(full));
+}

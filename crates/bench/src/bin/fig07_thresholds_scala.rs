@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (Scala DaCapo + Spark + others: thresholds).
+//! Pass `--full` for the complete 5×3 (T_e, T_i) grid.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("{}", incline_bench::figures::fig07(full));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's 9 experiment. See DESIGN.md §5.
+
+fn main() {
+    println!("{}", incline_bench::figures::fig09());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 and Table I (installed code size).
+
+fn main() {
+    println!("{}", incline_bench::figures::fig10_and_table1());
+}

@@ -1,0 +1,829 @@
+//! The partial call tree (paper §III-A, Listing 2).
+//!
+//! Each node represents a callsite in its parent's *specialized* graph.
+//! Node kinds follow the paper: `E` (expanded, has an attached IR), `C`
+//! (cutoff, not yet explored), `D` (deleted by an optimization), `G`
+//! (generic — cannot be inlined), plus `P` (polymorphic dispatch, §IV)
+//! whose children are the speculated targets. Two bookkeeping kinds track
+//! progress: `Root` (the compilation root) and `Inlined` (consumed by the
+//! inlining phase).
+//!
+//! Unlike a call *graph*, every node owns a private copy of its callee's
+//! IR, specialized with the callsite's argument types and constants — the
+//! foundation of deep inlining trials (§IV).
+
+use std::collections::HashSet;
+
+use incline_ir::graph::{CallTarget, Op};
+use incline_ir::ids::{CallSiteId, ClassId, InstId, MethodId};
+use incline_ir::{Graph, Type};
+use incline_vm::CompileCx;
+
+use crate::metrics::Tuple;
+use crate::policy::{PolicyConfig, Trials};
+
+/// Index of a node in the call tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Node kinds (paper Listing 2 + bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The compilation root; its graph lives in [`CallTree::root_graph`].
+    Root,
+    /// Expanded: the callee's specialized IR is attached.
+    Expanded,
+    /// Cutoff: known target, IR not yet attached.
+    Cutoff,
+    /// Deleted: the callsite disappeared during optimization.
+    Deleted,
+    /// Generic: the callsite cannot be inlined (opaque target, megamorphic
+    /// dispatch without a usable profile, …).
+    Generic,
+    /// Polymorphic dispatch point; children are speculated targets.
+    Polymorphic,
+    /// Consumed by the inlining phase (its body now lives in the root).
+    Inlined,
+}
+
+/// One call tree node.
+#[derive(Clone, Debug)]
+pub struct CallNode {
+    /// Kind tag.
+    pub kind: NodeKind,
+    /// Target method (`None` for `Polymorphic` dispatch points).
+    pub method: Option<MethodId>,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// The call instruction in the owner graph (see
+    /// [`CallTree::owner_graph`]); `None` for the root.
+    pub callsite: Option<InstId>,
+    /// Stable profile key of the callsite.
+    pub site: Option<CallSiteId>,
+    /// Child nodes (one per callsite of the specialized graph, or one per
+    /// speculated target for `Polymorphic` nodes).
+    pub children: Vec<NodeId>,
+    /// The specialized callee IR (only for `Expanded`).
+    pub graph: Option<Graph>,
+    /// Call frequency relative to the root (`f(n)`, Equation 4).
+    pub freq: f64,
+    /// Recursion depth `d(n)`: ancestors targeting the same method.
+    pub rec_depth: u32,
+    /// `N_s(n)`: arguments more concrete than the formal parameters.
+    pub ns: u32,
+    /// `N_o(n)`: simple optimizations triggered by the inlining trial.
+    pub no: u64,
+    /// Whether the node is in the same cluster as its parent (`inlined`
+    /// relation of Listing 6).
+    pub inlined_with_parent: bool,
+    /// Cost–benefit tuple assigned by the analysis.
+    pub tuple: Tuple,
+    /// Dispatch probability under a `Polymorphic` parent (else 1.0).
+    pub poly_prob: f64,
+    /// Guard class for children of `Polymorphic` nodes.
+    pub speculated_class: Option<ClassId>,
+}
+
+impl CallNode {
+    fn new(kind: NodeKind) -> Self {
+        CallNode {
+            kind,
+            method: None,
+            parent: None,
+            callsite: None,
+            site: None,
+            children: Vec::new(),
+            graph: None,
+            freq: 1.0,
+            rec_depth: 0,
+            ns: 0,
+            no: 0,
+            inlined_with_parent: false,
+            tuple: Tuple::new(0.0, 1.0),
+            poly_prob: 1.0,
+            speculated_class: None,
+        }
+    }
+}
+
+/// Aggregate subtree metrics (Equations 1–3).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SubtreeMetrics {
+    /// `S_ir(n)`: total IR size of the subtree.
+    pub s_ir: f64,
+    /// `S_b(n)`: total IR size of the subtree's cutoff nodes.
+    pub s_b: f64,
+    /// `N_c(n)`: number of cutoff nodes in the subtree.
+    pub n_c: usize,
+}
+
+/// The partial call tree of one compilation.
+#[derive(Clone, Debug)]
+pub struct CallTree {
+    nodes: Vec<CallNode>,
+    root: NodeId,
+    /// The evolving root graph (the compilation result).
+    pub root_graph: Graph,
+    root_method: MethodId,
+    /// Total IR nodes attached by expansions (compile-work accounting).
+    pub explored_nodes: usize,
+}
+
+impl CallTree {
+    /// Creates the tree for a compilation of `method`, whose working graph
+    /// is `root_graph`, and creates the root's children.
+    pub fn new(method: MethodId, root_graph: Graph, cx: &CompileCx<'_>, config: &PolicyConfig) -> Self {
+        let mut tree = CallTree {
+            nodes: Vec::new(),
+            root: NodeId(0),
+            root_graph,
+            root_method: method,
+            explored_nodes: 0,
+        };
+        let mut root = CallNode::new(NodeKind::Root);
+        root.method = Some(method);
+        tree.nodes.push(root);
+        tree.create_children(tree.root, cx, config);
+        tree
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The compilation root method.
+    pub fn root_method(&self) -> MethodId {
+        self.root_method
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, n: NodeId) -> &CallNode {
+        &self.nodes[n.0]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut CallNode {
+        &mut self.nodes[n.0]
+    }
+
+    /// Number of nodes ever created.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The graph that contains a node's callsite: the parent's specialized
+    /// graph, or the root graph when the (possibly re-parented) parent is
+    /// the root. Children of `Polymorphic` nodes live in the polymorphic
+    /// node's own owner graph.
+    pub fn owner_graph(&self, n: NodeId) -> &Graph {
+        let parent = self.nodes[n.0].parent.expect("root has no owner");
+        match self.nodes[parent.0].kind {
+            NodeKind::Root => &self.root_graph,
+            NodeKind::Polymorphic => self.owner_graph(parent),
+            _ => self
+                .nodes[parent.0]
+                .graph
+                .as_ref()
+                .expect("non-root owner must be expanded"),
+        }
+    }
+
+    /// Mutable owner-graph access (used by typeswitch emission).
+    pub fn owner_graph_is_root(&self, n: NodeId) -> bool {
+        let parent = self.nodes[n.0].parent.expect("root has no owner");
+        match self.nodes[parent.0].kind {
+            NodeKind::Root => true,
+            NodeKind::Polymorphic => self.owner_graph_is_root(parent),
+            _ => false,
+        }
+    }
+
+    /// The IR size `|ir(n)|` of a node (paper §IV): specialized size for
+    /// expanded nodes, original method size for cutoffs, an estimated
+    /// typeswitch size for polymorphic nodes, zero otherwise.
+    pub fn ir_size(&self, n: NodeId, cx: &CompileCx<'_>) -> f64 {
+        let node = &self.nodes[n.0];
+        match node.kind {
+            NodeKind::Expanded => node.graph.as_ref().map_or(0.0, |g| g.size() as f64),
+            NodeKind::Cutoff => node
+                .method
+                .map_or(0.0, |m| cx.program.method(m).graph.size() as f64),
+            NodeKind::Polymorphic => (2 + 3 * node.children.len()) as f64,
+            NodeKind::Root => self.root_graph.size() as f64,
+            NodeKind::Deleted | NodeKind::Generic | NodeKind::Inlined => 0.0,
+        }
+    }
+
+    /// Subtree metrics `S_ir`, `S_b`, `N_c` (Equations 1–3). The node
+    /// itself is included, matching the paper's `m ∈ subtree(n)`.
+    pub fn subtree_metrics(&self, n: NodeId, cx: &CompileCx<'_>) -> SubtreeMetrics {
+        let node = &self.nodes[n.0];
+        let mut m = SubtreeMetrics::default();
+        let size = self.ir_size(n, cx);
+        m.s_ir += size;
+        if node.kind == NodeKind::Cutoff {
+            m.s_b += size;
+            m.n_c += 1;
+        }
+        for &c in &node.children {
+            let cm = self.subtree_metrics(c, cx);
+            m.s_ir += cm.s_ir;
+            m.s_b += cm.s_b;
+            m.n_c += cm.n_c;
+        }
+        m
+    }
+
+    /// The local benefit `B_L(n)` (Equations 4 and 13).
+    pub fn local_benefit(&self, n: NodeId) -> f64 {
+        let node = &self.nodes[n.0];
+        match node.kind {
+            NodeKind::Cutoff => node.freq * (1.0 + node.ns as f64),
+            NodeKind::Expanded => node.freq * (1.0 + node.ns as f64 + node.no as f64),
+            NodeKind::Polymorphic => node
+                .children
+                .iter()
+                .map(|&c| self.nodes[c.0].poly_prob * self.local_benefit(c))
+                .sum(),
+            _ => 0.0,
+        }
+    }
+
+    // ---- construction -------------------------------------------------------
+
+    /// Creates child nodes for every callsite in `parent`'s graph.
+    pub fn create_children(&mut self, parent: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig) {
+        let sites: Vec<(InstId, Op)> = {
+            let graph = if self.nodes[parent.0].kind == NodeKind::Root {
+                &self.root_graph
+            } else {
+                self.nodes[parent.0].graph.as_ref().expect("expanded parent")
+            };
+            graph
+                .callsites()
+                .iter()
+                .map(|&(_, i)| (i, graph.inst(i).op.clone()))
+                .collect()
+        };
+        for (inst, op) in sites {
+            let Op::Call(info) = op else { unreachable!() };
+            self.create_child(parent, inst, info.site, info.target, 1.0, None, cx, config);
+        }
+    }
+
+    /// Creates one child node at a callsite. `poly_prob`/`speculated` are
+    /// set for targets under a polymorphic dispatch point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_child(
+        &mut self,
+        parent: NodeId,
+        callsite: InstId,
+        site: CallSiteId,
+        target: CallTarget,
+        poly_prob: f64,
+        speculated: Option<ClassId>,
+        cx: &CompileCx<'_>,
+        config: &PolicyConfig,
+    ) -> NodeId {
+        let parent_freq = self.nodes[parent.0].freq;
+        let mut local = cx.profiles.local_frequency(site);
+        // Down recursive chains the per-level product overestimates
+        // exponentially: a callsite's local frequency already aggregates
+        // its executions across *all* recursion depths, so when the same
+        // callsite already occurs on the ancestor path, this occurrence
+        // must not multiply the mass in again.
+        let mut anc = Some(parent);
+        while let Some(a) = anc {
+            if self.nodes[a.0].site == Some(site) {
+                local = local.min(1.0);
+                break;
+            }
+            anc = self.nodes[a.0].parent;
+        }
+        let freq = (parent_freq * local * poly_prob).min(1e9);
+
+        let id = NodeId(self.nodes.len());
+        let mut node = CallNode::new(NodeKind::Cutoff);
+        node.parent = Some(parent);
+        node.callsite = Some(callsite);
+        node.site = Some(site);
+        node.freq = freq;
+        node.poly_prob = poly_prob;
+        node.speculated_class = speculated;
+
+        match target {
+            CallTarget::Static(m) => {
+                node.method = Some(m);
+                node.rec_depth = self.recursion_depth(parent, m);
+                let callee = cx.program.method(m);
+                if !callee.can_inline() || callee.graph.size() == 0 {
+                    node.kind = NodeKind::Generic;
+                }
+                self.nodes.push(node);
+                self.nodes[parent.0].children.push(id);
+                // Equation 4 defines B_L for cutoff nodes with N_s(n);
+                // argument concreteness is visible without expanding.
+                let ns = self.potential_ns(id, cx);
+                self.nodes[id.0].ns = ns;
+            }
+            CallTarget::Virtual(sel) => {
+                // Speculate targets from the receiver profile (§IV).
+                let profile = cx.profiles.receiver_profile(site);
+                // Group receiver classes by resolved method (Detlefs–Agesen:
+                // same-method classes share a typeswitch case).
+                let mut groups: Vec<(MethodId, ClassId, f64)> = Vec::new();
+                for e in &profile {
+                    if e.probability < config.poly.min_prob {
+                        continue;
+                    }
+                    if let Some(m) = cx.program.resolve(e.class, sel) {
+                        match groups.iter_mut().find(|(gm, ..)| *gm == m) {
+                            Some((_, _, p)) => *p += e.probability,
+                            None => groups.push((m, e.class, e.probability)),
+                        }
+                    }
+                }
+                groups.truncate(config.poly.max_targets);
+                let inlineable =
+                    groups.iter().any(|&(m, ..)| cx.program.method(m).can_inline());
+                if groups.is_empty() || !inlineable {
+                    node.kind = NodeKind::Generic;
+                    self.nodes.push(node);
+                    self.nodes[parent.0].children.push(id);
+                } else {
+                    node.kind = NodeKind::Polymorphic;
+                    self.nodes.push(node);
+                    self.nodes[parent.0].children.push(id);
+                    for (m, class, p) in groups {
+                        // The first observed class of the group guards the
+                        // typeswitch case (Detlefs–Agesen grouping).
+                        let guard = class;
+                        let tid = NodeId(self.nodes.len());
+                        let mut t = CallNode::new(NodeKind::Cutoff);
+                        t.parent = Some(id);
+                        t.callsite = Some(callsite); // rewritten at typeswitch emission
+                        t.site = Some(site);
+                        t.method = Some(m);
+                        t.rec_depth = self.recursion_depth(id, m);
+                        t.freq = freq * p;
+                        t.poly_prob = p;
+                        t.speculated_class = Some(guard);
+                        if !cx.program.method(m).can_inline() {
+                            t.kind = NodeKind::Generic;
+                        }
+                        self.nodes.push(t);
+                        self.nodes[id.0].children.push(tid);
+                        let ns = self.potential_ns(tid, cx);
+                        self.nodes[tid.0].ns = ns;
+                    }
+                }
+            }
+        }
+        id
+    }
+
+    fn recursion_depth(&self, mut ancestor: NodeId, method: MethodId) -> u32 {
+        let mut d = 0;
+        loop {
+            if self.nodes[ancestor.0].method == Some(method) {
+                d += 1;
+            }
+            match self.nodes[ancestor.0].parent {
+                Some(p) => ancestor = p,
+                None => break,
+            }
+        }
+        d
+    }
+
+    // ---- expansion -----------------------------------------------------------
+
+    /// Expands a cutoff node: clones the callee graph, specializes it with
+    /// the callsite arguments (deep inlining trials, §IV), optimizes it and
+    /// creates its children. Returns the number of IR nodes attached.
+    pub fn expand_node(&mut self, n: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig) -> usize {
+        debug_assert_eq!(self.nodes[n.0].kind, NodeKind::Cutoff);
+        let method = self.nodes[n.0].method.expect("cutoff has a target");
+        let mut graph = cx.program.method(method).graph.clone();
+
+        // Depth of the node (for shallow trials: only depth-1 specializes).
+        let depth = {
+            let mut d = 0;
+            let mut cur = n;
+            while let Some(p) = self.nodes[cur.0].parent {
+                d += 1;
+                cur = p;
+            }
+            d
+        };
+        let specialize = match config.trials {
+            Trials::Deep => true,
+            Trials::Shallow => depth <= 1,
+        };
+
+        let mut ns = 0u32;
+        let mut no = 0u64;
+        if specialize {
+            let arg_info = self.callsite_arg_info(n, cx);
+            ns = specialize_params(cx, &mut graph, &arg_info);
+            let stats = incline_opt::canonicalize_bundle(cx.program, &mut graph);
+            no = stats.simple_count();
+        }
+
+        let attached = graph.size();
+        self.explored_nodes += attached;
+        {
+            let node = &mut self.nodes[n.0];
+            node.kind = NodeKind::Expanded;
+            node.graph = Some(graph);
+            node.ns = ns;
+            node.no = no;
+        }
+        self.create_children(n, cx, config);
+        attached
+    }
+
+    /// Argument specialization facts for a node's callsite: per parameter,
+    /// an optional constant op and an optional narrowed type.
+    pub fn callsite_arg_info(&self, n: NodeId, cx: &CompileCx<'_>) -> Vec<ArgInfo> {
+        let node = &self.nodes[n.0];
+        let callsite = node.callsite.expect("non-root node has a callsite");
+        let owner = self.owner_graph(n);
+        let inst = owner.inst(callsite);
+        let method = node.method.expect("target known");
+        let declared = &cx.program.method(method).params;
+        let mut out = Vec::with_capacity(inst.args.len());
+        for (i, &arg) in inst.args.iter().enumerate() {
+            let konst = owner.const_op(arg).cloned();
+            let mut ty = owner.value_type(arg);
+            // Children of polymorphic nodes: the typeswitch guard narrows
+            // the receiver beyond its static type.
+            if i == 0 {
+                if let Some(spec) = node.speculated_class {
+                    ty = Type::Object(spec);
+                }
+            }
+            let narrowed = declared
+                .get(i)
+                .map(|&d| ty != d && cx.program.is_assignable(ty, d))
+                .unwrap_or(false);
+            out.push(ArgInfo { konst, ty: narrowed.then_some(ty) });
+        }
+        out
+    }
+
+    /// Potential `N_s` of a callsite under the current owner graph — used
+    /// to decide whether a re-specialization (trial refresh) is worthwhile.
+    pub fn potential_ns(&self, n: NodeId, cx: &CompileCx<'_>) -> u32 {
+        self.callsite_arg_info(n, cx)
+            .iter()
+            .filter(|a| a.konst.is_some() || a.ty.is_some())
+            .count() as u32
+    }
+
+    // ---- synchronization -------------------------------------------------------
+
+    /// Re-synchronizes the root's direct children with the root graph
+    /// after optimization: callsites may have been deleted (branch
+    /// pruning) or devirtualized (canonicalization). Newly appearing
+    /// callsites cannot occur.
+    pub fn sync_root_children(&mut self, cx: &CompileCx<'_>, config: &PolicyConfig) {
+        let live: HashSet<InstId> = self.root_graph.callsites().iter().map(|&(_, i)| i).collect();
+        let children: Vec<NodeId> = self.nodes[self.root.0].children.clone();
+        for c in children {
+            let (kind, callsite) = {
+                let n = &self.nodes[c.0];
+                (n.kind, n.callsite)
+            };
+            if matches!(kind, NodeKind::Inlined | NodeKind::Deleted) {
+                continue;
+            }
+            let Some(inst) = callsite else { continue };
+            if !live.contains(&inst) {
+                self.nodes[c.0].kind = NodeKind::Deleted;
+                continue;
+            }
+            // Devirtualized? A polymorphic/generic node whose callsite
+            // became a static call turns into a plain cutoff.
+            let op = self.root_graph.inst(inst).op.clone();
+            if let Op::Call(info) = op {
+                if let CallTarget::Static(m) = info.target {
+                    if matches!(kind, NodeKind::Polymorphic | NodeKind::Generic)
+                        && self.nodes[c.0].method != Some(m)
+                    {
+                        let node = &mut self.nodes[c.0];
+                        node.children.clear();
+                        node.method = Some(m);
+                        node.kind = if cx.program.method(m).can_inline() {
+                            NodeKind::Cutoff
+                        } else {
+                            NodeKind::Generic
+                        };
+                        let _ = config;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-argument specialization facts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArgInfo {
+    /// The argument is this constant.
+    pub konst: Option<Op>,
+    /// The argument's type, when strictly narrower than the parameter.
+    pub ty: Option<Type>,
+}
+
+/// Applies argument specialization to a cloned callee graph: constant
+/// arguments replace parameter uses; narrower argument types narrow the
+/// parameter. Returns `N_s` — the number of specialized parameters.
+pub fn specialize_params(cx: &CompileCx<'_>, graph: &mut Graph, args: &[ArgInfo]) -> u32 {
+    let entry = graph.entry();
+    let params: Vec<_> = graph.block(entry).params.clone();
+    let mut ns = 0;
+    for (i, info) in args.iter().enumerate() {
+        let Some(&param) = params.get(i) else { break };
+        if let Some(op) = &info.konst {
+            let ty = match op {
+                Op::ConstInt(_) => Type::Int,
+                Op::ConstFloat(_) => Type::Float,
+                Op::ConstBool(_) => Type::Bool,
+                Op::ConstNull(t) => *t,
+                _ => unreachable!("const_op returns constants only"),
+            };
+            let k = graph.create_inst(op.clone(), vec![], Some(ty));
+            graph.insert_inst(entry, 0, k);
+            let kv = graph.inst(k).result.expect("constant has a result");
+            graph.replace_all_uses(param, kv);
+            ns += 1;
+        } else if let Some(t) = info.ty {
+            graph.set_value_type(param, t);
+            ns += 1;
+        }
+    }
+    let _ = cx;
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::{Program, RetType};
+    use incline_profile::ProfileTable;
+
+    /// leaf(x) = x + 1; mid(x) = leaf(x) * 2; root(x) = mid(x) + mid(x)
+    fn chain() -> (Program, MethodId, MethodId, MethodId) {
+        let mut p = Program::new();
+        let leaf = p.declare_function("leaf", vec![Type::Int], Type::Int);
+        let mid = p.declare_function("mid", vec![Type::Int], Type::Int);
+        let root = p.declare_function("root", vec![Type::Int], Type::Int);
+
+        let mut fb = FunctionBuilder::new(&p, leaf);
+        let x = fb.param(0);
+        let one = fb.const_int(1);
+        let r = fb.iadd(x, one);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(leaf, g);
+
+        let mut fb = FunctionBuilder::new(&p, mid);
+        let x = fb.param(0);
+        let c = fb.call_static(leaf, vec![x]).unwrap();
+        let two = fb.const_int(2);
+        let r = fb.imul(c, two);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(mid, g);
+
+        let mut fb = FunctionBuilder::new(&p, root);
+        let x = fb.param(0);
+        let a = fb.call_static(mid, vec![x]).unwrap();
+        let b = fb.call_static(mid, vec![x]).unwrap();
+        let r = fb.iadd(a, b);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+        (p, leaf, mid, root)
+    }
+
+    #[test]
+    fn builds_root_children() {
+        let (p, _, mid, root) = chain();
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let rc = &tree.node(tree.root()).children;
+        assert_eq!(rc.len(), 2);
+        for &c in rc {
+            assert_eq!(tree.node(c).kind, NodeKind::Cutoff);
+            assert_eq!(tree.node(c).method, Some(mid));
+        }
+    }
+
+    #[test]
+    fn expansion_attaches_ir_and_children() {
+        let (p, leaf, mid, root) = chain();
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let c0 = tree.node(tree.root()).children[0];
+        let attached = tree.expand_node(c0, &cx, &config);
+        assert!(attached > 0);
+        assert_eq!(tree.node(c0).kind, NodeKind::Expanded);
+        assert_eq!(tree.node(c0).children.len(), 1);
+        let leaf_node = tree.node(c0).children[0];
+        assert_eq!(tree.node(leaf_node).method, Some(leaf));
+        let _ = mid;
+    }
+
+    #[test]
+    fn subtree_metrics_count_cutoffs() {
+        let (p, _, _, root) = chain();
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let before = tree.subtree_metrics(tree.root(), &cx);
+        assert_eq!(before.n_c, 2);
+        assert!(before.s_b > 0.0);
+        let c0 = tree.node(tree.root()).children[0];
+        tree.expand_node(c0, &cx, &config);
+        let after = tree.subtree_metrics(tree.root(), &cx);
+        // One cutoff became expanded but exposed the leaf cutoff below it.
+        assert_eq!(after.n_c, 2);
+        assert!(after.s_ir > before.s_ir * 0.9);
+    }
+
+    #[test]
+    fn constant_arg_specialization_folds() {
+        let mut p = Program::new();
+        let sq = p.declare_function("sq", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, sq);
+        let x = fb.param(0);
+        let r = fb.imul(x, x);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(sq, g);
+        let root = p.declare_function("root", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let seven = fb.const_int(7);
+        let c = fb.call_static(sq, vec![seven]).unwrap();
+        fb.ret(Some(c));
+        let g = fb.finish();
+        p.define_method(root, g);
+
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let c0 = tree.node(tree.root()).children[0];
+        tree.expand_node(c0, &cx, &config);
+        let node = tree.node(c0);
+        assert_eq!(node.ns, 1, "the constant argument must count toward N_s");
+        assert!(node.no >= 1, "specialization must trigger a constant fold");
+        // The specialized body is now a constant 49.
+        let g = node.graph.as_ref().unwrap();
+        let incline_ir::Terminator::Return(Some(v)) = g.block(g.entry()).term.clone() else {
+            panic!()
+        };
+        assert_eq!(g.as_const_int(v), Some(49));
+    }
+
+    #[test]
+    fn polymorphic_children_from_profile() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let c = p.add_class("C", Some(a));
+        let ma = p.declare_method(a, "go", vec![], Type::Int);
+        let mb = p.declare_method(b, "go", vec![], Type::Int);
+        let mc = p.declare_method(c, "go", vec![], Type::Int);
+        for (m, k) in [(ma, 0), (mb, 1), (mc, 2)] {
+            let mut fb = FunctionBuilder::new(&p, m);
+            let v = fb.const_int(k);
+            fb.ret(Some(v));
+            let g = fb.finish();
+            p.define_method(m, g);
+        }
+        let root = p.declare_function("root", vec![Type::Object(a)], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let recv = fb.param(0);
+        let sel = fb.program().selector_by_name("go", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![recv]).unwrap();
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+
+        let mut profiles = ProfileTable::new();
+        let site = CallSiteId { method: root, index: 0 };
+        profiles.record_invocation(root);
+        for _ in 0..70 {
+            profiles.record_receiver(site, b);
+        }
+        for _ in 0..25 {
+            profiles.record_receiver(site, c);
+        }
+        for _ in 0..5 {
+            profiles.record_receiver(site, a); // below 10%: dropped
+        }
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let pn = tree.node(tree.root()).children[0];
+        assert_eq!(tree.node(pn).kind, NodeKind::Polymorphic);
+        let targets = &tree.node(pn).children;
+        assert_eq!(targets.len(), 2, "the 5% receiver must be dropped");
+        assert_eq!(tree.node(targets[0]).method, Some(mb));
+        assert_eq!(tree.node(targets[0]).speculated_class, Some(b));
+        assert!(tree.node(targets[0]).poly_prob > tree.node(targets[1]).poly_prob);
+        assert_eq!(tree.node(targets[1]).method, Some(mc));
+    }
+
+    #[test]
+    fn megamorphic_without_profile_is_generic() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let ma = p.declare_method(a, "go", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, ma);
+        let v = fb.const_int(0);
+        fb.ret(Some(v));
+        let g = fb.finish();
+        p.define_method(ma, g);
+        let root = p.declare_function("root", vec![Type::Object(a)], RetType::Value(Type::Int));
+        let mut fb = FunctionBuilder::new(&p, root);
+        let recv = fb.param(0);
+        let sel = fb.program().selector_by_name("go", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![recv]).unwrap();
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+        // NB: CHA would devirtualize this in canonicalize; the call tree is
+        // built on the unoptimized graph here to exercise the no-profile
+        // path.
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        let n = tree.node(tree.root()).children[0];
+        assert_eq!(tree.node(n).kind, NodeKind::Generic);
+    }
+
+    #[test]
+    fn recursion_depth_tracked() {
+        let mut p = Program::new();
+        let f = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, f);
+        let x = fb.param(0);
+        let c = fb.call_static(f, vec![x]).unwrap();
+        fb.ret(Some(c));
+        let g = fb.finish();
+        p.define_method(f, g);
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let mut tree = CallTree::new(f, p.method(f).graph.clone(), &cx, &config);
+        let c1 = tree.node(tree.root()).children[0];
+        assert_eq!(tree.node(c1).rec_depth, 1);
+        tree.expand_node(c1, &cx, &config);
+        let c2 = tree.node(c1).children[0];
+        assert_eq!(tree.node(c2).rec_depth, 2);
+    }
+
+    #[test]
+    fn generic_for_opaque_targets() {
+        let mut p = Program::new();
+        let ext = p.declare_function("ext", vec![], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, ext);
+        fb.ret(None);
+        let g = fb.finish();
+        p.define_method(ext, g);
+        p.set_opaque(ext);
+        let root = p.declare_function("root", vec![], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, root);
+        fb.call_static(ext, vec![]);
+        fb.ret(None);
+        let g = fb.finish();
+        p.define_method(root, g);
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let config = PolicyConfig::default();
+        let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
+        assert_eq!(tree.node(tree.node(tree.root()).children[0]).kind, NodeKind::Generic);
+    }
+}

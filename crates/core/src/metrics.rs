@@ -1,0 +1,264 @@
+//! The algorithm's numeric machinery: cost–benefit tuples (Equations
+//! 9–11), priorities and penalties (Equations 5–7, 14), and the adaptive
+//! threshold functions (Equations 8 and 12).
+
+use crate::policy::{ExpansionThreshold, InlineThreshold, PenaltyParams};
+
+/// A cost–benefit tuple `b|c` (§IV, Analysis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tuple {
+    /// Estimated benefit (execution-time savings, frequency-scaled).
+    pub benefit: f64,
+    /// Estimated cost (code-size increase in IR nodes).
+    pub cost: f64,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(benefit: f64, cost: f64) -> Self {
+        Tuple { benefit, cost }
+    }
+
+    /// The merge operation `⊕` (Equation 9): component-wise addition.
+    pub fn merge(self, other: Tuple) -> Tuple {
+        Tuple { benefit: self.benefit + other.benefit, cost: self.cost + other.cost }
+    }
+
+    /// The benefit-to-cost ratio `⟨b|c⟩` (Equation 11). Costs below one
+    /// node are clamped to avoid division blow-ups on degenerate tuples.
+    pub fn ratio(self) -> f64 {
+        self.benefit / self.cost.max(1.0)
+    }
+
+    /// The comparison `⊙` (Equation 10): `self ⊙ other` iff
+    /// `b1/c1 ≥ b2/c2`.
+    pub fn dominates(self, other: Tuple) -> bool {
+        self.ratio() >= other.ratio()
+    }
+}
+
+/// The exploration penalty `ψ(n)` (Equation 7):
+/// `ψ(n) = p1·S_ir(n) + p2·S_b(n) − b1·max(0, b2 − N_c(n)²)`.
+///
+/// Heavily-explored subtrees (large `S_ir`, much unexplored mass `S_b`)
+/// are de-prioritized, but subtrees with only a few cutoffs left get a
+/// bonus: finishing them may fuse the whole subtree into one cluster.
+pub fn exploration_penalty(params: &PenaltyParams, s_ir: f64, s_b: f64, n_c: f64) -> f64 {
+    params.p1 * s_ir + params.p2 * s_b - params.b1 * (params.b2 - n_c * n_c).max(0.0)
+}
+
+/// The recursion penalty `ψ_r(n)` (Equation 14):
+/// `ψ_r(n) = max(1, f(n)) · max(0, 2^d(n) − 2)`,
+/// zero until recursion depth 2, exponential afterwards.
+pub fn recursion_penalty(freq: f64, depth: u32) -> f64 {
+    let d = depth.min(60); // 2^60 is already effectively infinite
+    freq.max(1.0) * ((1u64 << d) as f64 - 2.0).max(0.0)
+}
+
+/// The expansion test (Equation 8 for the adaptive policy): should a
+/// cutoff with local benefit `b_l` and IR size `ir_size` be expanded,
+/// given the current explored-tree size `s_ir_root`?
+pub fn should_expand(
+    threshold: &ExpansionThreshold,
+    b_l: f64,
+    ir_size: f64,
+    s_ir_root: f64,
+) -> bool {
+    match *threshold {
+        ExpansionThreshold::Adaptive { r1, r2 } => {
+            b_l / ir_size.max(1.0) >= ((s_ir_root - r1) / r2).exp()
+        }
+        ExpansionThreshold::Fixed { te } => s_ir_root < te as f64,
+    }
+}
+
+/// The inlining test (Equation 12, reconstructed): may a cluster with the
+/// given tuple be inlined into a root of size `root_size`, where the
+/// cluster's own IR size is `node_size`?
+pub fn may_inline(threshold: &InlineThreshold, tuple: Tuple, root_size: f64, node_size: f64) -> bool {
+    match *threshold {
+        InlineThreshold::Adaptive { t1, t2 } => {
+            let exponent = (root_size + node_size) / (16.0 * t2);
+            tuple.ratio() >= t1 * exponent.exp2()
+        }
+        InlineThreshold::Fixed { ti } => root_size < ti as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_algebra() {
+        let a = Tuple::new(10.0, 5.0);
+        let b = Tuple::new(3.0, 30.0);
+        let m = a.merge(b);
+        assert_eq!(m, Tuple::new(13.0, 35.0));
+        assert!(a.dominates(b));
+        assert!(!b.dominates(a));
+        assert!((a.ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_clamps_tiny_costs() {
+        let t = Tuple::new(5.0, 0.0);
+        assert_eq!(t.ratio(), 5.0);
+    }
+
+    #[test]
+    fn penalty_grows_with_subtree_and_shrinks_with_few_cutoffs() {
+        let p = PenaltyParams::default();
+        let big = exploration_penalty(&p, 10_000.0, 5_000.0, 20.0);
+        let small = exploration_penalty(&p, 100.0, 50.0, 20.0);
+        assert!(big > small);
+        // With only one cutoff left, the bonus kicks in (b2 − 1 = 9 > 0).
+        let nearly_done = exploration_penalty(&p, 10_000.0, 5_000.0, 1.0);
+        assert!(nearly_done < big);
+        assert!((big - nearly_done - 0.5 * 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursion_penalty_shape() {
+        // Paper: "Until the recursion depth 2, the value of ψ_r is 0."
+        assert_eq!(recursion_penalty(1.0, 0), 0.0);
+        assert_eq!(recursion_penalty(1.0, 1), 0.0);
+        assert_eq!(recursion_penalty(1.0, 2), 2.0);
+        assert_eq!(recursion_penalty(1.0, 3), 6.0);
+        // Frequency amplifies (compensating Equation 4's multiplier)…
+        assert_eq!(recursion_penalty(10.0, 3), 60.0);
+        // …but cold sites still get the full pressure (max(1, f)).
+        assert_eq!(recursion_penalty(0.01, 3), 6.0);
+        // No overflow at absurd depths.
+        assert!(recursion_penalty(1.0, 64).is_finite());
+    }
+
+    #[test]
+    fn adaptive_expansion_tightens_with_tree_size() {
+        let t = ExpansionThreshold::Adaptive { r1: 3000.0, r2: 500.0 };
+        // Small tree: even density-1 callees expand (threshold ≈ e^-6).
+        assert!(should_expand(&t, 1.0, 100.0, 0.0));
+        // At the pivot, density must reach 1.0.
+        assert!(should_expand(&t, 120.0, 100.0, 3000.0));
+        assert!(!should_expand(&t, 80.0, 100.0, 3000.0));
+        // Far past the pivot, almost nothing expands…
+        assert!(!should_expand(&t, 1000.0, 100.0, 6000.0));
+        // …but an extremely hot tiny callee still can (smoothness).
+        assert!(should_expand(&t, 100_000.0, 2.0, 6000.0));
+    }
+
+    #[test]
+    fn fixed_expansion_is_a_hard_wall() {
+        let t = ExpansionThreshold::Fixed { te: 1000 };
+        assert!(should_expand(&t, 0.0001, 10_000.0, 999.0));
+        assert!(!should_expand(&t, 1e9, 1.0, 1000.0));
+    }
+
+    #[test]
+    fn adaptive_inlining_is_forgiving_to_small_methods() {
+        let t = InlineThreshold::Adaptive { t1: 0.005, t2: 120.0 };
+        let tup = Tuple::new(2.0, 40.0); // ratio 0.05
+        // Small root: passes easily.
+        assert!(may_inline(&t, tup, 100.0, 40.0));
+        // Root near 6.4k: threshold = 0.005·2^((6400+ir)/1920).
+        // For a small callee (ir=40) the threshold ≈ 0.051 — borderline.
+        // For a big callee (ir=2000) it is ≈ 0.10 — rejected.
+        assert!(!may_inline(&t, tup, 6400.0, 2000.0));
+        // The same ratio with a tiny callee gets accepted a while longer.
+        assert!(may_inline(&t, Tuple::new(4.0, 40.0), 6400.0, 40.0));
+    }
+
+    #[test]
+    fn fixed_inlining_ignores_benefit() {
+        let t = InlineThreshold::Fixed { ti: 3000 };
+        assert!(may_inline(&t, Tuple::new(0.0, 1e9), 2999.0, 50.0));
+        assert!(!may_inline(&t, Tuple::new(1e9, 1.0), 3000.0, 1.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::policy::{ExpansionThreshold, InlineThreshold};
+
+    proptest! {
+        /// ⊕ is commutative and associative (Equation 9).
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in (0.0f64..1e6, 1.0f64..1e6),
+            b in (0.0f64..1e6, 1.0f64..1e6),
+            c in (0.0f64..1e6, 1.0f64..1e6),
+        ) {
+            let (ta, tb, tc) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1), Tuple::new(c.0, c.1));
+            prop_assert_eq!(ta.merge(tb), tb.merge(ta));
+            let left = ta.merge(tb).merge(tc);
+            let right = ta.merge(tb.merge(tc));
+            prop_assert!((left.benefit - right.benefit).abs() < 1e-6);
+            prop_assert!((left.cost - right.cost).abs() < 1e-6);
+        }
+
+        /// ⊙ is a total preorder on positive tuples (Equation 10).
+        #[test]
+        fn dominates_is_total_and_transitive(
+            a in (0.0f64..1e6, 1.0f64..1e6),
+            b in (0.0f64..1e6, 1.0f64..1e6),
+            c in (0.0f64..1e6, 1.0f64..1e6),
+        ) {
+            let (ta, tb, tc) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1), Tuple::new(c.0, c.1));
+            prop_assert!(ta.dominates(tb) || tb.dominates(ta), "totality");
+            if ta.dominates(tb) && tb.dominates(tc) {
+                prop_assert!(ta.dominates(tc), "transitivity");
+            }
+        }
+
+        /// Merging a better-ratio tuple never lowers the ratio below the
+        /// worse ingredient (the clustering loop's soundness).
+        #[test]
+        fn merge_ratio_between_ingredients(
+            a in (0.0f64..1e6, 1.0f64..1e6),
+            b in (0.0f64..1e6, 1.0f64..1e6),
+        ) {
+            let (ta, tb) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1));
+            let m = ta.merge(tb);
+            let lo = ta.ratio().min(tb.ratio());
+            let hi = ta.ratio().max(tb.ratio());
+            prop_assert!(m.ratio() >= lo - 1e-9 && m.ratio() <= hi + 1e-9);
+        }
+
+        /// The adaptive expansion threshold is monotone: growing the tree
+        /// never turns a rejected expansion into an accepted one.
+        #[test]
+        fn expansion_threshold_monotone_in_tree_size(
+            b_l in 0.0f64..1e5,
+            ir in 1.0f64..1e4,
+            s1 in 0.0f64..5e4,
+            delta in 0.0f64..5e4,
+        ) {
+            let t = ExpansionThreshold::Adaptive { r1: 1500.0, r2: 250.0 };
+            if should_expand(&t, b_l, ir, s1 + delta) {
+                prop_assert!(should_expand(&t, b_l, ir, s1));
+            }
+        }
+
+        /// The adaptive inline threshold is monotone in root size and
+        /// "more forgiving" to smaller callees (paper prose on Eq. 12).
+        #[test]
+        fn inline_threshold_monotonicity(
+            ratio in 0.0f64..1e4,
+            root in 0.0f64..2e4,
+            node in 1.0f64..5e3,
+            delta in 0.0f64..2e4,
+        ) {
+            let t = InlineThreshold::Adaptive { t1: 0.005, t2: 60.0 };
+            let tup = Tuple::new(ratio, 1.0);
+            if may_inline(&t, tup, root + delta, node) {
+                prop_assert!(may_inline(&t, tup, root, node), "monotone in root size");
+            }
+            if may_inline(&t, tup, root, node + delta) {
+                prop_assert!(may_inline(&t, tup, root, node), "monotone in callee size");
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy) over the block CFG.
+//!
+//! Used by the verifier (defs must dominate uses), by GVN (dominator-tree
+//! scoped hash table) and by loop detection (back edges).
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::ids::BlockId;
+
+/// Immediate-dominator tree for the reachable blocks of a graph.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` for unreachable).
+    rpo_index: Vec<usize>,
+    /// Immediate dominator of each reachable block (entry maps to itself).
+    idom: HashMap<BlockId, BlockId>,
+    /// Children in the dominator tree.
+    children: HashMap<BlockId, Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let entry = graph.entry();
+        let rpo = reverse_postorder(graph);
+        let mut rpo_index = vec![usize::MAX; graph.block_count()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = graph.predecessors();
+
+        // idom in rpo-position space; entry's idom is itself.
+        let mut idom: Vec<Option<usize>> = vec![None; rpo.len()];
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 1..rpo.len() {
+                let b = rpo[i];
+                let mut new_idom: Option<usize> = None;
+                for &p in preds.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+                    let pi = rpo_index[p.index()];
+                    if pi == usize::MAX || idom[pi].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pi,
+                        Some(cur) => intersect(&idom, cur, pi),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[i] != Some(ni) {
+                        idom[i] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut idom_map = HashMap::new();
+        let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for (i, &b) in rpo.iter().enumerate() {
+            let d = rpo[idom[i].expect("reachable block must acquire an idom")];
+            idom_map.insert(b, d);
+            if i != 0 {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        DomTree { rpo, rpo_index, idom: idom_map, children, entry }
+    }
+
+    /// Reverse postorder of reachable blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        block.index() < self.rpo_index.len() && self.rpo_index[block.index()] != usize::MAX
+    }
+
+    /// Immediate dominator of `block` (the entry dominates itself).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        self.idom.get(&block).copied()
+    }
+
+    /// Children of `block` in the dominator tree.
+    pub fn children(&self, block: BlockId) -> &[BlockId] {
+        self.children.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[&cur];
+        }
+    }
+
+    /// Preorder walk of the dominator tree.
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.rpo.len());
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for &c in self.children(b) {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn intersect(idom: &[Option<usize>], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while a > b {
+            a = idom[a].expect("intersect on processed node");
+        }
+        while b > a {
+            b = idom[b].expect("intersect on processed node");
+        }
+    }
+    a
+}
+
+/// Reverse postorder over reachable blocks.
+pub fn reverse_postorder(graph: &Graph) -> Vec<BlockId> {
+    let mut post = Vec::new();
+    let mut seen = vec![false; graph.block_count()];
+    // Iterative DFS with an explicit "exit" marker.
+    let mut stack = vec![(graph.entry(), false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            post.push(b);
+            continue;
+        }
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        stack.push((b, true));
+        for s in graph.block(b).term.successors() {
+            if !seen[s.index()] {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Op, Terminator};
+    use crate::types::Type;
+
+    /// Builds the classic diamond: e -> {t, f} -> j.
+    fn diamond() -> (Graph, BlockId, BlockId, BlockId, BlockId) {
+        let mut g = Graph::empty();
+        let e = g.entry();
+        let c = g.append(e, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap();
+        let t = g.add_block();
+        let f = g.add_block();
+        let j = g.add_block();
+        g.set_terminator(e, Terminator::Branch { cond: c, then_dest: (t, vec![]), else_dest: (f, vec![]) });
+        g.set_terminator(t, Terminator::Jump(j, vec![]));
+        g.set_terminator(f, Terminator::Jump(j, vec![]));
+        g.set_terminator(j, Terminator::Return(None));
+        (g, e, t, f, j)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (g, e, t, f, j) = diamond();
+        let dom = DomTree::compute(&g);
+        assert_eq!(dom.idom(t), Some(e));
+        assert_eq!(dom.idom(f), Some(e));
+        assert_eq!(dom.idom(j), Some(e));
+        assert!(dom.dominates(e, j));
+        assert!(!dom.dominates(t, j));
+        assert!(dom.dominates(t, t));
+    }
+
+    #[test]
+    fn loop_idoms() {
+        // e -> h; h -> body | exit; body -> h
+        let mut g = Graph::empty();
+        let e = g.entry();
+        let c = g.append(e, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap();
+        let h = g.add_block();
+        let body = g.add_block();
+        let exit = g.add_block();
+        g.set_terminator(e, Terminator::Jump(h, vec![]));
+        g.set_terminator(h, Terminator::Branch { cond: c, then_dest: (body, vec![]), else_dest: (exit, vec![]) });
+        g.set_terminator(body, Terminator::Jump(h, vec![]));
+        g.set_terminator(exit, Terminator::Return(None));
+        let dom = DomTree::compute(&g);
+        assert_eq!(dom.idom(h), Some(e));
+        assert_eq!(dom.idom(body), Some(h));
+        assert_eq!(dom.idom(exit), Some(h));
+        assert!(dom.dominates(h, body));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (g, e, ..) = diamond();
+        let rpo = reverse_postorder(&g);
+        assert_eq!(rpo[0], e);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let (mut g, ..) = diamond();
+        let dead = g.add_block();
+        g.set_terminator(dead, Terminator::Return(None));
+        let dom = DomTree::compute(&g);
+        assert!(!dom.is_reachable(dead));
+        assert_eq!(dom.rpo().len(), 4);
+    }
+
+    #[test]
+    fn preorder_visits_all_reachable() {
+        let (g, ..) = diamond();
+        let dom = DomTree::compute(&g);
+        let mut pre = dom.preorder();
+        pre.sort();
+        let mut all = g.reachable_blocks();
+        all.sort();
+        assert_eq!(pre, all);
+    }
+}

@@ -1,0 +1,177 @@
+//! Natural-loop detection on top of the dominator tree.
+//!
+//! A back edge is a CFG edge `tail → header` where `header` dominates
+//! `tail`. The natural loop of a back edge is the set of blocks that can
+//! reach `tail` without passing through `header`, plus the header itself.
+//! Loop peeling (in `incline-opt`) and the cost model (loop-frequency
+//! heuristics) consume this.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::graph::Graph;
+use crate::ids::BlockId;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (dominates all body blocks).
+    pub header: BlockId,
+    /// All blocks of the loop, header included.
+    pub blocks: Vec<BlockId>,
+    /// The tails of the back edges targeting `header`.
+    pub back_edges: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// All natural loops of a graph, with a per-block nesting-depth map.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// Loops, one per distinct header (back edges to a header are merged).
+    pub loops: Vec<Loop>,
+    /// Nesting depth of each block (0 = not in any loop).
+    pub depth: HashMap<BlockId, u32>,
+}
+
+impl LoopForest {
+    /// Computes the loop forest of `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let dom = DomTree::compute(graph);
+        Self::compute_with(graph, &dom)
+    }
+
+    /// Computes the loop forest with a precomputed dominator tree.
+    pub fn compute_with(graph: &Graph, dom: &DomTree) -> Self {
+        let preds = graph.predecessors();
+        let mut by_header: HashMap<BlockId, (HashSet<BlockId>, Vec<BlockId>)> = HashMap::new();
+
+        for &b in dom.rpo() {
+            for succ in graph.block(b).term.successors() {
+                if dom.dominates(succ, b) {
+                    // b -> succ is a back edge; succ is the header.
+                    let entry = by_header.entry(succ).or_insert_with(|| {
+                        let mut set = HashSet::new();
+                        set.insert(succ);
+                        (set, Vec::new())
+                    });
+                    entry.1.push(b);
+                    // Collect the natural loop body by walking predecessors
+                    // from the tail until the header.
+                    let mut stack = vec![b];
+                    while let Some(n) = stack.pop() {
+                        if entry.0.insert(n) {
+                            for &p in preds.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, (blocks, back_edges))| {
+                let mut blocks: Vec<_> = blocks.into_iter().collect();
+                blocks.sort();
+                Loop { header, blocks, back_edges }
+            })
+            .collect();
+        loops.sort_by_key(|l| l.header);
+
+        let mut depth: HashMap<BlockId, u32> = HashMap::new();
+        for &b in dom.rpo() {
+            depth.insert(b, 0);
+        }
+        for l in &loops {
+            for &b in &l.blocks {
+                *depth.entry(b).or_insert(0) += 1;
+            }
+        }
+        LoopForest { loops, depth }
+    }
+
+    /// Loop with the given header, if any.
+    pub fn loop_at(&self, header: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// Nesting depth of a block (0 if not in a loop).
+    pub fn depth_of(&self, block: BlockId) -> u32 {
+        self.depth.get(&block).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Op, Terminator};
+    use crate::types::Type;
+
+    fn cond(g: &mut Graph, b: BlockId) -> crate::ids::ValueId {
+        g.append(b, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap()
+    }
+
+    #[test]
+    fn single_loop() {
+        let mut g = Graph::empty();
+        let e = g.entry();
+        let h = g.add_block();
+        let body = g.add_block();
+        let exit = g.add_block();
+        g.set_terminator(e, Terminator::Jump(h, vec![]));
+        let c = cond(&mut g, h);
+        g.set_terminator(h, Terminator::Branch { cond: c, then_dest: (body, vec![]), else_dest: (exit, vec![]) });
+        g.set_terminator(body, Terminator::Jump(h, vec![]));
+        g.set_terminator(exit, Terminator::Return(None));
+        let lf = LoopForest::compute(&g);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, h);
+        assert!(l.contains(body));
+        assert!(!l.contains(e));
+        assert!(!l.contains(exit));
+        assert_eq!(lf.depth_of(body), 1);
+        assert_eq!(lf.depth_of(e), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let mut g = Graph::empty();
+        let e = g.entry();
+        let h1 = g.add_block();
+        let h2 = g.add_block();
+        let b2 = g.add_block();
+        let exit1 = g.add_block();
+        let exit = g.add_block();
+        g.set_terminator(e, Terminator::Jump(h1, vec![]));
+        let c1 = cond(&mut g, h1);
+        g.set_terminator(h1, Terminator::Branch { cond: c1, then_dest: (h2, vec![]), else_dest: (exit, vec![]) });
+        let c2 = cond(&mut g, h2);
+        g.set_terminator(h2, Terminator::Branch { cond: c2, then_dest: (b2, vec![]), else_dest: (exit1, vec![]) });
+        g.set_terminator(b2, Terminator::Jump(h2, vec![]));
+        g.set_terminator(exit1, Terminator::Jump(h1, vec![]));
+        g.set_terminator(exit, Terminator::Return(None));
+        let lf = LoopForest::compute(&g);
+        assert_eq!(lf.loops.len(), 2);
+        assert_eq!(lf.depth_of(b2), 2);
+        assert_eq!(lf.depth_of(h2), 2);
+        assert_eq!(lf.depth_of(h1), 1);
+        assert_eq!(lf.depth_of(exit), 0);
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let mut g = Graph::empty();
+        let e = g.entry();
+        g.set_terminator(e, Terminator::Return(None));
+        let lf = LoopForest::compute(&g);
+        assert!(lf.loops.is_empty());
+    }
+}

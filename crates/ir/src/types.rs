@@ -1,0 +1,151 @@
+//! The type system of the IR language.
+//!
+//! Types are deliberately small and `Copy`: primitive `int`/`float`/`bool`,
+//! reference types `object(C)` for a class `C`, and one-dimensional arrays of
+//! a primitive or object element. Subtyping exists only between object types
+//! (single inheritance) and is resolved against a [`crate::Program`].
+
+use std::fmt;
+
+use crate::ids::ClassId;
+
+/// Element type of an array (arrays do not nest).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemType {
+    /// 64-bit signed integer element.
+    Int,
+    /// 64-bit IEEE-754 float element.
+    Float,
+    /// Boolean element.
+    Bool,
+    /// Reference element of the given class (or any subclass).
+    Object(ClassId),
+}
+
+impl ElemType {
+    /// The scalar [`Type`] stored in arrays of this element type.
+    pub fn to_type(self) -> Type {
+        match self {
+            ElemType::Int => Type::Int,
+            ElemType::Float => Type::Float,
+            ElemType::Bool => Type::Bool,
+            ElemType::Object(c) => Type::Object(c),
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_type(), f)
+    }
+}
+
+/// A value type in the IR.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Reference to an instance of the class or any of its subclasses.
+    Object(ClassId),
+    /// Reference to an array with the given element type.
+    Array(ElemType),
+}
+
+impl Type {
+    /// Whether this is a reference type (object or array), i.e. `null` is a
+    /// valid value of it.
+    pub fn is_reference(self) -> bool {
+        matches!(self, Type::Object(_) | Type::Array(_))
+    }
+
+    /// Whether this is a primitive (non-reference) type.
+    pub fn is_primitive(self) -> bool {
+        !self.is_reference()
+    }
+
+    /// The class id if this is an object type.
+    pub fn class(self) -> Option<ClassId> {
+        match self {
+            Type::Object(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::Object(c) => write!(f, "obj.{c}"),
+            Type::Array(e) => write!(f, "[{e}]"),
+        }
+    }
+}
+
+/// Return type of a method: a value type or `void`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RetType {
+    /// The method returns a value of the given type.
+    Value(Type),
+    /// The method returns no value.
+    Void,
+}
+
+impl RetType {
+    /// The value type, if any.
+    pub fn value(self) -> Option<Type> {
+        match self {
+            RetType::Value(t) => Some(t),
+            RetType::Void => None,
+        }
+    }
+}
+
+impl From<Type> for RetType {
+    fn from(t: Type) -> Self {
+        RetType::Value(t)
+    }
+}
+
+impl fmt::Display for RetType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetType::Value(t) => fmt::Display::fmt(t, f),
+            RetType::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_classification() {
+        assert!(Type::Object(ClassId::new(0)).is_reference());
+        assert!(Type::Array(ElemType::Int).is_reference());
+        assert!(Type::Int.is_primitive());
+        assert!(!Type::Bool.is_reference());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Array(ElemType::Float).to_string(), "[float]");
+        assert_eq!(Type::Object(ClassId::new(3)).to_string(), "obj.c3");
+        assert_eq!(RetType::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn elem_round_trip() {
+        for e in [ElemType::Int, ElemType::Float, ElemType::Bool, ElemType::Object(ClassId::new(1))] {
+            assert!(e.to_type().is_primitive() != matches!(e, ElemType::Object(_)));
+        }
+    }
+}

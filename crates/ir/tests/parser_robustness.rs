@@ -1,0 +1,94 @@
+//! Robustness tests for the textual-IR parser: malformed input must
+//! produce a `ParseError`, never a panic, and error positions must be
+//! within the input.
+
+use proptest::prelude::*;
+
+use incline_ir::parse::parse_program;
+
+const VALID: &str = r#"
+class Base
+class Impl : Base {
+  field n: int
+}
+
+method Impl.get(Impl) -> int {
+b0(v0: Impl):
+  v1 = getfield Impl.n v0
+  ret v1
+}
+
+fn main(int) -> int {
+b0(v0: int):
+  v1 = new Impl
+  setfield Impl.n v1, v0
+  v2 = callv get(v1)
+  v3 = newarray int, v0
+  v4 = alen v3
+  v5 = iadd v2, v4
+  print v5
+  ret v5
+}
+"#;
+
+#[test]
+fn valid_program_parses() {
+    let p = parse_program(VALID).expect("fixture parses");
+    assert_eq!(p.method_count(), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_ascii_never_panics(s in "[ -~\n]{0,200}") {
+        let _ = parse_program(&s);
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in 0usize..VALID.len()) {
+        // Truncate at a char boundary.
+        let mut cut = cut;
+        while !VALID.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_program(&VALID[..cut]);
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..VALID.len(), byte in 32u8..127) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        let mut pos = pos;
+        while !VALID.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        bytes[pos] = byte;
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = parse_program(s);
+        }
+    }
+
+    #[test]
+    fn error_positions_inside_input(s in "(fn|class|method) [a-z ()>{}:,-]{0,60}") {
+        if let Err(e) = parse_program(&s) {
+            let lines = s.lines().count().max(1) as u32;
+            prop_assert!(e.line <= lines + 1, "line {} beyond input ({} lines)", e.line, lines);
+        }
+    }
+
+    #[test]
+    fn shuffled_valid_lines_never_panic(seed in any::<u64>()) {
+        // A deterministic shuffle of the fixture's lines: structurally
+        // plausible but almost always invalid input.
+        let mut lines: Vec<&str> = VALID.lines().collect();
+        let mut state = seed.max(1);
+        for i in (1..lines.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            lines.swap(i, (state as usize) % (i + 1));
+        }
+        let shuffled = lines.join("\n");
+        let _ = parse_program(&shuffled);
+    }
+}

@@ -1,0 +1,746 @@
+//! Canonicalization: the paper's "simple optimizations" bundle.
+//!
+//! Graal's canonicalizer is the workhorse that deep inlining trials invoke
+//! after propagating callsite arguments (§IV, *Deep inlining trials*). Our
+//! reproduction bundles the same families of rewrites:
+//!
+//! * **constant folding** — arithmetic, comparisons, conversions,
+//! * **strength reduction** — algebraic identities, `x*2ᵏ → x<<k`,
+//!   comparison inversion under `not`,
+//! * **branch pruning** — conditional branches on known conditions,
+//! * **type-check folding** — `instanceof`/`cast` decided from static types
+//!   and allocation sites,
+//! * **devirtualization** — exact-type receivers and class-hierarchy
+//!   analysis turn virtual callsites into direct calls,
+//! * **block merging** — straight-line jump chains are spliced so the other
+//!   rewrites can see across them.
+//!
+//! All rewrites are counted in [`OptStats`]; the *simple* ones feed the
+//! inliner's benefit estimate `N_o(n)` (Equation 4 of the paper).
+
+use incline_ir::eval;
+use incline_ir::graph::{BinOp, CallInfo, CallTarget, CmpOp, Op, Terminator};
+use incline_ir::ids::{BlockId, InstId, ValueId};
+use incline_ir::{Graph, Program, Type, ValueDef};
+
+use crate::stats::OptStats;
+
+/// Runs canonicalization to a local fixpoint. Returns the event counts.
+pub fn canonicalize(program: &Program, graph: &mut Graph) -> OptStats {
+    let mut stats = OptStats::new();
+    // Each round is linear; the loop is bounded because every rewrite
+    // strictly reduces (insts + branches + blocks) or freezes a call.
+    loop {
+        let mut changed = false;
+        changed |= fold_insts(program, graph, &mut stats);
+        changed |= prune_branches(graph, &mut stats);
+        changed |= merge_blocks(graph, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// What to do with an instruction after inspection.
+enum Rewrite {
+    /// Replace the result with an existing value and delete the inst.
+    Alias(ValueId),
+    /// Replace the inst with a constant op of the given type.
+    Const(Op, Type),
+    /// Swap the operation in place (args unchanged).
+    Retarget(Op),
+    /// Swap operation and arguments in place.
+    Replace(Op, Vec<ValueId>),
+    /// `x * 2ᵏ → x << k`: needs a fresh constant for the shift amount.
+    MulToShift { x: ValueId, shift: i64 },
+}
+
+fn fold_insts(program: &Program, graph: &mut Graph, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for block in graph.reachable_blocks() {
+        // Snapshot: rewrites mutate the block's inst list.
+        let insts: Vec<InstId> = graph.block(block).insts.clone();
+        for inst in insts {
+            let Some((rewrite, bump)) = simplify(program, graph, inst) else {
+                continue;
+            };
+            apply(graph, block, inst, rewrite);
+            *bump_field(stats, bump) += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Which counter a rewrite increments.
+#[derive(Clone, Copy)]
+enum Bump {
+    ConstFold,
+    Strength,
+    TypeCheck,
+    Devirt,
+}
+
+fn bump_field(stats: &mut OptStats, b: Bump) -> &mut u64 {
+    match b {
+        Bump::ConstFold => &mut stats.const_fold,
+        Bump::Strength => &mut stats.strength_red,
+        Bump::TypeCheck => &mut stats.typecheck_fold,
+        Bump::Devirt => &mut stats.devirt,
+    }
+}
+
+fn apply(graph: &mut Graph, block: BlockId, inst: InstId, rewrite: Rewrite) {
+    match rewrite {
+        Rewrite::Alias(v) => {
+            let result = graph.inst(inst).result.expect("aliased inst has a result");
+            graph.replace_all_uses(result, v);
+            graph.remove_inst(block, inst);
+        }
+        Rewrite::Const(op, ty) => {
+            let pos = graph
+                .block(block)
+                .insts
+                .iter()
+                .position(|&i| i == inst)
+                .expect("inst in its block");
+            let k = graph.create_inst(op, vec![], Some(ty));
+            graph.insert_inst(block, pos, k);
+            let kv = graph.inst(k).result.expect("constant produces a value");
+            let result = graph.inst(inst).result.expect("folded inst has a result");
+            graph.replace_all_uses(result, kv);
+            graph.remove_inst(block, inst);
+        }
+        Rewrite::Retarget(op) => {
+            graph.inst_mut(inst).op = op;
+        }
+        Rewrite::Replace(op, args) => {
+            let data = graph.inst_mut(inst);
+            data.op = op;
+            data.args = args;
+        }
+        Rewrite::MulToShift { x, shift } => {
+            let pos = graph
+                .block(block)
+                .insts
+                .iter()
+                .position(|&i| i == inst)
+                .expect("inst in its block");
+            let k = graph.create_inst(Op::ConstInt(shift), vec![], Some(Type::Int));
+            graph.insert_inst(block, pos, k);
+            let kv = graph.inst(k).result.expect("constant produces a value");
+            let data = graph.inst_mut(inst);
+            data.op = Op::Bin(BinOp::IShl);
+            data.args = vec![x, kv];
+        }
+    }
+}
+
+/// Inspects one instruction and proposes a rewrite.
+fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, Bump)> {
+    let data = graph.inst(inst);
+    let arg = |k: usize| data.args[k];
+    match &data.op {
+        Op::Bin(op) if op.is_float() => {
+            let (a, b) = (arg(0), arg(1));
+            if let (Some(x), Some(y)) = (graph.as_const_float(a), graph.as_const_float(b)) {
+                let r = eval::eval_float_bin(*op, x, y);
+                return Some((Rewrite::Const(Op::ConstFloat(r.to_bits()), Type::Float), Bump::ConstFold));
+            }
+            // x * 1.0 and x / 1.0 are exact in IEEE-754.
+            if matches!(op, BinOp::FMul | BinOp::FDiv) && graph.as_const_float(b) == Some(1.0) {
+                return Some((Rewrite::Alias(a), Bump::Strength));
+            }
+            if matches!(op, BinOp::FMul) && graph.as_const_float(a) == Some(1.0) {
+                return Some((Rewrite::Alias(b), Bump::Strength));
+            }
+            None
+        }
+        Op::Bin(op) => {
+            let (a, b) = (arg(0), arg(1));
+            let (ka, kb) = (graph.as_const_int(a), graph.as_const_int(b));
+            if let (Some(x), Some(y)) = (ka, kb) {
+                if let Ok(r) = eval::eval_int_bin(*op, x, y) {
+                    return Some((Rewrite::Const(Op::ConstInt(r), Type::Int), Bump::ConstFold));
+                }
+                return None; // would trap; leave for runtime
+            }
+            let strength = |r: Rewrite| Some((r, Bump::Strength));
+            match op {
+                BinOp::IAdd => {
+                    if kb == Some(0) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if ka == Some(0) {
+                        return strength(Rewrite::Alias(b));
+                    }
+                }
+                BinOp::ISub => {
+                    if kb == Some(0) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if a == b {
+                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
+                    }
+                }
+                BinOp::IMul => {
+                    if kb == Some(1) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if ka == Some(1) {
+                        return strength(Rewrite::Alias(b));
+                    }
+                    if ka == Some(0) || kb == Some(0) {
+                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
+                    }
+                    // Classic strength reduction: multiply by a power of two.
+                    if let Some(k) = kb {
+                        if k > 1 && (k as u64).is_power_of_two() {
+                            return strength(Rewrite::MulToShift { x: a, shift: k.trailing_zeros() as i64 });
+                        }
+                    }
+                    if let Some(k) = ka {
+                        if k > 1 && (k as u64).is_power_of_two() {
+                            return strength(Rewrite::MulToShift { x: b, shift: k.trailing_zeros() as i64 });
+                        }
+                    }
+                }
+                BinOp::IDiv => {
+                    if kb == Some(1) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                }
+                BinOp::IRem => {
+                    if kb == Some(1) {
+                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
+                    }
+                }
+                BinOp::IAnd => {
+                    if a == b {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if ka == Some(0) || kb == Some(0) {
+                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
+                    }
+                }
+                BinOp::IOr => {
+                    if a == b || kb == Some(0) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if ka == Some(0) {
+                        return strength(Rewrite::Alias(b));
+                    }
+                }
+                BinOp::IXor => {
+                    if a == b {
+                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
+                    }
+                    if kb == Some(0) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                    if ka == Some(0) {
+                        return strength(Rewrite::Alias(b));
+                    }
+                }
+                BinOp::IShl | BinOp::IShr => {
+                    if kb == Some(0) {
+                        return strength(Rewrite::Alias(a));
+                    }
+                }
+                _ => {}
+            }
+            None
+        }
+        Op::Cmp(op) => {
+            let (a, b) = (arg(0), arg(1));
+            match op.operand_kind() {
+                Some(Type::Int) => {
+                    if let (Some(x), Some(y)) = (graph.as_const_int(a), graph.as_const_int(b)) {
+                        let r = eval::eval_int_cmp(*op, x, y);
+                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::ConstFold));
+                    }
+                    if a == b {
+                        // x ⊛ x is decided for every integer comparison.
+                        let r = matches!(op, CmpOp::IEq | CmpOp::ILe | CmpOp::IGe);
+                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::Strength));
+                    }
+                }
+                Some(Type::Float) => {
+                    if let (Some(x), Some(y)) = (graph.as_const_float(a), graph.as_const_float(b)) {
+                        let r = eval::eval_float_cmp(*op, x, y);
+                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::ConstFold));
+                    }
+                    // x ⊛ x is NOT decidable for floats (NaN).
+                }
+                _ => {
+                    // RefEq.
+                    if a == b {
+                        return Some((Rewrite::Const(Op::ConstBool(true), Type::Bool), Bump::Strength));
+                    }
+                    if graph.is_const_null(a) && graph.is_const_null(b) {
+                        return Some((Rewrite::Const(Op::ConstBool(true), Type::Bool), Bump::ConstFold));
+                    }
+                    // null vs. fresh allocation is always false.
+                    if (graph.is_const_null(a) && is_allocation(graph, b))
+                        || (graph.is_const_null(b) && is_allocation(graph, a))
+                    {
+                        return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::ConstFold));
+                    }
+                }
+            }
+            None
+        }
+        Op::Not => {
+            let a = arg(0);
+            if let Some(k) = graph.as_const_bool(a) {
+                return Some((Rewrite::Const(Op::ConstBool(!k), Type::Bool), Bump::ConstFold));
+            }
+            if let ValueDef::Inst(def) = graph.value(a).def {
+                match &graph.inst(def).op {
+                    Op::Not => {
+                        let inner = graph.inst(def).args[0];
+                        return Some((Rewrite::Alias(inner), Bump::Strength));
+                    }
+                    Op::Cmp(c) => {
+                        let inv = match c {
+                            CmpOp::IEq => Some(CmpOp::INe),
+                            CmpOp::INe => Some(CmpOp::IEq),
+                            CmpOp::ILt => Some(CmpOp::IGe),
+                            CmpOp::ILe => Some(CmpOp::IGt),
+                            CmpOp::IGt => Some(CmpOp::ILe),
+                            CmpOp::IGe => Some(CmpOp::ILt),
+                            // Float comparisons do not invert under NaN.
+                            _ => None,
+                        };
+                        if let Some(inv) = inv {
+                            let args = graph.inst(def).args.clone();
+                            return Some((Rewrite::Replace(Op::Cmp(inv), args), Bump::Strength));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        Op::INeg => {
+            let a = arg(0);
+            if let Some(k) = graph.as_const_int(a) {
+                return Some((Rewrite::Const(Op::ConstInt(k.wrapping_neg()), Type::Int), Bump::ConstFold));
+            }
+            if let ValueDef::Inst(def) = graph.value(a).def {
+                if matches!(graph.inst(def).op, Op::INeg) {
+                    return Some((Rewrite::Alias(graph.inst(def).args[0]), Bump::Strength));
+                }
+            }
+            None
+        }
+        Op::FNeg => {
+            let a = arg(0);
+            if let Some(k) = graph.as_const_float(a) {
+                return Some((Rewrite::Const(Op::ConstFloat((-k).to_bits()), Type::Float), Bump::ConstFold));
+            }
+            None
+        }
+        Op::IntToFloat => {
+            let a = arg(0);
+            graph.as_const_int(a).map(|k| {
+                (Rewrite::Const(Op::ConstFloat(eval::int_to_float(k).to_bits()), Type::Float), Bump::ConstFold)
+            })
+        }
+        Op::FloatToInt => {
+            let a = arg(0);
+            graph
+                .as_const_float(a)
+                .map(|k| (Rewrite::Const(Op::ConstInt(eval::float_to_int(k)), Type::Int), Bump::ConstFold))
+        }
+        Op::InstanceOf(class) => {
+            let a = arg(0);
+            if graph.is_const_null(a) {
+                return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::TypeCheck));
+            }
+            let static_ty = graph.value_type(a);
+            if let Type::Object(d) = static_ty {
+                if is_allocation(graph, a) {
+                    // Exact dynamic class known.
+                    let r = program.is_subclass(d, *class);
+                    return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::TypeCheck));
+                }
+                // If the static class is unrelated to the tested class, no
+                // instance can pass (single inheritance).
+                if !program.is_subclass(d, *class) && !program.is_subclass(*class, d) {
+                    return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::TypeCheck));
+                }
+                // Subtype receivers still might be null; fold only when the
+                // value is provably non-null (allocation handled above).
+            }
+            None
+        }
+        Op::Cast(class) => {
+            let a = arg(0);
+            if let Type::Object(d) = graph.value_type(a) {
+                if program.is_subclass(d, *class) {
+                    // Upcast or identity: statically safe (null passes too).
+                    return Some((Rewrite::Alias(a), Bump::TypeCheck));
+                }
+            }
+            if graph.is_const_null(a) {
+                return Some((
+                    Rewrite::Const(Op::ConstNull(Type::Object(*class)), Type::Object(*class)),
+                    Bump::TypeCheck,
+                ));
+            }
+            None
+        }
+        Op::Call(CallInfo { target: CallTarget::Virtual(sel), site }) => {
+            let recv = arg(0);
+            let Type::Object(static_class) = graph.value_type(recv) else {
+                return None;
+            };
+            let target = if is_allocation(graph, recv) {
+                // Exact receiver class: resolve directly.
+                program.resolve(static_class, *sel)
+            } else {
+                // Class-hierarchy analysis.
+                program.resolve_unique(static_class, *sel)
+            };
+            target.map(|m| {
+                (
+                    Rewrite::Retarget(Op::Call(CallInfo { target: CallTarget::Static(m), site: *site })),
+                    Bump::Devirt,
+                )
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Whether the value is a fresh allocation (its dynamic class equals its
+/// static class, and it is non-null).
+fn is_allocation(graph: &Graph, v: ValueId) -> bool {
+    match graph.value(v).def {
+        ValueDef::Inst(i) => matches!(graph.inst(i).op, Op::New(_) | Op::NewArray(_)),
+        ValueDef::Param(..) => false,
+    }
+}
+
+fn prune_branches(graph: &mut Graph, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for block in graph.reachable_blocks() {
+        let term = graph.block(block).term.clone();
+        if let Terminator::Branch { cond, then_dest, else_dest } = term {
+            if let Some(k) = graph.as_const_bool(cond) {
+                let (dest, args) = if k { then_dest } else { else_dest };
+                graph.set_terminator(block, Terminator::Jump(dest, args));
+                stats.branch_prune += 1;
+                changed = true;
+            } else if then_dest == else_dest {
+                graph.set_terminator(block, Terminator::Jump(then_dest.0, then_dest.1));
+                stats.branch_prune += 1;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn merge_blocks(graph: &mut Graph, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = graph.predecessors();
+        let mut merged_this_round = false;
+        // Deterministic order: iteration over a HashMap would make merge
+        // order (and thus value numbering downstream) nondeterministic.
+        for block in graph.reachable_blocks() {
+            let Terminator::Jump(succ, _) = graph.block(block).term.clone() else {
+                continue;
+            };
+            if succ == block || succ == graph.entry() {
+                continue;
+            }
+            let Some(sp) = preds.get(&succ) else { continue };
+            if sp.len() != 1 {
+                continue;
+            }
+            // Splice `succ` into `block`.
+            let Terminator::Jump(_, args) = graph.block(block).term.clone() else {
+                unreachable!()
+            };
+            let params: Vec<ValueId> = graph.block(succ).params.clone();
+            for (&p, &a) in params.iter().zip(args.iter()) {
+                graph.replace_all_uses(p, a);
+            }
+            let succ_insts: Vec<InstId> = graph.block(succ).insts.clone();
+            let succ_term = graph.block(succ).term.clone();
+            graph.block_mut(succ).insts.clear();
+            graph.block_mut(succ).term = Terminator::Unterminated;
+            graph.block_mut(block).insts.extend(succ_insts);
+            graph.set_terminator(block, succ_term);
+            stats.blocks_merged += 1;
+            changed = true;
+            merged_this_round = true;
+            break; // predecessors map is stale; recompute
+        }
+        if !merged_this_round {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::types::RetType;
+    use incline_ir::verify::verify_graph;
+
+    fn opt(program: &Program, graph: &mut Graph) -> OptStats {
+        let stats = canonicalize(program, graph);
+        // Every canonicalization must preserve verifiability; params here
+        // are whatever the entry block declares.
+        let params: Vec<Type> = graph
+            .block(graph.entry())
+            .params
+            .iter()
+            .map(|&p| graph.value_type(p))
+            .collect();
+        verify_graph(program, graph, &params, infer_ret(graph)).expect("canonicalized graph verifies");
+        stats
+    }
+
+    /// Infers a usable return type from any reachable return terminator.
+    fn infer_ret(graph: &Graph) -> RetType {
+        for b in graph.reachable_blocks() {
+            if let Terminator::Return(v) = &graph.block(b).term {
+                return match v {
+                    Some(v) => RetType::Value(graph.value_type(*v)),
+                    None => RetType::Void,
+                };
+            }
+        }
+        RetType::Void
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let a = fb.const_int(6);
+        let b = fb.const_int(7);
+        let r = fb.imul(a, b);
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.const_fold, 1);
+        // The returned value is now a constant 42.
+        let Terminator::Return(Some(v)) = g.block(g.entry()).term.clone() else {
+            panic!()
+        };
+        assert_eq!(g.as_const_int(v), Some(42));
+    }
+
+    #[test]
+    fn strength_reduces_identities() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let zero = fb.const_int(0);
+        let one = fb.const_int(1);
+        let a = fb.iadd(x, zero); // → x
+        let b = fb.imul(a, one); // → x
+        let c = fb.isub(b, b); // → 0
+        let r = fb.iadd(x, c); // → x
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert!(stats.strength_red >= 3, "{stats:?}");
+        let Terminator::Return(Some(v)) = g.block(g.entry()).term.clone() else {
+            panic!()
+        };
+        assert_eq!(v, x);
+    }
+
+    #[test]
+    fn prunes_constant_branch_and_merges() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.const_bool(true);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        let one = fb.const_int(1);
+        fb.ret(Some(one));
+        fb.switch_to(e);
+        let two = fb.const_int(2);
+        fb.ret(Some(two));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.branch_prune, 1);
+        assert!(stats.blocks_merged >= 1);
+        // Everything collapsed into the entry block.
+        assert_eq!(g.reachable_blocks().len(), 1);
+    }
+
+    #[test]
+    fn folds_instanceof_on_allocation() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let m = p.declare_function("f", vec![], Type::Bool);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let obj = fb.new_object(b);
+        let t = fb.instance_of(a, obj); // B <: A → true
+        fb.ret(Some(t));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.typecheck_fold, 1);
+        let Terminator::Return(Some(v)) = g.block(g.entry()).term.clone() else {
+            panic!()
+        };
+        assert_eq!(g.as_const_bool(v), Some(true));
+    }
+
+    #[test]
+    fn folds_unrelated_instanceof_to_false() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let _b = p.add_class("B", Some(a));
+        let c = p.add_class("C", Some(a));
+        let m = p.declare_function("f", vec![Type::Object(c)], Type::Bool);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let b_class = p.class_by_name("B").unwrap();
+        let t = fb.instance_of(b_class, x); // C unrelated to B → false
+        fb.ret(Some(t));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.typecheck_fold, 1);
+    }
+
+    #[test]
+    fn removes_safe_upcast() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let m = p.declare_function("f", vec![Type::Object(b)], Type::Object(a));
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let c = fb.cast(a, x);
+        fb.ret(Some(c));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.typecheck_fold, 1);
+        let Terminator::Return(Some(v)) = g.block(g.entry()).term.clone() else {
+            panic!()
+        };
+        assert_eq!(v, x);
+    }
+
+    #[test]
+    fn devirtualizes_exact_receiver() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let ma = p.declare_method(a, "run", vec![], Type::Int);
+        let mb = p.declare_method(b, "run", vec![], Type::Int);
+        for m in [ma, mb] {
+            let mut fb = FunctionBuilder::new(&p, m);
+            let k = fb.const_int(if m == ma { 1 } else { 2 });
+            fb.ret(Some(k));
+            let g = fb.finish();
+            p.define_method(m, g);
+        }
+        let f = p.declare_function("f", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, f);
+        let obj = fb.new_object(b);
+        let sel = fb.program().selector_by_name("run", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![obj]).unwrap();
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.devirt, 1);
+        let (_, call) = g.callsites()[0];
+        let Op::Call(info) = &g.inst(call).op else { panic!() };
+        assert_eq!(info.target, CallTarget::Static(mb));
+    }
+
+    #[test]
+    fn devirtualizes_by_cha_when_no_override() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let _b = p.add_class("B", Some(a));
+        let ma = p.declare_method(a, "run", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, ma);
+        let k = fb.const_int(1);
+        fb.ret(Some(k));
+        let g = fb.finish();
+        p.define_method(ma, g);
+        let f = p.declare_function("f", vec![Type::Object(a)], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, f);
+        let recv = fb.param(0);
+        let sel = fb.program().selector_by_name("run", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![recv]).unwrap();
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.devirt, 1, "CHA should devirtualize: no subclass overrides");
+    }
+
+    #[test]
+    fn inverts_not_of_comparison() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int, Type::Int], Type::Bool);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let lt = fb.cmp(CmpOp::ILt, a, b);
+        let ge = fb.not(lt);
+        fb.ret(Some(ge));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert!(stats.strength_red >= 1);
+        // The `not` collapsed into an IGe comparison.
+        let has_ge = g
+            .reachable_blocks()
+            .iter()
+            .flat_map(|&b| g.block(b).insts.clone())
+            .any(|i| matches!(g.inst(i).op, Op::Cmp(CmpOp::IGe)));
+        assert!(has_ge);
+    }
+
+    #[test]
+    fn nan_float_self_compare_not_folded() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Float], Type::Bool);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let eq = fb.cmp(CmpOp::FEq, x, x);
+        fb.ret(Some(eq));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.const_fold + stats.strength_red, 0, "x==x must survive for floats");
+    }
+
+    #[test]
+    fn trap_division_not_folded() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let a = fb.const_int(1);
+        let z = fb.const_int(0);
+        let d = fb.binop(BinOp::IDiv, a, z);
+        fb.ret(Some(d));
+        let mut g = fb.finish();
+        let stats = opt(&p, &mut g);
+        assert_eq!(stats.const_fold, 0, "division by zero must be preserved");
+        assert!(g
+            .reachable_blocks()
+            .iter()
+            .flat_map(|&b| g.block(b).insts.clone())
+            .any(|i| matches!(g.inst(i).op, Op::Bin(BinOp::IDiv))));
+    }
+}

@@ -1,0 +1,274 @@
+//! Conditional elimination: dominance-based folding of repeated branches.
+//!
+//! When a branch on `c` dominates a block that can only be reached through
+//! its then-edge (resp. else-edge), `c` is known `true` (resp. `false`)
+//! there; any further branch on the same SSA value folds. GVN runs first
+//! in the pipeline, so syntactically equal conditions share one value and
+//! this pass sees them. `not`-chains are followed.
+//!
+//! This is the cross-block complement of the canonicalizer's constant
+//! branch pruning, and matters after inlining duplicates guard patterns
+//! (e.g. two inlined bodies both checking `mode == FAST`).
+
+use std::collections::HashMap;
+
+use incline_ir::dom::DomTree;
+use incline_ir::graph::{Op, Terminator};
+use incline_ir::ids::{BlockId, ValueId};
+use incline_ir::{Graph, ValueDef};
+
+use crate::stats::OptStats;
+
+/// Runs conditional elimination; folded branches count as `branch_prune`.
+pub fn cond_elim(graph: &mut Graph) -> OptStats {
+    let mut stats = OptStats::new();
+    loop {
+        let dom = DomTree::compute(graph);
+        let preds = graph.predecessors();
+        let mut changed = false;
+        walk(graph, &dom, &preds, graph.entry(), &mut HashMap::new(), &mut stats, &mut changed);
+        if !changed {
+            break;
+        }
+        // CFG changed: recompute dominance and retry (rarely loops twice).
+    }
+    stats
+}
+
+/// Adds `value = known` plus facts implied through `not` chains.
+fn add_fact(graph: &Graph, facts: &mut HashMap<ValueId, bool>, value: ValueId, known: bool) {
+    facts.insert(value, known);
+    // x = not y: y's value is the negation.
+    let mut cur = value;
+    let mut cur_known = known;
+    while let ValueDef::Inst(i) = graph.value(cur).def {
+        if let Op::Not = graph.inst(i).op {
+            cur = graph.inst(i).args[0];
+            cur_known = !cur_known;
+            facts.insert(cur, cur_known);
+        } else {
+            break;
+        }
+    }
+}
+
+/// Looks a condition up in the fact set, following `not` chains upward
+/// (a branch on `not c` folds when `c` is known).
+fn lookup_fact(graph: &Graph, facts: &HashMap<ValueId, bool>, value: ValueId) -> Option<bool> {
+    let mut cur = value;
+    let mut flip = false;
+    loop {
+        if let Some(&k) = facts.get(&cur) {
+            return Some(k ^ flip);
+        }
+        match graph.value(cur).def {
+            ValueDef::Inst(i) if matches!(graph.inst(i).op, Op::Not) => {
+                cur = graph.inst(i).args[0];
+                flip = !flip;
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    graph: &mut Graph,
+    dom: &DomTree,
+    preds: &HashMap<BlockId, Vec<BlockId>>,
+    block: BlockId,
+    facts: &mut HashMap<ValueId, bool>,
+    stats: &mut OptStats,
+    changed: &mut bool,
+) {
+    // Fold this block's branch if the condition is known here.
+    if let Terminator::Branch { cond, then_dest, else_dest } = graph.block(block).term.clone() {
+        if let Some(known) = lookup_fact(graph, facts, cond) {
+            let (dest, args) = if known { then_dest } else { else_dest };
+            graph.set_terminator(block, Terminator::Jump(dest, args));
+            stats.branch_prune += 1;
+            *changed = true;
+        }
+    }
+
+    for &child in dom.children(block).to_vec().iter() {
+        // A fact holds in `child` when it is the unique CFG successor of
+        // one side of `block`'s branch (single predecessor ⇒ only entered
+        // through that edge).
+        let mut scoped = facts.clone();
+        if let Terminator::Branch { cond, then_dest, else_dest } = &graph.block(block).term {
+            let single_pred = preds.get(&child).map(|p| p.len() == 1 && p[0] == block).unwrap_or(false);
+            if single_pred && then_dest.0 != else_dest.0 {
+                if then_dest.0 == child {
+                    add_fact(graph, &mut scoped, *cond, true);
+                } else if else_dest.0 == child {
+                    add_fact(graph, &mut scoped, *cond, false);
+                }
+            }
+        }
+        walk(graph, dom, preds, child, &mut scoped, stats, changed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::types::{RetType, Type};
+    use incline_ir::verify::verify_graph;
+    use incline_ir::{CmpOp, Program};
+
+    /// if c { if c { A } else { B } } — the inner branch folds to A.
+    #[test]
+    fn folds_repeated_condition() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.param(0);
+        let outer_t = fb.add_block();
+        let outer_e = fb.add_block();
+        fb.branch(c, (outer_t, vec![]), (outer_e, vec![]));
+        fb.switch_to(outer_t);
+        let inner_t = fb.add_block();
+        let inner_e = fb.add_block();
+        fb.branch(c, (inner_t, vec![]), (inner_e, vec![]));
+        fb.switch_to(inner_t);
+        let one = fb.const_int(1);
+        fb.ret(Some(one));
+        fb.switch_to(inner_e);
+        let two = fb.const_int(2);
+        fb.ret(Some(two));
+        fb.switch_to(outer_e);
+        let three = fb.const_int(3);
+        fb.ret(Some(three));
+        let mut g = fb.finish();
+
+        let stats = cond_elim(&mut g);
+        assert_eq!(stats.branch_prune, 1);
+        verify_graph(&p, &g, &[Type::Bool], RetType::Value(Type::Int)).unwrap();
+        // inner_e became unreachable: entry, outer_t, inner_t, outer_e left.
+        assert_eq!(g.reachable_blocks().len(), 4);
+    }
+
+    /// The else-side knows the condition is false.
+    #[test]
+    fn folds_on_else_side() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.param(0);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        let one = fb.const_int(1);
+        fb.ret(Some(one));
+        fb.switch_to(e);
+        let t2 = fb.add_block();
+        let e2 = fb.add_block();
+        fb.branch(c, (t2, vec![]), (e2, vec![]));
+        fb.switch_to(t2);
+        let two = fb.const_int(2);
+        fb.ret(Some(two));
+        fb.switch_to(e2);
+        let three = fb.const_int(3);
+        fb.ret(Some(three));
+        let mut g = fb.finish();
+        let stats = cond_elim(&mut g);
+        assert_eq!(stats.branch_prune, 1);
+        // Only entry, e and e2 remain reachable besides t.
+        let incline_ir::Terminator::Jump(d, _) = &g.block(incline_ir::BlockId::new(2)).term else {
+            panic!("else-side branch must fold to a jump")
+        };
+        assert_eq!(d.index(), 4); // e2
+    }
+
+    /// `not c` facts propagate.
+    #[test]
+    fn follows_not_chains() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.param(0);
+        let nc = fb.not(c);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        // Inside the then-side, `not c` is false.
+        let t2 = fb.add_block();
+        let e2 = fb.add_block();
+        fb.branch(nc, (t2, vec![]), (e2, vec![]));
+        fb.switch_to(t2);
+        let one = fb.const_int(1);
+        fb.ret(Some(one));
+        fb.switch_to(e2);
+        let two = fb.const_int(2);
+        fb.ret(Some(two));
+        fb.switch_to(e);
+        let three = fb.const_int(3);
+        fb.ret(Some(three));
+        let mut g = fb.finish();
+        let stats = cond_elim(&mut g);
+        assert_eq!(stats.branch_prune, 1, "branch on `not c` must fold inside then-side");
+        verify_graph(&p, &g, &[Type::Bool], RetType::Value(Type::Int)).unwrap();
+    }
+
+    /// A merge point (two predecessors) must NOT inherit the fact.
+    #[test]
+    fn no_fact_at_merge_points() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.param(0);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        let (j, _) = fb.add_block_with_params(&[]);
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        fb.jump(j, vec![]);
+        fb.switch_to(e);
+        fb.jump(j, vec![]);
+        fb.switch_to(j);
+        // At the merge, c is unknown: this branch must survive.
+        let t2 = fb.add_block();
+        let e2 = fb.add_block();
+        fb.branch(c, (t2, vec![]), (e2, vec![]));
+        fb.switch_to(t2);
+        let one = fb.const_int(1);
+        fb.ret(Some(one));
+        fb.switch_to(e2);
+        let two = fb.const_int(2);
+        fb.ret(Some(two));
+        let mut g = fb.finish();
+        let stats = cond_elim(&mut g);
+        assert_eq!(stats.branch_prune, 0, "merge-point branches must not fold");
+    }
+
+    /// Loop headers keep their conditions (the fact does not dominate).
+    #[test]
+    fn loop_conditions_survive() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int]);
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        fb.jump(head, vec![zero]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], n);
+        fb.branch(c, (body, vec![]), (exit, vec![]));
+        fb.switch_to(body);
+        let one = fb.const_int(1);
+        let i2 = fb.iadd(hp[0], one);
+        fb.jump(head, vec![i2]);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let mut g = fb.finish();
+        let stats = cond_elim(&mut g);
+        assert_eq!(stats.branch_prune, 0);
+        verify_graph(&p, &g, &[Type::Int], RetType::Void).unwrap();
+    }
+}

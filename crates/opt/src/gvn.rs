@@ -1,0 +1,213 @@
+//! Global value numbering over the dominator tree.
+//!
+//! Pure, non-memory operations with identical opcodes and operands are
+//! deduplicated: an occurrence dominated by an equivalent earlier occurrence
+//! is replaced by it. Commutative operators are normalized by sorting their
+//! operands first.
+
+use std::collections::HashMap;
+
+use incline_ir::dom::DomTree;
+use incline_ir::graph::{Op, Terminator};
+use incline_ir::ids::{BlockId, InstId, ValueId};
+use incline_ir::Graph;
+
+use crate::stats::OptStats;
+
+/// Hashable identity of a value-numberable instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    ConstInt(i64),
+    ConstFloat(u64),
+    ConstBool(bool),
+    ConstNull(incline_ir::Type),
+    Bin(incline_ir::BinOp, ValueId, ValueId),
+    Cmp(incline_ir::CmpOp, ValueId, ValueId),
+    Unary(u8, ValueId),
+    InstanceOf(incline_ir::ClassId, ValueId),
+    ArrayLen(ValueId),
+}
+
+fn key_of(graph: &Graph, inst: InstId) -> Option<Key> {
+    let data = graph.inst(inst);
+    if !data.op.is_value_numberable() {
+        return None;
+    }
+    let arg = |k: usize| data.args[k];
+    Some(match &data.op {
+        Op::ConstInt(k) => Key::ConstInt(*k),
+        Op::ConstFloat(bits) => Key::ConstFloat(*bits),
+        Op::ConstBool(k) => Key::ConstBool(*k),
+        Op::ConstNull(t) => Key::ConstNull(*t),
+        Op::Bin(op) => {
+            let (mut a, mut b) = (arg(0), arg(1));
+            if op.is_commutative() && b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            Key::Bin(*op, a, b)
+        }
+        Op::Cmp(op) => Key::Cmp(*op, arg(0), arg(1)),
+        Op::Not => Key::Unary(0, arg(0)),
+        Op::INeg => Key::Unary(1, arg(0)),
+        Op::FNeg => Key::Unary(2, arg(0)),
+        Op::IntToFloat => Key::Unary(3, arg(0)),
+        Op::FloatToInt => Key::Unary(4, arg(0)),
+        Op::InstanceOf(c) => Key::InstanceOf(*c, arg(0)),
+        Op::ArrayLen => Key::ArrayLen(arg(0)),
+        _ => return None,
+    })
+}
+
+/// Runs GVN; returns the number of instructions deduplicated.
+pub fn gvn(graph: &mut Graph) -> OptStats {
+    let mut stats = OptStats::new();
+    let dom = DomTree::compute(graph);
+    let mut scope: HashMap<Key, ValueId> = HashMap::new();
+    let mut shadow: Vec<(Key, Option<ValueId>)> = Vec::new();
+    walk(graph, &dom, dom.rpo().first().copied(), &mut scope, &mut shadow, &mut stats);
+    stats
+}
+
+fn walk(
+    graph: &mut Graph,
+    dom: &DomTree,
+    block: Option<BlockId>,
+    scope: &mut HashMap<Key, ValueId>,
+    shadow: &mut Vec<(Key, Option<ValueId>)>,
+    stats: &mut OptStats,
+) {
+    let Some(block) = block else { return };
+    let frame = shadow.len();
+
+    let insts: Vec<InstId> = graph.block(block).insts.clone();
+    for inst in insts {
+        let Some(key) = key_of(graph, inst) else { continue };
+        match scope.get(&key) {
+            Some(&leader) => {
+                let result = graph.inst(inst).result.expect("numberable inst has a result");
+                graph.replace_all_uses(result, leader);
+                graph.remove_inst(block, inst);
+                stats.gvn += 1;
+            }
+            None => {
+                let result = graph.inst(inst).result.expect("numberable inst has a result");
+                shadow.push((key.clone(), scope.insert(key, result)));
+            }
+        }
+    }
+
+    // Also simplify terminators whose condition was deduplicated into a
+    // dominating constant — left to canonicalize; GVN stays scoped.
+    let _ = &graph.block(block).term;
+
+    for &child in dom.children(block).to_vec().iter() {
+        walk(graph, dom, Some(child), scope, shadow, stats);
+    }
+
+    // Pop scope entries introduced by this block.
+    while shadow.len() > frame {
+        let (key, prev) = shadow.pop().expect("frame tracked");
+        match prev {
+            Some(v) => {
+                scope.insert(key, v);
+            }
+            None => {
+                scope.remove(&key);
+            }
+        }
+    }
+    let _ = Terminator::Unterminated; // silence unused import pattern in some cfgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::graph::CmpOp;
+    use incline_ir::types::{RetType, Type};
+    use incline_ir::verify::verify_graph;
+    use incline_ir::Program;
+
+    #[test]
+    fn dedups_within_block() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int, Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let (a, b) = (fb.param(0), fb.param(1));
+        let s1 = fb.iadd(a, b);
+        let s2 = fb.iadd(b, a); // commutative duplicate
+        let r = fb.imul(s1, s2);
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = gvn(&mut g);
+        assert_eq!(stats.gvn, 1);
+        verify_graph(&p, &g, &[Type::Int, Type::Int], RetType::Value(Type::Int)).unwrap();
+    }
+
+    #[test]
+    fn dedups_across_dominating_blocks() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let one = fb.const_int(1);
+        let s1 = fb.iadd(x, one);
+        let c = fb.cmp(CmpOp::ILt, s1, x);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        let one_b = fb.const_int(1); // duplicate const in dominated block
+        let s2 = fb.iadd(x, one_b); // duplicate add in dominated block
+        fb.ret(Some(s2));
+        fb.switch_to(e);
+        fb.ret(Some(s1));
+        let mut g = fb.finish();
+        let stats = gvn(&mut g);
+        assert_eq!(stats.gvn, 2);
+        verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
+    }
+
+    #[test]
+    fn does_not_merge_across_siblings() {
+        // Values in sibling branches do not dominate one another.
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int, Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let c = fb.param(1);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        let (j, jp) = fb.add_block_with_params(&[Type::Int]);
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        let a1 = fb.iadd(x, x);
+        fb.jump(j, vec![a1]);
+        fb.switch_to(e);
+        let a2 = fb.iadd(x, x); // same expression, sibling block
+        fb.jump(j, vec![a2]);
+        fb.switch_to(j);
+        fb.ret(Some(jp[0]));
+        let mut g = fb.finish();
+        let stats = gvn(&mut g);
+        assert_eq!(stats.gvn, 0, "sibling duplicates must survive");
+        verify_graph(&p, &g, &[Type::Int, Type::Bool], RetType::Value(Type::Int)).unwrap();
+    }
+
+    #[test]
+    fn memory_reads_not_numbered() {
+        let mut p = Program::new();
+        let c = p.add_class("Box", None);
+        let f = p.add_field(c, "v", Type::Int);
+        let m = p.declare_function("f", vec![Type::Object(c)], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let obj = fb.param(0);
+        let l1 = fb.get_field(f, obj);
+        let l2 = fb.get_field(f, obj);
+        let r = fb.iadd(l1, l2);
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let stats = gvn(&mut g);
+        assert_eq!(stats.gvn, 0, "field loads are handled by read-write elimination, not GVN");
+    }
+}

@@ -1,0 +1,348 @@
+//! First-iteration loop peeling (paper §IV, *Other optimizations*).
+//!
+//! "At the end of every round, we also apply peeling on a loop's first
+//! iteration if we detect that the loop contains a φ-node whose type is
+//! more specific in that first iteration." In block-parameter SSA, the
+//! φ-node is a loop-header parameter; its first-iteration type is the type
+//! flowing in along the loop-entry edges. When that type is strictly
+//! narrower than the parameter's declared type, the first iteration is
+//! cloned in front of the loop with the narrowed types, which lets the
+//! canonicalizer devirtualize and fold inside the peeled copy.
+
+use std::collections::{HashMap, HashSet};
+
+use incline_ir::graph::Terminator;
+use incline_ir::ids::{BlockId, InstId, ValueId};
+use incline_ir::loops::{Loop, LoopForest};
+use incline_ir::types::Type;
+use incline_ir::{Graph, Program};
+
+use crate::stats::OptStats;
+use crate::typeprop::{lub, type_prop};
+
+/// Upper bound on the IR size of a loop considered for peeling.
+const PEEL_SIZE_CAP: usize = 120;
+
+/// Peels the first iteration of every loop whose header parameters carry
+/// strictly narrower types on the loop-entry edges than on the back edges.
+/// Returns counts (`stats.loops_peeled`).
+///
+/// Type propagation runs first: a parameter that is narrow on *every* edge
+/// (including back edges) is simply narrowed in place, no peel needed.
+/// Peeling fires only when iterations 2+ genuinely widen the type, so that
+/// specialization is possible in the first iteration alone.
+pub fn peel_loops(program: &Program, graph: &mut Graph) -> OptStats {
+    let mut stats = OptStats::new();
+    // Recompute after each peel: block sets change.
+    loop {
+        type_prop(program, graph);
+        let forest = LoopForest::compute(graph);
+        let candidate = forest.loops.iter().find(|l| should_peel(program, graph, l)).cloned();
+        match candidate {
+            Some(l) => {
+                peel_one(graph, &l);
+                stats.loops_peeled += 1;
+            }
+            None => break,
+        }
+        if stats.loops_peeled >= 8 {
+            break; // safety valve against pathological nests
+        }
+    }
+    stats
+}
+
+/// The paper's trigger: some header parameter is strictly narrower on the
+/// loop-entry edges than its (post-type-propagation) declared type.
+fn should_peel(program: &Program, graph: &Graph, l: &Loop) -> bool {
+    let size: usize = l
+        .blocks
+        .iter()
+        .map(|&b| {
+            let bd = graph.block(b);
+            bd.params.len() + bd.insts.len() + 1
+        })
+        .sum();
+    if size > PEEL_SIZE_CAP {
+        return false;
+    }
+    let entry_edges = entry_edges(graph, l);
+    if entry_edges.is_empty() {
+        return false;
+    }
+    let header_params = &graph.block(l.header).params;
+    (0..header_params.len()).any(|i| {
+        let declared = graph.value_type(header_params[i]);
+        if !matches!(declared, Type::Object(_)) {
+            return false;
+        }
+        let tys: Vec<Type> = entry_edges.iter().map(|(_, args)| graph.value_type(args[i])).collect();
+        lub(program, &tys).is_some_and(|t| t != declared && program.is_assignable(t, declared))
+    })
+}
+
+/// (pred, args) pairs for edges into the header from outside the loop.
+fn entry_edges(graph: &Graph, l: &Loop) -> Vec<(BlockId, Vec<ValueId>)> {
+    let mut out = Vec::new();
+    for b in graph.reachable_blocks() {
+        if l.contains(b) {
+            continue;
+        }
+        let term = &graph.block(b).term;
+        let edges: Vec<(BlockId, Vec<ValueId>)> = match term {
+            Terminator::Jump(d, args) => vec![(*d, args.clone())],
+            Terminator::Branch { then_dest, else_dest, .. } => {
+                vec![then_dest.clone(), else_dest.clone()]
+            }
+            _ => vec![],
+        };
+        for (d, args) in edges {
+            if d == l.header {
+                out.push((b, args));
+            }
+        }
+    }
+    out
+}
+
+/// Clones the loop body in front of the loop as the first iteration.
+fn peel_one(graph: &mut Graph, l: &Loop) {
+    let in_loop: HashSet<BlockId> = l.blocks.iter().copied().collect();
+    let edges = entry_edges(graph, l);
+
+    // --- clone shells + params ---------------------------------------------
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut value_map: HashMap<ValueId, ValueId> = HashMap::new();
+    for &b in &l.blocks {
+        let nb = graph.add_block();
+        block_map.insert(b, nb);
+        let params: Vec<ValueId> = graph.block(b).params.clone();
+        for p in params {
+            let np = graph.add_block_param(nb, graph.value_type(p));
+            value_map.insert(p, np);
+        }
+    }
+
+    // Narrow the cloned header's parameter types to the entry-edge types
+    // (when every entry edge agrees); this is the entire point of peeling.
+    {
+        let header_params: Vec<ValueId> = graph.block(l.header).params.clone();
+        for (i, &p) in header_params.iter().enumerate() {
+            let tys: Vec<Type> = edges.iter().map(|(_, args)| graph.value_type(args[i])).collect();
+            if let Some(first) = tys.first() {
+                if tys.iter().all(|t| t == first) {
+                    let np = value_map[&p];
+                    graph.set_value_type(np, *first);
+                }
+            }
+        }
+    }
+
+    // --- clone instructions (two-phase for forward refs) --------------------
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for &b in &l.blocks {
+        let nb = block_map[&b];
+        let insts: Vec<InstId> = graph.block(b).insts.clone();
+        for i in insts {
+            let (op, result_ty) = {
+                let d = graph.inst(i);
+                (d.op.clone(), d.result.map(|r| graph.value_type(r)))
+            };
+            let (ni, nres) = graph.append(nb, op, Vec::new(), result_ty);
+            inst_map.insert(i, ni);
+            let ores = graph.inst(i).result;
+            if let (Some(or), Some(nr)) = (ores, nres) {
+                value_map.insert(or, nr);
+            }
+        }
+    }
+    let map_v = |value_map: &HashMap<ValueId, ValueId>, v: ValueId| -> ValueId {
+        value_map.get(&v).copied().unwrap_or(v) // out-of-loop values map to themselves
+    };
+    for &b in &l.blocks {
+        let insts: Vec<InstId> = graph.block(b).insts.clone();
+        for i in insts {
+            let args: Vec<ValueId> = graph.inst(i).args.iter().map(|&a| map_v(&value_map, a)).collect();
+            graph.inst_mut(inst_map[&i]).args = args;
+        }
+        // Terminators: inside-loop edges to the header go back to the
+        // ORIGINAL header (iterations 2+ run the original loop); edges to
+        // other loop blocks go to clones; exits stay.
+        let map_edge = |value_map: &HashMap<ValueId, ValueId>,
+                        block_map: &HashMap<BlockId, BlockId>,
+                        d: BlockId,
+                        args: &[ValueId]|
+         -> (BlockId, Vec<ValueId>) {
+            let nd = if d == l.header {
+                l.header
+            } else if in_loop.contains(&d) {
+                block_map[&d]
+            } else {
+                d
+            };
+            (nd, args.iter().map(|&a| map_v(value_map, a)).collect())
+        };
+        let nterm = match graph.block(b).term.clone() {
+            Terminator::Jump(d, args) => {
+                let (nd, nargs) = map_edge(&value_map, &block_map, d, &args);
+                Terminator::Jump(nd, nargs)
+            }
+            Terminator::Branch { cond, then_dest, else_dest } => {
+                let (td, targs) = map_edge(&value_map, &block_map, then_dest.0, &then_dest.1);
+                let (ed, eargs) = map_edge(&value_map, &block_map, else_dest.0, &else_dest.1);
+                Terminator::Branch { cond: map_v(&value_map, cond), then_dest: (td, targs), else_dest: (ed, eargs) }
+            }
+            t @ Terminator::Return(_) => t,
+            Terminator::Unterminated => Terminator::Unterminated,
+        };
+        graph.set_terminator(block_map[&b], nterm);
+    }
+
+    // --- retarget the loop-entry edges to the peeled copy -------------------
+    let peeled_header = block_map[&l.header];
+    for (pred, _) in edges {
+        let term = graph.block(pred).term.clone();
+        let retarget = |d: BlockId| if d == l.header { peeled_header } else { d };
+        let nterm = match term {
+            Terminator::Jump(d, args) => Terminator::Jump(retarget(d), args),
+            Terminator::Branch { cond, then_dest, else_dest } => Terminator::Branch {
+                cond,
+                then_dest: (retarget(then_dest.0), then_dest.1),
+                else_dest: (retarget(else_dest.0), else_dest.1),
+            },
+            t => t,
+        };
+        graph.set_terminator(pred, nterm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::graph::CmpOp;
+    use incline_ir::types::RetType;
+    use incline_ir::verify::verify_graph;
+
+    /// Builds: loop over `n` iterations whose header param is declared as
+    /// the base class but receives a subclass on entry.
+    fn narrowable_loop() -> (Program, Graph) {
+        let mut p = Program::new();
+        let base = p.add_class("Base", None);
+        let sub = p.add_class("Sub", Some(base));
+        let m = p.declare_function("f", vec![Type::Int], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let obj = fb.new_object(sub);
+        let up = fb.cast(base, obj); // widen to Base for the loop param
+        let zero = fb.const_int(0);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int, Type::Object(base)]);
+        let body = fb.add_block();
+        let done = fb.add_block();
+        fb.jump(head, vec![zero, up]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], n);
+        fb.branch(c, (body, vec![]), (done, vec![]));
+        fb.switch_to(body);
+        let one = fb.const_int(1);
+        let i2 = fb.iadd(hp[0], one);
+        fb.print(hp[0]);
+        fb.jump(head, vec![i2, hp[1]]);
+        fb.switch_to(done);
+        fb.ret(None);
+        (p.clone(), fb.finish())
+    }
+
+    #[test]
+    fn no_peel_when_entry_type_matches_param() {
+        // The entry edge passes a value already widened to the declared
+        // parameter type (via `cast Base`), so there is nothing to narrow.
+        let (p, mut g) = narrowable_loop();
+        let stats = peel_loops(&p, &mut g);
+        assert_eq!(stats.loops_peeled, 0);
+    }
+
+    #[test]
+    fn peels_loop_with_narrower_entry_arg() {
+        let mut p = Program::new();
+        let base = p.add_class("Base", None);
+        let sub = p.add_class("Sub", Some(base));
+        let m = p.declare_function("f", vec![Type::Int], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let obj = fb.new_object(sub); // type Object(Sub), narrower than param
+        let zero = fb.const_int(0);
+        let head = fb.add_block();
+        // The loop param is declared with the WIDER type Object(Base) while
+        // the entry edge passes an Object(Sub): the peel trigger.
+        let mut graph = fb.finish();
+        let head_i = graph.add_block_param(head, Type::Int);
+        let head_o = graph.add_block_param(head, Type::Object(base));
+        let body = graph.add_block();
+        let done = graph.add_block();
+        graph.set_terminator(graph.entry(), Terminator::Jump(head, vec![zero, obj]));
+        let (_, c) = graph.append(
+            head,
+            incline_ir::Op::Cmp(CmpOp::ILt),
+            vec![head_i, n],
+            Some(Type::Bool),
+        );
+        graph.set_terminator(
+            head,
+            Terminator::Branch { cond: c.unwrap(), then_dest: (body, vec![]), else_dest: (done, vec![]) },
+        );
+        let (_, one) = graph.append(body, incline_ir::Op::ConstInt(1), vec![], Some(Type::Int));
+        let (_, i2) = graph.append(
+            body,
+            incline_ir::Op::Bin(incline_ir::BinOp::IAdd),
+            vec![head_i, one.unwrap()],
+            Some(Type::Int),
+        );
+        graph.append(body, incline_ir::Op::Print, vec![head_i], None);
+        // The back edge passes a value WIDENED to Base: only the first
+        // iteration sees the precise Sub type, which is the peel trigger.
+        let (_, widened) =
+            graph.append(body, incline_ir::Op::Cast(base), vec![head_o], Some(Type::Object(base)));
+        graph.set_terminator(body, Terminator::Jump(head, vec![i2.unwrap(), widened.unwrap()]));
+        graph.set_terminator(done, Terminator::Return(None));
+
+        verify_graph(&p, &graph, &[Type::Int], RetType::Void).unwrap();
+        let before_loops = LoopForest::compute(&graph).loops.len();
+        assert_eq!(before_loops, 1);
+        let stats = peel_loops(&p, &mut graph);
+        assert_eq!(stats.loops_peeled, 1);
+        verify_graph(&p, &graph, &[Type::Int], RetType::Void).unwrap();
+        // Still exactly one loop; the peeled copy is straight-line.
+        assert_eq!(LoopForest::compute(&graph).loops.len(), 1);
+        // The peeled header's object param is narrowed to Sub.
+        let peeled_params_narrowed = graph.reachable_blocks().iter().any(|&b| {
+            graph.block(b).params.iter().any(|&pv| graph.value_type(pv) == Type::Object(sub))
+        });
+        assert!(peeled_params_narrowed);
+    }
+
+    #[test]
+    fn no_peel_without_narrowing() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int]);
+        let body = fb.add_block();
+        let done = fb.add_block();
+        fb.jump(head, vec![zero]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], n);
+        fb.branch(c, (body, vec![]), (done, vec![]));
+        fb.switch_to(body);
+        let one = fb.const_int(1);
+        let i2 = fb.iadd(hp[0], one);
+        fb.jump(head, vec![i2]);
+        fb.switch_to(done);
+        fb.ret(None);
+        let mut g = fb.finish();
+        let stats = peel_loops(&p, &mut g);
+        assert_eq!(stats.loops_peeled, 0, "int params never narrow");
+    }
+}

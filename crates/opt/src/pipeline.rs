@@ -1,0 +1,151 @@
+//! The pass pipeline used by compilations and by deep inlining trials.
+//!
+//! [`optimize`] is the full bundle run on specialized call-tree graphs and
+//! on root methods between inlining rounds: canonicalize → GVN →
+//! read–write elimination → DCE, iterated to a fixpoint, with optional loop
+//! peeling at the end (the paper peels "at the end of every round").
+
+use incline_ir::{Graph, Program};
+
+use crate::canonicalize::canonicalize;
+use crate::dce::dce;
+use crate::gvn::gvn;
+use crate::peel::peel_loops;
+use crate::rwelim::rw_elim;
+use crate::stats::OptStats;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Apply first-iteration loop peeling after the scalar fixpoint.
+    pub peel_loops: bool,
+    /// Upper bound on fixpoint rounds (each round is itself a fixpoint of
+    /// canonicalization, so 2–3 rounds almost always suffice).
+    pub max_rounds: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { peel_loops: true, max_rounds: 4 }
+    }
+}
+
+/// Runs the full pipeline with the default configuration.
+pub fn optimize(program: &Program, graph: &mut Graph) -> OptStats {
+    optimize_with(program, graph, PipelineConfig::default())
+}
+
+/// Runs the full pipeline with an explicit configuration.
+pub fn optimize_with(program: &Program, graph: &mut Graph, config: PipelineConfig) -> OptStats {
+    let mut total = OptStats::new();
+    for _ in 0..config.max_rounds {
+        let mut round = OptStats::new();
+        let narrowed = crate::typeprop::type_prop(program, graph);
+        round += canonicalize(program, graph);
+        round += gvn(graph);
+        round += crate::condelim::cond_elim(graph);
+        round += rw_elim(program, graph);
+        round += dce(graph);
+        let progress = round.any() || narrowed;
+        total += round;
+        if !progress {
+            break;
+        }
+    }
+    if config.peel_loops {
+        let peeled = peel_loops(program, graph);
+        if peeled.any() {
+            total += peeled;
+            // Clean up the peeled copy (narrowed types enable folding).
+            total += canonicalize(program, graph);
+            total += gvn(graph);
+            total += rw_elim(program, graph);
+            total += dce(graph);
+        }
+    }
+    total
+}
+
+/// Runs only the scalar bundle (no peeling) — used by deep inlining trials,
+/// which the paper describes as running "canonicalization".
+pub fn canonicalize_bundle(program: &Program, graph: &mut Graph) -> OptStats {
+    optimize_with(program, graph, PipelineConfig { peel_loops: false, max_rounds: 3 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::graph::CmpOp;
+    use incline_ir::types::{RetType, Type};
+    use incline_ir::verify::verify_graph;
+
+    #[test]
+    fn pipeline_reaches_fixpoint_and_verifies() {
+        let mut p = Program::new();
+        let c = p.add_class("Box", None);
+        let f = p.add_field(c, "v", Type::Int);
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        // Storage round-trip + constant branch + dead code, all at once.
+        let obj = fb.new_object(c);
+        fb.set_field(f, obj, x);
+        let l = fb.get_field(f, obj);
+        let t = fb.const_bool(true);
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.branch(t, (b1, vec![]), (b2, vec![]));
+        fb.switch_to(b1);
+        let two = fb.const_int(2);
+        let r = fb.imul(l, two); // becomes l << 1
+        fb.ret(Some(r));
+        fb.switch_to(b2);
+        let dead = fb.iadd(x, x);
+        fb.ret(Some(dead));
+        let mut g = fb.finish();
+        let stats = optimize(&p, &mut g);
+        assert!(stats.rw_elim >= 1, "{stats:?}");
+        assert!(stats.branch_prune >= 1, "{stats:?}");
+        assert!(stats.strength_red >= 1, "{stats:?}");
+        assert!(stats.dce >= 1, "{stats:?}");
+        verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
+        // Re-running the pipeline finds nothing new.
+        let again = optimize(&p, &mut g);
+        assert!(!again.any(), "{again:?}");
+    }
+
+    #[test]
+    fn whole_loop_collapses_for_constant_bounds() {
+        // for (i = 0; i < 1; i++) { acc += 3 } — peeling + folding + branch
+        // pruning should reduce the loop to a constant.
+        let mut p = Program::new();
+        let base = p.add_class("Base", None);
+        let sub = p.add_class("Sub", Some(base));
+        let _ = (base, sub);
+        let m = p.declare_function("f", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let zero = fb.const_int(0);
+        let one = fb.const_int(1);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int, Type::Int]);
+        let body = fb.add_block();
+        let done = fb.add_block();
+        fb.jump(head, vec![zero, zero]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], one);
+        fb.branch(c, (body, vec![]), (done, vec![]));
+        fb.switch_to(body);
+        let three = fb.const_int(3);
+        let acc2 = fb.iadd(hp[1], three);
+        let i2 = fb.iadd(hp[0], one);
+        fb.jump(head, vec![i2, acc2]);
+        fb.switch_to(done);
+        fb.ret(Some(hp[1]));
+        let mut g = fb.finish();
+        optimize(&p, &mut g);
+        verify_graph(&p, &g, &[], RetType::Value(Type::Int)).unwrap();
+        // Without loop unrolling we don't require a full collapse, but the
+        // graph must not have grown out of control.
+        assert!(g.size() < 40, "size = {}", g.size());
+    }
+}

@@ -1,0 +1,100 @@
+//! Optimization event counting.
+//!
+//! Deep inlining trials (paper §IV) estimate a callee's benefit from the
+//! number of *simple optimizations* its specialization triggers — `N_o(n)`
+//! in Equation 4. Every pass therefore reports what it did through
+//! [`OptStats`].
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of optimization events performed by the pass pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Constants folded (arithmetic, comparisons, conversions).
+    pub const_fold: u64,
+    /// Strength reductions / algebraic simplifications.
+    pub strength_red: u64,
+    /// Branches with statically known conditions removed.
+    pub branch_prune: u64,
+    /// `instanceof`/`cast` resolved from static type information.
+    pub typecheck_fold: u64,
+    /// Virtual calls devirtualized (exact type or CHA).
+    pub devirt: u64,
+    /// Values deduplicated by global value numbering.
+    pub gvn: u64,
+    /// Loads forwarded / stores eliminated by read–write elimination.
+    pub rw_elim: u64,
+    /// Dead instructions removed.
+    pub dce: u64,
+    /// Straight-line block pairs merged.
+    pub blocks_merged: u64,
+    /// Loops whose first iteration was peeled.
+    pub loops_peeled: u64,
+}
+
+impl OptStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `N_o(n)`: the count of *simple* optimizations used in
+    /// the local-benefit estimate of Equation 4 (canonicalization-class
+    /// events; structural cleanups like DCE and block merging excluded).
+    pub fn simple_count(&self) -> u64 {
+        self.const_fold + self.strength_red + self.branch_prune + self.typecheck_fold + self.devirt + self.gvn
+    }
+
+    /// Total number of events of any kind.
+    pub fn total(&self) -> u64 {
+        self.simple_count() + self.rw_elim + self.dce + self.blocks_merged + self.loops_peeled
+    }
+
+    /// Whether any event at all was recorded.
+    pub fn any(&self) -> bool {
+        self.total() != 0
+    }
+}
+
+impl Add for OptStats {
+    type Output = OptStats;
+
+    fn add(mut self, rhs: OptStats) -> OptStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for OptStats {
+    fn add_assign(&mut self, rhs: OptStats) {
+        self.const_fold += rhs.const_fold;
+        self.strength_red += rhs.strength_red;
+        self.branch_prune += rhs.branch_prune;
+        self.typecheck_fold += rhs.typecheck_fold;
+        self.devirt += rhs.devirt;
+        self.gvn += rhs.gvn;
+        self.rw_elim += rhs.rw_elim;
+        self.dce += rhs.dce;
+        self.blocks_merged += rhs.blocks_merged;
+        self.loops_peeled += rhs.loops_peeled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_componentwise() {
+        let a = OptStats { const_fold: 1, gvn: 2, ..OptStats::new() };
+        let b = OptStats { const_fold: 3, dce: 4, ..OptStats::new() };
+        let c = a + b;
+        assert_eq!(c.const_fold, 4);
+        assert_eq!(c.gvn, 2);
+        assert_eq!(c.dce, 4);
+        assert_eq!(c.simple_count(), 6);
+        assert_eq!(c.total(), 10);
+        assert!(c.any());
+        assert!(!OptStats::new().any());
+    }
+}

@@ -1,0 +1,272 @@
+#![warn(missing_docs)]
+
+//! # incline-profile
+//!
+//! Runtime profiles collected by the interpreting tier and consumed by the
+//! inliners, mirroring the HotSpot profiles the paper relies on (§IV):
+//!
+//! * **invocation counters** per method (hotness),
+//! * **back-edge counters** per method (loopy hotness),
+//! * **per-callsite execution counts**, from which the relative call
+//!   frequency `f(n)` of Equation 4 is derived,
+//! * **receiver type histograms** per callsite, driving speculative
+//!   polymorphic inlining (the paper's typeswitch with ≤3 targets at ≥10%
+//!   probability each).
+//!
+//! Profiles are keyed by [`CallSiteId`], which survives graph cloning and
+//! inlining, so a callsite transplanted deep into another compilation unit
+//! still finds its data.
+
+use std::collections::HashMap;
+
+use incline_ir::{BlockId, CallSiteId, ClassId, MethodId};
+
+/// Profile data for one method.
+#[derive(Clone, Debug, Default)]
+pub struct MethodProfile {
+    /// Number of activations (interpreted executions).
+    pub invocations: u64,
+    /// Executions of each basic block of the *original* method graph.
+    pub block_counts: HashMap<BlockId, u64>,
+    /// Loop back edges taken inside this method.
+    pub backedges: u64,
+    /// Executions of each callsite (by per-method site index).
+    pub callsite_counts: HashMap<u32, u64>,
+    /// Receiver class histogram of each virtual callsite.
+    pub receivers: HashMap<u32, HashMap<ClassId, u64>>,
+}
+
+/// One entry of a receiver type profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReceiverEntry {
+    /// Observed dynamic receiver class.
+    pub class: ClassId,
+    /// Fraction of executions dispatching to this class (0–1).
+    pub probability: f64,
+    /// Raw observation count.
+    pub count: u64,
+}
+
+/// All profiles of a program run.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileTable {
+    methods: HashMap<MethodId, MethodProfile>,
+}
+
+impl ProfileTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profile of a method, if it was ever executed.
+    pub fn method(&self, m: MethodId) -> Option<&MethodProfile> {
+        self.methods.get(&m)
+    }
+
+    /// Mutable profile of a method, created on first use.
+    pub fn method_mut(&mut self, m: MethodId) -> &mut MethodProfile {
+        self.methods.entry(m).or_default()
+    }
+
+    // ---- recording (called by the interpreting tier) ----------------------
+
+    /// Records one activation of `m`.
+    pub fn record_invocation(&mut self, m: MethodId) {
+        self.method_mut(m).invocations += 1;
+    }
+
+    /// Records one execution of block `b` of method `m`.
+    pub fn record_block(&mut self, m: MethodId, b: BlockId) {
+        *self.method_mut(m).block_counts.entry(b).or_insert(0) += 1;
+    }
+
+    /// Records one taken loop back edge in `m`.
+    pub fn record_backedge(&mut self, m: MethodId) {
+        self.method_mut(m).backedges += 1;
+    }
+
+    /// Records one execution of a callsite.
+    pub fn record_callsite(&mut self, site: CallSiteId) {
+        *self.method_mut(site.method).callsite_counts.entry(site.index).or_insert(0) += 1;
+    }
+
+    /// Records the dynamic receiver class observed at a virtual callsite.
+    pub fn record_receiver(&mut self, site: CallSiteId, class: ClassId) {
+        *self
+            .method_mut(site.method)
+            .receivers
+            .entry(site.index)
+            .or_default()
+            .entry(class)
+            .or_insert(0) += 1;
+    }
+
+    // ---- queries (used by the inliners) ------------------------------------
+
+    /// Invocation count of `m` (0 when never interpreted).
+    pub fn invocations(&self, m: MethodId) -> u64 {
+        self.method(m).map_or(0, |p| p.invocations)
+    }
+
+    /// Back-edge count of `m`.
+    pub fn backedges(&self, m: MethodId) -> u64 {
+        self.method(m).map_or(0, |p| p.backedges)
+    }
+
+    /// Raw execution count of a callsite.
+    pub fn callsite_count(&self, site: CallSiteId) -> u64 {
+        self.method(site.method)
+            .and_then(|p| p.callsite_counts.get(&site.index))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The *local* frequency of a callsite: executions per activation of
+    /// its enclosing method. Greater than 1 inside loops, smaller than 1 on
+    /// cold branches. Falls back to 1.0 when the method was never profiled
+    /// (the inliners must behave sensibly on cold code).
+    pub fn local_frequency(&self, site: CallSiteId) -> f64 {
+        match self.method(site.method) {
+            Some(p) if p.invocations > 0 => {
+                let c = p.callsite_counts.get(&site.index).copied().unwrap_or(0);
+                c as f64 / p.invocations as f64
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The receiver histogram of a virtual callsite, most frequent first.
+    pub fn receiver_profile(&self, site: CallSiteId) -> Vec<ReceiverEntry> {
+        let Some(hist) = self.method(site.method).and_then(|p| p.receivers.get(&site.index)) else {
+            return Vec::new();
+        };
+        let total: u64 = hist.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut entries: Vec<ReceiverEntry> = hist
+            .iter()
+            .map(|(&class, &count)| ReceiverEntry {
+                class,
+                probability: count as f64 / total as f64,
+                count,
+            })
+            .collect();
+        // Sort by count descending, class id ascending for determinism.
+        entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.class.cmp(&b.class)));
+        entries
+    }
+
+    /// Merges another table into this one (used when profiles from several
+    /// benchmark iterations are aggregated).
+    pub fn merge(&mut self, other: &ProfileTable) {
+        for (&m, mp) in &other.methods {
+            let dst = self.method_mut(m);
+            dst.invocations += mp.invocations;
+            dst.backedges += mp.backedges;
+            for (&b, &c) in &mp.block_counts {
+                *dst.block_counts.entry(b).or_insert(0) += c;
+            }
+            for (&s, &c) in &mp.callsite_counts {
+                *dst.callsite_counts.entry(s).or_insert(0) += c;
+            }
+            for (&s, hist) in &mp.receivers {
+                let d = dst.receivers.entry(s).or_default();
+                for (&cl, &c) in hist {
+                    *d.entry(cl).or_insert(0) += c;
+                }
+            }
+        }
+    }
+
+    /// Clears all data (profile decay between phases).
+    pub fn clear(&mut self) {
+        self.methods.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(m: usize, i: u32) -> CallSiteId {
+        CallSiteId { method: MethodId::new(m), index: i }
+    }
+
+    #[test]
+    fn local_frequency_counts_per_activation() {
+        let mut t = ProfileTable::new();
+        let m = MethodId::new(0);
+        for _ in 0..4 {
+            t.record_invocation(m);
+        }
+        for _ in 0..12 {
+            t.record_callsite(site(0, 0)); // a loop body callsite
+        }
+        t.record_callsite(site(0, 1)); // a cold callsite
+        assert_eq!(t.local_frequency(site(0, 0)), 3.0);
+        assert_eq!(t.local_frequency(site(0, 1)), 0.25);
+        assert_eq!(t.local_frequency(site(0, 9)), 0.0);
+    }
+
+    #[test]
+    fn unprofiled_method_defaults_to_one() {
+        let t = ProfileTable::new();
+        assert_eq!(t.local_frequency(site(5, 0)), 1.0);
+    }
+
+    #[test]
+    fn receiver_profile_sorted_and_normalized() {
+        let mut t = ProfileTable::new();
+        let s = site(0, 0);
+        for _ in 0..6 {
+            t.record_receiver(s, ClassId::new(2));
+        }
+        for _ in 0..3 {
+            t.record_receiver(s, ClassId::new(1));
+        }
+        t.record_receiver(s, ClassId::new(7));
+        let prof = t.receiver_profile(s);
+        assert_eq!(prof.len(), 3);
+        assert_eq!(prof[0].class, ClassId::new(2));
+        assert!((prof[0].probability - 0.6).abs() < 1e-12);
+        assert_eq!(prof[1].class, ClassId::new(1));
+        assert_eq!(prof[2].class, ClassId::new(7));
+        assert!((prof.iter().map(|e| e.probability).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_receiver_profile() {
+        let t = ProfileTable::new();
+        assert!(t.receiver_profile(site(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProfileTable::new();
+        let mut b = ProfileTable::new();
+        let m = MethodId::new(1);
+        a.record_invocation(m);
+        b.record_invocation(m);
+        b.record_invocation(m);
+        a.record_callsite(site(1, 0));
+        b.record_callsite(site(1, 0));
+        b.record_receiver(site(1, 0), ClassId::new(0));
+        a.merge(&b);
+        assert_eq!(a.invocations(m), 3);
+        assert_eq!(a.callsite_count(site(1, 0)), 2);
+        assert_eq!(a.receiver_profile(site(1, 0)).len(), 1);
+    }
+
+    #[test]
+    fn blocks_and_backedges() {
+        let mut t = ProfileTable::new();
+        let m = MethodId::new(0);
+        t.record_block(m, BlockId::new(0));
+        t.record_block(m, BlockId::new(0));
+        t.record_backedge(m);
+        assert_eq!(t.method(m).unwrap().block_counts[&BlockId::new(0)], 2);
+        assert_eq!(t.backedges(m), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The contract between the VM's compile broker and inlining algorithms.
+//!
+//! Every inliner in this project — the paper's incremental algorithm
+//! (`incline-core`), the greedy and C2-style baselines
+//! (`incline-baselines`), and the trivial ones here — implements
+//! [`Inliner`]. The VM hands it a compilation request (the root method and
+//! the profiling context) and installs whatever graph comes back.
+
+use incline_ir::{Graph, MethodId, Program};
+use incline_profile::ProfileTable;
+
+/// Read-only context available to a compilation.
+#[derive(Clone, Copy)]
+pub struct CompileCx<'a> {
+    /// The program being executed.
+    pub program: &'a Program,
+    /// Profiles gathered by the interpreting tier.
+    pub profiles: &'a ProfileTable,
+}
+
+/// Statistics reported by a compilation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InlineStats {
+    /// Callsites replaced by callee bodies (incl. nested ones).
+    pub inlined_calls: u64,
+    /// Expand/analyze/inline rounds executed (1 for single-pass inliners).
+    pub rounds: u64,
+    /// Total IR nodes of callee graphs explored (expansion work).
+    pub explored_nodes: u64,
+    /// IR size of the root graph after compilation.
+    pub final_size: u64,
+    /// Optimization events triggered during compilation.
+    pub opt_events: u64,
+}
+
+/// The result of one compilation request.
+#[derive(Clone, Debug)]
+pub struct CompileOutcome {
+    /// The optimized graph to install.
+    pub graph: Graph,
+    /// IR nodes processed (drives the simulated compilation latency).
+    pub work_nodes: usize,
+    /// Reporting counters.
+    pub stats: InlineStats,
+}
+
+/// An inlining algorithm driving a compilation.
+pub trait Inliner {
+    /// Short stable name used in benchmark tables.
+    fn name(&self) -> &str;
+
+    /// Compiles `method`: clones its graph, performs inline substitution
+    /// according to the algorithm's policy, optimizes, and returns the
+    /// graph to install.
+    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome;
+}
+
+/// Baseline that never inlines; it still runs the optimization pipeline
+/// (this isolates inlining effects from scalar optimizations).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoInline;
+
+impl Inliner for NoInline {
+    fn name(&self) -> &str {
+        "no-inline"
+    }
+
+    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+        let mut graph = cx.program.method(method).graph.clone();
+        let before = graph.size();
+        let stats = incline_opt::optimize(cx.program, &mut graph);
+        let final_size = graph.size();
+        CompileOutcome {
+            graph,
+            work_nodes: before + final_size,
+            stats: InlineStats {
+                inlined_calls: 0,
+                rounds: 1,
+                explored_nodes: 0,
+                final_size: final_size as u64,
+                opt_events: stats.total(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::Type;
+
+    #[test]
+    fn no_inline_optimizes_but_keeps_calls() {
+        let mut p = Program::new();
+        let callee = p.declare_function("c", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, callee);
+        let k = fb.const_int(1);
+        fb.ret(Some(k));
+        let g = fb.finish();
+        p.define_method(callee, g);
+        let root = p.declare_function("r", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let a = fb.const_int(20);
+        let b = fb.const_int(22);
+        let s = fb.iadd(a, b);
+        let c = fb.call_static(callee, vec![]).unwrap();
+        let r = fb.iadd(s, c);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(root, g);
+
+        let profiles = ProfileTable::new();
+        let cx = CompileCx { program: &p, profiles: &profiles };
+        let out = NoInline.compile(root, &cx);
+        assert_eq!(out.stats.inlined_calls, 0);
+        assert!(out.stats.opt_events >= 1, "constant fold expected");
+        assert_eq!(out.graph.callsites().len(), 1, "the call must survive");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # incline-vm
+//!
+//! The JIT host substrate: a deterministic, tiered virtual machine for
+//! [`incline_ir`] programs.
+//!
+//! * [`Machine`]: profiling interpreter + compile broker + code cache.
+//!   Methods start interpreted (collecting [`incline_profile`] data) and
+//!   are compiled by the configured [`Inliner`] when hot.
+//! * [`CostModel`]: simulated cycles with interpreter dispatch premiums,
+//!   call overheads, and instruction-cache pressure — the terrain on which
+//!   inlining decisions are evaluated (see DESIGN.md §6).
+//! * [`runner`]: the paper's measurement protocol (peak performance =
+//!   mean of the last 40% of repetitions, at most 20).
+//!
+//! ```
+//! use incline_ir::{Program, FunctionBuilder, Type};
+//! use incline_vm::{Machine, VmConfig, Value, NoInline};
+//!
+//! let mut p = Program::new();
+//! let m = p.declare_function("answer", vec![], Type::Int);
+//! let mut fb = FunctionBuilder::new(&p, m);
+//! let k = fb.const_int(42);
+//! fb.ret(Some(k));
+//! let body = fb.finish();
+//! p.define_method(m, body);
+//!
+//! let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig::default());
+//! let out = vm.run(m, vec![])?;
+//! assert_eq!(out.value, Some(Value::Int(42)));
+//! # Ok::<(), incline_vm::ExecError>(())
+//! ```
+
+pub mod cost;
+pub mod inliner;
+pub mod machine;
+pub mod runner;
+pub mod value;
+
+pub use cost::{CostModel, Tier};
+pub use inliner::{CompileCx, CompileOutcome, InlineStats, Inliner, NoInline};
+pub use machine::{ExecError, Machine, RunOutcome, VmConfig};
+pub use runner::{run_benchmark, BenchResult, BenchSpec};
+pub use value::{Heap, HeapCell, HeapRef, Output, Value};

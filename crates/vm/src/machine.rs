@@ -1,0 +1,719 @@
+//! The tiered virtual machine: profiling interpreter, compile broker and
+//! code cache.
+//!
+//! Execution starts in the interpreting tier, which records profiles
+//! ([`ProfileTable`]) and pays a per-instruction dispatch premium. When a
+//! method's hotness counters cross the threshold, the broker invokes the
+//! configured [`Inliner`] and installs the returned graph in the code
+//! cache; subsequent activations run in the compiled tier. Compilation
+//! latency and instruction-cache pressure are charged per the
+//! [`CostModel`], so both under- and over-inlining are measurably bad —
+//! the terrain the paper's algorithm navigates.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use incline_ir::eval::{self, TrapKind};
+use incline_ir::graph::{CallTarget, Op, Terminator};
+use incline_ir::loops::LoopForest;
+use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
+use incline_profile::ProfileTable;
+
+use crate::cost::{CostModel, Tier};
+use crate::inliner::{CompileCx, CompileOutcome, Inliner};
+use crate::value::{Heap, HeapCell, Output, Value};
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Cost model constants.
+    pub cost: CostModel,
+    /// Hotness threshold: a method compiles once
+    /// `invocations + backedges/4` reaches this value.
+    pub hotness_threshold: u64,
+    /// Whether the JIT is enabled (false = pure interpreter).
+    pub jit: bool,
+    /// Maximum interpreter steps per `run` (runaway protection).
+    pub fuel_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            cost: CostModel::default(),
+            hotness_threshold: 40,
+            jit: true,
+            fuel_steps: 500_000_000,
+            // Each guest frame costs a host frame; stay well inside the
+            // 2 MiB default stack of Rust test threads.
+            max_depth: 400,
+        }
+    }
+}
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A runtime trap (the program's own fault).
+    Trap(TrapKind),
+    /// Call depth exceeded [`VmConfig::max_depth`].
+    StackOverflow,
+    /// Step budget exceeded [`VmConfig::fuel_steps`].
+    OutOfFuel,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Trap(t) => write!(f, "trap: {t}"),
+            ExecError::StackOverflow => write!(f, "stack overflow"),
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of one `run`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Return value of the entry method.
+    pub value: Option<Value>,
+    /// Cycles spent executing code this run.
+    pub exec_cycles: u64,
+    /// Cycles spent compiling this run.
+    pub compile_cycles: u64,
+    /// Observable output of the run.
+    pub output: Output,
+}
+
+impl RunOutcome {
+    /// Execution plus compilation cycles (what an iteration "takes").
+    pub fn total_cycles(&self) -> u64 {
+        self.exec_cycles + self.compile_cycles
+    }
+}
+
+struct CompiledMethod {
+    graph: Rc<Graph>,
+    #[allow(dead_code)]
+    bytes: u64,
+}
+
+/// The virtual machine.
+pub struct Machine<'p> {
+    program: &'p Program,
+    inliner: Box<dyn Inliner + 'p>,
+    config: VmConfig,
+    profiles: ProfileTable,
+    code: HashMap<MethodId, CompiledMethod>,
+    back_edges: HashMap<MethodId, HashSet<(BlockId, BlockId)>>,
+    installed_bytes: u64,
+    compilations: u64,
+    // Per-run state.
+    heap: Heap,
+    output: Output,
+    exec_cycles: u64,
+    run_compile_cycles: u64,
+    steps: u64,
+    // Lifetime totals.
+    total_compile_cycles: u64,
+    last_compile_stats: Vec<(MethodId, crate::inliner::InlineStats)>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a VM over `program` driven by `inliner`.
+    pub fn new(program: &'p Program, inliner: Box<dyn Inliner + 'p>, config: VmConfig) -> Self {
+        Machine {
+            program,
+            inliner,
+            config,
+            profiles: ProfileTable::new(),
+            code: HashMap::new(),
+            back_edges: HashMap::new(),
+            installed_bytes: 0,
+            compilations: 0,
+            heap: Heap::new(),
+            output: Output::new(),
+            exec_cycles: 0,
+            run_compile_cycles: 0,
+            steps: 0,
+            total_compile_cycles: 0,
+            last_compile_stats: Vec::new(),
+        }
+    }
+
+    /// Executes `entry(args)` once. Heap and output are fresh per run;
+    /// profiles and compiled code persist across runs (warmup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on traps, stack overflow or fuel exhaustion.
+    pub fn run(&mut self, entry: MethodId, args: Vec<Value>) -> Result<RunOutcome, ExecError> {
+        self.heap = Heap::new();
+        self.output = Output::new();
+        self.exec_cycles = 0;
+        self.run_compile_cycles = 0;
+        self.steps = 0;
+        let value = self.exec_method(entry, args, 0)?;
+        Ok(RunOutcome {
+            value,
+            exec_cycles: self.exec_cycles,
+            compile_cycles: self.run_compile_cycles,
+            output: std::mem::take(&mut self.output),
+        })
+    }
+
+    /// Total machine-code bytes currently installed.
+    pub fn installed_bytes(&self) -> u64 {
+        self.installed_bytes
+    }
+
+    /// Number of compilations performed.
+    pub fn compilations(&self) -> u64 {
+        self.compilations
+    }
+
+    /// Cycles spent in the compiler over the machine's lifetime.
+    pub fn total_compile_cycles(&self) -> u64 {
+        self.total_compile_cycles
+    }
+
+    /// The profile table (for inspection or seeding).
+    pub fn profiles(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// Mutable profile access (benchmarks pre-seed profiles).
+    pub fn profiles_mut(&mut self) -> &mut ProfileTable {
+        &mut self.profiles
+    }
+
+    /// Which methods are currently compiled.
+    pub fn compiled_methods(&self) -> Vec<MethodId> {
+        let mut v: Vec<MethodId> = self.code.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The installed graph of a compiled method, if any.
+    pub fn compiled_graph(&self, m: MethodId) -> Option<&Graph> {
+        self.code.get(&m).map(|cm| &*cm.graph)
+    }
+
+    /// Per-compilation inliner statistics, in compilation order.
+    pub fn compile_log(&self) -> &[(MethodId, crate::inliner::InlineStats)] {
+        &self.last_compile_stats
+    }
+
+    /// Force-compiles a method immediately (used by experiments that want
+    /// a deterministic compile point).
+    pub fn compile_now(&mut self, method: MethodId) {
+        if !self.code.contains_key(&method) {
+            self.compile(method);
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn hot(&self, method: MethodId) -> bool {
+        let inv = self.profiles.invocations(method);
+        let be = self.profiles.backedges(method);
+        inv + be / 4 >= self.config.hotness_threshold
+    }
+
+    fn compile(&mut self, method: MethodId) {
+        let cx = CompileCx { program: self.program, profiles: &self.profiles };
+        let CompileOutcome { graph, work_nodes, stats } = self.inliner.compile(method, &cx);
+        // Drop the tombstones passes leave behind: the interpreter sizes
+        // its register file by value_count, so installing compacted code
+        // is part of "code generation".
+        let graph = graph.compacted();
+        debug_assert!(
+            incline_ir::verify::verify_graph(
+                self.program,
+                &graph,
+                &self.program.method(method).params,
+                self.program.method(method).ret
+            )
+            .is_ok(),
+            "inliner {} produced an unverifiable graph for {}",
+            self.inliner.name(),
+            self.program.method(method).name
+        );
+        let bytes = self.config.cost.code_bytes(graph.size());
+        let compile_cycles = self.config.cost.compile_cost(work_nodes);
+        self.installed_bytes += bytes;
+        self.run_compile_cycles += compile_cycles;
+        self.total_compile_cycles += compile_cycles;
+        self.compilations += 1;
+        self.last_compile_stats.push((method, stats));
+        self.code.insert(method, CompiledMethod { graph: Rc::new(graph), bytes });
+    }
+
+    fn back_edge_set(&mut self, method: MethodId) -> HashSet<(BlockId, BlockId)> {
+        if let Some(s) = self.back_edges.get(&method) {
+            return s.clone();
+        }
+        let graph = &self.program.method(method).graph;
+        let forest = LoopForest::compute(graph);
+        let mut set = HashSet::new();
+        for l in &forest.loops {
+            for &tail in &l.back_edges {
+                set.insert((tail, l.header));
+            }
+        }
+        self.back_edges.insert(method, set.clone());
+        set
+    }
+
+    fn exec_method(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth > self.config.max_depth {
+            return Err(ExecError::StackOverflow);
+        }
+        if let Some(cm) = self.code.get(&method) {
+            let graph = Rc::clone(&cm.graph);
+            return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
+        }
+        // Interpreted activation: profile and maybe promote.
+        self.profiles.record_invocation(method);
+        if self.config.jit && self.hot(method) {
+            self.compile(method);
+            let cm = &self.code[&method];
+            let graph = Rc::clone(&cm.graph);
+            return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
+        }
+        let program = self.program;
+        let graph = &program.method(method).graph;
+        self.exec_graph(method, graph, Tier::Interpreted, args, depth)
+    }
+
+    fn exec_graph(
+        &mut self,
+        method: MethodId,
+        graph: &Graph,
+        tier: Tier,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        let profiling = tier == Tier::Interpreted;
+        let back_edges = if profiling { self.back_edge_set(method) } else { HashSet::new() };
+        let mut regs: Vec<Option<Value>> = vec![None; graph.value_count()];
+        let mut block = graph.entry();
+        {
+            let params = &graph.block(block).params;
+            debug_assert_eq!(params.len(), args.len(), "arity mismatch at activation");
+            for (&p, a) in params.iter().zip(args) {
+                regs[p.index()] = Some(a);
+            }
+        }
+
+        macro_rules! reg {
+            ($v:expr) => {
+                regs[$v.index()].expect("use of undefined register (verifier bug)")
+            };
+        }
+
+        loop {
+            if profiling {
+                self.profiles.record_block(method, block);
+            }
+            let bd = graph.block(block);
+            for &inst in &bd.insts {
+                self.steps += 1;
+                if self.steps > self.config.fuel_steps {
+                    return Err(ExecError::OutOfFuel);
+                }
+                let data = graph.inst(inst);
+                self.exec_cycles += self.config.cost.exec_cost(&data.op, tier, self.installed_bytes);
+                let result: Option<Value> = match &data.op {
+                    Op::Nop => None,
+                    Op::ConstInt(k) => Some(Value::Int(*k)),
+                    Op::ConstFloat(bits) => Some(Value::Float(f64::from_bits(*bits))),
+                    Op::ConstBool(b) => Some(Value::Bool(*b)),
+                    Op::ConstNull(_) => Some(Value::Null),
+                    Op::Bin(op) if op.is_float() => {
+                        let a = reg!(data.args[0]).as_float();
+                        let b = reg!(data.args[1]).as_float();
+                        Some(Value::Float(eval::eval_float_bin(*op, a, b)))
+                    }
+                    Op::Bin(op) => {
+                        let a = reg!(data.args[0]).as_int();
+                        let b = reg!(data.args[1]).as_int();
+                        Some(Value::Int(eval::eval_int_bin(*op, a, b).map_err(ExecError::Trap)?))
+                    }
+                    Op::Cmp(op) => {
+                        let a = reg!(data.args[0]);
+                        let b = reg!(data.args[1]);
+                        let r = match op {
+                            CmpOp::RefEq => match (a, b) {
+                                (Value::Null, Value::Null) => true,
+                                (Value::Ref(x), Value::Ref(y)) => x == y,
+                                _ => false,
+                            },
+                            CmpOp::FEq | CmpOp::FLt | CmpOp::FLe => {
+                                eval::eval_float_cmp(*op, a.as_float(), b.as_float())
+                            }
+                            _ => eval::eval_int_cmp(*op, a.as_int(), b.as_int()),
+                        };
+                        Some(Value::Bool(r))
+                    }
+                    Op::Not => Some(Value::Bool(!reg!(data.args[0]).as_bool())),
+                    Op::INeg => Some(Value::Int(reg!(data.args[0]).as_int().wrapping_neg())),
+                    Op::FNeg => Some(Value::Float(-reg!(data.args[0]).as_float())),
+                    Op::IntToFloat => Some(Value::Float(eval::int_to_float(reg!(data.args[0]).as_int()))),
+                    Op::FloatToInt => Some(Value::Int(eval::float_to_int(reg!(data.args[0]).as_float()))),
+                    Op::New(c) => Some(Value::Ref(self.heap.alloc_object(self.program, *c))),
+                    Op::GetField(f) => {
+                        let Value::Ref(r) = reg!(data.args[0]) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        let off = self.program.field(*f).offset;
+                        let HeapCell::Object { fields, .. } = self.heap.cell(r) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        Some(fields[off])
+                    }
+                    Op::SetField(f) => {
+                        let Value::Ref(r) = reg!(data.args[0]) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        let v = reg!(data.args[1]);
+                        let off = self.program.field(*f).offset;
+                        let HeapCell::Object { fields, .. } = self.heap.cell_mut(r) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        fields[off] = v;
+                        None
+                    }
+                    Op::NewArray(e) => {
+                        let len = reg!(data.args[0]).as_int();
+                        if len < 0 {
+                            return Err(ExecError::Trap(TrapKind::NegativeLength));
+                        }
+                        Some(Value::Ref(self.heap.alloc_array(*e, len as usize)))
+                    }
+                    Op::ArrayGet => {
+                        let Value::Ref(r) = reg!(data.args[0]) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        let idx = reg!(data.args[1]).as_int();
+                        let HeapCell::Array { data: arr, .. } = self.heap.cell(r) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        if idx < 0 || idx as usize >= arr.len() {
+                            return Err(ExecError::Trap(TrapKind::Bounds));
+                        }
+                        Some(arr[idx as usize])
+                    }
+                    Op::ArraySet => {
+                        let Value::Ref(r) = reg!(data.args[0]) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        let idx = reg!(data.args[1]).as_int();
+                        let v = reg!(data.args[2]);
+                        let HeapCell::Array { data: arr, .. } = self.heap.cell_mut(r) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        if idx < 0 || idx as usize >= arr.len() {
+                            return Err(ExecError::Trap(TrapKind::Bounds));
+                        }
+                        arr[idx as usize] = v;
+                        None
+                    }
+                    Op::ArrayLen => {
+                        let Value::Ref(r) = reg!(data.args[0]) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        let HeapCell::Array { data: arr, .. } = self.heap.cell(r) else {
+                            return Err(ExecError::Trap(TrapKind::NullDeref));
+                        };
+                        Some(Value::Int(arr.len() as i64))
+                    }
+                    Op::InstanceOf(c) => {
+                        let r = match reg!(data.args[0]) {
+                            Value::Null => false,
+                            Value::Ref(r) => match self.heap.cell(r) {
+                                HeapCell::Object { class, .. } => self.program.is_subclass(*class, *c),
+                                HeapCell::Array { .. } => false,
+                            },
+                            _ => false,
+                        };
+                        Some(Value::Bool(r))
+                    }
+                    Op::Cast(c) => {
+                        let v = reg!(data.args[0]);
+                        match v {
+                            Value::Null => Some(Value::Null),
+                            Value::Ref(r) => match self.heap.cell(r) {
+                                HeapCell::Object { class, .. } if self.program.is_subclass(*class, *c) => {
+                                    Some(v)
+                                }
+                                _ => return Err(ExecError::Trap(TrapKind::CastFailed)),
+                            },
+                            _ => return Err(ExecError::Trap(TrapKind::CastFailed)),
+                        }
+                    }
+                    Op::Print => {
+                        let v = reg!(data.args[0]);
+                        self.output.print(self.program, &self.heap, v);
+                        None
+                    }
+                    Op::Call(info) => {
+                        let call_args: Vec<Value> = data.args.iter().map(|&a| reg!(a)).collect();
+                        let (target, is_virtual) = match info.target {
+                            CallTarget::Static(m) => (m, false),
+                            CallTarget::Virtual(sel) => {
+                                let recv = call_args[0];
+                                let Value::Ref(r) = recv else {
+                                    return Err(ExecError::Trap(TrapKind::NullDeref));
+                                };
+                                let class = self.heap.class_of(r);
+                                if profiling {
+                                    self.profiles.record_receiver(info.site, class);
+                                }
+                                let m = self.program.resolve(class, sel).unwrap_or_else(|| {
+                                    panic!(
+                                        "no implementation of {} on {}",
+                                        self.program.selector(sel),
+                                        self.program.class(class).name
+                                    )
+                                });
+                                (m, true)
+                            }
+                        };
+                        if profiling {
+                            self.profiles.record_callsite(info.site);
+                        }
+                        self.exec_cycles += self.config.cost.call_cost(call_args.len(), is_virtual);
+                        self.exec_method(target, call_args, depth + 1)?
+                    }
+                };
+                if let Some(res) = data.result {
+                    regs[res.index()] = result;
+                } else {
+                    debug_assert!(
+                        result.is_none() || matches!(data.op, Op::Call(_)),
+                        "non-call op produced an unexpected result"
+                    );
+                }
+            }
+
+            // Terminator.
+            let (dest, edge_args): (BlockId, Vec<ValueId>) = match &bd.term {
+                Terminator::Return(v) => {
+                    return Ok(v.map(|v| reg!(v)));
+                }
+                Terminator::Jump(d, a) => (*d, a.clone()),
+                Terminator::Branch { cond, then_dest, else_dest } => {
+                    let taken = reg!(*cond).as_bool();
+                    let (d, a) = if taken { then_dest } else { else_dest };
+                    (*d, a.clone())
+                }
+                Terminator::Unterminated => {
+                    unreachable!("verified graphs have no unterminated blocks")
+                }
+            };
+            self.exec_cycles += self.config.cost.edge_cost(edge_args.len(), tier);
+            if profiling && back_edges.contains(&(block, dest)) {
+                self.profiles.record_backedge(method);
+            }
+            // Bind target params (read all values before writing: a block
+            // may pass its own params permuted).
+            let passed: Vec<Value> = edge_args.iter().map(|&a| reg!(a)).collect();
+            let target_params: Vec<ValueId> = graph.block(dest).params.clone();
+            for (&p, v) in target_params.iter().zip(passed) {
+                regs[p.index()] = Some(v);
+            }
+            block = dest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inliner::NoInline;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::types::RetType;
+    use incline_ir::Type;
+
+    /// sum(n) = 0 + 1 + … + (n-1)
+    fn sum_program() -> (Program, MethodId) {
+        let mut p = Program::new();
+        let m = p.declare_function("sum", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int, Type::Int]);
+        let body = fb.add_block();
+        let (done, dp) = fb.add_block_with_params(&[Type::Int]);
+        fb.jump(head, vec![zero, zero]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], n);
+        fb.branch(c, (body, vec![]), (done, vec![hp[1]]));
+        fb.switch_to(body);
+        let one = fb.const_int(1);
+        let i2 = fb.iadd(hp[0], one);
+        let a2 = fb.iadd(hp[1], hp[0]);
+        fb.jump(head, vec![i2, a2]);
+        fb.switch_to(done);
+        fb.ret(Some(dp[0]));
+        let g = fb.finish();
+        p.define_method(m, g);
+        (p, m)
+    }
+
+    #[test]
+    fn interprets_loop_correctly() {
+        let (p, m) = sum_program();
+        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+        assert_eq!(out.value, Some(Value::Int(45)));
+        assert!(out.exec_cycles > 0);
+        assert_eq!(out.compile_cycles, 0);
+    }
+
+    #[test]
+    fn profiles_accumulate_across_runs() {
+        let (p, m) = sum_program();
+        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        for _ in 0..5 {
+            vm.run(m, vec![Value::Int(4)]).unwrap();
+        }
+        assert_eq!(vm.profiles().invocations(m), 5);
+        assert_eq!(vm.profiles().backedges(m), 20);
+    }
+
+    #[test]
+    fn jit_promotes_hot_method_and_speeds_it_up() {
+        let (p, m) = sum_program();
+        let mut config = VmConfig::default();
+        config.hotness_threshold = 3;
+        let mut vm = Machine::new(&p, Box::new(NoInline), config);
+        let interp_cost = vm.run(m, vec![Value::Int(100)]).unwrap().exec_cycles;
+        vm.run(m, vec![Value::Int(100)]).unwrap();
+        vm.run(m, vec![Value::Int(100)]).unwrap(); // compile triggers here
+        assert_eq!(vm.compilations(), 1);
+        assert!(vm.installed_bytes() > 0);
+        let compiled_cost = vm.run(m, vec![Value::Int(100)]).unwrap().exec_cycles;
+        assert!(
+            compiled_cost * 2 < interp_cost,
+            "compiled ({compiled_cost}) must be much faster than interpreted ({interp_cost})"
+        );
+    }
+
+    #[test]
+    fn output_matches_between_tiers() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let two = fb.const_int(2);
+        let y = fb.imul(x, two);
+        fb.print(y);
+        fb.print(x);
+        fb.ret(None);
+        let g = fb.finish();
+        p.define_method(m, g);
+        let mut interp = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let a = interp.run(m, vec![Value::Int(21)]).unwrap();
+        let mut jit = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig { hotness_threshold: 1, ..VmConfig::default() },
+        );
+        let b = jit.run(m, vec![Value::Int(21)]).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn traps_propagate() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let zero = fb.const_int(0);
+        let d = fb.binop(incline_ir::BinOp::IDiv, x, zero);
+        fb.ret(Some(d));
+        let g = fb.finish();
+        p.define_method(m, g);
+        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        assert_eq!(vm.run(m, vec![Value::Int(1)]), Err(ExecError::Trap(TrapKind::DivByZero)));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![], RetType::Void);
+        let mut fb = FunctionBuilder::new(&p, m);
+        fb.call_static(m, vec![]);
+        fb.ret(None);
+        let g = fb.finish();
+        p.define_method(m, g);
+        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        assert_eq!(vm.run(m, vec![]), Err(ExecError::StackOverflow));
+    }
+
+    #[test]
+    fn virtual_dispatch_and_receiver_profiles() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let b = p.add_class("B", Some(a));
+        let ma = p.declare_method(a, "id", vec![], Type::Int);
+        let mb = p.declare_method(b, "id", vec![], Type::Int);
+        for (m, k) in [(ma, 1), (mb, 2)] {
+            let mut fb = FunctionBuilder::new(&p, m);
+            let v = fb.const_int(k);
+            fb.ret(Some(v));
+            let g = fb.finish();
+            p.define_method(m, g);
+        }
+        let f = p.declare_function("f", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, f);
+        let c = fb.param(0);
+        let t = fb.add_block();
+        let e = fb.add_block();
+        let (j, jp) = fb.add_block_with_params(&[Type::Object(a)]);
+        fb.branch(c, (t, vec![]), (e, vec![]));
+        fb.switch_to(t);
+        let oa = fb.new_object(a);
+        fb.jump(j, vec![oa]);
+        fb.switch_to(e);
+        let ob = fb.new_object(b);
+        fb.jump(j, vec![ob]);
+        fb.switch_to(j);
+        let sel = fb.program().selector_by_name("id", 1).unwrap();
+        let r = fb.call_virtual(sel, vec![jp[0]]).unwrap();
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(f, g);
+
+        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        assert_eq!(vm.run(f, vec![Value::Bool(true)]).unwrap().value, Some(Value::Int(1)));
+        assert_eq!(vm.run(f, vec![Value::Bool(false)]).unwrap().value, Some(Value::Int(2)));
+        vm.run(f, vec![Value::Bool(false)]).unwrap();
+        let site = incline_ir::CallSiteId { method: f, index: 0 };
+        let prof = vm.profiles().receiver_profile(site);
+        assert_eq!(prof.len(), 2);
+        assert_eq!(prof[0].class, b);
+        assert_eq!(prof[0].count, 2);
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        let (p, m) = sum_program();
+        let mut config = VmConfig { jit: false, ..VmConfig::default() };
+        config.fuel_steps = 100;
+        let mut vm = Machine::new(&p, Box::new(NoInline), config);
+        assert_eq!(vm.run(m, vec![Value::Int(1_000_000)]), Err(ExecError::OutOfFuel));
+    }
+}

@@ -1,0 +1,192 @@
+//! Benchmark measurement protocol.
+//!
+//! Follows the paper's §V methodology adapted to a deterministic VM: each
+//! benchmark is executed for a fixed number of repetitions in one machine
+//! instance; *peak performance* is the average of the last 40% of the
+//! repetitions (at most 20), by which point warmup (interpretation +
+//! compilation) has finished. Per-iteration cycles are retained so warmup
+//! curves (Figure 5) can be plotted.
+
+use incline_ir::{MethodId, Program};
+
+use crate::inliner::Inliner;
+use crate::machine::{ExecError, Machine, RunOutcome, VmConfig};
+use crate::value::Value;
+
+/// A runnable benchmark: entry point plus arguments and repetition count.
+#[derive(Clone, Debug)]
+pub struct BenchSpec {
+    /// Entry method.
+    pub entry: MethodId,
+    /// Arguments passed to every repetition.
+    pub args: Vec<Value>,
+    /// Number of repetitions.
+    pub iterations: usize,
+}
+
+/// Measurements from one benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Total cycles (execution + compilation) of each repetition.
+    pub per_iteration: Vec<u64>,
+    /// Mean cycles over the steady-state window.
+    pub steady_state: f64,
+    /// Standard deviation over the steady-state window.
+    pub std_dev: f64,
+    /// Machine-code bytes installed by the end of the run.
+    pub installed_bytes: u64,
+    /// Number of methods compiled.
+    pub compilations: u64,
+    /// Cycles spent compiling over the whole run.
+    pub compile_cycles: u64,
+    /// Output lines of the final repetition (for cross-config checking).
+    pub final_output: Vec<String>,
+    /// Return value of the final repetition, printed for digests.
+    pub final_value: Option<String>,
+}
+
+impl BenchResult {
+    /// The steady-state window of a series: the last 40% of repetitions,
+    /// capped at 20, at least 1 (the paper's measurement rule).
+    pub fn steady_window(n: usize) -> usize {
+        ((n as f64 * 0.4) as usize).clamp(1, 20)
+    }
+
+    /// Warmup length: the first repetition whose time is within 10% of the
+    /// steady state (1-based). The paper's parameter tuning constrains the
+    /// algorithm "not to increase the warmup time by more than 20%".
+    pub fn warmup_iterations(&self) -> usize {
+        let target = self.steady_state * 1.10;
+        self.per_iteration
+            .iter()
+            .position(|&c| (c as f64) <= target)
+            .map(|i| i + 1)
+            .unwrap_or(self.per_iteration.len())
+    }
+}
+
+/// Runs `spec` on a fresh [`Machine`] driven by `inliner`.
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`] (benchmarks are expected not to
+/// trap; a trap indicates a miscompilation or a workload bug).
+pub fn run_benchmark(
+    program: &Program,
+    spec: &BenchSpec,
+    inliner: Box<dyn Inliner + '_>,
+    config: VmConfig,
+) -> Result<BenchResult, ExecError> {
+    let mut vm = Machine::new(program, inliner, config);
+    let mut per_iteration = Vec::with_capacity(spec.iterations);
+    let mut last: Option<RunOutcome> = None;
+    for _ in 0..spec.iterations {
+        let out = vm.run(spec.entry, spec.args.clone())?;
+        per_iteration.push(out.total_cycles());
+        last = Some(out);
+    }
+    let window = BenchResult::steady_window(spec.iterations);
+    let steady = &per_iteration[per_iteration.len() - window..];
+    let mean = steady.iter().copied().sum::<u64>() as f64 / window as f64;
+    let var = steady
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / window as f64;
+    let last = last.expect("at least one iteration");
+    Ok(BenchResult {
+        per_iteration,
+        steady_state: mean,
+        std_dev: var.sqrt(),
+        installed_bytes: vm.installed_bytes(),
+        compilations: vm.compilations(),
+        compile_cycles: vm.total_compile_cycles(),
+        final_output: last.output.lines().to_vec(),
+        final_value: last.value.map(|v| format!("{v:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inliner::NoInline;
+    use incline_ir::builder::FunctionBuilder;
+    use incline_ir::{CmpOp, Type};
+
+    fn loopy_program() -> (Program, MethodId) {
+        let mut p = Program::new();
+        let m = p.declare_function("work", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let (head, hp) = fb.add_block_with_params(&[Type::Int, Type::Int]);
+        let body = fb.add_block();
+        let (done, dp) = fb.add_block_with_params(&[Type::Int]);
+        fb.jump(head, vec![zero, zero]);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::ILt, hp[0], n);
+        fb.branch(c, (body, vec![]), (done, vec![hp[1]]));
+        fb.switch_to(body);
+        let one = fb.const_int(1);
+        let i2 = fb.iadd(hp[0], one);
+        let a2 = fb.iadd(hp[1], hp[0]);
+        fb.jump(head, vec![i2, a2]);
+        fb.switch_to(done);
+        fb.ret(Some(dp[0]));
+        let g = fb.finish();
+        p.define_method(m, g);
+        (p, m)
+    }
+
+    #[test]
+    fn warmup_curve_descends_with_jit() {
+        let (p, m) = loopy_program();
+        let spec = BenchSpec { entry: m, args: vec![Value::Int(500)], iterations: 12 };
+        let config = VmConfig { hotness_threshold: 3, ..VmConfig::default() };
+        let r = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        assert_eq!(r.per_iteration.len(), 12);
+        let first = r.per_iteration[0];
+        let last = *r.per_iteration.last().unwrap();
+        assert!(last < first, "warmup must speed things up: {first} → {last}");
+        assert_eq!(r.compilations, 1);
+        assert!(r.steady_state > 0.0);
+        assert!(r.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn steady_window_rule() {
+        assert_eq!(BenchResult::steady_window(10), 4);
+        assert_eq!(BenchResult::steady_window(100), 20); // capped
+        assert_eq!(BenchResult::steady_window(1), 1); // floor
+        assert_eq!(BenchResult::steady_window(2), 1);
+    }
+
+    #[test]
+    fn warmup_detection() {
+        let r = BenchResult {
+            per_iteration: vec![1000, 400, 210, 200, 200, 200],
+            steady_state: 200.0,
+            std_dev: 0.0,
+            installed_bytes: 0,
+            compilations: 0,
+            compile_cycles: 0,
+            final_output: vec![],
+            final_value: None,
+        };
+        assert_eq!(r.warmup_iterations(), 3); // 210 ≤ 220 = 200·1.10
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let (p, m) = loopy_program();
+        let spec = BenchSpec { entry: m, args: vec![Value::Int(100)], iterations: 6 };
+        let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+        let a = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        let b = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        assert_eq!(a.per_iteration, b.per_iteration, "the VM must be deterministic");
+        assert_eq!(a.installed_bytes, b.installed_bytes);
+    }
+}

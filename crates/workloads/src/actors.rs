@@ -1,0 +1,180 @@
+//! Actor-style message dispatch (`actors`, `tmt`): a scheduler loop
+//! delivering message objects to stateful actors through a virtual
+//! `process`, with the message mix shaping the receiver profile.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, ElemType, Program, Type};
+
+use crate::util::counted_loop;
+use crate::workload::{Suite, Workload};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ActorParams {
+    /// Number of message kinds in rotation (2–3).
+    pub message_kinds: usize,
+    /// Messages per iteration (entry argument).
+    pub input: i64,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, params: ActorParams) -> Workload {
+    let mut p = Program::new();
+    let actor = p.add_class("Actor", None);
+    let state_f = p.add_field(actor, "state", Type::Int);
+    let inbox_f = p.add_field(actor, "processed", Type::Int);
+
+    let msg = p.add_class("Message", None);
+    let payload_f = p.add_field(msg, "payload", Type::Int);
+    let ping = p.add_class("Ping", Some(msg));
+    let pong = p.add_class("Pong", Some(msg));
+    let tick = p.add_class("TickMsg", Some(msg));
+
+    // audit(s, mode): generically-written accounting hook; the scheduler
+    // always runs mode 3, whose path is two ops — the generic path is a
+    // large mixing pipeline that only deep inlining trials prune away.
+    let audit = p.declare_function("audit", vec![Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, audit);
+    let s = fb.param(0);
+    let mode = fb.param(1);
+    let three = fb.const_int(3);
+    let fast = fb.cmp(incline_ir::CmpOp::IEq, mode, three);
+    let out = crate::util::if_else(&mut fb, fast, Type::Int, |fb| {
+        let one = fb.const_int(1);
+        fb.iadd(s, one)
+    }, |fb| crate::util::pad_mix(fb, s, 60));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(audit, g);
+
+    // process(this_msg, actor, mode) -> int
+    let pr_ping = p.declare_method(ping, "process", vec![Type::Object(actor), Type::Int], Type::Int);
+    let pr_pong = p.declare_method(pong, "process", vec![Type::Object(actor), Type::Int], Type::Int);
+    let pr_tick = p.declare_method(tick, "process", vec![Type::Object(actor), Type::Int], Type::Int);
+    let sel_process = p.selector_by_name("process", 3).unwrap();
+
+    // Ping: state += payload.
+    let mut fb = FunctionBuilder::new(&p, pr_ping);
+    let this = fb.param(0);
+    let a = fb.param(1);
+    let mode = fb.param(2);
+    let pay = fb.get_field(payload_f, this);
+    let st = fb.get_field(state_f, a);
+    let ns = fb.iadd(st, pay);
+    let mask = fb.const_int(0xFFFF);
+    let ns = fb.binop(BinOp::IAnd, ns, mask);
+    fb.set_field(state_f, a, ns);
+    let done = fb.get_field(inbox_f, a);
+    let one = fb.const_int(1);
+    let nd = fb.iadd(done, one);
+    fb.set_field(inbox_f, a, nd);
+    let ns = fb.call_static(audit, vec![ns, mode]).unwrap();
+    fb.ret(Some(ns));
+    let g = fb.finish();
+    p.define_method(pr_ping, g);
+
+    // Pong: state ^= payload.
+    let mut fb = FunctionBuilder::new(&p, pr_pong);
+    let this = fb.param(0);
+    let a = fb.param(1);
+    let mode = fb.param(2);
+    let pay = fb.get_field(payload_f, this);
+    let st = fb.get_field(state_f, a);
+    let ns = fb.binop(BinOp::IXor, st, pay);
+    fb.set_field(state_f, a, ns);
+    let ns = fb.call_static(audit, vec![ns, mode]).unwrap();
+    fb.ret(Some(ns));
+    let g = fb.finish();
+    p.define_method(pr_pong, g);
+
+    // Tick: state = state * 3 + 1 (mod).
+    let mut fb = FunctionBuilder::new(&p, pr_tick);
+    let this = fb.param(0);
+    let a = fb.param(1);
+    let mode = fb.param(2);
+    let _ = fb.get_field(payload_f, this);
+    let st = fb.get_field(state_f, a);
+    let three = fb.const_int(3);
+    let one = fb.const_int(1);
+    let ns = fb.imul(st, three);
+    let ns = fb.iadd(ns, one);
+    let mask = fb.const_int(0xFFFF);
+    let ns = fb.binop(BinOp::IAnd, ns, mask);
+    fb.set_field(state_f, a, ns);
+    let ns = fb.call_static(audit, vec![ns, mode]).unwrap();
+    fb.ret(Some(ns));
+    let g = fb.finish();
+    p.define_method(pr_tick, g);
+
+    // deliver(m, a): the scheduler's dispatch helper.
+    let deliver = p.declare_function(
+        "deliver",
+        vec![Type::Object(msg), Type::Object(actor), Type::Int],
+        Type::Int,
+    );
+    let mut fb = FunctionBuilder::new(&p, deliver);
+    let m = fb.param(0);
+    let a = fb.param(1);
+    let mode = fb.param(2);
+    let r = fb.call_virtual(sel_process, vec![m, a, mode]).unwrap();
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(deliver, g);
+
+    // main(n)
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let a1 = fb.new_object(actor);
+    let a2 = fb.new_object(actor);
+    let kinds = params.message_kinds.clamp(2, 3);
+    let classes = [ping, pong, tick];
+    let kcount = fb.const_int(kinds as i64);
+    let msgs = fb.new_array(ElemType::Object(msg), kcount);
+    for (i, &c) in classes.iter().take(kinds).enumerate() {
+        let obj = fb.new_object(c);
+        let pay = fb.const_int(i as i64 + 11);
+        fb.set_field(payload_f, obj, pay);
+        let up = fb.cast(msg, obj);
+        let idx = fb.const_int(i as i64);
+        fb.array_set(msgs, idx, up);
+    }
+    let zero = fb.const_int(0);
+    let mode = fb.const_int(3); // the constant deep trials propagate
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let slot = fb.binop(BinOp::IRem, i, kcount);
+        let m = fb.array_get(msgs, slot);
+        let two = fb.const_int(2);
+        let odd = fb.binop(BinOp::IAnd, i, two);
+        let zero2 = fb.const_int(0);
+        let even = fb.cmp(incline_ir::CmpOp::IEq, odd, zero2);
+        let target = crate::util::if_else(fb, even, Type::Object(actor), |_| a1, |_| a2);
+        let r = fb.call_static(deliver, vec![m, target, mode]).unwrap();
+        let acc = fb.iadd(state[0], r);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    // Fold in the actors' final states.
+    let s1 = fb.get_field(state_f, a1);
+    let s2 = fb.get_field(state_f, a2);
+    let done = fb.get_field(inbox_f, a1);
+    let t = fb.iadd(out[0], s1);
+    let t = fb.iadd(t, s2);
+    let t = fb.iadd(t, done);
+    fb.ret(Some(t));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, params.input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("actors", Suite::ScalaDaCapo, ActorParams { message_kinds: 3, input: 50 }).verify_all();
+        build("tmt", Suite::ScalaDaCapo, ActorParams { message_kinds: 2, input: 50 }).verify_all();
+    }
+}

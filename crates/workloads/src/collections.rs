@@ -1,0 +1,263 @@
+//! The paper's Figure 1 motif: generic collection traversal through
+//! polymorphic `length`/`get`/`apply` callsites.
+//!
+//! `foreach` is only worth inlining if the tiny accessors inside its loop
+//! are inlined *with* it — the cluster-or-nothing payoff that motivates
+//! callsite clustering (§III). Models `scalatest`, `scalariform`,
+//! `kiama` and `scalap` with varying closure polymorphism and sequence
+//! implementations.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::counted_loop;
+use crate::workload::{Suite, Workload};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectionsParams {
+    /// Number of distinct closure classes rotated through the hot loop
+    /// (1 = monomorphic apply, 3 = the typeswitch limit).
+    pub fn_classes: usize,
+    /// Whether a second sequence implementation is mixed in (making
+    /// `length`/`get` bimorphic).
+    pub strided_seq: bool,
+    /// Elements per traversal.
+    pub seq_len: i64,
+    /// Traversals per benchmark iteration (entry argument).
+    pub input: i64,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, params: CollectionsParams) -> Workload {
+    let mut p = Program::new();
+
+    // --- class hierarchy -----------------------------------------------------
+    let fn_base = p.add_class("Fn", None);
+    let k_field = p.add_field(fn_base, "k", Type::Int);
+    let add_k = p.add_class("AddK", Some(fn_base));
+    let mul_k = p.add_class("MulK", Some(fn_base));
+    let xor_k = p.add_class("XorK", Some(fn_base));
+
+    let seq_base = p.add_class("IntSeq", None);
+    let data_field = p.add_field(seq_base, "data", Type::Array(ElemType::Int));
+    let plain_seq = p.add_class("PlainSeq", Some(seq_base));
+    let strided = p.add_class("StridedSeq", Some(seq_base));
+    let stride_field = p.add_field(strided, "stride", Type::Int);
+
+    // --- the helper tower under `apply` -----------------------------------------
+    // Scala-style abstraction: apply → combine → blend, each a real method
+    // with enough body that fixed exploration budgets and 1-by-1 analysis
+    // have something to get wrong.
+    let blend = p.declare_function("blend", vec![Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, blend);
+    let x = fb.param(0);
+    let k = fb.param(1);
+    let mixed = fb.binop(BinOp::IXor, x, k);
+    let padded = crate::util::pad_mix(&mut fb, mixed, 8);
+    fb.ret(Some(padded));
+    let g = fb.finish();
+    p.define_method(blend, g);
+
+    let combine = p.declare_function("combine", vec![Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, combine);
+    let x = fb.param(0);
+    let k = fb.param(1);
+    let b = fb.call_static(blend, vec![x, k]).unwrap();
+    let sum = fb.iadd(b, k);
+    let padded = crate::util::pad_mix(&mut fb, sum, 5);
+    fb.ret(Some(padded));
+    let g = fb.finish();
+    p.define_method(combine, g);
+
+    // --- Fn.apply overloads ---------------------------------------------------
+    let apply_base = p.declare_method(fn_base, "apply", vec![Type::Int], Type::Int);
+    let apply_add = p.declare_method(add_k, "apply", vec![Type::Int], Type::Int);
+    let apply_mul = p.declare_method(mul_k, "apply", vec![Type::Int], Type::Int);
+    let apply_xor = p.declare_method(xor_k, "apply", vec![Type::Int], Type::Int);
+
+    let mut fb = FunctionBuilder::new(&p, apply_base);
+    let x = fb.param(1);
+    fb.ret(Some(x));
+    let g = fb.finish();
+    p.define_method(apply_base, g);
+
+    for (m, op) in [(apply_add, BinOp::IAdd), (apply_mul, BinOp::IMul), (apply_xor, BinOp::IXor)] {
+        let mut fb = FunctionBuilder::new(&p, m);
+        let this = fb.param(0);
+        let x = fb.param(1);
+        let k = fb.get_field(k_field, this);
+        let r = fb.binop(op, x, k);
+        let c = fb.call_static(combine, vec![r, k]).unwrap();
+        fb.ret(Some(c));
+        let g = fb.finish();
+        p.define_method(m, g);
+    }
+
+    // --- IntSeq.length / IntSeq.get --------------------------------------------
+    let length = p.declare_method(seq_base, "length", vec![], Type::Int);
+    let get_base = p.declare_method(seq_base, "get", vec![Type::Int], Type::Int);
+    let get_plain = p.declare_method(plain_seq, "get", vec![Type::Int], Type::Int);
+    let get_strided = p.declare_method(strided, "get", vec![Type::Int], Type::Int);
+
+    let mut fb = FunctionBuilder::new(&p, length);
+    let this = fb.param(0);
+    let arr = fb.get_field(data_field, this);
+    let len = fb.array_len(arr);
+    fb.ret(Some(len));
+    let g = fb.finish();
+    p.define_method(length, g);
+
+    let mut fb = FunctionBuilder::new(&p, get_base);
+    let this = fb.param(0);
+    let i = fb.param(1);
+    let arr = fb.get_field(data_field, this);
+    let v = fb.array_get(arr, i);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(get_base, g);
+
+    let mut fb = FunctionBuilder::new(&p, get_plain);
+    let this = fb.param(0);
+    let i = fb.param(1);
+    let arr = fb.get_field(data_field, this);
+    let v = fb.array_get(arr, i);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(get_plain, g);
+
+    let mut fb = FunctionBuilder::new(&p, get_strided);
+    let this = fb.param(0);
+    let i = fb.param(1);
+    let arr = fb.get_field(data_field, this);
+    let stride = fb.get_field(stride_field, this);
+    let len = fb.array_len(arr);
+    let scaled = fb.imul(i, stride);
+    let idx = fb.binop(BinOp::IRem, scaled, len); // len > 0 by construction
+    let v = fb.array_get(arr, idx);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(get_strided, g);
+
+    // --- foreach(seq, f, acc) ----------------------------------------------------
+    let foreach = p.declare_function(
+        "foreach",
+        vec![Type::Object(seq_base), Type::Object(fn_base), Type::Int],
+        Type::Int,
+    );
+    let sel_length = p.selector_by_name("length", 1).unwrap();
+    let sel_get = p.selector_by_name("get", 2).unwrap();
+    let sel_apply = p.selector_by_name("apply", 2).unwrap();
+    let mut fb = FunctionBuilder::new(&p, foreach);
+    let seq = fb.param(0);
+    let f = fb.param(1);
+    let acc0 = fb.param(2);
+    let len = fb.call_virtual(sel_length, vec![seq]).unwrap();
+    let out = counted_loop(&mut fb, len, &[acc0], |fb, i, state| {
+        let v = fb.call_virtual(sel_get, vec![seq, i]).unwrap();
+        let fv = fb.call_virtual(sel_apply, vec![f, v]).unwrap();
+        let acc = fb.iadd(state[0], fv);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(foreach, g);
+
+    // --- main(n) --------------------------------------------------------------
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+
+    // Build the sequence(s).
+    let seq_len = fb.const_int(params.seq_len);
+    let data = fb.new_array(ElemType::Int, seq_len);
+    let filled = counted_loop(&mut fb, seq_len, &[], |fb, i, _| {
+        let seven = fb.const_int(7);
+        let v = fb.imul(i, seven);
+        let mask = fb.const_int(1023);
+        let v = fb.binop(BinOp::IAnd, v, mask);
+        fb.array_set(data, i, v);
+        vec![]
+    });
+    drop(filled);
+    let seq_obj = fb.new_object(plain_seq);
+    fb.set_field(data_field, seq_obj, data);
+    let seq2_obj = fb.new_object(strided);
+    fb.set_field(data_field, seq2_obj, data);
+    let three = fb.const_int(3);
+    fb.set_field(stride_field, seq2_obj, three);
+
+    // Build the closures.
+    let classes = [add_k, mul_k, xor_k];
+    let mut fns = Vec::new();
+    for (idx, &c) in classes.iter().take(params.fn_classes.clamp(1, 3)).enumerate() {
+        let obj = fb.new_object(c);
+        let k = fb.const_int(idx as i64 + 3);
+        fb.set_field(k_field, obj, k);
+        fns.push(obj);
+    }
+
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        // Rotate closures to shape the receiver profile.
+        let fcount = fb.const_int(fns.len() as i64);
+        let sel = fb.binop(BinOp::IRem, i, fcount);
+        // Chain of equality tests picks the closure object.
+        let mut f = fns[0];
+        for (k, &cand) in fns.iter().enumerate().skip(1) {
+            let kk = fb.const_int(k as i64);
+            let is_k = fb.cmp(CmpOp::IEq, sel, kk);
+            f = crate::util::if_else(
+                fb,
+                is_k,
+                Type::Object(fn_base),
+                |_| cand,
+                |_| f,
+            );
+        }
+        // Alternate sequence implementations if configured.
+        let seq = if params.strided_seq {
+            let two = fb.const_int(2);
+            let odd = fb.binop(BinOp::IRem, i, two);
+            let one = fb.const_int(1);
+            let is_odd = fb.cmp(CmpOp::IEq, odd, one);
+            crate::util::if_else(fb, is_odd, Type::Object(seq_base), |_| seq2_obj, |_| seq_obj)
+        } else {
+            seq_obj
+        };
+        let acc = fb.call_static(foreach, vec![seq, f, state[0]]).unwrap();
+        let mask = fb.const_int(0xFFFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+
+    Workload::new(name, suite, p, main, params.input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(
+            "kiama",
+            Suite::ScalaDaCapo,
+            CollectionsParams { fn_classes: 3, strided_seq: false, seq_len: 32, input: 10 },
+        );
+        w.verify_all();
+    }
+
+    #[test]
+    fn strided_variant_verifies() {
+        let w = build(
+            "scalap",
+            Suite::ScalaDaCapo,
+            CollectionsParams { fn_classes: 2, strided_seq: true, seq_len: 16, input: 5 },
+        );
+        w.verify_all();
+    }
+}

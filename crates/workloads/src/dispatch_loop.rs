@@ -1,0 +1,243 @@
+//! Interpreter-style dispatch loops: an expression-tree evaluator with a
+//! hot megamorphic `eval` callsite.
+//!
+//! Models `jython` (six node kinds — beyond the 3-target typeswitch, so
+//! the fallback stays hot), `scalac` and `scaladoc` (fewer kinds, deeper
+//! trees — speculation covers the profile). The recursive `eval` exercises
+//! the paper's recursion penalty (Equation 14).
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, ClassId, ElemType, FieldId, Program, Type, ValueId};
+
+use crate::util::counted_loop;
+use crate::workload::{Suite, Workload};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchParams {
+    /// Number of node kinds used (2–6). ≤3 fits the typeswitch.
+    pub node_kinds: usize,
+    /// Expression tree depth.
+    pub depth: u32,
+    /// Evaluations per iteration (entry argument).
+    pub input: i64,
+}
+
+struct Hierarchy {
+    expr: ClassId,
+    val_f: FieldId,
+    idx_f: FieldId,
+    left_f: FieldId,
+    right_f: FieldId,
+    inner_f: FieldId,
+    konst: ClassId,
+    var: ClassId,
+    add: ClassId,
+    mul: ClassId,
+    neg: ClassId,
+    mask: ClassId,
+}
+
+fn declare_classes(p: &mut Program) -> Hierarchy {
+    let expr = p.add_class("Expr", None);
+    let val_f = p.add_field(expr, "val", Type::Int);
+    let idx_f = p.add_field(expr, "idx", Type::Int);
+    let left_f = p.add_field(expr, "left", Type::Object(expr));
+    let right_f = p.add_field(expr, "right", Type::Object(expr));
+    let inner_f = p.add_field(expr, "inner", Type::Object(expr));
+    let konst = p.add_class("ConstE", Some(expr));
+    let var = p.add_class("VarE", Some(expr));
+    let add = p.add_class("AddE", Some(expr));
+    let mul = p.add_class("MulE", Some(expr));
+    let neg = p.add_class("NegE", Some(expr));
+    let mask = p.add_class("MaskE", Some(expr));
+    Hierarchy { expr, val_f, idx_f, left_f, right_f, inner_f, konst, var, add, mul, neg, mask }
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, params: DispatchParams) -> Workload {
+    let mut p = Program::new();
+    let h = declare_classes(&mut p);
+    let env_ty = Type::Array(ElemType::Int);
+
+    // eval(this, env) on each node kind.
+    let m_const = p.declare_method(h.konst, "eval", vec![env_ty], Type::Int);
+    let m_var = p.declare_method(h.var, "eval", vec![env_ty], Type::Int);
+    let m_add = p.declare_method(h.add, "eval", vec![env_ty], Type::Int);
+    let m_mul = p.declare_method(h.mul, "eval", vec![env_ty], Type::Int);
+    let m_neg = p.declare_method(h.neg, "eval", vec![env_ty], Type::Int);
+    let m_mask = p.declare_method(h.mask, "eval", vec![env_ty], Type::Int);
+    let sel_eval = p.selector_by_name("eval", 2).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, m_const);
+    let this = fb.param(0);
+    let v = fb.get_field(h.val_f, this);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(m_const, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_var);
+    let this = fb.param(0);
+    let env = fb.param(1);
+    let idx = fb.get_field(h.idx_f, this);
+    let v = fb.array_get(env, idx);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(m_var, g);
+
+    for (m, op) in [(m_add, BinOp::IAdd), (m_mul, BinOp::IMul)] {
+        let mut fb = FunctionBuilder::new(&p, m);
+        let this = fb.param(0);
+        let env = fb.param(1);
+        let l = fb.get_field(h.left_f, this);
+        let r = fb.get_field(h.right_f, this);
+        let lv = fb.call_virtual(sel_eval, vec![l, env]).unwrap();
+        let rv = fb.call_virtual(sel_eval, vec![r, env]).unwrap();
+        let out = fb.binop(op, lv, rv);
+        // Bound growth so repeated evaluation stays in range.
+        let m16 = fb.const_int(0xFFFF);
+        let out = fb.binop(BinOp::IAnd, out, m16);
+        fb.ret(Some(out));
+        let g = fb.finish();
+        p.define_method(m, g);
+    }
+
+    let mut fb = FunctionBuilder::new(&p, m_neg);
+    let this = fb.param(0);
+    let env = fb.param(1);
+    let e = fb.get_field(h.inner_f, this);
+    let ev = fb.call_virtual(sel_eval, vec![e, env]).unwrap();
+    let out = fb.ineg(ev);
+    let m16 = fb.const_int(0xFFFF);
+    let out = fb.binop(BinOp::IAnd, out, m16);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(m_neg, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_mask);
+    let this = fb.param(0);
+    let env = fb.param(1);
+    let e = fb.get_field(h.inner_f, this);
+    let ev = fb.call_virtual(sel_eval, vec![e, env]).unwrap();
+    let k = fb.const_int(255);
+    let out = fb.binop(BinOp::IAnd, ev, k);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(m_mask, g);
+
+    // main(n): build a fixed tree, then evaluate repeatedly.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let four = fb.const_int(4);
+    let env = fb.new_array(ElemType::Int, four);
+
+    let mut rng = 0x9E37_79B9u64 ^ params.node_kinds as u64;
+    let root = emit_tree(&mut fb, &h, params.depth, params.node_kinds.clamp(2, 6), &mut rng);
+
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let slot = fb.binop(BinOp::IRem, i, four);
+        fb.array_set(env, slot, i);
+        let v = fb.call_virtual(sel_eval, vec![root, env]).unwrap();
+        let acc = fb.binop(BinOp::IXor, state[0], v);
+        let acc2 = fb.iadd(acc, v);
+        vec![acc2]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+
+    Workload::new(name, suite, p, main, params.input, 16)
+}
+
+/// Deterministic xorshift.
+fn next(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x
+}
+
+/// Emits construction code for a pseudo-random expression tree and returns
+/// the root value (typed `Object(Expr)`).
+fn emit_tree(
+    fb: &mut FunctionBuilder<'_>,
+    h: &Hierarchy,
+    depth: u32,
+    kinds: usize,
+    rng: &mut u64,
+) -> ValueId {
+    if depth == 0 {
+        // Leaf: Const or Var.
+        if next(rng) % 2 == 0 {
+            let obj = fb.new_object(h.konst);
+            let v = fb.const_int((next(rng) % 100) as i64);
+            fb.set_field(h.val_f, obj, v);
+            widen(fb, h, obj)
+        } else {
+            let obj = fb.new_object(h.var);
+            let idx = fb.const_int((next(rng) % 4) as i64);
+            fb.set_field(h.idx_f, obj, idx);
+            widen(fb, h, obj)
+        }
+    } else {
+        // Inner node among the enabled kinds (kind 0/1 are the leaves).
+        let pick = 2 + (next(rng) as usize % (kinds.max(3) - 2));
+        match pick {
+            2 => {
+                let l = emit_tree(fb, h, depth - 1, kinds, rng);
+                let r = emit_tree(fb, h, depth - 1, kinds, rng);
+                let obj = fb.new_object(h.add);
+                fb.set_field(h.left_f, obj, l);
+                fb.set_field(h.right_f, obj, r);
+                widen(fb, h, obj)
+            }
+            3 => {
+                let l = emit_tree(fb, h, depth - 1, kinds, rng);
+                let r = emit_tree(fb, h, depth - 1, kinds, rng);
+                let obj = fb.new_object(h.mul);
+                fb.set_field(h.left_f, obj, l);
+                fb.set_field(h.right_f, obj, r);
+                widen(fb, h, obj)
+            }
+            4 => {
+                let e = emit_tree(fb, h, depth - 1, kinds, rng);
+                let obj = fb.new_object(h.neg);
+                fb.set_field(h.inner_f, obj, e);
+                widen(fb, h, obj)
+            }
+            _ => {
+                let e = emit_tree(fb, h, depth - 1, kinds, rng);
+                let obj = fb.new_object(h.mask);
+                fb.set_field(h.inner_f, obj, e);
+                widen(fb, h, obj)
+            }
+        }
+    }
+}
+
+/// Widens a concrete node to `Object(Expr)` through a cast, so that the
+/// stored trees look like what a frontend would produce.
+fn widen(fb: &mut FunctionBuilder<'_>, h: &Hierarchy, obj: ValueId) -> ValueId {
+    fb.cast(h.expr, obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn megamorphic_variant_verifies() {
+        let w = build("jython", Suite::DaCapo, DispatchParams { node_kinds: 6, depth: 4, input: 30 });
+        w.verify_all();
+    }
+
+    #[test]
+    fn trimorphic_variant_verifies() {
+        let w = build("scalac", Suite::ScalaDaCapo, DispatchParams { node_kinds: 3, depth: 5, input: 20 });
+        w.verify_all();
+    }
+}

@@ -1,0 +1,142 @@
+//! Binary document emission (`apparat` SWF processing, `scalaxb` XML
+//! binding): builder chains of small encoder functions writing into a
+//! buffer — `emit_tag` calls `emit_u16` calls `emit_u8` calls `put`.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, ElemType, Program, Type};
+
+use crate::util::counted_loop;
+use crate::workload::{Suite, Workload};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LayoutParams {
+    /// Elements emitted per document.
+    pub elements: i64,
+    /// Documents per iteration (entry argument).
+    pub input: i64,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, params: LayoutParams) -> Workload {
+    let mut p = Program::new();
+    let iarr = Type::Array(ElemType::Int);
+
+    // put(buf, pos, v) -> pos+1 : the bottom of the chain.
+    let put = p.declare_function("put", vec![iarr, Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, put);
+    let buf = fb.param(0);
+    let pos = fb.param(1);
+    let v = fb.param(2);
+    let len = fb.array_len(buf);
+    let slot = fb.binop(BinOp::IRem, pos, len); // ring buffer, len ≥ 1
+    let m255 = fb.const_int(255);
+    let b = fb.binop(BinOp::IAnd, v, m255);
+    fb.array_set(buf, slot, b);
+    let one = fb.const_int(1);
+    let np = fb.iadd(pos, one);
+    fb.ret(Some(np));
+    let g = fb.finish();
+    p.define_method(put, g);
+
+    // emit_u8(buf, pos, v) -> pos'
+    let emit_u8 = p.declare_function("emit_u8", vec![iarr, Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, emit_u8);
+    let buf = fb.param(0);
+    let pos = fb.param(1);
+    let v = fb.param(2);
+    let np = fb.call_static(put, vec![buf, pos, v]).unwrap();
+    fb.ret(Some(np));
+    let g = fb.finish();
+    p.define_method(emit_u8, g);
+
+    // emit_u16(buf, pos, v) -> pos': two bytes, little endian.
+    let emit_u16 = p.declare_function("emit_u16", vec![iarr, Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, emit_u16);
+    let buf = fb.param(0);
+    let pos = fb.param(1);
+    let v = fb.param(2);
+    let p1 = fb.call_static(emit_u8, vec![buf, pos, v]).unwrap();
+    let eight = fb.const_int(8);
+    let hi = fb.binop(BinOp::IShr, v, eight);
+    let p2 = fb.call_static(emit_u8, vec![buf, p1, hi]).unwrap();
+    fb.ret(Some(p2));
+    let g = fb.finish();
+    p.define_method(emit_u16, g);
+
+    // emit_tag(buf, pos, tag, payload) -> pos': tag byte + u16 + checksum.
+    let emit_tag =
+        p.declare_function("emit_tag", vec![iarr, Type::Int, Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, emit_tag);
+    let buf = fb.param(0);
+    let pos = fb.param(1);
+    let tag = fb.param(2);
+    let payload = fb.param(3);
+    let p1 = fb.call_static(emit_u8, vec![buf, pos, tag]).unwrap();
+    let p2 = fb.call_static(emit_u16, vec![buf, p1, payload]).unwrap();
+    let sum = fb.iadd(tag, payload);
+    let p3 = fb.call_static(emit_u8, vec![buf, p2, sum]).unwrap();
+    fb.ret(Some(p3));
+    let g = fb.finish();
+    p.define_method(emit_tag, g);
+
+    // emit_doc(buf, salt) -> checksum over emitted bytes.
+    let emit_doc = p.declare_function("emit_doc", vec![iarr, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, emit_doc);
+    let buf = fb.param(0);
+    let salt = fb.param(1);
+    let elems = fb.const_int(params.elements);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, elems, &[zero], |fb, e, state| {
+        // state = position
+        let m15 = fb.const_int(15);
+        let tag = fb.binop(BinOp::IAnd, e, m15);
+        let pay = fb.imul(e, salt);
+        let m16 = fb.const_int(0xFFFF);
+        let pay = fb.binop(BinOp::IAnd, pay, m16);
+        let np = fb.call_static(emit_tag, vec![buf, state[0], tag, pay]).unwrap();
+        vec![np]
+    });
+    // Checksum a slice of the buffer.
+    let sixteen = fb.const_int(16);
+    let check = counted_loop(&mut fb, sixteen, &[zero], |fb, i, s| {
+        let v = fb.array_get(buf, i);
+        let acc = fb.iadd(s[0], v);
+        vec![acc]
+    });
+    let r = fb.iadd(out[0], check[0]);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(emit_doc, g);
+
+    // main(n)
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let cap = fb.const_int(256);
+    let buf = fb.new_array(ElemType::Int, cap);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let seven = fb.const_int(7);
+        let salt = fb.iadd(i, seven);
+        let c = fb.call_static(emit_doc, vec![buf, salt]).unwrap();
+        let acc = fb.iadd(state[0], c);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, params.input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("apparat", Suite::ScalaDaCapo, LayoutParams { elements: 16, input: 10 }).verify_all();
+    }
+}

@@ -1,0 +1,130 @@
+//! Discrete-event microcontroller simulation (`avrora`): a ring of device
+//! state machines stepped in a hot loop through a virtual `step`.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let device = p.add_class("Device", None);
+    let state_f = p.add_field(device, "state", Type::Int);
+    let timer = p.add_class("Timer", Some(device));
+    let period_f = p.add_field(timer, "period", Type::Int);
+    let radio = p.add_class("Radio", Some(device));
+    let cpu = p.add_class("Cpu", Some(device));
+
+    // step(this, tick) -> int (events produced)
+    let s_timer = p.declare_method(timer, "step", vec![Type::Int], Type::Int);
+    let s_radio = p.declare_method(radio, "step", vec![Type::Int], Type::Int);
+    let s_cpu = p.declare_method(cpu, "step", vec![Type::Int], Type::Int);
+    let sel_step = p.selector_by_name("step", 2).unwrap();
+
+    // Timer: fires when tick % period == 0.
+    let mut fb = FunctionBuilder::new(&p, s_timer);
+    let this = fb.param(0);
+    let tick = fb.param(1);
+    let period = fb.get_field(period_f, this);
+    let m = fb.binop(BinOp::IRem, tick, period); // period ≥ 1 by construction
+    let zero = fb.const_int(0);
+    let fires = fb.cmp(CmpOp::IEq, m, zero);
+    let out = if_else(&mut fb, fires, Type::Int, |fb| {
+        let st = fb.get_field(state_f, this);
+        let one = fb.const_int(1);
+        let ns = fb.iadd(st, one);
+        fb.set_field(state_f, this, ns);
+        one
+    }, |fb| fb.const_int(0));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(s_timer, g);
+
+    // Radio: toggles a bit, produces an event on the rising edge.
+    let mut fb = FunctionBuilder::new(&p, s_radio);
+    let this = fb.param(0);
+    let tick = fb.param(1);
+    let st = fb.get_field(state_f, this);
+    let one = fb.const_int(1);
+    let ns = fb.binop(BinOp::IXor, st, one);
+    fb.set_field(state_f, this, ns);
+    let three = fb.const_int(3);
+    let busy = fb.binop(BinOp::IAnd, tick, three);
+    let zero = fb.const_int(0);
+    let edge = fb.cmp(CmpOp::IEq, busy, zero);
+    let out = if_else(&mut fb, edge, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    let out = fb.imul(out, ns);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(s_radio, g);
+
+    // Cpu: small arithmetic state machine.
+    let mut fb = FunctionBuilder::new(&p, s_cpu);
+    let this = fb.param(0);
+    let tick = fb.param(1);
+    let st = fb.get_field(state_f, this);
+    let k = fb.const_int(5);
+    let mixed = fb.imul(st, k);
+    let mixed = fb.iadd(mixed, tick);
+    let mask = fb.const_int(0xFFFF);
+    let ns = fb.binop(BinOp::IAnd, mixed, mask);
+    fb.set_field(state_f, this, ns);
+    let m7 = fb.const_int(7);
+    let r = fb.binop(BinOp::IAnd, ns, m7);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(s_cpu, g);
+
+    // main(n): step the device ring n times.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let count = fb.const_int(6);
+    let devices = fb.new_array(ElemType::Object(device), count);
+    for i in 0..6i64 {
+        let obj = match i % 3 {
+            0 => {
+                let t = fb.new_object(timer);
+                let per = fb.const_int(2 + i);
+                fb.set_field(period_f, t, per);
+                fb.cast(device, t)
+            }
+            1 => {
+                let r = fb.new_object(radio);
+                fb.cast(device, r)
+            }
+            _ => {
+                let c = fb.new_object(cpu);
+                fb.cast(device, c)
+            }
+        };
+        let idx = fb.const_int(i);
+        fb.array_set(devices, idx, obj);
+    }
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, tick, state| {
+        let inner = counted_loop(fb, count, &[state[0]], |fb, d, s| {
+            let dev = fb.array_get(devices, d);
+            let ev = fb.call_virtual(sel_step, vec![dev, tick]).unwrap();
+            let acc = fb.iadd(s[0], ev);
+            vec![acc]
+        });
+        vec![inner[0]]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("avrora", Suite::DaCapo, 30).verify_all();
+    }
+}

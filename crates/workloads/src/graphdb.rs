@@ -1,0 +1,164 @@
+//! Graph-database traversal queries (`neo4j`): friend-of-friend counting
+//! over a CSR adjacency structure with polymorphic node filters.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let iarr = Type::Array(ElemType::Int);
+
+    let filter = p.add_class("NodeFilter", None);
+    let k_f = p.add_field(filter, "k", Type::Int);
+    let label_filter = p.add_class("LabelFilter", Some(filter));
+    let degree_filter = p.add_class("DegreeFilter", Some(filter));
+
+    // accept(this, node, labels, offsets) -> bool
+    let iargs = vec![Type::Int, iarr, iarr];
+    let a_label = p.declare_method(label_filter, "accept", iargs.clone(), Type::Bool);
+    let a_degree = p.declare_method(degree_filter, "accept", iargs, Type::Bool);
+    let sel_accept = p.selector_by_name("accept", 4).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, a_label);
+    let this = fb.param(0);
+    let node = fb.param(1);
+    let labels = fb.param(2);
+    let _offsets = fb.param(3);
+    let k = fb.get_field(k_f, this);
+    let l = fb.array_get(labels, node);
+    let r = fb.cmp(CmpOp::IEq, l, k);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(a_label, g);
+
+    let mut fb = FunctionBuilder::new(&p, a_degree);
+    let this = fb.param(0);
+    let node = fb.param(1);
+    let _labels = fb.param(2);
+    let offsets = fb.param(3);
+    let k = fb.get_field(k_f, this);
+    let one = fb.const_int(1);
+    let next = fb.iadd(node, one);
+    let lo = fb.array_get(offsets, node);
+    let hi = fb.array_get(offsets, next);
+    let deg = fb.isub(hi, lo);
+    let r = fb.cmp(CmpOp::IGe, deg, k);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(a_degree, g);
+
+    // fof(start, offsets, edges, labels, f) -> count of accepted
+    // friends-of-friends.
+    let fof = p.declare_function(
+        "friends_of_friends",
+        vec![Type::Int, iarr, iarr, iarr, Type::Object(filter)],
+        Type::Int,
+    );
+    let mut fb = FunctionBuilder::new(&p, fof);
+    let start = fb.param(0);
+    let offsets = fb.param(1);
+    let edges = fb.param(2);
+    let labels = fb.param(3);
+    let f = fb.param(4);
+    let one = fb.const_int(1);
+    let s1 = fb.iadd(start, one);
+    let lo = fb.array_get(offsets, start);
+    let hi = fb.array_get(offsets, s1);
+    let width = fb.isub(hi, lo);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, width, &[zero], |fb, i, state| {
+        let ei = fb.iadd(lo, i);
+        let friend = fb.array_get(edges, ei);
+        let f1 = fb.iadd(friend, one);
+        let flo = fb.array_get(offsets, friend);
+        let fhi = fb.array_get(offsets, f1);
+        let fw = fb.isub(fhi, flo);
+        let inner = counted_loop(fb, fw, &[state[0]], |fb, j, s| {
+            let eij = fb.iadd(flo, j);
+            let fof_node = fb.array_get(edges, eij);
+            let ok = fb.call_virtual(sel_accept, vec![f, fof_node, labels, offsets]).unwrap();
+            let add = if_else(fb, ok, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+            let acc = fb.iadd(s[0], add);
+            vec![acc]
+        });
+        vec![inner[0]]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(fof, g);
+
+    // main(n): ring-with-chords graph of 32 nodes; alternate filters.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let nodes = fb.const_int(32);
+    let one = fb.const_int(1);
+    let deg = fb.const_int(3);
+    let off_len = fb.iadd(nodes, one);
+    let offsets = fb.new_array(ElemType::Int, off_len);
+    let edge_count = fb.imul(nodes, deg);
+    let edges = fb.new_array(ElemType::Int, edge_count);
+    let labels = fb.new_array(ElemType::Int, nodes);
+    // offsets[i] = 3i; labels[i] = i % 4; edges: i±1 and chord i+8 (ring).
+    let _ = counted_loop(&mut fb, off_len, &[], |fb, i, _| {
+        let o = fb.imul(i, deg);
+        fb.array_set(offsets, i, o);
+        vec![]
+    });
+    let _ = counted_loop(&mut fb, nodes, &[], |fb, i, _| {
+        let m4 = fb.const_int(4);
+        let l = fb.binop(BinOp::IRem, i, m4);
+        fb.array_set(labels, i, l);
+        let base = fb.imul(i, deg);
+        let prev = fb.iadd(i, nodes);
+        let prev = fb.isub(prev, one);
+        let prev = fb.binop(BinOp::IRem, prev, nodes);
+        let next = fb.iadd(i, one);
+        let next = fb.binop(BinOp::IRem, next, nodes);
+        let eight = fb.const_int(8);
+        let chord = fb.iadd(i, eight);
+        let chord = fb.binop(BinOp::IRem, chord, nodes);
+        fb.array_set(edges, base, prev);
+        let b1 = fb.iadd(base, one);
+        fb.array_set(edges, b1, next);
+        let two = fb.const_int(2);
+        let b2 = fb.iadd(base, two);
+        fb.array_set(edges, b2, chord);
+        vec![]
+    });
+    let lf = fb.new_object(label_filter);
+    let two = fb.const_int(2);
+    fb.set_field(k_f, lf, two);
+    let df = fb.new_object(degree_filter);
+    fb.set_field(k_f, df, deg);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let start = fb.binop(BinOp::IRem, i, nodes);
+        let odd = fb.binop(BinOp::IAnd, i, one);
+        let is_odd = fb.cmp(CmpOp::IEq, odd, one);
+        let f = if_else(fb, is_odd, Type::Object(filter), |fb| fb.cast(filter, df), |fb| {
+            fb.cast(filter, lf)
+        });
+        let c = fb.call_static(fof, vec![start, offsets, edges, labels, f]).unwrap();
+        let acc = fb.iadd(state[0], c);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("neo4j", Suite::Other, 20).verify_all();
+    }
+}

@@ -1,0 +1,132 @@
+#![warn(missing_docs)]
+
+//! # incline-workloads
+//!
+//! The benchmark programs of the reproduction. The paper evaluates on
+//! Java DaCapo (10), Scala DaCapo (12), Spark-Perf (3), Neo4j, Dotty and
+//! STMBench7 — 28 benchmarks we cannot run on a Rust substrate, so each
+//! is **simulated by an archetype program** that reproduces its
+//! inlining-relevant structure (DESIGN.md §4): megamorphic dispatch
+//! loops, tiny-hot-method clusters, closure-shaped float kernels, visitor
+//! trees, transactional read/write sets, and so on. Names and suite
+//! groupings match the paper's figures.
+//!
+//! [`all_benchmarks`] returns the full set; [`by_name`] fetches one;
+//! [`generator::generate`] produces seeded random programs for
+//! differential testing.
+
+pub mod actors;
+pub mod collections;
+pub mod dispatch_loop;
+pub mod doc_layout;
+pub mod event_sim;
+pub mod factor_graph;
+pub mod generator;
+pub mod graphdb;
+pub mod numeric;
+pub mod rendering;
+pub mod search_index;
+pub mod spec_suite;
+pub mod sql_engine;
+pub mod stm;
+pub mod tree_transform;
+pub mod util;
+pub mod workload;
+
+pub use generator::{generate, GenConfig};
+pub use workload::{Suite, Workload};
+
+use actors::ActorParams;
+use collections::CollectionsParams;
+use dispatch_loop::DispatchParams;
+use doc_layout::LayoutParams;
+use numeric::SparkKernel;
+use search_index::IndexMode;
+use spec_suite::SpecVariant;
+use tree_transform::{TreeParams, TreeVariant};
+
+/// Builds every benchmark of the paper's evaluation (28 total).
+pub fn all_benchmarks() -> Vec<Workload> {
+    use Suite::*;
+    vec![
+        // ---- Java DaCapo (10) ------------------------------------------------
+        event_sim::build("avrora", DaCapo, 40),
+        tree_transform::build("batik", DaCapo, TreeParams { variant: TreeVariant::Render, depth: 4, input: 30 }),
+        tree_transform::build("fop", DaCapo, TreeParams { variant: TreeVariant::Layout, depth: 4, input: 30 }),
+        sql_engine::build("h2", DaCapo, 15),
+        dispatch_loop::build("jython", DaCapo, DispatchParams { node_kinds: 6, depth: 4, input: 60 }),
+        search_index::build("luindex", DaCapo, IndexMode::Index, 25),
+        search_index::build("lusearch", DaCapo, IndexMode::Search, 20),
+        tree_transform::build("pmd", DaCapo, TreeParams { variant: TreeVariant::RuleMatch, depth: 4, input: 30 }),
+        rendering::build("sunflow", DaCapo, 120),
+        tree_transform::build("xalan", DaCapo, TreeParams { variant: TreeVariant::Transform, depth: 4, input: 30 }),
+        // ---- Scala DaCapo (12) ------------------------------------------------
+        actors::build("actors", ScalaDaCapo, ActorParams { message_kinds: 3, input: 150 }),
+        doc_layout::build("apparat", ScalaDaCapo, LayoutParams { elements: 24, input: 25 }),
+        factor_graph::build("factorie", ScalaDaCapo, 20),
+        collections::build("kiama", ScalaDaCapo, CollectionsParams { fn_classes: 3, strided_seq: false, seq_len: 40, input: 25 }),
+        dispatch_loop::build("scalac", ScalaDaCapo, DispatchParams { node_kinds: 3, depth: 5, input: 40 }),
+        dispatch_loop::build("scaladoc", ScalaDaCapo, DispatchParams { node_kinds: 4, depth: 4, input: 40 }),
+        collections::build("scalap", ScalaDaCapo, CollectionsParams { fn_classes: 2, strided_seq: true, seq_len: 32, input: 25 }),
+        collections::build("scalariform", ScalaDaCapo, CollectionsParams { fn_classes: 2, strided_seq: false, seq_len: 48, input: 25 }),
+        collections::build("scalatest", ScalaDaCapo, CollectionsParams { fn_classes: 1, strided_seq: false, seq_len: 24, input: 40 }),
+        doc_layout::build("scalaxb", ScalaDaCapo, LayoutParams { elements: 16, input: 30 }),
+        spec_suite::build("specs", ScalaDaCapo, SpecVariant::Matchers, 120),
+        actors::build("tmt", ScalaDaCapo, ActorParams { message_kinds: 2, input: 150 }),
+        // ---- Spark-Perf (3) ----------------------------------------------------
+        numeric::build("gauss-mix", SparkPerf, SparkKernel::GaussMix, 120),
+        numeric::build("dec-tree", SparkPerf, SparkKernel::DecTree, 120),
+        numeric::build("naive-bayes", SparkPerf, SparkKernel::NaiveBayes, 60),
+        // ---- Other (3) ----------------------------------------------------------
+        graphdb::build("neo4j", Other, 60),
+        spec_suite::build("dotty", Other, SpecVariant::Typer, 150),
+        stm::build("stmbench7", Other, 60),
+    ]
+}
+
+/// Fetches one benchmark by its paper name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_benchmarks().into_iter().find(|w| w.name == name)
+}
+
+/// The benchmarks of one suite, in figure order.
+pub fn suite(s: Suite) -> Vec<Workload> {
+    all_benchmarks().into_iter().filter(|w| w.suite == s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_28_benchmarks_with_unique_names() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 28);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 28);
+    }
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(suite(Suite::DaCapo).len(), 10);
+        assert_eq!(suite(Suite::ScalaDaCapo).len(), 12);
+        assert_eq!(suite(Suite::SparkPerf).len(), 3);
+        assert_eq!(suite(Suite::Other).len(), 3);
+    }
+
+    #[test]
+    fn every_benchmark_verifies() {
+        for w in all_benchmarks() {
+            w.verify_all();
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("factorie").is_some());
+        assert!(by_name("gauss-mix").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Ray-tracer-style shading (`sunflow`): dense float arithmetic through
+//! mid-size vector-math helper functions.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let vec3 = p.add_class("Vec3", None);
+    let x_f = p.add_field(vec3, "x", Type::Float);
+    let y_f = p.add_field(vec3, "y", Type::Float);
+    let z_f = p.add_field(vec3, "z", Type::Float);
+    let v3 = Type::Object(vec3);
+
+    // dot(a, b)
+    let dot = p.declare_function("dot", vec![v3, v3], Type::Float);
+    let mut fb = FunctionBuilder::new(&p, dot);
+    let a = fb.param(0);
+    let b = fb.param(1);
+    let ax = fb.get_field(x_f, a);
+    let bx = fb.get_field(x_f, b);
+    let ay = fb.get_field(y_f, a);
+    let by = fb.get_field(y_f, b);
+    let az = fb.get_field(z_f, a);
+    let bz = fb.get_field(z_f, b);
+    let xx = fb.fmul(ax, bx);
+    let yy = fb.fmul(ay, by);
+    let zz = fb.fmul(az, bz);
+    let s = fb.fadd(xx, yy);
+    let s = fb.fadd(s, zz);
+    fb.ret(Some(s));
+    let g = fb.finish();
+    p.define_method(dot, g);
+
+    // scale_into(out, a, k)
+    let scale = p.declare_function("scale_into", vec![v3, v3, Type::Float], Type::Float);
+    let mut fb = FunctionBuilder::new(&p, scale);
+    let out = fb.param(0);
+    let a = fb.param(1);
+    let k = fb.param(2);
+    for f in [x_f, y_f, z_f] {
+        let v = fb.get_field(f, a);
+        let s = fb.fmul(v, k);
+        fb.set_field(f, out, s);
+    }
+    let r = fb.get_field(x_f, out);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(scale, g);
+
+    // reflect(out, d, nrm): out = d − 2(d·nrm)·nrm
+    let reflect = p.declare_function("reflect", vec![v3, v3, v3], Type::Float);
+    let mut fb = FunctionBuilder::new(&p, reflect);
+    let out = fb.param(0);
+    let d = fb.param(1);
+    let nrm = fb.param(2);
+    let dn = fb.call_static(dot, vec![d, nrm]).unwrap();
+    let two = fb.const_float(2.0);
+    let k = fb.fmul(two, dn);
+    for f in [x_f, y_f, z_f] {
+        let dv = fb.get_field(f, d);
+        let nv = fb.get_field(f, nrm);
+        let knv = fb.fmul(k, nv);
+        let rv = fb.binop(BinOp::FSub, dv, knv);
+        fb.set_field(f, out, rv);
+    }
+    fb.ret(Some(dn));
+    let g = fb.finish();
+    p.define_method(reflect, g);
+
+    // shade(d, nrm, tmp) -> float: diffuse + specular-ish term.
+    let shade = p.declare_function("shade", vec![v3, v3, v3], Type::Float);
+    let mut fb = FunctionBuilder::new(&p, shade);
+    let d = fb.param(0);
+    let nrm = fb.param(1);
+    let tmp = fb.param(2);
+    let diffuse = fb.call_static(dot, vec![d, nrm]).unwrap();
+    let _ = fb.call_static(reflect, vec![tmp, d, nrm]).unwrap();
+    let spec = fb.call_static(dot, vec![tmp, tmp]).unwrap();
+    let half = fb.const_float(0.5);
+    let sd = fb.fmul(diffuse, half);
+    let quarter = fb.const_float(0.25);
+    let ss = fb.fmul(spec, quarter);
+    let sum = fb.fadd(sd, ss);
+    let zero = fb.const_float(0.0);
+    let pos = fb.cmp(CmpOp::FLt, zero, sum);
+    let clamped = if_else(&mut fb, pos, Type::Float, |_| sum, |fb| fb.const_float(0.0));
+    fb.ret(Some(clamped));
+    let g = fb.finish();
+    p.define_method(shade, g);
+
+    // main(n): shade n "pixels".
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let d = fb.new_object(vec3);
+    let nrm = fb.new_object(vec3);
+    let tmp = fb.new_object(vec3);
+    let nz = fb.const_float(1.0);
+    fb.set_field(z_f, nrm, nz);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        // Perturb the ray per pixel.
+        let m64 = fb.const_int(63);
+        let xi = fb.binop(BinOp::IAnd, i, m64);
+        let xf = fb.int_to_float(xi);
+        let k = fb.const_float(1.0 / 64.0);
+        let dx = fb.fmul(xf, k);
+        fb.set_field(x_f, d, dx);
+        let one = fb.const_float(0.7);
+        fb.set_field(y_f, d, one);
+        let neg = fb.const_float(-0.4);
+        fb.set_field(z_f, d, neg);
+        let c = fb.call_static(shade, vec![d, nrm, tmp]).unwrap();
+        let kk = fb.const_float(255.0);
+        let ci = fb.fmul(c, kk);
+        let px = fb.float_to_int(ci);
+        let acc = fb.iadd(state[0], px);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("sunflow", Suite::DaCapo, 50).verify_all();
+    }
+}

@@ -1,0 +1,159 @@
+//! Text indexing and search over integer token streams.
+//!
+//! Models `luindex` (index construction: tokenize + posting counts) and
+//! `lusearch` (query scoring: tf-weighted accumulation) — straight-line
+//! array crunching through small helper functions, the kind of workload
+//! where C2 is traditionally strong (the paper's Figure 9 shows only
+//! modest DaCapo gains).
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Index-or-search mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Build posting counts (`luindex`).
+    Index,
+    /// Score documents against a query (`lusearch`).
+    Search,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, mode: IndexMode, input: i64) -> Workload {
+    let mut p = Program::new();
+    let iarr = Type::Array(ElemType::Int);
+
+    // is_sep(t): token boundary test — tiny, extremely hot.
+    let is_sep = p.declare_function("is_sep", vec![Type::Int], Type::Bool);
+    let mut fb = FunctionBuilder::new(&p, is_sep);
+    let t = fb.param(0);
+    let k = fb.const_int(13);
+    let m = fb.binop(BinOp::IRem, t, k);
+    let zero = fb.const_int(0);
+    let r = fb.cmp(CmpOp::IEq, m, zero);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(is_sep, g);
+
+    // token_hash(h, t): rolling hash step — tiny, extremely hot.
+    let token_hash = p.declare_function("token_hash", vec![Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, token_hash);
+    let h = fb.param(0);
+    let t = fb.param(1);
+    let k = fb.const_int(31);
+    let hk = fb.imul(h, k);
+    let sum = fb.iadd(hk, t);
+    let mask = fb.const_int(0xFFFF);
+    let r = fb.binop(BinOp::IAnd, sum, mask);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(token_hash, g);
+
+    // tokenize_into(doc, table): scan, hash tokens, bump buckets; returns
+    // the token count.
+    let tokenize = p.declare_function("tokenize_into", vec![iarr, iarr], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, tokenize);
+    let doc = fb.param(0);
+    let table = fb.param(1);
+    let len = fb.array_len(doc);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, len, &[zero, zero], |fb, i, state| {
+        // state = (hash, count)
+        let t = fb.array_get(doc, i);
+        let sep = fb.call_static(is_sep, vec![t]).unwrap();
+        let tlen = fb.array_len(table);
+        let hash0 = state[0];
+        let count0 = state[1];
+        let new_hash = if_else(fb, sep, Type::Int, |fb| fb.const_int(0), |fb| {
+            fb.call_static(token_hash, vec![hash0, t]).unwrap()
+        });
+        let bumped = if_else(fb, sep, Type::Int, |fb| {
+            // Flush the finished token into its bucket.
+            let slot = fb.binop(BinOp::IRem, hash0, tlen);
+            let old = fb.array_get(table, slot);
+            let one = fb.const_int(1);
+            let inc = fb.iadd(old, one);
+            fb.array_set(table, slot, inc);
+            fb.iadd(count0, one)
+        }, |_| count0);
+        vec![new_hash, bumped]
+    });
+    fb.ret(Some(out[1]));
+    let g = fb.finish();
+    p.define_method(tokenize, g);
+
+    // tf_score(count, qweight): rational tf curve — search mode's helper.
+    let tf = p.declare_function("tf_score", vec![Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, tf);
+    let c = fb.param(0);
+    let qw = fb.param(1);
+    let one = fb.const_int(1);
+    let cp1 = fb.iadd(c, one);
+    let num = fb.imul(c, qw);
+    let r = fb.binop(BinOp::IDiv, num, cp1); // cp1 ≥ 1 always
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(tf, g);
+
+    // main(n)
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let doc_len = fb.const_int(64);
+    let doc = fb.new_array(ElemType::Int, doc_len);
+    let table_len = fb.const_int(32);
+    let table = fb.new_array(ElemType::Int, table_len);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        // Synthesize the document for this round.
+        let _ = counted_loop(fb, doc_len, &[], |fb, j, _| {
+            let mix = fb.iadd(i, j);
+            let k = fb.const_int(97);
+            let v = fb.imul(mix, k);
+            let mask = fb.const_int(1023);
+            let v = fb.binop(BinOp::IAnd, v, mask);
+            fb.array_set(doc, j, v);
+            vec![]
+        });
+        let acc = match mode {
+            IndexMode::Index => {
+                let count = fb.call_static(tokenize, vec![doc, table]).unwrap();
+                fb.iadd(state[0], count)
+            }
+            IndexMode::Search => {
+                // Tokenize once, then score buckets against the query.
+                fb.call_static(tokenize, vec![doc, table]).unwrap();
+                let score = counted_loop(fb, table_len, &[state[0]], |fb, b, s| {
+                    let c = fb.array_get(table, b);
+                    let three = fb.const_int(3);
+                    let qw = fb.iadd(b, three);
+                    let sc = fb.call_static(tf, vec![c, qw]).unwrap();
+                    let acc = fb.iadd(s[0], sc);
+                    vec![acc]
+                });
+                score[0]
+            }
+        };
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_verify() {
+        build("luindex", Suite::DaCapo, IndexMode::Index, 10).verify_all();
+        build("lusearch", Suite::DaCapo, IndexMode::Search, 10).verify_all();
+    }
+}

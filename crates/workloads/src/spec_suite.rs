@@ -1,0 +1,242 @@
+//! Assertion/matcher chains (`specs`) and typer-style subtype checks
+//! (`dotty`): many small polymorphic predicates invoked from a driver.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Which flavor to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecVariant {
+    /// Matcher-based assertion suite (`specs`).
+    Matchers,
+    /// Subtype-test chains over a type lattice (`dotty`).
+    Typer,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, variant: SpecVariant, input: i64) -> Workload {
+    match variant {
+        SpecVariant::Matchers => matchers(name, suite, input),
+        SpecVariant::Typer => typer(name, suite, input),
+    }
+}
+
+fn matchers(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let matcher = p.add_class("Matcher", None);
+    let a_f = p.add_field(matcher, "a", Type::Int);
+    let b_f = p.add_field(matcher, "b", Type::Int);
+    let eq_m = p.add_class("EqMatcher", Some(matcher));
+    let gt_m = p.add_class("GtMatcher", Some(matcher));
+    let range_m = p.add_class("RangeMatcher", Some(matcher));
+
+    let m_eq = p.declare_method(eq_m, "matches", vec![Type::Int], Type::Bool);
+    let m_gt = p.declare_method(gt_m, "matches", vec![Type::Int], Type::Bool);
+    let m_range = p.declare_method(range_m, "matches", vec![Type::Int], Type::Bool);
+    let sel_matches = p.selector_by_name("matches", 2).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, m_eq);
+    let this = fb.param(0);
+    let v = fb.param(1);
+    let a = fb.get_field(a_f, this);
+    let r = fb.cmp(CmpOp::IEq, v, a);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(m_eq, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_gt);
+    let this = fb.param(0);
+    let v = fb.param(1);
+    let a = fb.get_field(a_f, this);
+    let r = fb.cmp(CmpOp::IGt, v, a);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(m_gt, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_range);
+    let this = fb.param(0);
+    let v = fb.param(1);
+    let a = fb.get_field(a_f, this);
+    let b = fb.get_field(b_f, this);
+    let ge = fb.cmp(CmpOp::IGe, v, a);
+    let out = if_else(&mut fb, ge, Type::Bool, |fb| fb.cmp(CmpOp::ILe, v, b), |fb| fb.const_bool(false));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(m_range, g);
+
+    // assert_that(v, m) -> 1 if matched else 0 (failure counter).
+    let assert_that =
+        p.declare_function("assert_that", vec![Type::Int, Type::Object(matcher)], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, assert_that);
+    let v = fb.param(0);
+    let m = fb.param(1);
+    let ok = fb.call_virtual(sel_matches, vec![m, v]).unwrap();
+    let out = if_else(&mut fb, ok, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(assert_that, g);
+
+    // main(n)
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let three = fb.const_int(3);
+    let ms = fb.new_array(ElemType::Object(matcher), three);
+    let e = fb.new_object(eq_m);
+    let k5 = fb.const_int(5);
+    fb.set_field(a_f, e, k5);
+    let gt = fb.new_object(gt_m);
+    let k100 = fb.const_int(100);
+    fb.set_field(a_f, gt, k100);
+    let rg = fb.new_object(range_m);
+    let k10 = fb.const_int(10);
+    let k20 = fb.const_int(20);
+    fb.set_field(a_f, rg, k10);
+    fb.set_field(b_f, rg, k20);
+    for (i, obj) in [(0i64, e), (1, gt), (2, rg)] {
+        let up = fb.cast(matcher, obj);
+        let idx = fb.const_int(i);
+        fb.array_set(ms, idx, up);
+    }
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let inner = counted_loop(fb, three, &[state[0]], |fb, k, s| {
+            let m = fb.array_get(ms, k);
+            let m255 = fb.const_int(255);
+            let v = fb.binop(BinOp::IAnd, i, m255);
+            let passed = fb.call_static(assert_that, vec![v, m]).unwrap();
+            let acc = fb.iadd(s[0], passed);
+            vec![acc]
+        });
+        vec![inner[0]]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+fn typer(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    // A small type lattice as classes: the "typer" relates pairs of type
+    // representations through virtual + instanceof-heavy code.
+    let ty = p.add_class("Ty", None);
+    let id_f = p.add_field(ty, "id", Type::Int);
+    let named = p.add_class("NamedTy", Some(ty));
+    let arrow = p.add_class("ArrowTy", Some(ty));
+    let dom_f = p.add_field(arrow, "dom", Type::Object(ty));
+    let cod_f = p.add_field(arrow, "cod", Type::Object(ty));
+
+    // subtype_of(this, other) -> bool
+    let s_named = p.declare_method(named, "subtype_of", vec![Type::Object(ty)], Type::Bool);
+    let s_arrow = p.declare_method(arrow, "subtype_of", vec![Type::Object(ty)], Type::Bool);
+    let sel_sub = p.selector_by_name("subtype_of", 2).unwrap();
+
+    // Named: id-divisibility lattice (id_b divides id_a → subtype).
+    let mut fb = FunctionBuilder::new(&p, s_named);
+    let this = fb.param(0);
+    let other = fb.param(1);
+    let is_named = fb.instance_of(named, other);
+    let out = if_else(&mut fb, is_named, Type::Bool, |fb| {
+        let o = fb.cast(named, other);
+        let a = fb.get_field(id_f, this);
+        let b = fb.get_field(id_f, o);
+        let one = fb.const_int(1);
+        let b1 = {
+            let zero = fb.const_int(0);
+            let eq = fb.cmp(CmpOp::IEq, b, zero);
+            if_else(fb, eq, Type::Int, |_| one, |_| b)
+        };
+        let m = fb.binop(BinOp::IRem, a, b1);
+        let zero = fb.const_int(0);
+        fb.cmp(CmpOp::IEq, m, zero)
+    }, |fb| fb.const_bool(false));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(s_named, g);
+
+    // Arrow: contravariant domain, covariant codomain.
+    let mut fb = FunctionBuilder::new(&p, s_arrow);
+    let this = fb.param(0);
+    let other = fb.param(1);
+    let is_arrow = fb.instance_of(arrow, other);
+    let out = if_else(&mut fb, is_arrow, Type::Bool, |fb| {
+        let o = fb.cast(arrow, other);
+        let d1 = fb.get_field(dom_f, this);
+        let d2 = fb.get_field(dom_f, o);
+        let c1 = fb.get_field(cod_f, this);
+        let c2 = fb.get_field(cod_f, o);
+        let dom_ok = fb.call_virtual(sel_sub, vec![d2, d1]).unwrap();
+        if_else(fb, dom_ok, Type::Bool, |fb| fb.call_virtual(sel_sub, vec![c1, c2]).unwrap(), |fb| {
+            fb.const_bool(false)
+        })
+    }, |fb| fb.const_bool(false));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(s_arrow, g);
+
+    // main(n): relate pairs from a pool of types.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let pool_len = fb.const_int(6);
+    let pool = fb.new_array(ElemType::Object(ty), pool_len);
+    let mk_named = |fb: &mut FunctionBuilder<'_>, id: i64| {
+        let o = fb.new_object(named);
+        let k = fb.const_int(id);
+        fb.set_field(id_f, o, k);
+        fb.cast(ty, o)
+    };
+    let n2 = mk_named(&mut fb, 2);
+    let n3 = mk_named(&mut fb, 3);
+    let n6 = mk_named(&mut fb, 6);
+    let n12 = mk_named(&mut fb, 12);
+    let arrow1 = {
+        let o = fb.new_object(arrow);
+        fb.set_field(dom_f, o, n2);
+        fb.set_field(cod_f, o, n6);
+        fb.cast(ty, o)
+    };
+    let arrow2 = {
+        let o = fb.new_object(arrow);
+        fb.set_field(dom_f, o, n6);
+        fb.set_field(cod_f, o, n12);
+        fb.cast(ty, o)
+    };
+    for (i, v) in [n2, n3, n6, n12, arrow1, arrow2].into_iter().enumerate() {
+        let idx = fb.const_int(i as i64);
+        fb.array_set(pool, idx, v);
+    }
+    let six = fb.const_int(6);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let ai = fb.binop(BinOp::IRem, i, six);
+        let shift = fb.const_int(1);
+        let bi0 = fb.iadd(i, shift);
+        let bi = fb.binop(BinOp::IRem, bi0, six);
+        let a = fb.array_get(pool, ai);
+        let b = fb.array_get(pool, bi);
+        let rel = fb.call_virtual(sel_sub, vec![a, b]).unwrap();
+        let add = if_else(fb, rel, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+        let acc = fb.iadd(state[0], add);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_verify() {
+        build("specs", Suite::ScalaDaCapo, SpecVariant::Matchers, 20).verify_all();
+        build("dotty", Suite::Other, SpecVariant::Typer, 20).verify_all();
+    }
+}

@@ -1,0 +1,174 @@
+//! An embedded-database query engine (`h2`): predicate expression trees
+//! evaluated per row during table scans, with aggregation.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type, ValueId};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let iarr = Type::Array(ElemType::Int);
+
+    let expr = p.add_class("SqlExpr", None);
+    let col_f = p.add_field(expr, "col", Type::Int);
+    let k_f = p.add_field(expr, "k", Type::Int);
+    let l_f = p.add_field(expr, "l", Type::Object(expr));
+    let r_f = p.add_field(expr, "r", Type::Object(expr));
+    let col_ref = p.add_class("ColRef", Some(expr));
+    let lt = p.add_class("LtExpr", Some(expr));
+    let and = p.add_class("AndExpr", Some(expr));
+
+    // eval(this, row) -> int (booleans as 0/1, columns as values)
+    let e_col = p.declare_method(col_ref, "eval", vec![iarr], Type::Int);
+    let e_lt = p.declare_method(lt, "eval", vec![iarr], Type::Int);
+    let e_and = p.declare_method(and, "eval", vec![iarr], Type::Int);
+    let sel_eval = p.selector_by_name("eval", 2).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, e_col);
+    let this = fb.param(0);
+    let row = fb.param(1);
+    let c = fb.get_field(col_f, this);
+    let v = fb.array_get(row, c);
+    fb.ret(Some(v));
+    let g = fb.finish();
+    p.define_method(e_col, g);
+
+    let mut fb = FunctionBuilder::new(&p, e_lt);
+    let this = fb.param(0);
+    let row = fb.param(1);
+    let l = fb.get_field(l_f, this);
+    let lv = fb.call_virtual(sel_eval, vec![l, row]).unwrap();
+    let k = fb.get_field(k_f, this);
+    let below = fb.cmp(CmpOp::ILt, lv, k);
+    let out = if_else(&mut fb, below, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(e_lt, g);
+
+    let mut fb = FunctionBuilder::new(&p, e_and);
+    let this = fb.param(0);
+    let row = fb.param(1);
+    let l = fb.get_field(l_f, this);
+    let lv = fb.call_virtual(sel_eval, vec![l, row]).unwrap();
+    let zero = fb.const_int(0);
+    let l_true = fb.cmp(CmpOp::INe, lv, zero);
+    // Short-circuit: the right side only evaluates when the left is true.
+    let out = if_else(&mut fb, l_true, Type::Int, |fb| {
+        let r = fb.get_field(r_f, this);
+        fb.call_virtual(sel_eval, vec![r, row]).unwrap()
+    }, |fb| fb.const_int(0));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(e_and, g);
+
+    // scan(table, width, pred, agg_col) -> sum of agg_col over matches
+    let scan = p.declare_function(
+        "scan",
+        vec![iarr, Type::Int, Type::Object(expr), Type::Int],
+        Type::Int,
+    );
+    let mut fb = FunctionBuilder::new(&p, scan);
+    let table = fb.param(0);
+    let width = fb.param(1);
+    let pred = fb.param(2);
+    let agg_col = fb.param(3);
+    let total = fb.array_len(table);
+    let rows = fb.binop(BinOp::IDiv, total, width); // width ≥ 1
+    let row_buf = fb.new_array(ElemType::Int, width);
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, rows, &[zero], |fb, r, state| {
+        // Materialize the row.
+        let base = fb.imul(r, width);
+        let _ = counted_loop(fb, width, &[], |fb, c, _| {
+            let idx = fb.iadd(base, c);
+            let v = fb.array_get(table, idx);
+            fb.array_set(row_buf, c, v);
+            vec![]
+        });
+        let m = fb.call_virtual(sel_eval, vec![pred, row_buf]).unwrap();
+        let zero2 = fb.const_int(0);
+        let hit = fb.cmp(CmpOp::INe, m, zero2);
+        let add = if_else(fb, hit, Type::Int, |fb| fb.array_get(row_buf, agg_col), |fb| fb.const_int(0));
+        let acc = fb.iadd(state[0], add);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(scan, g);
+
+    // main(n): fill a 4-column table, run n scans with a fixed predicate:
+    //   WHERE col0 < 500 AND col2 < 300  → SUM(col1)
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let width = fb.const_int(4);
+    let rows = fb.const_int(32);
+    let cells = fb.imul(rows, width);
+    let table = fb.new_array(ElemType::Int, cells);
+    let _ = counted_loop(&mut fb, cells, &[], |fb, i, _| {
+        let k = fb.const_int(37);
+        let v = fb.imul(i, k);
+        let m = fb.const_int(997);
+        let v = fb.binop(BinOp::IRem, v, m);
+        fb.array_set(table, i, v);
+        vec![]
+    });
+
+    let mk_col = |fb: &mut FunctionBuilder<'_>, c: i64| -> ValueId {
+        let obj = fb.new_object(col_ref);
+        let cc = fb.const_int(c);
+        fb.set_field(col_f, obj, cc);
+        fb.cast(expr, obj)
+    };
+    let mk_lt = |fb: &mut FunctionBuilder<'_>, l: ValueId, k: i64| -> ValueId {
+        let obj = fb.new_object(lt);
+        let kk = fb.const_int(k);
+        fb.set_field(l_f, obj, l);
+        fb.set_field(k_f, obj, kk);
+        fb.cast(expr, obj)
+    };
+    let c0 = mk_col(&mut fb, 0);
+    let c2 = mk_col(&mut fb, 2);
+    let p0 = mk_lt(&mut fb, c0, 500);
+    let p2 = mk_lt(&mut fb, c2, 300);
+    let pred = {
+        let obj = fb.new_object(and);
+        fb.set_field(l_f, obj, p0);
+        fb.set_field(r_f, obj, p2);
+        fb.cast(expr, obj)
+    };
+
+    let zero = fb.const_int(0);
+    let one = fb.const_int(1);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let s = fb.call_static(scan, vec![table, width, pred, one]).unwrap();
+        // Perturb the table a little between scans.
+        let slot = fb.binop(BinOp::IRem, i, cells);
+        let old = fb.array_get(table, slot);
+        let bumped = fb.iadd(old, one);
+        let m = fb.const_int(997);
+        let bumped = fb.binop(BinOp::IRem, bumped, m);
+        fb.array_set(table, slot, bumped);
+        let acc = fb.iadd(state[0], s);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("h2", Suite::DaCapo, 10).verify_all();
+    }
+}

@@ -1,0 +1,128 @@
+//! Software-transactional-memory operations over a shared structure
+//! (`stmbench7` on ScalaSTM): transactions built from *tiny hot methods*
+//! — `tx_read`, `tx_write`, `validate`, `commit` — that only pay off when
+//! the whole cluster is inlined into the transaction loop.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, ElemType, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let tref = p.add_class("TRef", None);
+    let val_f = p.add_field(tref, "value", Type::Int);
+    let ver_f = p.add_field(tref, "version", Type::Int);
+    let refarr = Type::Array(ElemType::Object(tref));
+
+    // tx_read(ref, expected_ver) -> value (or -1 on conflict)
+    let tx_read = p.declare_function("tx_read", vec![Type::Object(tref), Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, tx_read);
+    let r = fb.param(0);
+    let ver = fb.param(1);
+    let rv = fb.get_field(ver_f, r);
+    let ok = fb.cmp(CmpOp::ILe, rv, ver);
+    let out = if_else(&mut fb, ok, Type::Int, |fb| fb.get_field(val_f, r), |fb| fb.const_int(-1));
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(tx_read, g);
+
+    // tx_write(ref, v, ver): store + stamp.
+    let tx_write =
+        p.declare_function("tx_write", vec![Type::Object(tref), Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, tx_write);
+    let r = fb.param(0);
+    let v = fb.param(1);
+    let ver = fb.param(2);
+    fb.set_field(val_f, r, v);
+    fb.set_field(ver_f, r, ver);
+    let one = fb.const_int(1);
+    fb.ret(Some(one));
+    let g = fb.finish();
+    p.define_method(tx_write, g);
+
+    // validate(read_sum): parity check — decides commit vs retry.
+    let validate = p.declare_function("validate", vec![Type::Int], Type::Bool);
+    let mut fb = FunctionBuilder::new(&p, validate);
+    let s = fb.param(0);
+    let zero = fb.const_int(0);
+    let ok = fb.cmp(CmpOp::IGe, s, zero);
+    fb.ret(Some(ok));
+    let g = fb.finish();
+    p.define_method(validate, g);
+
+    // transaction(refs, ver, salt) -> committed value
+    let transaction = p.declare_function("transaction", vec![refarr, Type::Int, Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, transaction);
+    let refs = fb.param(0);
+    let ver = fb.param(1);
+    let salt = fb.param(2);
+    let len = fb.array_len(refs);
+    let zero = fb.const_int(0);
+    // Read phase.
+    let read = counted_loop(&mut fb, len, &[zero], |fb, i, state| {
+        let r = fb.array_get(refs, i);
+        let v = fb.call_static(tx_read, vec![r, ver]).unwrap();
+        let acc = fb.iadd(state[0], v);
+        vec![acc]
+    });
+    // Validate, then write phase.
+    let ok = fb.call_static(validate, vec![read[0]]).unwrap();
+    let committed = if_else(&mut fb, ok, Type::Int, |fb| {
+        let wsum = counted_loop(fb, len, &[zero], |fb, i, state| {
+            let r = fb.array_get(refs, i);
+            let old = fb.get_field(val_f, r);
+            let nv = fb.iadd(old, salt);
+            let mask = fb.const_int(0xFFFF);
+            let nv = fb.binop(BinOp::IAnd, nv, mask);
+            let w = fb.call_static(tx_write, vec![r, nv, ver]).unwrap();
+            let acc = fb.iadd(state[0], w);
+            vec![acc]
+        });
+        wsum[0]
+    }, |fb| fb.const_int(0));
+    let total = fb.iadd(read[0], committed);
+    fb.ret(Some(total));
+    let g = fb.finish();
+    p.define_method(transaction, g);
+
+    // main(n): n transactions over 8 refs.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let count = fb.const_int(8);
+    let refs = fb.new_array(ElemType::Object(tref), count);
+    let _ = counted_loop(&mut fb, count, &[], |fb, i, _| {
+        let obj = fb.new_object(tref);
+        let v = fb.imul(i, i);
+        fb.set_field(val_f, obj, v);
+        fb.array_set(refs, i, obj);
+        vec![]
+    });
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let seven = fb.const_int(7);
+        let salt = fb.binop(BinOp::IAnd, i, seven);
+        let t = fb.call_static(transaction, vec![refs, i, salt]).unwrap();
+        let acc = fb.iadd(state[0], t);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, input, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies() {
+        build("stmbench7", Suite::Other, 20).verify_all();
+    }
+}

@@ -1,0 +1,224 @@
+//! Document-tree transformation: visitor polymorphism over element/text
+//! trees, heavy in type checks that deep inlining trials can fold.
+//!
+//! Models `xalan` (XSLT transform), `fop` (layout), `pmd` (AST rule
+//! matching) and `batik` (SVG rendering with float accumulation).
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, ElemType, Program, Type, ValueId};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// What the traversal computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeVariant {
+    /// Weighted size transform (`xalan`).
+    Transform,
+    /// Layout cost with per-tag constants (`fop`).
+    Layout,
+    /// Rule matching: count nodes matching tag patterns (`pmd`).
+    RuleMatch,
+    /// Float accumulation per node (`batik`).
+    Render,
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Traversal variant.
+    pub variant: TreeVariant,
+    /// Tree depth (fanout is 2).
+    pub depth: u32,
+    /// Traversals per iteration (entry argument).
+    pub input: i64,
+}
+
+/// Builds the workload.
+pub fn build(name: &str, suite: Suite, params: TreeParams) -> Workload {
+    let mut p = Program::new();
+    let node = p.add_class("DomNode", None);
+    let tag_f = p.add_field(node, "tag", Type::Int);
+    let weight_f = p.add_field(node, "weight", Type::Float);
+    let kids_f = p.add_field(node, "kids", Type::Array(ElemType::Object(node)));
+    let elem = p.add_class("Element", Some(node));
+    let text = p.add_class("Text", Some(node));
+    let len_f = p.add_field(text, "len", Type::Int);
+
+    // visit(this, mode) -> int, virtual over Element/Text.
+    let v_elem = p.declare_method(elem, "visit", vec![Type::Int], Type::Int);
+    let v_text = p.declare_method(text, "visit", vec![Type::Int], Type::Int);
+    let sel_visit = p.selector_by_name("visit", 2).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, v_text);
+    let this = fb.param(0);
+    let mode = fb.param(1);
+    let len = fb.get_field(len_f, this);
+    let tag = fb.get_field(tag_f, this);
+    let scaled = fb.imul(len, mode);
+    let r = fb.iadd(scaled, tag);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(v_text, g);
+
+    let mut fb = FunctionBuilder::new(&p, v_elem);
+    let this = fb.param(0);
+    let mode = fb.param(1);
+    let tag = fb.get_field(tag_f, this);
+    let kids = fb.get_field(kids_f, this);
+    let nk = fb.array_len(kids);
+    let out = counted_loop(&mut fb, nk, &[tag], |fb, i, state| {
+        let kid = fb.array_get(kids, i);
+        // The instanceof-heavy part: rule matching checks the child kind
+        // before recursing (pmd-style), folded by trials when the receiver
+        // type is precise.
+        let is_text = fb.instance_of(text, kid);
+        let bonus = if_else(fb, is_text, Type::Int, |fb| fb.const_int(2), |fb| fb.const_int(5));
+        let sub = fb.call_virtual(sel_visit, vec![kid, mode]).unwrap();
+        let acc = fb.iadd(state[0], sub);
+        let acc = fb.iadd(acc, bonus);
+        let mask = fb.const_int(0xFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(v_elem, g);
+
+    // measure(this) -> float for the render variant.
+    let m_elem = p.declare_method(elem, "measure", vec![], Type::Float);
+    let m_text = p.declare_method(text, "measure", vec![], Type::Float);
+    let sel_measure = p.selector_by_name("measure", 1).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, m_text);
+    let this = fb.param(0);
+    let w = fb.get_field(weight_f, this);
+    let len = fb.get_field(len_f, this);
+    let lf = fb.int_to_float(len);
+    let r = fb.fmul(w, lf);
+    fb.ret(Some(r));
+    let g = fb.finish();
+    p.define_method(m_text, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_elem);
+    let this = fb.param(0);
+    let w = fb.get_field(weight_f, this);
+    let kids = fb.get_field(kids_f, this);
+    let nk = fb.array_len(kids);
+    let out = counted_loop(&mut fb, nk, &[w], |fb, i, state| {
+        let kid = fb.array_get(kids, i);
+        let sub = fb.call_virtual(sel_measure, vec![kid]).unwrap();
+        let acc = fb.fadd(state[0], sub);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(m_elem, g);
+
+    // main(n): build a binary tree, traverse n times.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let mut rng = 0xA5A5_1234u64;
+    let root = emit_dom(&mut fb, node, elem, text, tag_f, weight_f, kids_f, len_f, params.depth, &mut rng);
+
+    let zero = fb.const_int(0);
+    let variant = params.variant;
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let r = match variant {
+            TreeVariant::Transform | TreeVariant::Layout | TreeVariant::RuleMatch => {
+                let mode = match variant {
+                    TreeVariant::Transform => fb.const_int(1),
+                    TreeVariant::Layout => fb.const_int(3),
+                    _ => {
+                        let seven = fb.const_int(7);
+                        fb.binop(BinOp::IRem, i, seven)
+                    }
+                };
+                fb.call_virtual(sel_visit, vec![root, mode]).unwrap()
+            }
+            TreeVariant::Render => {
+                let f = fb.call_virtual(sel_measure, vec![root]).unwrap();
+                let k = fb.const_float(16.0);
+                let s = fb.fmul(f, k);
+                fb.float_to_int(s)
+            }
+        };
+        let acc = fb.binop(BinOp::IXor, state[0], r);
+        let acc = fb.iadd(acc, r);
+        let mask = fb.const_int(0x7FFF_FFFF);
+        let acc = fb.binop(BinOp::IAnd, acc, mask);
+        vec![acc]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+    Workload::new(name, suite, p, main, params.input, 16)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_dom(
+    fb: &mut FunctionBuilder<'_>,
+    node: incline_ir::ClassId,
+    elem: incline_ir::ClassId,
+    text: incline_ir::ClassId,
+    tag_f: incline_ir::FieldId,
+    weight_f: incline_ir::FieldId,
+    kids_f: incline_ir::FieldId,
+    len_f: incline_ir::FieldId,
+    depth: u32,
+    rng: &mut u64,
+) -> ValueId {
+    let bump = |r: &mut u64| {
+        *r = r.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        *r >> 32
+    };
+    if depth == 0 {
+        let obj = fb.new_object(text);
+        let tag = fb.const_int((bump(rng) % 16) as i64);
+        let len = fb.const_int(1 + (bump(rng) % 40) as i64);
+        let w = fb.const_float(0.5);
+        fb.set_field(tag_f, obj, tag);
+        fb.set_field(len_f, obj, len);
+        fb.set_field(weight_f, obj, w);
+        // Text nodes still need an (empty) kids array for uniform layout.
+        let zero = fb.const_int(0);
+        let kids = fb.new_array(ElemType::Object(node), zero);
+        fb.set_field(kids_f, obj, kids);
+        fb.cast(node, obj)
+    } else {
+        let l = emit_dom(fb, node, elem, text, tag_f, weight_f, kids_f, len_f, depth - 1, rng);
+        let r = emit_dom(fb, node, elem, text, tag_f, weight_f, kids_f, len_f, depth - 1, rng);
+        let obj = fb.new_object(elem);
+        let tag = fb.const_int((bump(rng) % 16) as i64);
+        let w = fb.const_float(1.0 + (bump(rng) % 4) as f64);
+        fb.set_field(tag_f, obj, tag);
+        fb.set_field(weight_f, obj, w);
+        let two = fb.const_int(2);
+        let kids = fb.new_array(ElemType::Object(node), two);
+        let zero = fb.const_int(0);
+        let one = fb.const_int(1);
+        fb.array_set(kids, zero, l);
+        fb.array_set(kids, one, r);
+        fb.set_field(kids_f, obj, kids);
+        fb.cast(node, obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_verify() {
+        for (name, v) in [
+            ("xalan", TreeVariant::Transform),
+            ("fop", TreeVariant::Layout),
+            ("pmd", TreeVariant::RuleMatch),
+            ("batik", TreeVariant::Render),
+        ] {
+            let w = build(name, Suite::DaCapo, TreeParams { variant: v, depth: 3, input: 10 });
+            w.verify_all();
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared construction helpers for workload programs.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{CmpOp, Type, ValueId};
+
+/// Emits a counted loop `for i in 0..n` threading `init` state values
+/// through loop-carried block parameters. `body` receives the builder
+/// (positioned inside the loop body), the induction variable and the
+/// current state, and returns the next state. Returns the final state.
+///
+/// The closure may create additional blocks; whichever block it leaves the
+/// cursor on receives the back edge.
+pub fn counted_loop<F>(
+    fb: &mut FunctionBuilder<'_>,
+    n: ValueId,
+    init: &[ValueId],
+    body: F,
+) -> Vec<ValueId>
+where
+    F: FnOnce(&mut FunctionBuilder<'_>, ValueId, &[ValueId]) -> Vec<ValueId>,
+{
+    let mut param_tys = vec![Type::Int];
+    param_tys.extend(init.iter().map(|&v| fb.value_type(v)));
+    let (head, hp) = fb.add_block_with_params(&param_tys);
+    let body_block = fb.add_block();
+    let state_tys: Vec<Type> = param_tys[1..].to_vec();
+    let (exit, exit_state) = fb.add_block_with_params(&state_tys);
+
+    let zero = fb.const_int(0);
+    let mut entry_args = vec![zero];
+    entry_args.extend_from_slice(init);
+    fb.jump(head, entry_args);
+
+    fb.switch_to(head);
+    let cond = fb.cmp(CmpOp::ILt, hp[0], n);
+    fb.branch(cond, (body_block, vec![]), (exit, hp[1..].to_vec()));
+
+    fb.switch_to(body_block);
+    let next_state = body(fb, hp[0], &hp[1..]);
+    assert_eq!(next_state.len(), init.len(), "loop body must return the full state");
+    let one = fb.const_int(1);
+    let i_next = fb.iadd(hp[0], one);
+    let mut back_args = vec![i_next];
+    back_args.extend(next_state);
+    fb.jump(head, back_args);
+
+    fb.switch_to(exit);
+    exit_state
+}
+
+/// Emits `if cond { then } else { other }` producing one merged value.
+/// Both closures receive the builder positioned in their own block and
+/// return the branch's value; the cursor ends on the join block.
+pub fn if_else<T, E>(
+    fb: &mut FunctionBuilder<'_>,
+    cond: ValueId,
+    ty: Type,
+    then: T,
+    other: E,
+) -> ValueId
+where
+    T: FnOnce(&mut FunctionBuilder<'_>) -> ValueId,
+    E: FnOnce(&mut FunctionBuilder<'_>) -> ValueId,
+{
+    let tb = fb.add_block();
+    let eb = fb.add_block();
+    let (join, jp) = fb.add_block_with_params(&[ty]);
+    fb.branch(cond, (tb, vec![]), (eb, vec![]));
+    fb.switch_to(tb);
+    let tv = then(fb);
+    fb.jump(join, vec![tv]);
+    fb.switch_to(eb);
+    let ev = other(fb);
+    fb.jump(join, vec![ev]);
+    fb.switch_to(join);
+    jp[0]
+}
+
+/// Emits `rounds` of non-foldable integer mixing over `v` (each round is
+/// three dependent ops). Used to pad archetype methods up to realistic
+/// IR sizes — the paper's thresholds (`r1 ≈ 3000`, `t2 = 120`) only bind
+/// when methods and call towers have Graal-like sizes. The result depends
+/// on `v`, so neither constant folding nor DCE can remove the chain.
+pub fn pad_mix(fb: &mut FunctionBuilder<'_>, v: ValueId, rounds: usize) -> ValueId {
+    let mut x = v;
+    for i in 0..rounds {
+        let k = fb.const_int(0x9E37 + 2 * i as i64 + 1);
+        let a = fb.imul(x, k);
+        let s = fb.const_int(((i % 3) + 1) as i64);
+        let b = fb.binop(incline_ir::BinOp::IShr, a, s);
+        x = fb.binop(incline_ir::BinOp::IXor, a, b);
+    }
+    let mask = fb.const_int(0xFF_FFFF);
+    fb.binop(incline_ir::BinOp::IAnd, x, mask)
+}
+
+/// Float analog of [`pad_mix`].
+pub fn pad_fmix(fb: &mut FunctionBuilder<'_>, v: ValueId, rounds: usize) -> ValueId {
+    let mut x = v;
+    for i in 0..rounds {
+        let k = fb.const_float(1.0 + 0.03 * i as f64);
+        let a = fb.fmul(x, k);
+        let one = fb.const_float(1.0);
+        let d = fb.fadd(a, one);
+        x = fb.binop(incline_ir::BinOp::FDiv, a, d);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incline_ir::verify::verify;
+    use incline_ir::{Program, RetType};
+
+    #[test]
+    fn counted_loop_builds_verified_sum() {
+        let mut p = Program::new();
+        let m = p.declare_function("sum", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+            let acc = fb.iadd(state[0], i);
+            vec![acc]
+        });
+        fb.ret(Some(out[0]));
+        let g = fb.finish();
+        p.define_method(m, g);
+        verify(&p, p.method(m)).unwrap();
+    }
+
+    #[test]
+    fn if_else_merges() {
+        let mut p = Program::new();
+        let m = p.declare_function("pick", vec![Type::Bool], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let c = fb.param(0);
+        let v = if_else(&mut fb, c, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(2));
+        fb.ret(Some(v));
+        let g = fb.finish();
+        p.define_method(m, g);
+        verify(&p, p.method(m)).unwrap();
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        let mut p = Program::new();
+        let m = p.declare_function("nest", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let n = fb.param(0);
+        let zero = fb.const_int(0);
+        let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+            let inner = counted_loop(fb, i, &[state[0]], |fb, j, s| {
+                let a = fb.iadd(s[0], j);
+                vec![a]
+            });
+            vec![inner[0]]
+        });
+        fb.ret(Some(out[0]));
+        let g = fb.finish();
+        p.define_method(m, g);
+        verify(&p, p.method(m)).unwrap();
+        assert_eq!(incline_ir::loops::LoopForest::compute(&p.method(m).graph).loops.len(), 2);
+    }
+
+    #[test]
+    fn ret_type_helper() {
+        let _: RetType = Type::Int.into();
+    }
+
+    #[test]
+    fn pad_mix_is_not_foldable() {
+        let mut p = Program::new();
+        let m = p.declare_function("padded", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let v = pad_mix(&mut fb, x, 10);
+        fb.ret(Some(v));
+        let mut g = fb.finish();
+        let before = g.size();
+        assert!(before > 30, "padding must add size: {before}");
+        incline_opt::optimize(&p, &mut g);
+        assert!(g.size() as f64 > before as f64 * 0.8, "padding must survive the optimizer");
+    }
+
+    #[test]
+    fn pad_fmix_verifies() {
+        let mut p = Program::new();
+        let m = p.declare_function("fpadded", vec![Type::Float], Type::Float);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let v = pad_fmix(&mut fb, x, 8);
+        fb.ret(Some(v));
+        let g = fb.finish();
+        p.define_method(m, g);
+        verify(&p, p.method(m)).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! The [`Workload`] type: a named, runnable benchmark program.
+
+use incline_ir::{MethodId, Program};
+
+/// Which of the paper's suites a benchmark belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Java DaCapo (10 benchmarks).
+    DaCapo,
+    /// Scala DaCapo (12 benchmarks).
+    ScalaDaCapo,
+    /// Spark-Perf MLlib kernels (3 benchmarks).
+    SparkPerf,
+    /// Neo4j / Dotty / STMBench7.
+    Other,
+}
+
+impl Suite {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::DaCapo => "DaCapo",
+            Suite::ScalaDaCapo => "Scala DaCapo",
+            Suite::SparkPerf => "Spark-Perf",
+            Suite::Other => "Other",
+        }
+    }
+}
+
+/// A runnable benchmark: program, entry point and default workload size.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (matches the paper's benchmark names).
+    pub name: String,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// The program.
+    pub program: Program,
+    /// Entry method with signature `fn(int) -> int`.
+    pub entry: MethodId,
+    /// Default entry argument (work per iteration).
+    pub input: i64,
+    /// Default repetition count for the measurement protocol.
+    pub iterations: usize,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(
+        name: impl Into<String>,
+        suite: Suite,
+        program: Program,
+        entry: MethodId,
+        input: i64,
+        iterations: usize,
+    ) -> Self {
+        Workload { name: name.into(), suite, program, entry, input, iterations }
+    }
+
+    /// Verifies every method of the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the verifier diagnostic if any method is ill-formed —
+    /// workload construction bugs should fail loudly in tests.
+    pub fn verify_all(&self) {
+        for m in self.program.method_ids() {
+            let method = self.program.method(m);
+            if let Err(e) = incline_ir::verify::verify(&self.program, method) {
+                panic!("workload {}: method {} fails to verify: {e}", self.name, method.name);
+            }
+        }
+    }
+
+    /// A scaled copy (smaller/larger input for quick tests or stress).
+    pub fn with_input(mut self, input: i64) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// A copy with a different repetition count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+}

@@ -1,0 +1,49 @@
+//! A miniature of the paper's Figure 9: run one (or all) of the 28
+//! benchmarks under the proposed inliner and the baselines, printing
+//! normalized times and code sizes.
+//!
+//! ```text
+//! cargo run --release --example compare_inliners [benchmark|--all]
+//! ```
+
+use incline::baselines::{C2Inliner, GreedyInliner};
+use incline::prelude::*;
+use incline::vm::run_benchmark;
+
+fn measure(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
+    let spec = BenchSpec { entry: w.entry, args: vec![Value::Int(w.input)], iterations: w.iterations };
+    let config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
+    let r = run_benchmark(&w.program, &spec, inliner, config).expect("benchmark runs");
+    (r.steady_state, r.installed_bytes)
+}
+
+fn report(w: &Workload) {
+    let (incr, incr_code) = measure(w, Box::new(IncrementalInliner::new()));
+    let (greedy, greedy_code) = measure(w, Box::new(GreedyInliner::new()));
+    let (c2, c2_code) = measure(w, Box::new(C2Inliner::new()));
+    let (none, _) = measure(w, Box::new(NoInline));
+    println!(
+        "{:<13} incremental 1.00 | greedy {:>5.2} | c2 {:>5.2} | no-inline {:>5.2} | code {:>5}/{:>5}/{:>5} B",
+        w.name,
+        greedy / incr,
+        c2 / incr,
+        none / incr,
+        incr_code,
+        greedy_code,
+        c2_code
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "factorie".to_string());
+    println!("normalized running time (incremental = 1.00; higher = slower than incremental)\n");
+    if arg == "--all" {
+        for w in incline::workloads::all_benchmarks() {
+            report(&w);
+        }
+    } else {
+        let w = incline::workloads::by_name(&arg)
+            .unwrap_or_else(|| panic!("unknown benchmark `{arg}`; pass --all or a paper name"));
+        report(&w);
+    }
+}

@@ -1,0 +1,116 @@
+//! Author a program in the textual IR format, parse it, and run it under
+//! every inliner, checking that all of them agree on the output.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use incline::baselines::{C2Inliner, GreedyInliner};
+use incline::prelude::*;
+
+const SOURCE: &str = r#"
+# A tiny object-oriented program in incline's textual IR.
+class Shape
+class Circle : Shape {
+  field r: int
+}
+class Square : Shape {
+  field side: int
+}
+
+method Circle.area2(Circle) -> int {
+b0(v0: Circle):
+  v1 = getfield Circle.r v0
+  v2 = imul v1, v1
+  v3 = const.int 6
+  v4 = imul v2, v3
+  ret v4
+}
+
+method Square.area2(Square) -> int {
+b0(v0: Square):
+  v1 = getfield Square.side v0
+  v2 = imul v1, v1
+  v3 = const.int 2
+  v4 = imul v2, v3
+  ret v4
+}
+
+fn total(int) -> int {
+b0(v0: int):
+  v1 = const.int 0
+  v2 = new Circle
+  v3 = const.int 3
+  setfield Circle.r v2, v3
+  v4 = new Square
+  v5 = const.int 4
+  setfield Square.side v4, v5
+  jump b1(v1, v1)
+b1(v6: int, v7: int):
+  v8 = ilt v6, v0
+  br v8, b2(), b3()
+b2():
+  v9 = iand v6, v3
+  v10 = ieq v9, v3
+  br v10, b4(), b5()
+b4():
+  v11 = callv area2(v4)
+  jump b6(v11)
+b5():
+  v12 = callv area2(v2)
+  jump b6(v12)
+b6(v13: int):
+  v14 = iadd v7, v13
+  v15 = const.int 1
+  v16 = iadd v6, v15
+  jump b1(v16, v14)
+b3():
+  print v7
+  ret v7
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = incline::ir::parse::parse_program(SOURCE)?;
+    let entry = program.function_by_name("total").expect("total exists");
+
+    // Verify everything we parsed.
+    for m in program.method_ids() {
+        incline::ir::verify::verify(&program, program.method(m))?;
+    }
+    println!("parsed and verified {} methods", program.method_count());
+
+    let inliners: Vec<(&str, Box<dyn Inliner>)> = vec![
+        ("interpreter", Box::new(NoInline)),
+        ("no-inline", Box::new(NoInline)),
+        ("greedy", Box::new(GreedyInliner::new())),
+        ("c2", Box::new(C2Inliner::new())),
+        ("incremental", Box::new(IncrementalInliner::new())),
+    ];
+
+    println!("\n{:<12} {:>10} {:>12} {:>8}", "inliner", "result", "cycles", "code");
+    println!("{}", "-".repeat(46));
+    let mut reference: Option<Vec<String>> = None;
+    for (i, (name, inliner)) in inliners.into_iter().enumerate() {
+        let jit = i != 0;
+        let config = VmConfig { jit, hotness_threshold: 2, ..VmConfig::default() };
+        let mut vm = Machine::new(&program, inliner, config);
+        let mut out = vm.run(entry, vec![Value::Int(64)])?;
+        for _ in 0..4 {
+            out = vm.run(entry, vec![Value::Int(64)])?;
+        }
+        println!(
+            "{:<12} {:>10?} {:>12} {:>8}",
+            name,
+            out.value.unwrap(),
+            out.exec_cycles,
+            vm.installed_bytes()
+        );
+        match &reference {
+            None => reference = Some(out.output.lines().to_vec()),
+            Some(r) => assert_eq!(r, out.output.lines(), "{name} diverged!"),
+        }
+    }
+    println!("\nall inliners agree with the interpreter ✓");
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! The `incline` command-line tool: parse, verify, optimize, compile, run
+//! and explain programs written in the textual IR format.
+//!
+//! ```text
+//! incline print   <file.ir> [--optimize]
+//! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME]
+//! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
+//! incline bench   <benchmark-name> [--inliner NAME]
+//! incline dot     <file.ir> [--entry main] [--optimize]
+//! incline list-benchmarks
+//! ```
+//!
+//! Inliner names: `incremental` (default), `greedy`, `c2`, `none`.
+
+use std::process::ExitCode;
+
+use incline::baselines::{C2Inliner, GreedyInliner};
+use incline::prelude::*;
+use incline::vm::run_benchmark;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "print" => cmd_print(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "compile" => cmd_compile(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        "list-benchmarks" => {
+            for w in incline::workloads::all_benchmarks() {
+                println!("{:<14} {}", w.name, w.suite.label());
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+incline — optimization-driven incremental inline substitution (CGO'19)
+
+USAGE:
+  incline print   <file.ir> [--optimize]
+  incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME]
+  incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
+  incline bench   <benchmark-name> [--inliner NAME]
+  incline dot     <file.ir> [--entry main] [--optimize]
+  incline list-benchmarks
+
+Inliners: incremental (default), greedy, c2, none.";
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = incline::ir::parse::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    for m in program.method_ids() {
+        incline::ir::verify::verify(&program, program.method(m))
+            .map_err(|e| format!("{path}: method `{}`: {e}", program.method(m).name))?;
+    }
+    Ok(program)
+}
+
+fn make_inliner(name: &str) -> Result<Box<dyn Inliner>, String> {
+    Ok(match name {
+        "incremental" => Box::new(IncrementalInliner::new()),
+        "greedy" => Box::new(GreedyInliner::new()),
+        "c2" => Box::new(C2Inliner::new()),
+        "none" => Box::new(NoInline),
+        other => return Err(format!("unknown inliner `{other}`")),
+    })
+}
+
+fn entry_of(program: &Program, args: &[String]) -> Result<incline::ir::MethodId, String> {
+    let name = opt_value(args, "--entry").unwrap_or("main");
+    program.function_by_name(name).ok_or_else(|| format!("no function `{name}`"))
+}
+
+fn cmd_print(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.ir>")?;
+    let mut program = load(path)?;
+    if flag(args, "--optimize") {
+        let snapshot = program.clone();
+        for m in snapshot.method_ids() {
+            let mut g = snapshot.method(m).graph.clone();
+            let stats = incline::opt::optimize(&snapshot, &mut g);
+            if stats.any() {
+                eprintln!("# {}: {:?}", snapshot.method(m).name, stats);
+            }
+            program.define_method(m, g);
+        }
+    }
+    print!("{}", incline::ir::print::program_str(&program));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.ir>")?;
+    let program = load(path)?;
+    let entry = entry_of(&program, args)?;
+    let input: i64 = opt_value(args, "--input").unwrap_or("10").parse().map_err(|e| format!("--input: {e}"))?;
+    let jit = flag(args, "--jit");
+    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
+    let config = VmConfig { jit, hotness_threshold: 5, ..VmConfig::default() };
+    let mut vm = Machine::new(&program, inliner, config);
+    let runs = if jit { 8 } else { 1 };
+    let mut last = None;
+    for _ in 0..runs {
+        last = Some(vm.run(entry, vec![Value::Int(input)]).map_err(|e| e.to_string())?);
+    }
+    let out = last.expect("ran at least once");
+    print!("{}", out.output);
+    println!("=> {:?}", out.value);
+    println!(
+        "cycles: {} exec + {} compile; {} methods compiled, {} code bytes",
+        out.exec_cycles,
+        out.compile_cycles,
+        vm.compilations(),
+        vm.installed_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.ir>")?;
+    let program = load(path)?;
+    let entry = entry_of(&program, args)?;
+    let input: i64 = opt_value(args, "--input").unwrap_or("10").parse().map_err(|e| format!("--input: {e}"))?;
+
+    // Gather profiles by interpreting the entry once.
+    let mut vm = Machine::new(&program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+    vm.run(entry, vec![Value::Int(input)]).map_err(|e| format!("profiling run: {e}"))?;
+    let profiles = vm.profiles().clone();
+    let cx = CompileCx { program: &program, profiles: &profiles };
+
+    let name = opt_value(args, "--inliner").unwrap_or("incremental");
+    if flag(args, "--explain") {
+        if name != "incremental" {
+            return Err("--explain requires the incremental inliner".to_string());
+        }
+        let (out, explain) = IncrementalInliner::new().compile_explain(entry, &cx);
+        println!("=== call tree per round ===\n{explain}");
+        println!("=== compiled IR ===\n{}", incline::ir::print::graph_str(&program, &out.graph));
+        println!("stats: {:?}", out.stats);
+    } else {
+        let inliner = make_inliner(name)?;
+        let out = inliner.compile(entry, &cx);
+        println!("{}", incline::ir::print::graph_str(&program, &out.graph));
+        eprintln!("stats: {:?}", out.stats);
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.ir>")?;
+    let program = load(path)?;
+    let entry = entry_of(&program, args)?;
+    let mut g = program.method(entry).graph.clone();
+    if flag(args, "--optimize") {
+        incline::opt::optimize(&program, &mut g);
+    }
+    print!("{}", incline::ir::dot::graph_to_dot(&program, &g, &program.method(entry).name));
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing <benchmark-name>")?;
+    let w = incline::workloads::by_name(name).ok_or_else(|| {
+        format!("unknown benchmark `{name}` (see `incline list-benchmarks`)")
+    })?;
+    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
+    let spec = BenchSpec { entry: w.entry, args: vec![Value::Int(w.input)], iterations: w.iterations };
+    let config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
+    let r = run_benchmark(&w.program, &spec, inliner, config).map_err(|e| e.to_string())?;
+    println!("benchmark: {} ({})", w.name, w.suite.label());
+    println!("per-iteration cycles: {:?}", r.per_iteration);
+    println!(
+        "steady state: {:.0} ± {:.0} cycles; code {} bytes; {} compilations",
+        r.steady_state, r.std_dev, r.installed_bytes, r.compilations
+    );
+    Ok(())
+}

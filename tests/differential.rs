@@ -1,0 +1,97 @@
+//! Differential execution tests: every workload and a corpus of random
+//! programs must produce byte-identical output and return values when run
+//! (a) purely interpreted and (b) JIT-compiled under *every* inliner and
+//! every policy ablation. This is the master correctness property of the
+//! whole system — any miscompilation in the optimizer, the call-tree
+//! specialization, typeswitch emission or the inline transplant shows up
+//! here.
+
+use incline_baselines::{C2Inliner, GreedyInliner};
+use incline_core::{IncrementalInliner, PolicyConfig};
+use incline_vm::{Inliner, Machine, NoInline, RunOutcome, Value, VmConfig};
+use incline_workloads::{GenConfig, Workload};
+
+/// Runs a workload to completion on a fresh machine and returns the final
+/// iteration's outcome (after warmup, so compiled code actually runs).
+fn run_with(w: &Workload, inliner: Box<dyn Inliner + '_>, jit: bool, input: i64) -> RunOutcome {
+    let config = VmConfig { jit, hotness_threshold: 2, ..VmConfig::default() };
+    let mut vm = Machine::new(&w.program, inliner, config);
+    let mut last = None;
+    for _ in 0..4 {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .unwrap_or_else(|e| panic!("{}: execution failed: {e}", w.name));
+        last = Some(out);
+    }
+    last.expect("at least one run")
+}
+
+fn all_inliners() -> Vec<(&'static str, Box<dyn Inliner>)> {
+    vec![
+        ("no-inline", Box::new(NoInline)),
+        ("greedy", Box::new(GreedyInliner::new())),
+        ("c2", Box::new(C2Inliner::new())),
+        ("incremental", Box::new(IncrementalInliner::new())),
+        ("fixed", Box::new(IncrementalInliner::with_config(PolicyConfig::fixed(1000, 3000)))),
+        ("one-by-one", Box::new(IncrementalInliner::with_config(PolicyConfig::one_by_one(0.005, 120.0)))),
+        ("shallow", Box::new(IncrementalInliner::with_config(PolicyConfig::shallow_trials()))),
+    ]
+}
+
+fn check_workload(w: &Workload, input: i64) {
+    let reference = run_with(w, Box::new(NoInline), false, input);
+    for (name, inliner) in all_inliners() {
+        let out = run_with(w, inliner, true, input);
+        assert_eq!(
+            reference.value, out.value,
+            "{}: return value differs under inliner `{name}`",
+            w.name
+        );
+        assert_eq!(
+            reference.output, out.output,
+            "{}: printed output differs under inliner `{name}`",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn all_paper_benchmarks_are_semantics_preserving() {
+    for w in incline_workloads::all_benchmarks() {
+        // Small inputs: correctness, not performance.
+        let input = w.input.min(8);
+        check_workload(&w, input);
+    }
+}
+
+#[test]
+fn random_programs_are_semantics_preserving() {
+    for seed in 0..40u64 {
+        let w = incline_workloads::generate(seed, GenConfig::default());
+        check_workload(&w, 12);
+    }
+}
+
+#[test]
+fn random_programs_with_heavier_bodies() {
+    let config = GenConfig { functions: 8, ops_per_function: 24, loop_prob: 0.7, branch_prob: 0.8 };
+    for seed in 100..115u64 {
+        let w = incline_workloads::generate(seed, config);
+        check_workload(&w, 9);
+    }
+}
+
+#[test]
+fn interpreted_and_compiled_cycles_differ_but_values_match() {
+    // Sanity on the cost model: compiled steady state must be faster.
+    let w = incline_workloads::by_name("factorie").unwrap();
+    let interp = run_with(&w, Box::new(NoInline), false, 8);
+    let jit = run_with(&w, Box::new(IncrementalInliner::new()), true, 8);
+    assert_eq!(interp.value, jit.value);
+    assert!(
+        jit.exec_cycles < interp.exec_cycles,
+        "compiled ({}) should beat interpreted ({})",
+        jit.exec_cycles,
+        interp.exec_cycles
+    );
+}

@@ -1,0 +1,107 @@
+//! Property-based tests over the whole system, driven by the seeded
+//! random-program generator: every generated program must
+//!
+//! * verify,
+//! * round-trip through the textual printer/parser,
+//! * stay verifiable under every optimization pass,
+//! * and produce identical observable behavior interpreted vs. compiled.
+
+use proptest::prelude::*;
+
+use incline::ir::verify::{verify, verify_graph};
+use incline::prelude::*;
+use incline::workloads::{generate, GenConfig};
+
+fn gen_config() -> GenConfig {
+    GenConfig { functions: 5, ops_per_function: 12, loop_prob: 0.5, branch_prob: 0.6 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_verify(seed in any::<u64>()) {
+        let w = generate(seed, gen_config());
+        for m in w.program.method_ids() {
+            verify(&w.program, w.program.method(m)).expect("generated method verifies");
+        }
+    }
+
+    #[test]
+    fn printer_parser_fixpoint(seed in any::<u64>()) {
+        let w = generate(seed, gen_config());
+        let s1 = incline::ir::print::program_str(&w.program);
+        let p2 = incline::ir::parse::parse_program(&s1).expect("printed program parses");
+        let s2 = incline::ir::print::program_str(&p2);
+        // One normalization round may renumber; after that it's stable.
+        let p3 = incline::ir::parse::parse_program(&s2).expect("reparse");
+        let s3 = incline::ir::print::program_str(&p3);
+        prop_assert_eq!(s2, s3);
+    }
+
+    #[test]
+    fn every_pass_preserves_verifiability(seed in any::<u64>()) {
+        let w = generate(seed, gen_config());
+        for m in w.program.method_ids() {
+            let method = w.program.method(m);
+            let run = |f: &dyn Fn(&mut Graph)| {
+                let mut g = method.graph.clone();
+                f(&mut g);
+                verify_graph(&w.program, &g, &method.params, method.ret)
+                    .unwrap_or_else(|e| panic!("pass broke {}: {e}", method.name));
+            };
+            run(&|g| {
+                incline::opt::canonicalize(&w.program, g);
+            });
+            run(&|g| {
+                incline::opt::gvn(g);
+            });
+            run(&|g| {
+                incline::opt::rw_elim(&w.program, g);
+            });
+            run(&|g| {
+                incline::opt::dce(g);
+            });
+            run(&|g| {
+                incline::opt::peel_loops(&w.program, g);
+            });
+            run(&|g| {
+                incline::opt::optimize(&w.program, g);
+            });
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_behavior(seed in any::<u64>(), input in 1i64..24) {
+        let w = generate(seed, gen_config());
+        // Interpreted reference.
+        let mut interp = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let reference = interp.run(w.entry, vec![Value::Int(input)]).expect("reference runs");
+        // Fully optimized program (every method), still interpreted.
+        let mut optimized = w.program.clone();
+        for m in optimized.method_ids().collect::<Vec<_>>() {
+            let mut g = optimized.method(m).graph.clone();
+            incline::opt::optimize(&w.program, &mut g);
+            optimized.define_method(m, g);
+        }
+        let mut vm = Machine::new(&optimized, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let out = vm.run(w.entry, vec![Value::Int(input)]).expect("optimized runs");
+        prop_assert_eq!(reference.value, out.value);
+        prop_assert_eq!(reference.output, out.output);
+    }
+
+    #[test]
+    fn incremental_inliner_preserves_behavior(seed in any::<u64>(), input in 1i64..20) {
+        let w = generate(seed, gen_config());
+        let mut interp = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let reference = interp.run(w.entry, vec![Value::Int(input)]).expect("reference runs");
+        let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+        let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+        let mut out = vm.run(w.entry, vec![Value::Int(input)]).expect("first run");
+        for _ in 0..2 {
+            out = vm.run(w.entry, vec![Value::Int(input)]).expect("warm run");
+        }
+        prop_assert_eq!(reference.value, out.value);
+        prop_assert_eq!(reference.output, out.output);
+    }
+}
