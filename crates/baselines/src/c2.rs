@@ -20,7 +20,7 @@ use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{Graph, InstId, MethodId};
-use incline_vm::{CompileCx, CompileOutcome, InlineStats, Inliner};
+use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 /// Tunables of the C2-style baseline.
 #[derive(Clone, Copy, Debug)]
@@ -75,8 +75,17 @@ impl Inliner for C2Inliner {
         "c2"
     }
 
-    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+    fn compile(
+        &self,
+        method: MethodId,
+        cx: &CompileCx<'_>,
+    ) -> Result<CompileOutcome, CompileError> {
         let mut graph = cx.program.method(method).graph.clone();
+        if !cx.fuel.charge(graph.size() as u64) {
+            return Err(CompileError::OutOfFuel {
+                limit: cx.fuel.limit().unwrap_or(u64::MAX),
+            });
+        }
         let mut state = State {
             inlined_calls: 0,
             explored: 0,
@@ -87,9 +96,14 @@ impl Inliner for C2Inliner {
         for inst in sites {
             self.try_inline(cx, &mut graph, inst, 1.0, 0, 0, &mut state);
         }
-        let stats = incline_opt::optimize(cx.program, &mut graph);
+        let stats = incline_opt::optimize_fueled(
+            cx.program,
+            &mut graph,
+            incline_opt::PipelineConfig::default(),
+            cx.fuel,
+        );
         let final_size = graph.size();
-        CompileOutcome {
+        Ok(CompileOutcome {
             graph,
             work_nodes: state.explored + final_size,
             stats: InlineStats {
@@ -99,7 +113,7 @@ impl Inliner for C2Inliner {
                 final_size: final_size as u64,
                 opt_events: stats.total(),
             },
-        }
+        })
     }
 }
 
@@ -129,7 +143,9 @@ impl C2Inliner {
         let Some((block, _)) = graph.callsites().into_iter().find(|&(_, i)| i == inst) else {
             return;
         };
-        let Op::Call(info) = graph.inst(inst).op.clone() else { return };
+        let Op::Call(info) = graph.inst(inst).op.clone() else {
+            return;
+        };
         let site_freq = freq * cx.profiles.local_frequency(info.site);
 
         match info.target {
@@ -148,6 +164,10 @@ impl C2Inliner {
                 if target == state.root && next_rec > c.max_recursive_inline {
                     return;
                 }
+                // A spent compile budget winds the parse down gracefully.
+                if !cx.fuel.charge(size as u64) {
+                    return;
+                }
                 let body = callee.graph.clone();
                 state.explored += body.size();
                 let res = inline_call(graph, block, inst, &body);
@@ -162,7 +182,15 @@ impl C2Inliner {
                 // Deterministic order.
                 nested.sort_by_key(|&(i, _)| i);
                 for (ni, nf) in nested {
-                    self.try_inline(cx, graph, ni, nf / site_freq.max(f64::MIN_POSITIVE), level + 1, next_rec, state);
+                    self.try_inline(
+                        cx,
+                        graph,
+                        ni,
+                        nf / site_freq.max(f64::MIN_POSITIVE),
+                        level + 1,
+                        next_rec,
+                        state,
+                    );
                 }
             }
             CallTarget::Virtual(sel) => {
@@ -175,7 +203,10 @@ impl C2Inliner {
                     }
                     if let Some(m) = cx.program.resolve(e.class, sel) {
                         if !cases.iter().any(|cs: &TypeswitchCase| cs.target == m) {
-                            cases.push(TypeswitchCase { target: m, guard: e.class });
+                            cases.push(TypeswitchCase {
+                                target: m,
+                                guard: e.class,
+                            });
                         }
                     }
                 }
@@ -238,8 +269,8 @@ mod tests {
         p.define_method(root, g);
 
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
-        let out = C2Inliner::new().compile(root, &cx);
+        let cx = CompileCx::new(&p, &profiles);
+        let out = C2Inliner::new().compile(root, &cx).unwrap();
         assert_eq!(out.stats.inlined_calls, 2);
         assert!(out.graph.callsites().is_empty());
         verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
@@ -257,8 +288,8 @@ mod tests {
         let g = fb.finish();
         p.define_method(f, g);
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
-        let out = C2Inliner::new().compile(f, &cx);
+        let cx = CompileCx::new(&p, &profiles);
+        let out = C2Inliner::new().compile(f, &cx).unwrap();
         assert!(out.stats.inlined_calls <= 1, "{:?}", out.stats);
         verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
     }
@@ -289,7 +320,10 @@ mod tests {
         fb.ret(Some(r));
         let g = fb.finish();
         p.define_method(root, g);
-        let site = CallSiteId { method: root, index: 0 };
+        let site = CallSiteId {
+            method: root,
+            index: 0,
+        };
 
         // 60/40 two receivers: bimorphic, covered → speculate + inline.
         let mut bi = ProfileTable::new();
@@ -300,10 +334,16 @@ mod tests {
         for _ in 0..40 {
             bi.record_receiver(site, c);
         }
-        let cx = CompileCx { program: &p, profiles: &bi };
-        let out = C2Inliner::new().compile(root, &cx);
+        let cx = CompileCx::new(&p, &bi);
+        let out = C2Inliner::new().compile(root, &cx).unwrap();
         assert!(out.stats.inlined_calls >= 3, "{:?}", out.stats); // switch + 2 bodies
-        verify_graph(&p, &out.graph, &[Type::Object(a)], RetType::Value(Type::Int)).unwrap();
+        verify_graph(
+            &p,
+            &out.graph,
+            &[Type::Object(a)],
+            RetType::Value(Type::Int),
+        )
+        .unwrap();
 
         // Megamorphic 40/30/30: top-2 coverage only 70% → stay virtual.
         let mut mega = ProfileTable::new();
@@ -317,8 +357,11 @@ mod tests {
         for _ in 0..30 {
             mega.record_receiver(site, d);
         }
-        let cx = CompileCx { program: &p, profiles: &mega };
-        let out = C2Inliner::new().compile(root, &cx);
-        assert_eq!(out.stats.inlined_calls, 0, "megamorphic sites stay virtual for C2");
+        let cx = CompileCx::new(&p, &mega);
+        let out = C2Inliner::new().compile(root, &cx).unwrap();
+        assert_eq!(
+            out.stats.inlined_calls, 0,
+            "megamorphic sites stay virtual for C2"
+        );
     }
 }

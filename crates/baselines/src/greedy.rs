@@ -22,7 +22,7 @@ use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{CallSiteId, InstId, MethodId};
-use incline_vm::{CompileCx, CompileOutcome, InlineStats, Inliner};
+use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 /// Tunables of the greedy baseline.
 #[derive(Clone, Copy, Debug)]
@@ -77,9 +77,18 @@ impl Inliner for GreedyInliner {
         "greedy"
     }
 
-    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+    fn compile(
+        &self,
+        method: MethodId,
+        cx: &CompileCx<'_>,
+    ) -> Result<CompileOutcome, CompileError> {
         let c = &self.config;
         let mut graph = cx.program.method(method).graph.clone();
+        if !cx.fuel.charge(graph.size() as u64) {
+            return Err(CompileError::OutOfFuel {
+                limit: cx.fuel.limit().unwrap_or(u64::MAX),
+            });
+        }
         let mut inlined_calls = 0u64;
         let mut explored = 0usize;
         // Recursive-inline guard: how many times each method was inlined
@@ -91,7 +100,11 @@ impl Inliner for GreedyInliner {
             .iter()
             .map(|&(_, i)| {
                 let site = graph.inst(i).op.call_site().expect("call inst");
-                WorkItem { inst: i, freq: cx.profiles.local_frequency(site), depth: 0 }
+                WorkItem {
+                    inst: i,
+                    freq: cx.profiles.local_frequency(site),
+                    depth: 0,
+                }
             })
             .collect();
 
@@ -100,7 +113,11 @@ impl Inliner for GreedyInliner {
             let (idx, _) = queue
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| a.freq.partial_cmp(&b.freq).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|(_, a), (_, b)| {
+                    a.freq
+                        .partial_cmp(&b.freq)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .expect("queue nonempty");
             let item = queue.swap_remove(idx);
 
@@ -108,10 +125,13 @@ impl Inliner for GreedyInliner {
                 break;
             }
             // The callsite may have been rewritten by a prior speculation.
-            let Some((block, _)) = graph.callsites().into_iter().find(|&(_, i)| i == item.inst) else {
+            let Some((block, _)) = graph.callsites().into_iter().find(|&(_, i)| i == item.inst)
+            else {
                 continue;
             };
-            let Op::Call(info) = graph.inst(item.inst).op.clone() else { continue };
+            let Op::Call(info) = graph.inst(item.inst).op.clone() else {
+                continue;
+            };
 
             // Resolve a concrete target, speculating monomorphically on
             // virtual callsites with a dominant receiver.
@@ -159,6 +179,11 @@ impl Inliner for GreedyInliner {
             if *count >= 24 || (target == method && *count >= 1) {
                 continue; // recursion guard
             }
+            // A spent compile budget winds the pass down; what has been
+            // inlined so far still compiles.
+            if !cx.fuel.charge(callee_size as u64) {
+                break;
+            }
             *count += 1;
 
             let body = callee.graph.clone();
@@ -180,9 +205,14 @@ impl Inliner for GreedyInliner {
         }
 
         // One optimization pass at the end (no alternation).
-        let stats = incline_opt::optimize(cx.program, &mut graph);
+        let stats = incline_opt::optimize_fueled(
+            cx.program,
+            &mut graph,
+            incline_opt::PipelineConfig::default(),
+            cx.fuel,
+        );
         let final_size = graph.size();
-        CompileOutcome {
+        Ok(CompileOutcome {
             graph,
             work_nodes: explored + final_size,
             stats: InlineStats {
@@ -192,7 +222,7 @@ impl Inliner for GreedyInliner {
                 final_size: final_size as u64,
                 opt_events: stats.total(),
             },
-        }
+        })
     }
 }
 
@@ -224,8 +254,8 @@ mod tests {
         p.define_method(root, g);
 
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
-        let out = GreedyInliner::new().compile(root, &cx);
+        let cx = CompileCx::new(&p, &profiles);
+        let out = GreedyInliner::new().compile(root, &cx).unwrap();
         assert_eq!(out.stats.inlined_calls, 1);
         assert!(out.graph.callsites().is_empty());
         verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
@@ -264,11 +294,14 @@ mod tests {
         for &m in &ids {
             for _ in 0..10 {
                 profiles.record_invocation(m);
-                profiles.record_callsite(CallSiteId { method: m, index: 0 });
+                profiles.record_callsite(CallSiteId {
+                    method: m,
+                    index: 0,
+                });
             }
         }
-        let cx = CompileCx { program: &p, profiles: &profiles };
-        let out = GreedyInliner::new().compile(root, &cx);
+        let cx = CompileCx::new(&p, &profiles);
+        let out = GreedyInliner::new().compile(root, &cx).unwrap();
         assert!(out.stats.inlined_calls > 0);
         assert!(out.stats.inlined_calls < 39, "budget must stop the cascade");
         assert!(out.graph.size() <= 3_500);
@@ -299,7 +332,10 @@ mod tests {
         fb.ret(Some(r));
         let g = fb.finish();
         p.define_method(root, g);
-        let site = CallSiteId { method: root, index: 0 };
+        let site = CallSiteId {
+            method: root,
+            index: 0,
+        };
 
         // 50/50 profile: no speculation.
         let mut even = ProfileTable::new();
@@ -308,9 +344,12 @@ mod tests {
             even.record_receiver(site, b);
             even.record_receiver(site, c);
         }
-        let cx = CompileCx { program: &p, profiles: &even };
-        let out = GreedyInliner::new().compile(root, &cx);
-        assert_eq!(out.stats.inlined_calls, 0, "bimorphic sites stay virtual for greedy");
+        let cx = CompileCx::new(&p, &even);
+        let out = GreedyInliner::new().compile(root, &cx).unwrap();
+        assert_eq!(
+            out.stats.inlined_calls, 0,
+            "bimorphic sites stay virtual for greedy"
+        );
 
         // 95/5 profile: speculate + inline.
         let mut skewed = ProfileTable::new();
@@ -321,9 +360,15 @@ mod tests {
         for _ in 0..5 {
             skewed.record_receiver(site, c);
         }
-        let cx = CompileCx { program: &p, profiles: &skewed };
-        let out = GreedyInliner::new().compile(root, &cx);
+        let cx = CompileCx::new(&p, &skewed);
+        let out = GreedyInliner::new().compile(root, &cx).unwrap();
         assert!(out.stats.inlined_calls >= 1);
-        verify_graph(&p, &out.graph, &[Type::Object(a)], RetType::Value(Type::Int)).unwrap();
+        verify_graph(
+            &p,
+            &out.graph,
+            &[Type::Object(a)],
+            RetType::Value(Type::Int),
+        )
+        .unwrap();
     }
 }

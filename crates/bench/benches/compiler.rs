@@ -1,32 +1,59 @@
-//! Criterion micro-benchmarks for the compiler itself: the inliners, the
+//! Micro-benchmarks for the compiler itself: the inliners, the
 //! optimization passes, the inline transplant, and the two execution
 //! tiers. These measure *compile-time* costs — §II.2's argument that a
 //! JIT inliner must budget its own work.
+//!
+//! Self-contained timing harness (no external benchmark framework, so the
+//! workspace builds offline):
 //!
 //! ```text
 //! cargo bench -p incline-bench --bench compiler
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::IncrementalInliner;
-use incline_ir::{Graph, MethodId, Program};
+use incline_ir::{Graph, Program};
 use incline_profile::ProfileTable;
 use incline_vm::{CompileCx, Inliner, Machine, NoInline, Value, VmConfig};
 use incline_workloads::Workload;
 
-/// Interprets a workload once so profiles exist for compilation benches.
+/// Times `f` over `iters` runs and prints mean / min per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // Warmup.
+    f();
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    let total: std::time::Duration = samples.iter().sum();
+    let mean = total / iters;
+    let min = samples.iter().min().expect("non-empty");
+    println!("{name:<40} mean {mean:>12?}   min {min:>12?}   ({iters} iters)");
+}
+
+/// Interprets a workload so profiles exist for compilation benches.
 fn profiled(w: &Workload) -> ProfileTable {
-    let mut vm = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+    let mut vm = Machine::new(
+        &w.program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
     for _ in 0..3 {
-        vm.run(w.entry, vec![Value::Int(w.input.min(10))]).expect("workload runs");
+        vm.run(w.entry, vec![Value::Int(w.input.min(10))])
+            .expect("workload runs");
     }
     vm.profiles().clone()
 }
 
-fn bench_inliners(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn bench_inliners() {
+    println!("== compile ==");
     for name in ["factorie", "jython", "scalatest"] {
         let w = incline_workloads::by_name(name).expect("benchmark exists");
         let profiles = profiled(&w);
@@ -36,80 +63,61 @@ fn bench_inliners(c: &mut Criterion) {
             ("c2", Box::new(C2Inliner::new())),
         ];
         for (iname, inliner) in inliners {
-            group.bench_with_input(
-                BenchmarkId::new(iname, name),
-                &(&w, &profiles),
-                |b, (w, profiles)| {
-                    let cx = CompileCx { program: &w.program, profiles };
-                    b.iter(|| inliner.compile(w.entry, &cx));
-                },
-            );
+            let cx = CompileCx::new(&w.program, &profiles);
+            bench(&format!("compile/{iname}/{name}"), 10, || {
+                inliner.compile(w.entry, &cx).expect("compiles");
+            });
         }
     }
-    group.finish();
 }
 
 /// A mid-sized graph with folding opportunities for the pass benches.
-fn pass_fixture() -> (Program, MethodId, Graph) {
+fn pass_fixture() -> (Program, Graph) {
     let w = incline_workloads::by_name("factorie").expect("benchmark exists");
     let profiles = profiled(&w);
-    let cx = CompileCx { program: &w.program, profiles: &profiles };
+    let cx = CompileCx::new(&w.program, &profiles);
     // The greedy inliner produces a large, unoptimized-ish root graph.
-    let out = GreedyInliner::new().compile(w.entry, &cx);
-    (w.program.clone(), w.entry, out.graph)
+    let out = GreedyInliner::new()
+        .compile(w.entry, &cx)
+        .expect("compiles");
+    (w.program.clone(), out.graph)
 }
 
-fn bench_passes(c: &mut Criterion) {
-    let (program, _m, graph) = pass_fixture();
-    let mut group = c.benchmark_group("passes");
-    group.bench_function("canonicalize", |b| {
-        b.iter_batched(
-            || graph.clone(),
-            |mut g| incline_opt::canonicalize(&program, &mut g),
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_passes() {
+    println!("== passes ==");
+    let (program, graph) = pass_fixture();
+    bench("passes/canonicalize", 20, || {
+        let mut g = graph.clone();
+        incline_opt::canonicalize(&program, &mut g);
     });
-    group.bench_function("gvn", |b| {
-        b.iter_batched(
-            || graph.clone(),
-            |mut g| incline_opt::gvn(&mut g),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("passes/gvn", 20, || {
+        let mut g = graph.clone();
+        incline_opt::gvn(&mut g);
     });
-    group.bench_function("rw_elim", |b| {
-        b.iter_batched(
-            || graph.clone(),
-            |mut g| incline_opt::rw_elim(&program, &mut g),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("passes/rw_elim", 20, || {
+        let mut g = graph.clone();
+        incline_opt::rw_elim(&program, &mut g);
     });
-    group.bench_function("dce", |b| {
-        b.iter_batched(
-            || graph.clone(),
-            |mut g| incline_opt::dce(&mut g),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("passes/dce", 20, || {
+        let mut g = graph.clone();
+        incline_opt::dce(&mut g);
     });
-    group.bench_function("full-pipeline", |b| {
-        b.iter_batched(
-            || graph.clone(),
-            |mut g| incline_opt::optimize(&program, &mut g),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("passes/full-pipeline", 20, || {
+        let mut g = graph.clone();
+        incline_opt::optimize(&program, &mut g);
     });
-    group.bench_function("verify", |b| {
-        let method = {
-            let w = incline_workloads::by_name("factorie").unwrap();
-            w.program.method(w.entry).params.clone()
-        };
-        let ret = incline_ir::RetType::Value(incline_ir::Type::Int);
-        b.iter(|| incline_ir::verify::verify_graph(&program, &graph, &method, ret))
+    let params = {
+        let w = incline_workloads::by_name("factorie").unwrap();
+        w.program.method(w.entry).params.clone()
+    };
+    let ret = incline_ir::RetType::Value(incline_ir::Type::Int);
+    bench("passes/verify", 20, || {
+        incline_ir::verify::verify_graph(&program, &graph, &params, ret).expect("valid");
     });
-    group.finish();
 }
 
-fn bench_transplant(c: &mut Criterion) {
-    // inline_call on a mid-sized callee.
+fn bench_transplant() {
+    println!("== transplant ==");
     let w = incline_workloads::by_name("factorie").expect("benchmark exists");
     let callee = w.program.function_by_name("sample_step").expect("exists");
     let callee_graph = w.program.method(callee).graph.clone();
@@ -127,31 +135,40 @@ fn bench_transplant(c: &mut Criterion) {
             )
         })
         .expect("main calls sample_step");
-    c.bench_function("inline_call/sample_step", |b| {
-        b.iter_batched(
-            || root_graph.clone(),
-            |mut g| incline_ir::inline::inline_call(&mut g, block, call, &callee_graph),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("inline_call/sample_step", 50, || {
+        let mut g = root_graph.clone();
+        incline_ir::inline::inline_call(&mut g, block, call, &callee_graph);
     });
 }
 
-fn bench_tiers(c: &mut Criterion) {
+fn bench_tiers() {
+    println!("== execution ==");
     let w = incline_workloads::by_name("scalatest").expect("benchmark exists");
-    let mut group = c.benchmark_group("execution");
-    group.bench_function("interpreted", |b| {
-        let mut vm =
-            Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        b.iter(|| vm.run(w.entry, vec![Value::Int(4)]).expect("runs"))
+    let mut interp = Machine::new(
+        &w.program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
+    bench("execution/interpreted", 10, || {
+        interp.run(w.entry, vec![Value::Int(4)]).expect("runs");
     });
-    group.bench_function("compiled", |b| {
-        let config = VmConfig { hotness_threshold: 1, ..VmConfig::default() };
-        let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
-        vm.run(w.entry, vec![Value::Int(4)]).expect("warmup");
-        b.iter(|| vm.run(w.entry, vec![Value::Int(4)]).expect("runs"))
+    let config = VmConfig {
+        hotness_threshold: 1,
+        ..VmConfig::default()
+    };
+    let mut jit = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    jit.run(w.entry, vec![Value::Int(4)]).expect("warmup");
+    bench("execution/compiled", 10, || {
+        jit.run(w.entry, vec![Value::Int(4)]).expect("runs");
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_inliners, bench_passes, bench_transplant, bench_tiers);
-criterion_main!(benches);
+fn main() {
+    bench_inliners();
+    bench_passes();
+    bench_transplant();
+    bench_tiers();
+}

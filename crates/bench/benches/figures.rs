@@ -16,5 +16,8 @@ fn main() {
     println!("{}", figures::fig09());
     println!("{}", figures::fig10_and_table1());
     println!("{}", figures::ablations());
-    println!("figure suite completed in {:.1}s", t.elapsed().as_secs_f64());
+    println!(
+        "figure suite completed in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 }

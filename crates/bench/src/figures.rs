@@ -30,7 +30,13 @@ pub fn threshold_grid(full: bool) -> Vec<Config> {
             }
         }
     } else {
-        for (te, ti) in [(250, 500), (500, 1500), (1500, 1500), (2500, 3000), (3500, 3000)] {
+        for (te, ti) in [
+            (250, 500),
+            (500, 1500),
+            (1500, 1500),
+            (2500, 3000),
+            (3500, 3000),
+        ] {
             v.push(fixed_config(te, ti));
         }
     }
@@ -82,7 +88,11 @@ fn threshold_report(title: &str, benches: &[Workload], full: bool) -> String {
 
 /// Figure 6: DaCapo, adaptive vs. fixed expansion/inlining thresholds.
 pub fn fig06(full: bool) -> String {
-    threshold_report("Figure 6 — DaCapo: adaptive vs. fixed thresholds", &suite(Suite::DaCapo), full)
+    threshold_report(
+        "Figure 6 — DaCapo: adaptive vs. fixed thresholds",
+        &suite(Suite::DaCapo),
+        full,
+    )
 }
 
 /// Figure 7: Scala DaCapo + Spark + others, same sweep.
@@ -123,16 +133,31 @@ pub fn fig08() -> String {
     let mut cluster_beats = 0usize;
     for w in &benches {
         let ms = measure_all(w, &configs);
-        let best = ms.iter().map(Measurement::cycles).fold(f64::INFINITY, f64::min);
+        let best = ms
+            .iter()
+            .map(Measurement::cycles)
+            .fold(f64::INFINITY, f64::min);
         let mut row = vec![w.name.clone()];
         for m in &ms {
             row.push(crate::normalized(m.cycles(), best));
         }
         rows.push(row);
-        let cmin = ms[..3].iter().map(Measurement::cycles).fold(f64::INFINITY, f64::min);
-        let cmax = ms[..3].iter().map(Measurement::cycles).fold(0.0f64, f64::max);
-        let omin = ms[3..].iter().map(Measurement::cycles).fold(f64::INFINITY, f64::min);
-        let omax = ms[3..].iter().map(Measurement::cycles).fold(0.0f64, f64::max);
+        let cmin = ms[..3]
+            .iter()
+            .map(Measurement::cycles)
+            .fold(f64::INFINITY, f64::min);
+        let cmax = ms[..3]
+            .iter()
+            .map(Measurement::cycles)
+            .fold(0.0f64, f64::max);
+        let omin = ms[3..]
+            .iter()
+            .map(Measurement::cycles)
+            .fold(f64::INFINITY, f64::min);
+        let omax = ms[3..]
+            .iter()
+            .map(Measurement::cycles)
+            .fold(0.0f64, f64::max);
         cluster_spread += cmax / cmin.max(1.0);
         one_spread += omax / omin.max(1.0);
         if cmin <= omin * 1.001 {
@@ -196,7 +221,9 @@ pub fn fig09() -> String {
         .exp();
     let max = speedup_vs_greedy.iter().cloned().fold(0.0f64, f64::max);
     let mut out = "## Figure 9 — comparison against alternative inliners\n\n".to_string();
-    out.push_str("Normalized running time (incremental = 1.00; >1.00 is slower than incremental).\n\n");
+    out.push_str(
+        "Normalized running time (incremental = 1.00; >1.00 is slower than incremental).\n\n",
+    );
     out.push_str(&render_table(&headers, &rows));
     out.push_str(&format!(
         "\nincremental ≥ greedy on {beats_greedy}/{n}, ≥ C2 on {beats_c2}/{n}; \
@@ -291,7 +318,14 @@ pub fn ablations() -> String {
         Config::Incremental("mono-switch", mono),
         Config::Incremental("inline-everything", no_expand_limit),
     ];
-    let names = ["jython", "scalac", "factorie", "dotty", "stmbench7", "gauss-mix"];
+    let names = [
+        "jython",
+        "scalac",
+        "factorie",
+        "dotty",
+        "stmbench7",
+        "gauss-mix",
+    ];
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(configs.iter().map(|c| c.name().to_string()));
     headers.push("code(paper)".to_string());

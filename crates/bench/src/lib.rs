@@ -72,7 +72,10 @@ impl Config {
 
 /// The VM configuration shared by all experiments.
 pub fn default_vm() -> VmConfig {
-    VmConfig { hotness_threshold: 5, ..VmConfig::default() }
+    VmConfig {
+        hotness_threshold: 5,
+        ..VmConfig::default()
+    }
 }
 
 /// One measured (benchmark, config) cell.
@@ -107,7 +110,11 @@ pub fn measure(w: &Workload, config: &Config) -> Measurement {
     };
     let result = run_benchmark(&w.program, &spec, config.build(), config.vm())
         .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
-    Measurement { benchmark: w.name.clone(), config: config.name().to_string(), result }
+    Measurement {
+        benchmark: w.name.clone(),
+        config: config.name().to_string(),
+        result,
+    }
 }
 
 /// Measures one benchmark under several configurations, checking that all
@@ -122,7 +129,11 @@ pub fn measure_all(w: &Workload, configs: &[Config]) -> Vec<Measurement> {
             "{}: output diverged between {} and {}",
             w.name, ms[0].config, m.config
         );
-        assert_eq!(&m.result.final_value, ref_value, "{}: value diverged under {}", w.name, m.config);
+        assert_eq!(
+            &m.result.final_value, ref_value,
+            "{}: value diverged under {}",
+            w.name, m.config
+        );
     }
     ms
 }
@@ -191,7 +202,10 @@ mod tests {
 
     #[test]
     fn measures_one_cell() {
-        let w = incline_workloads::by_name("scalatest").unwrap().with_input(4).with_iterations(4);
+        let w = incline_workloads::by_name("scalatest")
+            .unwrap()
+            .with_input(4)
+            .with_iterations(4);
         let m = measure(&w, &Config::paper());
         assert!(m.cycles() > 0.0);
         assert_eq!(m.benchmark, "scalatest");
@@ -199,7 +213,10 @@ mod tests {
 
     #[test]
     fn cross_config_outputs_agree() {
-        let w = incline_workloads::by_name("avrora").unwrap().with_input(4).with_iterations(3);
+        let w = incline_workloads::by_name("avrora")
+            .unwrap()
+            .with_input(4)
+            .with_iterations(3);
         let ms = measure_all(&w, &[Config::paper(), Config::Greedy, Config::C2]);
         assert_eq!(ms.len(), 3);
     }

@@ -12,8 +12,8 @@ use std::collections::HashSet;
 
 use incline_ir::inline::inline_call;
 use incline_ir::{Graph, InstId, MethodId};
-use incline_opt::OptStats;
-use incline_vm::{CompileCx, CompileOutcome, InlineStats, Inliner};
+use incline_opt::{CompileFuel, OptStats};
+use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 use crate::calltree::{CallTree, NodeId, NodeKind};
 use crate::metrics::{exploration_penalty, may_inline, recursion_penalty, should_expand, Tuple};
@@ -38,7 +38,10 @@ impl IncrementalInliner {
 
     /// Creates the inliner with an explicit configuration.
     pub fn with_config(config: PolicyConfig) -> Self {
-        IncrementalInliner { config, label: None }
+        IncrementalInliner {
+            config,
+            label: None,
+        }
     }
 
     /// Sets the display name.
@@ -51,10 +54,18 @@ impl IncrementalInliner {
 impl IncrementalInliner {
     /// Like [`Inliner::compile`], but also returns a human-readable trace:
     /// the rendered call tree (paper Figures 2–4) after each round.
-    pub fn compile_explain(&self, method: MethodId, cx: &CompileCx<'_>) -> (CompileOutcome, String) {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Inliner::compile`].
+    pub fn compile_explain(
+        &self,
+        method: MethodId,
+        cx: &CompileCx<'_>,
+    ) -> Result<(CompileOutcome, String), CompileError> {
         let mut explain = String::new();
-        let out = self.compile_impl(method, cx, Some(&mut explain));
-        (out, explain)
+        let out = self.compile_impl(method, cx, Some(&mut explain))?;
+        Ok((out, explain))
     }
 
     fn compile_impl(
@@ -62,12 +73,16 @@ impl IncrementalInliner {
         method: MethodId,
         cx: &CompileCx<'_>,
         mut explain: Option<&mut String>,
-    ) -> CompileOutcome {
+    ) -> Result<CompileOutcome, CompileError> {
         let config = &self.config;
         let mut opt_total = OptStats::new();
 
         let mut graph = cx.program.method(method).graph.clone();
-        opt_total += incline_opt::optimize(cx.program, &mut graph);
+        if !cx.fuel.charge(graph.size() as u64) {
+            return Err(out_of_fuel(cx.fuel));
+        }
+        opt_total +=
+            incline_opt::optimize_fueled(cx.program, &mut graph, Default::default(), cx.fuel);
 
         let mut tree = CallTree::new(method, graph, cx, config);
         let mut rounds = 0u64;
@@ -80,6 +95,12 @@ impl IncrementalInliner {
         // Listing 1: while !detectTermination { expand; analyze; inline }.
         loop {
             rounds += 1;
+            // Each round costs at least the root it re-processes; a spent
+            // budget aborts the compilation so the broker's ladder can
+            // fall back to a cheaper tier.
+            if !cx.fuel.charge(tree.root_graph.size() as u64) {
+                return Err(out_of_fuel(cx.fuel));
+            }
             let expanded = expand_phase(&mut tree, cx, config);
             if trace {
                 eprintln!(
@@ -96,12 +117,20 @@ impl IncrementalInliner {
             let inlined = inline_phase(&mut tree, cx, config);
             inlined_calls += inlined;
             if trace {
-                eprintln!("[incline]   inlined {inlined} (root={})", tree.root_graph.size());
+                eprintln!(
+                    "[incline]   inlined {inlined} (root={})",
+                    tree.root_graph.size()
+                );
             }
 
             // End of round (§IV, Other optimizations): read–write
             // elimination and loop peeling run on the root.
-            opt_total += incline_opt::optimize(cx.program, &mut tree.root_graph);
+            opt_total += incline_opt::optimize_fueled(
+                cx.program,
+                &mut tree.root_graph,
+                Default::default(),
+                cx.fuel,
+            );
             tree.sync_root_children(cx, config);
             refresh_specializations(&mut tree, cx, config);
             if trace {
@@ -132,10 +161,15 @@ impl IncrementalInliner {
             }
         }
 
-        opt_total += incline_opt::optimize(cx.program, &mut tree.root_graph);
+        opt_total += incline_opt::optimize_fueled(
+            cx.program,
+            &mut tree.root_graph,
+            Default::default(),
+            cx.fuel,
+        );
         let final_size = tree.root_graph.size();
         let explored = tree.explored_nodes;
-        CompileOutcome {
+        Ok(CompileOutcome {
             graph: tree.root_graph,
             work_nodes: explored + final_size,
             stats: InlineStats {
@@ -145,7 +179,14 @@ impl IncrementalInliner {
                 final_size: final_size as u64,
                 opt_events: opt_total.total(),
             },
-        }
+        })
+    }
+}
+
+/// The error the broker's bailout ladder expects on a spent budget.
+fn out_of_fuel(fuel: &CompileFuel) -> CompileError {
+    CompileError::OutOfFuel {
+        limit: fuel.limit().unwrap_or(u64::MAX),
     }
 }
 
@@ -154,7 +195,11 @@ impl Inliner for IncrementalInliner {
         self.label.as_deref().unwrap_or("incremental")
     }
 
-    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+    fn compile(
+        &self,
+        method: MethodId,
+        cx: &CompileCx<'_>,
+    ) -> Result<CompileOutcome, CompileError> {
         self.compile_impl(method, cx, None)
     }
 }
@@ -163,7 +208,12 @@ impl Inliner for IncrementalInliner {
 
 /// Intrinsic priority `P_I(n)` (Equations 5–6), with the recursion penalty
 /// `ψ_r` (Equation 14) applied to cutoff nodes.
-fn intrinsic_priority(tree: &CallTree, n: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig) -> f64 {
+fn intrinsic_priority(
+    tree: &CallTree,
+    n: NodeId,
+    cx: &CompileCx<'_>,
+    config: &PolicyConfig,
+) -> f64 {
     let node = tree.node(n);
     match node.kind {
         NodeKind::Cutoff => {
@@ -196,9 +246,10 @@ fn has_open_cutoff(tree: &CallTree, n: NodeId, refused: &HashSet<NodeId>) -> boo
     let node = tree.node(n);
     match node.kind {
         NodeKind::Cutoff => !refused.contains(&n),
-        NodeKind::Expanded | NodeKind::Polymorphic | NodeKind::Root => {
-            node.children.iter().any(|&c| has_open_cutoff(tree, c, refused))
-        }
+        NodeKind::Expanded | NodeKind::Polymorphic | NodeKind::Root => node
+            .children
+            .iter()
+            .any(|&c| has_open_cutoff(tree, c, refused)),
         _ => false,
     }
 }
@@ -283,17 +334,32 @@ fn analyze_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig)
 /// cutoff children only when their benefit density would still pass the
 /// expansion threshold (a huge cold callee that will never be explored is
 /// not an opportunity cost).
-fn realizable(tree: &CallTree, c: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig, s_root: f64) -> bool {
+fn realizable(
+    tree: &CallTree,
+    c: NodeId,
+    cx: &CompileCx<'_>,
+    config: &PolicyConfig,
+    s_root: f64,
+) -> bool {
     match tree.node(c).kind {
         NodeKind::Expanded | NodeKind::Polymorphic => true,
-        NodeKind::Cutoff => {
-            should_expand(&config.expansion, tree.local_benefit(c), tree.ir_size(c, cx), s_root)
-        }
+        NodeKind::Cutoff => should_expand(
+            &config.expansion,
+            tree.local_benefit(c),
+            tree.ir_size(c, cx),
+            s_root,
+        ),
         _ => false,
     }
 }
 
-fn analyze_node(tree: &mut CallTree, n: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig, s_root: f64) {
+fn analyze_node(
+    tree: &mut CallTree,
+    n: NodeId,
+    cx: &CompileCx<'_>,
+    config: &PolicyConfig,
+    s_root: f64,
+) {
     // Post-order: children first (they form their own clusters).
     let children: Vec<NodeId> = tree.node(n).children.clone();
     for c in &children {
@@ -363,7 +429,9 @@ fn analyze_node(tree: &mut CallTree, n: NodeId, cx: &CompileCx<'_>, config: &Pol
                 .children
                 .iter()
                 .copied()
-                .filter(|&c| is_cluster_kind(tree.node(c).kind) && !tree.node(c).inlined_with_parent)
+                .filter(|&c| {
+                    is_cluster_kind(tree.node(c).kind) && !tree.node(c).inlined_with_parent
+                })
                 .collect();
             front.extend(mf);
         } else {
@@ -411,8 +479,12 @@ fn inline_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) 
         if !may_inline(&config.inlining, tuple, root_size, node_size) {
             continue; // skip; smaller clusters may still pass
         }
-        let fronts = inline_cluster(tree, n, cx, config, &mut inlined);
-        queue.extend(fronts.into_iter().filter(|&c| is_cluster_kind(tree.node(c).kind)));
+        let fronts = inline_cluster(tree, n, cx, &mut inlined);
+        queue.extend(
+            fronts
+                .into_iter()
+                .filter(|&c| is_cluster_kind(tree.node(c).kind)),
+        );
     }
 
     // Drop consumed nodes from the root's child list.
@@ -429,7 +501,11 @@ fn inline_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) 
 
 /// Locates the block containing `inst` in the root graph.
 fn find_block(graph: &Graph, inst: InstId) -> Option<incline_ir::BlockId> {
-    graph.callsites().iter().find(|&&(_, i)| i == inst).map(|&(b, _)| b)
+    graph
+        .callsites()
+        .iter()
+        .find(|&&(_, i)| i == inst)
+        .map(|&(b, _)| b)
 }
 
 /// `inlineCluster` (Listing 5): transplants the node's specialized body
@@ -439,7 +515,6 @@ fn inline_cluster(
     tree: &mut CallTree,
     n: NodeId,
     cx: &CompileCx<'_>,
-    config: &PolicyConfig,
     inlined: &mut u64,
 ) -> Vec<NodeId> {
     let root = tree.root();
@@ -454,7 +529,11 @@ fn inline_cluster(
 
     match kind {
         NodeKind::Expanded => {
-            let body = tree.node_mut(n).graph.take().expect("expanded node has a graph");
+            let body = tree
+                .node_mut(n)
+                .graph
+                .take()
+                .expect("expanded node has a graph");
             let res = inline_call(&mut tree.root_graph, block, callsite, &body);
             *inlined += 1;
             tree.node_mut(n).kind = NodeKind::Inlined;
@@ -474,7 +553,7 @@ fn inline_cluster(
                 tree.node_mut(c).parent = Some(root);
                 tree.node_mut(root).children.push(c);
                 if tree.node(c).inlined_with_parent && is_cluster_kind(tree.node(c).kind) {
-                    let mut sub = inline_cluster(tree, c, cx, config, inlined);
+                    let mut sub = inline_cluster(tree, c, cx, inlined);
                     front.append(&mut sub);
                 } else {
                     front.push(c);
@@ -501,7 +580,7 @@ fn inline_cluster(
                 tree.node_mut(c).parent = Some(root);
                 tree.node_mut(root).children.push(c);
                 if tree.node(c).inlined_with_parent && is_cluster_kind(tree.node(c).kind) {
-                    let mut sub = inline_cluster(tree, c, cx, config, inlined);
+                    let mut sub = inline_cluster(tree, c, cx, inlined);
                     front.append(&mut sub);
                 } else {
                     front.push(c);
@@ -513,7 +592,11 @@ fn inline_cluster(
     }
 }
 
-fn remap_callsite(tree: &mut CallTree, c: NodeId, inst_map: &std::collections::HashMap<InstId, InstId>) {
+fn remap_callsite(
+    tree: &mut CallTree,
+    c: NodeId,
+    inst_map: &std::collections::HashMap<InstId, InstId>,
+) {
     if let Some(old) = tree.node(c).callsite {
         if let Some(&new) = inst_map.get(&old) {
             tree.node_mut(c).callsite = Some(new);
@@ -529,7 +612,12 @@ fn remap_callsite(tree: &mut CallTree, c: NodeId, inst_map: &std::collections::H
 fn refresh_specializations(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) {
     let root = tree.root();
     let children: Vec<NodeId> = tree.node(root).children.clone();
-    let live: HashSet<InstId> = tree.root_graph.callsites().iter().map(|&(_, i)| i).collect();
+    let live: HashSet<InstId> = tree
+        .root_graph
+        .callsites()
+        .iter()
+        .map(|&(_, i)| i)
+        .collect();
     for c in children {
         let node = tree.node(c);
         if node.kind != NodeKind::Expanded {
@@ -563,7 +651,7 @@ mod tests {
     use incline_profile::ProfileTable;
 
     fn cx<'a>(p: &'a Program, t: &'a ProfileTable) -> CompileCx<'a> {
-        CompileCx { program: p, profiles: t }
+        CompileCx::new(p, t)
     }
 
     /// Figure 1 analog: log(xs) → foreach loop → {length, get, apply}.
@@ -622,8 +710,14 @@ mod tests {
             t.record_invocation(root);
             for _ in 0..iters {
                 t.record_backedge(root);
-                t.record_callsite(incline_ir::CallSiteId { method: root, index: 0 });
-                t.record_callsite(incline_ir::CallSiteId { method: root, index: 1 });
+                t.record_callsite(incline_ir::CallSiteId {
+                    method: root,
+                    index: 0,
+                });
+                t.record_callsite(incline_ir::CallSiteId {
+                    method: root,
+                    index: 1,
+                });
                 t.record_invocation(inc);
                 t.record_invocation(dbl);
             }
@@ -636,9 +730,12 @@ mod tests {
         let (p, root) = hot_chain();
         let profiles = seed_profiles(&p, root, 10, 64);
         let inliner = IncrementalInliner::new();
-        let out = inliner.compile(root, &cx(&p, &profiles));
+        let out = inliner.compile(root, &cx(&p, &profiles)).unwrap();
         assert!(out.stats.inlined_calls >= 2, "{:?}", out.stats);
-        assert!(out.graph.callsites().is_empty(), "hot tiny callees must disappear");
+        assert!(
+            out.graph.callsites().is_empty(),
+            "hot tiny callees must disappear"
+        );
         verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
     }
 
@@ -646,10 +743,12 @@ mod tests {
     fn respects_root_size_cap() {
         let (p, root) = hot_chain();
         let profiles = seed_profiles(&p, root, 10, 64);
-        let mut config = PolicyConfig::default();
-        config.root_size_cap = 1; // absurd: nothing may grow
+        let config = PolicyConfig {
+            root_size_cap: 1, // absurd: nothing may grow
+            ..PolicyConfig::default()
+        };
         let inliner = IncrementalInliner::with_config(config);
-        let out = inliner.compile(root, &cx(&p, &profiles));
+        let out = inliner.compile(root, &cx(&p, &profiles)).unwrap();
         // The first round may still inline (cap checked per selection),
         // but the algorithm must stop immediately after.
         assert!(out.stats.rounds <= 2, "{:?}", out.stats);
@@ -660,7 +759,7 @@ mod tests {
         let (p, root) = hot_chain();
         let profiles = seed_profiles(&p, root, 10, 64);
         let inliner = IncrementalInliner::with_config(PolicyConfig::fixed(0, 0));
-        let out = inliner.compile(root, &cx(&p, &profiles));
+        let out = inliner.compile(root, &cx(&p, &profiles)).unwrap();
         assert_eq!(out.stats.inlined_calls, 0);
         assert_eq!(out.graph.callsites().len(), 2);
     }
@@ -694,7 +793,10 @@ mod tests {
         p.define_method(root, g);
 
         let mut profiles = ProfileTable::new();
-        let site = incline_ir::CallSiteId { method: root, index: 0 };
+        let site = incline_ir::CallSiteId {
+            method: root,
+            index: 0,
+        };
         profiles.record_invocation(root);
         for _ in 0..60 {
             profiles.record_receiver(site, b);
@@ -704,13 +806,8 @@ mod tests {
             profiles.record_receiver(site, c);
             profiles.record_callsite(site);
         }
-        // Make the callsite very hot so the analysis wants it.
-        for _ in 0..0 {
-            profiles.record_invocation(root);
-        }
-
         let inliner = IncrementalInliner::new();
-        let out = inliner.compile(root, &cx(&p, &profiles));
+        let out = inliner.compile(root, &cx(&p, &profiles)).unwrap();
         verify_graph(
             &p,
             &out.graph,
@@ -721,7 +818,12 @@ mod tests {
         // The direct calls to B.go / C.go were inlined; only the virtual
         // fallback remains.
         let remaining = out.graph.callsites();
-        assert_eq!(remaining.len(), 1, "only the fallback survives: {:?}", out.stats);
+        assert_eq!(
+            remaining.len(),
+            1,
+            "only the fallback survives: {:?}",
+            out.stats
+        );
         let incline_ir::Op::Call(info) = &out.graph.inst(remaining[0].1).op else {
             panic!()
         };
@@ -763,11 +865,17 @@ mod tests {
         let mut profiles = ProfileTable::new();
         for _ in 0..100 {
             profiles.record_invocation(f);
-            profiles.record_callsite(incline_ir::CallSiteId { method: f, index: 0 });
-            profiles.record_callsite(incline_ir::CallSiteId { method: f, index: 1 });
+            profiles.record_callsite(incline_ir::CallSiteId {
+                method: f,
+                index: 0,
+            });
+            profiles.record_callsite(incline_ir::CallSiteId {
+                method: f,
+                index: 1,
+            });
         }
         let inliner = IncrementalInliner::new();
-        let out = inliner.compile(f, &cx(&p, &profiles));
+        let out = inliner.compile(f, &cx(&p, &profiles)).unwrap();
         verify_graph(&p, &out.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();
         assert!(
             out.stats.final_size < 2_000,
@@ -811,17 +919,32 @@ mod tests {
         let mut profiles = ProfileTable::new();
         for _ in 0..50 {
             profiles.record_invocation(root);
-            profiles.record_callsite(incline_ir::CallSiteId { method: root, index: 0 });
+            profiles.record_callsite(incline_ir::CallSiteId {
+                method: root,
+                index: 0,
+            });
             profiles.record_invocation(mid);
-            profiles.record_callsite(incline_ir::CallSiteId { method: mid, index: 0 });
-            profiles.record_callsite(incline_ir::CallSiteId { method: mid, index: 1 });
+            profiles.record_callsite(incline_ir::CallSiteId {
+                method: mid,
+                index: 0,
+            });
+            profiles.record_callsite(incline_ir::CallSiteId {
+                method: mid,
+                index: 1,
+            });
             profiles.record_invocation(tiny1);
             profiles.record_invocation(tiny2);
         }
-        let clustered = IncrementalInliner::new().compile(root, &cx(&p, &profiles));
-        assert!(clustered.graph.callsites().is_empty(), "cluster inlines the whole chain");
+        let clustered = IncrementalInliner::new()
+            .compile(root, &cx(&p, &profiles))
+            .unwrap();
+        assert!(
+            clustered.graph.callsites().is_empty(),
+            "cluster inlines the whole chain"
+        );
         let one = IncrementalInliner::with_config(PolicyConfig::one_by_one(0.005, 120.0))
-            .compile(root, &cx(&p, &profiles));
+            .compile(root, &cx(&p, &profiles))
+            .unwrap();
         // 1-by-1 may or may not get everything, but the algorithm must
         // still produce a correct graph.
         verify_graph(&p, &one.graph, &[Type::Int], RetType::Value(Type::Int)).unwrap();

@@ -132,7 +132,12 @@ pub struct CallTree {
 impl CallTree {
     /// Creates the tree for a compilation of `method`, whose working graph
     /// is `root_graph`, and creates the root's children.
-    pub fn new(method: MethodId, root_graph: Graph, cx: &CompileCx<'_>, config: &PolicyConfig) -> Self {
+    pub fn new(
+        method: MethodId,
+        root_graph: Graph,
+        cx: &CompileCx<'_>,
+        config: &PolicyConfig,
+    ) -> Self {
         let mut tree = CallTree {
             nodes: Vec::new(),
             root: NodeId(0),
@@ -191,8 +196,7 @@ impl CallTree {
         match self.nodes[parent.0].kind {
             NodeKind::Root => &self.root_graph,
             NodeKind::Polymorphic => self.owner_graph(parent),
-            _ => self
-                .nodes[parent.0]
+            _ => self.nodes[parent.0]
                 .graph
                 .as_ref()
                 .expect("non-root owner must be expanded"),
@@ -268,7 +272,10 @@ impl CallTree {
             let graph = if self.nodes[parent.0].kind == NodeKind::Root {
                 &self.root_graph
             } else {
-                self.nodes[parent.0].graph.as_ref().expect("expanded parent")
+                self.nodes[parent.0]
+                    .graph
+                    .as_ref()
+                    .expect("expanded parent")
             };
             graph
                 .callsites()
@@ -355,8 +362,9 @@ impl CallTree {
                     }
                 }
                 groups.truncate(config.poly.max_targets);
-                let inlineable =
-                    groups.iter().any(|&(m, ..)| cx.program.method(m).can_inline());
+                let inlineable = groups
+                    .iter()
+                    .any(|&(m, ..)| cx.program.method(m).can_inline());
                 if groups.is_empty() || !inlineable {
                     node.kind = NodeKind::Generic;
                     self.nodes.push(node);
@@ -478,7 +486,10 @@ impl CallTree {
                 .get(i)
                 .map(|&d| ty != d && cx.program.is_assignable(ty, d))
                 .unwrap_or(false);
-            out.push(ArgInfo { konst, ty: narrowed.then_some(ty) });
+            out.push(ArgInfo {
+                konst,
+                ty: narrowed.then_some(ty),
+            });
         }
         out
     }
@@ -499,7 +510,12 @@ impl CallTree {
     /// pruning) or devirtualized (canonicalization). Newly appearing
     /// callsites cannot occur.
     pub fn sync_root_children(&mut self, cx: &CompileCx<'_>, config: &PolicyConfig) {
-        let live: HashSet<InstId> = self.root_graph.callsites().iter().map(|&(_, i)| i).collect();
+        let live: HashSet<InstId> = self
+            .root_graph
+            .callsites()
+            .iter()
+            .map(|&(_, i)| i)
+            .collect();
         let children: Vec<NodeId> = self.nodes[self.root.0].children.clone();
         for c in children {
             let (kind, callsite) = {
@@ -624,7 +640,7 @@ mod tests {
     fn builds_root_children() {
         let (p, _, mid, root) = chain();
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let rc = &tree.node(tree.root()).children;
@@ -639,7 +655,7 @@ mod tests {
     fn expansion_attaches_ir_and_children() {
         let (p, leaf, mid, root) = chain();
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let c0 = tree.node(tree.root()).children[0];
@@ -656,7 +672,7 @@ mod tests {
     fn subtree_metrics_count_cutoffs() {
         let (p, _, _, root) = chain();
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let before = tree.subtree_metrics(tree.root(), &cx);
@@ -689,7 +705,7 @@ mod tests {
         p.define_method(root, g);
 
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let c0 = tree.node(tree.root()).children[0];
@@ -731,7 +747,10 @@ mod tests {
         p.define_method(root, g);
 
         let mut profiles = ProfileTable::new();
-        let site = CallSiteId { method: root, index: 0 };
+        let site = CallSiteId {
+            method: root,
+            index: 0,
+        };
         profiles.record_invocation(root);
         for _ in 0..70 {
             profiles.record_receiver(site, b);
@@ -742,7 +761,7 @@ mod tests {
         for _ in 0..5 {
             profiles.record_receiver(site, a); // below 10%: dropped
         }
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let pn = tree.node(tree.root()).children[0];
@@ -777,7 +796,7 @@ mod tests {
         // built on the unoptimized graph here to exercise the no-profile
         // path.
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let n = tree.node(tree.root()).children[0];
@@ -795,7 +814,7 @@ mod tests {
         let g = fb.finish();
         p.define_method(f, g);
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let mut tree = CallTree::new(f, p.method(f).graph.clone(), &cx, &config);
         let c1 = tree.node(tree.root()).children[0];
@@ -821,9 +840,12 @@ mod tests {
         let g = fb.finish();
         p.define_method(root, g);
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
-        assert_eq!(tree.node(tree.node(tree.root()).children[0]).kind, NodeKind::Generic);
+        assert_eq!(
+            tree.node(tree.node(tree.root()).children[0]).kind,
+            NodeKind::Generic
+        );
     }
 }

@@ -21,7 +21,10 @@ impl Tuple {
 
     /// The merge operation `⊕` (Equation 9): component-wise addition.
     pub fn merge(self, other: Tuple) -> Tuple {
-        Tuple { benefit: self.benefit + other.benefit, cost: self.cost + other.cost }
+        Tuple {
+            benefit: self.benefit + other.benefit,
+            cost: self.cost + other.cost,
+        }
     }
 
     /// The benefit-to-cost ratio `⟨b|c⟩` (Equation 11). Costs below one
@@ -75,7 +78,12 @@ pub fn should_expand(
 /// The inlining test (Equation 12, reconstructed): may a cluster with the
 /// given tuple be inlined into a root of size `root_size`, where the
 /// cluster's own IR size is `node_size`?
-pub fn may_inline(threshold: &InlineThreshold, tuple: Tuple, root_size: f64, node_size: f64) -> bool {
+pub fn may_inline(
+    threshold: &InlineThreshold,
+    tuple: Tuple,
+    root_size: f64,
+    node_size: f64,
+) -> bool {
     match *threshold {
         InlineThreshold::Adaptive { t1, t2 } => {
             let exponent = (root_size + node_size) / (16.0 * t2);
@@ -135,7 +143,10 @@ mod tests {
 
     #[test]
     fn adaptive_expansion_tightens_with_tree_size() {
-        let t = ExpansionThreshold::Adaptive { r1: 3000.0, r2: 500.0 };
+        let t = ExpansionThreshold::Adaptive {
+            r1: 3000.0,
+            r2: 500.0,
+        };
         // Small tree: even density-1 callees expand (threshold ≈ e^-6).
         assert!(should_expand(&t, 1.0, 100.0, 0.0));
         // At the pivot, density must reach 1.0.
@@ -156,9 +167,12 @@ mod tests {
 
     #[test]
     fn adaptive_inlining_is_forgiving_to_small_methods() {
-        let t = InlineThreshold::Adaptive { t1: 0.005, t2: 120.0 };
+        let t = InlineThreshold::Adaptive {
+            t1: 0.005,
+            t2: 120.0,
+        };
         let tup = Tuple::new(2.0, 40.0); // ratio 0.05
-        // Small root: passes easily.
+                                         // Small root: passes easily.
         assert!(may_inline(&t, tup, 100.0, 40.0));
         // Root near 6.4k: threshold = 0.005·2^((6400+ir)/1920).
         // For a small callee (ir=40) the threshold ≈ 0.051 — borderline.
@@ -178,86 +192,107 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Randomized property tests over the tuple algebra and thresholds,
+    //! driven by the in-repo seeded [`Rng64`] (deterministic, offline).
+
+    use incline_ir::Rng64;
 
     use super::*;
     use crate::policy::{ExpansionThreshold, InlineThreshold};
 
-    proptest! {
-        /// ⊕ is commutative and associative (Equation 9).
-        #[test]
-        fn merge_is_commutative_and_associative(
-            a in (0.0f64..1e6, 1.0f64..1e6),
-            b in (0.0f64..1e6, 1.0f64..1e6),
-            c in (0.0f64..1e6, 1.0f64..1e6),
-        ) {
-            let (ta, tb, tc) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1), Tuple::new(c.0, c.1));
-            prop_assert_eq!(ta.merge(tb), tb.merge(ta));
+    const CASES: usize = 256;
+
+    /// A uniform float in `[lo, hi)`.
+    fn f(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+        lo + rng.next_f64() * (hi - lo)
+    }
+
+    /// A random positive benefit/cost tuple.
+    fn tuple(rng: &mut Rng64) -> Tuple {
+        Tuple::new(f(rng, 0.0, 1e6), f(rng, 1.0, 1e6))
+    }
+
+    /// ⊕ is commutative and associative (Equation 9).
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut rng = Rng64::new(0xEB9);
+        for _ in 0..CASES {
+            let (ta, tb, tc) = (tuple(&mut rng), tuple(&mut rng), tuple(&mut rng));
+            assert_eq!(ta.merge(tb), tb.merge(ta));
             let left = ta.merge(tb).merge(tc);
             let right = ta.merge(tb.merge(tc));
-            prop_assert!((left.benefit - right.benefit).abs() < 1e-6);
-            prop_assert!((left.cost - right.cost).abs() < 1e-6);
+            assert!((left.benefit - right.benefit).abs() < 1e-6);
+            assert!((left.cost - right.cost).abs() < 1e-6);
         }
+    }
 
-        /// ⊙ is a total preorder on positive tuples (Equation 10).
-        #[test]
-        fn dominates_is_total_and_transitive(
-            a in (0.0f64..1e6, 1.0f64..1e6),
-            b in (0.0f64..1e6, 1.0f64..1e6),
-            c in (0.0f64..1e6, 1.0f64..1e6),
-        ) {
-            let (ta, tb, tc) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1), Tuple::new(c.0, c.1));
-            prop_assert!(ta.dominates(tb) || tb.dominates(ta), "totality");
+    /// ⊙ is a total preorder on positive tuples (Equation 10).
+    #[test]
+    fn dominates_is_total_and_transitive() {
+        let mut rng = Rng64::new(0xE10);
+        for _ in 0..CASES {
+            let (ta, tb, tc) = (tuple(&mut rng), tuple(&mut rng), tuple(&mut rng));
+            assert!(ta.dominates(tb) || tb.dominates(ta), "totality");
             if ta.dominates(tb) && tb.dominates(tc) {
-                prop_assert!(ta.dominates(tc), "transitivity");
+                assert!(ta.dominates(tc), "transitivity");
             }
         }
+    }
 
-        /// Merging a better-ratio tuple never lowers the ratio below the
-        /// worse ingredient (the clustering loop's soundness).
-        #[test]
-        fn merge_ratio_between_ingredients(
-            a in (0.0f64..1e6, 1.0f64..1e6),
-            b in (0.0f64..1e6, 1.0f64..1e6),
-        ) {
-            let (ta, tb) = (Tuple::new(a.0, a.1), Tuple::new(b.0, b.1));
+    /// Merging a better-ratio tuple never lowers the ratio below the
+    /// worse ingredient (the clustering loop's soundness).
+    #[test]
+    fn merge_ratio_between_ingredients() {
+        let mut rng = Rng64::new(0x4A7);
+        for _ in 0..CASES {
+            let (ta, tb) = (tuple(&mut rng), tuple(&mut rng));
             let m = ta.merge(tb);
             let lo = ta.ratio().min(tb.ratio());
             let hi = ta.ratio().max(tb.ratio());
-            prop_assert!(m.ratio() >= lo - 1e-9 && m.ratio() <= hi + 1e-9);
+            assert!(m.ratio() >= lo - 1e-9 && m.ratio() <= hi + 1e-9);
         }
+    }
 
-        /// The adaptive expansion threshold is monotone: growing the tree
-        /// never turns a rejected expansion into an accepted one.
-        #[test]
-        fn expansion_threshold_monotone_in_tree_size(
-            b_l in 0.0f64..1e5,
-            ir in 1.0f64..1e4,
-            s1 in 0.0f64..5e4,
-            delta in 0.0f64..5e4,
-        ) {
-            let t = ExpansionThreshold::Adaptive { r1: 1500.0, r2: 250.0 };
+    /// The adaptive expansion threshold is monotone: growing the tree
+    /// never turns a rejected expansion into an accepted one.
+    #[test]
+    fn expansion_threshold_monotone_in_tree_size() {
+        let mut rng = Rng64::new(0xE45);
+        let t = ExpansionThreshold::Adaptive {
+            r1: 1500.0,
+            r2: 250.0,
+        };
+        for _ in 0..CASES {
+            let b_l = f(&mut rng, 0.0, 1e5);
+            let ir = f(&mut rng, 1.0, 1e4);
+            let s1 = f(&mut rng, 0.0, 5e4);
+            let delta = f(&mut rng, 0.0, 5e4);
             if should_expand(&t, b_l, ir, s1 + delta) {
-                prop_assert!(should_expand(&t, b_l, ir, s1));
+                assert!(should_expand(&t, b_l, ir, s1));
             }
         }
+    }
 
-        /// The adaptive inline threshold is monotone in root size and
-        /// "more forgiving" to smaller callees (paper prose on Eq. 12).
-        #[test]
-        fn inline_threshold_monotonicity(
-            ratio in 0.0f64..1e4,
-            root in 0.0f64..2e4,
-            node in 1.0f64..5e3,
-            delta in 0.0f64..2e4,
-        ) {
-            let t = InlineThreshold::Adaptive { t1: 0.005, t2: 60.0 };
+    /// The adaptive inline threshold is monotone in root size and
+    /// "more forgiving" to smaller callees (paper prose on Eq. 12).
+    #[test]
+    fn inline_threshold_monotonicity() {
+        let mut rng = Rng64::new(0x1217);
+        let t = InlineThreshold::Adaptive {
+            t1: 0.005,
+            t2: 60.0,
+        };
+        for _ in 0..CASES {
+            let ratio = f(&mut rng, 0.0, 1e4);
+            let root = f(&mut rng, 0.0, 2e4);
+            let node = f(&mut rng, 1.0, 5e3);
+            let delta = f(&mut rng, 0.0, 2e4);
             let tup = Tuple::new(ratio, 1.0);
             if may_inline(&t, tup, root + delta, node) {
-                prop_assert!(may_inline(&t, tup, root, node), "monotone in root size");
+                assert!(may_inline(&t, tup, root, node), "monotone in root size");
             }
             if may_inline(&t, tup, root, node + delta) {
-                prop_assert!(may_inline(&t, tup, root, node), "monotone in callee size");
+                assert!(may_inline(&t, tup, root, node), "monotone in callee size");
             }
         }
     }

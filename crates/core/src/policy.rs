@@ -90,7 +90,12 @@ pub struct PenaltyParams {
 
 impl Default for PenaltyParams {
     fn default() -> Self {
-        PenaltyParams { p1: 1e-3, p2: 1e-4, b1: 0.5, b2: 10.0 }
+        PenaltyParams {
+            p1: 1e-3,
+            p2: 1e-4,
+            b1: 0.5,
+            b2: 10.0,
+        }
     }
 }
 
@@ -105,7 +110,10 @@ pub struct PolyParams {
 
 impl Default for PolyParams {
     fn default() -> Self {
-        PolyParams { max_targets: 3, min_prob: 0.10 }
+        PolyParams {
+            max_targets: 3,
+            min_prob: 0.10,
+        }
     }
 }
 
@@ -148,8 +156,14 @@ impl PolicyConfig {
     /// these values the thresholds barely bind on this substrate.
     pub fn paper() -> Self {
         PolicyConfig {
-            expansion: ExpansionThreshold::Adaptive { r1: 3000.0, r2: 500.0 },
-            inlining: InlineThreshold::Adaptive { t1: 0.005, t2: 120.0 },
+            expansion: ExpansionThreshold::Adaptive {
+                r1: 3000.0,
+                r2: 500.0,
+            },
+            inlining: InlineThreshold::Adaptive {
+                t1: 0.005,
+                t2: 120.0,
+            },
             clustering: Clustering::Clustered,
             trials: Trials::Deep,
             penalty: PenaltyParams::default(),
@@ -166,8 +180,14 @@ impl PolicyConfig {
     /// depend on the compiler implementation"). This is the default.
     pub fn tuned() -> Self {
         PolicyConfig {
-            expansion: ExpansionThreshold::Adaptive { r1: 1500.0, r2: 250.0 },
-            inlining: InlineThreshold::Adaptive { t1: 0.005, t2: 60.0 },
+            expansion: ExpansionThreshold::Adaptive {
+                r1: 1500.0,
+                r2: 250.0,
+            },
+            inlining: InlineThreshold::Adaptive {
+                t1: 0.005,
+                t2: 60.0,
+            },
             root_size_cap: 25_000,
             ..Self::paper()
         }
@@ -193,7 +213,10 @@ impl PolicyConfig {
 
     /// Shallow-trials ablation (Figure 9's "no deep trials" bars).
     pub fn shallow_trials() -> Self {
-        PolicyConfig { trials: Trials::Shallow, ..Self::default() }
+        PolicyConfig {
+            trials: Trials::Shallow,
+            ..Self::default()
+        }
     }
 }
 
@@ -204,10 +227,36 @@ mod tests {
     #[test]
     fn paper_constants_preserved() {
         let c = PolicyConfig::paper();
-        assert_eq!(c.expansion, ExpansionThreshold::Adaptive { r1: 3000.0, r2: 500.0 });
-        assert_eq!(c.inlining, InlineThreshold::Adaptive { t1: 0.005, t2: 120.0 });
-        assert_eq!(c.penalty, PenaltyParams { p1: 1e-3, p2: 1e-4, b1: 0.5, b2: 10.0 });
-        assert_eq!(c.poly, PolyParams { max_targets: 3, min_prob: 0.10 });
+        assert_eq!(
+            c.expansion,
+            ExpansionThreshold::Adaptive {
+                r1: 3000.0,
+                r2: 500.0
+            }
+        );
+        assert_eq!(
+            c.inlining,
+            InlineThreshold::Adaptive {
+                t1: 0.005,
+                t2: 120.0
+            }
+        );
+        assert_eq!(
+            c.penalty,
+            PenaltyParams {
+                p1: 1e-3,
+                p2: 1e-4,
+                b1: 0.5,
+                b2: 10.0
+            }
+        );
+        assert_eq!(
+            c.poly,
+            PolyParams {
+                max_targets: 3,
+                min_prob: 0.10
+            }
+        );
         assert_eq!(c.root_size_cap, 50_000);
     }
 
@@ -215,8 +264,20 @@ mod tests {
     fn default_is_substrate_tuned() {
         let c = PolicyConfig::default();
         assert_eq!(c, PolicyConfig::tuned());
-        assert_eq!(c.expansion, ExpansionThreshold::Adaptive { r1: 1500.0, r2: 250.0 });
-        assert_eq!(c.inlining, InlineThreshold::Adaptive { t1: 0.005, t2: 60.0 });
+        assert_eq!(
+            c.expansion,
+            ExpansionThreshold::Adaptive {
+                r1: 1500.0,
+                r2: 250.0
+            }
+        );
+        assert_eq!(
+            c.inlining,
+            InlineThreshold::Adaptive {
+                t1: 0.005,
+                t2: 60.0
+            }
+        );
         // Everything not rescaled matches the paper.
         assert_eq!(c.penalty, PolicyConfig::paper().penalty);
         assert_eq!(c.poly, PolicyConfig::paper().poly);
@@ -231,7 +292,13 @@ mod tests {
 
         let o = PolicyConfig::one_by_one(1e-4, 1440.0);
         assert_eq!(o.clustering, Clustering::OneByOne);
-        assert_eq!(o.inlining, InlineThreshold::Adaptive { t1: 1e-4, t2: 1440.0 });
+        assert_eq!(
+            o.inlining,
+            InlineThreshold::Adaptive {
+                t1: 1e-4,
+                t2: 1440.0
+            }
+        );
 
         let s = PolicyConfig::shallow_trials();
         assert_eq!(s.trials, Trials::Shallow);

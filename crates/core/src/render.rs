@@ -58,7 +58,11 @@ fn render_node(
         None => "<dispatch>".to_string(),
     };
     let cluster = if node.inlined_with_parent { "*" } else { "" };
-    let _ = write!(out, "{prefix}{connector}[{}]{cluster} {name}", kind_tag(node.kind));
+    let _ = write!(
+        out,
+        "{prefix}{connector}[{}]{cluster} {name}",
+        kind_tag(node.kind)
+    );
     let _ = write!(out, "  f={:.2} |ir|={:.0}", node.freq, tree.ir_size(n, cx));
     if node.ns > 0 || node.no > 0 {
         let _ = write!(out, " Ns={} No={}", node.ns, node.no);
@@ -119,7 +123,7 @@ mod tests {
         p.define_method(root, g);
 
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
+        let cx = CompileCx::new(&p, &profiles);
         let config = PolicyConfig::default();
         let mut tree = CallTree::new(root, p.method(root).graph.clone(), &cx, &config);
         let first = tree.node(tree.root()).children[0];

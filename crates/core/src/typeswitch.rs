@@ -121,7 +121,10 @@ pub fn emit_typeswitch(
         let ret_ty = program.method(case.target).ret.value();
         let (ci, cres) = graph.append(
             case_block,
-            Op::Call(CallInfo { target: CallTarget::Static(case.target), site: info.site }),
+            Op::Call(CallInfo {
+                target: CallTarget::Static(case.target),
+                site: info.site,
+            }),
             case_args,
             ret_ty,
         );
@@ -143,7 +146,11 @@ pub fn emit_typeswitch(
     };
     graph.set_terminator(test_block, Terminator::Jump(continuation, cont_args));
 
-    TypeswitchResult { case_calls, fallback_call: fi, continuation }
+    TypeswitchResult {
+        case_calls,
+        fallback_call: fi,
+        continuation,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +204,16 @@ mod tests {
             &mut g,
             block,
             call,
-            &[TypeswitchCase { target: mb, guard: b }, TypeswitchCase { target: mc, guard: c }],
+            &[
+                TypeswitchCase {
+                    target: mb,
+                    guard: b,
+                },
+                TypeswitchCase {
+                    target: mc,
+                    guard: c,
+                },
+            ],
         );
         assert_eq!(res.case_calls.len(), 2);
         let a = p.class_by_name("A").unwrap();
@@ -208,13 +224,21 @@ mod tests {
         let statics = sites
             .iter()
             .filter(|&&(_, i)| {
-                matches!(g.inst(i).op, Op::Call(CallInfo { target: CallTarget::Static(_), .. }))
+                matches!(
+                    g.inst(i).op,
+                    Op::Call(CallInfo {
+                        target: CallTarget::Static(_),
+                        ..
+                    })
+                )
             })
             .count();
         assert_eq!(statics, 2);
         // All calls keep the original profile site.
         for &(_, i) in &sites {
-            let Op::Call(info) = &g.inst(i).op else { panic!() };
+            let Op::Call(info) = &g.inst(i).op else {
+                panic!()
+            };
             assert_eq!(info.site.method, root);
             assert_eq!(info.site.index, 0);
         }
@@ -226,10 +250,23 @@ mod tests {
         let root = virtual_root(&mut p);
         let mut g = p.method(root).graph.clone();
         let (block, call) = g.callsites()[0];
-        let res = emit_typeswitch(&p, &mut g, block, call, &[TypeswitchCase { target: mb, guard: b }]);
+        let res = emit_typeswitch(
+            &p,
+            &mut g,
+            block,
+            call,
+            &[TypeswitchCase {
+                target: mb,
+                guard: b,
+            }],
+        );
         let case = res.case_calls[0];
         let recv = g.inst(case).args[0];
-        assert_eq!(g.value_type(recv), Type::Object(b), "case receiver must be cast-narrowed");
+        assert_eq!(
+            g.value_type(recv),
+            Type::Object(b),
+            "case receiver must be cast-narrowed"
+        );
     }
 
     #[test]
@@ -258,7 +295,16 @@ mod tests {
 
         let mut g = p.method(root).graph.clone();
         let (block, call) = g.callsites()[0];
-        let res = emit_typeswitch(&p, &mut g, block, call, &[TypeswitchCase { target: mb, guard: b }]);
+        let res = emit_typeswitch(
+            &p,
+            &mut g,
+            block,
+            call,
+            &[TypeswitchCase {
+                target: mb,
+                guard: b,
+            }],
+        );
         assert!(g.block(res.continuation).params.is_empty());
         verify_graph(&p, &g, &[Type::Object(a)], RetType::Void).unwrap();
     }

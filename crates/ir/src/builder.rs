@@ -45,7 +45,13 @@ impl<'p> FunctionBuilder<'p> {
         for &ty in &program.method(method).params {
             graph.add_block_param(entry, ty);
         }
-        FunctionBuilder { program, graph, method, cur: entry, next_site: 0 }
+        FunctionBuilder {
+            program,
+            graph,
+            method,
+            cur: entry,
+            next_site: 0,
+        }
     }
 
     /// The program being built against.
@@ -85,7 +91,10 @@ impl<'p> FunctionBuilder<'p> {
     /// and its parameter values.
     pub fn add_block_with_params(&mut self, tys: &[Type]) -> (BlockId, Vec<ValueId>) {
         let b = self.graph.add_block();
-        let params = tys.iter().map(|&t| self.graph.add_block_param(b, t)).collect();
+        let params = tys
+            .iter()
+            .map(|&t| self.graph.add_block_param(b, t))
+            .collect();
         (b, params)
     }
 
@@ -242,7 +251,14 @@ impl<'p> FunctionBuilder<'p> {
     pub fn call_static(&mut self, target: MethodId, args: Vec<ValueId>) -> Option<ValueId> {
         let ret = self.program.method(target).ret;
         let site = self.fresh_site();
-        self.emit_call(CallInfo { target: CallTarget::Static(target), site }, args, ret)
+        self.emit_call(
+            CallInfo {
+                target: CallTarget::Static(target),
+                site,
+            },
+            args,
+            ret,
+        )
     }
 
     /// Virtual call through `selector`; `args[0]` is the receiver. The
@@ -257,10 +273,22 @@ impl<'p> FunctionBuilder<'p> {
             .method_ids()
             .map(|m| self.program.method(m))
             .find(|m| m.selector == Some(selector))
-            .unwrap_or_else(|| panic!("no method declares selector {}", self.program.selector(selector)))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no method declares selector {}",
+                    self.program.selector(selector)
+                )
+            })
             .ret;
         let site = self.fresh_site();
-        self.emit_call(CallInfo { target: CallTarget::Virtual(selector), site }, args, ret)
+        self.emit_call(
+            CallInfo {
+                target: CallTarget::Virtual(selector),
+                site,
+            },
+            args,
+            ret,
+        )
     }
 
     // ---- type tests -------------------------------------------------------
@@ -284,7 +312,8 @@ impl<'p> FunctionBuilder<'p> {
 
     /// Terminates the current block with a jump.
     pub fn jump(&mut self, dest: BlockId, args: Vec<ValueId>) {
-        self.graph.set_terminator(self.cur, Terminator::Jump(dest, args));
+        self.graph
+            .set_terminator(self.cur, Terminator::Jump(dest, args));
     }
 
     /// Terminates the current block with a conditional branch.
@@ -294,18 +323,29 @@ impl<'p> FunctionBuilder<'p> {
         then_dest: (BlockId, Vec<ValueId>),
         else_dest: (BlockId, Vec<ValueId>),
     ) {
-        self.graph.set_terminator(self.cur, Terminator::Branch { cond, then_dest, else_dest });
+        self.graph.set_terminator(
+            self.cur,
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            },
+        );
     }
 
     /// Terminates the current block with a return.
     pub fn ret(&mut self, value: Option<ValueId>) {
-        self.graph.set_terminator(self.cur, Terminator::Return(value));
+        self.graph
+            .set_terminator(self.cur, Terminator::Return(value));
     }
 
     // ---- internals --------------------------------------------------------
 
     fn fresh_site(&mut self) -> CallSiteId {
-        let site = CallSiteId { method: self.method, index: self.next_site };
+        let site = CallSiteId {
+            method: self.method,
+            index: self.next_site,
+        };
         self.next_site += 1;
         site
     }
@@ -320,7 +360,9 @@ impl<'p> FunctionBuilder<'p> {
     }
 
     fn emit_call(&mut self, info: CallInfo, args: Vec<ValueId>, ret: RetType) -> Option<ValueId> {
-        let (_, v) = self.graph.append(self.cur, Op::Call(info), args, ret.value());
+        let (_, v) = self
+            .graph
+            .append(self.cur, Op::Call(info), args, ret.value());
         v
     }
 }
@@ -367,7 +409,11 @@ mod tests {
         fb.call_static(callee, vec![]);
         fb.ret(None);
         let g = fb.finish();
-        let sites: Vec<_> = g.callsites().iter().map(|&(_, i)| g.inst(i).op.call_site().unwrap()).collect();
+        let sites: Vec<_> = g
+            .callsites()
+            .iter()
+            .map(|&(_, i)| g.inst(i).op.call_site().unwrap())
+            .collect();
         assert_eq!(sites.len(), 2);
         assert_ne!(sites[0], sites[1]);
         assert!(sites.iter().all(|s| s.method == caller));

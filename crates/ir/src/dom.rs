@@ -70,7 +70,13 @@ impl DomTree {
                 children.entry(d).or_default().push(b);
             }
         }
-        DomTree { rpo, rpo_index, idom: idom_map, children, entry }
+        DomTree {
+            rpo,
+            rpo_index,
+            idom: idom_map,
+            children,
+            entry,
+        }
     }
 
     /// Reverse postorder of reachable blocks (entry first).
@@ -172,11 +178,21 @@ mod tests {
     fn diamond() -> (Graph, BlockId, BlockId, BlockId, BlockId) {
         let mut g = Graph::empty();
         let e = g.entry();
-        let c = g.append(e, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap();
+        let c = g
+            .append(e, Op::ConstBool(true), vec![], Some(Type::Bool))
+            .1
+            .unwrap();
         let t = g.add_block();
         let f = g.add_block();
         let j = g.add_block();
-        g.set_terminator(e, Terminator::Branch { cond: c, then_dest: (t, vec![]), else_dest: (f, vec![]) });
+        g.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: c,
+                then_dest: (t, vec![]),
+                else_dest: (f, vec![]),
+            },
+        );
         g.set_terminator(t, Terminator::Jump(j, vec![]));
         g.set_terminator(f, Terminator::Jump(j, vec![]));
         g.set_terminator(j, Terminator::Return(None));
@@ -200,12 +216,22 @@ mod tests {
         // e -> h; h -> body | exit; body -> h
         let mut g = Graph::empty();
         let e = g.entry();
-        let c = g.append(e, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap();
+        let c = g
+            .append(e, Op::ConstBool(true), vec![], Some(Type::Bool))
+            .1
+            .unwrap();
         let h = g.add_block();
         let body = g.add_block();
         let exit = g.add_block();
         g.set_terminator(e, Terminator::Jump(h, vec![]));
-        g.set_terminator(h, Terminator::Branch { cond: c, then_dest: (body, vec![]), else_dest: (exit, vec![]) });
+        g.set_terminator(
+            h,
+            Terminator::Branch {
+                cond: c,
+                then_dest: (body, vec![]),
+                else_dest: (exit, vec![]),
+            },
+        );
         g.set_terminator(body, Terminator::Jump(h, vec![]));
         g.set_terminator(exit, Terminator::Return(None));
         let dom = DomTree::compute(&g);

@@ -38,13 +38,21 @@ fn escape(s: &str) -> String {
 pub fn graph_to_dot(program: &Program, graph: &Graph, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
-    let _ = writeln!(out, "  node [shape=record, fontname=\"monospace\", fontsize=10];");
+    let _ = writeln!(
+        out,
+        "  node [shape=record, fontname=\"monospace\", fontsize=10];"
+    );
     for b in graph.reachable_blocks() {
         let bd = graph.block(b);
         let params = bd
             .params
             .iter()
-            .map(|&p| format!("{p}: {}", crate::print::type_str(program, graph.value_type(p))))
+            .map(|&p| {
+                format!(
+                    "{p}: {}",
+                    crate::print::type_str(program, graph.value_type(p))
+                )
+            })
             .collect::<Vec<_>>()
             .join(", ");
         let mut lines = vec![format!("{b}({params})")];
@@ -53,7 +61,11 @@ pub fn graph_to_dot(program: &Program, graph: &Graph, name: &str) -> String {
         }
         let term = match &bd.term {
             Terminator::Jump(d, _) => format!("jump {d}"),
-            Terminator::Branch { cond, then_dest, else_dest } => {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 format!("br {cond} ? {} : {}", then_dest.0, else_dest.0)
             }
             Terminator::Return(Some(v)) => format!("ret {v}"),
@@ -61,13 +73,25 @@ pub fn graph_to_dot(program: &Program, graph: &Graph, name: &str) -> String {
             Terminator::Unterminated => "<unterminated>".to_string(),
         };
         lines.push(term);
-        let label = lines.iter().map(|l| escape(l)).collect::<Vec<_>>().join("\\l");
+        let label = lines
+            .iter()
+            .map(|l| escape(l))
+            .collect::<Vec<_>>()
+            .join("\\l");
         let _ = writeln!(out, "  {b} [label=\"{label}\\l\"];");
         match &bd.term {
             Terminator::Jump(d, args) => {
-                let _ = writeln!(out, "  {b} -> {d} [label=\"{}\"];", escape(&args_label(args)));
+                let _ = writeln!(
+                    out,
+                    "  {b} -> {d} [label=\"{}\"];",
+                    escape(&args_label(args))
+                );
             }
-            Terminator::Branch { then_dest, else_dest, .. } => {
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => {
                 let _ = writeln!(
                     out,
                     "  {b} -> {} [label=\"T {}\", color=darkgreen];",
@@ -92,7 +116,13 @@ fn args_label(args: &[crate::ids::ValueId]) -> String {
     if args.is_empty() {
         String::new()
     } else {
-        format!("({})", args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "))
+        format!(
+            "({})",
+            args.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
     }
 }
 

@@ -61,7 +61,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::IAdd | BinOp::IMul | BinOp::IAnd | BinOp::IOr | BinOp::IXor | BinOp::FAdd | BinOp::FMul
+            BinOp::IAdd
+                | BinOp::IMul
+                | BinOp::IAnd
+                | BinOp::IOr
+                | BinOp::IXor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
@@ -140,7 +146,9 @@ impl CmpOp {
     /// Operand type expected on both sides.
     pub fn operand_kind(self) -> Option<Type> {
         match self {
-            CmpOp::IEq | CmpOp::INe | CmpOp::ILt | CmpOp::ILe | CmpOp::IGt | CmpOp::IGe => Some(Type::Int),
+            CmpOp::IEq | CmpOp::INe | CmpOp::ILt | CmpOp::ILe | CmpOp::IGt | CmpOp::IGe => {
+                Some(Type::Int)
+            }
             CmpOp::FEq | CmpOp::FLt | CmpOp::FLe => Some(Type::Float),
             CmpOp::RefEq => None, // any reference type
         }
@@ -225,7 +233,10 @@ pub enum Op {
 impl Op {
     /// Whether the op writes memory or produces output.
     pub fn has_side_effect(&self) -> bool {
-        matches!(self, Op::SetField(_) | Op::ArraySet | Op::Call(_) | Op::Print)
+        matches!(
+            self,
+            Op::SetField(_) | Op::ArraySet | Op::Call(_) | Op::Print
+        )
     }
 
     /// Whether the op can trap at runtime (division, null deref, bounds,
@@ -233,7 +244,12 @@ impl Op {
     pub fn can_trap(&self) -> bool {
         match self {
             Op::Bin(b) => b.can_trap(),
-            Op::GetField(_) | Op::SetField(_) | Op::ArrayGet | Op::ArraySet | Op::ArrayLen | Op::Cast(_) => true,
+            Op::GetField(_)
+            | Op::SetField(_)
+            | Op::ArrayGet
+            | Op::ArraySet
+            | Op::ArrayLen
+            | Op::Cast(_) => true,
             Op::NewArray(_) => true,
             _ => false,
         }
@@ -328,7 +344,11 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b, _) => vec![*b],
-            Terminator::Branch { then_dest, else_dest, .. } => vec![then_dest.0, else_dest.0],
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![then_dest.0, else_dest.0],
             Terminator::Return(_) | Terminator::Unterminated => vec![],
         }
     }
@@ -337,7 +357,11 @@ impl Terminator {
     pub fn uses(&self) -> Vec<ValueId> {
         match self {
             Terminator::Jump(_, args) => args.clone(),
-            Terminator::Branch { cond, then_dest, else_dest } => {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 let mut v = vec![*cond];
                 v.extend_from_slice(&then_dest.1);
                 v.extend_from_slice(&else_dest.1);
@@ -381,7 +405,11 @@ impl Graph {
         Graph {
             values: Vec::new(),
             insts: Vec::new(),
-            blocks: vec![BlockData { params: Vec::new(), insts: Vec::new(), term: Terminator::Unterminated }],
+            blocks: vec![BlockData {
+                params: Vec::new(),
+                insts: Vec::new(),
+                term: Terminator::Unterminated,
+            }],
             entry: BlockId::new(0),
         }
     }
@@ -394,7 +422,11 @@ impl Graph {
     /// Adds a new empty block and returns its id.
     pub fn add_block(&mut self) -> BlockId {
         let id = BlockId::new(self.blocks.len());
-        self.blocks.push(BlockData { params: Vec::new(), insts: Vec::new(), term: Terminator::Unterminated });
+        self.blocks.push(BlockData {
+            params: Vec::new(),
+            insts: Vec::new(),
+            term: Terminator::Unterminated,
+        });
         id
     }
 
@@ -402,7 +434,10 @@ impl Graph {
     pub fn add_block_param(&mut self, block: BlockId, ty: Type) -> ValueId {
         let index = self.blocks[block.index()].params.len() as u32;
         let v = ValueId::new(self.values.len());
-        self.values.push(ValueData { ty, def: ValueDef::Param(block, index) });
+        self.values.push(ValueData {
+            ty,
+            def: ValueDef::Param(block, index),
+        });
         self.blocks[block.index()].params.push(v);
         v
     }
@@ -414,7 +449,10 @@ impl Graph {
         let id = InstId::new(self.insts.len());
         let result = result_ty.map(|ty| {
             let v = ValueId::new(self.values.len());
-            self.values.push(ValueData { ty, def: ValueDef::Inst(id) });
+            self.values.push(ValueData {
+                ty,
+                def: ValueDef::Inst(id),
+            });
             v
         });
         self.insts.push(InstData { op, args, result });
@@ -580,7 +618,11 @@ impl Graph {
             };
             match term {
                 Terminator::Jump(_, args) => rewrite(args, &mut n),
-                Terminator::Branch { cond, then_dest, else_dest } => {
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
                     if *cond == old {
                         *cond = new;
                         n += 1;
@@ -628,7 +670,10 @@ impl Graph {
     pub fn const_op(&self, value: ValueId) -> Option<&Op> {
         match self.values[value.index()].def {
             ValueDef::Inst(i) => match &self.insts[i.index()].op {
-                op @ (Op::ConstInt(_) | Op::ConstFloat(_) | Op::ConstBool(_) | Op::ConstNull(_)) => Some(op),
+                op
+                @ (Op::ConstInt(_) | Op::ConstFloat(_) | Op::ConstBool(_) | Op::ConstNull(_)) => {
+                    Some(op)
+                }
                 _ => None,
             },
             ValueDef::Param(..) => None,
@@ -711,8 +756,12 @@ impl Graph {
         };
         for &b in &reachable {
             for &i in &self.block(b).insts {
-                let args: Vec<ValueId> =
-                    self.inst(i).args.iter().map(|&a| map_v(&value_map, a)).collect();
+                let args: Vec<ValueId> = self
+                    .inst(i)
+                    .args
+                    .iter()
+                    .map(|&a| map_v(&value_map, a))
+                    .collect();
                 out.inst_mut(inst_map[&i]).args = args;
             }
             let term = match &self.block(b).term {
@@ -720,7 +769,11 @@ impl Graph {
                     block_map[d],
                     args.iter().map(|&a| map_v(&value_map, a)).collect(),
                 ),
-                Terminator::Branch { cond, then_dest, else_dest } => Terminator::Branch {
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => Terminator::Branch {
                     cond: map_v(&value_map, *cond),
                     then_dest: (
                         block_map[&then_dest.0],
@@ -745,7 +798,9 @@ mod tests {
     use super::*;
 
     fn k(g: &mut Graph, b: BlockId, v: i64) -> ValueId {
-        g.append(b, Op::ConstInt(v), vec![], Some(Type::Int)).1.unwrap()
+        g.append(b, Op::ConstInt(v), vec![], Some(Type::Int))
+            .1
+            .unwrap()
     }
 
     #[test]
@@ -771,7 +826,14 @@ mod tests {
         let jp = g.add_block_param(j, Type::Int);
         let one = k(&mut g, t, 1);
         let two = k(&mut g, f, 2);
-        g.set_terminator(e, Terminator::Branch { cond: p, then_dest: (t, vec![]), else_dest: (f, vec![]) });
+        g.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: p,
+                then_dest: (t, vec![]),
+                else_dest: (f, vec![]),
+            },
+        );
         g.set_terminator(t, Terminator::Jump(j, vec![one]));
         g.set_terminator(f, Terminator::Jump(j, vec![two]));
         g.set_terminator(j, Terminator::Return(Some(jp)));
@@ -819,7 +881,12 @@ mod tests {
         let mut g = Graph::empty();
         let e = g.entry();
         let a = k(&mut g, e, 42);
-        let (_, fl) = g.append(e, Op::ConstFloat(2.5f64.to_bits()), vec![], Some(Type::Float));
+        let (_, fl) = g.append(
+            e,
+            Op::ConstFloat(2.5f64.to_bits()),
+            vec![],
+            Some(Type::Float),
+        );
         let (_, tr) = g.append(e, Op::ConstBool(true), vec![], Some(Type::Bool));
         assert_eq!(g.as_const_int(a), Some(42));
         assert_eq!(g.as_const_float(fl.unwrap()), Some(2.5));
@@ -877,8 +944,12 @@ mod tests {
         assert!(c.inst_count() < g.inst_count(), "dead insts dropped");
         assert_eq!(c.block_count(), 1, "unreachable blocks dropped");
         // The computation is intact.
-        let Terminator::Return(Some(v)) = c.block(c.entry()).term.clone() else { panic!() };
-        let ValueDef::Inst(add) = c.value(v).def else { panic!() };
+        let Terminator::Return(Some(v)) = c.block(c.entry()).term.clone() else {
+            panic!()
+        };
+        let ValueDef::Inst(add) = c.value(v).def else {
+            panic!()
+        };
         assert!(matches!(c.inst(add).op, Op::Bin(BinOp::IAdd)));
     }
 
@@ -896,7 +967,11 @@ mod tests {
         let (_, c) = g.append(h, Op::Cmp(CmpOp::ILt), vec![hi, n], Some(Type::Bool));
         g.set_terminator(
             h,
-            Terminator::Branch { cond: c.unwrap(), then_dest: (body, vec![]), else_dest: (exit, vec![]) },
+            Terminator::Branch {
+                cond: c.unwrap(),
+                then_dest: (body, vec![]),
+                else_dest: (exit, vec![]),
+            },
         );
         let one = k(&mut g, body, 1);
         let (_, i2) = g.append(body, Op::Bin(BinOp::IAdd), vec![hi, one], Some(Type::Int));
@@ -913,12 +988,38 @@ mod tests {
         let mut g = Graph::empty();
         let e = g.entry();
         let m = MethodId::new(0);
-        let cs0 = CallSiteId { method: m, index: 0 };
-        let cs1 = CallSiteId { method: m, index: 1 };
-        g.append(e, Op::Call(CallInfo { target: CallTarget::Static(m), site: cs0 }), vec![], None);
-        g.append(e, Op::Call(CallInfo { target: CallTarget::Static(m), site: cs1 }), vec![], None);
+        let cs0 = CallSiteId {
+            method: m,
+            index: 0,
+        };
+        let cs1 = CallSiteId {
+            method: m,
+            index: 1,
+        };
+        g.append(
+            e,
+            Op::Call(CallInfo {
+                target: CallTarget::Static(m),
+                site: cs0,
+            }),
+            vec![],
+            None,
+        );
+        g.append(
+            e,
+            Op::Call(CallInfo {
+                target: CallTarget::Static(m),
+                site: cs1,
+            }),
+            vec![],
+            None,
+        );
         g.set_terminator(e, Terminator::Return(None));
-        let sites: Vec<_> = g.callsites().iter().map(|&(_, i)| g.inst(i).op.call_site().unwrap()).collect();
+        let sites: Vec<_> = g
+            .callsites()
+            .iter()
+            .map(|&(_, i)| g.inst(i).op.call_site().unwrap())
+            .collect();
         assert_eq!(sites, vec![cs0, cs1]);
     }
 }

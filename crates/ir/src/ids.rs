@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn callsite_id_display() {
-        let cs = CallSiteId { method: MethodId::new(4), index: 2 };
+        let cs = CallSiteId {
+            method: MethodId::new(4),
+            index: 2,
+        };
         assert_eq!(format!("{cs}"), "cs(m4,2)");
     }
 }

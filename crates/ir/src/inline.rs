@@ -39,7 +39,12 @@ pub struct InlineResult {
 ///
 /// Panics if `call` is not a call instruction inside `block`, or if the
 /// callee entry's parameter count differs from the call's argument count.
-pub fn inline_call(caller: &mut Graph, block: BlockId, call: InstId, callee: &Graph) -> InlineResult {
+pub fn inline_call(
+    caller: &mut Graph,
+    block: BlockId,
+    call: InstId,
+    callee: &Graph,
+) -> InlineResult {
     let pos = caller
         .block(block)
         .insts
@@ -120,11 +125,18 @@ pub fn inline_call(caller: &mut Graph, block: BlockId, call: InstId, callee: &Gr
 
     // Pass 3: operands and terminators.
     let map_v = |value_map: &HashMap<ValueId, ValueId>, v: ValueId| -> ValueId {
-        *value_map.get(&v).unwrap_or_else(|| panic!("unmapped callee value {v}"))
+        *value_map
+            .get(&v)
+            .unwrap_or_else(|| panic!("unmapped callee value {v}"))
     };
     for &cb in &callee_blocks {
         for &ci in &callee.block(cb).insts {
-            let args: Vec<ValueId> = callee.inst(ci).args.iter().map(|&a| map_v(&value_map, a)).collect();
+            let args: Vec<ValueId> = callee
+                .inst(ci)
+                .args
+                .iter()
+                .map(|&a| map_v(&value_map, a))
+                .collect();
             caller.inst_mut(inst_map[&ci]).args = args;
         }
         let nterm = match &callee.block(cb).term {
@@ -132,7 +144,11 @@ pub fn inline_call(caller: &mut Graph, block: BlockId, call: InstId, callee: &Gr
                 block_map[d],
                 args.iter().map(|&a| map_v(&value_map, a)).collect(),
             ),
-            Terminator::Branch { cond, then_dest, else_dest } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => Terminator::Branch {
                 cond: map_v(&value_map, *cond),
                 then_dest: (
                     block_map[&then_dest.0],
@@ -161,7 +177,13 @@ pub fn inline_call(caller: &mut Graph, block: BlockId, call: InstId, callee: &Gr
     let inlined_entry = block_map[&callee.entry()];
     caller.set_terminator(block, Terminator::Jump(inlined_entry, call_args));
 
-    InlineResult { block_map, value_map, inst_map, inlined_entry, continuation }
+    InlineResult {
+        block_map,
+        value_map,
+        inst_map,
+        inlined_entry,
+        continuation,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +229,9 @@ mod tests {
         verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
         assert!(g.block(res.continuation).params.len() == 1);
         // The original entry now jumps into the inlined body.
-        assert!(matches!(g.block(g.entry()).term, Terminator::Jump(d, _) if d == res.inlined_entry));
+        assert!(
+            matches!(g.block(g.entry()).term, Terminator::Jump(d, _) if d == res.inlined_entry)
+        );
     }
 
     #[test]
@@ -387,6 +411,12 @@ mod tests {
         verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
         // Exactly one recursive callsite remains (the inner copy).
         assert_eq!(g.callsites().len(), 1);
-        let _ = CallInfo { target: CallTarget::Static(fact), site: crate::ids::CallSiteId { method: fact, index: 0 } };
+        let _ = CallInfo {
+            target: CallTarget::Static(fact),
+            site: crate::ids::CallSiteId {
+                method: fact,
+                index: 0,
+            },
+        };
     }
 }

@@ -43,6 +43,7 @@ pub mod loops;
 pub mod parse;
 pub mod print;
 pub mod program;
+pub mod rng;
 pub mod types;
 pub mod verify;
 
@@ -50,4 +51,5 @@ pub use builder::FunctionBuilder;
 pub use graph::{BinOp, CallInfo, CallTarget, CmpOp, Graph, InstData, Op, Terminator, ValueDef};
 pub use ids::{BlockId, CallSiteId, ClassId, FieldId, InstId, MethodId, SelectorId, ValueId};
 pub use program::{Class, Field, Method, MethodKind, Program, Selector};
+pub use rng::Rng64;
 pub use types::{ElemType, RetType, Type};

@@ -80,7 +80,11 @@ impl LoopForest {
             .map(|(header, (blocks, back_edges))| {
                 let mut blocks: Vec<_> = blocks.into_iter().collect();
                 blocks.sort();
-                Loop { header, blocks, back_edges }
+                Loop {
+                    header,
+                    blocks,
+                    back_edges,
+                }
             })
             .collect();
         loops.sort_by_key(|l| l.header);
@@ -115,7 +119,9 @@ mod tests {
     use crate::types::Type;
 
     fn cond(g: &mut Graph, b: BlockId) -> crate::ids::ValueId {
-        g.append(b, Op::ConstBool(true), vec![], Some(Type::Bool)).1.unwrap()
+        g.append(b, Op::ConstBool(true), vec![], Some(Type::Bool))
+            .1
+            .unwrap()
     }
 
     #[test]
@@ -127,7 +133,14 @@ mod tests {
         let exit = g.add_block();
         g.set_terminator(e, Terminator::Jump(h, vec![]));
         let c = cond(&mut g, h);
-        g.set_terminator(h, Terminator::Branch { cond: c, then_dest: (body, vec![]), else_dest: (exit, vec![]) });
+        g.set_terminator(
+            h,
+            Terminator::Branch {
+                cond: c,
+                then_dest: (body, vec![]),
+                else_dest: (exit, vec![]),
+            },
+        );
         g.set_terminator(body, Terminator::Jump(h, vec![]));
         g.set_terminator(exit, Terminator::Return(None));
         let lf = LoopForest::compute(&g);
@@ -152,9 +165,23 @@ mod tests {
         let exit = g.add_block();
         g.set_terminator(e, Terminator::Jump(h1, vec![]));
         let c1 = cond(&mut g, h1);
-        g.set_terminator(h1, Terminator::Branch { cond: c1, then_dest: (h2, vec![]), else_dest: (exit, vec![]) });
+        g.set_terminator(
+            h1,
+            Terminator::Branch {
+                cond: c1,
+                then_dest: (h2, vec![]),
+                else_dest: (exit, vec![]),
+            },
+        );
         let c2 = cond(&mut g, h2);
-        g.set_terminator(h2, Terminator::Branch { cond: c2, then_dest: (b2, vec![]), else_dest: (exit1, vec![]) });
+        g.set_terminator(
+            h2,
+            Terminator::Branch {
+                cond: c2,
+                then_dest: (b2, vec![]),
+                else_dest: (exit1, vec![]),
+            },
+        );
         g.set_terminator(b2, Terminator::Jump(h2, vec![]));
         g.set_terminator(exit1, Terminator::Jump(h1, vec![]));
         g.set_terminator(exit, Terminator::Return(None));

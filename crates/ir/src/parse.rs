@@ -41,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -105,12 +109,22 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut i = 0;
     let mut line = 1u32;
     let mut col = 1u32;
-    let err = |line: u32, col: u32, m: String| ParseError { line, col, message: m };
+    let err = |line: u32, col: u32, m: String| ParseError {
+        line,
+        col,
+        message: m,
+    };
 
     while i < bytes.len() {
         let c = bytes[i] as char;
         let (tl, tc) = (line, col);
-        let mut push = |tok: Tok| out.push(Spanned { tok, line: tl, col: tc });
+        let mut push = |tok: Tok| {
+            out.push(Spanned {
+                tok,
+                line: tl,
+                col: tc,
+            })
+        };
         match c {
             '\n' => {
                 line += 1;
@@ -224,7 +238,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             other => return Err(err(line, col, format!("unexpected character `{other}`"))),
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -260,9 +278,13 @@ fn lex_number(rest: &str) -> Result<(Tok, usize), String> {
     }
     let text = &rest[..i];
     if is_float {
-        text.parse::<f64>().map(|f| (Tok::Float(f), i)).map_err(|e| e.to_string())
+        text.parse::<f64>()
+            .map(|f| (Tok::Float(f), i))
+            .map_err(|e| e.to_string())
     } else {
-        text.parse::<i64>().map(|k| (Tok::Int(k), i)).map_err(|e| e.to_string())
+        text.parse::<i64>()
+            .map(|k| (Tok::Int(k), i))
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -292,7 +314,11 @@ impl Parser {
 
     fn fail<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let (line, col) = self.here();
-        Err(ParseError { line, col, message: message.into() })
+        Err(ParseError {
+            line,
+            col,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
@@ -530,7 +556,10 @@ impl<'a> BodyCx<'a> {
     }
 
     fn fresh_site(&mut self) -> CallSiteId {
-        let s = CallSiteId { method: self.method, index: self.next_site };
+        let s = CallSiteId {
+            method: self.method,
+            index: self.next_site,
+        };
         self.next_site += 1;
         s
     }
@@ -600,7 +629,14 @@ fn parse_block(p: &mut Parser, cx: &mut BodyCx<'_>) -> Result<(), ParseError> {
                 let then_dest = parse_edge(p, cx)?;
                 p.expect(Tok::Comma)?;
                 let else_dest = parse_edge(p, cx)?;
-                cx.graph.set_terminator(block, Terminator::Branch { cond, then_dest, else_dest });
+                cx.graph.set_terminator(
+                    block,
+                    Terminator::Branch {
+                        cond,
+                        then_dest,
+                        else_dest,
+                    },
+                );
                 return Ok(());
             }
             "ret" => {
@@ -656,7 +692,11 @@ fn parse_value_list(p: &mut Parser, cx: &BodyCx<'_>) -> Result<Vec<ValueId>, Par
 
 fn parse_paren_values(p: &mut Parser, cx: &BodyCx<'_>) -> Result<Vec<ValueId>, ParseError> {
     p.expect(Tok::LParen)?;
-    let args = if *p.peek() != Tok::RParen { parse_value_list(p, cx)? } else { Vec::new() };
+    let args = if *p.peek() != Tok::RParen {
+        parse_value_list(p, cx)?
+    } else {
+        Vec::new()
+    };
     p.expect(Tok::RParen)?;
     Ok(args)
 }
@@ -708,7 +748,12 @@ fn parse_inst(p: &mut Parser, cx: &mut BodyCx<'_>, block: BlockId) -> Result<(),
     };
 
     let program = cx.program;
-    let define = |cx: &mut BodyCx<'_>, op: Op, args: Vec<ValueId>, ty: Option<Type>, p: &Parser| -> Result<(), ParseError> {
+    let define = |cx: &mut BodyCx<'_>,
+                  op: Op,
+                  args: Vec<ValueId>,
+                  ty: Option<Type>,
+                  p: &Parser|
+     -> Result<(), ParseError> {
         let (_, res) = cx.graph.append(block, op, args, ty);
         match (&result_name, res) {
             (Some(name), Some(v)) => {
@@ -741,7 +786,13 @@ fn parse_inst(p: &mut Parser, cx: &mut BodyCx<'_>, block: BlockId) -> Result<(),
                         Tok::Int(k) => k as f64,
                         other => return p.fail(format!("expected float, found {other}")),
                     };
-                    define(cx, Op::ConstFloat(k.to_bits()), vec![], Some(Type::Float), p)
+                    define(
+                        cx,
+                        Op::ConstFloat(k.to_bits()),
+                        vec![],
+                        Some(Type::Float),
+                        p,
+                    )
                 }
                 "bool" => {
                     let b = if p.eat_ident("true") {
@@ -874,7 +925,16 @@ fn parse_inst(p: &mut Parser, cx: &mut BodyCx<'_>, block: BlockId) -> Result<(),
             let args = parse_paren_values(p, cx)?;
             let site = cx.fresh_site();
             let ret = program.method(target).ret.value();
-            define(cx, Op::Call(CallInfo { target: CallTarget::Static(target), site }), args, ret, p)
+            define(
+                cx,
+                Op::Call(CallInfo {
+                    target: CallTarget::Static(target),
+                    site,
+                }),
+                args,
+                ret,
+                p,
+            )
         }
         "callv" => {
             let name = p.ident()?;
@@ -882,13 +942,24 @@ fn parse_inst(p: &mut Parser, cx: &mut BodyCx<'_>, block: BlockId) -> Result<(),
             let Some(sel) = program.selector_by_name(&name, args.len()) else {
                 return p.fail(format!("unknown selector `{name}/{}`", args.len()));
             };
-            let decl = program.method_ids().find(|&m| program.method(m).selector == Some(sel));
+            let decl = program
+                .method_ids()
+                .find(|&m| program.method(m).selector == Some(sel));
             let Some(decl) = decl else {
                 return p.fail(format!("no method declares selector `{name}`"));
             };
             let site = cx.fresh_site();
             let ret = program.method(decl).ret.value();
-            define(cx, Op::Call(CallInfo { target: CallTarget::Virtual(sel), site }), args, ret, p)
+            define(
+                cx,
+                Op::Call(CallInfo {
+                    target: CallTarget::Virtual(sel),
+                    site,
+                }),
+                args,
+                ret,
+                p,
+            )
         }
         "instanceof" | "cast" => {
             let cname = p.ident()?;
@@ -989,7 +1060,12 @@ b3():
 "#;
         let p = round_trip(src);
         let m = p.function_by_name("sum").unwrap();
-        assert_eq!(crate::loops::LoopForest::compute(&p.method(m).graph).loops.len(), 1);
+        assert_eq!(
+            crate::loops::LoopForest::compute(&p.method(m).graph)
+                .loops
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -1062,8 +1138,10 @@ b0(v0: int):
     }
 
     #[test]
-    fn comments_are_ignored()  {
-        let p = round_trip("# a comment\nfn f() -> int { ; another\nb0():\n  v0 = const.int 3\n  ret v0\n}\n");
+    fn comments_are_ignored() {
+        let p = round_trip(
+            "# a comment\nfn f() -> int { ; another\nb0():\n  v0 = const.int 3\n  ret v0\n}\n",
+        );
         assert!(p.function_by_name("f").is_some());
     }
 

@@ -47,7 +47,10 @@ pub fn ret_type_str(program: &Program, ret: RetType) -> String {
 }
 
 fn args_str(args: &[ValueId]) -> String {
-    args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn edge_str(dest: BlockId, args: &[ValueId]) -> String {
@@ -77,13 +80,27 @@ pub fn inst_str(program: &Program, graph: &Graph, inst: crate::ids::InstId) -> S
         Op::New(c) => format!("new {}", program.class(*c).name),
         Op::GetField(f) => {
             let fd = program.field(*f);
-            format!("getfield {}.{} {}", program.class(fd.holder).name, fd.name, args_str(&data.args))
+            format!(
+                "getfield {}.{} {}",
+                program.class(fd.holder).name,
+                fd.name,
+                args_str(&data.args)
+            )
         }
         Op::SetField(f) => {
             let fd = program.field(*f);
-            format!("setfield {}.{} {}", program.class(fd.holder).name, fd.name, args_str(&data.args))
+            format!(
+                "setfield {}.{} {}",
+                program.class(fd.holder).name,
+                fd.name,
+                args_str(&data.args)
+            )
         }
-        Op::NewArray(e) => format!("newarray {}, {}", type_str(program, e.to_type()), args_str(&data.args)),
+        Op::NewArray(e) => format!(
+            "newarray {}, {}",
+            type_str(program, e.to_type()),
+            args_str(&data.args)
+        ),
         Op::ArrayGet => format!("aget {}", args_str(&data.args)),
         Op::ArraySet => format!("aset {}", args_str(&data.args)),
         Op::ArrayLen => format!("alen {}", args_str(&data.args)),
@@ -92,15 +109,28 @@ pub fn inst_str(program: &Program, graph: &Graph, inst: crate::ids::InstId) -> S
                 let md = program.method(m);
                 match md.holder {
                     // Devirtualized calls target class methods directly.
-                    Some(h) => format!("call {}::{}({})", program.class(h).name, md.name, args_str(&data.args)),
+                    Some(h) => format!(
+                        "call {}::{}({})",
+                        program.class(h).name,
+                        md.name,
+                        args_str(&data.args)
+                    ),
                     None => format!("call {}({})", md.name, args_str(&data.args)),
                 }
             }
             CallTarget::Virtual(sel) => {
-                format!("callv {}({})", program.selector(sel).name, args_str(&data.args))
+                format!(
+                    "callv {}({})",
+                    program.selector(sel).name,
+                    args_str(&data.args)
+                )
             }
         },
-        Op::InstanceOf(c) => format!("instanceof {} {}", program.class(*c).name, args_str(&data.args)),
+        Op::InstanceOf(c) => format!(
+            "instanceof {} {}",
+            program.class(*c).name,
+            args_str(&data.args)
+        ),
         Op::Cast(c) => format!("cast {} {}", program.class(*c).name, args_str(&data.args)),
         Op::Print => format!("print {}", args_str(&data.args)),
     };
@@ -124,7 +154,11 @@ pub fn graph_str(program: &Program, graph: &Graph) -> String {
         }
         let term = match &bd.term {
             Terminator::Jump(d, args) => format!("jump {}", edge_str(*d, args)),
-            Terminator::Branch { cond, then_dest, else_dest } => format!(
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => format!(
                 "br {cond}, {}, {}",
                 edge_str(then_dest.0, &then_dest.1),
                 edge_str(else_dest.0, &else_dest.1)
@@ -168,7 +202,12 @@ pub fn program_str(program: &Program) -> String {
             (MethodKind::Normal, Some(h)) => format!("method {}.", program.class(h).name),
         };
         let sep = if md.holder.is_some() { "" } else { " " };
-        let params = md.params.iter().map(|&t| type_str(program, t)).collect::<Vec<_>>().join(", ");
+        let params = md
+            .params
+            .iter()
+            .map(|&t| type_str(program, t))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             out,
             "{kw}{sep}{}({params}) -> {} {{",

@@ -156,7 +156,12 @@ impl Program {
         );
         let id = FieldId::new(self.fields.len());
         let offset = self.classes[class.index()].instance_len;
-        self.fields.push(Field { name: name.into(), holder: class, ty, offset });
+        self.fields.push(Field {
+            name: name.into(),
+            holder: class,
+            ty,
+            offset,
+        });
         let c = &mut self.classes[class.index()];
         c.declared_fields.push(id);
         c.instance_len += 1;
@@ -239,7 +244,10 @@ impl Program {
 
     /// Interns a selector (name + arity including receiver).
     pub fn intern_selector(&mut self, name: impl Into<String>, arity: usize) -> SelectorId {
-        let sel = Selector { name: name.into(), arity };
+        let sel = Selector {
+            name: name.into(),
+            arity,
+        };
         if let Some(&id) = self.selector_lookup.get(&sel) {
             return id;
         }
@@ -257,7 +265,10 @@ impl Program {
     /// Looks up an existing selector without interning.
     pub fn selector_by_name(&self, name: &str, arity: usize) -> Option<SelectorId> {
         self.selector_lookup
-            .get(&Selector { name: name.to_string(), arity })
+            .get(&Selector {
+                name: name.to_string(),
+                arity,
+            })
             .copied()
     }
 
@@ -315,8 +326,14 @@ impl Program {
             graph: Graph::empty(),
             kind: MethodKind::Normal,
         });
-        let prev = self.classes[holder.index()].declared_methods.insert(sel, id);
-        assert!(prev.is_none(), "class redeclares selector {}", self.selectors[sel.index()]);
+        let prev = self.classes[holder.index()]
+            .declared_methods
+            .insert(sel, id);
+        assert!(
+            prev.is_none(),
+            "class redeclares selector {}",
+            self.selectors[sel.index()]
+        );
         id
     }
 

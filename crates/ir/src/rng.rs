@@ -1,0 +1,102 @@
+//! A tiny deterministic PRNG (SplitMix64) used across the workspace.
+//!
+//! The container this project builds in has no access to crates.io, so
+//! everything that needs randomness — the seeded program generator in
+//! `incline-workloads`, the fault-injection plans in `incline-vm`, and the
+//! randomized property tests — uses this vendor-free generator instead of
+//! the `rand` crate. Determinism is a hard requirement: the same seed must
+//! produce the same stream on every platform, because benchmark results,
+//! differential tests and fault plans are all keyed by seed.
+
+/// A deterministic 64-bit PRNG (SplitMix64, Steele et al. 2014).
+///
+/// Not cryptographic; statistically solid for test-case generation and
+/// fault scheduling. The state advance is a single add, so streams are
+/// cheap to fork by reseeding from `next_u64`.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds ⇒ equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 significant bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = Rng64::new(42);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5, 9);
+            assert!((-5..9).contains(&v));
+            let i = r.gen_index(3);
+            assert!(i < 3);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng64::new(3);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+}

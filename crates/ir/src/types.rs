@@ -144,7 +144,12 @@ mod tests {
 
     #[test]
     fn elem_round_trip() {
-        for e in [ElemType::Int, ElemType::Float, ElemType::Bool, ElemType::Object(ClassId::new(1))] {
+        for e in [
+            ElemType::Int,
+            ElemType::Float,
+            ElemType::Bool,
+            ElemType::Object(ClassId::new(1)),
+        ] {
             assert!(e.to_type().is_primitive() != matches!(e, ElemType::Object(_)));
         }
     }

@@ -49,8 +49,16 @@ impl fmt::Display for VerifyError {
 
 impl Error for VerifyError {}
 
-fn err<T>(block: Option<BlockId>, inst: Option<InstId>, message: impl Into<String>) -> Result<T, VerifyError> {
-    Err(VerifyError { block, inst, message: message.into() })
+fn err<T>(
+    block: Option<BlockId>,
+    inst: Option<InstId>,
+    message: impl Into<String>,
+) -> Result<T, VerifyError> {
+    Err(VerifyError {
+        block,
+        inst,
+        message: message.into(),
+    })
 }
 
 /// Verifies the body of a defined method.
@@ -82,13 +90,21 @@ pub fn verify_graph(
         return err(
             Some(entry),
             None,
-            format!("entry has {} params, signature declares {}", entry_params.len(), declared_params.len()),
+            format!(
+                "entry has {} params, signature declares {}",
+                entry_params.len(),
+                declared_params.len()
+            ),
         );
     }
     for (i, (&v, &ty)) in entry_params.iter().zip(declared_params).enumerate() {
         let actual = graph.value_type(v);
         if !program.is_assignable(actual, ty) {
-            return err(Some(entry), None, format!("entry param {i} has type {actual}, not assignable to declared {ty}"));
+            return err(
+                Some(entry),
+                None,
+                format!("entry param {i} has type {actual}, not assignable to declared {ty}"),
+            );
         }
     }
 
@@ -100,7 +116,11 @@ pub fn verify_graph(
     for &b in &reachable {
         for (pos, &i) in graph.block(b).insts.iter().enumerate() {
             if placement.insert(i, (b, pos)).is_some() {
-                return err(Some(b), Some(i), "instruction appears in more than one place");
+                return err(
+                    Some(b),
+                    Some(i),
+                    "instruction appears in more than one place",
+                );
             }
         }
     }
@@ -115,12 +135,20 @@ pub fn verify_graph(
         match graph.value(v).def {
             crate::graph::ValueDef::Param(pb, _) => {
                 if !dom.dominates(pb, ub) {
-                    return err(Some(ub), None, format!("param {v} of {pb} does not dominate use in {ub}"));
+                    return err(
+                        Some(ub),
+                        None,
+                        format!("param {v} of {pb} does not dominate use in {ub}"),
+                    );
                 }
             }
             crate::graph::ValueDef::Inst(di) => {
                 let Some(&(db, dpos)) = placement.get(&di) else {
-                    return err(Some(ub), None, format!("value {v} defined by detached instruction {di}"));
+                    return err(
+                        Some(ub),
+                        None,
+                        format!("value {v} defined by detached instruction {di}"),
+                    );
                 };
                 let ok = if db == ub {
                     match upos {
@@ -131,7 +159,11 @@ pub fn verify_graph(
                     dom.dominates(db, ub)
                 };
                 if !ok {
-                    return err(Some(ub), Some(di), format!("definition of {v} does not dominate its use"));
+                    return err(
+                        Some(ub),
+                        Some(di),
+                        format!("definition of {v} does not dominate its use"),
+                    );
                 }
             }
         }
@@ -148,7 +180,9 @@ pub fn verify_graph(
             check_inst_types(program, graph, b, i, inst)?;
         }
         match &bd.term {
-            Terminator::Unterminated => return err(Some(b), None, "reachable block is unterminated"),
+            Terminator::Unterminated => {
+                return err(Some(b), None, "reachable block is unterminated")
+            }
             Terminator::Return(v) => {
                 if let Some(v) = v {
                     use_ok(*v, b, None)?;
@@ -157,7 +191,9 @@ pub fn verify_graph(
                     (RetType::Void, Some(v)) => {
                         return err(Some(b), None, format!("void method returns value {v}"))
                     }
-                    (RetType::Value(_), None) => return err(Some(b), None, "non-void method returns nothing"),
+                    (RetType::Value(_), None) => {
+                        return err(Some(b), None, "non-void method returns nothing")
+                    }
                     (RetType::Value(t), Some(v)) => {
                         let vt = graph.value_type(*v);
                         if !program.is_assignable(vt, t) {
@@ -178,7 +214,11 @@ pub fn verify_graph(
                 }
                 let edges: Vec<(BlockId, &Vec<ValueId>)> = match term {
                     Terminator::Jump(d, args) => vec![(*d, args)],
-                    Terminator::Branch { then_dest, else_dest, .. } => {
+                    Terminator::Branch {
+                        then_dest,
+                        else_dest,
+                        ..
+                    } => {
                         vec![(then_dest.0, &then_dest.1), (else_dest.0, &else_dest.1)]
                     }
                     _ => unreachable!(),
@@ -189,14 +229,22 @@ pub fn verify_graph(
                         return err(
                             Some(b),
                             None,
-                            format!("edge to {dest} passes {} args, block has {} params", args.len(), dparams.len()),
+                            format!(
+                                "edge to {dest} passes {} args, block has {} params",
+                                args.len(),
+                                dparams.len()
+                            ),
                         );
                     }
                     for (&arg, &p) in args.iter().zip(dparams) {
                         let at = graph.value_type(arg);
                         let pt = graph.value_type(p);
                         if !program.is_assignable(at, pt) {
-                            return err(Some(b), None, format!("edge arg {arg}:{at} not assignable to param {p}:{pt}"));
+                            return err(
+                                Some(b),
+                                None,
+                                format!("edge arg {arg}:{at} not assignable to param {p}:{pt}"),
+                            );
                         }
                     }
                 }
@@ -217,14 +265,22 @@ fn check_inst_types(
     let at = |k: usize| graph.value_type(inst.args[k]);
     let want_argc = |n: usize| -> Result<(), VerifyError> {
         if argc != n {
-            return err(Some(b), Some(i), format!("expected {n} operands, got {argc}"));
+            return err(
+                Some(b),
+                Some(i),
+                format!("expected {n} operands, got {argc}"),
+            );
         }
         Ok(())
     };
     let result_is = |t: Type| -> Result<(), VerifyError> {
         match inst.result {
             Some(r) if graph.value_type(r) == t => Ok(()),
-            Some(r) => err(Some(b), Some(i), format!("result type {} != expected {t}", graph.value_type(r))),
+            Some(r) => err(
+                Some(b),
+                Some(i),
+                format!("result type {} != expected {t}", graph.value_type(r)),
+            ),
             None => err(Some(b), Some(i), format!("missing result of type {t}")),
         }
     };
@@ -236,7 +292,11 @@ fn check_inst_types(
     };
     let want_ref = |t: Type, what: &str| -> Result<(), VerifyError> {
         if !t.is_reference() {
-            return err(Some(b), Some(i), format!("{what} must be a reference, got {t}"));
+            return err(
+                Some(b),
+                Some(i),
+                format!("{what} must be a reference, got {t}"),
+            );
         }
         Ok(())
     };
@@ -262,9 +322,17 @@ fn check_inst_types(
         }
         Op::Bin(op) => {
             want_argc(2)?;
-            let expect = if op.is_float() { Type::Float } else { Type::Int };
+            let expect = if op.is_float() {
+                Type::Float
+            } else {
+                Type::Int
+            };
             if at(0) != expect || at(1) != expect {
-                return err(Some(b), Some(i), format!("{} expects {expect} operands", op.mnemonic()));
+                return err(
+                    Some(b),
+                    Some(i),
+                    format!("{} expects {expect} operands", op.mnemonic()),
+                );
             }
             result_is(op.result_type())?;
         }
@@ -273,7 +341,11 @@ fn check_inst_types(
             match op.operand_kind() {
                 Some(t) => {
                     if at(0) != t || at(1) != t {
-                        return err(Some(b), Some(i), format!("{} expects {t} operands", op.mnemonic()));
+                        return err(
+                            Some(b),
+                            Some(i),
+                            format!("{} expects {t} operands", op.mnemonic()),
+                        );
                     }
                 }
                 None => {
@@ -326,7 +398,11 @@ fn check_inst_types(
             want_argc(1)?;
             let fd = program.field(*f);
             if !program.is_assignable(at(0), Type::Object(fd.holder)) {
-                return err(Some(b), Some(i), format!("getfield receiver {} not an instance of holder", at(0)));
+                return err(
+                    Some(b),
+                    Some(i),
+                    format!("getfield receiver {} not an instance of holder", at(0)),
+                );
             }
             result_is(fd.ty)?;
         }
@@ -334,10 +410,18 @@ fn check_inst_types(
             want_argc(2)?;
             let fd = program.field(*f);
             if !program.is_assignable(at(0), Type::Object(fd.holder)) {
-                return err(Some(b), Some(i), "setfield receiver not an instance of holder");
+                return err(
+                    Some(b),
+                    Some(i),
+                    "setfield receiver not an instance of holder",
+                );
             }
             if !program.is_assignable(at(1), fd.ty) {
-                return err(Some(b), Some(i), format!("setfield value {} not assignable to field {}", at(1), fd.ty));
+                return err(
+                    Some(b),
+                    Some(i),
+                    format!("setfield value {} not assignable to field {}", at(1), fd.ty),
+                );
             }
             no_result()?;
         }
@@ -367,7 +451,11 @@ fn check_inst_types(
                 return err(Some(b), Some(i), "array index must be int");
             }
             if !program.is_assignable(at(2), e.to_type()) {
-                return err(Some(b), Some(i), "arrayset value not assignable to element type");
+                return err(
+                    Some(b),
+                    Some(i),
+                    "arrayset value not assignable to element type",
+                );
             }
             no_result()?;
         }
@@ -385,12 +473,20 @@ fn check_inst_types(
                     return err(
                         Some(b),
                         Some(i),
-                        format!("call to {} passes {argc} args, expects {}", callee.name, callee.params.len()),
+                        format!(
+                            "call to {} passes {argc} args, expects {}",
+                            callee.name,
+                            callee.params.len()
+                        ),
                     );
                 }
                 for (k, &pt) in callee.params.iter().enumerate() {
                     if !program.is_assignable(at(k), pt) {
-                        return err(Some(b), Some(i), format!("call arg {k}: {} not assignable to {pt}", at(k)));
+                        return err(
+                            Some(b),
+                            Some(i),
+                            format!("call arg {k}: {} not assignable to {pt}", at(k)),
+                        );
                     }
                 }
                 match callee.ret {
@@ -401,7 +497,11 @@ fn check_inst_types(
             CallTarget::Virtual(sel) => {
                 let sd = program.selector(sel);
                 if sd.arity != argc {
-                    return err(Some(b), Some(i), format!("virtual call arity {argc} != selector {sd}"));
+                    return err(
+                        Some(b),
+                        Some(i),
+                        format!("virtual call arity {argc} != selector {sd}"),
+                    );
                 }
                 let Type::Object(recv_class) = at(0) else {
                     return err(Some(b), Some(i), "virtual call receiver must be an object");
@@ -409,9 +509,11 @@ fn check_inst_types(
                 // The receiver's static class (or an ancestor) should
                 // declare the selector; tolerate unresolvable receivers only
                 // if some class in the program declares the selector.
-                let decl = program
-                    .resolve(recv_class, sel)
-                    .or_else(|| program.method_ids().find(|&m| program.method(m).selector == Some(sel)));
+                let decl = program.resolve(recv_class, sel).or_else(|| {
+                    program
+                        .method_ids()
+                        .find(|&m| program.method(m).selector == Some(sel))
+                });
                 let Some(decl) = decl else {
                     return err(Some(b), Some(i), format!("no declaration of selector {sd}"));
                 };
@@ -503,7 +605,10 @@ mod tests {
         // Create the add first, then the constant it uses — same block, so
         // the def of the constant does not dominate (precede) its use.
         let add = g.create_inst(Op::Bin(BinOp::IAdd), vec![], Some(Type::Int));
-        let k = g.append(e, Op::ConstInt(1), vec![], Some(Type::Int)).1.unwrap();
+        let k = g
+            .append(e, Op::ConstInt(1), vec![], Some(Type::Int))
+            .1
+            .unwrap();
         // Manually attach operands and order: add before const.
         g.inst_mut(add).args = vec![k, k];
         let kinst = g.block(e).insts[0];
@@ -585,11 +690,17 @@ mod tests {
         let fb = FunctionBuilder::new(&p, caller);
         // Bypass builder typing by hand-crafting the call with no args.
         let mut g = fb.finish();
-        let site = crate::ids::CallSiteId { method: caller, index: 0 };
+        let site = crate::ids::CallSiteId {
+            method: caller,
+            index: 0,
+        };
         let e = g.entry();
         g.append(
             e,
-            Op::Call(crate::graph::CallInfo { target: CallTarget::Static(callee), site }),
+            Op::Call(crate::graph::CallInfo {
+                target: CallTarget::Static(callee),
+                site,
+            }),
             vec![],
             None,
         );

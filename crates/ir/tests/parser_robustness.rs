@@ -1,10 +1,11 @@
 //! Robustness tests for the textual-IR parser: malformed input must
 //! produce a `ParseError`, never a panic, and error positions must be
-//! within the input.
-
-use proptest::prelude::*;
+//! within the input. Randomized cases are driven by the in-repo seeded
+//! [`Rng64`] so the suite runs without external crates and is fully
+//! deterministic.
 
 use incline_ir::parse::parse_program;
+use incline_ir::Rng64;
 
 const VALID: &str = r#"
 class Base
@@ -37,28 +38,42 @@ fn valid_program_parses() {
     assert_eq!(p.method_count(), 2);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn arbitrary_ascii_never_panics(s in "[ -~\n]{0,200}") {
+#[test]
+fn arbitrary_ascii_never_panics() {
+    let mut rng = Rng64::new(0xA5C11);
+    for _ in 0..256 {
+        let len = rng.gen_index(201);
+        let s: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline.
+                match rng.gen_index(16) {
+                    0 => '\n',
+                    _ => (rng.gen_range(0x20, 0x7F) as u8) as char,
+                }
+            })
+            .collect();
         let _ = parse_program(&s);
     }
+}
 
-    #[test]
-    fn truncations_never_panic(cut in 0usize..VALID.len()) {
+#[test]
+fn truncations_never_panic() {
+    for mut cut in 0..VALID.len() {
         // Truncate at a char boundary.
-        let mut cut = cut;
         while !VALID.is_char_boundary(cut) {
             cut -= 1;
         }
         let _ = parse_program(&VALID[..cut]);
     }
+}
 
-    #[test]
-    fn single_byte_mutations_never_panic(pos in 0usize..VALID.len(), byte in 32u8..127) {
+#[test]
+fn single_byte_mutations_never_panic() {
+    let mut rng = Rng64::new(0xB17E);
+    for _ in 0..256 {
+        let mut pos = rng.gen_index(VALID.len());
+        let byte = rng.gen_range(32, 127) as u8;
         let mut bytes = VALID.as_bytes().to_vec();
-        let mut pos = pos;
         while !VALID.is_char_boundary(pos) {
             pos -= 1;
         }
@@ -67,26 +82,41 @@ proptest! {
             let _ = parse_program(s);
         }
     }
+}
 
-    #[test]
-    fn error_positions_inside_input(s in "(fn|class|method) [a-z ()>{}:,-]{0,60}") {
+#[test]
+fn error_positions_inside_input() {
+    let mut rng = Rng64::new(0xE4404);
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz ()>{}:,-";
+    for _ in 0..256 {
+        let head = ["fn", "class", "method"][rng.gen_index(3)];
+        let len = rng.gen_index(61);
+        let tail: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_index(ALPHABET.len())] as char)
+            .collect();
+        let s = format!("{head} {tail}");
         if let Err(e) = parse_program(&s) {
             let lines = s.lines().count().max(1) as u32;
-            prop_assert!(e.line <= lines + 1, "line {} beyond input ({} lines)", e.line, lines);
+            assert!(
+                e.line <= lines + 1,
+                "line {} beyond input ({} lines)",
+                e.line,
+                lines
+            );
         }
     }
+}
 
-    #[test]
-    fn shuffled_valid_lines_never_panic(seed in any::<u64>()) {
-        // A deterministic shuffle of the fixture's lines: structurally
-        // plausible but almost always invalid input.
+#[test]
+fn shuffled_valid_lines_never_panic() {
+    // A deterministic shuffle of the fixture's lines: structurally
+    // plausible but almost always invalid input.
+    let mut rng = Rng64::new(0x5FF1E);
+    for _ in 0..256 {
         let mut lines: Vec<&str> = VALID.lines().collect();
-        let mut state = seed.max(1);
         for i in (1..lines.len()).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            lines.swap(i, (state as usize) % (i + 1));
+            let j = rng.gen_index(i + 1);
+            lines.swap(i, j);
         }
         let shuffled = lines.join("\n");
         let _ = parse_program(&shuffled);

@@ -146,7 +146,10 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
             let (a, b) = (arg(0), arg(1));
             if let (Some(x), Some(y)) = (graph.as_const_float(a), graph.as_const_float(b)) {
                 let r = eval::eval_float_bin(*op, x, y);
-                return Some((Rewrite::Const(Op::ConstFloat(r.to_bits()), Type::Float), Bump::ConstFold));
+                return Some((
+                    Rewrite::Const(Op::ConstFloat(r.to_bits()), Type::Float),
+                    Bump::ConstFold,
+                ));
             }
             // x * 1.0 and x / 1.0 are exact in IEEE-754.
             if matches!(op, BinOp::FMul | BinOp::FDiv) && graph.as_const_float(b) == Some(1.0) {
@@ -197,24 +200,26 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
                     // Classic strength reduction: multiply by a power of two.
                     if let Some(k) = kb {
                         if k > 1 && (k as u64).is_power_of_two() {
-                            return strength(Rewrite::MulToShift { x: a, shift: k.trailing_zeros() as i64 });
+                            return strength(Rewrite::MulToShift {
+                                x: a,
+                                shift: k.trailing_zeros() as i64,
+                            });
                         }
                     }
                     if let Some(k) = ka {
                         if k > 1 && (k as u64).is_power_of_two() {
-                            return strength(Rewrite::MulToShift { x: b, shift: k.trailing_zeros() as i64 });
+                            return strength(Rewrite::MulToShift {
+                                x: b,
+                                shift: k.trailing_zeros() as i64,
+                            });
                         }
                     }
                 }
-                BinOp::IDiv => {
-                    if kb == Some(1) {
-                        return strength(Rewrite::Alias(a));
-                    }
+                BinOp::IDiv if kb == Some(1) => {
+                    return strength(Rewrite::Alias(a));
                 }
-                BinOp::IRem => {
-                    if kb == Some(1) {
-                        return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
-                    }
+                BinOp::IRem if kb == Some(1) => {
+                    return strength(Rewrite::Const(Op::ConstInt(0), Type::Int));
                 }
                 BinOp::IAnd => {
                     if a == b {
@@ -243,10 +248,8 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
                         return strength(Rewrite::Alias(b));
                     }
                 }
-                BinOp::IShl | BinOp::IShr => {
-                    if kb == Some(0) {
-                        return strength(Rewrite::Alias(a));
-                    }
+                BinOp::IShl | BinOp::IShr if kb == Some(0) => {
+                    return strength(Rewrite::Alias(a));
                 }
                 _ => {}
             }
@@ -258,34 +261,52 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
                 Some(Type::Int) => {
                     if let (Some(x), Some(y)) = (graph.as_const_int(a), graph.as_const_int(b)) {
                         let r = eval::eval_int_cmp(*op, x, y);
-                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::ConstFold));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(r), Type::Bool),
+                            Bump::ConstFold,
+                        ));
                     }
                     if a == b {
                         // x ⊛ x is decided for every integer comparison.
                         let r = matches!(op, CmpOp::IEq | CmpOp::ILe | CmpOp::IGe);
-                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::Strength));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(r), Type::Bool),
+                            Bump::Strength,
+                        ));
                     }
                 }
                 Some(Type::Float) => {
                     if let (Some(x), Some(y)) = (graph.as_const_float(a), graph.as_const_float(b)) {
                         let r = eval::eval_float_cmp(*op, x, y);
-                        return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::ConstFold));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(r), Type::Bool),
+                            Bump::ConstFold,
+                        ));
                     }
                     // x ⊛ x is NOT decidable for floats (NaN).
                 }
                 _ => {
                     // RefEq.
                     if a == b {
-                        return Some((Rewrite::Const(Op::ConstBool(true), Type::Bool), Bump::Strength));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(true), Type::Bool),
+                            Bump::Strength,
+                        ));
                     }
                     if graph.is_const_null(a) && graph.is_const_null(b) {
-                        return Some((Rewrite::Const(Op::ConstBool(true), Type::Bool), Bump::ConstFold));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(true), Type::Bool),
+                            Bump::ConstFold,
+                        ));
                     }
                     // null vs. fresh allocation is always false.
                     if (graph.is_const_null(a) && is_allocation(graph, b))
                         || (graph.is_const_null(b) && is_allocation(graph, a))
                     {
-                        return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::ConstFold));
+                        return Some((
+                            Rewrite::Const(Op::ConstBool(false), Type::Bool),
+                            Bump::ConstFold,
+                        ));
                     }
                 }
             }
@@ -294,7 +315,10 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
         Op::Not => {
             let a = arg(0);
             if let Some(k) = graph.as_const_bool(a) {
-                return Some((Rewrite::Const(Op::ConstBool(!k), Type::Bool), Bump::ConstFold));
+                return Some((
+                    Rewrite::Const(Op::ConstBool(!k), Type::Bool),
+                    Bump::ConstFold,
+                ));
             }
             if let ValueDef::Inst(def) = graph.value(a).def {
                 match &graph.inst(def).op {
@@ -326,7 +350,10 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
         Op::INeg => {
             let a = arg(0);
             if let Some(k) = graph.as_const_int(a) {
-                return Some((Rewrite::Const(Op::ConstInt(k.wrapping_neg()), Type::Int), Bump::ConstFold));
+                return Some((
+                    Rewrite::Const(Op::ConstInt(k.wrapping_neg()), Type::Int),
+                    Bump::ConstFold,
+                ));
             }
             if let ValueDef::Inst(def) = graph.value(a).def {
                 if matches!(graph.inst(def).op, Op::INeg) {
@@ -338,38 +365,56 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
         Op::FNeg => {
             let a = arg(0);
             if let Some(k) = graph.as_const_float(a) {
-                return Some((Rewrite::Const(Op::ConstFloat((-k).to_bits()), Type::Float), Bump::ConstFold));
+                return Some((
+                    Rewrite::Const(Op::ConstFloat((-k).to_bits()), Type::Float),
+                    Bump::ConstFold,
+                ));
             }
             None
         }
         Op::IntToFloat => {
             let a = arg(0);
             graph.as_const_int(a).map(|k| {
-                (Rewrite::Const(Op::ConstFloat(eval::int_to_float(k).to_bits()), Type::Float), Bump::ConstFold)
+                (
+                    Rewrite::Const(Op::ConstFloat(eval::int_to_float(k).to_bits()), Type::Float),
+                    Bump::ConstFold,
+                )
             })
         }
         Op::FloatToInt => {
             let a = arg(0);
-            graph
-                .as_const_float(a)
-                .map(|k| (Rewrite::Const(Op::ConstInt(eval::float_to_int(k)), Type::Int), Bump::ConstFold))
+            graph.as_const_float(a).map(|k| {
+                (
+                    Rewrite::Const(Op::ConstInt(eval::float_to_int(k)), Type::Int),
+                    Bump::ConstFold,
+                )
+            })
         }
         Op::InstanceOf(class) => {
             let a = arg(0);
             if graph.is_const_null(a) {
-                return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::TypeCheck));
+                return Some((
+                    Rewrite::Const(Op::ConstBool(false), Type::Bool),
+                    Bump::TypeCheck,
+                ));
             }
             let static_ty = graph.value_type(a);
             if let Type::Object(d) = static_ty {
                 if is_allocation(graph, a) {
                     // Exact dynamic class known.
                     let r = program.is_subclass(d, *class);
-                    return Some((Rewrite::Const(Op::ConstBool(r), Type::Bool), Bump::TypeCheck));
+                    return Some((
+                        Rewrite::Const(Op::ConstBool(r), Type::Bool),
+                        Bump::TypeCheck,
+                    ));
                 }
                 // If the static class is unrelated to the tested class, no
                 // instance can pass (single inheritance).
                 if !program.is_subclass(d, *class) && !program.is_subclass(*class, d) {
-                    return Some((Rewrite::Const(Op::ConstBool(false), Type::Bool), Bump::TypeCheck));
+                    return Some((
+                        Rewrite::Const(Op::ConstBool(false), Type::Bool),
+                        Bump::TypeCheck,
+                    ));
                 }
                 // Subtype receivers still might be null; fold only when the
                 // value is provably non-null (allocation handled above).
@@ -392,7 +437,10 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
             }
             None
         }
-        Op::Call(CallInfo { target: CallTarget::Virtual(sel), site }) => {
+        Op::Call(CallInfo {
+            target: CallTarget::Virtual(sel),
+            site,
+        }) => {
             let recv = arg(0);
             let Type::Object(static_class) = graph.value_type(recv) else {
                 return None;
@@ -406,7 +454,10 @@ fn simplify(program: &Program, graph: &Graph, inst: InstId) -> Option<(Rewrite, 
             };
             target.map(|m| {
                 (
-                    Rewrite::Retarget(Op::Call(CallInfo { target: CallTarget::Static(m), site: *site })),
+                    Rewrite::Retarget(Op::Call(CallInfo {
+                        target: CallTarget::Static(m),
+                        site: *site,
+                    })),
                     Bump::Devirt,
                 )
             })
@@ -428,7 +479,12 @@ fn prune_branches(graph: &mut Graph, stats: &mut OptStats) -> bool {
     let mut changed = false;
     for block in graph.reachable_blocks() {
         let term = graph.block(block).term.clone();
-        if let Terminator::Branch { cond, then_dest, else_dest } = term {
+        if let Terminator::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } = term
+        {
             if let Some(k) = graph.as_const_bool(cond) {
                 let (dest, args) = if k { then_dest } else { else_dest };
                 graph.set_terminator(block, Terminator::Jump(dest, args));
@@ -505,7 +561,8 @@ mod tests {
             .iter()
             .map(|&p| graph.value_type(p))
             .collect();
-        verify_graph(program, graph, &params, infer_ret(graph)).expect("canonicalized graph verifies");
+        verify_graph(program, graph, &params, infer_ret(graph))
+            .expect("canonicalized graph verifies");
         stats
     }
 
@@ -665,7 +722,9 @@ mod tests {
         let stats = opt(&p, &mut g);
         assert_eq!(stats.devirt, 1);
         let (_, call) = g.callsites()[0];
-        let Op::Call(info) = &g.inst(call).op else { panic!() };
+        let Op::Call(info) = &g.inst(call).op else {
+            panic!()
+        };
         assert_eq!(info.target, CallTarget::Static(mb));
     }
 
@@ -688,7 +747,10 @@ mod tests {
         fb.ret(Some(r));
         let mut g = fb.finish();
         let stats = opt(&p, &mut g);
-        assert_eq!(stats.devirt, 1, "CHA should devirtualize: no subclass overrides");
+        assert_eq!(
+            stats.devirt, 1,
+            "CHA should devirtualize: no subclass overrides"
+        );
     }
 
     #[test]
@@ -722,7 +784,11 @@ mod tests {
         fb.ret(Some(eq));
         let mut g = fb.finish();
         let stats = opt(&p, &mut g);
-        assert_eq!(stats.const_fold + stats.strength_red, 0, "x==x must survive for floats");
+        assert_eq!(
+            stats.const_fold + stats.strength_red,
+            0,
+            "x==x must survive for floats"
+        );
     }
 
     #[test]

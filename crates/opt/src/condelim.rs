@@ -26,7 +26,15 @@ pub fn cond_elim(graph: &mut Graph) -> OptStats {
         let dom = DomTree::compute(graph);
         let preds = graph.predecessors();
         let mut changed = false;
-        walk(graph, &dom, &preds, graph.entry(), &mut HashMap::new(), &mut stats, &mut changed);
+        walk(
+            graph,
+            &dom,
+            &preds,
+            graph.entry(),
+            &mut HashMap::new(),
+            &mut stats,
+            &mut changed,
+        );
         if !changed {
             break;
         }
@@ -82,7 +90,12 @@ fn walk(
     changed: &mut bool,
 ) {
     // Fold this block's branch if the condition is known here.
-    if let Terminator::Branch { cond, then_dest, else_dest } = graph.block(block).term.clone() {
+    if let Terminator::Branch {
+        cond,
+        then_dest,
+        else_dest,
+    } = graph.block(block).term.clone()
+    {
         if let Some(known) = lookup_fact(graph, facts, cond) {
             let (dest, args) = if known { then_dest } else { else_dest };
             graph.set_terminator(block, Terminator::Jump(dest, args));
@@ -96,8 +109,16 @@ fn walk(
         // one side of `block`'s branch (single predecessor ⇒ only entered
         // through that edge).
         let mut scoped = facts.clone();
-        if let Terminator::Branch { cond, then_dest, else_dest } = &graph.block(block).term {
-            let single_pred = preds.get(&child).map(|p| p.len() == 1 && p[0] == block).unwrap_or(false);
+        if let Terminator::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } = &graph.block(block).term
+        {
+            let single_pred = preds
+                .get(&child)
+                .map(|p| p.len() == 1 && p[0] == block)
+                .unwrap_or(false);
             if single_pred && then_dest.0 != else_dest.0 {
                 if then_dest.0 == child {
                     add_fact(graph, &mut scoped, *cond, true);
@@ -210,7 +231,10 @@ mod tests {
         fb.ret(Some(three));
         let mut g = fb.finish();
         let stats = cond_elim(&mut g);
-        assert_eq!(stats.branch_prune, 1, "branch on `not c` must fold inside then-side");
+        assert_eq!(
+            stats.branch_prune, 1,
+            "branch on `not c` must fold inside then-side"
+        );
         verify_graph(&p, &g, &[Type::Bool], RetType::Value(Type::Int)).unwrap();
     }
 

@@ -1,0 +1,112 @@
+//! The compile-cycle budget shared by the optimizer and the inliners.
+//!
+//! A production JIT must bound its own work: a pathological method (or a
+//! compiler bug) that makes inlining/optimization rounds run away steals
+//! cycles from the application, and in the worst case hangs the compiler
+//! thread. [`CompileFuel`] is a cooperative budget threaded through one
+//! compilation: phases *charge* units proportional to the IR they process,
+//! and once the budget is exhausted they stop early. The optimizer degrades
+//! gracefully (it returns the partially optimized graph); the inliners
+//! report the exhaustion so the VM's bailout ladder can retry the method
+//! on a cheaper tier.
+//!
+//! The counter uses atomics only so an unlimited budget can live in a
+//! `static` (compilation itself is single-threaded and deterministic).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cooperative compile-work budget, in IR-node units.
+#[derive(Debug, Default)]
+pub struct CompileFuel {
+    /// Budget; `None` means unlimited (nothing is accounted).
+    limit: Option<u64>,
+    spent: AtomicU64,
+}
+
+/// A shared unlimited budget for callers that don't meter compilation.
+/// Never mutated (unlimited budgets skip accounting), so sharing is safe.
+pub static UNLIMITED_FUEL: CompileFuel = CompileFuel {
+    limit: None,
+    spent: AtomicU64::new(0),
+};
+
+impl CompileFuel {
+    /// An unlimited budget: `charge` always succeeds, nothing is recorded.
+    pub fn unlimited() -> Self {
+        CompileFuel {
+            limit: None,
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// A budget of `limit` IR-node units.
+    pub fn limited(limit: u64) -> Self {
+        CompileFuel {
+            limit: Some(limit),
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `units` of work. Returns `false` once the budget is spent
+    /// (the work already done stands; the caller should wind down).
+    pub fn charge(&self, units: u64) -> bool {
+        match self.limit {
+            None => true,
+            Some(limit) => {
+                let before = self.spent.fetch_add(units, Ordering::Relaxed);
+                before.saturating_add(units) <= limit
+            }
+        }
+    }
+
+    /// Whether the budget has been spent.
+    pub fn exhausted(&self) -> bool {
+        match self.limit {
+            None => false,
+            Some(limit) => self.spent.load(Ordering::Relaxed) > limit,
+        }
+    }
+
+    /// Units charged so far (0 for unlimited budgets).
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let f = CompileFuel::unlimited();
+        assert!(f.charge(u64::MAX));
+        assert!(f.charge(u64::MAX));
+        assert!(!f.exhausted());
+        assert_eq!(f.spent(), 0);
+    }
+
+    #[test]
+    fn limited_exhausts_after_limit() {
+        let f = CompileFuel::limited(10);
+        assert!(f.charge(6));
+        assert!(!f.exhausted());
+        assert!(f.charge(4)); // exactly at the limit is still fine
+        assert!(!f.exhausted());
+        assert!(!f.charge(1));
+        assert!(f.exhausted());
+        assert_eq!(f.spent(), 11);
+    }
+
+    #[test]
+    fn zero_budget_rejects_all_work() {
+        let f = CompileFuel::limited(0);
+        assert!(!f.charge(1));
+        assert!(f.exhausted());
+    }
+}

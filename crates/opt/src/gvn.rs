@@ -64,7 +64,14 @@ pub fn gvn(graph: &mut Graph) -> OptStats {
     let dom = DomTree::compute(graph);
     let mut scope: HashMap<Key, ValueId> = HashMap::new();
     let mut shadow: Vec<(Key, Option<ValueId>)> = Vec::new();
-    walk(graph, &dom, dom.rpo().first().copied(), &mut scope, &mut shadow, &mut stats);
+    walk(
+        graph,
+        &dom,
+        dom.rpo().first().copied(),
+        &mut scope,
+        &mut shadow,
+        &mut stats,
+    );
     stats
 }
 
@@ -81,16 +88,24 @@ fn walk(
 
     let insts: Vec<InstId> = graph.block(block).insts.clone();
     for inst in insts {
-        let Some(key) = key_of(graph, inst) else { continue };
+        let Some(key) = key_of(graph, inst) else {
+            continue;
+        };
         match scope.get(&key) {
             Some(&leader) => {
-                let result = graph.inst(inst).result.expect("numberable inst has a result");
+                let result = graph
+                    .inst(inst)
+                    .result
+                    .expect("numberable inst has a result");
                 graph.replace_all_uses(result, leader);
                 graph.remove_inst(block, inst);
                 stats.gvn += 1;
             }
             None => {
-                let result = graph.inst(inst).result.expect("numberable inst has a result");
+                let result = graph
+                    .inst(inst)
+                    .result
+                    .expect("numberable inst has a result");
                 shadow.push((key.clone(), scope.insert(key, result)));
             }
         }
@@ -208,6 +223,9 @@ mod tests {
         fb.ret(Some(r));
         let mut g = fb.finish();
         let stats = gvn(&mut g);
-        assert_eq!(stats.gvn, 0, "field loads are handled by read-write elimination, not GVN");
+        assert_eq!(
+            stats.gvn, 0,
+            "field loads are handled by read-write elimination, not GVN"
+        );
     }
 }

@@ -37,6 +37,7 @@
 pub mod canonicalize;
 pub mod condelim;
 pub mod dce;
+pub mod fuel;
 pub mod gvn;
 pub mod peel;
 pub mod pipeline;
@@ -47,9 +48,10 @@ pub mod typeprop;
 pub use canonicalize::canonicalize;
 pub use condelim::cond_elim;
 pub use dce::dce;
+pub use fuel::{CompileFuel, UNLIMITED_FUEL};
 pub use gvn::gvn;
 pub use peel::peel_loops;
-pub use pipeline::{canonicalize_bundle, optimize, optimize_with, PipelineConfig};
+pub use pipeline::{canonicalize_bundle, optimize, optimize_fueled, optimize_with, PipelineConfig};
 pub use rwelim::rw_elim;
 pub use stats::OptStats;
 pub use typeprop::type_prop;

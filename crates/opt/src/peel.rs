@@ -37,7 +37,11 @@ pub fn peel_loops(program: &Program, graph: &mut Graph) -> OptStats {
     loop {
         type_prop(program, graph);
         let forest = LoopForest::compute(graph);
-        let candidate = forest.loops.iter().find(|l| should_peel(program, graph, l)).cloned();
+        let candidate = forest
+            .loops
+            .iter()
+            .find(|l| should_peel(program, graph, l))
+            .cloned();
         match candidate {
             Some(l) => {
                 peel_one(graph, &l);
@@ -76,7 +80,10 @@ fn should_peel(program: &Program, graph: &Graph, l: &Loop) -> bool {
         if !matches!(declared, Type::Object(_)) {
             return false;
         }
-        let tys: Vec<Type> = entry_edges.iter().map(|(_, args)| graph.value_type(args[i])).collect();
+        let tys: Vec<Type> = entry_edges
+            .iter()
+            .map(|(_, args)| graph.value_type(args[i]))
+            .collect();
         lub(program, &tys).is_some_and(|t| t != declared && program.is_assignable(t, declared))
     })
 }
@@ -91,7 +98,11 @@ fn entry_edges(graph: &Graph, l: &Loop) -> Vec<(BlockId, Vec<ValueId>)> {
         let term = &graph.block(b).term;
         let edges: Vec<(BlockId, Vec<ValueId>)> = match term {
             Terminator::Jump(d, args) => vec![(*d, args.clone())],
-            Terminator::Branch { then_dest, else_dest, .. } => {
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => {
                 vec![then_dest.clone(), else_dest.clone()]
             }
             _ => vec![],
@@ -128,7 +139,10 @@ fn peel_one(graph: &mut Graph, l: &Loop) {
     {
         let header_params: Vec<ValueId> = graph.block(l.header).params.clone();
         for (i, &p) in header_params.iter().enumerate() {
-            let tys: Vec<Type> = edges.iter().map(|(_, args)| graph.value_type(args[i])).collect();
+            let tys: Vec<Type> = edges
+                .iter()
+                .map(|(_, args)| graph.value_type(args[i]))
+                .collect();
             if let Some(first) = tys.first() {
                 if tys.iter().all(|t| t == first) {
                     let np = value_map[&p];
@@ -162,7 +176,12 @@ fn peel_one(graph: &mut Graph, l: &Loop) {
     for &b in &l.blocks {
         let insts: Vec<InstId> = graph.block(b).insts.clone();
         for i in insts {
-            let args: Vec<ValueId> = graph.inst(i).args.iter().map(|&a| map_v(&value_map, a)).collect();
+            let args: Vec<ValueId> = graph
+                .inst(i)
+                .args
+                .iter()
+                .map(|&a| map_v(&value_map, a))
+                .collect();
             graph.inst_mut(inst_map[&i]).args = args;
         }
         // Terminators: inside-loop edges to the header go back to the
@@ -187,10 +206,18 @@ fn peel_one(graph: &mut Graph, l: &Loop) {
                 let (nd, nargs) = map_edge(&value_map, &block_map, d, &args);
                 Terminator::Jump(nd, nargs)
             }
-            Terminator::Branch { cond, then_dest, else_dest } => {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 let (td, targs) = map_edge(&value_map, &block_map, then_dest.0, &then_dest.1);
                 let (ed, eargs) = map_edge(&value_map, &block_map, else_dest.0, &else_dest.1);
-                Terminator::Branch { cond: map_v(&value_map, cond), then_dest: (td, targs), else_dest: (ed, eargs) }
+                Terminator::Branch {
+                    cond: map_v(&value_map, cond),
+                    then_dest: (td, targs),
+                    else_dest: (ed, eargs),
+                }
             }
             t @ Terminator::Return(_) => t,
             Terminator::Unterminated => Terminator::Unterminated,
@@ -205,7 +232,11 @@ fn peel_one(graph: &mut Graph, l: &Loop) {
         let retarget = |d: BlockId| if d == l.header { peeled_header } else { d };
         let nterm = match term {
             Terminator::Jump(d, args) => Terminator::Jump(retarget(d), args),
-            Terminator::Branch { cond, then_dest, else_dest } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => Terminator::Branch {
                 cond,
                 then_dest: (retarget(then_dest.0), then_dest.1),
                 else_dest: (retarget(else_dest.0), else_dest.1),
@@ -289,7 +320,11 @@ mod tests {
         );
         graph.set_terminator(
             head,
-            Terminator::Branch { cond: c.unwrap(), then_dest: (body, vec![]), else_dest: (done, vec![]) },
+            Terminator::Branch {
+                cond: c.unwrap(),
+                then_dest: (body, vec![]),
+                else_dest: (done, vec![]),
+            },
         );
         let (_, one) = graph.append(body, incline_ir::Op::ConstInt(1), vec![], Some(Type::Int));
         let (_, i2) = graph.append(
@@ -301,9 +336,16 @@ mod tests {
         graph.append(body, incline_ir::Op::Print, vec![head_i], None);
         // The back edge passes a value WIDENED to Base: only the first
         // iteration sees the precise Sub type, which is the peel trigger.
-        let (_, widened) =
-            graph.append(body, incline_ir::Op::Cast(base), vec![head_o], Some(Type::Object(base)));
-        graph.set_terminator(body, Terminator::Jump(head, vec![i2.unwrap(), widened.unwrap()]));
+        let (_, widened) = graph.append(
+            body,
+            incline_ir::Op::Cast(base),
+            vec![head_o],
+            Some(Type::Object(base)),
+        );
+        graph.set_terminator(
+            body,
+            Terminator::Jump(head, vec![i2.unwrap(), widened.unwrap()]),
+        );
         graph.set_terminator(done, Terminator::Return(None));
 
         verify_graph(&p, &graph, &[Type::Int], RetType::Void).unwrap();
@@ -316,7 +358,11 @@ mod tests {
         assert_eq!(LoopForest::compute(&graph).loops.len(), 1);
         // The peeled header's object param is narrowed to Sub.
         let peeled_params_narrowed = graph.reachable_blocks().iter().any(|&b| {
-            graph.block(b).params.iter().any(|&pv| graph.value_type(pv) == Type::Object(sub))
+            graph
+                .block(b)
+                .params
+                .iter()
+                .any(|&pv| graph.value_type(pv) == Type::Object(sub))
         });
         assert!(peeled_params_narrowed);
     }

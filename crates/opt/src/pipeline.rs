@@ -9,6 +9,7 @@ use incline_ir::{Graph, Program};
 
 use crate::canonicalize::canonicalize;
 use crate::dce::dce;
+use crate::fuel::{CompileFuel, UNLIMITED_FUEL};
 use crate::gvn::gvn;
 use crate::peel::peel_loops;
 use crate::rwelim::rw_elim;
@@ -26,7 +27,10 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { peel_loops: true, max_rounds: 4 }
+        PipelineConfig {
+            peel_loops: true,
+            max_rounds: 4,
+        }
     }
 }
 
@@ -37,8 +41,24 @@ pub fn optimize(program: &Program, graph: &mut Graph) -> OptStats {
 
 /// Runs the full pipeline with an explicit configuration.
 pub fn optimize_with(program: &Program, graph: &mut Graph, config: PipelineConfig) -> OptStats {
+    optimize_fueled(program, graph, config, &UNLIMITED_FUEL)
+}
+
+/// Runs the pipeline under a compile budget: each fixpoint round charges
+/// the graph size to `fuel` and the pipeline winds down once the budget is
+/// spent. The graph is always left in a valid (if less optimized) state —
+/// exhaustion degrades quality, never correctness.
+pub fn optimize_fueled(
+    program: &Program,
+    graph: &mut Graph,
+    config: PipelineConfig,
+    fuel: &CompileFuel,
+) -> OptStats {
     let mut total = OptStats::new();
     for _ in 0..config.max_rounds {
+        if !fuel.charge(graph.size() as u64) {
+            return total;
+        }
         let mut round = OptStats::new();
         let narrowed = crate::typeprop::type_prop(program, graph);
         round += canonicalize(program, graph);
@@ -52,7 +72,7 @@ pub fn optimize_with(program: &Program, graph: &mut Graph, config: PipelineConfi
             break;
         }
     }
-    if config.peel_loops {
+    if config.peel_loops && fuel.charge(graph.size() as u64) {
         let peeled = peel_loops(program, graph);
         if peeled.any() {
             total += peeled;
@@ -69,7 +89,14 @@ pub fn optimize_with(program: &Program, graph: &mut Graph, config: PipelineConfi
 /// Runs only the scalar bundle (no peeling) — used by deep inlining trials,
 /// which the paper describes as running "canonicalization".
 pub fn canonicalize_bundle(program: &Program, graph: &mut Graph) -> OptStats {
-    optimize_with(program, graph, PipelineConfig { peel_loops: false, max_rounds: 3 })
+    optimize_with(
+        program,
+        graph,
+        PipelineConfig {
+            peel_loops: false,
+            max_rounds: 3,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -113,6 +140,34 @@ mod tests {
         // Re-running the pipeline finds nothing new.
         let again = optimize(&p, &mut g);
         assert!(!again.any(), "{again:?}");
+    }
+
+    #[test]
+    fn exhausted_fuel_stops_pipeline_but_leaves_valid_graph() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let a = fb.const_int(40);
+        let b = fb.const_int(2);
+        let s = fb.iadd(a, b);
+        let r = fb.iadd(x, s);
+        fb.ret(Some(r));
+        let mut g = fb.finish();
+        let reference = g.clone();
+        // Zero budget: no round runs, the graph is untouched and valid.
+        let fuel = crate::fuel::CompileFuel::limited(0);
+        let stats = optimize_fueled(&p, &mut g, PipelineConfig::default(), &fuel);
+        assert!(!stats.any(), "no work under a zero budget: {stats:?}");
+        assert!(fuel.exhausted());
+        assert_eq!(g.size(), reference.size());
+        verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
+        // An ample budget performs the folding and records its spend.
+        let fuel = crate::fuel::CompileFuel::limited(10_000);
+        let stats = optimize_fueled(&p, &mut g, PipelineConfig::default(), &fuel);
+        assert!(stats.const_fold >= 1, "{stats:?}");
+        assert!(fuel.spent() > 0 && !fuel.exhausted());
+        verify_graph(&p, &g, &[Type::Int], RetType::Value(Type::Int)).unwrap();
     }
 
     #[test]

@@ -215,7 +215,13 @@ mod tests {
             panic!()
         };
         assert_eq!(v, x);
-        verify_graph(&p, &g, &[Type::Object(c), Type::Int], RetType::Value(Type::Int)).unwrap();
+        verify_graph(
+            &p,
+            &g,
+            &[Type::Object(c), Type::Int],
+            RetType::Value(Type::Int),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -276,7 +282,11 @@ mod tests {
     fn store_through_unknown_base_invalidates() {
         let mut p = Program::new();
         let (c, f) = box_class(&mut p);
-        let m = p.declare_function("f", vec![Type::Object(c), Type::Object(c), Type::Int], Type::Int);
+        let m = p.declare_function(
+            "f",
+            vec![Type::Object(c), Type::Object(c), Type::Int],
+            Type::Int,
+        );
         let mut fb = FunctionBuilder::new(&p, m);
         let (a, b, x) = (fb.param(0), fb.param(1), fb.param(2));
         let l1 = fb.get_field(f, a);
@@ -309,7 +319,11 @@ mod tests {
     #[test]
     fn array_store_forwarded_same_index() {
         let mut p = Program::new();
-        let m = p.declare_function("f", vec![Type::Array(incline_ir::ElemType::Int), Type::Int], Type::Int);
+        let m = p.declare_function(
+            "f",
+            vec![Type::Array(incline_ir::ElemType::Int), Type::Int],
+            Type::Int,
+        );
         let mut fb = FunctionBuilder::new(&p, m);
         let (arr, x) = (fb.param(0), fb.param(1));
         let zero = fb.const_int(0);

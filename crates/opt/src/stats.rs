@@ -42,7 +42,12 @@ impl OptStats {
     /// the local-benefit estimate of Equation 4 (canonicalization-class
     /// events; structural cleanups like DCE and block merging excluded).
     pub fn simple_count(&self) -> u64 {
-        self.const_fold + self.strength_red + self.branch_prune + self.typecheck_fold + self.devirt + self.gvn
+        self.const_fold
+            + self.strength_red
+            + self.branch_prune
+            + self.typecheck_fold
+            + self.devirt
+            + self.gvn
     }
 
     /// Total number of events of any kind.
@@ -86,8 +91,16 @@ mod tests {
 
     #[test]
     fn sums_componentwise() {
-        let a = OptStats { const_fold: 1, gvn: 2, ..OptStats::new() };
-        let b = OptStats { const_fold: 3, dce: 4, ..OptStats::new() };
+        let a = OptStats {
+            const_fold: 1,
+            gvn: 2,
+            ..OptStats::new()
+        };
+        let b = OptStats {
+            const_fold: 3,
+            dce: 4,
+            ..OptStats::new()
+        };
         let c = a + b;
         assert_eq!(c.const_fold, 4);
         assert_eq!(c.gvn, 2);

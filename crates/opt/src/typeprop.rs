@@ -47,12 +47,19 @@ pub(crate) fn incoming_args(graph: &Graph) -> Vec<(BlockId, Vec<Vec<ValueId>>)> 
         .into_iter()
         .map(|b| (b, Vec::new()))
         .collect();
-    let index: std::collections::HashMap<BlockId, usize> =
-        per_block.iter().enumerate().map(|(i, &(b, _))| (b, i)).collect();
+    let index: std::collections::HashMap<BlockId, usize> = per_block
+        .iter()
+        .enumerate()
+        .map(|(i, &(b, _))| (b, i))
+        .collect();
     for b in graph.reachable_blocks() {
         let edges: Vec<(BlockId, Vec<ValueId>)> = match &graph.block(b).term {
             Terminator::Jump(d, args) => vec![(*d, args.clone())],
-            Terminator::Branch { then_dest, else_dest, .. } => {
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => {
                 vec![then_dest.clone(), else_dest.clone()]
             }
             _ => vec![],
@@ -160,10 +167,19 @@ mod tests {
         let body = g.add_block();
         let done = g.add_block();
         g.set_terminator(g.entry(), Terminator::Jump(head, vec![zero, obj]));
-        let (_, c) = g.append(head, incline_ir::Op::Cmp(CmpOp::ILt), vec![hi, n], Some(Type::Bool));
+        let (_, c) = g.append(
+            head,
+            incline_ir::Op::Cmp(CmpOp::ILt),
+            vec![hi, n],
+            Some(Type::Bool),
+        );
         g.set_terminator(
             head,
-            Terminator::Branch { cond: c.unwrap(), then_dest: (body, vec![]), else_dest: (done, vec![]) },
+            Terminator::Branch {
+                cond: c.unwrap(),
+                then_dest: (body, vec![]),
+                else_dest: (done, vec![]),
+            },
         );
         let (_, one) = g.append(body, incline_ir::Op::ConstInt(1), vec![], Some(Type::Int));
         let (_, i2) = g.append(
@@ -176,7 +192,11 @@ mod tests {
         g.set_terminator(done, Terminator::Return(None));
 
         assert!(type_prop(&p, &mut g));
-        assert_eq!(g.value_type(ho), Type::Object(sub), "self-edge must be ignored");
+        assert_eq!(
+            g.value_type(ho),
+            Type::Object(sub),
+            "self-edge must be ignored"
+        );
         verify_graph(&p, &g, &[Type::Int], RetType::Void).unwrap();
     }
 
@@ -190,6 +210,9 @@ mod tests {
         fb.ret(None);
         let mut g = fb.finish();
         assert!(!type_prop(&p, &mut g));
-        assert_eq!(g.value_type(g.block(g.entry()).params[0]), Type::Object(base));
+        assert_eq!(
+            g.value_type(g.block(g.entry()).params[0]),
+            Type::Object(base)
+        );
     }
 }

@@ -88,7 +88,11 @@ impl ProfileTable {
 
     /// Records one execution of a callsite.
     pub fn record_callsite(&mut self, site: CallSiteId) {
-        *self.method_mut(site.method).callsite_counts.entry(site.index).or_insert(0) += 1;
+        *self
+            .method_mut(site.method)
+            .callsite_counts
+            .entry(site.index)
+            .or_insert(0) += 1;
     }
 
     /// Records the dynamic receiver class observed at a virtual callsite.
@@ -138,7 +142,10 @@ impl ProfileTable {
 
     /// The receiver histogram of a virtual callsite, most frequent first.
     pub fn receiver_profile(&self, site: CallSiteId) -> Vec<ReceiverEntry> {
-        let Some(hist) = self.method(site.method).and_then(|p| p.receivers.get(&site.index)) else {
+        let Some(hist) = self
+            .method(site.method)
+            .and_then(|p| p.receivers.get(&site.index))
+        else {
             return Vec::new();
         };
         let total: u64 = hist.values().sum();
@@ -191,7 +198,10 @@ mod tests {
     use super::*;
 
     fn site(m: usize, i: u32) -> CallSiteId {
-        CallSiteId { method: MethodId::new(m), index: i }
+        CallSiteId {
+            method: MethodId::new(m),
+            index: i,
+        }
     }
 
     #[test]

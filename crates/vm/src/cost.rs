@@ -168,7 +168,10 @@ mod tests {
         let op = Op::Bin(incline_ir::BinOp::FAdd);
         let small = m.exec_cost(&op, Tier::Compiled, m.icache_capacity);
         let big = m.exec_cost(&op, Tier::Compiled, m.icache_capacity + 4 * m.icache_scale);
-        assert!(big > small, "i-cache pressure must slow compiled code: {big} vs {small}");
+        assert!(
+            big > small,
+            "i-cache pressure must slow compiled code: {big} vs {small}"
+        );
         assert_eq!(big, small * 5); // 4 scales over → 5× cost
     }
 
@@ -214,7 +217,10 @@ mod more_tests {
         let m = CostModel::default();
         assert_eq!(m.op_cost(&Op::Nop), 0);
         // Even interpreted, only the dispatch premium applies.
-        assert_eq!(m.exec_cost(&Op::Nop, Tier::Interpreted, 0), m.interp_dispatch);
+        assert_eq!(
+            m.exec_cost(&Op::Nop, Tier::Interpreted, 0),
+            m.interp_dispatch
+        );
     }
 
     #[test]

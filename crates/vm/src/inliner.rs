@@ -3,10 +3,18 @@
 //! Every inliner in this project — the paper's incremental algorithm
 //! (`incline-core`), the greedy and C2-style baselines
 //! (`incline-baselines`), and the trivial ones here — implements
-//! [`Inliner`]. The VM hands it a compilation request (the root method and
-//! the profiling context) and installs whatever graph comes back.
+//! [`Inliner`]. The VM hands it a compilation request (the root method,
+//! the profiling context and a compile budget) and installs whatever graph
+//! comes back — after verifying it.
+//!
+//! Compilation is **fallible**: an inliner may run out of
+//! [`CompileFuel`](incline_opt::CompileFuel), and the broker additionally
+//! contains panics and verifier rejections. All three surface as a
+//! [`CompileError`], which the broker's bailout ladder turns into a retry
+//! on a cheaper tier (see `machine`).
 
 use incline_ir::{Graph, MethodId, Program};
+use incline_opt::{CompileFuel, UNLIMITED_FUEL};
 use incline_profile::ProfileTable;
 
 /// Read-only context available to a compilation.
@@ -16,7 +24,59 @@ pub struct CompileCx<'a> {
     pub program: &'a Program,
     /// Profiles gathered by the interpreting tier.
     pub profiles: &'a ProfileTable,
+    /// The compile-work budget for this compilation. Inliners charge the
+    /// IR they process and wind down (or report [`CompileError::OutOfFuel`])
+    /// once it is spent.
+    pub fuel: &'a CompileFuel,
 }
+
+impl<'a> CompileCx<'a> {
+    /// A context with an unlimited compile budget.
+    pub fn new(program: &'a Program, profiles: &'a ProfileTable) -> Self {
+        CompileCx {
+            program,
+            profiles,
+            fuel: &UNLIMITED_FUEL,
+        }
+    }
+
+    /// Replaces the compile budget.
+    pub fn with_fuel(self, fuel: &'a CompileFuel) -> Self {
+        CompileCx { fuel, ..self }
+    }
+}
+
+/// Why a compilation failed.
+///
+/// Failures are *contained*: the method keeps running in the interpreter
+/// and the broker may retry it on a degraded tier. A `CompileError` never
+/// corrupts VM state and never installs code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The inliner (or a pass it ran) panicked; the payload message.
+    Panicked(String),
+    /// The produced graph failed verification and was not installed.
+    Rejected(String),
+    /// The compile budget ran out before a graph was produced.
+    OutOfFuel {
+        /// The budget the compilation started with.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Panicked(m) => write!(f, "compiler panicked: {m}"),
+            CompileError::Rejected(m) => write!(f, "graph rejected by verifier: {m}"),
+            CompileError::OutOfFuel { limit } => {
+                write!(f, "compile budget exhausted (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// Statistics reported by a compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -52,7 +112,21 @@ pub trait Inliner {
     /// Compiles `method`: clones its graph, performs inline substitution
     /// according to the algorithm's policy, optimizes, and returns the
     /// graph to install.
-    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::OutOfFuel`] when `cx.fuel` is spent before
+    /// the compilation produced an installable graph. Other variants are
+    /// produced by the broker, not by inliners.
+    fn compile(&self, method: MethodId, cx: &CompileCx<'_>)
+        -> Result<CompileOutcome, CompileError>;
+}
+
+/// Converts fuel exhaustion into the error the bailout ladder expects.
+pub(crate) fn fuel_error(fuel: &CompileFuel) -> CompileError {
+    CompileError::OutOfFuel {
+        limit: fuel.limit().unwrap_or(u64::MAX),
+    }
 }
 
 /// Baseline that never inlines; it still runs the optimization pipeline
@@ -65,12 +139,24 @@ impl Inliner for NoInline {
         "no-inline"
     }
 
-    fn compile(&self, method: MethodId, cx: &CompileCx<'_>) -> CompileOutcome {
+    fn compile(
+        &self,
+        method: MethodId,
+        cx: &CompileCx<'_>,
+    ) -> Result<CompileOutcome, CompileError> {
         let mut graph = cx.program.method(method).graph.clone();
         let before = graph.size();
-        let stats = incline_opt::optimize(cx.program, &mut graph);
+        if !cx.fuel.charge(before as u64) {
+            return Err(fuel_error(cx.fuel));
+        }
+        let stats = incline_opt::optimize_fueled(
+            cx.program,
+            &mut graph,
+            incline_opt::PipelineConfig::default(),
+            cx.fuel,
+        );
         let final_size = graph.size();
-        CompileOutcome {
+        Ok(CompileOutcome {
             graph,
             work_nodes: before + final_size,
             stats: InlineStats {
@@ -80,7 +166,7 @@ impl Inliner for NoInline {
                 final_size: final_size as u64,
                 opt_events: stats.total(),
             },
-        }
+        })
     }
 }
 
@@ -111,10 +197,27 @@ mod tests {
         p.define_method(root, g);
 
         let profiles = ProfileTable::new();
-        let cx = CompileCx { program: &p, profiles: &profiles };
-        let out = NoInline.compile(root, &cx);
+        let cx = CompileCx::new(&p, &profiles);
+        let out = NoInline.compile(root, &cx).unwrap();
         assert_eq!(out.stats.inlined_calls, 0);
         assert!(out.stats.opt_events >= 1, "constant fold expected");
         assert_eq!(out.graph.callsites().len(), 1, "the call must survive");
+    }
+
+    #[test]
+    fn no_inline_reports_fuel_exhaustion() {
+        let mut p = Program::new();
+        let root = p.declare_function("r", vec![], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, root);
+        let k = fb.const_int(7);
+        fb.ret(Some(k));
+        let g = fb.finish();
+        p.define_method(root, g);
+
+        let profiles = ProfileTable::new();
+        let fuel = CompileFuel::limited(0);
+        let cx = CompileCx::new(&p, &profiles).with_fuel(&fuel);
+        let err = NoInline.compile(root, &cx).unwrap_err();
+        assert_eq!(err, CompileError::OutOfFuel { limit: 0 });
     }
 }

@@ -33,13 +33,18 @@
 //! ```
 
 pub mod cost;
+pub mod faults;
 pub mod inliner;
 pub mod machine;
 pub mod runner;
 pub mod value;
 
 pub use cost::{CostModel, Tier};
-pub use inliner::{CompileCx, CompileOutcome, InlineStats, Inliner, NoInline};
-pub use machine::{ExecError, Machine, RunOutcome, VmConfig};
-pub use runner::{run_benchmark, BenchResult, BenchSpec};
+pub use faults::{FaultKind, FaultPlan};
+pub use incline_opt::{CompileFuel, UNLIMITED_FUEL};
+pub use inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, NoInline};
+pub use machine::{
+    BailoutCounters, BailoutRecord, CompileStage, ExecError, Machine, RunOutcome, VmConfig,
+};
+pub use runner::{run_benchmark, run_benchmark_faulted, BenchError, BenchResult, BenchSpec};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

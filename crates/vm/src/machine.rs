@@ -9,18 +9,42 @@
 //! latency and instruction-cache pressure are charged per the
 //! [`CostModel`], so both under- and over-inlining are measurably bad —
 //! the terrain the paper's algorithm navigates.
+//!
+//! # Fault containment
+//!
+//! Compilation is treated as untrusted: a compiler failure must never take
+//! the VM down or corrupt executing code. The broker runs a three-rung
+//! **bailout ladder** per compilation request:
+//!
+//! 1. **Full tier** — the configured inliner, fenced by `catch_unwind`
+//!    (panics become [`CompileError::Panicked`]) and metered by the
+//!    [`VmConfig::compile_fuel`] budget. Every produced graph — in every
+//!    build profile — passes `verify_graph` before installation; a
+//!    rejected graph is never installed ([`CompileError::Rejected`]).
+//! 2. **Degraded tier** — an inline-free compile of the root graph
+//!    through the optimization pipeline, independent of the (possibly
+//!    faulty) inliner.
+//! 3. **Blacklist** — the method is pinned to the interpreter permanently;
+//!    the broker never re-attempts it.
+//!
+//! Every rung failure is recorded in [`BailoutCounters`] and the
+//! per-method [`BailoutRecord`] log, and the deterministic fault-injection
+//! harness in [`crate::faults`] exercises all three rungs.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 
 use incline_ir::eval::{self, TrapKind};
 use incline_ir::graph::{CallTarget, Op, Terminator};
 use incline_ir::loops::LoopForest;
 use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
+use incline_opt::CompileFuel;
 use incline_profile::ProfileTable;
 
 use crate::cost::{CostModel, Tier};
-use crate::inliner::{CompileCx, CompileOutcome, Inliner};
+use crate::faults::{self, FaultKind, FaultPlan};
+use crate::inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 use crate::value::{Heap, HeapCell, Output, Value};
 
 /// VM configuration.
@@ -37,6 +61,10 @@ pub struct VmConfig {
     pub fuel_steps: u64,
     /// Maximum call depth.
     pub max_depth: usize,
+    /// Compile-work budget per compilation attempt, in IR-node units
+    /// (`u64::MAX` = unmetered). An attempt that exhausts the budget bails
+    /// out to the next rung of the ladder instead of running away.
+    pub compile_fuel: u64,
 }
 
 impl Default for VmConfig {
@@ -49,6 +77,76 @@ impl Default for VmConfig {
             // Each guest frame costs a host frame; stay well inside the
             // 2 MiB default stack of Rust test threads.
             max_depth: 400,
+            compile_fuel: u64::MAX,
+        }
+    }
+}
+
+/// Which rung of the bailout ladder a compilation attempt ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileStage {
+    /// The configured inliner with the full pipeline.
+    Full,
+    /// Inline-free root-graph compile through the optimization pipeline.
+    Degraded,
+}
+
+impl std::fmt::Display for CompileStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileStage::Full => write!(f, "full"),
+            CompileStage::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
+/// One recorded bailout: a compilation attempt that failed and fell
+/// through to the next rung of the ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BailoutRecord {
+    /// The method whose compilation failed.
+    pub method: MethodId,
+    /// The rung that failed.
+    pub stage: CompileStage,
+    /// Why it failed.
+    pub error: CompileError,
+}
+
+/// Aggregate bailout counters over the machine's lifetime.
+///
+/// The same run (same program, config, inliner, fault plan) always
+/// produces the same counters — the fault-injection tests assert this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BailoutCounters {
+    /// Failed full-tier compilation attempts.
+    pub full_tier: u64,
+    /// Failed degraded-tier compilation attempts.
+    pub degraded_tier: u64,
+    /// Methods permanently pinned to the interpreter.
+    pub blacklisted: u64,
+    /// Compiler panics contained by the `catch_unwind` fence.
+    pub contained_panics: u64,
+    /// Graphs rejected by the pre-install verifier.
+    pub verifier_rejections: u64,
+    /// Attempts that ran out of compile fuel.
+    pub fuel_exhaustions: u64,
+}
+
+impl BailoutCounters {
+    /// Total failed compilation attempts across both tiers.
+    pub fn total(&self) -> u64 {
+        self.full_tier + self.degraded_tier
+    }
+
+    fn record(&mut self, stage: CompileStage, error: &CompileError) {
+        match stage {
+            CompileStage::Full => self.full_tier += 1,
+            CompileStage::Degraded => self.degraded_tier += 1,
+        }
+        match error {
+            CompileError::Panicked(_) => self.contained_panics += 1,
+            CompileError::Rejected(_) => self.verifier_rejections += 1,
+            CompileError::OutOfFuel { .. } => self.fuel_exhaustions += 1,
         }
     }
 }
@@ -112,6 +210,12 @@ pub struct Machine<'p> {
     back_edges: HashMap<MethodId, HashSet<(BlockId, BlockId)>>,
     installed_bytes: u64,
     compilations: u64,
+    // Fault containment.
+    blacklist: HashSet<MethodId>,
+    bailouts: BailoutCounters,
+    bailout_log: Vec<BailoutRecord>,
+    fault_plan: FaultPlan,
+    compile_requests: u64,
     // Per-run state.
     heap: Heap,
     output: Output,
@@ -135,6 +239,11 @@ impl<'p> Machine<'p> {
             back_edges: HashMap::new(),
             installed_bytes: 0,
             compilations: 0,
+            blacklist: HashSet::new(),
+            bailouts: BailoutCounters::default(),
+            bailout_log: Vec::new(),
+            fault_plan: FaultPlan::new(),
+            compile_requests: 0,
             heap: Heap::new(),
             output: Output::new(),
             exec_cycles: 0,
@@ -208,12 +317,46 @@ impl<'p> Machine<'p> {
         &self.last_compile_stats
     }
 
+    /// Aggregate bailout counters (deterministic for a given run setup).
+    pub fn bailouts(&self) -> BailoutCounters {
+        self.bailouts
+    }
+
+    /// Every recorded bailout, in occurrence order.
+    pub fn bailout_log(&self) -> &[BailoutRecord] {
+        &self.bailout_log
+    }
+
+    /// Methods permanently pinned to the interpreter, sorted.
+    pub fn blacklisted_methods(&self) -> Vec<MethodId> {
+        let mut v: Vec<MethodId> = self.blacklist.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of compilation requests the broker has handled (each request
+    /// runs the whole ladder; blacklisted methods generate no requests).
+    pub fn compile_requests(&self) -> u64 {
+        self.compile_requests
+    }
+
+    /// Installs a fault-injection plan (see [`crate::faults`]). Faults are
+    /// indexed by compilation request: the Nth request the broker handles.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
     /// Force-compiles a method immediately (used by experiments that want
-    /// a deterministic compile point).
-    pub fn compile_now(&mut self, method: MethodId) {
-        if !self.code.contains_key(&method) {
-            self.compile(method);
+    /// a deterministic compile point). Returns whether code was installed;
+    /// `false` means the ladder exhausted and the method is blacklisted.
+    pub fn compile_now(&mut self, method: MethodId) -> bool {
+        if self.code.contains_key(&method) {
+            return true;
         }
+        if self.blacklist.contains(&method) {
+            return false;
+        }
+        self.compile(method)
     }
 
     // ---- internals ---------------------------------------------------------
@@ -224,25 +367,166 @@ impl<'p> Machine<'p> {
         inv + be / 4 >= self.config.hotness_threshold
     }
 
-    fn compile(&mut self, method: MethodId) {
-        let cx = CompileCx { program: self.program, profiles: &self.profiles };
-        let CompileOutcome { graph, work_nodes, stats } = self.inliner.compile(method, &cx);
+    fn make_fuel(&self) -> CompileFuel {
+        if self.config.compile_fuel == u64::MAX {
+            CompileFuel::unlimited()
+        } else {
+            CompileFuel::limited(self.config.compile_fuel)
+        }
+    }
+
+    /// One compilation request, run down the bailout ladder. Returns
+    /// whether code was installed; on `false` the method is blacklisted
+    /// and will never be attempted again.
+    fn compile(&mut self, method: MethodId) -> bool {
+        let request = self.compile_requests;
+        self.compile_requests += 1;
+        let fault = self.fault_plan.fault_at(request);
+
+        match self.try_full_tier(method, fault) {
+            Ok(()) => return true,
+            Err(error) => {
+                self.bailouts.record(CompileStage::Full, &error);
+                self.bailout_log.push(BailoutRecord {
+                    method,
+                    stage: CompileStage::Full,
+                    error,
+                });
+            }
+        }
+        match self.try_degraded_tier(method, fault) {
+            Ok(()) => return true,
+            Err(error) => {
+                self.bailouts.record(CompileStage::Degraded, &error);
+                self.bailout_log.push(BailoutRecord {
+                    method,
+                    stage: CompileStage::Degraded,
+                    error,
+                });
+            }
+        }
+        self.blacklist.insert(method);
+        self.bailouts.blacklisted += 1;
+        false
+    }
+
+    /// Ladder rung 1: the configured inliner, panic-fenced and metered.
+    fn try_full_tier(
+        &mut self,
+        method: MethodId,
+        fault: Option<FaultKind>,
+    ) -> Result<(), CompileError> {
+        let fuel = if fault == Some(FaultKind::ExhaustFuel) {
+            CompileFuel::limited(0)
+        } else {
+            self.make_fuel()
+        };
+        let cx = CompileCx::new(self.program, &self.profiles).with_fuel(&fuel);
+        let inliner = &self.inliner;
+        let guarded = faults::with_quiet_panics(|| {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                if fault == Some(FaultKind::PanicInCompile) {
+                    panic!("{}: compilation request panicked", faults::INJECTED_PANIC);
+                }
+                inliner.compile(method, &cx)
+            }))
+        });
+        let outcome = match guarded {
+            Ok(result) => {
+                // A failed attempt still burned the fuel it charged.
+                if result.is_err() {
+                    self.charge_wasted_work(fuel.spent());
+                }
+                result?
+            }
+            Err(payload) => {
+                return Err(CompileError::Panicked(panic_message(payload.as_ref())));
+            }
+        };
+        let CompileOutcome {
+            graph,
+            work_nodes,
+            stats,
+        } = outcome;
         // Drop the tombstones passes leave behind: the interpreter sizes
         // its register file by value_count, so installing compacted code
         // is part of "code generation".
+        let mut graph = graph.compacted();
+        if fault == Some(FaultKind::CorruptGraph) {
+            faults::corrupt_graph(&mut graph);
+        }
+        self.verify_and_install(method, graph, work_nodes, stats)
+            .inspect_err(|_| {
+                // The rejected graph's compile effort is still paid for.
+                self.charge_wasted_work(work_nodes as u64);
+            })
+    }
+
+    /// Ladder rung 2: an inline-free compile of the method's own graph
+    /// through the optimization pipeline. Deliberately bypasses the
+    /// configured inliner — a buggy inliner must not poison this rung.
+    fn try_degraded_tier(
+        &mut self,
+        method: MethodId,
+        fault: Option<FaultKind>,
+    ) -> Result<(), CompileError> {
+        // Injected faults target the full tier only; the degraded tier
+        // always gets a fresh budget from the config.
+        let _ = fault;
+        let fuel = self.make_fuel();
+        let program = self.program;
+        let guarded = faults::with_quiet_panics(|| {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut graph = program.method(method).graph.clone();
+                let before = graph.size();
+                if !fuel.charge(before as u64) {
+                    return Err(crate::inliner::fuel_error(&fuel));
+                }
+                let opt = incline_opt::optimize_fueled(
+                    program,
+                    &mut graph,
+                    incline_opt::PipelineConfig::default(),
+                    &fuel,
+                );
+                Ok((graph, before, opt.total()))
+            }))
+        });
+        let (graph, before, opt_events) = match guarded {
+            Ok(result) => {
+                if result.is_err() {
+                    self.charge_wasted_work(fuel.spent());
+                }
+                result?
+            }
+            Err(payload) => {
+                return Err(CompileError::Panicked(panic_message(payload.as_ref())));
+            }
+        };
         let graph = graph.compacted();
-        debug_assert!(
-            incline_ir::verify::verify_graph(
-                self.program,
-                &graph,
-                &self.program.method(method).params,
-                self.program.method(method).ret
-            )
-            .is_ok(),
-            "inliner {} produced an unverifiable graph for {}",
-            self.inliner.name(),
-            self.program.method(method).name
-        );
+        let final_size = graph.size();
+        let stats = InlineStats {
+            inlined_calls: 0,
+            rounds: 1,
+            explored_nodes: 0,
+            final_size: final_size as u64,
+            opt_events,
+        };
+        self.verify_and_install(method, graph, before + final_size, stats)
+    }
+
+    /// The always-on installation gate: every graph is verified in every
+    /// build profile before it reaches the code cache. A rejected graph is
+    /// never installed.
+    fn verify_and_install(
+        &mut self,
+        method: MethodId,
+        graph: Graph,
+        work_nodes: usize,
+        stats: InlineStats,
+    ) -> Result<(), CompileError> {
+        let decl = self.program.method(method);
+        incline_ir::verify::verify_graph(self.program, &graph, &decl.params, decl.ret)
+            .map_err(|e| CompileError::Rejected(format!("{} (method {})", e.message, decl.name)))?;
         let bytes = self.config.cost.code_bytes(graph.size());
         let compile_cycles = self.config.cost.compile_cost(work_nodes);
         self.installed_bytes += bytes;
@@ -250,7 +534,22 @@ impl<'p> Machine<'p> {
         self.total_compile_cycles += compile_cycles;
         self.compilations += 1;
         self.last_compile_stats.push((method, stats));
-        self.code.insert(method, CompiledMethod { graph: Rc::new(graph), bytes });
+        self.code.insert(
+            method,
+            CompiledMethod {
+                graph: Rc::new(graph),
+                bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Charges the cycles a failed compilation attempt burned before it
+    /// bailed out (a real JIT pays for abandoned compilations too).
+    fn charge_wasted_work(&mut self, spent_fuel: u64) {
+        let cycles = self.config.cost.compile_cost(spent_fuel as usize);
+        self.run_compile_cycles += cycles;
+        self.total_compile_cycles += cycles;
     }
 
     fn back_edge_set(&mut self, method: MethodId) -> HashSet<(BlockId, BlockId)> {
@@ -282,10 +581,14 @@ impl<'p> Machine<'p> {
             let graph = Rc::clone(&cm.graph);
             return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
         }
-        // Interpreted activation: profile and maybe promote.
+        // Interpreted activation: profile and maybe promote. Blacklisted
+        // methods are never re-attempted — they stay interpreted for good.
         self.profiles.record_invocation(method);
-        if self.config.jit && self.hot(method) {
-            self.compile(method);
+        if self.config.jit
+            && !self.blacklist.contains(&method)
+            && self.hot(method)
+            && self.compile(method)
+        {
             let cm = &self.code[&method];
             let graph = Rc::clone(&cm.graph);
             return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
@@ -304,7 +607,11 @@ impl<'p> Machine<'p> {
         depth: usize,
     ) -> Result<Option<Value>, ExecError> {
         let profiling = tier == Tier::Interpreted;
-        let back_edges = if profiling { self.back_edge_set(method) } else { HashSet::new() };
+        let back_edges = if profiling {
+            self.back_edge_set(method)
+        } else {
+            HashSet::new()
+        };
         let mut regs: Vec<Option<Value>> = vec![None; graph.value_count()];
         let mut block = graph.entry();
         {
@@ -332,7 +639,10 @@ impl<'p> Machine<'p> {
                     return Err(ExecError::OutOfFuel);
                 }
                 let data = graph.inst(inst);
-                self.exec_cycles += self.config.cost.exec_cost(&data.op, tier, self.installed_bytes);
+                self.exec_cycles +=
+                    self.config
+                        .cost
+                        .exec_cost(&data.op, tier, self.installed_bytes);
                 let result: Option<Value> = match &data.op {
                     Op::Nop => None,
                     Op::ConstInt(k) => Some(Value::Int(*k)),
@@ -347,7 +657,9 @@ impl<'p> Machine<'p> {
                     Op::Bin(op) => {
                         let a = reg!(data.args[0]).as_int();
                         let b = reg!(data.args[1]).as_int();
-                        Some(Value::Int(eval::eval_int_bin(*op, a, b).map_err(ExecError::Trap)?))
+                        Some(Value::Int(
+                            eval::eval_int_bin(*op, a, b).map_err(ExecError::Trap)?,
+                        ))
                     }
                     Op::Cmp(op) => {
                         let a = reg!(data.args[0]);
@@ -368,8 +680,12 @@ impl<'p> Machine<'p> {
                     Op::Not => Some(Value::Bool(!reg!(data.args[0]).as_bool())),
                     Op::INeg => Some(Value::Int(reg!(data.args[0]).as_int().wrapping_neg())),
                     Op::FNeg => Some(Value::Float(-reg!(data.args[0]).as_float())),
-                    Op::IntToFloat => Some(Value::Float(eval::int_to_float(reg!(data.args[0]).as_int()))),
-                    Op::FloatToInt => Some(Value::Int(eval::float_to_int(reg!(data.args[0]).as_float()))),
+                    Op::IntToFloat => Some(Value::Float(eval::int_to_float(
+                        reg!(data.args[0]).as_int(),
+                    ))),
+                    Op::FloatToInt => Some(Value::Int(eval::float_to_int(
+                        reg!(data.args[0]).as_float(),
+                    ))),
                     Op::New(c) => Some(Value::Ref(self.heap.alloc_object(self.program, *c))),
                     Op::GetField(f) => {
                         let Value::Ref(r) = reg!(data.args[0]) else {
@@ -441,7 +757,9 @@ impl<'p> Machine<'p> {
                         let r = match reg!(data.args[0]) {
                             Value::Null => false,
                             Value::Ref(r) => match self.heap.cell(r) {
-                                HeapCell::Object { class, .. } => self.program.is_subclass(*class, *c),
+                                HeapCell::Object { class, .. } => {
+                                    self.program.is_subclass(*class, *c)
+                                }
                                 HeapCell::Array { .. } => false,
                             },
                             _ => false,
@@ -453,7 +771,9 @@ impl<'p> Machine<'p> {
                         match v {
                             Value::Null => Some(Value::Null),
                             Value::Ref(r) => match self.heap.cell(r) {
-                                HeapCell::Object { class, .. } if self.program.is_subclass(*class, *c) => {
+                                HeapCell::Object { class, .. }
+                                    if self.program.is_subclass(*class, *c) =>
+                                {
                                     Some(v)
                                 }
                                 _ => return Err(ExecError::Trap(TrapKind::CastFailed)),
@@ -512,7 +832,11 @@ impl<'p> Machine<'p> {
                     return Ok(v.map(|v| reg!(v)));
                 }
                 Terminator::Jump(d, a) => (*d, a.clone()),
-                Terminator::Branch { cond, then_dest, else_dest } => {
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
                     let taken = reg!(*cond).as_bool();
                     let (d, a) = if taken { then_dest } else { else_dest };
                     (*d, a.clone())
@@ -534,6 +858,17 @@ impl<'p> Machine<'p> {
             }
             block = dest;
         }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -574,7 +909,14 @@ mod tests {
     #[test]
     fn interprets_loop_correctly() {
         let (p, m) = sum_program();
-        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
         let out = vm.run(m, vec![Value::Int(10)]).unwrap();
         assert_eq!(out.value, Some(Value::Int(45)));
         assert!(out.exec_cycles > 0);
@@ -584,7 +926,14 @@ mod tests {
     #[test]
     fn profiles_accumulate_across_runs() {
         let (p, m) = sum_program();
-        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
         for _ in 0..5 {
             vm.run(m, vec![Value::Int(4)]).unwrap();
         }
@@ -595,8 +944,10 @@ mod tests {
     #[test]
     fn jit_promotes_hot_method_and_speeds_it_up() {
         let (p, m) = sum_program();
-        let mut config = VmConfig::default();
-        config.hotness_threshold = 3;
+        let config = VmConfig {
+            hotness_threshold: 3,
+            ..VmConfig::default()
+        };
         let mut vm = Machine::new(&p, Box::new(NoInline), config);
         let interp_cost = vm.run(m, vec![Value::Int(100)]).unwrap().exec_cycles;
         vm.run(m, vec![Value::Int(100)]).unwrap();
@@ -623,12 +974,22 @@ mod tests {
         fb.ret(None);
         let g = fb.finish();
         p.define_method(m, g);
-        let mut interp = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let mut interp = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
         let a = interp.run(m, vec![Value::Int(21)]).unwrap();
         let mut jit = Machine::new(
             &p,
             Box::new(NoInline),
-            VmConfig { hotness_threshold: 1, ..VmConfig::default() },
+            VmConfig {
+                hotness_threshold: 1,
+                ..VmConfig::default()
+            },
         );
         let b = jit.run(m, vec![Value::Int(21)]).unwrap();
         assert_eq!(a.output, b.output);
@@ -646,8 +1007,18 @@ mod tests {
         fb.ret(Some(d));
         let g = fb.finish();
         p.define_method(m, g);
-        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        assert_eq!(vm.run(m, vec![Value::Int(1)]), Err(ExecError::Trap(TrapKind::DivByZero)));
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            vm.run(m, vec![Value::Int(1)]),
+            Err(ExecError::Trap(TrapKind::DivByZero))
+        );
     }
 
     #[test]
@@ -659,7 +1030,14 @@ mod tests {
         fb.ret(None);
         let g = fb.finish();
         p.define_method(m, g);
-        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
         assert_eq!(vm.run(m, vec![]), Err(ExecError::StackOverflow));
     }
 
@@ -697,11 +1075,27 @@ mod tests {
         let g = fb.finish();
         p.define_method(f, g);
 
-        let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        assert_eq!(vm.run(f, vec![Value::Bool(true)]).unwrap().value, Some(Value::Int(1)));
-        assert_eq!(vm.run(f, vec![Value::Bool(false)]).unwrap().value, Some(Value::Int(2)));
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            vm.run(f, vec![Value::Bool(true)]).unwrap().value,
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            vm.run(f, vec![Value::Bool(false)]).unwrap().value,
+            Some(Value::Int(2))
+        );
         vm.run(f, vec![Value::Bool(false)]).unwrap();
-        let site = incline_ir::CallSiteId { method: f, index: 0 };
+        let site = incline_ir::CallSiteId {
+            method: f,
+            index: 0,
+        };
         let prof = vm.profiles().receiver_profile(site);
         assert_eq!(prof.len(), 2);
         assert_eq!(prof[0].class, b);
@@ -711,9 +1105,207 @@ mod tests {
     #[test]
     fn fuel_limit_enforced() {
         let (p, m) = sum_program();
-        let mut config = VmConfig { jit: false, ..VmConfig::default() };
+        let mut config = VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        };
         config.fuel_steps = 100;
         let mut vm = Machine::new(&p, Box::new(NoInline), config);
-        assert_eq!(vm.run(m, vec![Value::Int(1_000_000)]), Err(ExecError::OutOfFuel));
+        assert_eq!(
+            vm.run(m, vec![Value::Int(1_000_000)]),
+            Err(ExecError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn null_deref_trap_reported() {
+        let mut p = Program::new();
+        let c = p.add_class("Box", None);
+        let f = p.add_field(c, "v", Type::Int);
+        let m = p.declare_function("f", vec![Type::Object(c)], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let obj = fb.param(0);
+        let v = fb.get_field(f, obj);
+        fb.ret(Some(v));
+        let g = fb.finish();
+        p.define_method(m, g);
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            vm.run(m, vec![Value::Null]),
+            Err(ExecError::Trap(TrapKind::NullDeref))
+        );
+    }
+
+    #[test]
+    fn array_bounds_trap_reported() {
+        let mut p = Program::new();
+        let m = p.declare_function("f", vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let idx = fb.param(0);
+        let two = fb.const_int(2);
+        let arr = fb.new_array(incline_ir::ElemType::Int, two);
+        let v = fb.array_get(arr, idx);
+        fb.ret(Some(v));
+        let g = fb.finish();
+        p.define_method(m, g);
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            vm.run(m, vec![Value::Int(1)]).unwrap().value,
+            Some(Value::Int(0))
+        );
+        assert_eq!(
+            vm.run(m, vec![Value::Int(5)]),
+            Err(ExecError::Trap(TrapKind::Bounds))
+        );
+        assert_eq!(
+            vm.run(m, vec![Value::Int(-1)]),
+            Err(ExecError::Trap(TrapKind::Bounds))
+        );
+    }
+
+    /// An inliner that always unwinds — a stand-in for a compiler bug.
+    struct PanickingInliner;
+    impl Inliner for PanickingInliner {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+        fn compile(
+            &self,
+            _method: MethodId,
+            _cx: &CompileCx<'_>,
+        ) -> Result<CompileOutcome, CompileError> {
+            panic!("synthetic inliner bug");
+        }
+    }
+
+    #[test]
+    fn inliner_panic_is_contained_and_ladder_degrades() {
+        let (p, m) = sum_program();
+        let config = VmConfig {
+            hotness_threshold: 2,
+            ..VmConfig::default()
+        };
+        let mut vm = Machine::new(&p, Box::new(PanickingInliner), config);
+        for _ in 0..4 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(
+                out.value,
+                Some(Value::Int(45)),
+                "output correct despite compiler bug"
+            );
+        }
+        let b = vm.bailouts();
+        assert_eq!(b.contained_panics, 1);
+        assert_eq!(b.full_tier, 1);
+        assert_eq!(
+            b.degraded_tier, 0,
+            "degraded rung bypasses the faulty inliner"
+        );
+        assert_eq!(b.blacklisted, 0);
+        assert_eq!(vm.compilations(), 1, "degraded tier installed code");
+        assert_eq!(vm.compiled_methods(), vec![m]);
+        assert!(matches!(
+            vm.bailout_log(),
+            [BailoutRecord {
+                stage: CompileStage::Full,
+                error: CompileError::Panicked(_),
+                ..
+            }]
+        ));
+    }
+
+    /// An inliner that miscompiles: the graph it returns is damaged.
+    struct CorruptingInliner;
+    impl Inliner for CorruptingInliner {
+        fn name(&self) -> &str {
+            "corrupting"
+        }
+        fn compile(
+            &self,
+            method: MethodId,
+            cx: &CompileCx<'_>,
+        ) -> Result<CompileOutcome, CompileError> {
+            let mut graph = cx.program.method(method).graph.clone();
+            crate::faults::corrupt_graph(&mut graph);
+            let size = graph.size();
+            Ok(CompileOutcome {
+                graph,
+                work_nodes: size,
+                stats: InlineStats::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn miscompiled_graph_is_rejected_not_installed() {
+        let (p, m) = sum_program();
+        let config = VmConfig {
+            hotness_threshold: 2,
+            ..VmConfig::default()
+        };
+        let mut vm = Machine::new(&p, Box::new(CorruptingInliner), config);
+        for _ in 0..4 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(out.value, Some(Value::Int(45)));
+        }
+        let b = vm.bailouts();
+        assert_eq!(b.verifier_rejections, 1);
+        assert_eq!(b.full_tier, 1);
+        assert_eq!(
+            vm.compilations(),
+            1,
+            "only the degraded graph was installed"
+        );
+        // The installed graph is the verified degraded one, not the corrupt one.
+        let decl = p.method(m);
+        incline_ir::verify::verify_graph(&p, vm.compiled_graph(m).unwrap(), &decl.params, decl.ret)
+            .unwrap();
+    }
+
+    #[test]
+    fn exhausted_ladder_blacklists_and_interpreter_carries_on() {
+        let (p, m) = sum_program();
+        // A zero compile budget fails both rungs: full tier and degraded
+        // tier each report OutOfFuel, so the method is blacklisted.
+        let config = VmConfig {
+            hotness_threshold: 2,
+            compile_fuel: 0,
+            ..VmConfig::default()
+        };
+        let mut vm = Machine::new(&p, Box::new(NoInline), config);
+        for _ in 0..6 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(
+                out.value,
+                Some(Value::Int(45)),
+                "interpreter keeps the program alive"
+            );
+        }
+        let b = vm.bailouts();
+        assert_eq!(b.full_tier, 1);
+        assert_eq!(b.degraded_tier, 1);
+        assert_eq!(b.blacklisted, 1);
+        assert_eq!(b.fuel_exhaustions, 2);
+        assert_eq!(vm.compilations(), 0, "nothing was ever installed");
+        assert_eq!(vm.blacklisted_methods(), vec![m]);
+        assert_eq!(
+            vm.compile_requests(),
+            1,
+            "a blacklisted method must never be re-attempted"
+        );
     }
 }

@@ -9,8 +9,9 @@
 
 use incline_ir::{MethodId, Program};
 
+use crate::faults::FaultPlan;
 use crate::inliner::Inliner;
-use crate::machine::{ExecError, Machine, RunOutcome, VmConfig};
+use crate::machine::{BailoutCounters, ExecError, Machine, RunOutcome, VmConfig};
 use crate::value::Value;
 
 /// A runnable benchmark: entry point plus arguments and repetition count.
@@ -43,6 +44,44 @@ pub struct BenchResult {
     pub final_output: Vec<String>,
     /// Return value of the final repetition, printed for digests.
     pub final_value: Option<String>,
+    /// Bailout counters accumulated by the machine over the run.
+    pub bailouts: BailoutCounters,
+}
+
+/// Why a benchmark run could not produce a measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BenchError {
+    /// The spec asked for zero repetitions — there is nothing to measure.
+    ZeroIterations,
+    /// A repetition stopped abnormally (benchmarks are expected not to
+    /// trap; a trap indicates a miscompilation or a workload bug).
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::ZeroIterations => {
+                write!(f, "benchmark spec requests zero iterations")
+            }
+            BenchError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::ZeroIterations => None,
+            BenchError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for BenchError {
+    fn from(e: ExecError) -> Self {
+        BenchError::Exec(e)
+    }
 }
 
 impl BenchResult {
@@ -69,15 +108,36 @@ impl BenchResult {
 ///
 /// # Errors
 ///
-/// Propagates the first [`ExecError`] (benchmarks are expected not to
-/// trap; a trap indicates a miscompilation or a workload bug).
+/// Returns [`BenchError::ZeroIterations`] for an empty spec and
+/// [`BenchError::Exec`] when a repetition stops abnormally.
 pub fn run_benchmark(
     program: &Program,
     spec: &BenchSpec,
     inliner: Box<dyn Inliner + '_>,
     config: VmConfig,
-) -> Result<BenchResult, ExecError> {
+) -> Result<BenchResult, BenchError> {
+    run_benchmark_faulted(program, spec, inliner, config, FaultPlan::new())
+}
+
+/// Like [`run_benchmark`], but installs a deterministic [`FaultPlan`]
+/// before the first repetition — the entry point of the fault-injection
+/// harness.
+///
+/// # Errors
+///
+/// Same as [`run_benchmark`].
+pub fn run_benchmark_faulted(
+    program: &Program,
+    spec: &BenchSpec,
+    inliner: Box<dyn Inliner + '_>,
+    config: VmConfig,
+    plan: FaultPlan,
+) -> Result<BenchResult, BenchError> {
+    if spec.iterations == 0 {
+        return Err(BenchError::ZeroIterations);
+    }
     let mut vm = Machine::new(program, inliner, config);
+    vm.set_fault_plan(plan);
     let mut per_iteration = Vec::with_capacity(spec.iterations);
     let mut last: Option<RunOutcome> = None;
     for _ in 0..spec.iterations {
@@ -106,6 +166,7 @@ pub fn run_benchmark(
         compile_cycles: vm.total_compile_cycles(),
         final_output: last.output.lines().to_vec(),
         final_value: last.value.map(|v| format!("{v:?}")),
+        bailouts: vm.bailouts(),
     })
 }
 
@@ -144,13 +205,23 @@ mod tests {
     #[test]
     fn warmup_curve_descends_with_jit() {
         let (p, m) = loopy_program();
-        let spec = BenchSpec { entry: m, args: vec![Value::Int(500)], iterations: 12 };
-        let config = VmConfig { hotness_threshold: 3, ..VmConfig::default() };
+        let spec = BenchSpec {
+            entry: m,
+            args: vec![Value::Int(500)],
+            iterations: 12,
+        };
+        let config = VmConfig {
+            hotness_threshold: 3,
+            ..VmConfig::default()
+        };
         let r = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
         assert_eq!(r.per_iteration.len(), 12);
         let first = r.per_iteration[0];
         let last = *r.per_iteration.last().unwrap();
-        assert!(last < first, "warmup must speed things up: {first} → {last}");
+        assert!(
+            last < first,
+            "warmup must speed things up: {first} → {last}"
+        );
         assert_eq!(r.compilations, 1);
         assert!(r.steady_state > 0.0);
         assert!(r.std_dev >= 0.0);
@@ -175,18 +246,41 @@ mod tests {
             compile_cycles: 0,
             final_output: vec![],
             final_value: None,
+            bailouts: BailoutCounters::default(),
         };
         assert_eq!(r.warmup_iterations(), 3); // 210 ≤ 220 = 200·1.10
     }
 
     #[test]
+    fn zero_iterations_is_an_error_not_a_panic() {
+        let (p, m) = loopy_program();
+        let spec = BenchSpec {
+            entry: m,
+            args: vec![Value::Int(1)],
+            iterations: 0,
+        };
+        let err = run_benchmark(&p, &spec, Box::new(NoInline), VmConfig::default()).unwrap_err();
+        assert_eq!(err, BenchError::ZeroIterations);
+    }
+
+    #[test]
     fn deterministic_across_identical_runs() {
         let (p, m) = loopy_program();
-        let spec = BenchSpec { entry: m, args: vec![Value::Int(100)], iterations: 6 };
-        let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+        let spec = BenchSpec {
+            entry: m,
+            args: vec![Value::Int(100)],
+            iterations: 6,
+        };
+        let config = VmConfig {
+            hotness_threshold: 2,
+            ..VmConfig::default()
+        };
         let a = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
         let b = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
-        assert_eq!(a.per_iteration, b.per_iteration, "the VM must be deterministic");
+        assert_eq!(
+            a.per_iteration, b.per_iteration,
+            "the VM must be deterministic"
+        );
         assert_eq!(a.installed_bytes, b.installed_bytes);
     }
 }

@@ -125,7 +125,10 @@ impl Heap {
     /// Allocates an array of `len` zeroed elements.
     pub fn alloc_array(&mut self, elem: ElemType, len: usize) -> HeapRef {
         let r = HeapRef(self.cells.len() as u32);
-        self.cells.push(HeapCell::Array { elem, data: vec![Value::default_of_elem(elem); len] });
+        self.cells.push(HeapCell::Array {
+            elem,
+            data: vec![Value::default_of_elem(elem); len],
+        });
         r
     }
 
@@ -223,16 +226,23 @@ mod tests {
         p.add_field(b, "z", Type::Object(a));
         let mut heap = Heap::new();
         let r = heap.alloc_object(&p, b);
-        let HeapCell::Object { class, fields } = heap.cell(r) else { panic!() };
+        let HeapCell::Object { class, fields } = heap.cell(r) else {
+            panic!()
+        };
         assert_eq!(*class, b);
-        assert_eq!(fields.as_slice(), &[Value::Int(0), Value::Float(0.0), Value::Null]);
+        assert_eq!(
+            fields.as_slice(),
+            &[Value::Int(0), Value::Float(0.0), Value::Null]
+        );
     }
 
     #[test]
     fn array_alloc_and_defaults() {
         let mut heap = Heap::new();
         let r = heap.alloc_array(ElemType::Bool, 3);
-        let HeapCell::Array { data, .. } = heap.cell(r) else { panic!() };
+        let HeapCell::Array { data, .. } = heap.cell(r) else {
+            panic!()
+        };
         assert_eq!(data.as_slice(), &[Value::Bool(false); 3]);
     }
 

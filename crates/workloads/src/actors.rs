@@ -39,18 +39,39 @@ pub fn build(name: &str, suite: Suite, params: ActorParams) -> Workload {
     let mode = fb.param(1);
     let three = fb.const_int(3);
     let fast = fb.cmp(incline_ir::CmpOp::IEq, mode, three);
-    let out = crate::util::if_else(&mut fb, fast, Type::Int, |fb| {
-        let one = fb.const_int(1);
-        fb.iadd(s, one)
-    }, |fb| crate::util::pad_mix(fb, s, 60));
+    let out = crate::util::if_else(
+        &mut fb,
+        fast,
+        Type::Int,
+        |fb| {
+            let one = fb.const_int(1);
+            fb.iadd(s, one)
+        },
+        |fb| crate::util::pad_mix(fb, s, 60),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(audit, g);
 
     // process(this_msg, actor, mode) -> int
-    let pr_ping = p.declare_method(ping, "process", vec![Type::Object(actor), Type::Int], Type::Int);
-    let pr_pong = p.declare_method(pong, "process", vec![Type::Object(actor), Type::Int], Type::Int);
-    let pr_tick = p.declare_method(tick, "process", vec![Type::Object(actor), Type::Int], Type::Int);
+    let pr_ping = p.declare_method(
+        ping,
+        "process",
+        vec![Type::Object(actor), Type::Int],
+        Type::Int,
+    );
+    let pr_pong = p.declare_method(
+        pong,
+        "process",
+        vec![Type::Object(actor), Type::Int],
+        Type::Int,
+    );
+    let pr_tick = p.declare_method(
+        tick,
+        "process",
+        vec![Type::Object(actor), Type::Int],
+        Type::Int,
+    );
     let sel_process = p.selector_by_name("process", 3).unwrap();
 
     // Ping: state += payload.
@@ -174,7 +195,23 @@ mod tests {
 
     #[test]
     fn verifies() {
-        build("actors", Suite::ScalaDaCapo, ActorParams { message_kinds: 3, input: 50 }).verify_all();
-        build("tmt", Suite::ScalaDaCapo, ActorParams { message_kinds: 2, input: 50 }).verify_all();
+        build(
+            "actors",
+            Suite::ScalaDaCapo,
+            ActorParams {
+                message_kinds: 3,
+                input: 50,
+            },
+        )
+        .verify_all();
+        build(
+            "tmt",
+            Suite::ScalaDaCapo,
+            ActorParams {
+                message_kinds: 2,
+                input: 50,
+            },
+        )
+        .verify_all();
     }
 }

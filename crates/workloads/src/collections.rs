@@ -82,7 +82,11 @@ pub fn build(name: &str, suite: Suite, params: CollectionsParams) -> Workload {
     let g = fb.finish();
     p.define_method(apply_base, g);
 
-    for (m, op) in [(apply_add, BinOp::IAdd), (apply_mul, BinOp::IMul), (apply_xor, BinOp::IXor)] {
+    for (m, op) in [
+        (apply_add, BinOp::IAdd),
+        (apply_mul, BinOp::IMul),
+        (apply_xor, BinOp::IXor),
+    ] {
         let mut fb = FunctionBuilder::new(&p, m);
         let this = fb.param(0);
         let x = fb.param(1);
@@ -190,7 +194,11 @@ pub fn build(name: &str, suite: Suite, params: CollectionsParams) -> Workload {
     // Build the closures.
     let classes = [add_k, mul_k, xor_k];
     let mut fns = Vec::new();
-    for (idx, &c) in classes.iter().take(params.fn_classes.clamp(1, 3)).enumerate() {
+    for (idx, &c) in classes
+        .iter()
+        .take(params.fn_classes.clamp(1, 3))
+        .enumerate()
+    {
         let obj = fb.new_object(c);
         let k = fb.const_int(idx as i64 + 3);
         fb.set_field(k_field, obj, k);
@@ -207,13 +215,7 @@ pub fn build(name: &str, suite: Suite, params: CollectionsParams) -> Workload {
         for (k, &cand) in fns.iter().enumerate().skip(1) {
             let kk = fb.const_int(k as i64);
             let is_k = fb.cmp(CmpOp::IEq, sel, kk);
-            f = crate::util::if_else(
-                fb,
-                is_k,
-                Type::Object(fn_base),
-                |_| cand,
-                |_| f,
-            );
+            f = crate::util::if_else(fb, is_k, Type::Object(fn_base), |_| cand, |_| f);
         }
         // Alternate sequence implementations if configured.
         let seq = if params.strided_seq {
@@ -221,7 +223,13 @@ pub fn build(name: &str, suite: Suite, params: CollectionsParams) -> Workload {
             let odd = fb.binop(BinOp::IRem, i, two);
             let one = fb.const_int(1);
             let is_odd = fb.cmp(CmpOp::IEq, odd, one);
-            crate::util::if_else(fb, is_odd, Type::Object(seq_base), |_| seq2_obj, |_| seq_obj)
+            crate::util::if_else(
+                fb,
+                is_odd,
+                Type::Object(seq_base),
+                |_| seq2_obj,
+                |_| seq_obj,
+            )
         } else {
             seq_obj
         };
@@ -246,7 +254,12 @@ mod tests {
         let w = build(
             "kiama",
             Suite::ScalaDaCapo,
-            CollectionsParams { fn_classes: 3, strided_seq: false, seq_len: 32, input: 10 },
+            CollectionsParams {
+                fn_classes: 3,
+                strided_seq: false,
+                seq_len: 32,
+                input: 10,
+            },
         );
         w.verify_all();
     }
@@ -256,7 +269,12 @@ mod tests {
         let w = build(
             "scalap",
             Suite::ScalaDaCapo,
-            CollectionsParams { fn_classes: 2, strided_seq: true, seq_len: 16, input: 5 },
+            CollectionsParams {
+                fn_classes: 2,
+                strided_seq: true,
+                seq_len: 16,
+                input: 5,
+            },
         );
         w.verify_all();
     }

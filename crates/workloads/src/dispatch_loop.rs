@@ -51,7 +51,20 @@ fn declare_classes(p: &mut Program) -> Hierarchy {
     let mul = p.add_class("MulE", Some(expr));
     let neg = p.add_class("NegE", Some(expr));
     let mask = p.add_class("MaskE", Some(expr));
-    Hierarchy { expr, val_f, idx_f, left_f, right_f, inner_f, konst, var, add, mul, neg, mask }
+    Hierarchy {
+        expr,
+        val_f,
+        idx_f,
+        left_f,
+        right_f,
+        inner_f,
+        konst,
+        var,
+        add,
+        mul,
+        neg,
+        mask,
+    }
 }
 
 /// Builds the workload.
@@ -133,7 +146,13 @@ pub fn build(name: &str, suite: Suite, params: DispatchParams) -> Workload {
     let env = fb.new_array(ElemType::Int, four);
 
     let mut rng = 0x9E37_79B9u64 ^ params.node_kinds as u64;
-    let root = emit_tree(&mut fb, &h, params.depth, params.node_kinds.clamp(2, 6), &mut rng);
+    let root = emit_tree(
+        &mut fb,
+        &h,
+        params.depth,
+        params.node_kinds.clamp(2, 6),
+        &mut rng,
+    );
 
     let zero = fb.const_int(0);
     let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
@@ -172,7 +191,7 @@ fn emit_tree(
 ) -> ValueId {
     if depth == 0 {
         // Leaf: Const or Var.
-        if next(rng) % 2 == 0 {
+        if next(rng).is_multiple_of(2) {
             let obj = fb.new_object(h.konst);
             let v = fb.const_int((next(rng) % 100) as i64);
             fb.set_field(h.val_f, obj, v);
@@ -231,13 +250,29 @@ mod tests {
 
     #[test]
     fn megamorphic_variant_verifies() {
-        let w = build("jython", Suite::DaCapo, DispatchParams { node_kinds: 6, depth: 4, input: 30 });
+        let w = build(
+            "jython",
+            Suite::DaCapo,
+            DispatchParams {
+                node_kinds: 6,
+                depth: 4,
+                input: 30,
+            },
+        );
         w.verify_all();
     }
 
     #[test]
     fn trimorphic_variant_verifies() {
-        let w = build("scalac", Suite::ScalaDaCapo, DispatchParams { node_kinds: 3, depth: 5, input: 20 });
+        let w = build(
+            "scalac",
+            Suite::ScalaDaCapo,
+            DispatchParams {
+                node_kinds: 3,
+                depth: 5,
+                input: 20,
+            },
+        );
         w.verify_all();
     }
 }

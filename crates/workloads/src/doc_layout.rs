@@ -65,8 +65,11 @@ pub fn build(name: &str, suite: Suite, params: LayoutParams) -> Workload {
     p.define_method(emit_u16, g);
 
     // emit_tag(buf, pos, tag, payload) -> pos': tag byte + u16 + checksum.
-    let emit_tag =
-        p.declare_function("emit_tag", vec![iarr, Type::Int, Type::Int, Type::Int], Type::Int);
+    let emit_tag = p.declare_function(
+        "emit_tag",
+        vec![iarr, Type::Int, Type::Int, Type::Int],
+        Type::Int,
+    );
     let mut fb = FunctionBuilder::new(&p, emit_tag);
     let buf = fb.param(0);
     let pos = fb.param(1);
@@ -94,7 +97,9 @@ pub fn build(name: &str, suite: Suite, params: LayoutParams) -> Workload {
         let pay = fb.imul(e, salt);
         let m16 = fb.const_int(0xFFFF);
         let pay = fb.binop(BinOp::IAnd, pay, m16);
-        let np = fb.call_static(emit_tag, vec![buf, state[0], tag, pay]).unwrap();
+        let np = fb
+            .call_static(emit_tag, vec![buf, state[0], tag, pay])
+            .unwrap();
         vec![np]
     });
     // Checksum a slice of the buffer.
@@ -137,6 +142,14 @@ mod tests {
 
     #[test]
     fn verifies() {
-        build("apparat", Suite::ScalaDaCapo, LayoutParams { elements: 16, input: 10 }).verify_all();
+        build(
+            "apparat",
+            Suite::ScalaDaCapo,
+            LayoutParams {
+                elements: 16,
+                input: 10,
+            },
+        )
+        .verify_all();
     }
 }

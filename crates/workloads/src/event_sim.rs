@@ -31,13 +31,19 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let m = fb.binop(BinOp::IRem, tick, period); // period ≥ 1 by construction
     let zero = fb.const_int(0);
     let fires = fb.cmp(CmpOp::IEq, m, zero);
-    let out = if_else(&mut fb, fires, Type::Int, |fb| {
-        let st = fb.get_field(state_f, this);
-        let one = fb.const_int(1);
-        let ns = fb.iadd(st, one);
-        fb.set_field(state_f, this, ns);
-        one
-    }, |fb| fb.const_int(0));
+    let out = if_else(
+        &mut fb,
+        fires,
+        Type::Int,
+        |fb| {
+            let st = fb.get_field(state_f, this);
+            let one = fb.const_int(1);
+            let ns = fb.iadd(st, one);
+            fb.set_field(state_f, this, ns);
+            one
+        },
+        |fb| fb.const_int(0),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(s_timer, g);
@@ -54,7 +60,13 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let busy = fb.binop(BinOp::IAnd, tick, three);
     let zero = fb.const_int(0);
     let edge = fb.cmp(CmpOp::IEq, busy, zero);
-    let out = if_else(&mut fb, edge, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    let out = if_else(
+        &mut fb,
+        edge,
+        Type::Int,
+        |fb| fb.const_int(1),
+        |fb| fb.const_int(0),
+    );
     let out = fb.imul(out, ns);
     fb.ret(Some(out));
     let g = fb.finish();

@@ -36,7 +36,13 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let key = fb.iadd(key, b);
     let w = fb.call_static(weight_at, vec![ws, key]).unwrap();
     let agree = fb.cmp(CmpOp::IEq, a, b);
-    let bonus = if_else(&mut fb, agree, Type::Int, |fb| fb.const_int(2), |fb| fb.const_int(0));
+    let bonus = if_else(
+        &mut fb,
+        agree,
+        Type::Int,
+        |fb| fb.const_int(2),
+        |fb| fb.const_int(0),
+    );
     let r = fb.iadd(w, bonus);
     fb.ret(Some(r));
     let g = fb.finish();
@@ -53,18 +59,27 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let mode = fb.param(1);
     let two = fb.const_int(2);
     let fast = fb.cmp(CmpOp::IEq, mode, two);
-    let out = if_else(&mut fb, fast, Type::Int, |fb| {
-        let one = fb.const_int(1);
-        fb.binop(BinOp::IShl, s, one)
-    }, |fb| crate::util::pad_mix(fb, s, 130));
+    let out = if_else(
+        &mut fb,
+        fast,
+        Type::Int,
+        |fb| {
+            let one = fb.const_int(1);
+            fb.binop(BinOp::IShl, s, one)
+        },
+        |fb| crate::util::pad_mix(fb, s, 130),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(adjust, g);
 
     // local_score(vars, ws, i, candidate, mode): score of assigning
     // `candidate` to variable i given its two ring neighbours.
-    let local_score =
-        p.declare_function("local_score", vec![iarr, iarr, Type::Int, Type::Int, Type::Int], Type::Int);
+    let local_score = p.declare_function(
+        "local_score",
+        vec![iarr, iarr, Type::Int, Type::Int, Type::Int],
+        Type::Int,
+    );
     let mut fb = FunctionBuilder::new(&p, local_score);
     let vars = fb.param(0);
     let ws = fb.param(1);
@@ -89,8 +104,11 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     p.define_method(local_score, g);
 
     // sample_step(vars, ws, i): pick the argmax of {0,1,2} for var i.
-    let sample_step =
-        p.declare_function("sample_step", vec![iarr, iarr, Type::Int, Type::Int], Type::Int);
+    let sample_step = p.declare_function(
+        "sample_step",
+        vec![iarr, iarr, Type::Int, Type::Int],
+        Type::Int,
+    );
     let mut fb = FunctionBuilder::new(&p, sample_step);
     let vars = fb.param(0);
     let ws = fb.param(1);
@@ -98,13 +116,14 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let smode = fb.param(3);
     let zero = fb.const_int(0);
     let mut best_val = zero;
-    let mut best_score = {
-        let s = fb.call_static(local_score, vec![vars, ws, i, zero, smode]).unwrap();
-        s
-    };
+    let mut best_score = fb
+        .call_static(local_score, vec![vars, ws, i, zero, smode])
+        .unwrap();
     for c in 1..3i64 {
         let cc = fb.const_int(c);
-        let s = fb.call_static(local_score, vec![vars, ws, i, cc, smode]).unwrap();
+        let s = fb
+            .call_static(local_score, vec![vars, ws, i, cc, smode])
+            .unwrap();
         let better = fb.cmp(CmpOp::ILt, best_score, s);
         let pv = best_val;
         let ps = best_score;
@@ -146,7 +165,9 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let out = counted_loop(&mut fb, n, &[zero], |fb, sweep, state| {
         let inner = counted_loop(fb, count, &[state[0]], |fb, i, s| {
             let shifted = fb.iadd(i, sweep);
-            let sc = fb.call_static(sample_step, vec![vars, ws, shifted, mode]).unwrap();
+            let sc = fb
+                .call_static(sample_step, vec![vars, ws, shifted, mode])
+                .unwrap();
             let acc = fb.iadd(s[0], sc);
             vec![acc]
         });

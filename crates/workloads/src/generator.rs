@@ -7,11 +7,8 @@
 //! tests run each program interpreted and compiled under every inliner
 //! and require identical outputs.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use incline_ir::builder::FunctionBuilder;
-use incline_ir::{BinOp, CmpOp, MethodId, Program, Type, ValueId};
+use incline_ir::{BinOp, CmpOp, MethodId, Program, Rng64, Type, ValueId};
 
 use crate::util::{counted_loop, if_else};
 use crate::workload::{Suite, Workload};
@@ -31,13 +28,18 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { functions: 6, ops_per_function: 14, loop_prob: 0.5, branch_prob: 0.6 }
+        GenConfig {
+            functions: 6,
+            ops_per_function: 14,
+            loop_prob: 0.5,
+            branch_prob: 0.6,
+        }
     }
 }
 
 /// Generates a random workload from a seed.
 pub fn generate(seed: u64, config: GenConfig) -> Workload {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut p = Program::new();
 
     // A small class pair with a virtual `mix`.
@@ -84,7 +86,7 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
             let obj = if rng.gen_bool(0.5) {
                 let cls = if rng.gen_bool(0.5) { sub_a } else { sub_b };
                 let o = fb.new_object(cls);
-                let kv = fb.const_int(rng.gen_range(1..50));
+                let kv = fb.const_int(rng.gen_range(1, 50));
                 fb.set_field(k_f, o, kv);
                 Some(fb.cast(base, o))
             } else {
@@ -98,9 +100,9 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
 
             // Optionally a bounded loop accumulating over the pool.
             if rng.gen_bool(config.loop_prob) {
-                let trips = fb.const_int(rng.gen_range(2..7));
+                let trips = fb.const_int(rng.gen_range(2, 7));
                 let seed_v = *last(&pool);
-                let picked = pool[rng.gen_range(0..pool.len())];
+                let picked = pool[rng.gen_index(pool.len())];
                 let out = counted_loop(&mut fb, trips, &[seed_v], |fb, iv, s| {
                     let t = fb.iadd(s[0], picked);
                     let t = fb.binop(BinOp::IXor, t, iv);
@@ -113,24 +115,30 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
 
             // Optionally a conditional.
             if rng.gen_bool(config.branch_prob) {
-                let l = pool[rng.gen_range(0..pool.len())];
-                let r = pool[rng.gen_range(0..pool.len())];
+                let l = pool[rng.gen_index(pool.len())];
+                let r = pool[rng.gen_index(pool.len())];
                 let c = fb.cmp(CmpOp::ILt, l, r);
-                let x1 = pool[rng.gen_range(0..pool.len())];
-                let x2 = pool[rng.gen_range(0..pool.len())];
-                let v = if_else(&mut fb, c, Type::Int, |fb| fb.iadd(x1, x1), |fb| {
-                    let one = fb.const_int(1);
-                    fb.iadd(x2, one)
-                });
+                let x1 = pool[rng.gen_index(pool.len())];
+                let x2 = pool[rng.gen_index(pool.len())];
+                let v = if_else(
+                    &mut fb,
+                    c,
+                    Type::Int,
+                    |fb| fb.iadd(x1, x1),
+                    |fb| {
+                        let one = fb.const_int(1);
+                        fb.iadd(x2, one)
+                    },
+                );
                 pool.push(v);
             }
 
             // Call an earlier function (acyclic) once or twice.
             if i > 0 {
-                for _ in 0..rng.gen_range(1..3usize) {
-                    let callee = funcs[rng.gen_range(0..i)];
-                    let x = pool[rng.gen_range(0..pool.len())];
-                    let y = pool[rng.gen_range(0..pool.len())];
+                for _ in 0..rng.gen_range(1, 3) {
+                    let callee = funcs[rng.gen_index(i)];
+                    let x = pool[rng.gen_index(pool.len())];
+                    let y = pool[rng.gen_index(pool.len())];
                     let r = fb.call_static(callee, vec![x, y]).unwrap();
                     pool.push(r);
                 }
@@ -186,16 +194,16 @@ fn last(pool: &[ValueId]) -> &ValueId {
 /// Emits one random integer operation over the pool.
 fn emit_op(
     fb: &mut FunctionBuilder<'_>,
-    rng: &mut SmallRng,
+    rng: &mut Rng64,
     pool: &[ValueId],
     obj: Option<ValueId>,
     sel_mix: incline_ir::SelectorId,
     k_f: incline_ir::FieldId,
 ) -> ValueId {
-    let pick = |rng: &mut SmallRng| pool[rng.gen_range(0..pool.len())];
-    match rng.gen_range(0..10) {
+    let pick = |rng: &mut Rng64| pool[rng.gen_index(pool.len())];
+    match rng.gen_index(10) {
         0 => {
-            let k = fb.const_int(rng.gen_range(-100..100));
+            let k = fb.const_int(rng.gen_range(-100, 100));
             let x = pick(rng);
             fb.iadd(x, k)
         }
@@ -228,7 +236,7 @@ fn emit_op(
         }
         5 => {
             let x = pick(rng);
-            let k = fb.const_int(rng.gen_range(0..5));
+            let k = fb.const_int(rng.gen_range(0, 5));
             fb.binop(BinOp::IShl, x, k)
         }
         6 => {

@@ -80,8 +80,16 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
         let inner = counted_loop(fb, fw, &[state[0]], |fb, j, s| {
             let eij = fb.iadd(flo, j);
             let fof_node = fb.array_get(edges, eij);
-            let ok = fb.call_virtual(sel_accept, vec![f, fof_node, labels, offsets]).unwrap();
-            let add = if_else(fb, ok, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+            let ok = fb
+                .call_virtual(sel_accept, vec![f, fof_node, labels, offsets])
+                .unwrap();
+            let add = if_else(
+                fb,
+                ok,
+                Type::Int,
+                |fb| fb.const_int(1),
+                |fb| fb.const_int(0),
+            );
             let acc = fb.iadd(s[0], add);
             vec![acc]
         });
@@ -140,10 +148,16 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
         let start = fb.binop(BinOp::IRem, i, nodes);
         let odd = fb.binop(BinOp::IAnd, i, one);
         let is_odd = fb.cmp(CmpOp::IEq, odd, one);
-        let f = if_else(fb, is_odd, Type::Object(filter), |fb| fb.cast(filter, df), |fb| {
-            fb.cast(filter, lf)
-        });
-        let c = fb.call_static(fof, vec![start, offsets, edges, labels, f]).unwrap();
+        let f = if_else(
+            fb,
+            is_odd,
+            Type::Object(filter),
+            |fb| fb.cast(filter, df),
+            |fb| fb.cast(filter, lf),
+        );
+        let c = fb
+            .call_static(fof, vec![start, offsets, edges, labels, f])
+            .unwrap();
         let acc = fb.iadd(state[0], c);
         vec![acc]
     });

@@ -51,28 +51,148 @@ pub fn all_benchmarks() -> Vec<Workload> {
     vec![
         // ---- Java DaCapo (10) ------------------------------------------------
         event_sim::build("avrora", DaCapo, 40),
-        tree_transform::build("batik", DaCapo, TreeParams { variant: TreeVariant::Render, depth: 4, input: 30 }),
-        tree_transform::build("fop", DaCapo, TreeParams { variant: TreeVariant::Layout, depth: 4, input: 30 }),
+        tree_transform::build(
+            "batik",
+            DaCapo,
+            TreeParams {
+                variant: TreeVariant::Render,
+                depth: 4,
+                input: 30,
+            },
+        ),
+        tree_transform::build(
+            "fop",
+            DaCapo,
+            TreeParams {
+                variant: TreeVariant::Layout,
+                depth: 4,
+                input: 30,
+            },
+        ),
         sql_engine::build("h2", DaCapo, 15),
-        dispatch_loop::build("jython", DaCapo, DispatchParams { node_kinds: 6, depth: 4, input: 60 }),
+        dispatch_loop::build(
+            "jython",
+            DaCapo,
+            DispatchParams {
+                node_kinds: 6,
+                depth: 4,
+                input: 60,
+            },
+        ),
         search_index::build("luindex", DaCapo, IndexMode::Index, 25),
         search_index::build("lusearch", DaCapo, IndexMode::Search, 20),
-        tree_transform::build("pmd", DaCapo, TreeParams { variant: TreeVariant::RuleMatch, depth: 4, input: 30 }),
+        tree_transform::build(
+            "pmd",
+            DaCapo,
+            TreeParams {
+                variant: TreeVariant::RuleMatch,
+                depth: 4,
+                input: 30,
+            },
+        ),
         rendering::build("sunflow", DaCapo, 120),
-        tree_transform::build("xalan", DaCapo, TreeParams { variant: TreeVariant::Transform, depth: 4, input: 30 }),
+        tree_transform::build(
+            "xalan",
+            DaCapo,
+            TreeParams {
+                variant: TreeVariant::Transform,
+                depth: 4,
+                input: 30,
+            },
+        ),
         // ---- Scala DaCapo (12) ------------------------------------------------
-        actors::build("actors", ScalaDaCapo, ActorParams { message_kinds: 3, input: 150 }),
-        doc_layout::build("apparat", ScalaDaCapo, LayoutParams { elements: 24, input: 25 }),
+        actors::build(
+            "actors",
+            ScalaDaCapo,
+            ActorParams {
+                message_kinds: 3,
+                input: 150,
+            },
+        ),
+        doc_layout::build(
+            "apparat",
+            ScalaDaCapo,
+            LayoutParams {
+                elements: 24,
+                input: 25,
+            },
+        ),
         factor_graph::build("factorie", ScalaDaCapo, 20),
-        collections::build("kiama", ScalaDaCapo, CollectionsParams { fn_classes: 3, strided_seq: false, seq_len: 40, input: 25 }),
-        dispatch_loop::build("scalac", ScalaDaCapo, DispatchParams { node_kinds: 3, depth: 5, input: 40 }),
-        dispatch_loop::build("scaladoc", ScalaDaCapo, DispatchParams { node_kinds: 4, depth: 4, input: 40 }),
-        collections::build("scalap", ScalaDaCapo, CollectionsParams { fn_classes: 2, strided_seq: true, seq_len: 32, input: 25 }),
-        collections::build("scalariform", ScalaDaCapo, CollectionsParams { fn_classes: 2, strided_seq: false, seq_len: 48, input: 25 }),
-        collections::build("scalatest", ScalaDaCapo, CollectionsParams { fn_classes: 1, strided_seq: false, seq_len: 24, input: 40 }),
-        doc_layout::build("scalaxb", ScalaDaCapo, LayoutParams { elements: 16, input: 30 }),
+        collections::build(
+            "kiama",
+            ScalaDaCapo,
+            CollectionsParams {
+                fn_classes: 3,
+                strided_seq: false,
+                seq_len: 40,
+                input: 25,
+            },
+        ),
+        dispatch_loop::build(
+            "scalac",
+            ScalaDaCapo,
+            DispatchParams {
+                node_kinds: 3,
+                depth: 5,
+                input: 40,
+            },
+        ),
+        dispatch_loop::build(
+            "scaladoc",
+            ScalaDaCapo,
+            DispatchParams {
+                node_kinds: 4,
+                depth: 4,
+                input: 40,
+            },
+        ),
+        collections::build(
+            "scalap",
+            ScalaDaCapo,
+            CollectionsParams {
+                fn_classes: 2,
+                strided_seq: true,
+                seq_len: 32,
+                input: 25,
+            },
+        ),
+        collections::build(
+            "scalariform",
+            ScalaDaCapo,
+            CollectionsParams {
+                fn_classes: 2,
+                strided_seq: false,
+                seq_len: 48,
+                input: 25,
+            },
+        ),
+        collections::build(
+            "scalatest",
+            ScalaDaCapo,
+            CollectionsParams {
+                fn_classes: 1,
+                strided_seq: false,
+                seq_len: 24,
+                input: 40,
+            },
+        ),
+        doc_layout::build(
+            "scalaxb",
+            ScalaDaCapo,
+            LayoutParams {
+                elements: 16,
+                input: 30,
+            },
+        ),
         spec_suite::build("specs", ScalaDaCapo, SpecVariant::Matchers, 120),
-        actors::build("tmt", ScalaDaCapo, ActorParams { message_kinds: 2, input: 150 }),
+        actors::build(
+            "tmt",
+            ScalaDaCapo,
+            ActorParams {
+                message_kinds: 2,
+                input: 150,
+            },
+        ),
         // ---- Spark-Perf (3) ----------------------------------------------------
         numeric::build("gauss-mix", SparkPerf, SparkKernel::GaussMix, 120),
         numeric::build("dec-tree", SparkPerf, SparkKernel::DecTree, 120),
@@ -91,7 +211,10 @@ pub fn by_name(name: &str) -> Option<Workload> {
 
 /// The benchmarks of one suite, in figure order.
 pub fn suite(s: Suite) -> Vec<Workload> {
-    all_benchmarks().into_iter().filter(|w| w.suite == s).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|w| w.suite == s)
+        .collect()
 }
 
 #[cfg(test)]

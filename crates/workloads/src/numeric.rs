@@ -125,7 +125,11 @@ fn gauss_mix(name: &str, suite: Suite, input: i64) -> Workload {
 
     // score(components, x, mode) = finish(Σ density(prep(x)))
     let comp_arr_ty = Type::Array(ElemType::Object(comp));
-    let score = p.declare_function("score", vec![comp_arr_ty, Type::Float, Type::Int], Type::Float);
+    let score = p.declare_function(
+        "score",
+        vec![comp_arr_ty, Type::Float, Type::Int],
+        Type::Float,
+    );
     let mut fb = FunctionBuilder::new(&p, score);
     let comps = fb.param(0);
     let x = fb.param(1);
@@ -228,7 +232,9 @@ fn dec_tree(name: &str, suite: Suite, input: i64) -> Workload {
     let main = p.declare_function("main", vec![Type::Int], Type::Int);
     let mut fb = FunctionBuilder::new(&p, main);
     let n = fb.param(0);
-    let root = emit_split_tree(&mut fb, node, split, leaf, feat_f, thr_f, cls_f, left_f, right_f, 4, &mut 7u64);
+    let root = emit_split_tree(
+        &mut fb, node, split, leaf, feat_f, thr_f, cls_f, left_f, right_f, 4, &mut 7u64,
+    );
     let four = fb.const_int(4);
     let x = fb.new_array(ElemType::Float, four);
     let zero = fb.const_int(0);
@@ -274,7 +280,9 @@ fn emit_split_tree(
     rng: &mut u64,
 ) -> ValueId {
     let bump = |r: &mut u64| {
-        *r = r.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *r = r
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *r >> 33
     };
     if depth == 0 {
@@ -283,8 +291,32 @@ fn emit_split_tree(
         fb.set_field(cls_f, obj, c);
         fb.cast(node, obj)
     } else {
-        let l = emit_split_tree(fb, node, split, leaf, feat_f, thr_f, cls_f, left_f, right_f, depth - 1, rng);
-        let r = emit_split_tree(fb, node, split, leaf, feat_f, thr_f, cls_f, left_f, right_f, depth - 1, rng);
+        let l = emit_split_tree(
+            fb,
+            node,
+            split,
+            leaf,
+            feat_f,
+            thr_f,
+            cls_f,
+            left_f,
+            right_f,
+            depth - 1,
+            rng,
+        );
+        let r = emit_split_tree(
+            fb,
+            node,
+            split,
+            leaf,
+            feat_f,
+            thr_f,
+            cls_f,
+            left_f,
+            right_f,
+            depth - 1,
+            rng,
+        );
         let obj = fb.new_object(split);
         let feat = fb.const_int((bump(rng) % 4) as i64);
         let thr = fb.const_float((bump(rng) % 8) as f64);

@@ -67,18 +67,28 @@ pub fn build(name: &str, suite: Suite, mode: IndexMode, input: i64) -> Workload 
         let tlen = fb.array_len(table);
         let hash0 = state[0];
         let count0 = state[1];
-        let new_hash = if_else(fb, sep, Type::Int, |fb| fb.const_int(0), |fb| {
-            fb.call_static(token_hash, vec![hash0, t]).unwrap()
-        });
-        let bumped = if_else(fb, sep, Type::Int, |fb| {
-            // Flush the finished token into its bucket.
-            let slot = fb.binop(BinOp::IRem, hash0, tlen);
-            let old = fb.array_get(table, slot);
-            let one = fb.const_int(1);
-            let inc = fb.iadd(old, one);
-            fb.array_set(table, slot, inc);
-            fb.iadd(count0, one)
-        }, |_| count0);
+        let new_hash = if_else(
+            fb,
+            sep,
+            Type::Int,
+            |fb| fb.const_int(0),
+            |fb| fb.call_static(token_hash, vec![hash0, t]).unwrap(),
+        );
+        let bumped = if_else(
+            fb,
+            sep,
+            Type::Int,
+            |fb| {
+                // Flush the finished token into its bucket.
+                let slot = fb.binop(BinOp::IRem, hash0, tlen);
+                let old = fb.array_get(table, slot);
+                let one = fb.const_int(1);
+                let inc = fb.iadd(old, one);
+                fb.array_set(table, slot, inc);
+                fb.iadd(count0, one)
+            },
+            |_| count0,
+        );
         vec![new_hash, bumped]
     });
     fb.ret(Some(out[1]));

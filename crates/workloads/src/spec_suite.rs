@@ -62,19 +62,34 @@ fn matchers(name: &str, suite: Suite, input: i64) -> Workload {
     let a = fb.get_field(a_f, this);
     let b = fb.get_field(b_f, this);
     let ge = fb.cmp(CmpOp::IGe, v, a);
-    let out = if_else(&mut fb, ge, Type::Bool, |fb| fb.cmp(CmpOp::ILe, v, b), |fb| fb.const_bool(false));
+    let out = if_else(
+        &mut fb,
+        ge,
+        Type::Bool,
+        |fb| fb.cmp(CmpOp::ILe, v, b),
+        |fb| fb.const_bool(false),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(m_range, g);
 
     // assert_that(v, m) -> 1 if matched else 0 (failure counter).
-    let assert_that =
-        p.declare_function("assert_that", vec![Type::Int, Type::Object(matcher)], Type::Int);
+    let assert_that = p.declare_function(
+        "assert_that",
+        vec![Type::Int, Type::Object(matcher)],
+        Type::Int,
+    );
     let mut fb = FunctionBuilder::new(&p, assert_that);
     let v = fb.param(0);
     let m = fb.param(1);
     let ok = fb.call_virtual(sel_matches, vec![m, v]).unwrap();
-    let out = if_else(&mut fb, ok, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    let out = if_else(
+        &mut fb,
+        ok,
+        Type::Int,
+        |fb| fb.const_int(1),
+        |fb| fb.const_int(0),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(assert_that, g);
@@ -140,20 +155,26 @@ fn typer(name: &str, suite: Suite, input: i64) -> Workload {
     let this = fb.param(0);
     let other = fb.param(1);
     let is_named = fb.instance_of(named, other);
-    let out = if_else(&mut fb, is_named, Type::Bool, |fb| {
-        let o = fb.cast(named, other);
-        let a = fb.get_field(id_f, this);
-        let b = fb.get_field(id_f, o);
-        let one = fb.const_int(1);
-        let b1 = {
+    let out = if_else(
+        &mut fb,
+        is_named,
+        Type::Bool,
+        |fb| {
+            let o = fb.cast(named, other);
+            let a = fb.get_field(id_f, this);
+            let b = fb.get_field(id_f, o);
+            let one = fb.const_int(1);
+            let b1 = {
+                let zero = fb.const_int(0);
+                let eq = fb.cmp(CmpOp::IEq, b, zero);
+                if_else(fb, eq, Type::Int, |_| one, |_| b)
+            };
+            let m = fb.binop(BinOp::IRem, a, b1);
             let zero = fb.const_int(0);
-            let eq = fb.cmp(CmpOp::IEq, b, zero);
-            if_else(fb, eq, Type::Int, |_| one, |_| b)
-        };
-        let m = fb.binop(BinOp::IRem, a, b1);
-        let zero = fb.const_int(0);
-        fb.cmp(CmpOp::IEq, m, zero)
-    }, |fb| fb.const_bool(false));
+            fb.cmp(CmpOp::IEq, m, zero)
+        },
+        |fb| fb.const_bool(false),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(s_named, g);
@@ -163,17 +184,27 @@ fn typer(name: &str, suite: Suite, input: i64) -> Workload {
     let this = fb.param(0);
     let other = fb.param(1);
     let is_arrow = fb.instance_of(arrow, other);
-    let out = if_else(&mut fb, is_arrow, Type::Bool, |fb| {
-        let o = fb.cast(arrow, other);
-        let d1 = fb.get_field(dom_f, this);
-        let d2 = fb.get_field(dom_f, o);
-        let c1 = fb.get_field(cod_f, this);
-        let c2 = fb.get_field(cod_f, o);
-        let dom_ok = fb.call_virtual(sel_sub, vec![d2, d1]).unwrap();
-        if_else(fb, dom_ok, Type::Bool, |fb| fb.call_virtual(sel_sub, vec![c1, c2]).unwrap(), |fb| {
-            fb.const_bool(false)
-        })
-    }, |fb| fb.const_bool(false));
+    let out = if_else(
+        &mut fb,
+        is_arrow,
+        Type::Bool,
+        |fb| {
+            let o = fb.cast(arrow, other);
+            let d1 = fb.get_field(dom_f, this);
+            let d2 = fb.get_field(dom_f, o);
+            let c1 = fb.get_field(cod_f, this);
+            let c2 = fb.get_field(cod_f, o);
+            let dom_ok = fb.call_virtual(sel_sub, vec![d2, d1]).unwrap();
+            if_else(
+                fb,
+                dom_ok,
+                Type::Bool,
+                |fb| fb.call_virtual(sel_sub, vec![c1, c2]).unwrap(),
+                |fb| fb.const_bool(false),
+            )
+        },
+        |fb| fb.const_bool(false),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(s_arrow, g);
@@ -220,7 +251,13 @@ fn typer(name: &str, suite: Suite, input: i64) -> Workload {
         let a = fb.array_get(pool, ai);
         let b = fb.array_get(pool, bi);
         let rel = fb.call_virtual(sel_sub, vec![a, b]).unwrap();
-        let add = if_else(fb, rel, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+        let add = if_else(
+            fb,
+            rel,
+            Type::Int,
+            |fb| fb.const_int(1),
+            |fb| fb.const_int(0),
+        );
         let acc = fb.iadd(state[0], add);
         vec![acc]
     });

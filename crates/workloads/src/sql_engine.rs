@@ -43,7 +43,13 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let lv = fb.call_virtual(sel_eval, vec![l, row]).unwrap();
     let k = fb.get_field(k_f, this);
     let below = fb.cmp(CmpOp::ILt, lv, k);
-    let out = if_else(&mut fb, below, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(0));
+    let out = if_else(
+        &mut fb,
+        below,
+        Type::Int,
+        |fb| fb.const_int(1),
+        |fb| fb.const_int(0),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(e_lt, g);
@@ -56,10 +62,16 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let zero = fb.const_int(0);
     let l_true = fb.cmp(CmpOp::INe, lv, zero);
     // Short-circuit: the right side only evaluates when the left is true.
-    let out = if_else(&mut fb, l_true, Type::Int, |fb| {
-        let r = fb.get_field(r_f, this);
-        fb.call_virtual(sel_eval, vec![r, row]).unwrap()
-    }, |fb| fb.const_int(0));
+    let out = if_else(
+        &mut fb,
+        l_true,
+        Type::Int,
+        |fb| {
+            let r = fb.get_field(r_f, this);
+            fb.call_virtual(sel_eval, vec![r, row]).unwrap()
+        },
+        |fb| fb.const_int(0),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(e_and, g);
@@ -91,7 +103,13 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
         let m = fb.call_virtual(sel_eval, vec![pred, row_buf]).unwrap();
         let zero2 = fb.const_int(0);
         let hit = fb.cmp(CmpOp::INe, m, zero2);
-        let add = if_else(fb, hit, Type::Int, |fb| fb.array_get(row_buf, agg_col), |fb| fb.const_int(0));
+        let add = if_else(
+            fb,
+            hit,
+            Type::Int,
+            |fb| fb.array_get(row_buf, agg_col),
+            |fb| fb.const_int(0),
+        );
         let acc = fb.iadd(state[0], add);
         vec![acc]
     });

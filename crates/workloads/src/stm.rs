@@ -24,14 +24,23 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     let ver = fb.param(1);
     let rv = fb.get_field(ver_f, r);
     let ok = fb.cmp(CmpOp::ILe, rv, ver);
-    let out = if_else(&mut fb, ok, Type::Int, |fb| fb.get_field(val_f, r), |fb| fb.const_int(-1));
+    let out = if_else(
+        &mut fb,
+        ok,
+        Type::Int,
+        |fb| fb.get_field(val_f, r),
+        |fb| fb.const_int(-1),
+    );
     fb.ret(Some(out));
     let g = fb.finish();
     p.define_method(tx_read, g);
 
     // tx_write(ref, v, ver): store + stamp.
-    let tx_write =
-        p.declare_function("tx_write", vec![Type::Object(tref), Type::Int, Type::Int], Type::Int);
+    let tx_write = p.declare_function(
+        "tx_write",
+        vec![Type::Object(tref), Type::Int, Type::Int],
+        Type::Int,
+    );
     let mut fb = FunctionBuilder::new(&p, tx_write);
     let r = fb.param(0);
     let v = fb.param(1);
@@ -54,7 +63,8 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     p.define_method(validate, g);
 
     // transaction(refs, ver, salt) -> committed value
-    let transaction = p.declare_function("transaction", vec![refarr, Type::Int, Type::Int], Type::Int);
+    let transaction =
+        p.declare_function("transaction", vec![refarr, Type::Int, Type::Int], Type::Int);
     let mut fb = FunctionBuilder::new(&p, transaction);
     let refs = fb.param(0);
     let ver = fb.param(1);
@@ -70,19 +80,25 @@ pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
     });
     // Validate, then write phase.
     let ok = fb.call_static(validate, vec![read[0]]).unwrap();
-    let committed = if_else(&mut fb, ok, Type::Int, |fb| {
-        let wsum = counted_loop(fb, len, &[zero], |fb, i, state| {
-            let r = fb.array_get(refs, i);
-            let old = fb.get_field(val_f, r);
-            let nv = fb.iadd(old, salt);
-            let mask = fb.const_int(0xFFFF);
-            let nv = fb.binop(BinOp::IAnd, nv, mask);
-            let w = fb.call_static(tx_write, vec![r, nv, ver]).unwrap();
-            let acc = fb.iadd(state[0], w);
-            vec![acc]
-        });
-        wsum[0]
-    }, |fb| fb.const_int(0));
+    let committed = if_else(
+        &mut fb,
+        ok,
+        Type::Int,
+        |fb| {
+            let wsum = counted_loop(fb, len, &[zero], |fb, i, state| {
+                let r = fb.array_get(refs, i);
+                let old = fb.get_field(val_f, r);
+                let nv = fb.iadd(old, salt);
+                let mask = fb.const_int(0xFFFF);
+                let nv = fb.binop(BinOp::IAnd, nv, mask);
+                let w = fb.call_static(tx_write, vec![r, nv, ver]).unwrap();
+                let acc = fb.iadd(state[0], w);
+                vec![acc]
+            });
+            wsum[0]
+        },
+        |fb| fb.const_int(0),
+    );
     let total = fb.iadd(read[0], committed);
     fb.ret(Some(total));
     let g = fb.finish();

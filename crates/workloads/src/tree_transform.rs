@@ -73,7 +73,13 @@ pub fn build(name: &str, suite: Suite, params: TreeParams) -> Workload {
         // before recursing (pmd-style), folded by trials when the receiver
         // type is precise.
         let is_text = fb.instance_of(text, kid);
-        let bonus = if_else(fb, is_text, Type::Int, |fb| fb.const_int(2), |fb| fb.const_int(5));
+        let bonus = if_else(
+            fb,
+            is_text,
+            Type::Int,
+            |fb| fb.const_int(2),
+            |fb| fb.const_int(5),
+        );
         let sub = fb.call_virtual(sel_visit, vec![kid, mode]).unwrap();
         let acc = fb.iadd(state[0], sub);
         let acc = fb.iadd(acc, bonus);
@@ -120,7 +126,18 @@ pub fn build(name: &str, suite: Suite, params: TreeParams) -> Workload {
     let mut fb = FunctionBuilder::new(&p, main);
     let n = fb.param(0);
     let mut rng = 0xA5A5_1234u64;
-    let root = emit_dom(&mut fb, node, elem, text, tag_f, weight_f, kids_f, len_f, params.depth, &mut rng);
+    let root = emit_dom(
+        &mut fb,
+        node,
+        elem,
+        text,
+        tag_f,
+        weight_f,
+        kids_f,
+        len_f,
+        params.depth,
+        &mut rng,
+    );
 
     let zero = fb.const_int(0);
     let variant = params.variant;
@@ -187,8 +204,30 @@ fn emit_dom(
         fb.set_field(kids_f, obj, kids);
         fb.cast(node, obj)
     } else {
-        let l = emit_dom(fb, node, elem, text, tag_f, weight_f, kids_f, len_f, depth - 1, rng);
-        let r = emit_dom(fb, node, elem, text, tag_f, weight_f, kids_f, len_f, depth - 1, rng);
+        let l = emit_dom(
+            fb,
+            node,
+            elem,
+            text,
+            tag_f,
+            weight_f,
+            kids_f,
+            len_f,
+            depth - 1,
+            rng,
+        );
+        let r = emit_dom(
+            fb,
+            node,
+            elem,
+            text,
+            tag_f,
+            weight_f,
+            kids_f,
+            len_f,
+            depth - 1,
+            rng,
+        );
         let obj = fb.new_object(elem);
         let tag = fb.const_int((bump(rng) % 16) as i64);
         let w = fb.const_float(1.0 + (bump(rng) % 4) as f64);
@@ -217,7 +256,15 @@ mod tests {
             ("pmd", TreeVariant::RuleMatch),
             ("batik", TreeVariant::Render),
         ] {
-            let w = build(name, Suite::DaCapo, TreeParams { variant: v, depth: 3, input: 10 });
+            let w = build(
+                name,
+                Suite::DaCapo,
+                TreeParams {
+                    variant: v,
+                    depth: 3,
+                    input: 10,
+                },
+            );
             w.verify_all();
         }
     }

@@ -37,7 +37,11 @@ where
 
     fb.switch_to(body_block);
     let next_state = body(fb, hp[0], &hp[1..]);
-    assert_eq!(next_state.len(), init.len(), "loop body must return the full state");
+    assert_eq!(
+        next_state.len(),
+        init.len(),
+        "loop body must return the full state"
+    );
     let one = fb.const_int(1);
     let i_next = fb.iadd(hp[0], one);
     let mut back_args = vec![i_next];
@@ -136,7 +140,13 @@ mod tests {
         let m = p.declare_function("pick", vec![Type::Bool], Type::Int);
         let mut fb = FunctionBuilder::new(&p, m);
         let c = fb.param(0);
-        let v = if_else(&mut fb, c, Type::Int, |fb| fb.const_int(1), |fb| fb.const_int(2));
+        let v = if_else(
+            &mut fb,
+            c,
+            Type::Int,
+            |fb| fb.const_int(1),
+            |fb| fb.const_int(2),
+        );
         fb.ret(Some(v));
         let g = fb.finish();
         p.define_method(m, g);
@@ -161,7 +171,12 @@ mod tests {
         let g = fb.finish();
         p.define_method(m, g);
         verify(&p, p.method(m)).unwrap();
-        assert_eq!(incline_ir::loops::LoopForest::compute(&p.method(m).graph).loops.len(), 2);
+        assert_eq!(
+            incline_ir::loops::LoopForest::compute(&p.method(m).graph)
+                .loops
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -181,7 +196,10 @@ mod tests {
         let before = g.size();
         assert!(before > 30, "padding must add size: {before}");
         incline_opt::optimize(&p, &mut g);
-        assert!(g.size() as f64 > before as f64 * 0.8, "padding must survive the optimizer");
+        assert!(
+            g.size() as f64 > before as f64 * 0.8,
+            "padding must survive the optimizer"
+        );
     }
 
     #[test]

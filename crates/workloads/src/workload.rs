@@ -54,7 +54,14 @@ impl Workload {
         input: i64,
         iterations: usize,
     ) -> Self {
-        Workload { name: name.into(), suite, program, entry, input, iterations }
+        Workload {
+            name: name.into(),
+            suite,
+            program,
+            entry,
+            input,
+            iterations,
+        }
     }
 
     /// Verifies every method of the program.
@@ -67,7 +74,10 @@ impl Workload {
         for m in self.program.method_ids() {
             let method = self.program.method(m);
             if let Err(e) = incline_ir::verify::verify(&self.program, method) {
-                panic!("workload {}: method {} fails to verify: {e}", self.name, method.name);
+                panic!(
+                    "workload {}: method {} fails to verify: {e}",
+                    self.name, method.name
+                );
             }
         }
     }

@@ -9,22 +9,30 @@
 use incline::prelude::*;
 use incline::vm::run_benchmark;
 
-fn main() -> Result<(), incline::vm::ExecError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "jython".to_string());
+fn main() -> Result<(), incline::vm::BenchError> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "jython".to_string());
     let w = incline::workloads::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`; try one of the paper's 28"));
 
     println!("benchmark: {name} (suite: {})\n", w.suite.label());
-    println!("{:<18} {:>14} {:>12} {:>9}", "policy", "steady cycles", "code bytes", "compiles");
+    println!(
+        "{:<18} {:>14} {:>12} {:>9}",
+        "policy", "steady cycles", "code bytes", "compiles"
+    );
     println!("{}", "-".repeat(58));
 
-    let run = |label: &str, config: PolicyConfig| -> Result<(), incline::vm::ExecError> {
+    let run = |label: &str, config: PolicyConfig| -> Result<(), incline::vm::BenchError> {
         let spec = BenchSpec {
             entry: w.entry,
             args: vec![Value::Int(w.input)],
             iterations: w.iterations,
         };
-        let vm_config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
+        let vm_config = VmConfig {
+            hotness_threshold: 5,
+            ..VmConfig::default()
+        };
         let inliner = Box::new(IncrementalInliner::with_config(config));
         let r = run_benchmark(&w.program, &spec, inliner, vm_config)?;
         println!(
@@ -35,7 +43,13 @@ fn main() -> Result<(), incline::vm::ExecError> {
     };
 
     run("adaptive (tuned)", PolicyConfig::tuned())?;
-    for (te, ti) in [(250, 500), (500, 1500), (1500, 1500), (2500, 3000), (3500, 3000)] {
+    for (te, ti) in [
+        (250, 500),
+        (500, 1500),
+        (1500, 1500),
+        (2500, 3000),
+        (3500, 3000),
+    ] {
         run(&format!("fixed Te{te}/Ti{ti}"), PolicyConfig::fixed(te, ti))?;
     }
 

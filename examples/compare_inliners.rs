@@ -11,8 +11,15 @@ use incline::prelude::*;
 use incline::vm::run_benchmark;
 
 fn measure(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
-    let spec = BenchSpec { entry: w.entry, args: vec![Value::Int(w.input)], iterations: w.iterations };
-    let config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input)],
+        iterations: w.iterations,
+    };
+    let config = VmConfig {
+        hotness_threshold: 5,
+        ..VmConfig::default()
+    };
     let r = run_benchmark(&w.program, &spec, inliner, config).expect("benchmark runs");
     (r.steady_state, r.installed_bytes)
 }
@@ -35,7 +42,9 @@ fn report(w: &Workload) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "factorie".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "factorie".to_string());
     println!("normalized running time (incremental = 1.00; higher = slower than incremental)\n");
     if arg == "--all" {
         for w in incline::workloads::all_benchmarks() {

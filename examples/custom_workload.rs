@@ -88,12 +88,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("incremental", Box::new(IncrementalInliner::new())),
     ];
 
-    println!("\n{:<12} {:>10} {:>12} {:>8}", "inliner", "result", "cycles", "code");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>8}",
+        "inliner", "result", "cycles", "code"
+    );
     println!("{}", "-".repeat(46));
     let mut reference: Option<Vec<String>> = None;
     for (i, (name, inliner)) in inliners.into_iter().enumerate() {
         let jit = i != 0;
-        let config = VmConfig { jit, hotness_threshold: 2, ..VmConfig::default() };
+        let config = VmConfig {
+            jit,
+            hotness_threshold: 2,
+            ..VmConfig::default()
+        };
         let mut vm = Machine::new(&program, inliner, config);
         let mut out = vm.run(entry, vec![Value::Int(64)])?;
         for _ in 0..4 {

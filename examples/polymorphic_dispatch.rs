@@ -26,7 +26,10 @@ fn main() -> Result<(), incline::vm::ExecError> {
     // activation (the paper's §II "compilation impact": compiled code
     // stops profiling) and the typeswitch would speculate on one closure
     // only. A larger threshold lets the profile see the full rotation.
-    let config = VmConfig { hotness_threshold: 120, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 120,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
 
     // Warm up so the profile fills and the JIT kicks in.
@@ -38,10 +41,16 @@ fn main() -> Result<(), incline::vm::ExecError> {
 
     // Inspect the receiver profile of the polymorphic `apply` callsite
     // inside `foreach`.
-    let foreach = w.program.function_by_name("foreach").expect("foreach exists");
+    let foreach = w
+        .program
+        .function_by_name("foreach")
+        .expect("foreach exists");
     println!("=== receiver profiles collected by the interpreter ===");
     for idx in 0..3u32 {
-        let site = incline::ir::CallSiteId { method: foreach, index: idx };
+        let site = incline::ir::CallSiteId {
+            method: foreach,
+            index: idx,
+        };
         let profile = vm.profiles().receiver_profile(site);
         if profile.is_empty() {
             continue;

@@ -63,7 +63,10 @@ fn main() -> Result<(), incline::vm::ExecError> {
 
     // Run it: the first iterations interpret (collecting profiles), then
     // the broker hands hot methods to the incremental inliner.
-    let config = VmConfig { hotness_threshold: 3, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 3,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
 
     println!("=== warmup ===");

@@ -69,7 +69,10 @@ fn flag(args: &[String], name: &str) -> bool {
 }
 
 fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -94,7 +97,9 @@ fn make_inliner(name: &str) -> Result<Box<dyn Inliner>, String> {
 
 fn entry_of(program: &Program, args: &[String]) -> Result<incline::ir::MethodId, String> {
     let name = opt_value(args, "--entry").unwrap_or("main");
-    program.function_by_name(name).ok_or_else(|| format!("no function `{name}`"))
+    program
+        .function_by_name(name)
+        .ok_or_else(|| format!("no function `{name}`"))
 }
 
 fn cmd_print(args: &[String]) -> Result<(), String> {
@@ -119,15 +124,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.ir>")?;
     let program = load(path)?;
     let entry = entry_of(&program, args)?;
-    let input: i64 = opt_value(args, "--input").unwrap_or("10").parse().map_err(|e| format!("--input: {e}"))?;
+    let input: i64 = opt_value(args, "--input")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|e| format!("--input: {e}"))?;
     let jit = flag(args, "--jit");
     let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
-    let config = VmConfig { jit, hotness_threshold: 5, ..VmConfig::default() };
+    let config = VmConfig {
+        jit,
+        hotness_threshold: 5,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&program, inliner, config);
     let runs = if jit { 8 } else { 1 };
     let mut last = None;
     for _ in 0..runs {
-        last = Some(vm.run(entry, vec![Value::Int(input)]).map_err(|e| e.to_string())?);
+        last = Some(
+            vm.run(entry, vec![Value::Int(input)])
+                .map_err(|e| e.to_string())?,
+        );
     }
     let out = last.expect("ran at least once");
     print!("{}", out.output);
@@ -146,26 +161,42 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.ir>")?;
     let program = load(path)?;
     let entry = entry_of(&program, args)?;
-    let input: i64 = opt_value(args, "--input").unwrap_or("10").parse().map_err(|e| format!("--input: {e}"))?;
+    let input: i64 = opt_value(args, "--input")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|e| format!("--input: {e}"))?;
 
     // Gather profiles by interpreting the entry once.
-    let mut vm = Machine::new(&program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-    vm.run(entry, vec![Value::Int(input)]).map_err(|e| format!("profiling run: {e}"))?;
+    let mut vm = Machine::new(
+        &program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
+    vm.run(entry, vec![Value::Int(input)])
+        .map_err(|e| format!("profiling run: {e}"))?;
     let profiles = vm.profiles().clone();
-    let cx = CompileCx { program: &program, profiles: &profiles };
+    let cx = CompileCx::new(&program, &profiles);
 
     let name = opt_value(args, "--inliner").unwrap_or("incremental");
     if flag(args, "--explain") {
         if name != "incremental" {
             return Err("--explain requires the incremental inliner".to_string());
         }
-        let (out, explain) = IncrementalInliner::new().compile_explain(entry, &cx);
+        let (out, explain) = IncrementalInliner::new()
+            .compile_explain(entry, &cx)
+            .map_err(|e| e.to_string())?;
         println!("=== call tree per round ===\n{explain}");
-        println!("=== compiled IR ===\n{}", incline::ir::print::graph_str(&program, &out.graph));
+        println!(
+            "=== compiled IR ===\n{}",
+            incline::ir::print::graph_str(&program, &out.graph)
+        );
         println!("stats: {:?}", out.stats);
     } else {
         let inliner = make_inliner(name)?;
-        let out = inliner.compile(entry, &cx);
+        let out = inliner.compile(entry, &cx).map_err(|e| e.to_string())?;
         println!("{}", incline::ir::print::graph_str(&program, &out.graph));
         eprintln!("stats: {:?}", out.stats);
     }
@@ -180,18 +211,27 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     if flag(args, "--optimize") {
         incline::opt::optimize(&program, &mut g);
     }
-    print!("{}", incline::ir::dot::graph_to_dot(&program, &g, &program.method(entry).name));
+    print!(
+        "{}",
+        incline::ir::dot::graph_to_dot(&program, &g, &program.method(entry).name)
+    );
     Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("missing <benchmark-name>")?;
-    let w = incline::workloads::by_name(name).ok_or_else(|| {
-        format!("unknown benchmark `{name}` (see `incline list-benchmarks`)")
-    })?;
+    let w = incline::workloads::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `incline list-benchmarks`)"))?;
     let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
-    let spec = BenchSpec { entry: w.entry, args: vec![Value::Int(w.input)], iterations: w.iterations };
-    let config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input)],
+        iterations: w.iterations,
+    };
+    let config = VmConfig {
+        hotness_threshold: 5,
+        ..VmConfig::default()
+    };
     let r = run_benchmark(&w.program, &spec, inliner, config).map_err(|e| e.to_string())?;
     println!("benchmark: {} ({})", w.name, w.suite.label());
     println!("per-iteration cycles: {:?}", r.per_iteration);
@@ -199,5 +239,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "steady state: {:.0} ± {:.0} cycles; code {} bytes; {} compilations",
         r.steady_state, r.std_dev, r.installed_bytes, r.compilations
     );
+    if r.bailouts.total() > 0 {
+        println!("bailouts: {:?}", r.bailouts);
+    }
     Ok(())
 }

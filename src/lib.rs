@@ -37,7 +37,8 @@ pub mod prelude {
     pub use incline_core::{IncrementalInliner, PolicyConfig};
     pub use incline_ir::{FunctionBuilder, Graph, Program, Type};
     pub use incline_vm::{
-        run_benchmark, BenchSpec, CompileCx, Inliner, Machine, NoInline, Value, VmConfig,
+        run_benchmark, run_benchmark_faulted, BailoutCounters, BenchSpec, CompileCx, CompileError,
+        CompileFuel, FaultKind, FaultPlan, Inliner, Machine, NoInline, Value, VmConfig,
     };
     pub use incline_workloads::{all_benchmarks, by_name, Suite, Workload};
 }

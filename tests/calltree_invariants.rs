@@ -9,18 +9,26 @@ use incline::workloads::{generate, GenConfig};
 /// Builds the tree for `entry` with profiles from interpretation, then
 /// expands greedily until nothing is left under a node-count cap.
 fn build_expanded(w: &Workload) -> (CallTree, incline::profile::ProfileTable) {
-    let mut vm = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-    vm.run(w.entry, vec![Value::Int(w.input.min(8))]).expect("profiling run");
+    let mut vm = Machine::new(
+        &w.program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
+    vm.run(w.entry, vec![Value::Int(w.input.min(8))])
+        .expect("profiling run");
     let profiles = vm.profiles().clone();
     let config = PolicyConfig::tuned();
     let mut tree = {
-        let cx = CompileCx { program: &w.program, profiles: &profiles };
+        let cx = CompileCx::new(&w.program, &profiles);
         let mut graph = w.program.method(w.entry).graph.clone();
         incline::opt::optimize(&w.program, &mut graph);
         CallTree::new(w.entry, graph, &cx, &config)
     };
     // Expand every cutoff breadth-first until the cap.
-    let cx = CompileCx { program: &w.program, profiles: &profiles };
+    let cx = CompileCx::new(&w.program, &profiles);
     let mut budget = 300usize;
     loop {
         let next = tree
@@ -41,18 +49,27 @@ fn build_expanded(w: &Workload) -> (CallTree, incline::profile::ProfileTable) {
 }
 
 fn check_invariants(w: &Workload, tree: &CallTree, profiles: &incline::profile::ProfileTable) {
-    let cx = CompileCx { program: &w.program, profiles };
+    let cx = CompileCx::new(&w.program, profiles);
     let mut cutoffs = 0usize;
     for n in tree.node_ids() {
         let node = tree.node(n);
         // Parent/child agreement.
         for &c in &node.children {
-            assert_eq!(tree.node(c).parent, Some(n), "{}: child {c:?} parent mismatch", w.name);
+            assert_eq!(
+                tree.node(c).parent,
+                Some(n),
+                "{}: child {c:?} parent mismatch",
+                w.name
+            );
         }
         match node.kind {
             NodeKind::Root => assert!(node.parent.is_none()),
             NodeKind::Expanded => {
-                assert!(node.graph.is_some(), "{}: expanded node without graph", w.name);
+                assert!(
+                    node.graph.is_some(),
+                    "{}: expanded node without graph",
+                    w.name
+                );
                 // The specialized graph verifies against the declared
                 // signature (possibly narrowed params).
                 let m = node.method.expect("expanded node has a target");
@@ -72,9 +89,17 @@ fn check_invariants(w: &Workload, tree: &CallTree, profiles: &incline::profile::
             }
             NodeKind::Polymorphic => {
                 assert!(node.method.is_none());
-                assert!(!node.children.is_empty(), "{}: P node without targets", w.name);
+                assert!(
+                    !node.children.is_empty(),
+                    "{}: P node without targets",
+                    w.name
+                );
                 let psum: f64 = node.children.iter().map(|&c| tree.node(c).poly_prob).sum();
-                assert!(psum <= 1.0 + 1e-9, "{}: target probabilities exceed 1: {psum}", w.name);
+                assert!(
+                    psum <= 1.0 + 1e-9,
+                    "{}: target probabilities exceed 1: {psum}",
+                    w.name
+                );
                 for &c in &node.children {
                     assert!(tree.node(c).speculated_class.is_some());
                 }
@@ -82,18 +107,38 @@ fn check_invariants(w: &Workload, tree: &CallTree, profiles: &incline::profile::
             _ => {}
         }
         // Frequencies are finite and non-negative.
-        assert!(node.freq.is_finite() && node.freq >= 0.0, "{}: bad freq {}", w.name, node.freq);
+        assert!(
+            node.freq.is_finite() && node.freq >= 0.0,
+            "{}: bad freq {}",
+            w.name,
+            node.freq
+        );
     }
     // Aggregate metrics agree with a recount.
     let metrics = tree.subtree_metrics(tree.root(), &cx);
     assert_eq!(metrics.n_c, cutoffs, "{}: N_c mismatch", w.name);
-    assert!(metrics.s_b <= metrics.s_ir + 1e-9, "{}: S_b must not exceed S_ir", w.name);
-    assert!(metrics.s_ir >= tree.root_graph.size() as f64, "{}: S_ir includes the root", w.name);
+    assert!(
+        metrics.s_b <= metrics.s_ir + 1e-9,
+        "{}: S_b must not exceed S_ir",
+        w.name
+    );
+    assert!(
+        metrics.s_ir >= tree.root_graph.size() as f64,
+        "{}: S_ir includes the root",
+        w.name
+    );
 }
 
 #[test]
 fn invariants_hold_on_paper_benchmarks() {
-    for name in ["scalatest", "factorie", "jython", "stmbench7", "neo4j", "gauss-mix"] {
+    for name in [
+        "scalatest",
+        "factorie",
+        "jython",
+        "stmbench7",
+        "neo4j",
+        "gauss-mix",
+    ] {
         let w = incline::workloads::by_name(name).unwrap();
         let (tree, profiles) = build_expanded(&w);
         check_invariants(&w, &tree, &profiles);
@@ -118,7 +163,10 @@ fn recursion_depth_monotone_down_chains() {
         if let (Some(parent), Some(m)) = (node.parent, node.method) {
             let parent_depth = tree.node(parent).rec_depth;
             if tree.node(parent).method == Some(m) {
-                assert!(node.rec_depth >= parent_depth, "recursion depth must not decrease");
+                assert!(
+                    node.rec_depth >= parent_depth,
+                    "recursion depth must not decrease"
+                );
             }
         }
     }

@@ -14,7 +14,11 @@ use incline_workloads::{GenConfig, Workload};
 /// Runs a workload to completion on a fresh machine and returns the final
 /// iteration's outcome (after warmup, so compiled code actually runs).
 fn run_with(w: &Workload, inliner: Box<dyn Inliner + '_>, jit: bool, input: i64) -> RunOutcome {
-    let config = VmConfig { jit, hotness_threshold: 2, ..VmConfig::default() };
+    let config = VmConfig {
+        jit,
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&w.program, inliner, config);
     let mut last = None;
     for _ in 0..4 {
@@ -32,9 +36,24 @@ fn all_inliners() -> Vec<(&'static str, Box<dyn Inliner>)> {
         ("greedy", Box::new(GreedyInliner::new())),
         ("c2", Box::new(C2Inliner::new())),
         ("incremental", Box::new(IncrementalInliner::new())),
-        ("fixed", Box::new(IncrementalInliner::with_config(PolicyConfig::fixed(1000, 3000)))),
-        ("one-by-one", Box::new(IncrementalInliner::with_config(PolicyConfig::one_by_one(0.005, 120.0)))),
-        ("shallow", Box::new(IncrementalInliner::with_config(PolicyConfig::shallow_trials()))),
+        (
+            "fixed",
+            Box::new(IncrementalInliner::with_config(PolicyConfig::fixed(
+                1000, 3000,
+            ))),
+        ),
+        (
+            "one-by-one",
+            Box::new(IncrementalInliner::with_config(PolicyConfig::one_by_one(
+                0.005, 120.0,
+            ))),
+        ),
+        (
+            "shallow",
+            Box::new(IncrementalInliner::with_config(
+                PolicyConfig::shallow_trials(),
+            )),
+        ),
     ]
 }
 
@@ -74,7 +93,12 @@ fn random_programs_are_semantics_preserving() {
 
 #[test]
 fn random_programs_with_heavier_bodies() {
-    let config = GenConfig { functions: 8, ops_per_function: 24, loop_prob: 0.7, branch_prob: 0.8 };
+    let config = GenConfig {
+        functions: 8,
+        ops_per_function: 24,
+        loop_prob: 0.7,
+        branch_prob: 0.8,
+    };
     for seed in 100..115u64 {
         let w = incline_workloads::generate(seed, config);
         check_workload(&w, 9);

@@ -13,14 +13,26 @@ fn steady(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
         args: vec![Value::Int(w.input.min(12))],
         iterations: 8,
     };
-    let config = VmConfig { hotness_threshold: 4, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 4,
+        ..VmConfig::default()
+    };
     let r = run_benchmark(&w.program, &spec, inliner, config).expect("benchmark runs");
     (r.steady_state, r.installed_bytes)
 }
 
 #[test]
 fn incremental_beats_or_ties_greedy_on_most() {
-    let subset = ["avrora", "xalan", "factorie", "actors", "scalatest", "specs", "dotty", "stmbench7"];
+    let subset = [
+        "avrora",
+        "xalan",
+        "factorie",
+        "actors",
+        "scalatest",
+        "specs",
+        "dotty",
+        "stmbench7",
+    ];
     let mut wins = 0;
     for name in subset {
         let w = incline::workloads::by_name(name).unwrap();
@@ -32,12 +44,22 @@ fn incremental_beats_or_ties_greedy_on_most() {
             eprintln!("greedy wins on {name}: {incr:.0} vs {greedy:.0}");
         }
     }
-    assert!(wins >= 7, "incremental must match or beat greedy on ≥7/8, got {wins}");
+    assert!(
+        wins >= 7,
+        "incremental must match or beat greedy on ≥7/8, got {wins}"
+    );
 }
 
 #[test]
 fn inlining_beats_no_inlining_broadly() {
-    let subset = ["sunflow", "scalatest", "apparat", "factorie", "stmbench7", "kiama"];
+    let subset = [
+        "sunflow",
+        "scalatest",
+        "apparat",
+        "factorie",
+        "stmbench7",
+        "kiama",
+    ];
     for name in subset {
         let w = incline::workloads::by_name(name).unwrap();
         let (incr, _) = steady(&w, Box::new(IncrementalInliner::new()));
@@ -63,7 +85,10 @@ fn code_size_grows_but_moderately() {
         ratios.push(incr_code as f64 / c2_code.max(1) as f64);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg >= 1.0, "the proposed inliner should not shrink code on average: {avg:.2}");
+    assert!(
+        avg >= 1.0,
+        "the proposed inliner should not shrink code on average: {avg:.2}"
+    );
     assert!(avg < 8.0, "code growth must stay moderate: {avg:.2}x vs C2");
 }
 
@@ -74,24 +99,39 @@ fn deep_trials_help_on_trial_sensitive_benchmarks() {
     // The effect needs the full workload size (the decision margins are
     // frequency-dependent), so this test uses the benchmark defaults.
     let full = |w: &Workload, inliner: Box<dyn Inliner + '_>| -> f64 {
-        let spec =
-            BenchSpec { entry: w.entry, args: vec![Value::Int(w.input)], iterations: w.iterations };
-        let config = VmConfig { hotness_threshold: 5, ..VmConfig::default() };
-        run_benchmark(&w.program, &spec, inliner, config).expect("runs").steady_state
+        let spec = BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(w.input)],
+            iterations: w.iterations,
+        };
+        let config = VmConfig {
+            hotness_threshold: 5,
+            ..VmConfig::default()
+        };
+        run_benchmark(&w.program, &spec, inliner, config)
+            .expect("runs")
+            .steady_state
     };
     let mut helps = 0;
     for name in ["factorie", "actors"] {
         let w = incline::workloads::by_name(name).unwrap();
         let deep = full(&w, Box::new(IncrementalInliner::new()));
-        let shallow =
-            full(&w, Box::new(IncrementalInliner::with_config(PolicyConfig::shallow_trials())));
+        let shallow = full(
+            &w,
+            Box::new(IncrementalInliner::with_config(
+                PolicyConfig::shallow_trials(),
+            )),
+        );
         if shallow > deep * 1.05 {
             helps += 1;
         } else {
             eprintln!("{name}: deep {deep:.0} vs shallow {shallow:.0}");
         }
     }
-    assert!(helps >= 1, "deep trials must help on at least one trial-sensitive benchmark");
+    assert!(
+        helps >= 1,
+        "deep trials must help on at least one trial-sensitive benchmark"
+    );
 }
 
 #[test]
@@ -105,8 +145,10 @@ fn adaptive_tracks_best_fixed_threshold() {
         let (adaptive, _) = steady(&w, Box::new(IncrementalInliner::new()));
         let mut best_fixed = f64::INFINITY;
         for (te, ti) in [(250, 500), (1500, 1500), (3500, 3000)] {
-            let (t, _) =
-                steady(&w, Box::new(IncrementalInliner::with_config(PolicyConfig::fixed(te, ti))));
+            let (t, _) = steady(
+                &w,
+                Box::new(IncrementalInliner::with_config(PolicyConfig::fixed(te, ti))),
+            );
             best_fixed = best_fixed.min(t);
         }
         if adaptive <= best_fixed * 1.10 {
@@ -115,7 +157,10 @@ fn adaptive_tracks_best_fixed_threshold() {
             eprintln!("{name}: adaptive {adaptive:.0} vs best fixed {best_fixed:.0}");
         }
     }
-    assert!(ok >= 4, "adaptive must track the best fixed setting on ≥4/5, got {ok}");
+    assert!(
+        ok >= 4,
+        "adaptive must track the best fixed setting on ≥4/5, got {ok}"
+    );
 }
 
 #[test]
@@ -125,7 +170,9 @@ fn clustering_not_worse_than_one_by_one() {
         let (cluster, _) = steady(&w, Box::new(IncrementalInliner::new()));
         let (one, _) = steady(
             &w,
-            Box::new(IncrementalInliner::with_config(PolicyConfig::one_by_one(0.005, 60.0))),
+            Box::new(IncrementalInliner::with_config(PolicyConfig::one_by_one(
+                0.005, 60.0,
+            ))),
         );
         assert!(
             cluster <= one * 1.05,

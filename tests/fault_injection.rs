@@ -1,0 +1,208 @@
+//! End-to-end fault-containment tests: deterministic compiler faults are
+//! injected into real benchmark runs, and every one of them must be
+//! contained by the bailout ladder — the program still completes with
+//! output identical to the interpreted reference, the always-on verifier
+//! keeps corrupt graphs out of the code cache, and the bailout counters
+//! (exposed through both [`Machine`] and [`BenchResult`]) are identical
+//! across identical runs.
+
+use incline::prelude::*;
+use incline::vm::BenchResult;
+use incline::workloads::Workload;
+
+fn workload() -> Workload {
+    incline::workloads::by_name("scalatest").expect("benchmark exists")
+}
+
+/// Interpreted reference output for the workload (the ground truth every
+/// faulted run must still match).
+fn reference(w: &Workload, input: i64) -> (Option<Value>, String) {
+    let mut vm = Machine::new(
+        &w.program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
+    let out = vm
+        .run(w.entry, vec![Value::Int(input)])
+        .expect("reference runs");
+    (out.value, out.output.to_string())
+}
+
+/// Runs the workload hot under the incremental inliner with `plan`
+/// injected, returning the machine for counter inspection after checking
+/// every run's output against the interpreted reference.
+fn run_faulted(w: &Workload, plan: FaultPlan, runs: usize) -> Machine<'_> {
+    let input = 4;
+    let expected = reference(w, input);
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(plan);
+    for _ in 0..runs {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("faulted run completes");
+        assert_eq!(
+            out.value, expected.0,
+            "result must match interpreted reference"
+        );
+        assert_eq!(
+            out.output.to_string(),
+            expected.1,
+            "output must match interpreted reference"
+        );
+    }
+    vm
+}
+
+/// Same scenario through the benchmark runner, exposing counters in
+/// [`BenchResult`].
+fn bench_faulted(w: &Workload, plan: FaultPlan) -> BenchResult {
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(4)],
+        iterations: 10,
+    };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    run_benchmark_faulted(
+        &w.program,
+        &spec,
+        Box::new(IncrementalInliner::new()),
+        config,
+        plan,
+    )
+    .expect("faulted benchmark completes")
+}
+
+#[test]
+fn injected_panic_is_contained_and_ladder_completes() {
+    let w = workload();
+    let plan = FaultPlan::new().inject(0, FaultKind::PanicInCompile);
+    let vm = run_faulted(&w, plan, 8);
+    let b = vm.bailouts();
+    assert_eq!(
+        b.contained_panics, 1,
+        "the injected panic must be caught exactly once"
+    );
+    assert_eq!(b.full_tier, 1, "the panic costs the full tier one bailout");
+    assert_eq!(b.degraded_tier, 0, "the degraded tier absorbs the panic");
+    assert!(
+        b.blacklisted == 0,
+        "nothing reaches the interpreter blacklist"
+    );
+    assert!(
+        vm.compilations() >= 1,
+        "the bailout ladder still installs code"
+    );
+    assert!(vm.blacklisted_methods().is_empty());
+}
+
+#[test]
+fn corrupted_graph_is_rejected_never_installed() {
+    let w = workload();
+    let plan = FaultPlan::new().inject(0, FaultKind::CorruptGraph);
+    let vm = run_faulted(&w, plan, 8);
+    let b = vm.bailouts();
+    assert_eq!(
+        b.verifier_rejections, 1,
+        "the verifier must reject the corrupt graph"
+    );
+    assert_eq!(b.full_tier, 1);
+    assert_eq!(b.degraded_tier, 0, "the inline-free recompile succeeds");
+    // Correct outputs across all runs (checked in run_faulted) prove the
+    // corrupt graph never executed; the degraded tier's graph did.
+    assert!(vm.compilations() >= 1);
+}
+
+#[test]
+fn exhausted_budget_falls_back_to_cheaper_tier() {
+    let w = workload();
+    let plan = FaultPlan::new().inject(0, FaultKind::ExhaustFuel);
+    let vm = run_faulted(&w, plan, 8);
+    let b = vm.bailouts();
+    assert_eq!(
+        b.fuel_exhaustions, 1,
+        "the full tier must report the blown budget"
+    );
+    assert_eq!(b.full_tier, 1);
+    assert_eq!(
+        b.degraded_tier, 0,
+        "the degraded tier runs on the normal budget"
+    );
+    assert!(
+        vm.compilations() >= 1,
+        "the cheaper tier still produces code"
+    );
+}
+
+#[test]
+fn every_seeded_fault_is_contained() {
+    let w = workload();
+    let plan = FaultPlan::seeded(0xFA17, 16, 0.5);
+    assert!(
+        !plan.is_empty(),
+        "the seed must schedule faults for this test to bite"
+    );
+    let vm = run_faulted(&w, plan.clone(), 10);
+    // Every fault whose request index was actually reached costs the full
+    // tier exactly one bailout — no fault escapes, none double-counts.
+    let triggered = plan
+        .entries()
+        .filter(|&(request, _)| request < vm.compile_requests())
+        .count() as u64;
+    assert!(
+        triggered > 0,
+        "the run must reach at least one scheduled fault"
+    );
+    assert_eq!(vm.bailouts().full_tier, triggered);
+    assert_eq!(
+        vm.bailouts().degraded_tier,
+        0,
+        "the degraded tier absorbs every fault"
+    );
+    assert_eq!(vm.bailout_log().len() as u64, triggered);
+}
+
+#[test]
+fn bench_result_surfaces_bailout_counters() {
+    let w = workload();
+    let clean = bench_faulted(&w, FaultPlan::new());
+    assert_eq!(clean.bailouts.total(), 0, "no faults, no bailouts");
+    let faulted = bench_faulted(&w, FaultPlan::new().inject(0, FaultKind::PanicInCompile));
+    assert_eq!(faulted.bailouts.contained_panics, 1);
+    assert_eq!(faulted.bailouts.full_tier, 1);
+    assert!(
+        faulted.compilations >= 1,
+        "the benchmark still reaches compiled code"
+    );
+}
+
+#[test]
+fn faulted_runs_are_deterministic() {
+    let w = workload();
+    let plan = FaultPlan::seeded(0xFA17, 16, 0.5);
+    let a = bench_faulted(&w, plan.clone());
+    let b = bench_faulted(&w, plan);
+    assert_eq!(
+        a.bailouts, b.bailouts,
+        "bailout counters must be reproducible"
+    );
+    assert_eq!(
+        a.per_iteration, b.per_iteration,
+        "cycle counts must be reproducible"
+    );
+    assert_eq!(a.compilations, b.compilations);
+    assert_eq!(a.installed_bytes, b.installed_bytes);
+    assert!(
+        a.bailouts.total() > 0,
+        "the plan must actually fault to make this meaningful"
+    );
+}

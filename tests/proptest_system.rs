@@ -5,30 +5,45 @@
 //! * round-trip through the textual printer/parser,
 //! * stay verifiable under every optimization pass,
 //! * and produce identical observable behavior interpreted vs. compiled.
-
-use proptest::prelude::*;
+//!
+//! Each property runs over a fixed band of generator seeds (deterministic,
+//! no external property-testing crate needed offline).
 
 use incline::ir::verify::{verify, verify_graph};
+use incline::ir::Rng64;
 use incline::prelude::*;
 use incline::workloads::{generate, GenConfig};
 
+const CASES: u64 = 24;
+
 fn gen_config() -> GenConfig {
-    GenConfig { functions: 5, ops_per_function: 12, loop_prob: 0.5, branch_prob: 0.6 }
+    GenConfig {
+        functions: 5,
+        ops_per_function: 12,
+        loop_prob: 0.5,
+        branch_prob: 0.6,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Derives `CASES` well-spread generator seeds from a property name.
+fn seeds(salt: u64) -> impl Iterator<Item = u64> {
+    let mut rng = Rng64::new(salt);
+    (0..CASES).map(move |_| rng.next_u64())
+}
 
-    #[test]
-    fn generated_programs_verify(seed in any::<u64>()) {
+#[test]
+fn generated_programs_verify() {
+    for seed in seeds(0x9E1) {
         let w = generate(seed, gen_config());
         for m in w.program.method_ids() {
             verify(&w.program, w.program.method(m)).expect("generated method verifies");
         }
     }
+}
 
-    #[test]
-    fn printer_parser_fixpoint(seed in any::<u64>()) {
+#[test]
+fn printer_parser_fixpoint() {
+    for seed in seeds(0xF1C) {
         let w = generate(seed, gen_config());
         let s1 = incline::ir::print::program_str(&w.program);
         let p2 = incline::ir::parse::parse_program(&s1).expect("printed program parses");
@@ -36,11 +51,13 @@ proptest! {
         // One normalization round may renumber; after that it's stable.
         let p3 = incline::ir::parse::parse_program(&s2).expect("reparse");
         let s3 = incline::ir::print::program_str(&p3);
-        prop_assert_eq!(s2, s3);
+        assert_eq!(s2, s3);
     }
+}
 
-    #[test]
-    fn every_pass_preserves_verifiability(seed in any::<u64>()) {
+#[test]
+fn every_pass_preserves_verifiability() {
+    for seed in seeds(0xA55) {
         let w = generate(seed, gen_config());
         for m in w.program.method_ids() {
             let method = w.program.method(m);
@@ -70,13 +87,26 @@ proptest! {
             });
         }
     }
+}
 
-    #[test]
-    fn optimizer_preserves_behavior(seed in any::<u64>(), input in 1i64..24) {
+#[test]
+fn optimizer_preserves_behavior() {
+    let mut rng = Rng64::new(0x0B7);
+    for seed in seeds(0x0B7) {
+        let input = rng.gen_range(1, 24);
         let w = generate(seed, gen_config());
         // Interpreted reference.
-        let mut interp = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        let reference = interp.run(w.entry, vec![Value::Int(input)]).expect("reference runs");
+        let mut interp = Machine::new(
+            &w.program,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        let reference = interp
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("reference runs");
         // Fully optimized program (every method), still interpreted.
         let mut optimized = w.program.clone();
         for m in optimized.method_ids().collect::<Vec<_>>() {
@@ -84,24 +114,49 @@ proptest! {
             incline::opt::optimize(&w.program, &mut g);
             optimized.define_method(m, g);
         }
-        let mut vm = Machine::new(&optimized, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        let out = vm.run(w.entry, vec![Value::Int(input)]).expect("optimized runs");
-        prop_assert_eq!(reference.value, out.value);
-        prop_assert_eq!(reference.output, out.output);
+        let mut vm = Machine::new(
+            &optimized,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("optimized runs");
+        assert_eq!(reference.value, out.value);
+        assert_eq!(reference.output, out.output);
     }
+}
 
-    #[test]
-    fn incremental_inliner_preserves_behavior(seed in any::<u64>(), input in 1i64..20) {
+#[test]
+fn incremental_inliner_preserves_behavior() {
+    let mut rng = Rng64::new(0x1C4);
+    for seed in seeds(0x1C4) {
+        let input = rng.gen_range(1, 20);
         let w = generate(seed, gen_config());
-        let mut interp = Machine::new(&w.program, Box::new(NoInline), VmConfig { jit: false, ..VmConfig::default() });
-        let reference = interp.run(w.entry, vec![Value::Int(input)]).expect("reference runs");
-        let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+        let mut interp = Machine::new(
+            &w.program,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        let reference = interp
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("reference runs");
+        let config = VmConfig {
+            hotness_threshold: 2,
+            ..VmConfig::default()
+        };
         let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
         let mut out = vm.run(w.entry, vec![Value::Int(input)]).expect("first run");
         for _ in 0..2 {
             out = vm.run(w.entry, vec![Value::Int(input)]).expect("warm run");
         }
-        prop_assert_eq!(reference.value, out.value);
-        prop_assert_eq!(reference.output, out.output);
+        assert_eq!(reference.value, out.value);
+        assert_eq!(reference.output, out.output);
     }
 }

@@ -77,23 +77,41 @@ fn polymorphic_program() -> (Program, incline::ir::MethodId, Vec<incline::ir::Cl
 #[test]
 fn typeswitch_fallback_handles_unseen_receiver() {
     let (p, main, _) = polymorphic_program();
-    let config = VmConfig { hotness_threshold: 3, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 3,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
     // Warm up with B and C only; main compiles with a B/C typeswitch.
     for _ in 0..6 {
-        assert_eq!(vm.run(main, vec![Value::Int(0)]).unwrap().value, Some(Value::Int(500)));
-        assert_eq!(vm.run(main, vec![Value::Int(1)]).unwrap().value, Some(Value::Int(1000)));
+        assert_eq!(
+            vm.run(main, vec![Value::Int(0)]).unwrap().value,
+            Some(Value::Int(500))
+        );
+        assert_eq!(
+            vm.run(main, vec![Value::Int(1)]).unwrap().value,
+            Some(Value::Int(1000))
+        );
     }
-    assert!(vm.compiled_graph(main).is_some(), "main must be compiled by now");
+    assert!(
+        vm.compiled_graph(main).is_some(),
+        "main must be compiled by now"
+    );
     // Now dispatch to D, which the profile never saw: the typeswitch
     // fallback (virtual call) must produce the right answer.
-    assert_eq!(vm.run(main, vec![Value::Int(2)]).unwrap().value, Some(Value::Int(2000)));
+    assert_eq!(
+        vm.run(main, vec![Value::Int(2)]).unwrap().value,
+        Some(Value::Int(2000))
+    );
 }
 
 #[test]
 fn compiled_methods_stay_cached() {
     let (p, main, _) = polymorphic_program();
-    let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
     for _ in 0..10 {
         vm.run(main, vec![Value::Int(0)]).unwrap();
@@ -102,7 +120,11 @@ fn compiled_methods_stay_cached() {
     for _ in 0..10 {
         vm.run(main, vec![Value::Int(0)]).unwrap();
     }
-    assert_eq!(vm.compilations(), compiles_after_warmup, "no recompilation churn");
+    assert_eq!(
+        vm.compilations(),
+        compiles_after_warmup,
+        "no recompilation churn"
+    );
 }
 
 #[test]
@@ -110,7 +132,10 @@ fn profiles_freeze_after_compilation() {
     // The paper's §II.2: once compiled, a method stops contributing
     // profile data (our compiled tier does not profile).
     let (p, main, _) = polymorphic_program();
-    let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(NoInline), config);
     for _ in 0..4 {
         vm.run(main, vec![Value::Int(0)]).unwrap();
@@ -120,7 +145,11 @@ fn profiles_freeze_after_compilation() {
     for _ in 0..4 {
         vm.run(main, vec![Value::Int(0)]).unwrap();
     }
-    assert_eq!(vm.profiles().invocations(main), frozen, "compiled code must not profile");
+    assert_eq!(
+        vm.profiles().invocations(main),
+        frozen,
+        "compiled code must not profile"
+    );
 }
 
 #[test]
@@ -145,7 +174,10 @@ fn opaque_methods_execute_but_never_inline() {
     let g = fb.finish();
     p.define_method(main, g);
 
-    let config = VmConfig { hotness_threshold: 2, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
     let mut out = vm.run(main, vec![Value::Int(1)]).unwrap();
     for _ in 0..4 {
@@ -159,13 +191,19 @@ fn opaque_methods_execute_but_never_inline() {
 #[test]
 fn c1_mode_compiles_everything_without_inlining() {
     let (p, main, _) = polymorphic_program();
-    let config = VmConfig { hotness_threshold: 1, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 1,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&p, Box::new(NoInline), config);
     vm.run(main, vec![Value::Int(0)]).unwrap();
     vm.run(main, vec![Value::Int(1)]).unwrap();
     vm.run(main, vec![Value::Int(2)]).unwrap();
     // main + the three `val` implementations.
-    assert!(vm.compilations() >= 4, "C1 mode compiles every executed method");
+    assert!(
+        vm.compilations() >= 4,
+        "C1 mode compiles every executed method"
+    );
 }
 
 #[test]
@@ -173,7 +211,10 @@ fn callsite_ids_survive_deep_inlining() {
     // After full inlining, every remaining call instruction still carries
     // a callsite id that resolves against the original profile table.
     let w = incline::workloads::by_name("stmbench7").unwrap();
-    let config = VmConfig { hotness_threshold: 3, ..VmConfig::default() };
+    let config = VmConfig {
+        hotness_threshold: 3,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
     for _ in 0..6 {
         vm.run(w.entry, vec![Value::Int(8)]).unwrap();
@@ -182,7 +223,10 @@ fn callsite_ids_survive_deep_inlining() {
         let g = vm.compiled_graph(m).unwrap();
         for (_, call) in g.callsites() {
             let site: CallSiteId = g.inst(call).op.call_site().expect("calls carry sites");
-            assert!(site.method.index() < w.program.method_count(), "site names a real method");
+            assert!(
+                site.method.index() < w.program.method_count(),
+                "site names a real method"
+            );
         }
     }
 }
