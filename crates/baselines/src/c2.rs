@@ -20,6 +20,7 @@ use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{Graph, InstId, MethodId};
+use incline_trace::{CompileEvent, OptPhase};
 use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 /// Tunables of the C2-style baseline.
@@ -81,7 +82,7 @@ impl Inliner for C2Inliner {
         cx: &CompileCx<'_>,
     ) -> Result<CompileOutcome, CompileError> {
         let mut graph = cx.program.method(method).graph.clone();
-        if !cx.fuel.charge(graph.size() as u64) {
+        if !cx.charge(graph.size() as u64) {
             return Err(CompileError::OutOfFuel {
                 limit: cx.fuel.limit().unwrap_or(u64::MAX),
             });
@@ -96,11 +97,13 @@ impl Inliner for C2Inliner {
         for inst in sites {
             self.try_inline(cx, &mut graph, inst, 1.0, 0, 0, &mut state);
         }
-        let stats = incline_opt::optimize_fueled(
+        let stats = incline_trace::optimize_with_trace(
             cx.program,
             &mut graph,
             incline_opt::PipelineConfig::default(),
             cx.fuel,
+            cx.trace,
+            OptPhase::Baseline,
         );
         let final_size = graph.size();
         Ok(CompileOutcome {
@@ -158,6 +161,14 @@ impl C2Inliner {
                 let trivial = size <= c.trivial_size;
                 let hot = site_freq >= c.min_frequency && size <= c.freq_inline_size;
                 if !(trivial || hot) {
+                    cx.emit(|| CompileEvent::InlineDecision {
+                        method: Some(target),
+                        benefit: site_freq,
+                        cost: size as f64,
+                        threshold: c.min_frequency,
+                        root_size: graph.size() as f64,
+                        accepted: false,
+                    });
                     return;
                 }
                 let next_rec = if target == state.root { rec + 1 } else { rec };
@@ -165,9 +176,17 @@ impl C2Inliner {
                     return;
                 }
                 // A spent compile budget winds the parse down gracefully.
-                if !cx.fuel.charge(size as u64) {
+                if !cx.charge(size as u64) {
                     return;
                 }
+                cx.emit(|| CompileEvent::InlineDecision {
+                    method: Some(target),
+                    benefit: site_freq,
+                    cost: size as f64,
+                    threshold: c.min_frequency,
+                    root_size: graph.size() as f64,
+                    accepted: true,
+                });
                 let body = callee.graph.clone();
                 state.explored += body.size();
                 let res = inline_call(graph, block, inst, &body);
@@ -220,6 +239,14 @@ impl C2Inliner {
                 if cases.is_empty() || coverage < 0.85 {
                     return;
                 }
+                cx.emit(|| CompileEvent::InlineDecision {
+                    method: None,
+                    benefit: coverage,
+                    cost: cases.len() as f64,
+                    threshold: 0.85,
+                    root_size: graph.size() as f64,
+                    accepted: true,
+                });
                 let res = emit_typeswitch(cx.program, graph, block, inst, &cases);
                 state.inlined_calls += 1;
                 for (i, case) in res.case_calls.iter().enumerate() {

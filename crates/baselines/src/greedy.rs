@@ -22,6 +22,7 @@ use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{CallSiteId, InstId, MethodId};
+use incline_trace::{CompileEvent, OptPhase};
 use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 /// Tunables of the greedy baseline.
@@ -84,7 +85,7 @@ impl Inliner for GreedyInliner {
     ) -> Result<CompileOutcome, CompileError> {
         let c = &self.config;
         let mut graph = cx.program.method(method).graph.clone();
-        if !cx.fuel.charge(graph.size() as u64) {
+        if !cx.charge(graph.size() as u64) {
             return Err(CompileError::OutOfFuel {
                 limit: cx.fuel.limit().unwrap_or(u64::MAX),
             });
@@ -144,8 +145,20 @@ impl Inliner for GreedyInliner {
                     let dominant = profile
                         .first()
                         .filter(|e| e.probability >= c.mono_speculation)
-                        .and_then(|e| cx.program.resolve(e.class, sel).map(|m| (m, e.class)));
-                    if let Some((m, guard)) = dominant {
+                        .and_then(|e| {
+                            cx.program
+                                .resolve(e.class, sel)
+                                .map(|m| (m, e.class, e.probability))
+                        });
+                    if let Some((m, guard, prob)) = dominant {
+                        cx.emit(|| CompileEvent::InlineDecision {
+                            method: Some(m),
+                            benefit: prob,
+                            cost: 0.0,
+                            threshold: c.mono_speculation,
+                            root_size: graph.size() as f64,
+                            accepted: true,
+                        });
                         let res = emit_typeswitch(
                             cx.program,
                             &mut graph,
@@ -173,6 +186,14 @@ impl Inliner for GreedyInliner {
             let trivial = callee_size <= c.trivial_size;
             let worthwhile = item.freq >= c.min_frequency && callee_size <= c.max_callee_size;
             if !(trivial || worthwhile) {
+                cx.emit(|| CompileEvent::InlineDecision {
+                    method: Some(target),
+                    benefit: item.freq,
+                    cost: callee_size as f64,
+                    threshold: c.min_frequency,
+                    root_size: graph.size() as f64,
+                    accepted: false,
+                });
                 continue;
             }
             let count = inline_counts.entry(target).or_insert(0);
@@ -181,35 +202,51 @@ impl Inliner for GreedyInliner {
             }
             // A spent compile budget winds the pass down; what has been
             // inlined so far still compiles.
-            if !cx.fuel.charge(callee_size as u64) {
+            if !cx.charge(callee_size as u64) {
                 break;
             }
             *count += 1;
+            cx.emit(|| CompileEvent::InlineDecision {
+                method: Some(target),
+                benefit: item.freq,
+                cost: callee_size as f64,
+                threshold: c.min_frequency,
+                root_size: graph.size() as f64,
+                accepted: true,
+            });
 
             let body = callee.graph.clone();
             explored += body.size();
             let res = inline_call(&mut graph, block, item.inst, &body);
             inlined_calls += 1;
 
-            // Newly exposed callsites join the queue.
+            // Newly exposed callsites join the queue, in deterministic
+            // instruction order (the inst_map iterates in hash order).
+            let mut exposed: Vec<(InstId, f64)> = Vec::new();
             for (&old, &new) in &res.inst_map {
                 if matches!(body.inst(old).op, Op::Call(_)) {
                     let site: CallSiteId = body.inst(old).op.call_site().expect("call");
-                    queue.push(WorkItem {
-                        inst: new,
-                        freq: item.freq * cx.profiles.local_frequency(site),
-                        depth: item.depth + 1,
-                    });
+                    exposed.push((new, item.freq * cx.profiles.local_frequency(site)));
                 }
+            }
+            exposed.sort_by_key(|&(i, _)| i);
+            for (inst, freq) in exposed {
+                queue.push(WorkItem {
+                    inst,
+                    freq,
+                    depth: item.depth + 1,
+                });
             }
         }
 
         // One optimization pass at the end (no alternation).
-        let stats = incline_opt::optimize_fueled(
+        let stats = incline_trace::optimize_with_trace(
             cx.program,
             &mut graph,
             incline_opt::PipelineConfig::default(),
             cx.fuel,
+            cx.trace,
+            OptPhase::Baseline,
         );
         let final_size = graph.size();
         Ok(CompileOutcome {

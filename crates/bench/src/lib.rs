@@ -11,9 +11,14 @@
 //! (at most 20) repetitions; installed code size is read off the code
 //! cache at the end.
 
+use std::rc::Rc;
+
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::{IncrementalInliner, PolicyConfig};
-use incline_vm::{run_benchmark, BenchResult, BenchSpec, Inliner, NoInline, Value, VmConfig};
+use incline_vm::{
+    run_benchmark, run_benchmark_traced, BenchResult, BenchSpec, CollectingSink, CompileEvent,
+    FaultPlan, Inliner, NoInline, TraceSink, Value, VmConfig,
+};
 use incline_workloads::Workload;
 
 /// The inliner configurations the experiments compare.
@@ -117,6 +122,35 @@ pub fn measure(w: &Workload, config: &Config) -> Measurement {
     }
 }
 
+/// Like [`measure`], but with a [`CollectingSink`] attached: returns the
+/// measurement together with every [`CompileEvent`] the compiler emitted.
+/// Useful for experiments that want to correlate performance with what
+/// the inliner actually decided (rounds, expansions, inline decisions).
+pub fn measure_traced(w: &Workload, config: &Config) -> (Measurement, Vec<CompileEvent>) {
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input)],
+        iterations: w.iterations,
+    };
+    let sink = Rc::new(CollectingSink::new());
+    let handle: Rc<dyn TraceSink> = sink.clone();
+    let result = run_benchmark_traced(
+        &w.program,
+        &spec,
+        config.build(),
+        config.vm(),
+        FaultPlan::default(),
+        handle,
+    )
+    .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
+    let measurement = Measurement {
+        benchmark: w.name.clone(),
+        config: config.name().to_string(),
+        result,
+    };
+    (measurement, sink.take())
+}
+
 /// Measures one benchmark under several configurations, checking that all
 /// configurations computed the same answer.
 pub fn measure_all(w: &Workload, configs: &[Config]) -> Vec<Measurement> {
@@ -209,6 +243,22 @@ mod tests {
         let m = measure(&w, &Config::paper());
         assert!(m.cycles() > 0.0);
         assert_eq!(m.benchmark, "scalatest");
+    }
+
+    #[test]
+    fn traced_measurement_matches_untraced_cycles() {
+        let w = incline_workloads::by_name("scalatest")
+            .unwrap()
+            .with_input(4)
+            .with_iterations(4);
+        let plain = measure(&w, &Config::paper());
+        let (traced, events) = measure_traced(&w, &Config::paper());
+        // A NullSink-free run must not perturb the deterministic cycle
+        // counts, and the captured stream must be non-trivial.
+        assert_eq!(plain.cycles(), traced.cycles());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CompileEvent::CodeInstalled { .. })));
     }
 
     #[test]

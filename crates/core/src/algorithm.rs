@@ -13,10 +13,14 @@ use std::collections::HashSet;
 use incline_ir::inline::inline_call;
 use incline_ir::{Graph, InstId, MethodId};
 use incline_opt::{CompileFuel, OptStats};
+use incline_trace::{CollectingSink, CompileEvent, OptPhase};
 use incline_vm::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
 
 use crate::calltree::{CallTree, NodeId, NodeKind};
-use crate::metrics::{exploration_penalty, may_inline, recursion_penalty, should_expand, Tuple};
+use crate::metrics::{
+    expansion_bar, exploration_penalty, inline_bar, may_inline, recursion_penalty, should_expand,
+    Tuple,
+};
 use crate::policy::{Clustering, PolicyConfig};
 use crate::typeswitch::{emit_typeswitch, TypeswitchCase};
 
@@ -55,6 +59,10 @@ impl IncrementalInliner {
     /// Like [`Inliner::compile`], but also returns a human-readable trace:
     /// the rendered call tree (paper Figures 2–4) after each round.
     ///
+    /// Implemented as a pure consumer of the structured event stream: the
+    /// compilation runs against a [`CollectingSink`] and the transcript is
+    /// rendered from the captured [`CompileEvent`]s.
+    ///
     /// # Errors
     ///
     /// Same as [`Inliner::compile`].
@@ -63,34 +71,37 @@ impl IncrementalInliner {
         method: MethodId,
         cx: &CompileCx<'_>,
     ) -> Result<(CompileOutcome, String), CompileError> {
-        let mut explain = String::new();
-        let out = self.compile_impl(method, cx, Some(&mut explain))?;
-        Ok((out, explain))
+        let sink = CollectingSink::new();
+        let traced = cx.with_trace(&sink);
+        let out = self.compile_impl(method, &traced)?;
+        Ok((out, crate::render::render_trace(&sink.take())))
     }
 
     fn compile_impl(
         &self,
         method: MethodId,
         cx: &CompileCx<'_>,
-        mut explain: Option<&mut String>,
     ) -> Result<CompileOutcome, CompileError> {
         let config = &self.config;
         let mut opt_total = OptStats::new();
 
         let mut graph = cx.program.method(method).graph.clone();
-        if !cx.fuel.charge(graph.size() as u64) {
+        if !cx.charge(graph.size() as u64) {
             return Err(out_of_fuel(cx.fuel));
         }
-        opt_total +=
-            incline_opt::optimize_fueled(cx.program, &mut graph, Default::default(), cx.fuel);
+        opt_total += incline_trace::optimize_with_trace(
+            cx.program,
+            &mut graph,
+            Default::default(),
+            cx.fuel,
+            cx.trace,
+            OptPhase::Initial,
+        );
 
         let mut tree = CallTree::new(method, graph, cx, config);
         let mut rounds = 0u64;
         let mut inlined_calls = 0u64;
         let mut starved_rounds = 0u32;
-
-        // Set INCLINE_TRACE=1 to watch the rounds (debugging aid).
-        let trace = std::env::var_os("INCLINE_TRACE").is_some();
 
         // Listing 1: while !detectTermination { expand; analyze; inline }.
         loop {
@@ -98,52 +109,48 @@ impl IncrementalInliner {
             // Each round costs at least the root it re-processes; a spent
             // budget aborts the compilation so the broker's ladder can
             // fall back to a cheaper tier.
-            if !cx.fuel.charge(tree.root_graph.size() as u64) {
+            if !cx.charge(tree.root_graph.size() as u64) {
                 return Err(out_of_fuel(cx.fuel));
             }
+            cx.emit(|| CompileEvent::RoundStart {
+                method,
+                round: rounds as u32,
+                root_size: tree.root_graph.size() as f64,
+                tree_nodes: tree.len(),
+            });
             let expanded = expand_phase(&mut tree, cx, config);
-            if trace {
-                eprintln!(
-                    "[incline] {} round {rounds}: expanded={expanded} tree={} root={}",
-                    cx.program.method(method).name,
-                    tree.len(),
-                    tree.root_graph.size()
-                );
-            }
             analyze_phase(&mut tree, cx, config);
-            if trace {
-                eprintln!("[incline]   analyzed");
-            }
             let inlined = inline_phase(&mut tree, cx, config);
             inlined_calls += inlined;
-            if trace {
-                eprintln!(
-                    "[incline]   inlined {inlined} (root={})",
-                    tree.root_graph.size()
-                );
-            }
 
             // End of round (§IV, Other optimizations): read–write
             // elimination and loop peeling run on the root.
-            opt_total += incline_opt::optimize_fueled(
+            opt_total += incline_trace::optimize_with_trace(
                 cx.program,
                 &mut tree.root_graph,
                 Default::default(),
                 cx.fuel,
+                cx.trace,
+                OptPhase::Round,
             );
             tree.sync_root_children(cx, config);
             refresh_specializations(&mut tree, cx, config);
-            if trace {
-                eprintln!("[incline]   optimized (root={})", tree.root_graph.size());
-            }
-            if let Some(explain) = explain.as_deref_mut() {
-                use std::fmt::Write as _;
-                let _ = writeln!(
-                    explain,
-                    "── round {rounds}: expanded={expanded} inlined={inlined} root={} ──",
-                    tree.root_graph.size()
-                );
-                explain.push_str(&crate::render::render(&tree, cx));
+            cx.emit(|| CompileEvent::RoundEnd {
+                method,
+                round: rounds as u32,
+                expanded,
+                inlined,
+                root_size: tree.root_graph.size() as f64,
+                tree_nodes: tree.len(),
+            });
+            // Rendering the tree is far too expensive for the hot path, so
+            // the snapshot is gated on an enabled sink rather than built
+            // inside a lazy closure that borrows `tree` anyway.
+            if cx.tracing() {
+                cx.trace.emit(CompileEvent::TreeSnapshot {
+                    round: rounds as u32,
+                    text: crate::render::render(&tree, cx),
+                });
             }
 
             // Expansion without inlining decisions means the thresholds
@@ -151,7 +158,7 @@ impl IncrementalInliner {
             // further only costs compile time (§II.2). Two starved rounds
             // end the compilation.
             starved_rounds = if inlined == 0 { starved_rounds + 1 } else { 0 };
-            let changed = expanded || inlined > 0;
+            let changed = expanded > 0 || inlined > 0;
             if !changed
                 || starved_rounds >= 2
                 || rounds as usize >= config.max_rounds
@@ -161,11 +168,13 @@ impl IncrementalInliner {
             }
         }
 
-        opt_total += incline_opt::optimize_fueled(
+        opt_total += incline_trace::optimize_with_trace(
             cx.program,
             &mut tree.root_graph,
             Default::default(),
             cx.fuel,
+            cx.trace,
+            OptPhase::Final,
         );
         let final_size = tree.root_graph.size();
         let explored = tree.explored_nodes;
@@ -200,7 +209,7 @@ impl Inliner for IncrementalInliner {
         method: MethodId,
         cx: &CompileCx<'_>,
     ) -> Result<CompileOutcome, CompileError> {
-        self.compile_impl(method, cx, None)
+        self.compile_impl(method, cx)
     }
 }
 
@@ -279,8 +288,8 @@ fn descend(
     descend(tree, best, refused, cx, config)
 }
 
-/// The expansion phase. Returns whether anything was expanded.
-fn expand_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) -> bool {
+/// The expansion phase. Returns the number of nodes expanded.
+fn expand_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) -> usize {
     let mut refused: HashSet<NodeId> = HashSet::new();
     let mut expansions = 0usize;
     loop {
@@ -296,20 +305,37 @@ fn expand_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) 
         let b_l = tree.local_benefit(cutoff);
         let ir = tree.ir_size(cutoff, cx);
         if should_expand(&config.expansion, b_l, ir, root_metrics.s_ir) {
-            tree.expand_node(cutoff, cx, config);
+            let won_priority = intrinsic_priority(tree, cutoff, cx, config);
+            let attached = tree.expand_node(cutoff, cx, config);
             expansions += 1;
+            cx.emit(|| {
+                let node = tree.node(cutoff);
+                CompileEvent::NodeExpanded {
+                    method: node.method.expect("expanded nodes have a target"),
+                    kind: crate::render::kind_tag(node.kind),
+                    freq: node.freq,
+                    priority: won_priority,
+                    ns: node.ns,
+                    no: node.no,
+                    attached,
+                }
+            });
         } else {
-            if std::env::var_os("INCLINE_TRACE").is_some() {
-                eprintln!(
-                    "[incline]     refuse {:?} b_l={b_l:.2} ir={ir} s_root={:.0}",
-                    tree.node(cutoff).method,
-                    root_metrics.s_ir
-                );
-            }
+            cx.emit(|| {
+                let m = tree.subtree_metrics(cutoff, cx);
+                CompileEvent::CutoffDeferred {
+                    method: tree.node(cutoff).method.expect("cutoffs have a target"),
+                    local_benefit: b_l,
+                    ir_size: ir,
+                    root_ir: root_metrics.s_ir,
+                    required_density: expansion_bar(&config.expansion, root_metrics.s_ir),
+                    penalty: exploration_penalty(&config.penalty, m.s_ir, m.s_b, m.n_c as f64),
+                }
+            });
             refused.insert(cutoff);
         }
     }
-    expansions > 0
+    expansions
 }
 
 // ---- analysis phase (Listing 6) ---------------------------------------------
@@ -397,6 +423,7 @@ fn analyze_node(
         tree.local_benefit(n) - child_benefit
     };
     let mut tuple = Tuple::new(own_benefit, tree.ir_size(n, cx));
+    let mut members = 1usize;
 
     // …and the front contains the adjacent child clusters.
     let mut front: Vec<NodeId> = children
@@ -421,6 +448,7 @@ fn analyze_node(
         let merged = tuple.merge(tree.node(m).tuple);
         if merged.ratio() > tuple.ratio() {
             tuple = merged;
+            members += 1;
             tree.node_mut(m).inlined_with_parent = true;
             front.swap_remove(idx);
             // The merged cluster's own front joins ours.
@@ -439,6 +467,14 @@ fn analyze_node(
         }
     }
     tree.node_mut(n).tuple = tuple;
+    if members > 1 {
+        cx.emit(|| CompileEvent::ClusterFormed {
+            method: tree.node(n).method,
+            members,
+            benefit: tuple.benefit,
+            cost: tuple.cost,
+        });
+    }
 }
 
 // ---- inlining phase (Listing 5) ----------------------------------------------
@@ -476,7 +512,16 @@ fn inline_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) 
         }
         let tuple = tree.node(n).tuple;
         let node_size = tree.ir_size(n, cx);
-        if !may_inline(&config.inlining, tuple, root_size, node_size) {
+        let accepted = may_inline(&config.inlining, tuple, root_size, node_size);
+        cx.emit(|| CompileEvent::InlineDecision {
+            method: tree.node(n).method,
+            benefit: tuple.benefit,
+            cost: tuple.cost,
+            threshold: inline_bar(&config.inlining, root_size, node_size),
+            root_size,
+            accepted,
+        });
+        if !accepted {
             continue; // skip; smaller clusters may still pass
         }
         let fronts = inline_cluster(tree, n, cx, &mut inlined);

@@ -445,7 +445,19 @@ impl CallTree {
         if specialize {
             let arg_info = self.callsite_arg_info(n, cx);
             ns = specialize_params(cx, &mut graph, &arg_info);
-            let stats = incline_opt::canonicalize_bundle(cx.program, &mut graph);
+            // The trial bundle (canonicalize_bundle) runs unmetered and
+            // reports per-stage deltas to the trace as Trial-phase events.
+            let stats = incline_trace::optimize_with_trace(
+                cx.program,
+                &mut graph,
+                incline_opt::PipelineConfig {
+                    peel_loops: false,
+                    max_rounds: 3,
+                },
+                &incline_opt::UNLIMITED_FUEL,
+                cx.trace,
+                incline_trace::OptPhase::Trial,
+            );
             no = stats.simple_count();
         }
 

@@ -58,6 +58,24 @@ pub fn recursion_penalty(freq: f64, depth: u32) -> f64 {
     freq.max(1.0) * ((1u64 << d) as f64 - 2.0).max(0.0)
 }
 
+/// The benefit *density* a cutoff must reach to be expanded (the
+/// right-hand side of Equation 8). For the fixed policy the bar is `−∞`
+/// below the size wall and `+∞` past it, so the comparison in
+/// [`should_expand`] reproduces the hard cutoff exactly. Exposed so trace
+/// events can report the bar a refused expansion failed to clear.
+pub fn expansion_bar(threshold: &ExpansionThreshold, s_ir_root: f64) -> f64 {
+    match *threshold {
+        ExpansionThreshold::Adaptive { r1, r2 } => ((s_ir_root - r1) / r2).exp(),
+        ExpansionThreshold::Fixed { te } => {
+            if s_ir_root < te as f64 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
 /// The expansion test (Equation 8 for the adaptive policy): should a
 /// cutoff with local benefit `b_l` and IR size `ir_size` be expanded,
 /// given the current explored-tree size `s_ir_root`?
@@ -67,11 +85,25 @@ pub fn should_expand(
     ir_size: f64,
     s_ir_root: f64,
 ) -> bool {
+    b_l / ir_size.max(1.0) >= expansion_bar(threshold, s_ir_root)
+}
+
+/// The benefit-to-cost ratio a cluster must reach to be inlined (the
+/// right-hand side of Equation 12). Fixed policies encode their size wall
+/// as `±∞` the same way [`expansion_bar`] does.
+pub fn inline_bar(threshold: &InlineThreshold, root_size: f64, node_size: f64) -> f64 {
     match *threshold {
-        ExpansionThreshold::Adaptive { r1, r2 } => {
-            b_l / ir_size.max(1.0) >= ((s_ir_root - r1) / r2).exp()
+        InlineThreshold::Adaptive { t1, t2 } => {
+            let exponent = (root_size + node_size) / (16.0 * t2);
+            t1 * exponent.exp2()
         }
-        ExpansionThreshold::Fixed { te } => s_ir_root < te as f64,
+        InlineThreshold::Fixed { ti } => {
+            if root_size < ti as f64 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
     }
 }
 
@@ -84,13 +116,7 @@ pub fn may_inline(
     root_size: f64,
     node_size: f64,
 ) -> bool {
-    match *threshold {
-        InlineThreshold::Adaptive { t1, t2 } => {
-            let exponent = (root_size + node_size) / (16.0 * t2);
-            tuple.ratio() >= t1 * exponent.exp2()
-        }
-        InlineThreshold::Fixed { ti } => root_size < ti as f64,
-    }
+    tuple.ratio() >= inline_bar(threshold, root_size, node_size)
 }
 
 #[cfg(test)]
@@ -187,6 +213,44 @@ mod tests {
         let t = InlineThreshold::Fixed { ti: 3000 };
         assert!(may_inline(&t, Tuple::new(0.0, 1e9), 2999.0, 50.0));
         assert!(!may_inline(&t, Tuple::new(1e9, 1.0), 3000.0, 1.0));
+    }
+
+    #[test]
+    fn bars_agree_with_predicates() {
+        let e = ExpansionThreshold::Adaptive {
+            r1: 3000.0,
+            r2: 500.0,
+        };
+        for (b_l, ir, s_root) in [
+            (1.0, 100.0, 0.0),
+            (120.0, 100.0, 3000.0),
+            (80.0, 100.0, 3000.0),
+        ] {
+            assert_eq!(
+                should_expand(&e, b_l, ir, s_root),
+                b_l / ir >= expansion_bar(&e, s_root)
+            );
+        }
+        let i = InlineThreshold::Adaptive {
+            t1: 0.005,
+            t2: 120.0,
+        };
+        let tup = Tuple::new(2.0, 40.0);
+        for (root, node) in [(100.0, 40.0), (6400.0, 2000.0), (6400.0, 40.0)] {
+            assert_eq!(
+                may_inline(&i, tup, root, node),
+                tup.ratio() >= inline_bar(&i, root, node)
+            );
+        }
+        // Fixed walls encode as ±∞.
+        assert_eq!(
+            expansion_bar(&ExpansionThreshold::Fixed { te: 10 }, 9.0),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            inline_bar(&InlineThreshold::Fixed { ti: 10 }, 10.0, 1.0),
+            f64::INFINITY
+        );
     }
 }
 

@@ -7,6 +7,7 @@
 
 use std::fmt::Write as _;
 
+use incline_trace::CompileEvent;
 use incline_vm::CompileCx;
 
 use crate::calltree::{CallTree, NodeId, NodeKind};
@@ -28,6 +29,36 @@ pub fn kind_tag(kind: NodeKind) -> char {
 pub fn render(tree: &CallTree, cx: &CompileCx<'_>) -> String {
     let mut out = String::new();
     render_node(tree, tree.root(), cx, "", true, &mut out);
+    out
+}
+
+/// Renders a per-round transcript (the `compile_explain` output) from a
+/// captured event stream: one header line per [`CompileEvent::RoundEnd`]
+/// followed by that round's [`CompileEvent::TreeSnapshot`].
+///
+/// This is a pure consumer of the structured trace — it never touches the
+/// call tree itself, so any `CollectingSink`-captured compilation can be
+/// replayed into the same human-readable form.
+pub fn render_trace(events: &[CompileEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            CompileEvent::RoundEnd {
+                round,
+                expanded,
+                inlined,
+                root_size,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "── round {round}: expanded={expanded} inlined={inlined} root={root_size:.0} ──"
+                );
+            }
+            CompileEvent::TreeSnapshot { text, .. } => out.push_str(text),
+            _ => {}
+        }
+    }
     out
 }
 

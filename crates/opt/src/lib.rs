@@ -51,7 +51,10 @@ pub use dce::dce;
 pub use fuel::{CompileFuel, UNLIMITED_FUEL};
 pub use gvn::gvn;
 pub use peel::peel_loops;
-pub use pipeline::{canonicalize_bundle, optimize, optimize_fueled, optimize_with, PipelineConfig};
+pub use pipeline::{
+    canonicalize_bundle, optimize, optimize_fueled, optimize_observed, optimize_with,
+    PipelineConfig, PipelineStage,
+};
 pub use rwelim::rw_elim;
 pub use stats::OptStats;
 pub use typeprop::type_prop;

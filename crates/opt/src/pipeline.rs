@@ -15,6 +15,27 @@ use crate::peel::peel_loops;
 use crate::rwelim::rw_elim;
 use crate::stats::OptStats;
 
+/// A stage of one pipeline invocation, for observers of per-stage
+/// [`OptStats`] deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// One fixpoint round of the scalar bundle (type propagation,
+    /// canonicalization, GVN, conditional elimination, read–write
+    /// elimination, DCE).
+    Scalar,
+    /// The loop-peeling step plus its cleanup bundle.
+    Peel,
+}
+
+impl std::fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineStage::Scalar => f.write_str("scalar"),
+            PipelineStage::Peel => f.write_str("peel"),
+        }
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
@@ -54,6 +75,20 @@ pub fn optimize_fueled(
     config: PipelineConfig,
     fuel: &CompileFuel,
 ) -> OptStats {
+    optimize_observed(program, graph, config, fuel, &mut |_, _| {})
+}
+
+/// [`optimize_fueled`] with a per-stage observer: after every fixpoint round
+/// of the scalar bundle and after the peeling step, `observer` receives the
+/// stage tag and that stage's [`OptStats`] delta. The return value is still
+/// the summed total.
+pub fn optimize_observed(
+    program: &Program,
+    graph: &mut Graph,
+    config: PipelineConfig,
+    fuel: &CompileFuel,
+    observer: &mut dyn FnMut(PipelineStage, OptStats),
+) -> OptStats {
     let mut total = OptStats::new();
     for _ in 0..config.max_rounds {
         if !fuel.charge(graph.size() as u64) {
@@ -68,6 +103,7 @@ pub fn optimize_fueled(
         round += dce(graph);
         let progress = round.any() || narrowed;
         total += round;
+        observer(PipelineStage::Scalar, round);
         if !progress {
             break;
         }
@@ -75,12 +111,14 @@ pub fn optimize_fueled(
     if config.peel_loops && fuel.charge(graph.size() as u64) {
         let peeled = peel_loops(program, graph);
         if peeled.any() {
-            total += peeled;
+            let mut stage = peeled;
             // Clean up the peeled copy (narrowed types enable folding).
-            total += canonicalize(program, graph);
-            total += gvn(graph);
-            total += rw_elim(program, graph);
-            total += dce(graph);
+            stage += canonicalize(program, graph);
+            stage += gvn(graph);
+            stage += rw_elim(program, graph);
+            stage += dce(graph);
+            total += stage;
+            observer(PipelineStage::Peel, stage);
         }
     }
     total

@@ -1,0 +1,367 @@
+//! The typed compilation event vocabulary.
+
+use std::fmt;
+
+use incline_ir::MethodId;
+use incline_opt::{OptStats, PipelineStage};
+
+/// Which run of the optimization pipeline an [`CompileEvent::OptPassStats`]
+/// delta belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptPhase {
+    /// The initial cleanup pass over the root graph, before any inlining.
+    Initial,
+    /// The per-round pipeline run after an expand/analyze/inline round.
+    Round,
+    /// The final pipeline run once inlining has converged.
+    Final,
+    /// A trial optimization of a speculatively specialized callee body
+    /// during call-tree expansion.
+    Trial,
+    /// A baseline inliner's single post-inlining pipeline run.
+    Baseline,
+    /// The degraded (inline-free) tier's pipeline run in the bailout ladder.
+    Degraded,
+}
+
+impl fmt::Display for OptPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptPhase::Initial => "initial",
+            OptPhase::Round => "round",
+            OptPhase::Final => "final",
+            OptPhase::Trial => "trial",
+            OptPhase::Baseline => "baseline",
+            OptPhase::Degraded => "degraded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which rung of the bailout ladder a [`CompileEvent::Bailout`] fell from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BailoutStage {
+    /// The full optimizing tier (the configured inliner).
+    Full,
+    /// The degraded, inline-free fallback tier.
+    Degraded,
+}
+
+impl fmt::Display for BailoutStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BailoutStage::Full => f.write_str("full"),
+            BailoutStage::Degraded => f.write_str("degraded"),
+        }
+    }
+}
+
+/// The execution tier a method lands in after a compile attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodeTier {
+    /// Fully optimized code from the configured inliner.
+    Full,
+    /// Inline-free code from the degraded fallback tier.
+    Degraded,
+    /// The method was blacklisted and stays in the interpreter.
+    Interpreter,
+}
+
+impl fmt::Display for CodeTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeTier::Full => f.write_str("full"),
+            CodeTier::Degraded => f.write_str("degraded"),
+            CodeTier::Interpreter => f.write_str("interpreter"),
+        }
+    }
+}
+
+/// One structured event in a compilation trace.
+///
+/// Events are emitted in deterministic program order by the incremental
+/// inliner (per-round lifecycle), the baselines, the optimization pipeline,
+/// and the VM broker (tiers, bailouts, installation). Frequencies, sizes and
+/// benefits mirror the paper's quantities: priorities follow Eq. 5, the
+/// exploration penalty Eq. 7, expansion bars Eq. 8 and inline bars Eq. 12.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileEvent {
+    /// An expand/analyze/inline round is starting.
+    RoundStart {
+        /// Root method being compiled.
+        method: MethodId,
+        /// 1-based round number.
+        round: u32,
+        /// IR size of the root graph at round start.
+        root_size: f64,
+        /// Number of nodes currently in the call tree.
+        tree_nodes: usize,
+    },
+    /// An expand/analyze/inline round finished.
+    RoundEnd {
+        /// Root method being compiled.
+        method: MethodId,
+        /// 1-based round number.
+        round: u32,
+        /// Call-tree nodes expanded this round.
+        expanded: usize,
+        /// Callsites inlined into the root this round.
+        inlined: u64,
+        /// IR size of the root graph after the round's cleanup pipeline.
+        root_size: f64,
+        /// Number of nodes in the call tree at round end.
+        tree_nodes: usize,
+    },
+    /// A call-tree node was expanded: its callee body was copied, specialized
+    /// and trial-optimized, and its own callsites became child nodes.
+    NodeExpanded {
+        /// The callee method that was expanded.
+        method: MethodId,
+        /// Paper state tag after expansion: E/C/D/G/P (see `render::kind_tag`).
+        kind: char,
+        /// Call frequency of the expanded callsite.
+        freq: f64,
+        /// Eq. 5 intrinsic priority that won this node its expansion slot.
+        priority: f64,
+        /// `N_s`: arguments more concrete than the formal parameters.
+        ns: u32,
+        /// `N_o`: simple optimizations triggered by the inlining trial.
+        no: u64,
+        /// Child callsite nodes attached by the expansion.
+        attached: usize,
+    },
+    /// An expansion candidate was deferred: its benefit density fell below
+    /// the adaptive expansion bar (Eq. 8).
+    CutoffDeferred {
+        /// The callee method left as a cutoff node.
+        method: MethodId,
+        /// Local benefit b_l of the deferred subtree.
+        local_benefit: f64,
+        /// IR size of the deferred subtree.
+        ir_size: f64,
+        /// Current root IR size driving the adaptive bar.
+        root_ir: f64,
+        /// Benefit density required by Eq. 8 for expansion.
+        required_density: f64,
+        /// Eq. 7 exploration penalty of the deferred subtree.
+        penalty: f64,
+    },
+    /// The analyze phase merged a parent with one or more children into an
+    /// inline cluster (Listing 6), pooling their benefit/cost tuples.
+    ClusterFormed {
+        /// Method of the cluster's head node (`None` for the root).
+        method: Option<MethodId>,
+        /// Nodes folded into the cluster, including the head.
+        members: usize,
+        /// Pooled benefit of the cluster tuple.
+        benefit: f64,
+        /// Pooled cost of the cluster tuple.
+        cost: f64,
+    },
+    /// The inline phase decided whether to inline a candidate into the root.
+    InlineDecision {
+        /// Candidate method (`None` for synthetic nodes).
+        method: Option<MethodId>,
+        /// Benefit component of the candidate's tuple `b|c`.
+        benefit: f64,
+        /// Cost component of the candidate's tuple `b|c`.
+        cost: f64,
+        /// Benefit/cost ratio the candidate had to clear (Eq. 12), or a
+        /// speculation confidence bar for baseline speculative decisions.
+        threshold: f64,
+        /// Root IR size at decision time.
+        root_size: f64,
+        /// Whether the candidate was inlined.
+        accepted: bool,
+    },
+    /// One optimization-pipeline stage ran; `stats` is its delta.
+    OptPassStats {
+        /// Which pipeline invocation this delta belongs to.
+        phase: OptPhase,
+        /// Which stage of that invocation produced it.
+        stage: PipelineStage,
+        /// Counters for the transformations the stage applied.
+        stats: OptStats,
+    },
+    /// Compile fuel was charged.
+    FuelCharged {
+        /// Units requested by this charge.
+        amount: u64,
+        /// Total units spent after the charge (capped at the fuel limit).
+        spent: u64,
+    },
+    /// A human-readable call-tree snapshot (the `render` output) taken at a
+    /// round boundary. Only emitted for enabled sinks.
+    TreeSnapshot {
+        /// Round the snapshot was taken after.
+        round: u32,
+        /// Rendered ASCII call tree.
+        text: String,
+    },
+    /// A method transitioned to an execution tier.
+    TierTransition {
+        /// The method changing tiers.
+        method: MethodId,
+        /// The tier it landed in.
+        tier: CodeTier,
+    },
+    /// A compile attempt bailed out of a tier.
+    Bailout {
+        /// The method whose compile failed.
+        method: MethodId,
+        /// The tier that failed.
+        stage: BailoutStage,
+        /// Human-readable error, as rendered by `CompileError`.
+        error: String,
+    },
+    /// Verified machine code was installed for a method.
+    CodeInstalled {
+        /// The method that now has compiled code.
+        method: MethodId,
+        /// Modeled code size in bytes.
+        bytes: u64,
+        /// Final IR graph size.
+        graph_size: usize,
+        /// Total work nodes charged to this compilation.
+        work_nodes: u64,
+    },
+}
+
+impl CompileEvent {
+    /// Short name of the event variant, matching the JSONL `"ev"` key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompileEvent::RoundStart { .. } => "RoundStart",
+            CompileEvent::RoundEnd { .. } => "RoundEnd",
+            CompileEvent::NodeExpanded { .. } => "NodeExpanded",
+            CompileEvent::CutoffDeferred { .. } => "CutoffDeferred",
+            CompileEvent::ClusterFormed { .. } => "ClusterFormed",
+            CompileEvent::InlineDecision { .. } => "InlineDecision",
+            CompileEvent::OptPassStats { .. } => "OptPassStats",
+            CompileEvent::FuelCharged { .. } => "FuelCharged",
+            CompileEvent::TreeSnapshot { .. } => "TreeSnapshot",
+            CompileEvent::TierTransition { .. } => "TierTransition",
+            CompileEvent::Bailout { .. } => "Bailout",
+            CompileEvent::CodeInstalled { .. } => "CodeInstalled",
+        }
+    }
+}
+
+fn opt_method(method: &Option<MethodId>) -> String {
+    match method {
+        Some(m) => m.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for CompileEvent {
+    /// Human-readable one-line rendering, used by [`crate::StderrSink`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileEvent::RoundStart {
+                method,
+                round,
+                root_size,
+                tree_nodes,
+            } => write!(
+                f,
+                "round {round} start: root {method} |ir|={root_size:.0} tree={tree_nodes}"
+            ),
+            CompileEvent::RoundEnd {
+                method,
+                round,
+                expanded,
+                inlined,
+                root_size,
+                tree_nodes,
+            } => write!(
+                f,
+                "round {round} end: root {method} expanded={expanded} inlined={inlined} \
+                 |ir|={root_size:.0} tree={tree_nodes}"
+            ),
+            CompileEvent::NodeExpanded {
+                method,
+                kind,
+                freq,
+                priority,
+                ns,
+                no,
+                attached,
+            } => write!(
+                f,
+                "  expand {method} [{kind}] f={freq:.2} p={priority:.2} \
+                 Ns={ns} No={no} attached={attached}"
+            ),
+            CompileEvent::CutoffDeferred {
+                method,
+                local_benefit,
+                ir_size,
+                root_ir,
+                required_density,
+                penalty,
+            } => write!(
+                f,
+                "  defer {method} b_l={local_benefit:.2} |ir|={ir_size:.0} \
+                 root={root_ir:.0} bar={required_density:.4} penalty={penalty:.2}"
+            ),
+            CompileEvent::ClusterFormed {
+                method,
+                members,
+                benefit,
+                cost,
+            } => write!(
+                f,
+                "  cluster {} members={members} b|c={benefit:.1}|{cost:.0}",
+                opt_method(method)
+            ),
+            CompileEvent::InlineDecision {
+                method,
+                benefit,
+                cost,
+                threshold,
+                root_size,
+                accepted,
+            } => write!(
+                f,
+                "  {} {} b|c={benefit:.1}|{cost:.0} bar={threshold:.4} root={root_size:.0}",
+                if *accepted { "inline" } else { "reject" },
+                opt_method(method)
+            ),
+            CompileEvent::OptPassStats {
+                phase,
+                stage,
+                stats,
+            } => write!(
+                f,
+                "  opt[{phase}/{stage}] {} transforms ({} simple, {} dce, {} gvn)",
+                stats.total(),
+                stats.simple_count(),
+                stats.dce,
+                stats.gvn
+            ),
+            CompileEvent::FuelCharged { amount, spent } => {
+                write!(f, "  fuel +{amount} (spent {spent})")
+            }
+            CompileEvent::TreeSnapshot { round, text } => {
+                write!(f, "call tree after round {round}:\n{text}")
+            }
+            CompileEvent::TierTransition { method, tier } => {
+                write!(f, "{method} -> {tier} tier")
+            }
+            CompileEvent::Bailout {
+                method,
+                stage,
+                error,
+            } => write!(f, "bailout {method} at {stage} tier: {error}"),
+            CompileEvent::CodeInstalled {
+                method,
+                bytes,
+                graph_size,
+                work_nodes,
+            } => write!(
+                f,
+                "installed {method}: {bytes} bytes, |ir|={graph_size}, work={work_nodes}"
+            ),
+        }
+    }
+}

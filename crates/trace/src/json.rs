@@ -1,0 +1,339 @@
+//! Hand-rolled JSON serialization for [`CompileEvent`] — no external deps.
+//!
+//! Every event becomes one flat JSON object whose first key, `"ev"`, names
+//! the variant. Field order is fixed by the serializer, floats are printed
+//! with Rust's shortest-roundtrip `Display` (deterministic), non-finite
+//! floats become `null`, and method ids use their `Display` form (`"m3"`).
+
+use std::fmt::Write as _;
+
+use incline_ir::MethodId;
+use incline_opt::OptStats;
+
+use crate::event::CompileEvent;
+
+/// Incrementally builds one flat JSON object.
+struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    fn new(event_name: &str) -> Self {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"ev\":\"");
+        buf.push_str(event_name);
+        buf.push('"');
+        JsonObj { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    fn raw(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn method(self, key: &str, method: &MethodId) -> Self {
+        let text = method.to_string();
+        self.str(key, &text)
+    }
+
+    fn opt_method(self, key: &str, method: &Option<MethodId>) -> Self {
+        match method {
+            Some(m) => self.method(key, m),
+            None => {
+                let mut obj = self;
+                obj.key(key);
+                obj.buf.push_str("null");
+                obj
+            }
+        }
+    }
+
+    fn stats(mut self, key: &str, stats: &OptStats) -> Self {
+        self.key(key);
+        self.buf.push('{');
+        let fields: [(&str, u64); 10] = [
+            ("const_fold", stats.const_fold),
+            ("strength_red", stats.strength_red),
+            ("branch_prune", stats.branch_prune),
+            ("typecheck_fold", stats.typecheck_fold),
+            ("devirt", stats.devirt),
+            ("gvn", stats.gvn),
+            ("rw_elim", stats.rw_elim),
+            ("dce", stats.dce),
+            ("blocks_merged", stats.blocks_merged),
+            ("loops_peeled", stats.loops_peeled),
+        ];
+        let mut first = true;
+        for (name, value) in fields {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let _ = write!(self.buf, "\"{name}\":{value}");
+        }
+        self.buf.push('}');
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_into(buf: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+impl CompileEvent {
+    /// Serialize this event as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            CompileEvent::RoundStart {
+                method,
+                round,
+                root_size,
+                tree_nodes,
+            } => JsonObj::new("RoundStart")
+                .method("method", method)
+                .raw("round", round)
+                .f64("root_size", *root_size)
+                .raw("tree_nodes", tree_nodes)
+                .finish(),
+            CompileEvent::RoundEnd {
+                method,
+                round,
+                expanded,
+                inlined,
+                root_size,
+                tree_nodes,
+            } => JsonObj::new("RoundEnd")
+                .method("method", method)
+                .raw("round", round)
+                .raw("expanded", expanded)
+                .raw("inlined", inlined)
+                .f64("root_size", *root_size)
+                .raw("tree_nodes", tree_nodes)
+                .finish(),
+            CompileEvent::NodeExpanded {
+                method,
+                kind,
+                freq,
+                priority,
+                ns,
+                no,
+                attached,
+            } => JsonObj::new("NodeExpanded")
+                .method("method", method)
+                .str("kind", &kind.to_string())
+                .f64("freq", *freq)
+                .f64("priority", *priority)
+                .raw("ns", ns)
+                .raw("no", no)
+                .raw("attached", attached)
+                .finish(),
+            CompileEvent::CutoffDeferred {
+                method,
+                local_benefit,
+                ir_size,
+                root_ir,
+                required_density,
+                penalty,
+            } => JsonObj::new("CutoffDeferred")
+                .method("method", method)
+                .f64("local_benefit", *local_benefit)
+                .f64("ir_size", *ir_size)
+                .f64("root_ir", *root_ir)
+                .f64("required_density", *required_density)
+                .f64("penalty", *penalty)
+                .finish(),
+            CompileEvent::ClusterFormed {
+                method,
+                members,
+                benefit,
+                cost,
+            } => JsonObj::new("ClusterFormed")
+                .opt_method("method", method)
+                .raw("members", members)
+                .f64("benefit", *benefit)
+                .f64("cost", *cost)
+                .finish(),
+            CompileEvent::InlineDecision {
+                method,
+                benefit,
+                cost,
+                threshold,
+                root_size,
+                accepted,
+            } => JsonObj::new("InlineDecision")
+                .opt_method("method", method)
+                .f64("benefit", *benefit)
+                .f64("cost", *cost)
+                .f64("threshold", *threshold)
+                .f64("root_size", *root_size)
+                .bool("accepted", *accepted)
+                .finish(),
+            CompileEvent::OptPassStats {
+                phase,
+                stage,
+                stats,
+            } => JsonObj::new("OptPassStats")
+                .str("phase", &phase.to_string())
+                .str("stage", &stage.to_string())
+                .stats("stats", stats)
+                .finish(),
+            CompileEvent::FuelCharged { amount, spent } => JsonObj::new("FuelCharged")
+                .raw("amount", amount)
+                .raw("spent", spent)
+                .finish(),
+            CompileEvent::TreeSnapshot { round, text } => JsonObj::new("TreeSnapshot")
+                .raw("round", round)
+                .str("text", text)
+                .finish(),
+            CompileEvent::TierTransition { method, tier } => JsonObj::new("TierTransition")
+                .method("method", method)
+                .str("tier", &tier.to_string())
+                .finish(),
+            CompileEvent::Bailout {
+                method,
+                stage,
+                error,
+            } => JsonObj::new("Bailout")
+                .method("method", method)
+                .str("stage", &stage.to_string())
+                .str("error", error)
+                .finish(),
+            CompileEvent::CodeInstalled {
+                method,
+                bytes,
+                graph_size,
+                work_nodes,
+            } => JsonObj::new("CodeInstalled")
+                .method("method", method)
+                .raw("bytes", bytes)
+                .raw("graph_size", graph_size)
+                .raw("work_nodes", work_nodes)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BailoutStage, OptPhase};
+    use incline_opt::PipelineStage;
+
+    #[test]
+    fn serializes_flat_objects_with_ev_discriminator() {
+        let ev = CompileEvent::InlineDecision {
+            method: Some(MethodId::new(3)),
+            benefit: 12.5,
+            cost: 40.0,
+            threshold: 0.001,
+            root_size: 250.0,
+            accepted: true,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"InlineDecision\",\"method\":\"m3\",\"benefit\":12.5,\
+             \"cost\":40,\"threshold\":0.001,\"root_size\":250,\"accepted\":true}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = CompileEvent::InlineDecision {
+            method: None,
+            benefit: f64::NAN,
+            cost: f64::INFINITY,
+            threshold: f64::INFINITY,
+            root_size: 1.0,
+            accepted: false,
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\"method\":null"), "{json}");
+        assert!(json.contains("\"benefit\":null"), "{json}");
+        assert!(json.contains("\"threshold\":null"), "{json}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = CompileEvent::Bailout {
+            method: MethodId::new(0),
+            stage: BailoutStage::Full,
+            error: "panic: \"boom\"\nline2\\end".to_string(),
+        };
+        let json = ev.to_json();
+        assert!(
+            json.contains("panic: \\\"boom\\\"\\nline2\\\\end"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn opt_stats_skip_zero_counters() {
+        let stats = OptStats {
+            const_fold: 2,
+            dce: 7,
+            ..OptStats::new()
+        };
+        let ev = CompileEvent::OptPassStats {
+            phase: OptPhase::Round,
+            stage: PipelineStage::Scalar,
+            stats,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"OptPassStats\",\"phase\":\"round\",\"stage\":\"scalar\",\
+             \"stats\":{\"const_fold\":2,\"dce\":7}}"
+        );
+    }
+}

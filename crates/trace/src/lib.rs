@@ -1,0 +1,57 @@
+//! Typed compilation-event stream for the incline JIT.
+//!
+//! This crate defines the structured tracing API that every compiler in the
+//! workspace emits into: a [`CompileEvent`] enum covering the per-round
+//! lifecycle of the paper's incremental inliner (expansion, cutoff deferral,
+//! clustering, inline decisions), the optimization pipeline, the compile-fuel
+//! accounting, and the VM broker's tier transitions and bailouts — plus a
+//! [`TraceSink`] trait with ready-made sinks:
+//!
+//! - [`NullSink`]: the zero-cost default (reports `enabled() == false`, so
+//!   producers skip event construction entirely),
+//! - [`CollectingSink`]: buffers events in memory for programmatic consumers,
+//! - [`StderrSink`]: prints human-readable lines, preserving the old
+//!   `INCLINE_TRACE` debugging workflow as explicit API,
+//! - [`JsonlSink`]: hand-rolled JSON-lines serializer with no external deps.
+//!
+//! The stream is deterministic: two compilations of the same program with the
+//! same configuration produce byte-identical JSONL traces.
+
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod sink;
+
+pub use event::{BailoutStage, CodeTier, CompileEvent, OptPhase};
+pub use sink::{CollectingSink, JsonlSink, NullSink, StderrSink, TraceSink, NULL_SINK};
+
+use incline_ir::{Graph, Program};
+use incline_opt::{optimize_observed, CompileFuel, OptStats, PipelineConfig};
+
+/// Run the optimization pipeline, forwarding per-stage [`OptStats`] deltas to
+/// `sink` as [`CompileEvent::OptPassStats`] events tagged with `phase`.
+///
+/// When the sink is disabled this is exactly `optimize_fueled` — no closure
+/// state, no event construction.
+pub fn optimize_with_trace(
+    program: &Program,
+    graph: &mut Graph,
+    config: PipelineConfig,
+    fuel: &CompileFuel,
+    sink: &dyn TraceSink,
+    phase: OptPhase,
+) -> OptStats {
+    if !sink.enabled() {
+        return incline_opt::optimize_fueled(program, graph, config, fuel);
+    }
+    optimize_observed(program, graph, config, fuel, &mut |stage, stats| {
+        if stats.any() {
+            sink.emit(CompileEvent::OptPassStats {
+                phase,
+                stage,
+                stats,
+            });
+        }
+    })
+}

@@ -1,0 +1,196 @@
+//! Trace sinks: where compilation events go.
+
+use std::cell::RefCell;
+use std::io::Write;
+
+use crate::event::CompileEvent;
+
+/// A consumer of [`CompileEvent`]s.
+///
+/// Sinks take `&self` and use interior mutability where they need state —
+/// the VM and all compilers are single-threaded, and this lets the sink be
+/// carried by reference inside `Copy` contexts (the same way `CompileFuel`
+/// is).
+pub trait TraceSink {
+    /// Whether this sink wants events at all. Producers consult this before
+    /// building an event, so a disabled sink costs one virtual call and no
+    /// allocation.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one event.
+    fn emit(&self, event: CompileEvent);
+}
+
+/// The zero-cost default sink: reports `enabled() == false` and drops
+/// anything it is handed anyway.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: CompileEvent) {}
+}
+
+/// A shared [`NullSink`] for contexts that need a `&'static dyn TraceSink`.
+pub static NULL_SINK: NullSink = NullSink;
+
+/// Buffers events in memory for programmatic consumers (`compile_explain`,
+/// tests, visualizers).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: RefCell<Vec<CompileEvent>>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Drain and return the collected events.
+    pub fn take(&self) -> Vec<CompileEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Clone the collected events, leaving the buffer intact.
+    pub fn snapshot(&self) -> Vec<CompileEvent> {
+        self.events.borrow().clone()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn emit(&self, event: CompileEvent) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// Prints each event as a human-readable `[incline]`-prefixed line on
+/// stderr — the explicit-API replacement for the old `INCLINE_TRACE`
+/// environment variable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn emit(&self, event: CompileEvent) {
+        eprintln!("[incline] {event}");
+    }
+}
+
+/// Serializes each event as one JSON object per line (JSONL) into any
+/// [`Write`] target. The serializer is hand-rolled (`CompileEvent::to_json`)
+/// and deterministic; write errors are swallowed so tracing can never fail a
+/// compilation.
+#[derive(Debug, Default)]
+pub struct JsonlSink<W: Write> {
+    out: RefCell<W>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: RefCell::new(out),
+        }
+    }
+
+    /// Unwrap the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner()
+    }
+
+    /// Take the writer out through a shared reference, leaving a default one
+    /// behind — handy when the sink is held as `Rc<JsonlSink<Vec<u8>>>`.
+    pub fn take(&self) -> W
+    where
+        W: Default,
+    {
+        std::mem::take(&mut *self.out.borrow_mut())
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&self, event: CompileEvent) {
+        let mut out = self.out.borrow_mut();
+        let _ = out.write_all(event.to_json().as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(!NULL_SINK.enabled());
+        NullSink.emit(CompileEvent::FuelCharged {
+            amount: 1,
+            spent: 1,
+        });
+    }
+
+    #[test]
+    fn collecting_sink_buffers_in_order() {
+        let sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.emit(CompileEvent::FuelCharged {
+            amount: 5,
+            spent: 5,
+        });
+        sink.emit(CompileEvent::FuelCharged {
+            amount: 3,
+            spent: 8,
+        });
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(
+            events,
+            vec![
+                CompileEvent::FuelCharged {
+                    amount: 5,
+                    spent: 5
+                },
+                CompileEvent::FuelCharged {
+                    amount: 3,
+                    spent: 8
+                },
+            ]
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(CompileEvent::FuelCharged {
+            amount: 5,
+            spent: 5,
+        });
+        sink.emit(CompileEvent::FuelCharged {
+            amount: 3,
+            spent: 8,
+        });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ev\":\"FuelCharged\""));
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -16,6 +16,7 @@
 use incline_ir::{Graph, MethodId, Program};
 use incline_opt::{CompileFuel, UNLIMITED_FUEL};
 use incline_profile::ProfileTable;
+use incline_trace::{CompileEvent, TraceSink, NULL_SINK};
 
 /// Read-only context available to a compilation.
 #[derive(Clone, Copy)]
@@ -28,21 +29,57 @@ pub struct CompileCx<'a> {
     /// IR they process and wind down (or report [`CompileError::OutOfFuel`])
     /// once it is spent.
     pub fuel: &'a CompileFuel,
+    /// Where this compilation's [`CompileEvent`] stream goes. Defaults to
+    /// the disabled [`incline_trace::NullSink`]; carried by reference just
+    /// like `fuel` so the context stays `Copy`.
+    pub trace: &'a dyn TraceSink,
 }
 
 impl<'a> CompileCx<'a> {
-    /// A context with an unlimited compile budget.
+    /// A context with an unlimited compile budget and tracing disabled.
     pub fn new(program: &'a Program, profiles: &'a ProfileTable) -> Self {
         CompileCx {
             program,
             profiles,
             fuel: &UNLIMITED_FUEL,
+            trace: &NULL_SINK,
         }
     }
 
     /// Replaces the compile budget.
     pub fn with_fuel(self, fuel: &'a CompileFuel) -> Self {
         CompileCx { fuel, ..self }
+    }
+
+    /// Replaces the trace sink.
+    pub fn with_trace(self, trace: &'a dyn TraceSink) -> Self {
+        CompileCx { trace, ..self }
+    }
+
+    /// Whether the trace sink wants events. Producers should gate any
+    /// expensive event construction (string rendering, tree snapshots) on
+    /// this.
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Emit an event, building it only if the sink is enabled.
+    pub fn emit(&self, event: impl FnOnce() -> CompileEvent) {
+        if self.trace.enabled() {
+            self.trace.emit(event());
+        }
+    }
+
+    /// Charge `amount` units of compile fuel, tracing the charge. Returns
+    /// `false` once the budget is spent (same contract as
+    /// [`CompileFuel::charge`]).
+    pub fn charge(&self, amount: u64) -> bool {
+        let ok = self.fuel.charge(amount);
+        self.emit(|| CompileEvent::FuelCharged {
+            amount,
+            spent: self.fuel.spent(),
+        });
+        ok
     }
 }
 
@@ -146,14 +183,16 @@ impl Inliner for NoInline {
     ) -> Result<CompileOutcome, CompileError> {
         let mut graph = cx.program.method(method).graph.clone();
         let before = graph.size();
-        if !cx.fuel.charge(before as u64) {
+        if !cx.charge(before as u64) {
             return Err(fuel_error(cx.fuel));
         }
-        let stats = incline_opt::optimize_fueled(
+        let stats = incline_trace::optimize_with_trace(
             cx.program,
             &mut graph,
             incline_opt::PipelineConfig::default(),
             cx.fuel,
+            cx.trace,
+            incline_trace::OptPhase::Baseline,
         );
         let final_size = graph.size();
         Ok(CompileOutcome {

@@ -42,9 +42,17 @@ pub mod value;
 pub use cost::{CostModel, Tier};
 pub use faults::{FaultKind, FaultPlan};
 pub use incline_opt::{CompileFuel, UNLIMITED_FUEL};
+/// The structured tracing layer, re-exported for consumers of this crate.
+pub use incline_trace as trace;
+pub use incline_trace::{
+    CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink, NULL_SINK,
+};
 pub use inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, NoInline};
 pub use machine::{
-    BailoutCounters, BailoutRecord, CompileStage, ExecError, Machine, RunOutcome, VmConfig,
+    BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, Machine,
+    RunOutcome, VmConfig,
 };
-pub use runner::{run_benchmark, run_benchmark_faulted, BenchError, BenchResult, BenchSpec};
+pub use runner::{
+    run_benchmark, run_benchmark_faulted, run_benchmark_traced, BenchError, BenchResult, BenchSpec,
+};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

@@ -41,6 +41,7 @@ use incline_ir::loops::LoopForest;
 use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
 use incline_opt::CompileFuel;
 use incline_profile::ProfileTable;
+use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, OptPhase, TraceSink};
 
 use crate::cost::{CostModel, Tier};
 use crate::faults::{self, FaultKind, FaultPlan};
@@ -100,6 +101,22 @@ impl std::fmt::Display for CompileStage {
     }
 }
 
+impl CompileStage {
+    fn bailout_stage(self) -> BailoutStage {
+        match self {
+            CompileStage::Full => BailoutStage::Full,
+            CompileStage::Degraded => BailoutStage::Degraded,
+        }
+    }
+
+    fn code_tier(self) -> CodeTier {
+        match self {
+            CompileStage::Full => CodeTier::Full,
+            CompileStage::Degraded => CodeTier::Degraded,
+        }
+    }
+}
+
 /// One recorded bailout: a compilation attempt that failed and fell
 /// through to the next rung of the ladder.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +166,28 @@ impl BailoutCounters {
             CompileError::OutOfFuel { .. } => self.fuel_exhaustions += 1,
         }
     }
+}
+
+/// Consolidated compilation telemetry, the one-stop alternative to the
+/// individual `Machine` getters (which remain as thin delegates).
+#[derive(Clone, Debug, Default)]
+pub struct CompilationReport {
+    /// Compilation requests the broker handled (each runs the full ladder).
+    pub compile_requests: u64,
+    /// Compilations that installed code.
+    pub compilations: u64,
+    /// Cycles spent compiling over the machine's lifetime.
+    pub total_compile_cycles: u64,
+    /// Machine-code bytes currently installed.
+    pub installed_bytes: u64,
+    /// Aggregate bailout counters.
+    pub bailouts: BailoutCounters,
+    /// Every recorded bailout, in occurrence order.
+    pub bailout_log: Vec<BailoutRecord>,
+    /// Per-compilation inliner statistics, in compilation order.
+    pub compile_log: Vec<(MethodId, InlineStats)>,
+    /// Methods permanently pinned to the interpreter, sorted.
+    pub blacklisted: Vec<MethodId>,
 }
 
 /// Why execution stopped abnormally.
@@ -216,6 +255,7 @@ pub struct Machine<'p> {
     bailout_log: Vec<BailoutRecord>,
     fault_plan: FaultPlan,
     compile_requests: u64,
+    trace: Rc<dyn TraceSink + 'p>,
     // Per-run state.
     heap: Heap,
     output: Output,
@@ -244,6 +284,7 @@ impl<'p> Machine<'p> {
             bailout_log: Vec::new(),
             fault_plan: FaultPlan::new(),
             compile_requests: 0,
+            trace: Rc::new(NullSink),
             heap: Heap::new(),
             output: Output::new(),
             exec_cycles: 0,
@@ -340,10 +381,32 @@ impl<'p> Machine<'p> {
         self.compile_requests
     }
 
+    /// Consolidated compilation telemetry: everything the individual
+    /// getters expose, in one snapshot.
+    pub fn report(&self) -> CompilationReport {
+        CompilationReport {
+            compile_requests: self.compile_requests,
+            compilations: self.compilations,
+            total_compile_cycles: self.total_compile_cycles,
+            installed_bytes: self.installed_bytes,
+            bailouts: self.bailouts,
+            bailout_log: self.bailout_log.clone(),
+            compile_log: self.last_compile_stats.clone(),
+            blacklisted: self.blacklisted_methods(),
+        }
+    }
+
     /// Installs a fault-injection plan (see [`crate::faults`]). Faults are
     /// indexed by compilation request: the Nth request the broker handles.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fault_plan = plan;
+    }
+
+    /// Routes all subsequent compilations' [`CompileEvent`] streams — the
+    /// broker's own tier/bailout/installation events and everything the
+    /// inliner and opt pipeline emit — into `sink`.
+    pub fn set_trace_sink(&mut self, sink: Rc<dyn TraceSink + 'p>) {
+        self.trace = sink;
     }
 
     /// Force-compiles a method immediately (used by experiments that want
@@ -375,6 +438,14 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Emits a broker-level trace event, building it only if the sink is
+    /// enabled.
+    fn emit(&self, event: impl FnOnce() -> CompileEvent) {
+        if self.trace.enabled() {
+            self.trace.emit(event());
+        }
+    }
+
     /// One compilation request, run down the bailout ladder. Returns
     /// whether code was installed; on `false` the method is blacklisted
     /// and will never be attempted again.
@@ -383,30 +454,34 @@ impl<'p> Machine<'p> {
         self.compile_requests += 1;
         let fault = self.fault_plan.fault_at(request);
 
-        match self.try_full_tier(method, fault) {
-            Ok(()) => return true,
-            Err(error) => {
-                self.bailouts.record(CompileStage::Full, &error);
-                self.bailout_log.push(BailoutRecord {
-                    method,
-                    stage: CompileStage::Full,
-                    error,
-                });
-            }
-        }
-        match self.try_degraded_tier(method, fault) {
-            Ok(()) => return true,
-            Err(error) => {
-                self.bailouts.record(CompileStage::Degraded, &error);
-                self.bailout_log.push(BailoutRecord {
-                    method,
-                    stage: CompileStage::Degraded,
-                    error,
-                });
+        for stage in [CompileStage::Full, CompileStage::Degraded] {
+            let attempt = match stage {
+                CompileStage::Full => self.try_full_tier(method, fault),
+                CompileStage::Degraded => self.try_degraded_tier(method, fault),
+            };
+            match attempt {
+                Ok(()) => return true,
+                Err(error) => {
+                    self.emit(|| CompileEvent::Bailout {
+                        method,
+                        stage: stage.bailout_stage(),
+                        error: error.to_string(),
+                    });
+                    self.bailouts.record(stage, &error);
+                    self.bailout_log.push(BailoutRecord {
+                        method,
+                        stage,
+                        error,
+                    });
+                }
             }
         }
         self.blacklist.insert(method);
         self.bailouts.blacklisted += 1;
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: CodeTier::Interpreter,
+        });
         false
     }
 
@@ -421,7 +496,10 @@ impl<'p> Machine<'p> {
         } else {
             self.make_fuel()
         };
-        let cx = CompileCx::new(self.program, &self.profiles).with_fuel(&fuel);
+        let sink = Rc::clone(&self.trace);
+        let cx = CompileCx::new(self.program, &self.profiles)
+            .with_fuel(&fuel)
+            .with_trace(&*sink);
         let inliner = &self.inliner;
         let guarded = faults::with_quiet_panics(|| {
             panic::catch_unwind(AssertUnwindSafe(|| {
@@ -455,7 +533,7 @@ impl<'p> Machine<'p> {
         if fault == Some(FaultKind::CorruptGraph) {
             faults::corrupt_graph(&mut graph);
         }
-        self.verify_and_install(method, graph, work_nodes, stats)
+        self.verify_and_install(method, graph, work_nodes, stats, CompileStage::Full)
             .inspect_err(|_| {
                 // The rejected graph's compile effort is still paid for.
                 self.charge_wasted_work(work_nodes as u64);
@@ -475,6 +553,7 @@ impl<'p> Machine<'p> {
         let _ = fault;
         let fuel = self.make_fuel();
         let program = self.program;
+        let sink = Rc::clone(&self.trace);
         let guarded = faults::with_quiet_panics(|| {
             panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut graph = program.method(method).graph.clone();
@@ -482,11 +561,13 @@ impl<'p> Machine<'p> {
                 if !fuel.charge(before as u64) {
                     return Err(crate::inliner::fuel_error(&fuel));
                 }
-                let opt = incline_opt::optimize_fueled(
+                let opt = incline_trace::optimize_with_trace(
                     program,
                     &mut graph,
                     incline_opt::PipelineConfig::default(),
                     &fuel,
+                    &*sink,
+                    OptPhase::Degraded,
                 );
                 Ok((graph, before, opt.total()))
             }))
@@ -511,7 +592,13 @@ impl<'p> Machine<'p> {
             final_size: final_size as u64,
             opt_events,
         };
-        self.verify_and_install(method, graph, before + final_size, stats)
+        self.verify_and_install(
+            method,
+            graph,
+            before + final_size,
+            stats,
+            CompileStage::Degraded,
+        )
     }
 
     /// The always-on installation gate: every graph is verified in every
@@ -523,11 +610,13 @@ impl<'p> Machine<'p> {
         graph: Graph,
         work_nodes: usize,
         stats: InlineStats,
+        stage: CompileStage,
     ) -> Result<(), CompileError> {
         let decl = self.program.method(method);
         incline_ir::verify::verify_graph(self.program, &graph, &decl.params, decl.ret)
             .map_err(|e| CompileError::Rejected(format!("{} (method {})", e.message, decl.name)))?;
-        let bytes = self.config.cost.code_bytes(graph.size());
+        let graph_size = graph.size();
+        let bytes = self.config.cost.code_bytes(graph_size);
         let compile_cycles = self.config.cost.compile_cost(work_nodes);
         self.installed_bytes += bytes;
         self.run_compile_cycles += compile_cycles;
@@ -541,6 +630,16 @@ impl<'p> Machine<'p> {
                 bytes,
             },
         );
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: stage.code_tier(),
+        });
+        self.emit(|| CompileEvent::CodeInstalled {
+            method,
+            bytes,
+            graph_size,
+            work_nodes: work_nodes as u64,
+        });
         Ok(())
     }
 

@@ -7,7 +7,10 @@
 //! compilation) has finished. Per-iteration cycles are retained so warmup
 //! curves (Figure 5) can be plotted.
 
+use std::rc::Rc;
+
 use incline_ir::{MethodId, Program};
+use incline_trace::{NullSink, TraceSink};
 
 use crate::faults::FaultPlan;
 use crate::inliner::Inliner;
@@ -133,11 +136,30 @@ pub fn run_benchmark_faulted(
     config: VmConfig,
     plan: FaultPlan,
 ) -> Result<BenchResult, BenchError> {
+    run_benchmark_traced(program, spec, inliner, config, plan, Rc::new(NullSink))
+}
+
+/// Like [`run_benchmark_faulted`], but also routes every compilation's
+/// [`incline_trace::CompileEvent`] stream into `sink` — the entry point for
+/// capturing a whole benchmark's trace (see `examples/trace_dump.rs`).
+///
+/// # Errors
+///
+/// Same as [`run_benchmark`].
+pub fn run_benchmark_traced<'p>(
+    program: &'p Program,
+    spec: &BenchSpec,
+    inliner: Box<dyn Inliner + 'p>,
+    config: VmConfig,
+    plan: FaultPlan,
+    sink: Rc<dyn TraceSink + 'p>,
+) -> Result<BenchResult, BenchError> {
     if spec.iterations == 0 {
         return Err(BenchError::ZeroIterations);
     }
     let mut vm = Machine::new(program, inliner, config);
     vm.set_fault_plan(plan);
+    vm.set_trace_sink(sink);
     let mut per_iteration = Vec::with_capacity(spec.iterations);
     let mut last: Option<RunOutcome> = None;
     for _ in 0..spec.iterations {

@@ -1,0 +1,76 @@
+//! Trace dump: run a paper benchmark with a JSONL trace sink attached and
+//! write every structured compilation event to `target/trace_dump.jsonl`.
+//!
+//! ```text
+//! cargo run --release --example trace_dump
+//! ```
+//!
+//! Each line is one `CompileEvent`: rounds starting and ending, nodes
+//! expanded with their Eq. 5 priorities, cutoffs deferred with their
+//! penalty breakdowns, inline decisions with the Eq. 12 threshold they had
+//! to clear, per-stage optimizer deltas, fuel charges, tier transitions
+//! and code installation.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::rc::Rc;
+
+use incline::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = incline::workloads::by_name("scalatest").expect("benchmark exists");
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(4)],
+        iterations: 8,
+    };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+
+    // Collect in memory so we can both summarize and serialize.
+    let sink = Rc::new(CollectingSink::new());
+    let handle: Rc<dyn TraceSink> = sink.clone();
+    let result = run_benchmark_traced(
+        &w.program,
+        &spec,
+        Box::new(IncrementalInliner::new()),
+        config,
+        FaultPlan::default(),
+        handle,
+    )?;
+    let events = sink.take();
+
+    // Serialize the captured stream as JSONL.
+    std::fs::create_dir_all("target")?;
+    let path = "target/trace_dump.jsonl";
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for event in &events {
+        writeln!(out, "{}", event.to_json())?;
+    }
+    out.flush()?;
+
+    // Summarize what the compiler did, straight from the events.
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for event in &events {
+        *counts.entry(event.name()).or_insert(0) += 1;
+    }
+    println!("benchmark: {} ({})", w.name, w.suite.label());
+    println!(
+        "steady state: {:.0} cycles; {} compilations",
+        result.steady_state, result.compilations
+    );
+    println!("\nevents captured ({} total):", events.len());
+    for (name, n) in &counts {
+        println!("  {name:<16} {n}");
+    }
+    let accepted = events
+        .iter()
+        .filter(|e| matches!(e, CompileEvent::InlineDecision { accepted, .. } if *accepted))
+        .count();
+    let rejected = counts.get("InlineDecision").copied().unwrap_or(0) - accepted;
+    println!("\ninline decisions: {accepted} accepted, {rejected} rejected");
+    println!("trace written to {path}");
+    Ok(())
+}

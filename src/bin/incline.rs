@@ -3,16 +3,22 @@
 //!
 //! ```text
 //! incline print   <file.ir> [--optimize]
-//! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME]
+//! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
 //! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
-//! incline bench   <benchmark-name> [--inliner NAME]
+//!                           [--trace] [--trace-json FILE]
+//! incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
 //! ```
 //!
 //! Inliner names: `incremental` (default), `greedy`, `c2`, `none`.
+//!
+//! `--trace` streams compilation events to stderr (the old `INCLINE_TRACE`
+//! debugging workflow); `--trace-json FILE` writes them as JSONL.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::rc::Rc;
 
 use incline::baselines::{C2Inliner, GreedyInliner};
 use incline::prelude::*;
@@ -56,13 +62,15 @@ incline — optimization-driven incremental inline substitution (CGO'19)
 
 USAGE:
   incline print   <file.ir> [--optimize]
-  incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME]
+  incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
-  incline bench   <benchmark-name> [--inliner NAME]
+                            [--trace] [--trace-json FILE]
+  incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
 
-Inliners: incremental (default), greedy, c2, none.";
+Inliners: incremental (default), greedy, c2, none.
+Tracing: --trace streams compile events to stderr; --trace-json FILE writes JSONL.";
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -136,6 +144,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ..VmConfig::default()
     };
     let mut vm = Machine::new(&program, inliner, config);
+    if flag(args, "--trace") {
+        vm.set_trace_sink(Rc::new(StderrSink));
+    }
     let runs = if jit { 8 } else { 1 };
     let mut last = None;
     for _ in 0..runs {
@@ -180,6 +191,23 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let profiles = vm.profiles().clone();
     let cx = CompileCx::new(&program, &profiles);
 
+    // Optional structured tracing: JSONL to a file, or one-liners to
+    // stderr (the replacement for the old INCLINE_TRACE env var).
+    let json_path = opt_value(args, "--trace-json");
+    let json_sink = match json_path {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(f)))
+        }
+        None => None,
+    };
+    let stderr_sink = StderrSink;
+    let cx = match (&json_sink, flag(args, "--trace")) {
+        (Some(sink), _) => cx.with_trace(sink),
+        (None, true) => cx.with_trace(&stderr_sink),
+        (None, false) => cx,
+    };
+
     let name = opt_value(args, "--inliner").unwrap_or("incremental");
     if flag(args, "--explain") {
         if name != "incremental" {
@@ -199,6 +227,11 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         let out = inliner.compile(entry, &cx).map_err(|e| e.to_string())?;
         println!("{}", incline::ir::print::graph_str(&program, &out.graph));
         eprintln!("stats: {:?}", out.stats);
+    }
+    if let Some(sink) = json_sink {
+        let mut w = sink.into_inner();
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("trace written to {}", json_path.expect("path set"));
     }
     Ok(())
 }
@@ -232,7 +265,40 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         hotness_threshold: 5,
         ..VmConfig::default()
     };
-    let r = run_benchmark(&w.program, &spec, inliner, config).map_err(|e| e.to_string())?;
+    let json_path = opt_value(args, "--trace-json");
+    let r = if let Some(path) = json_path {
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let sink = Rc::new(JsonlSink::new(std::io::BufWriter::new(f)));
+        let handle: Rc<dyn TraceSink> = sink.clone();
+        let r = run_benchmark_traced(
+            &w.program,
+            &spec,
+            inliner,
+            config,
+            FaultPlan::default(),
+            handle,
+        )
+        .map_err(|e| e.to_string())?;
+        let owned = Rc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
+        owned
+            .into_inner()
+            .flush()
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path}");
+        r
+    } else if flag(args, "--trace") {
+        run_benchmark_traced(
+            &w.program,
+            &spec,
+            inliner,
+            config,
+            FaultPlan::default(),
+            Rc::new(StderrSink),
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        run_benchmark(&w.program, &spec, inliner, config).map_err(|e| e.to_string())?
+    };
     println!("benchmark: {} ({})", w.name, w.suite.label());
     println!("per-iteration cycles: {:?}", r.per_iteration);
     println!(

@@ -28,6 +28,7 @@ pub use incline_core as core;
 pub use incline_ir as ir;
 pub use incline_opt as opt;
 pub use incline_profile as profile;
+pub use incline_trace as trace;
 pub use incline_vm as vm;
 pub use incline_workloads as workloads;
 
@@ -36,9 +37,13 @@ pub mod prelude {
     pub use incline_baselines::{C2Inliner, GreedyInliner};
     pub use incline_core::{IncrementalInliner, PolicyConfig};
     pub use incline_ir::{FunctionBuilder, Graph, Program, Type};
+    pub use incline_trace::{
+        CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink,
+    };
     pub use incline_vm::{
-        run_benchmark, run_benchmark_faulted, BailoutCounters, BenchSpec, CompileCx, CompileError,
-        CompileFuel, FaultKind, FaultPlan, Inliner, Machine, NoInline, Value, VmConfig,
+        run_benchmark, run_benchmark_faulted, run_benchmark_traced, BailoutCounters, BenchSpec,
+        CompilationReport, CompileCx, CompileError, CompileFuel, FaultKind, FaultPlan, Inliner,
+        Machine, NoInline, Value, VmConfig,
     };
     pub use incline_workloads::{all_benchmarks, by_name, Suite, Workload};
 }

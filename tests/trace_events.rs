@@ -1,0 +1,154 @@
+//! Structured-trace system tests: the typed `CompileEvent` stream must be
+//! deterministic (byte-identical JSONL across identical runs), faithful to
+//! the inliner actually used (no `InlineDecision` events from `NoInline`),
+//! and consistent with the broker's own telemetry (`Bailout` events agree
+//! exactly with `Machine::bailout_log`).
+
+use std::rc::Rc;
+
+use incline::prelude::*;
+use incline::workloads::Workload;
+
+fn workload() -> Workload {
+    incline::workloads::by_name("scalatest").expect("benchmark exists")
+}
+
+/// Runs the workload hot under the incremental inliner with a JSONL sink
+/// attached and returns the raw trace bytes.
+fn jsonl_trace() -> Vec<u8> {
+    let w = workload();
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(4)],
+        iterations: 6,
+    };
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    let sink = Rc::new(JsonlSink::new(Vec::new()));
+    let handle: Rc<dyn TraceSink> = sink.clone();
+    run_benchmark_traced(
+        &w.program,
+        &spec,
+        Box::new(IncrementalInliner::new()),
+        config,
+        FaultPlan::default(),
+        handle,
+    )
+    .expect("benchmark completes");
+    Rc::try_unwrap(sink)
+        .map_err(|_| "sink still shared")
+        .expect("sink uniquely owned after the run")
+        .into_inner()
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_jsonl() {
+    let first = jsonl_trace();
+    let second = jsonl_trace();
+    assert!(!first.is_empty(), "a hot run must emit events");
+    assert_eq!(first, second, "trace must be byte-identical across runs");
+
+    // Sanity: well-formed JSONL with the discriminator key first.
+    let text = String::from_utf8(first).expect("JSONL is UTF-8");
+    assert!(text.lines().count() > 10, "expected a substantial trace");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"ev\":\""), "bad line start: {line}");
+        assert!(line.ends_with('}'), "bad line end: {line}");
+    }
+    // The lifecycle events of a successful compilation all appear.
+    for needle in [
+        "\"ev\":\"RoundStart\"",
+        "\"ev\":\"RoundEnd\"",
+        "\"ev\":\"InlineDecision\"",
+        "\"ev\":\"FuelCharged\"",
+        "\"ev\":\"TierTransition\"",
+        "\"ev\":\"CodeInstalled\"",
+    ] {
+        assert!(text.contains(needle), "trace must contain {needle}");
+    }
+}
+
+#[test]
+fn no_inline_compile_emits_no_inline_decisions() {
+    let w = workload();
+    // Gather profiles by interpreting once.
+    let mut vm = Machine::new(
+        &w.program,
+        Box::new(NoInline),
+        VmConfig {
+            jit: false,
+            ..VmConfig::default()
+        },
+    );
+    vm.run(w.entry, vec![Value::Int(4)]).expect("profiling run");
+    let profiles = vm.profiles().clone();
+
+    let sink = CollectingSink::new();
+    let cx = CompileCx::new(&w.program, &profiles);
+    let traced = cx.with_trace(&sink);
+    NoInline.compile(w.entry, &traced).expect("compiles");
+
+    let events = sink.take();
+    assert!(!events.is_empty(), "fuel/opt events are still emitted");
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e, CompileEvent::InlineDecision { .. })),
+        "NoInline must make zero inline decisions: {events:?}"
+    );
+}
+
+#[test]
+fn bailout_events_agree_with_bailout_log() {
+    let w = workload();
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    let plan = FaultPlan::new()
+        .inject(0, FaultKind::PanicInCompile)
+        .inject(1, FaultKind::CorruptGraph);
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(plan);
+    let sink = Rc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..8 {
+        vm.run(w.entry, vec![Value::Int(4)]).expect("run completes");
+    }
+
+    let from_events: Vec<(String, String, String)> = sink
+        .take()
+        .iter()
+        .filter_map(|e| match e {
+            CompileEvent::Bailout {
+                method,
+                stage,
+                error,
+            } => Some((method.to_string(), stage.to_string(), error.clone())),
+            _ => None,
+        })
+        .collect();
+    let from_log: Vec<(String, String, String)> = vm
+        .bailout_log()
+        .iter()
+        .map(|r| {
+            (
+                r.method.to_string(),
+                r.stage.to_string(),
+                r.error.to_string(),
+            )
+        })
+        .collect();
+    assert!(
+        !from_events.is_empty(),
+        "injected faults must surface as Bailout events"
+    );
+    assert_eq!(
+        from_events, from_log,
+        "Bailout events must agree exactly with Machine::bailout_log"
+    );
+    // And the consolidated report carries the same log.
+    assert_eq!(vm.report().bailout_log.len(), from_log.len());
+}
