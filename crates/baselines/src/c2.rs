@@ -16,7 +16,7 @@
 //! * one optimization pass afterwards — no alternation, no clustering,
 //!   no inlining trials.
 
-use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
+use incline_core::typeswitch::{emit_typeswitch, FallbackMode, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{Graph, InstId, MethodId};
@@ -90,6 +90,7 @@ impl Inliner for C2Inliner {
         let mut state = State {
             inlined_calls: 0,
             explored: 0,
+            spec_sites: 0,
             root: method,
         };
         // Depth-first parse-time inlining over the root's callsites.
@@ -115,6 +116,7 @@ impl Inliner for C2Inliner {
                 explored_nodes: state.explored as u64,
                 final_size: final_size as u64,
                 opt_events: stats.total(),
+                speculative_sites: state.spec_sites,
             },
         })
     }
@@ -123,6 +125,7 @@ impl Inliner for C2Inliner {
 struct State {
     inlined_calls: u64,
     explored: usize,
+    spec_sites: u64,
     root: MethodId,
 }
 
@@ -247,8 +250,18 @@ impl C2Inliner {
                     root_size: graph.size() as f64,
                     accepted: true,
                 });
-                let res = emit_typeswitch(cx.program, graph, block, inst, &cases);
+                // With deoptimization support and near-total coverage the
+                // fallback becomes an uncommon trap instead of the virtual
+                // call (the classic C2 uncommon-trap shape).
+                let spec = cx.speculation;
+                let fallback = if spec.allow_deopt && coverage >= spec.confidence {
+                    FallbackMode::Deopt
+                } else {
+                    FallbackMode::Virtual
+                };
+                let res = emit_typeswitch(cx.program, graph, block, inst, &cases, fallback);
                 state.inlined_calls += 1;
+                state.spec_sites += 1;
                 for (i, case) in res.case_calls.iter().enumerate() {
                     let p = 1.0f64.min(1.0); // per-case frequency folded into site_freq
                     let _ = p;

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use incline_core::typeswitch::{emit_typeswitch, TypeswitchCase};
+use incline_core::typeswitch::{emit_typeswitch, FallbackMode, TypeswitchCase};
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::inline::inline_call;
 use incline_ir::{CallSiteId, InstId, MethodId};
@@ -92,6 +92,7 @@ impl Inliner for GreedyInliner {
         }
         let mut inlined_calls = 0u64;
         let mut explored = 0usize;
+        let mut spec_sites = 0u64;
         // Recursive-inline guard: how many times each method was inlined
         // along the current greedy pass (global cap, cheap and effective).
         let mut inline_counts: HashMap<MethodId, usize> = HashMap::new();
@@ -159,14 +160,24 @@ impl Inliner for GreedyInliner {
                             root_size: graph.size() as f64,
                             accepted: true,
                         });
+                        // Monomorphic uncommon trap when the dominant
+                        // receiver alone clears the confidence bar.
+                        let spec = cx.speculation;
+                        let fallback = if spec.allow_deopt && prob >= spec.confidence {
+                            FallbackMode::Deopt
+                        } else {
+                            FallbackMode::Virtual
+                        };
                         let res = emit_typeswitch(
                             cx.program,
                             &mut graph,
                             block,
                             item.inst,
                             &[TypeswitchCase { target: m, guard }],
+                            fallback,
                         );
                         inlined_calls += 1; // the speculation itself
+                        spec_sites += 1;
                         queue.push(WorkItem {
                             inst: res.case_calls[0],
                             freq: item.freq,
@@ -258,6 +269,7 @@ impl Inliner for GreedyInliner {
                 explored_nodes: explored as u64,
                 final_size: final_size as u64,
                 opt_events: stats.total(),
+                speculative_sites: spec_sites,
             },
         })
     }

@@ -22,7 +22,7 @@ use crate::metrics::{
     Tuple,
 };
 use crate::policy::{Clustering, PolicyConfig};
-use crate::typeswitch::{emit_typeswitch, TypeswitchCase};
+use crate::typeswitch::{emit_typeswitch, FallbackMode, TypeswitchCase};
 
 /// The paper's inliner, parameterized by a [`PolicyConfig`] so that every
 /// ablation of the evaluation is expressible.
@@ -101,6 +101,7 @@ impl IncrementalInliner {
         let mut tree = CallTree::new(method, graph, cx, config);
         let mut rounds = 0u64;
         let mut inlined_calls = 0u64;
+        let mut speculative_sites = 0u64;
         let mut starved_rounds = 0u32;
 
         // Listing 1: while !detectTermination { expand; analyze; inline }.
@@ -120,7 +121,7 @@ impl IncrementalInliner {
             });
             let expanded = expand_phase(&mut tree, cx, config);
             analyze_phase(&mut tree, cx, config);
-            let inlined = inline_phase(&mut tree, cx, config);
+            let inlined = inline_phase(&mut tree, cx, config, &mut speculative_sites);
             inlined_calls += inlined;
 
             // End of round (§IV, Other optimizations): read–write
@@ -187,6 +188,7 @@ impl IncrementalInliner {
                 explored_nodes: explored as u64,
                 final_size: final_size as u64,
                 opt_events: opt_total.total(),
+                speculative_sites,
             },
         })
     }
@@ -480,7 +482,12 @@ fn analyze_node(
 // ---- inlining phase (Listing 5) ----------------------------------------------
 
 /// The inlining phase. Returns the number of callsites inlined.
-fn inline_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) -> u64 {
+fn inline_phase(
+    tree: &mut CallTree,
+    cx: &CompileCx<'_>,
+    config: &PolicyConfig,
+    spec_sites: &mut u64,
+) -> u64 {
     let root = tree.root();
     let mut queue: Vec<NodeId> = tree
         .node(root)
@@ -524,7 +531,7 @@ fn inline_phase(tree: &mut CallTree, cx: &CompileCx<'_>, config: &PolicyConfig) 
         if !accepted {
             continue; // skip; smaller clusters may still pass
         }
-        let fronts = inline_cluster(tree, n, cx, &mut inlined);
+        let fronts = inline_cluster(tree, n, cx, &mut inlined, spec_sites);
         queue.extend(
             fronts
                 .into_iter()
@@ -561,6 +568,7 @@ fn inline_cluster(
     n: NodeId,
     cx: &CompileCx<'_>,
     inlined: &mut u64,
+    spec_sites: &mut u64,
 ) -> Vec<NodeId> {
     let root = tree.root();
     let kind = tree.node(n).kind;
@@ -598,7 +606,7 @@ fn inline_cluster(
                 tree.node_mut(c).parent = Some(root);
                 tree.node_mut(root).children.push(c);
                 if tree.node(c).inlined_with_parent && is_cluster_kind(tree.node(c).kind) {
-                    let mut sub = inline_cluster(tree, c, cx, inlined);
+                    let mut sub = inline_cluster(tree, c, cx, inlined, spec_sites);
                     front.append(&mut sub);
                 } else {
                     front.push(c);
@@ -615,8 +623,26 @@ fn inline_cluster(
                     guard: tree.node(c).speculated_class.expect("guard known"),
                 })
                 .collect();
-            let res = emit_typeswitch(cx.program, &mut tree.root_graph, block, callsite, &cases);
+            // Paper §IV: with deoptimization support, a cascade whose
+            // speculated receivers cover (almost) all profiled traffic
+            // replaces the virtual fallback with an uncommon trap.
+            let coverage: f64 = children.iter().map(|&c| tree.node(c).poly_prob).sum();
+            let spec = cx.speculation;
+            let fallback = if spec.allow_deopt && coverage >= spec.confidence {
+                FallbackMode::Deopt
+            } else {
+                FallbackMode::Virtual
+            };
+            let res = emit_typeswitch(
+                cx.program,
+                &mut tree.root_graph,
+                block,
+                callsite,
+                &cases,
+                fallback,
+            );
             *inlined += 1; // the typeswitch itself is an inlining decision
+            *spec_sites += 1;
             tree.node_mut(n).kind = NodeKind::Inlined;
 
             let mut front = Vec::new();
@@ -625,7 +651,7 @@ fn inline_cluster(
                 tree.node_mut(c).parent = Some(root);
                 tree.node_mut(root).children.push(c);
                 if tree.node(c).inlined_with_parent && is_cluster_kind(tree.node(c).kind) {
-                    let mut sub = inline_cluster(tree, c, cx, inlined);
+                    let mut sub = inline_cluster(tree, c, cx, inlined, spec_sites);
                     front.append(&mut sub);
                 } else {
                     front.push(c);

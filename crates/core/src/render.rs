@@ -56,6 +56,35 @@ pub fn render_trace(events: &[CompileEvent]) -> String {
                 );
             }
             CompileEvent::TreeSnapshot { text, .. } => out.push_str(text),
+            // Deoptimization lifecycle: rendered inline so a replayed
+            // transcript shows why a method left (and re-entered) the code
+            // cache between compilations.
+            CompileEvent::Deoptimized { method, reason } => {
+                let _ = writeln!(out, "!! deopt {method}: {reason}");
+            }
+            CompileEvent::CodeInvalidated {
+                method,
+                bytes,
+                recompiles,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "!! invalidated {method}: {bytes} bytes, recompiles={recompiles}"
+                );
+            }
+            CompileEvent::Recompiled {
+                method,
+                recompiles,
+                threshold,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "!! recompiled {method}: attempt {recompiles}, bar {threshold}"
+                );
+            }
+            CompileEvent::SpeculationPinned { method } => {
+                let _ = writeln!(out, "!! pinned {method}: fallback-only from here");
+            }
             _ => {}
         }
     }

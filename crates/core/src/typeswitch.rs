@@ -4,21 +4,37 @@
 //! A virtual callsite with a usable receiver profile is rewritten into an
 //! if-cascade of `instanceof` guards. Each case casts the receiver to the
 //! guarded class (giving the inliner a precise receiver type) and performs
-//! a *direct* call to the resolved target; the cascade ends with the
-//! original virtual call as the fallback (the paper emits a virtual call
-//! or a deoptimization — we always emit the always-correct fallback).
+//! a *direct* call to the resolved target; the cascade ends in one of the
+//! paper's two fallback shapes ([`FallbackMode`]): the original virtual
+//! call (always correct, profiles fallback traffic for the drift monitor)
+//! or an uncommon trap (`deopt`) that transfers the activation back to the
+//! interpreter when an unspeculated receiver shows up.
 
-use incline_ir::graph::{CallInfo, CallTarget, Op, Terminator};
+use incline_ir::graph::{CallInfo, CallTarget, DeoptReason, Op, Terminator};
 use incline_ir::ids::{BlockId, ClassId, InstId, MethodId};
 use incline_ir::{Graph, Program, Type};
+
+/// What the cascade does with receivers no case covers (paper §IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Re-emit the original virtual call: always correct, usable without
+    /// deoptimization support.
+    Virtual,
+    /// Emit an uncommon trap: the compiled activation deoptimizes and the
+    /// VM replays it in the interpreter. Only valid when the broker grants
+    /// [`Speculation::allow_deopt`](incline_vm::Speculation) and profile
+    /// coverage clears the confidence bar.
+    Deopt,
+}
 
 /// Outcome of a typeswitch rewrite.
 #[derive(Clone, Debug)]
 pub struct TypeswitchResult {
     /// The direct call instruction of each case, in group order.
     pub case_calls: Vec<InstId>,
-    /// The fallback virtual call instruction.
-    pub fallback_call: InstId,
+    /// The fallback virtual call instruction; `None` when the fallback is
+    /// an uncommon trap ([`FallbackMode::Deopt`]).
+    pub fallback_call: Option<InstId>,
     /// The continuation block receiving the call result.
     pub continuation: BlockId,
 }
@@ -34,7 +50,7 @@ pub struct TypeswitchCase {
 }
 
 /// Rewrites the virtual call `call` inside `block` into a typeswitch over
-/// `cases`.
+/// `cases`, with `fallback` deciding what uncovered receivers do.
 ///
 /// # Panics
 ///
@@ -46,6 +62,7 @@ pub fn emit_typeswitch(
     block: BlockId,
     call: InstId,
     cases: &[TypeswitchCase],
+    fallback: FallbackMode,
 ) -> TypeswitchResult {
     assert!(!cases.is_empty(), "typeswitch needs at least one case");
     let pos = graph
@@ -137,18 +154,33 @@ pub fn emit_typeswitch(
         test_block = next_block;
     }
 
-    // Fallback: the original virtual call (same profile site).
-    let ret_ty = cont_param.map(|p| graph.value_type(p));
-    let (fi, fres) = graph.append(test_block, Op::Call(info), args, ret_ty);
-    let cont_args = match fres {
-        Some(v) => vec![v],
-        None => vec![],
+    // Fallback: either the original virtual call (same profile site) or an
+    // uncommon trap that hands the activation back to the interpreter.
+    let fallback_call = match fallback {
+        FallbackMode::Virtual => {
+            let ret_ty = cont_param.map(|p| graph.value_type(p));
+            let (fi, fres) = graph.append(test_block, Op::Call(info), args, ret_ty);
+            let cont_args = match fres {
+                Some(v) => vec![v],
+                None => vec![],
+            };
+            graph.set_terminator(test_block, Terminator::Jump(continuation, cont_args));
+            Some(fi)
+        }
+        FallbackMode::Deopt => {
+            graph.set_terminator(
+                test_block,
+                Terminator::Deopt {
+                    reason: DeoptReason::UncoveredReceiver,
+                },
+            );
+            None
+        }
     };
-    graph.set_terminator(test_block, Terminator::Jump(continuation, cont_args));
 
     TypeswitchResult {
         case_calls,
-        fallback_call: fi,
+        fallback_call,
         continuation,
     }
 }
@@ -214,8 +246,10 @@ mod tests {
                     guard: c,
                 },
             ],
+            FallbackMode::Virtual,
         );
         assert_eq!(res.case_calls.len(), 2);
+        assert!(res.fallback_call.is_some());
         let a = p.class_by_name("A").unwrap();
         verify_graph(&p, &g, &[Type::Object(a)], RetType::Value(Type::Int)).unwrap();
         // Three calls remain: two direct, one virtual fallback.
@@ -259,6 +293,7 @@ mod tests {
                 target: mb,
                 guard: b,
             }],
+            FallbackMode::Virtual,
         );
         let case = res.case_calls[0];
         let recv = g.inst(case).args[0];
@@ -304,8 +339,55 @@ mod tests {
                 target: mb,
                 guard: b,
             }],
+            FallbackMode::Virtual,
         );
         assert!(g.block(res.continuation).params.is_empty());
         verify_graph(&p, &g, &[Type::Object(a)], RetType::Void).unwrap();
+    }
+
+    #[test]
+    fn deopt_fallback_emits_uncommon_trap() {
+        let (mut p, b, c, _, mb, mc) = shapes();
+        let root = virtual_root(&mut p);
+        let mut g = p.method(root).graph.clone();
+        let (block, call) = g.callsites()[0];
+        let res = emit_typeswitch(
+            &p,
+            &mut g,
+            block,
+            call,
+            &[
+                TypeswitchCase {
+                    target: mb,
+                    guard: b,
+                },
+                TypeswitchCase {
+                    target: mc,
+                    guard: c,
+                },
+            ],
+            FallbackMode::Deopt,
+        );
+        assert_eq!(res.fallback_call, None);
+        let a = p.class_by_name("A").unwrap();
+        verify_graph(&p, &g, &[Type::Object(a)], RetType::Value(Type::Int)).unwrap();
+        // Only the two direct case calls remain: the virtual call is gone,
+        // replaced by a deopt terminator on the final test block.
+        let sites = g.callsites();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|&(_, i)| {
+            matches!(
+                g.inst(i).op,
+                Op::Call(CallInfo {
+                    target: CallTarget::Static(_),
+                    ..
+                })
+            )
+        }));
+        let traps = g
+            .block_ids()
+            .filter(|&bid| matches!(g.block(bid).term, Terminator::Deopt { .. }))
+            .count();
+        assert_eq!(traps, 1);
     }
 }

@@ -70,6 +70,7 @@ pub fn graph_to_dot(program: &Program, graph: &Graph, name: &str) -> String {
             }
             Terminator::Return(Some(v)) => format!("ret {v}"),
             Terminator::Return(None) => "ret".to_string(),
+            Terminator::Deopt { reason } => format!("deopt {reason}"),
             Terminator::Unterminated => "<unterminated>".to_string(),
         };
         lines.push(term);

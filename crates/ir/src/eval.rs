@@ -23,6 +23,9 @@ pub enum TrapKind {
     CastFailed,
     /// Negative array length.
     NegativeLength,
+    /// A `deopt` terminator reached in a tier with nothing to fall back to
+    /// (the interpreter executing hand-written IR that contains one).
+    Deopt,
 }
 
 impl std::fmt::Display for TrapKind {
@@ -33,6 +36,7 @@ impl std::fmt::Display for TrapKind {
             TrapKind::Bounds => write!(f, "array index out of bounds"),
             TrapKind::CastFailed => write!(f, "checked cast failed"),
             TrapKind::NegativeLength => write!(f, "negative array length"),
+            TrapKind::Deopt => write!(f, "deopt trap outside compiled code"),
         }
     }
 }

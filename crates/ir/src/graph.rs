@@ -319,6 +319,41 @@ pub struct InstData {
     pub result: Option<ValueId>,
 }
 
+/// Why a [`Terminator::Deopt`] uncommon trap was emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeoptReason {
+    /// A typeswitch guard cascade fell through every speculated case: the
+    /// receiver was not covered by the compile-time profile.
+    UncoveredReceiver,
+    /// Injected by the fault-injection harness.
+    Injected,
+}
+
+impl DeoptReason {
+    /// Stable lowercase label, used by the printer/parser and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeoptReason::UncoveredReceiver => "uncovered_receiver",
+            DeoptReason::Injected => "injected",
+        }
+    }
+
+    /// Parses the printer's label back into a reason.
+    pub fn from_label(s: &str) -> Option<DeoptReason> {
+        match s {
+            "uncovered_receiver" => Some(DeoptReason::UncoveredReceiver),
+            "injected" => Some(DeoptReason::Injected),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DeoptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Block terminators.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Terminator {
@@ -335,6 +370,14 @@ pub enum Terminator {
     },
     /// Return from the method, with a value unless the method is `void`.
     Return(Option<ValueId>),
+    /// Uncommon trap: abandon this compiled activation and transfer it to
+    /// the interpreter (paper §IV — a typeswitch fallback may be "a virtual
+    /// call or a deoptimization"). Valid under any return type; only the
+    /// compiler introduces it, source graphs never contain one.
+    Deopt {
+        /// Why the trap was emitted.
+        reason: DeoptReason,
+    },
     /// Marker for not-yet-terminated blocks; invalid in finished graphs.
     Unterminated,
 }
@@ -349,7 +392,7 @@ impl Terminator {
                 else_dest,
                 ..
             } => vec![then_dest.0, else_dest.0],
-            Terminator::Return(_) | Terminator::Unterminated => vec![],
+            Terminator::Return(_) | Terminator::Deopt { .. } | Terminator::Unterminated => vec![],
         }
     }
 
@@ -368,7 +411,9 @@ impl Terminator {
                 v
             }
             Terminator::Return(Some(v)) => vec![*v],
-            Terminator::Return(None) | Terminator::Unterminated => vec![],
+            Terminator::Return(None) | Terminator::Deopt { .. } | Terminator::Unterminated => {
+                vec![]
+            }
         }
     }
 }
@@ -785,6 +830,7 @@ impl Graph {
                     ),
                 },
                 Terminator::Return(v) => Terminator::Return(v.map(|v| map_v(&value_map, v))),
+                Terminator::Deopt { reason } => Terminator::Deopt { reason: *reason },
                 Terminator::Unterminated => Terminator::Unterminated,
             };
             out.set_terminator(block_map[&b], term);

@@ -168,6 +168,9 @@ pub fn inline_call(
                 };
                 Terminator::Jump(continuation, args)
             }
+            // A trap in the callee abandons the whole compiled activation,
+            // so it transplants unchanged into the caller.
+            Terminator::Deopt { reason } => Terminator::Deopt { reason: *reason },
             Terminator::Unterminated => panic!("cannot inline a graph with unterminated blocks"),
         };
         caller.set_terminator(block_map[&cb], nterm);

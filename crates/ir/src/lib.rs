@@ -48,7 +48,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
-pub use graph::{BinOp, CallInfo, CallTarget, CmpOp, Graph, InstData, Op, Terminator, ValueDef};
+pub use graph::{
+    BinOp, CallInfo, CallTarget, CmpOp, DeoptReason, Graph, InstData, Op, Terminator, ValueDef,
+};
 pub use ids::{BlockId, CallSiteId, ClassId, FieldId, InstId, MethodId, SelectorId, ValueId};
 pub use program::{Class, Field, Method, MethodKind, Program, Selector};
 pub use rng::Rng64;

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::graph::{BinOp, CallInfo, CallTarget, CmpOp, Graph, Op, Terminator};
+use crate::graph::{BinOp, CallInfo, CallTarget, CmpOp, DeoptReason, Graph, Op, Terminator};
 use crate::ids::{BlockId, CallSiteId, MethodId, ValueId};
 use crate::program::Program;
 use crate::types::{RetType, Type};
@@ -637,6 +637,16 @@ fn parse_block(p: &mut Parser, cx: &mut BodyCx<'_>) -> Result<(), ParseError> {
                         else_dest,
                     },
                 );
+                return Ok(());
+            }
+            "deopt" => {
+                p.next();
+                let rname = p.ident()?;
+                let reason = match DeoptReason::from_label(&rname) {
+                    Some(r) => r,
+                    None => return p.fail(format!("unknown deopt reason `{rname}`")),
+                };
+                cx.graph.set_terminator(block, Terminator::Deopt { reason });
                 return Ok(());
             }
             "ret" => {

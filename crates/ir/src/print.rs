@@ -165,6 +165,7 @@ pub fn graph_str(program: &Program, graph: &Graph) -> String {
             ),
             Terminator::Return(Some(v)) => format!("ret {v}"),
             Terminator::Return(None) => "ret".to_string(),
+            Terminator::Deopt { reason } => format!("deopt {reason}"),
             Terminator::Unterminated => "<unterminated>".to_string(),
         };
         let _ = writeln!(out, "  {term}");

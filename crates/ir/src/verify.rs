@@ -183,6 +183,9 @@ pub fn verify_graph(
             Terminator::Unterminated => {
                 return err(Some(b), None, "reachable block is unterminated")
             }
+            // An uncommon trap abandons the activation; it has no successors,
+            // uses no values and is valid under any return type.
+            Terminator::Deopt { .. } => {}
             Terminator::Return(v) => {
                 if let Some(v) = v {
                     use_ok(*v, b, None)?;

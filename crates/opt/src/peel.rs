@@ -219,7 +219,7 @@ fn peel_one(graph: &mut Graph, l: &Loop) {
                     else_dest: (ed, eargs),
                 }
             }
-            t @ Terminator::Return(_) => t,
+            t @ (Terminator::Return(_) | Terminator::Deopt { .. }) => t,
             Terminator::Unterminated => Terminator::Unterminated,
         };
         graph.set_terminator(block_map[&b], nterm);

@@ -225,6 +225,39 @@ pub enum CompileEvent {
         /// Total work nodes charged to this compilation.
         work_nodes: u64,
     },
+    /// A compiled activation abandoned its speculated code and transferred
+    /// back to the interpreter.
+    Deoptimized {
+        /// The method whose compiled activation deoptimized.
+        method: MethodId,
+        /// Why: `uncovered_receiver`, `drift` or `injected`.
+        reason: String,
+    },
+    /// The broker removed a method's installed code from the code cache.
+    CodeInvalidated {
+        /// The method whose code was thrown away.
+        method: MethodId,
+        /// Modeled code bytes released back to the cache budget.
+        bytes: u64,
+        /// How many recompilations this method has already been granted.
+        recompiles: u32,
+    },
+    /// A previously invalidated method was compiled again from its merged
+    /// (old + fresh) profile.
+    Recompiled {
+        /// The method that was recompiled.
+        method: MethodId,
+        /// 1-based recompilation count after this install.
+        recompiles: u32,
+        /// Backed-off hotness threshold that gated this recompilation.
+        threshold: u64,
+    },
+    /// A method deoptimized past the recompile cap and is now pinned to
+    /// fallback-only (never `deopt`) code.
+    SpeculationPinned {
+        /// The pinned method.
+        method: MethodId,
+    },
 }
 
 impl CompileEvent {
@@ -243,6 +276,10 @@ impl CompileEvent {
             CompileEvent::TierTransition { .. } => "TierTransition",
             CompileEvent::Bailout { .. } => "Bailout",
             CompileEvent::CodeInstalled { .. } => "CodeInstalled",
+            CompileEvent::Deoptimized { .. } => "Deoptimized",
+            CompileEvent::CodeInvalidated { .. } => "CodeInvalidated",
+            CompileEvent::Recompiled { .. } => "Recompiled",
+            CompileEvent::SpeculationPinned { .. } => "SpeculationPinned",
         }
     }
 }
@@ -362,6 +399,28 @@ impl fmt::Display for CompileEvent {
                 f,
                 "installed {method}: {bytes} bytes, |ir|={graph_size}, work={work_nodes}"
             ),
+            CompileEvent::Deoptimized { method, reason } => {
+                write!(f, "{method} deoptimized: {reason}")
+            }
+            CompileEvent::CodeInvalidated {
+                method,
+                bytes,
+                recompiles,
+            } => write!(
+                f,
+                "invalidated {method}: {bytes} bytes released, recompiles={recompiles}"
+            ),
+            CompileEvent::Recompiled {
+                method,
+                recompiles,
+                threshold,
+            } => write!(
+                f,
+                "recompiled {method}: attempt {recompiles}, hotness bar {threshold}"
+            ),
+            CompileEvent::SpeculationPinned { method } => {
+                write!(f, "{method} pinned to fallback-only code")
+            }
         }
     }
 }

@@ -261,6 +261,31 @@ impl CompileEvent {
                 .raw("graph_size", graph_size)
                 .raw("work_nodes", work_nodes)
                 .finish(),
+            CompileEvent::Deoptimized { method, reason } => JsonObj::new("Deoptimized")
+                .method("method", method)
+                .str("reason", reason)
+                .finish(),
+            CompileEvent::CodeInvalidated {
+                method,
+                bytes,
+                recompiles,
+            } => JsonObj::new("CodeInvalidated")
+                .method("method", method)
+                .raw("bytes", bytes)
+                .raw("recompiles", recompiles)
+                .finish(),
+            CompileEvent::Recompiled {
+                method,
+                recompiles,
+                threshold,
+            } => JsonObj::new("Recompiled")
+                .method("method", method)
+                .raw("recompiles", recompiles)
+                .raw("threshold", threshold)
+                .finish(),
+            CompileEvent::SpeculationPinned { method } => JsonObj::new("SpeculationPinned")
+                .method("method", method)
+                .finish(),
         }
     }
 }
@@ -315,6 +340,41 @@ mod tests {
         assert!(
             json.contains("panic: \\\"boom\\\"\\nline2\\\\end"),
             "{json}"
+        );
+    }
+
+    #[test]
+    fn deopt_lifecycle_events_serialize_flat() {
+        let m = MethodId::new(5);
+        assert_eq!(
+            CompileEvent::Deoptimized {
+                method: m,
+                reason: "uncovered_receiver".to_string(),
+            }
+            .to_json(),
+            "{\"ev\":\"Deoptimized\",\"method\":\"m5\",\"reason\":\"uncovered_receiver\"}"
+        );
+        assert_eq!(
+            CompileEvent::CodeInvalidated {
+                method: m,
+                bytes: 320,
+                recompiles: 1,
+            }
+            .to_json(),
+            "{\"ev\":\"CodeInvalidated\",\"method\":\"m5\",\"bytes\":320,\"recompiles\":1}"
+        );
+        assert_eq!(
+            CompileEvent::Recompiled {
+                method: m,
+                recompiles: 2,
+                threshold: 160,
+            }
+            .to_json(),
+            "{\"ev\":\"Recompiled\",\"method\":\"m5\",\"recompiles\":2,\"threshold\":160}"
+        );
+        assert_eq!(
+            CompileEvent::SpeculationPinned { method: m }.to_json(),
+            "{\"ev\":\"SpeculationPinned\",\"method\":\"m5\"}"
         );
     }
 

@@ -18,6 +18,13 @@
 //!   verifier must reject it ([`CompileError::Rejected`](crate::CompileError)).
 //! * [`FaultKind::ExhaustFuel`] — a pathological compilation that would
 //!   blow the compile budget. The ladder must retry on a cheaper tier.
+//!
+//! Two further kinds target the speculation machinery rather than the
+//! compile path itself: [`FaultKind::ForceDeopt`] makes installed code take
+//! an uncommon trap on first entry and [`FaultKind::ForceGuardFailure`]
+//! makes the drift monitor trip as if every speculated guard were failing.
+//! Both are only ever injected explicitly — `seeded` plans draw from the
+//! three compile-path kinds so existing seeded tests stay byte-identical.
 
 use std::collections::BTreeMap;
 
@@ -36,6 +43,16 @@ pub enum FaultKind {
     CorruptGraph,
     /// Drain the compile budget so the full tier reports `OutOfFuel`.
     ExhaustFuel,
+    /// Mark the installed code so its first compiled activation takes an
+    /// uncommon trap: exercises the invalidate → reprofile → recompile
+    /// cycle (and, repeated past the cap, speculation pinning). Only
+    /// effective when deoptimization is enabled and the method is not
+    /// pinned; never drawn by [`FaultPlan::seeded`].
+    ForceDeopt,
+    /// Mark the installed code so the broker's drift monitor deterministically
+    /// trips once its minimum sample count accrues, as if every speculated
+    /// guard were failing. Never drawn by [`FaultPlan::seeded`].
+    ForceGuardFailure,
 }
 
 /// A deterministic schedule of compiler faults, keyed by compilation

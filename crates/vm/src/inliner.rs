@@ -18,6 +18,33 @@ use incline_opt::{CompileFuel, UNLIMITED_FUEL};
 use incline_profile::ProfileTable;
 use incline_trace::{CompileEvent, TraceSink, NULL_SINK};
 
+/// How aggressively a compilation may speculate on profile data.
+///
+/// The broker derives this from [`VmConfig`](crate::VmConfig) and the
+/// method's pin state; standalone compilations default to the conservative
+/// setting (no uncommon traps), so compiled graphs are always safe to run
+/// without deoptimization support.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Speculation {
+    /// Whether typeswitch emission may use a `deopt` fallback instead of
+    /// the always-correct virtual call. `false` for pinned methods and
+    /// whenever the VM runs with deoptimization disabled.
+    pub allow_deopt: bool,
+    /// Minimum profile coverage (sum of speculated receiver probabilities)
+    /// a typeswitch must reach before its fallback becomes an uncommon
+    /// trap.
+    pub confidence: f64,
+}
+
+impl Default for Speculation {
+    fn default() -> Self {
+        Speculation {
+            allow_deopt: false,
+            confidence: 0.95,
+        }
+    }
+}
+
 /// Read-only context available to a compilation.
 #[derive(Clone, Copy)]
 pub struct CompileCx<'a> {
@@ -33,6 +60,8 @@ pub struct CompileCx<'a> {
     /// the disabled [`incline_trace::NullSink`]; carried by reference just
     /// like `fuel` so the context stays `Copy`.
     pub trace: &'a dyn TraceSink,
+    /// Speculation policy for this compilation.
+    pub speculation: Speculation,
 }
 
 impl<'a> CompileCx<'a> {
@@ -43,6 +72,7 @@ impl<'a> CompileCx<'a> {
             profiles,
             fuel: &UNLIMITED_FUEL,
             trace: &NULL_SINK,
+            speculation: Speculation::default(),
         }
     }
 
@@ -54,6 +84,14 @@ impl<'a> CompileCx<'a> {
     /// Replaces the trace sink.
     pub fn with_trace(self, trace: &'a dyn TraceSink) -> Self {
         CompileCx { trace, ..self }
+    }
+
+    /// Replaces the speculation policy.
+    pub fn with_speculation(self, speculation: Speculation) -> Self {
+        CompileCx {
+            speculation,
+            ..self
+        }
     }
 
     /// Whether the trace sink wants events. Producers should gate any
@@ -128,6 +166,9 @@ pub struct InlineStats {
     pub final_size: u64,
     /// Optimization events triggered during compilation.
     pub opt_events: u64,
+    /// Typeswitches emitted: callsites whose dispatch was speculated on
+    /// profiled receivers. Drives the broker's drift monitor.
+    pub speculative_sites: u64,
 }
 
 /// The result of one compilation request.
@@ -204,6 +245,7 @@ impl Inliner for NoInline {
                 explored_nodes: 0,
                 final_size: final_size as u64,
                 opt_events: stats.total(),
+                speculative_sites: 0,
             },
         })
     }

@@ -47,7 +47,9 @@ pub use incline_trace as trace;
 pub use incline_trace::{
     CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink, NULL_SINK,
 };
-pub use inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, NoInline};
+pub use inliner::{
+    CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, NoInline, Speculation,
+};
 pub use machine::{
     BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, Machine,
     RunOutcome, VmConfig,

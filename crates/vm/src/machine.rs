@@ -36,7 +36,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 
 use incline_ir::eval::{self, TrapKind};
-use incline_ir::graph::{CallTarget, Op, Terminator};
+use incline_ir::graph::{CallTarget, DeoptReason, Op, Terminator};
 use incline_ir::loops::LoopForest;
 use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
 use incline_opt::CompileFuel;
@@ -45,8 +45,8 @@ use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, OptPhase, Tr
 
 use crate::cost::{CostModel, Tier};
 use crate::faults::{self, FaultKind, FaultPlan};
-use crate::inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner};
-use crate::value::{Heap, HeapCell, Output, Value};
+use crate::inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, Speculation};
+use crate::value::{Heap, HeapCell, HeapRef, Output, Value};
 
 /// VM configuration.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +66,25 @@ pub struct VmConfig {
     /// (`u64::MAX` = unmetered). An attempt that exhausts the budget bails
     /// out to the next rung of the ladder instead of running away.
     pub compile_fuel: u64,
+    /// Whether deoptimization is enabled: typeswitches with enough profile
+    /// coverage compile their fallback to an uncommon trap, and the broker
+    /// runs the invalidate → reprofile → recompile machinery (including
+    /// the drift monitor). Off by default so speculation stays
+    /// always-correct; the CLI enables it unless `--no-deopt`.
+    pub deopt: bool,
+    /// Minimum typeswitch profile coverage (summed receiver probabilities)
+    /// before the fallback becomes a `deopt` instead of a virtual call.
+    pub deopt_confidence: f64,
+    /// Drift monitor: a compiled method is invalidated once it executes
+    /// more than `drift_rate` fallback virtual dispatches per compiled
+    /// invocation — the speculated cases no longer cover the hot receivers.
+    pub drift_rate: f64,
+    /// Drift monitor: minimum compiled invocations before the dispatch
+    /// rate is evaluated (avoids invalidating on startup noise).
+    pub drift_min_samples: u64,
+    /// Storm throttle: recompilations granted after invalidation before
+    /// the method is pinned to fallback-only (never `deopt`) code.
+    pub max_recompiles: u32,
 }
 
 impl Default for VmConfig {
@@ -79,6 +98,11 @@ impl Default for VmConfig {
             // 2 MiB default stack of Rust test threads.
             max_depth: 400,
             compile_fuel: u64::MAX,
+            deopt: false,
+            deopt_confidence: 0.95,
+            drift_rate: 2.0,
+            drift_min_samples: 8,
+            max_recompiles: 3,
         }
     }
 }
@@ -147,6 +171,15 @@ pub struct BailoutCounters {
     pub verifier_rejections: u64,
     /// Attempts that ran out of compile fuel.
     pub fuel_exhaustions: u64,
+    /// Compiled activations that deoptimized back to the interpreter
+    /// (uncommon trap, drift, or injected).
+    pub deopts: u64,
+    /// Installed graphs removed from the code cache by deoptimization.
+    pub invalidations: u64,
+    /// Recompilations performed after an invalidation.
+    pub recompiles: u64,
+    /// Methods pinned to fallback-only code by the storm throttle.
+    pub pinned: u64,
 }
 
 impl BailoutCounters {
@@ -188,6 +221,8 @@ pub struct CompilationReport {
     pub compile_log: Vec<(MethodId, InlineStats)>,
     /// Methods permanently pinned to the interpreter, sorted.
     pub blacklisted: Vec<MethodId>,
+    /// Methods pinned to fallback-only code by the storm throttle, sorted.
+    pub pinned: Vec<MethodId>,
 }
 
 /// Why execution stopped abnormally.
@@ -235,8 +270,82 @@ impl RunOutcome {
 
 struct CompiledMethod {
     graph: Rc<Graph>,
-    #[allow(dead_code)]
+    /// Modeled code size; released back to `installed_bytes` on invalidation.
     bytes: u64,
+    /// Whether the graph contains a `deopt` terminator, i.e. whether its
+    /// activations must run transactionally (journaled) so the trap can
+    /// rewind them.
+    has_deopt: bool,
+    /// Drift monitor armed: the compile speculated on receiver profiles
+    /// and the graph still contains fallback virtual dispatches to count.
+    drift_armed: bool,
+    /// Fault injection: the next compiled entry takes an uncommon trap.
+    force_deopt: bool,
+    /// Fault injection: the drift monitor trips deterministically once
+    /// `drift_min_samples` compiled invocations accrue.
+    force_drift: bool,
+    /// Compiled activations entered since install.
+    invocations: u64,
+    /// Fallback virtual dispatches executed inside this compiled graph.
+    virtual_dispatches: u64,
+}
+
+/// Per-method speculation bookkeeping for the storm throttle.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpecState {
+    /// Recompilations granted so far (each install after an invalidation).
+    recompiles: u32,
+    /// Pinned: compiled without `deopt` fallbacks, drift monitor off.
+    /// Terminal — a pinned method never deoptimizes again.
+    pinned: bool,
+    /// Profile counters at the last invalidation. The backed-off hotness
+    /// bar measures *fresh* profile data beyond this baseline, while the
+    /// compile itself still sees the full merged (old + fresh) profile.
+    base_invocations: u64,
+    /// See `base_invocations`.
+    base_backedges: u64,
+}
+
+/// One undo entry in the deoptimization write journal.
+enum JournalEntry {
+    /// `fields[offset]` of object `r` held `old` before the write.
+    Field {
+        r: HeapRef,
+        offset: usize,
+        old: Value,
+    },
+    /// `data[index]` of array `r` held `old` before the write.
+    Array {
+        r: HeapRef,
+        index: usize,
+        old: Value,
+    },
+}
+
+/// Observable-state watermark taken at the entry of a deopt-capable
+/// compiled activation; [`Machine::rollback`] rewinds to it.
+struct Savepoint {
+    heap_len: usize,
+    output_len: usize,
+    journal_len: usize,
+}
+
+/// How a graph activation left `exec_graph`.
+enum Flow {
+    /// Normal return.
+    Return(Option<Value>),
+    /// A compiled activation hit an uncommon trap.
+    Deopt(DeoptReason),
+}
+
+/// How a compiled activation left `exec_compiled`.
+enum CompiledExit {
+    /// Normal return.
+    Returned(Option<Value>),
+    /// The activation deoptimized: its effects are rolled back and its
+    /// code invalidated. Carries the original arguments so the caller can
+    /// replay the activation interpreted.
+    Deoptimized(Vec<Value>),
 }
 
 /// The virtual machine.
@@ -256,6 +365,10 @@ pub struct Machine<'p> {
     fault_plan: FaultPlan,
     compile_requests: u64,
     trace: Rc<dyn TraceSink + 'p>,
+    // Deoptimization.
+    spec: HashMap<MethodId, SpecState>,
+    journal: Vec<JournalEntry>,
+    journal_scopes: u32,
     // Per-run state.
     heap: Heap,
     output: Output,
@@ -285,6 +398,9 @@ impl<'p> Machine<'p> {
             fault_plan: FaultPlan::new(),
             compile_requests: 0,
             trace: Rc::new(NullSink),
+            spec: HashMap::new(),
+            journal: Vec::new(),
+            journal_scopes: 0,
             heap: Heap::new(),
             output: Output::new(),
             exec_cycles: 0,
@@ -307,6 +423,8 @@ impl<'p> Machine<'p> {
         self.exec_cycles = 0;
         self.run_compile_cycles = 0;
         self.steps = 0;
+        self.journal.clear();
+        self.journal_scopes = 0;
         let value = self.exec_method(entry, args, 0)?;
         Ok(RunOutcome {
             value,
@@ -375,6 +493,18 @@ impl<'p> Machine<'p> {
         v
     }
 
+    /// Methods pinned to fallback-only code by the storm throttle, sorted.
+    pub fn pinned_methods(&self) -> Vec<MethodId> {
+        let mut v: Vec<MethodId> = self
+            .spec
+            .iter()
+            .filter(|(_, s)| s.pinned)
+            .map(|(&m, _)| m)
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Number of compilation requests the broker has handled (each request
     /// runs the whole ladder; blacklisted methods generate no requests).
     pub fn compile_requests(&self) -> u64 {
@@ -393,6 +523,7 @@ impl<'p> Machine<'p> {
             bailout_log: self.bailout_log.clone(),
             compile_log: self.last_compile_stats.clone(),
             blacklisted: self.blacklisted_methods(),
+            pinned: self.pinned_methods(),
         }
     }
 
@@ -427,7 +558,27 @@ impl<'p> Machine<'p> {
     fn hot(&self, method: MethodId) -> bool {
         let inv = self.profiles.invocations(method);
         let be = self.profiles.backedges(method);
-        inv + be / 4 >= self.config.hotness_threshold
+        let hotness = inv + be / 4;
+        match self.spec.get(&method) {
+            // A previously invalidated method re-promotes on *fresh* profile
+            // data only, against an exponentially backed-off bar — a method
+            // that keeps deoptimizing has to prove itself harder each time
+            // (storm throttling), while the compile still sees the merged
+            // profile.
+            Some(s) => {
+                let base = s.base_invocations + s.base_backedges / 4;
+                hotness.saturating_sub(base) >= self.recompile_bar(s.recompiles)
+            }
+            None => hotness >= self.config.hotness_threshold,
+        }
+    }
+
+    /// The backed-off hotness bar for a method's Nth recompilation:
+    /// `hotness_threshold * 2^n`, saturating.
+    fn recompile_bar(&self, recompiles: u32) -> u64 {
+        self.config
+            .hotness_threshold
+            .saturating_mul(1u64 << recompiles.min(20))
     }
 
     fn make_fuel(&self) -> CompileFuel {
@@ -453,6 +604,21 @@ impl<'p> Machine<'p> {
         let request = self.compile_requests;
         self.compile_requests += 1;
         let fault = self.fault_plan.fault_at(request);
+
+        // Storm throttle: a method that deoptimized past the recompile cap
+        // is pinned — this compile and every later one emit fallback-only
+        // (never `deopt`) code and the drift monitor stays off.
+        if self.config.deopt {
+            let pin_now = self
+                .spec
+                .get(&method)
+                .is_some_and(|s| !s.pinned && s.recompiles >= self.config.max_recompiles);
+            if pin_now {
+                self.spec.get_mut(&method).expect("just probed").pinned = true;
+                self.bailouts.pinned += 1;
+                self.emit(|| CompileEvent::SpeculationPinned { method });
+            }
+        }
 
         for stage in [CompileStage::Full, CompileStage::Degraded] {
             let attempt = match stage {
@@ -499,7 +665,8 @@ impl<'p> Machine<'p> {
         let sink = Rc::clone(&self.trace);
         let cx = CompileCx::new(self.program, &self.profiles)
             .with_fuel(&fuel)
-            .with_trace(&*sink);
+            .with_trace(&*sink)
+            .with_speculation(self.speculation_for(method));
         let inliner = &self.inliner;
         let guarded = faults::with_quiet_panics(|| {
             panic::catch_unwind(AssertUnwindSafe(|| {
@@ -533,11 +700,20 @@ impl<'p> Machine<'p> {
         if fault == Some(FaultKind::CorruptGraph) {
             faults::corrupt_graph(&mut graph);
         }
-        self.verify_and_install(method, graph, work_nodes, stats, CompileStage::Full)
+        self.verify_and_install(method, graph, work_nodes, stats, CompileStage::Full, fault)
             .inspect_err(|_| {
                 // The rejected graph's compile effort is still paid for.
                 self.charge_wasted_work(work_nodes as u64);
             })
+    }
+
+    /// The speculation policy handed to a compilation of `method`.
+    fn speculation_for(&self, method: MethodId) -> Speculation {
+        let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
+        Speculation {
+            allow_deopt: self.config.deopt && !pinned,
+            confidence: self.config.deopt_confidence,
+        }
     }
 
     /// Ladder rung 2: an inline-free compile of the method's own graph
@@ -548,9 +724,9 @@ impl<'p> Machine<'p> {
         method: MethodId,
         fault: Option<FaultKind>,
     ) -> Result<(), CompileError> {
-        // Injected faults target the full tier only; the degraded tier
-        // always gets a fresh budget from the config.
-        let _ = fault;
+        // Injected compile-path faults target the full tier only; the
+        // degraded tier always gets a fresh budget from the config (the
+        // speculation faults still reach `verify_and_install` below).
         let fuel = self.make_fuel();
         let program = self.program;
         let sink = Rc::clone(&self.trace);
@@ -591,6 +767,7 @@ impl<'p> Machine<'p> {
             explored_nodes: 0,
             final_size: final_size as u64,
             opt_events,
+            speculative_sites: 0,
         };
         self.verify_and_install(
             method,
@@ -598,6 +775,7 @@ impl<'p> Machine<'p> {
             before + final_size,
             stats,
             CompileStage::Degraded,
+            fault,
         )
     }
 
@@ -611,6 +789,7 @@ impl<'p> Machine<'p> {
         work_nodes: usize,
         stats: InlineStats,
         stage: CompileStage,
+        fault: Option<FaultKind>,
     ) -> Result<(), CompileError> {
         let decl = self.program.method(method);
         incline_ir::verify::verify_graph(self.program, &graph, &decl.params, decl.ret)
@@ -623,11 +802,28 @@ impl<'p> Machine<'p> {
         self.total_compile_cycles += compile_cycles;
         self.compilations += 1;
         self.last_compile_stats.push((method, stats));
+        let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
+        let has_deopt = graph_has_deopt(&graph);
+        let has_virtual = graph_has_virtual_call(&graph);
+        // The injected speculation faults are ignored for pinned methods —
+        // pinned code must never deoptimize, even under fault injection.
+        let force_deopt = self.config.deopt && !pinned && fault == Some(FaultKind::ForceDeopt);
+        let force_drift =
+            self.config.deopt && !pinned && fault == Some(FaultKind::ForceGuardFailure);
+        let drift_armed = self.config.deopt
+            && !pinned
+            && (force_drift || (stats.speculative_sites > 0 && has_virtual));
         self.code.insert(
             method,
             CompiledMethod {
                 graph: Rc::new(graph),
                 bytes,
+                has_deopt,
+                drift_armed,
+                force_deopt,
+                force_drift,
+                invocations: 0,
+                virtual_dispatches: 0,
             },
         );
         self.emit(|| CompileEvent::TierTransition {
@@ -640,7 +836,74 @@ impl<'p> Machine<'p> {
             graph_size,
             work_nodes: work_nodes as u64,
         });
+        // Every install after an invalidation is a recompilation against
+        // the merged profile; the bar it cleared is recorded for tooling.
+        if self.config.deopt && self.spec.contains_key(&method) {
+            let bar = {
+                let s = self.spec.get_mut(&method).expect("just probed");
+                let bar = s.recompiles;
+                s.recompiles += 1;
+                bar
+            };
+            let threshold = self.recompile_bar(bar);
+            let recompiles = bar + 1;
+            self.bailouts.recompiles += 1;
+            self.emit(|| CompileEvent::Recompiled {
+                method,
+                recompiles,
+                threshold,
+            });
+        }
         Ok(())
+    }
+
+    /// Removes a method's installed code, releasing its bytes back to the
+    /// cache accounting, and starts a fresh profiling baseline for the
+    /// backed-off recompilation bar. No-op when the code is already gone
+    /// (a nested activation of the same method may have invalidated it
+    /// first — outer activations keep executing their `Rc` of the old
+    /// graph safely).
+    fn invalidate(&mut self, method: MethodId) {
+        let Some(cm) = self.code.remove(&method) else {
+            return;
+        };
+        self.installed_bytes = self.installed_bytes.saturating_sub(cm.bytes);
+        self.bailouts.invalidations += 1;
+        let inv = self.profiles.invocations(method);
+        let be = self.profiles.backedges(method);
+        let s = self.spec.entry(method).or_default();
+        s.base_invocations = inv;
+        s.base_backedges = be;
+        let recompiles = s.recompiles;
+        let bytes = cm.bytes;
+        self.emit(|| CompileEvent::CodeInvalidated {
+            method,
+            bytes,
+            recompiles,
+        });
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: CodeTier::Interpreter,
+        });
+    }
+
+    /// Whether the drift monitor wants to invalidate `method` before its
+    /// next compiled activation: armed speculated code whose fallback
+    /// virtual-dispatch rate exceeds the configured bound.
+    fn drift_tripped(&self, method: MethodId) -> bool {
+        if !self.config.deopt {
+            return false;
+        }
+        let Some(cm) = self.code.get(&method) else {
+            return false;
+        };
+        if !cm.drift_armed || cm.invocations < self.config.drift_min_samples {
+            return false;
+        }
+        if cm.force_drift {
+            return true;
+        }
+        cm.virtual_dispatches as f64 > self.config.drift_rate * cm.invocations as f64
     }
 
     /// Charges the cycles a failed compilation attempt burned before it
@@ -676,9 +939,15 @@ impl<'p> Machine<'p> {
         if depth > self.config.max_depth {
             return Err(ExecError::StackOverflow);
         }
-        if let Some(cm) = self.code.get(&method) {
-            let graph = Rc::clone(&cm.graph);
-            return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
+        if self.code.contains_key(&method) {
+            return match self.exec_compiled(method, args, depth)? {
+                CompiledExit::Returned(v) => Ok(v),
+                // The activation deoptimized: effects rolled back, code
+                // invalidated. Replay it interpreted — profiling resumes
+                // and, once the backed-off bar clears, the broker
+                // recompiles from the merged profile.
+                CompiledExit::Deoptimized(args) => self.exec_interpreted(method, args, depth),
+            };
         }
         // Interpreted activation: profile and maybe promote. Blacklisted
         // methods are never re-attempted — they stay interpreted for good.
@@ -688,13 +957,143 @@ impl<'p> Machine<'p> {
             && self.hot(method)
             && self.compile(method)
         {
-            let cm = &self.code[&method];
-            let graph = Rc::clone(&cm.graph);
-            return self.exec_graph(method, &graph, Tier::Compiled, args, depth);
+            return match self.exec_compiled(method, args, depth)? {
+                CompiledExit::Returned(v) => Ok(v),
+                CompiledExit::Deoptimized(args) => self.exec_interpreted(method, args, depth),
+            };
         }
+        self.exec_interpreted(method, args, depth)
+    }
+
+    /// Runs one interpreted (profiling) activation of `method`.
+    ///
+    /// Inlined into `exec_method` so guest recursion costs the same number
+    /// of host frames as before the deoptimization split (the stack-depth
+    /// budget in `VmConfig::max_depth` is calibrated to that).
+    #[inline(always)]
+    fn exec_interpreted(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
         let program = self.program;
         let graph = &program.method(method).graph;
-        self.exec_graph(method, graph, Tier::Interpreted, args, depth)
+        match self.exec_graph(method, graph, Tier::Interpreted, args, depth)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Deopt(_) => unreachable!("the interpreted tier traps on deopt terminators"),
+        }
+    }
+
+    /// Runs one compiled activation of `method`, handling the whole
+    /// deoptimization protocol: the between-activation drift check, the
+    /// injected entry trap, and — for graphs containing `deopt`
+    /// terminators — transactional execution with rollback.
+    ///
+    /// Inlined for the same stack-depth reason as `exec_interpreted`.
+    #[inline(always)]
+    fn exec_compiled(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<CompiledExit, ExecError> {
+        // Drift monitor: evaluated between activations, so tiering down
+        // needs no state transfer — the next activation simply starts
+        // interpreted on a fresh frame.
+        if self.drift_tripped(method) {
+            return Ok(self.deoptimize(method, "drift", args));
+        }
+        let cm = self
+            .code
+            .get_mut(&method)
+            .expect("caller checked code presence");
+        cm.invocations += 1;
+        let force_deopt = cm.force_deopt;
+        let deoptable = cm.has_deopt;
+        let graph = Rc::clone(&cm.graph);
+        if force_deopt {
+            // Injected uncommon trap at entry: no effects yet, nothing to
+            // roll back. One-shot by construction — the code is gone.
+            return Ok(self.deoptimize(method, "injected", args));
+        }
+        if !deoptable {
+            return match self.exec_graph(method, &graph, Tier::Compiled, args, depth)? {
+                Flow::Return(v) => Ok(CompiledExit::Returned(v)),
+                Flow::Deopt(_) => unreachable!("graph without deopt terminators cannot deopt"),
+            };
+        }
+        // Transactional activation: while any deopt-capable compiled frame
+        // is live, every heap write (in any tier, including interpreted
+        // callees) is journaled so an uncommon trap can rewind all
+        // observable effects to this entry point. Deterministic execution
+        // then makes the interpreted replay observably identical up to the
+        // trap, so the mid-call tier transfer is exact.
+        let save = Savepoint {
+            heap_len: self.heap.len(),
+            output_len: self.output.len(),
+            journal_len: self.journal.len(),
+        };
+        self.journal_scopes += 1;
+        let flow = self.exec_graph(method, &graph, Tier::Compiled, args.clone(), depth);
+        self.journal_scopes -= 1;
+        match flow {
+            Ok(Flow::Return(v)) => {
+                if self.journal_scopes == 0 {
+                    // Outermost transactional frame committed: its effects
+                    // are final, drop the undo log.
+                    self.journal.clear();
+                }
+                Ok(CompiledExit::Returned(v))
+            }
+            Ok(Flow::Deopt(reason)) => {
+                self.rollback(&save);
+                Ok(self.deoptimize(method, reason.label(), args))
+            }
+            Err(e) => {
+                if self.journal_scopes == 0 {
+                    self.journal.clear();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Common deoptimization bookkeeping: counters, events, invalidation,
+    /// and the profiled-invocation record for the interpreted replay.
+    fn deoptimize(&mut self, method: MethodId, reason: &str, args: Vec<Value>) -> CompiledExit {
+        self.bailouts.deopts += 1;
+        self.emit(|| CompileEvent::Deoptimized {
+            method,
+            reason: reason.to_string(),
+        });
+        self.invalidate(method);
+        self.profiles.record_invocation(method);
+        CompiledExit::Deoptimized(args)
+    }
+
+    /// Rewinds all observable effects to `save`: journaled heap writes are
+    /// undone newest-first, then cells allocated by the abandoned
+    /// activation are freed and its printed lines dropped.
+    fn rollback(&mut self, save: &Savepoint) {
+        while self.journal.len() > save.journal_len {
+            match self.journal.pop().expect("length checked") {
+                JournalEntry::Field { r, offset, old } => {
+                    let HeapCell::Object { fields, .. } = self.heap.cell_mut(r) else {
+                        unreachable!("journaled field write on a non-object cell");
+                    };
+                    fields[offset] = old;
+                }
+                JournalEntry::Array { r, index, old } => {
+                    let HeapCell::Array { data, .. } = self.heap.cell_mut(r) else {
+                        unreachable!("journaled array write on a non-array cell");
+                    };
+                    data[index] = old;
+                }
+            }
+        }
+        self.heap.truncate(save.heap_len);
+        self.output.truncate(save.output_len);
     }
 
     fn exec_graph(
@@ -704,7 +1103,7 @@ impl<'p> Machine<'p> {
         tier: Tier,
         args: Vec<Value>,
         depth: usize,
-    ) -> Result<Option<Value>, ExecError> {
+    ) -> Result<Flow, ExecError> {
         let profiling = tier == Tier::Interpreted;
         let back_edges = if profiling {
             self.back_edge_set(method)
@@ -805,7 +1204,15 @@ impl<'p> Machine<'p> {
                         let HeapCell::Object { fields, .. } = self.heap.cell_mut(r) else {
                             return Err(ExecError::Trap(TrapKind::NullDeref));
                         };
+                        let old = fields[off];
                         fields[off] = v;
+                        if self.journal_scopes > 0 {
+                            self.journal.push(JournalEntry::Field {
+                                r,
+                                offset: off,
+                                old,
+                            });
+                        }
                         None
                     }
                     Op::NewArray(e) => {
@@ -840,7 +1247,15 @@ impl<'p> Machine<'p> {
                         if idx < 0 || idx as usize >= arr.len() {
                             return Err(ExecError::Trap(TrapKind::Bounds));
                         }
+                        let old = arr[idx as usize];
                         arr[idx as usize] = v;
+                        if self.journal_scopes > 0 {
+                            self.journal.push(JournalEntry::Array {
+                                r,
+                                index: idx as usize,
+                                old,
+                            });
+                        }
                         None
                     }
                     Op::ArrayLen => {
@@ -897,6 +1312,14 @@ impl<'p> Machine<'p> {
                                 let class = self.heap.class_of(r);
                                 if profiling {
                                     self.profiles.record_receiver(info.site, class);
+                                } else if self.config.deopt {
+                                    // Drift monitor food: fallback virtual
+                                    // dispatches surviving in compiled code.
+                                    // The entry may be gone if a nested
+                                    // activation already invalidated it.
+                                    if let Some(cm) = self.code.get_mut(&method) {
+                                        cm.virtual_dispatches += 1;
+                                    }
                                 }
                                 let m = self.program.resolve(class, sel).unwrap_or_else(|| {
                                     panic!(
@@ -928,7 +1351,17 @@ impl<'p> Machine<'p> {
             // Terminator.
             let (dest, edge_args): (BlockId, Vec<ValueId>) = match &bd.term {
                 Terminator::Return(v) => {
-                    return Ok(v.map(|v| reg!(v)));
+                    return Ok(Flow::Return(v.map(|v| reg!(v))));
+                }
+                Terminator::Deopt { reason } => {
+                    if tier == Tier::Compiled {
+                        // Uncommon trap: hand the activation back to
+                        // `exec_compiled` for rollback and replay.
+                        return Ok(Flow::Deopt(*reason));
+                    }
+                    // Hand-written IR executed interpreted: there is no
+                    // lower tier to transfer to.
+                    return Err(ExecError::Trap(TrapKind::Deopt));
                 }
                 Terminator::Jump(d, a) => (*d, a.clone()),
                 Terminator::Branch {
@@ -958,6 +1391,26 @@ impl<'p> Machine<'p> {
             block = dest;
         }
     }
+}
+
+/// Whether any reachable block of `graph` ends in a `deopt` terminator.
+fn graph_has_deopt(graph: &Graph) -> bool {
+    graph
+        .block_ids()
+        .any(|b| matches!(graph.block(b).term, Terminator::Deopt { .. }))
+}
+
+/// Whether `graph` still contains virtual-dispatch callsites (the drift
+/// monitor counts their executions in compiled code).
+fn graph_has_virtual_call(graph: &Graph) -> bool {
+    graph.block_ids().any(|b| {
+        graph.block(b).insts.iter().any(|&i| {
+            matches!(
+                &graph.inst(i).op,
+                Op::Call(info) if matches!(info.target, CallTarget::Virtual(_))
+            )
+        })
+    })
 }
 
 /// Extracts a readable message from a caught panic payload.
@@ -1129,15 +1582,24 @@ mod tests {
         fb.ret(None);
         let g = fb.finish();
         p.define_method(m, g);
-        let mut vm = Machine::new(
-            &p,
-            Box::new(NoInline),
-            VmConfig {
-                jit: false,
-                ..VmConfig::default()
-            },
-        );
-        assert_eq!(vm.run(m, vec![]), Err(ExecError::StackOverflow));
+        // Each guest frame costs host frames; run on a thread with an
+        // explicit stack so the guest-depth guard (max_depth) fires before
+        // the host stack does, independent of debug-build frame sizes.
+        let handle = std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(move || {
+                let mut vm = Machine::new(
+                    &p,
+                    Box::new(NoInline),
+                    VmConfig {
+                        jit: false,
+                        ..VmConfig::default()
+                    },
+                );
+                vm.run(m, vec![]).map(|o| o.value)
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), Err(ExecError::StackOverflow));
     }
 
     #[test]
@@ -1405,6 +1867,87 @@ mod tests {
             vm.compile_requests(),
             1,
             "a blacklisted method must never be re-attempted"
+        );
+    }
+
+    #[test]
+    fn invalidation_keeps_installed_bytes_symmetric() {
+        // Compile, force-deoptimize (which invalidates), recompile: the
+        // code-cache accounting must return to exactly one install's worth
+        // of bytes, not accumulate one per (re)install.
+        let (p, m) = sum_program();
+        let config = VmConfig {
+            hotness_threshold: 2,
+            deopt: true,
+            ..VmConfig::default()
+        };
+
+        // Reference: the same program compiled once without faults.
+        let mut clean = Machine::new(&p, Box::new(NoInline), config);
+        for _ in 0..3 {
+            clean.run(m, vec![Value::Int(10)]).unwrap();
+        }
+        let one_install = clean.installed_bytes();
+        assert!(one_install > 0, "reference must compile");
+
+        let mut vm = Machine::new(&p, Box::new(NoInline), config);
+        vm.set_fault_plan(FaultPlan::new().inject(0, FaultKind::ForceDeopt));
+        // Run 2 reaches the hotness bar, compiles (request 0, marked), and
+        // the first compiled activation deopts at entry: the cache must be
+        // empty again and the run's output untouched.
+        for _ in 0..2 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(out.value, Some(Value::Int(45)));
+        }
+        assert_eq!(vm.bailouts().deopts, 1);
+        assert_eq!(vm.bailouts().invalidations, 1);
+        assert_eq!(vm.installed_bytes(), 0, "invalidation must release bytes");
+
+        // Fresh profile clears the backed-off bar (2 * 2^0) after two more
+        // interpreted runs; the recompile is clean (fault was one-shot).
+        for _ in 0..4 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(out.value, Some(Value::Int(45)));
+        }
+        assert_eq!(vm.bailouts().recompiles, 1);
+        assert_eq!(
+            vm.installed_bytes(),
+            one_install,
+            "reinstall must not double-count bytes"
+        );
+        assert!(vm.pinned_methods().is_empty());
+    }
+
+    #[test]
+    fn deopt_faults_are_inert_when_deopt_disabled() {
+        // With `deopt: false` (the default) the speculation faults must
+        // change nothing: no deopts, no invalidations, code stays put.
+        let (p, m) = sum_program();
+        let mut vm = Machine::new(
+            &p,
+            Box::new(NoInline),
+            VmConfig {
+                hotness_threshold: 2,
+                ..VmConfig::default()
+            },
+        );
+        vm.set_fault_plan(
+            FaultPlan::new()
+                .inject(0, FaultKind::ForceDeopt)
+                .inject(1, FaultKind::ForceGuardFailure),
+        );
+        for _ in 0..12 {
+            let out = vm.run(m, vec![Value::Int(10)]).unwrap();
+            assert_eq!(out.value, Some(Value::Int(45)));
+        }
+        let b = vm.bailouts();
+        assert_eq!(b.deopts, 0);
+        assert_eq!(b.invalidations, 0);
+        assert_eq!(b.recompiles, 0);
+        assert_eq!(b.pinned, 0);
+        assert!(
+            vm.installed_bytes() > 0,
+            "the compiled code stays installed"
         );
     }
 }

@@ -163,6 +163,15 @@ impl Heap {
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
+
+    /// Frees every cell allocated at or after `len`, restoring the heap to
+    /// an earlier allocation watermark. Used by deoptimization rollback;
+    /// only valid when no surviving cell references a discarded one, which
+    /// holds for a rolled-back activation because the write journal has
+    /// already restored all pre-existing cells.
+    pub fn truncate(&mut self, len: usize) {
+        self.cells.truncate(len);
+    }
 }
 
 /// The observable output of a program run (`print` intrinsic), used by
@@ -200,6 +209,23 @@ impl Output {
     /// The printed lines.
     pub fn lines(&self) -> &[String] {
         &self.lines
+    }
+
+    /// Number of printed lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing has been printed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Discards every line printed at or after `len`. Used by
+    /// deoptimization rollback before the interpreter replays the
+    /// activation.
+    pub fn truncate(&mut self, len: usize) {
+        self.lines.truncate(len);
     }
 }
 

@@ -1,0 +1,114 @@
+//! A phase-change workload: the receiver distribution at a hot virtual
+//! callsite flips mid-run.
+//!
+//! The first half of every run dispatches `area` on `Square` receivers
+//! only, so a speculating compiler sees a monomorphic profile with full
+//! coverage and — with deoptimization enabled — compiles the callsite with
+//! an uncommon-trap fallback. At the midpoint the program switches to
+//! `Tri` receivers: the trap fires, the code is invalidated, profiling
+//! resumes, and the recompilation (against the merged profile) must cover
+//! the new dominant receiver. This is the adversarial input for the
+//! deoptimization subsystem; with deoptimization disabled it is just
+//! another bimorphic dispatch loop.
+
+use incline_ir::builder::FunctionBuilder;
+use incline_ir::{BinOp, CmpOp, Program, Type};
+
+use crate::util::{counted_loop, if_else};
+use crate::workload::{Suite, Workload};
+
+/// Builds the workload. `input` is the per-run loop trip count; the
+/// receiver mix flips once `2*i >= input`.
+pub fn build(name: &str, suite: Suite, input: i64) -> Workload {
+    let mut p = Program::new();
+    let shape = p.add_class("Shape", None);
+    let scale_f = p.add_field(shape, "scale", Type::Int);
+    let square = p.add_class("Square", Some(shape));
+    let tri = p.add_class("Tri", Some(shape));
+
+    // area(this, x) per concrete shape.
+    let m_square = p.declare_method(square, "area", vec![Type::Int], Type::Int);
+    let m_tri = p.declare_method(tri, "area", vec![Type::Int], Type::Int);
+    let sel_area = p.selector_by_name("area", 2).unwrap();
+
+    let mut fb = FunctionBuilder::new(&p, m_square);
+    let this = fb.param(0);
+    let x = fb.param(1);
+    let s = fb.get_field(scale_f, this);
+    let sq = fb.binop(BinOp::IMul, x, x);
+    let out = fb.iadd(sq, s);
+    let m16 = fb.const_int(0xFFFF);
+    let out = fb.binop(BinOp::IAnd, out, m16);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(m_square, g);
+
+    let mut fb = FunctionBuilder::new(&p, m_tri);
+    let this = fb.param(0);
+    let x = fb.param(1);
+    let s = fb.get_field(scale_f, this);
+    let three = fb.const_int(3);
+    let t = fb.binop(BinOp::IMul, x, three);
+    let out = fb.iadd(t, s);
+    let m16 = fb.const_int(0xFFFF);
+    let out = fb.binop(BinOp::IAnd, out, m16);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(m_tri, g);
+
+    // step(s, x): the hot method holding the speculated virtual callsite.
+    let step = p.declare_function("step", vec![Type::Object(shape), Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, step);
+    let recv = fb.param(0);
+    let x = fb.param(1);
+    let a = fb.call_virtual(sel_area, vec![recv, x]).unwrap();
+    let out = fb.iadd(a, x);
+    fb.ret(Some(out));
+    let g = fb.finish();
+    p.define_method(step, g);
+
+    // main(n): Square receivers while 2*i < n, Tri receivers afterwards.
+    let main = p.declare_function("main", vec![Type::Int], Type::Int);
+    let mut fb = FunctionBuilder::new(&p, main);
+    let n = fb.param(0);
+    let sq_obj = fb.new_object(square);
+    let seven = fb.const_int(7);
+    fb.set_field(scale_f, sq_obj, seven);
+    let sq_ref = fb.cast(shape, sq_obj);
+    let tri_obj = fb.new_object(tri);
+    let three = fb.const_int(3);
+    fb.set_field(scale_f, tri_obj, three);
+    let tri_ref = fb.cast(shape, tri_obj);
+
+    let zero = fb.const_int(0);
+    let out = counted_loop(&mut fb, n, &[zero], |fb, i, state| {
+        let twice = fb.iadd(i, i);
+        let first_phase = fb.cmp(CmpOp::ILt, twice, n);
+        let recv = if_else(
+            fb,
+            first_phase,
+            Type::Object(shape),
+            |_| sq_ref,
+            |_| tri_ref,
+        );
+        let v = fb.call_static(step, vec![recv, i]).unwrap();
+        let acc = fb.binop(BinOp::IXor, state[0], v);
+        let acc2 = fb.iadd(acc, v);
+        vec![acc2]
+    });
+    fb.ret(Some(out[0]));
+    let g = fb.finish();
+    p.define_method(main, g);
+
+    Workload::new(name, suite, p, main, input, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_change_verifies() {
+        build("phase_change", Suite::Other, 60).verify_all();
+    }
+}

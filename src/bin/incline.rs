@@ -4,9 +4,11 @@
 //! ```text
 //! incline print   <file.ir> [--optimize]
 //! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
+//!                           [--no-deopt]
 //! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
 //!                           [--trace] [--trace-json FILE]
 //! incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
+//!                           [--no-deopt]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
 //! ```
@@ -15,6 +17,8 @@
 //!
 //! `--trace` streams compilation events to stderr (the old `INCLINE_TRACE`
 //! debugging workflow); `--trace-json FILE` writes them as JSONL.
+//! Deoptimization is enabled by default for `run`/`bench`; `--no-deopt`
+//! restricts compiled code to the always-correct virtual fallback.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -40,6 +44,9 @@ fn main() -> ExitCode {
             for w in incline::workloads::all_benchmarks() {
                 println!("{:<14} {}", w.name, w.suite.label());
             }
+            for w in incline::workloads::extra_benchmarks() {
+                println!("{:<14} extra", w.name);
+            }
             Ok(())
         }
         "--help" | "-h" | "help" => {
@@ -63,14 +70,19 @@ incline — optimization-driven incremental inline substitution (CGO'19)
 USAGE:
   incline print   <file.ir> [--optimize]
   incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
+                            [--no-deopt]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
                             [--trace] [--trace-json FILE]
   incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
+                            [--no-deopt]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
 
 Inliners: incremental (default), greedy, c2, none.
-Tracing: --trace streams compile events to stderr; --trace-json FILE writes JSONL.";
+Tracing: --trace streams compile events to stderr; --trace-json FILE writes JSONL.
+Deoptimization is on by default for run/bench: hot typeswitches may speculate
+with uncommon traps, deoptimize, and recompile. --no-deopt restricts compiled
+code to the always-correct virtual fallback.";
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -141,6 +153,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let config = VmConfig {
         jit,
         hotness_threshold: 5,
+        deopt: !flag(args, "--no-deopt"),
         ..VmConfig::default()
     };
     let mut vm = Machine::new(&program, inliner, config);
@@ -263,6 +276,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     let config = VmConfig {
         hotness_threshold: 5,
+        deopt: !flag(args, "--no-deopt"),
         ..VmConfig::default()
     };
     let json_path = opt_value(args, "--trace-json");
@@ -307,6 +321,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
     if r.bailouts.total() > 0 {
         println!("bailouts: {:?}", r.bailouts);
+    }
+    if r.bailouts.deopts > 0 {
+        println!(
+            "deopt: {} deopts, {} invalidations, {} recompiles, {} pinned",
+            r.bailouts.deopts, r.bailouts.invalidations, r.bailouts.recompiles, r.bailouts.pinned
+        );
     }
     Ok(())
 }

@@ -35,15 +35,16 @@ pub use incline_workloads as workloads;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use incline_baselines::{C2Inliner, GreedyInliner};
+    pub use incline_core::typeswitch::FallbackMode;
     pub use incline_core::{IncrementalInliner, PolicyConfig};
-    pub use incline_ir::{FunctionBuilder, Graph, Program, Type};
+    pub use incline_ir::{DeoptReason, FunctionBuilder, Graph, Program, Type};
     pub use incline_trace::{
         CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink,
     };
     pub use incline_vm::{
         run_benchmark, run_benchmark_faulted, run_benchmark_traced, BailoutCounters, BenchSpec,
         CompilationReport, CompileCx, CompileError, CompileFuel, FaultKind, FaultPlan, Inliner,
-        Machine, NoInline, Value, VmConfig,
+        Machine, NoInline, Speculation, Value, VmConfig,
     };
-    pub use incline_workloads::{all_benchmarks, by_name, Suite, Workload};
+    pub use incline_workloads::{all_benchmarks, by_name, extra_benchmarks, Suite, Workload};
 }

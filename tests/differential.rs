@@ -14,9 +14,21 @@ use incline_workloads::{GenConfig, Workload};
 /// Runs a workload to completion on a fresh machine and returns the final
 /// iteration's outcome (after warmup, so compiled code actually runs).
 fn run_with(w: &Workload, inliner: Box<dyn Inliner + '_>, jit: bool, input: i64) -> RunOutcome {
+    run_with_deopt(w, inliner, jit, input, false)
+}
+
+/// [`run_with`], with speculation/deoptimization toggled explicitly.
+fn run_with_deopt(
+    w: &Workload,
+    inliner: Box<dyn Inliner + '_>,
+    jit: bool,
+    input: i64,
+    deopt: bool,
+) -> RunOutcome {
     let config = VmConfig {
         jit,
         hotness_threshold: 2,
+        deopt,
         ..VmConfig::default()
     };
     let mut vm = Machine::new(&w.program, inliner, config);
@@ -102,6 +114,75 @@ fn random_programs_with_heavier_bodies() {
     for seed in 100..115u64 {
         let w = incline_workloads::generate(seed, config);
         check_workload(&w, 9);
+    }
+}
+
+#[test]
+fn deopt_enabled_runs_match_fallback_only_runs() {
+    // The master property of the deoptimization subsystem: uncommon traps,
+    // rollback and interpreted replay must be observably invisible. Every
+    // seeded workload (plus phase_change, built to trap) runs deopt-enabled
+    // under every inliner and must match the interpreted reference exactly.
+    let mut targets: Vec<Workload> = incline_workloads::all_benchmarks();
+    targets.extend(incline_workloads::extra_benchmarks());
+    for w in targets {
+        let input = w.input.min(8);
+        let reference = run_with(&w, Box::new(NoInline), false, input);
+        for (name, inliner) in all_inliners() {
+            let out = run_with_deopt(&w, inliner, true, input, true);
+            assert_eq!(
+                reference.value, out.value,
+                "{}: return value differs with deopt under inliner `{name}`",
+                w.name
+            );
+            assert_eq!(
+                reference.output, out.output,
+                "{}: printed output differs with deopt under inliner `{name}`",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deopt_enabled_random_programs_are_semantics_preserving() {
+    for seed in 0..40u64 {
+        let w = incline_workloads::generate(seed, GenConfig::default());
+        let reference = run_with(&w, Box::new(NoInline), false, 12);
+        for (name, inliner) in all_inliners() {
+            let out = run_with_deopt(&w, inliner, true, 12, true);
+            assert_eq!(
+                reference.value, out.value,
+                "{}: return value differs with deopt under inliner `{name}`",
+                w.name
+            );
+            assert_eq!(
+                reference.output, out.output,
+                "{}: printed output differs with deopt under inliner `{name}`",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_change_flip_is_semantics_preserving_with_full_input() {
+    // The adversarial deopt workload at its real input size: the receiver
+    // flip at the midpoint must trap, roll back and replay with no
+    // observable difference, under both deopt settings.
+    let w = incline_workloads::by_name("phase_change").unwrap();
+    check_workload(&w, w.input);
+    let reference = run_with(&w, Box::new(NoInline), false, w.input);
+    for (name, inliner) in all_inliners() {
+        let out = run_with_deopt(&w, inliner, true, w.input, true);
+        assert_eq!(
+            reference.value, out.value,
+            "phase_change: return value differs with deopt under `{name}`"
+        );
+        assert_eq!(
+            reference.output, out.output,
+            "phase_change: output differs with deopt under `{name}`"
+        );
     }
 }
 

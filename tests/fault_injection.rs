@@ -185,6 +185,169 @@ fn bench_result_surfaces_bailout_counters() {
     );
 }
 
+// ---- speculation faults: deopt, drift, storms ------------------------------
+
+/// Like [`run_faulted`] but with deoptimization enabled, so `ForceDeopt`
+/// and `ForceGuardFailure` bite. Output is still checked against the
+/// interpreted reference on every run.
+fn run_faulted_deopt(w: &Workload, plan: FaultPlan, runs: usize) -> Machine<'_> {
+    let input = 4;
+    let expected = reference(w, input);
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(plan);
+    for _ in 0..runs {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("faulted run completes");
+        assert_eq!(out.value, expected.0, "deopt must not change results");
+        assert_eq!(
+            out.output.to_string(),
+            expected.1,
+            "deopt must not change output"
+        );
+    }
+    vm
+}
+
+/// A program with a single compilable method, so every compilation request
+/// index targets it — the deterministic substrate for storm scenarios.
+fn single_method_program() -> (Program, incline::ir::MethodId) {
+    let mut p = Program::new();
+    let m = p.declare_function("dbl", vec![incline::ir::Type::Int], incline::ir::Type::Int);
+    let mut fb = FunctionBuilder::new(&p, m);
+    let x = fb.param(0);
+    let y = fb.iadd(x, x);
+    fb.ret(Some(y));
+    let g = fb.finish();
+    p.define_method(m, g);
+    (p, m)
+}
+
+#[test]
+fn force_deopt_triggers_one_invalidate_reprofile_recompile_cycle() {
+    let w = workload();
+    let plan = FaultPlan::new().inject(0, FaultKind::ForceDeopt);
+    let vm = run_faulted_deopt(&w, plan, 8);
+    let b = vm.bailouts();
+    assert_eq!(b.deopts, 1, "the injected trap fires exactly once");
+    assert_eq!(b.invalidations, 1, "the trapped code must be invalidated");
+    assert!(
+        b.recompiles >= 1,
+        "the method must come back through the broker"
+    );
+    assert_eq!(b.pinned, 0, "one deopt is far from the storm cap");
+    assert!(vm.pinned_methods().is_empty());
+    assert_eq!(b.total(), 0, "deoptimization is not a compile-path bailout");
+}
+
+#[test]
+fn force_deopt_storm_trips_the_cap_and_pins() {
+    let (p, m) = single_method_program();
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        max_recompiles: 3,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
+    let mut plan = FaultPlan::new();
+    for request in 0..=4 {
+        plan = plan.inject(request, FaultKind::ForceDeopt);
+    }
+    vm.set_fault_plan(plan);
+    let sink = std::rc::Rc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..80 {
+        let out = vm.run(m, vec![Value::Int(21)]).expect("run completes");
+        assert_eq!(out.value, Some(Value::Int(42)), "results never diverge");
+    }
+    let b = vm.bailouts();
+    // Requests 0..=3 install trapped code (4 deopts); at request 4 the
+    // recompile count has reached the cap, so the method is pinned first
+    // and the scheduled fault is ignored for pinned code.
+    assert_eq!(b.deopts, 4);
+    assert_eq!(b.invalidations, 4);
+    assert_eq!(b.recompiles, 4);
+    assert_eq!(b.pinned, 1);
+    assert_eq!(vm.pinned_methods(), vec![m]);
+    assert_eq!(vm.report().pinned, vec![m]);
+    assert!(
+        vm.installed_bytes() > 0,
+        "the pinned method still runs compiled"
+    );
+    let events = sink.take();
+    let count = |name: &str| events.iter().filter(|e| e.name() == name).count();
+    assert_eq!(count("Deoptimized"), 4);
+    assert_eq!(count("CodeInvalidated"), 4);
+    assert_eq!(count("Recompiled"), 4);
+    assert_eq!(count("SpeculationPinned"), 1);
+}
+
+#[test]
+fn force_guard_failure_trips_the_drift_monitor() {
+    let w = workload();
+    let input = 4;
+    let expected = reference(&w, input);
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(FaultPlan::new().inject(0, FaultKind::ForceGuardFailure));
+    let sink = std::rc::Rc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..10 {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("run completes");
+        assert_eq!(out.value, expected.0);
+        assert_eq!(out.output.to_string(), expected.1);
+    }
+    let b = vm.bailouts();
+    assert!(
+        b.deopts >= 1,
+        "the armed drift monitor must eventually trip"
+    );
+    assert!(b.invalidations >= 1);
+    let events = sink.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, CompileEvent::Deoptimized { reason, .. } if reason == "drift")),
+        "the deopt reason must identify the drift monitor"
+    );
+}
+
+#[test]
+fn force_deopt_counters_are_deterministic() {
+    let (p, m) = single_method_program();
+    let run = || {
+        let config = VmConfig {
+            hotness_threshold: 2,
+            deopt: true,
+            max_recompiles: 3,
+            ..VmConfig::default()
+        };
+        let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
+        let mut plan = FaultPlan::new();
+        for request in 0..=4 {
+            plan = plan.inject(request, FaultKind::ForceDeopt);
+        }
+        vm.set_fault_plan(plan);
+        for _ in 0..80 {
+            vm.run(m, vec![Value::Int(21)]).expect("run completes");
+        }
+        (vm.bailouts(), vm.compile_requests(), vm.installed_bytes())
+    };
+    assert_eq!(run(), run(), "storm runs must be byte-identical");
+}
+
 #[test]
 fn faulted_runs_are_deterministic() {
     let w = workload();

@@ -16,7 +16,11 @@ fn workload() -> Workload {
 /// Runs the workload hot under the incremental inliner with a JSONL sink
 /// attached and returns the raw trace bytes.
 fn jsonl_trace() -> Vec<u8> {
-    let w = workload();
+    jsonl_trace_of(workload(), false)
+}
+
+/// [`jsonl_trace`] for an arbitrary workload, with deoptimization toggled.
+fn jsonl_trace_of(w: Workload, deopt: bool) -> Vec<u8> {
     let spec = BenchSpec {
         entry: w.entry,
         args: vec![Value::Int(4)],
@@ -24,6 +28,7 @@ fn jsonl_trace() -> Vec<u8> {
     };
     let config = VmConfig {
         hotness_threshold: 2,
+        deopt,
         ..VmConfig::default()
     };
     let sink = Rc::new(JsonlSink::new(Vec::new()));
@@ -68,6 +73,67 @@ fn identical_runs_produce_byte_identical_jsonl() {
     ] {
         assert!(text.contains(needle), "trace must contain {needle}");
     }
+}
+
+#[test]
+fn deopt_enabled_runs_produce_byte_identical_jsonl() {
+    // Same hygiene bar with the deoptimization lifecycle in the stream:
+    // the phase-change workload traps mid-run, so Deoptimized /
+    // CodeInvalidated / Recompiled events interleave with the normal
+    // compilation events — and the whole trace must still be reproducible
+    // byte for byte.
+    let w = || incline::workloads::by_name("phase_change").expect("extra benchmark exists");
+    let first = jsonl_trace_of(w(), true);
+    let second = jsonl_trace_of(w(), true);
+    assert!(!first.is_empty(), "a hot run must emit events");
+    assert_eq!(first, second, "deopt trace must be byte-identical");
+
+    let text = String::from_utf8(first).expect("JSONL is UTF-8");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"ev\":\""), "bad line start: {line}");
+        assert!(line.ends_with('}'), "bad line end: {line}");
+    }
+    for needle in [
+        "\"ev\":\"Deoptimized\"",
+        "\"reason\":\"uncovered_receiver\"",
+        "\"ev\":\"CodeInvalidated\"",
+        "\"ev\":\"Recompiled\"",
+    ] {
+        assert!(text.contains(needle), "trace must contain {needle}");
+    }
+    // With deopt disabled the same workload emits none of the lifecycle.
+    let plain = String::from_utf8(jsonl_trace_of(w(), false)).expect("UTF-8");
+    for needle in ["Deoptimized", "CodeInvalidated", "Recompiled"] {
+        assert!(
+            !plain.contains(needle),
+            "deopt-disabled trace must not contain {needle}"
+        );
+    }
+}
+
+#[test]
+fn deopt_events_agree_with_bailout_counters() {
+    let w = incline::workloads::by_name("phase_change").expect("extra benchmark exists");
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    let sink = Rc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..6 {
+        vm.run(w.entry, vec![Value::Int(w.input)])
+            .expect("run completes");
+    }
+    let events = sink.take();
+    let count = |name: &str| events.iter().filter(|e| e.name() == name).count() as u64;
+    let b = vm.bailouts();
+    assert!(b.deopts > 0, "phase_change must trap at least once");
+    assert_eq!(count("Deoptimized"), b.deopts);
+    assert_eq!(count("CodeInvalidated"), b.invalidations);
+    assert_eq!(count("Recompiled"), b.recompiles);
+    assert_eq!(count("SpeculationPinned"), b.pinned);
 }
 
 #[test]
