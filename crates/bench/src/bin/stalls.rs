@@ -1,0 +1,5 @@
+//! Background-compilation stall comparison: synchronous vs pipelined broker.
+
+fn main() {
+    println!("{}", incline_bench::figures::stalls());
+}

@@ -7,7 +7,9 @@
 use incline_core::policy::{ExpansionThreshold, InlineThreshold, PolicyConfig};
 use incline_workloads::{all_benchmarks, suite, Suite, Workload};
 
-use crate::{fmt_cycles, fmt_kib, measure, measure_all, render_table, Config, Measurement};
+use crate::{
+    fmt_cycles, fmt_kib, measure, measure_all, measure_with_vm, render_table, Config, Measurement,
+};
 
 fn fixed_config(te: usize, ti: usize) -> Config {
     // Leak a small label string: configs live for the whole run.
@@ -350,6 +352,72 @@ pub fn ablations() -> String {
          the i-cache capacity.\n\n",
     );
     out.push_str(&render_table(&headers, &rows));
+    out
+}
+
+/// Background-compilation stall comparison (beyond the paper): the
+/// synchronous broker stalls the mutator for every compile cycle; the
+/// pipelined broker (4 workers, install at safepoints) overlaps
+/// compilation with interpretation. Reported per benchmark: total
+/// compile cycles, mutator-visible stall under each broker, and the
+/// reduction.
+pub fn stalls() -> String {
+    use incline_vm::InstallPolicy;
+    let config = Config::paper();
+    let benches = all_benchmarks();
+    let headers: Vec<String> = [
+        "benchmark",
+        "compile",
+        "stall(sync)",
+        "stall(pipelined)",
+        "kept",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut improved = 0usize;
+    for w in &benches {
+        let sync = measure_with_vm(w, &config, crate::default_vm());
+        let pipelined = measure_with_vm(
+            w,
+            &config,
+            incline_vm::VmConfig {
+                compile_threads: 4,
+                install_policy: InstallPolicy::Safepoint,
+                ..crate::default_vm()
+            },
+        );
+        if pipelined.stall_cycles() < sync.stall_cycles() {
+            improved += 1;
+        }
+        let kept = if sync.stall_cycles() == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.0}%",
+                100.0 * pipelined.stall_cycles() as f64 / sync.stall_cycles() as f64
+            )
+        };
+        rows.push(vec![
+            w.name.clone(),
+            fmt_cycles(sync.result.compile_cycles as f64),
+            fmt_cycles(sync.stall_cycles() as f64),
+            fmt_cycles(pipelined.stall_cycles() as f64),
+            kept,
+        ]);
+    }
+    let mut out = "## Background compilation — mutator stalls (beyond the paper)\n\n".to_string();
+    out.push_str(
+        "Synchronous broker (compile_threads=0, barrier install) vs the \
+         pipelined broker (compile_threads=4, safepoint install). `kept` \
+         is the fraction of the synchronous stall the mutator still pays.\n\n",
+    );
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(&format!(
+        "\npipelined stall strictly lower on {improved}/{} benchmarks.\n",
+        benches.len()
+    ));
     out
 }
 

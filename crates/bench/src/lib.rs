@@ -11,7 +11,7 @@
 //! (at most 20) repetitions; installed code size is read off the code
 //! cache at the end.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::{IncrementalInliner, PolicyConfig};
@@ -104,16 +104,28 @@ impl Measurement {
     pub fn code_bytes(&self) -> u64 {
         self.result.installed_bytes
     }
+
+    /// Mutator-visible compile stall cycles (see `BenchResult::stall_cycles`).
+    pub fn stall_cycles(&self) -> u64 {
+        self.result.stall_cycles
+    }
 }
 
 /// Measures one benchmark under one configuration.
 pub fn measure(w: &Workload, config: &Config) -> Measurement {
+    measure_with_vm(w, config, config.vm())
+}
+
+/// Like [`measure`] with an explicit [`VmConfig`] — the background-
+/// compilation experiments vary `compile_threads` and `install_policy`
+/// on top of the shared defaults.
+pub fn measure_with_vm(w: &Workload, config: &Config, vm: VmConfig) -> Measurement {
     let spec = BenchSpec {
         entry: w.entry,
         args: vec![Value::Int(w.input)],
         iterations: w.iterations,
     };
-    let result = run_benchmark(&w.program, &spec, config.build(), config.vm())
+    let result = run_benchmark(&w.program, &spec, config.build(), vm)
         .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
     Measurement {
         benchmark: w.name.clone(),
@@ -132,8 +144,8 @@ pub fn measure_traced(w: &Workload, config: &Config) -> (Measurement, Vec<Compil
         args: vec![Value::Int(w.input)],
         iterations: w.iterations,
     };
-    let sink = Rc::new(CollectingSink::new());
-    let handle: Rc<dyn TraceSink> = sink.clone();
+    let sink = Arc::new(CollectingSink::new());
+    let handle: Arc<dyn TraceSink> = sink.clone();
     let result = run_benchmark_traced(
         &w.program,
         &spec,

@@ -282,6 +282,37 @@ impl CompileEvent {
             CompileEvent::SpeculationPinned { .. } => "SpeculationPinned",
         }
     }
+
+    /// The method this event is about, when it carries one.
+    ///
+    /// For inliner-internal events ([`CompileEvent::NodeExpanded`],
+    /// [`CompileEvent::CutoffDeferred`], [`CompileEvent::ClusterFormed`],
+    /// [`CompileEvent::InlineDecision`]) this is the *callee* under
+    /// consideration, not the compilation root; lifecycle events
+    /// (round/tier/bailout/install/deopt) carry the root itself. Events with
+    /// no method context ([`CompileEvent::OptPassStats`],
+    /// [`CompileEvent::FuelCharged`], [`CompileEvent::TreeSnapshot`]) return
+    /// `None`, as do synthetic-node decisions.
+    pub fn method(&self) -> Option<MethodId> {
+        match self {
+            CompileEvent::RoundStart { method, .. }
+            | CompileEvent::RoundEnd { method, .. }
+            | CompileEvent::NodeExpanded { method, .. }
+            | CompileEvent::CutoffDeferred { method, .. }
+            | CompileEvent::TierTransition { method, .. }
+            | CompileEvent::Bailout { method, .. }
+            | CompileEvent::CodeInstalled { method, .. }
+            | CompileEvent::Deoptimized { method, .. }
+            | CompileEvent::CodeInvalidated { method, .. }
+            | CompileEvent::Recompiled { method, .. }
+            | CompileEvent::SpeculationPinned { method } => Some(*method),
+            CompileEvent::ClusterFormed { method, .. }
+            | CompileEvent::InlineDecision { method, .. } => *method,
+            CompileEvent::OptPassStats { .. }
+            | CompileEvent::FuelCharged { .. }
+            | CompileEvent::TreeSnapshot { .. } => None,
+        }
+    }
 }
 
 fn opt_method(method: &Option<MethodId>) -> String {

@@ -15,12 +15,17 @@
 //! - [`JsonlSink`]: hand-rolled JSON-lines serializer with no external deps.
 //!
 //! The stream is deterministic: two compilations of the same program with the
-//! same configuration produce byte-identical JSONL traces.
+//! same configuration produce byte-identical JSONL traces. Sinks are
+//! `Send + Sync` so the VM's background compile broker can share them with
+//! worker threads, and [`order`] provides stable per-method sorting to
+//! canonicalize streams that were merged outside the broker's deterministic
+//! replay path.
 
 #![warn(missing_docs)]
 
 mod event;
 mod json;
+pub mod order;
 mod sink;
 
 pub use event::{BailoutStage, CodeTier, CompileEvent, OptPhase};

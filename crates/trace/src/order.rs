@@ -1,0 +1,139 @@
+//! Canonical ordering helpers for merged trace streams.
+//!
+//! The VM's compile broker keeps trace streams deterministic even with
+//! background worker threads: each worker buffers its request's events in a
+//! private [`crate::CollectingSink`] (the buffer index is the request's
+//! per-method sequence number) and the mutator replays the buffers in
+//! request-id order at the install safepoint. The helpers here exist for the
+//! other direction — canonicalizing a stream whose producers did *not* go
+//! through the replay path (e.g. several `JsonlSink` files concatenated, or
+//! a future free-running sink): a stable sort by method key leaves any two
+//! equivalent streams byte-identical while preserving each method's internal
+//! event sequence.
+
+use incline_ir::MethodId;
+
+use crate::event::CompileEvent;
+
+/// Sort key for per-method grouping: events that carry no method sort before
+/// all tagged events and keep their relative order; tagged events group by
+/// method id. The sort must be *stable* so each group keeps its emission
+/// sequence — both helpers below use Rust's stable sort.
+fn method_key(method: Option<MethodId>) -> (bool, usize) {
+    match method {
+        None => (false, 0),
+        Some(m) => (true, m.index()),
+    }
+}
+
+/// Stable-sort an event stream into per-method groups (untagged events
+/// first, then each method's events in emission order).
+pub fn sort_events_by_method(events: &mut [CompileEvent]) {
+    events.sort_by_key(|e| method_key(e.method()));
+}
+
+/// Extract the value of the first `"method"` key from one JSONL trace line,
+/// e.g. `m3` from `{"ev":"RoundStart","method":"m3",...}`. Returns `None`
+/// for lines without a method key or with `"method":null`.
+pub fn method_of_jsonl_line(line: &str) -> Option<&str> {
+    let rest = &line[line.find("\"method\":")? + "\"method\":".len()..];
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Stable-sort a JSONL trace by per-method group, returning the canonical
+/// text. Grouping matches [`sort_events_by_method`]: method-less lines keep
+/// their relative order ahead of the tagged groups, and ties preserve the
+/// input sequence. Method ids are ordered numerically (`m2` before `m10`).
+pub fn sort_jsonl_by_method(text: &str) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.sort_by_key(|line| {
+        let key = method_of_jsonl_line(line)
+            .and_then(|m| m.strip_prefix('m'))
+            .and_then(|n| n.parse::<usize>().ok());
+        (key.is_some(), key.unwrap_or(0))
+    });
+    let mut out = String::with_capacity(text.len());
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn install(m: usize, bytes: u64) -> CompileEvent {
+        CompileEvent::CodeInstalled {
+            method: MethodId::new(m),
+            bytes,
+            graph_size: 1,
+            work_nodes: 1,
+        }
+    }
+
+    #[test]
+    fn event_sort_groups_by_method_and_is_stable() {
+        let mut events = vec![
+            install(3, 1),
+            CompileEvent::FuelCharged {
+                amount: 9,
+                spent: 9,
+            },
+            install(1, 2),
+            install(3, 3),
+            install(1, 4),
+        ];
+        sort_events_by_method(&mut events);
+        assert_eq!(
+            events,
+            vec![
+                CompileEvent::FuelCharged {
+                    amount: 9,
+                    spent: 9
+                },
+                install(1, 2),
+                install(1, 4),
+                install(3, 1),
+                install(3, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_line_method_extraction() {
+        assert_eq!(
+            method_of_jsonl_line("{\"ev\":\"RoundStart\",\"method\":\"m3\",\"round\":1}"),
+            Some("m3")
+        );
+        assert_eq!(
+            method_of_jsonl_line("{\"ev\":\"InlineDecision\",\"method\":null}"),
+            None
+        );
+        assert_eq!(
+            method_of_jsonl_line("{\"ev\":\"FuelCharged\",\"amount\":5}"),
+            None
+        );
+    }
+
+    #[test]
+    fn jsonl_sort_is_stable_and_numeric() {
+        let text = "{\"ev\":\"A\",\"method\":\"m10\",\"n\":1}\n\
+                    {\"ev\":\"B\",\"amount\":7}\n\
+                    {\"ev\":\"C\",\"method\":\"m2\",\"n\":1}\n\
+                    {\"ev\":\"D\",\"method\":\"m10\",\"n\":2}\n";
+        let sorted = sort_jsonl_by_method(text);
+        assert_eq!(
+            sorted,
+            "{\"ev\":\"B\",\"amount\":7}\n\
+             {\"ev\":\"C\",\"method\":\"m2\",\"n\":1}\n\
+             {\"ev\":\"A\",\"method\":\"m10\",\"n\":1}\n\
+             {\"ev\":\"D\",\"method\":\"m10\",\"n\":2}\n"
+        );
+        // Canonicalization is idempotent.
+        assert_eq!(sort_jsonl_by_method(&sorted), sorted);
+    }
+}

@@ -1,17 +1,21 @@
 //! Trace sinks: where compilation events go.
 
-use std::cell::RefCell;
 use std::io::Write;
+use std::sync::Mutex;
 
 use crate::event::CompileEvent;
 
 /// A consumer of [`CompileEvent`]s.
 ///
-/// Sinks take `&self` and use interior mutability where they need state —
-/// the VM and all compilers are single-threaded, and this lets the sink be
-/// carried by reference inside `Copy` contexts (the same way `CompileFuel`
-/// is).
-pub trait TraceSink {
+/// Sinks take `&self` and use interior mutability where they need state.
+/// Since the compile broker runs compilations on background worker threads,
+/// every sink must be `Send + Sync`: the bundled sinks use a [`Mutex`]
+/// around their state, which is uncontended in practice because workers
+/// buffer their events per request and the broker replays each buffer from
+/// the mutator thread at the install safepoint (see `incline-vm`'s broker
+/// module). The trait is still carried by reference inside `Copy` contexts
+/// (the same way `CompileFuel` is).
+pub trait TraceSink: Send + Sync {
     /// Whether this sink wants events at all. Producers consult this before
     /// building an event, so a disabled sink costs one virtual call and no
     /// allocation.
@@ -40,10 +44,13 @@ impl TraceSink for NullSink {
 pub static NULL_SINK: NullSink = NullSink;
 
 /// Buffers events in memory for programmatic consumers (`compile_explain`,
-/// tests, visualizers).
+/// tests, visualizers) — and for the compile broker's per-request worker
+/// buffers. Each event is stamped with a monotonically increasing sequence
+/// number at emission, so concurrent consumers can stably re-order merged
+/// streams (see [`crate::order`]).
 #[derive(Debug, Default)]
 pub struct CollectingSink {
-    events: RefCell<Vec<CompileEvent>>,
+    events: Mutex<Vec<(u64, CompileEvent)>>,
 }
 
 impl CollectingSink {
@@ -54,28 +61,44 @@ impl CollectingSink {
 
     /// Number of events collected so far.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.events.lock().expect("sink lock").len()
     }
 
     /// Whether no events have been collected.
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        self.events.lock().expect("sink lock").is_empty()
     }
 
     /// Drain and return the collected events.
     pub fn take(&self) -> Vec<CompileEvent> {
-        std::mem::take(&mut *self.events.borrow_mut())
+        std::mem::take(&mut *self.events.lock().expect("sink lock"))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Drain and return the collected events together with their emission
+    /// sequence numbers (0-based, in arrival order at this sink).
+    pub fn take_sequenced(&self) -> Vec<(u64, CompileEvent)> {
+        std::mem::take(&mut *self.events.lock().expect("sink lock"))
     }
 
     /// Clone the collected events, leaving the buffer intact.
     pub fn snapshot(&self) -> Vec<CompileEvent> {
-        self.events.borrow().clone()
+        self.events
+            .lock()
+            .expect("sink lock")
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect()
     }
 }
 
 impl TraceSink for CollectingSink {
     fn emit(&self, event: CompileEvent) {
-        self.events.borrow_mut().push(event);
+        let mut events = self.events.lock().expect("sink lock");
+        let seq = events.len() as u64;
+        events.push((seq, event));
     }
 }
 
@@ -94,38 +117,39 @@ impl TraceSink for StderrSink {
 /// Serializes each event as one JSON object per line (JSONL) into any
 /// [`Write`] target. The serializer is hand-rolled (`CompileEvent::to_json`)
 /// and deterministic; write errors are swallowed so tracing can never fail a
-/// compilation.
+/// compilation. The writer sits behind a [`Mutex`] so the sink can be shared
+/// with the broker's worker threads.
 #[derive(Debug, Default)]
 pub struct JsonlSink<W: Write> {
-    out: RefCell<W>,
+    out: Mutex<W>,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wrap a writer.
     pub fn new(out: W) -> Self {
         JsonlSink {
-            out: RefCell::new(out),
+            out: Mutex::new(out),
         }
     }
 
     /// Unwrap the writer.
     pub fn into_inner(self) -> W {
-        self.out.into_inner()
+        self.out.into_inner().expect("sink lock")
     }
 
     /// Take the writer out through a shared reference, leaving a default one
-    /// behind — handy when the sink is held as `Rc<JsonlSink<Vec<u8>>>`.
+    /// behind — handy when the sink is held as `Arc<JsonlSink<Vec<u8>>>`.
     pub fn take(&self) -> W
     where
         W: Default,
     {
-        std::mem::take(&mut *self.out.borrow_mut())
+        std::mem::take(&mut *self.out.lock().expect("sink lock"))
     }
 }
 
-impl<W: Write> TraceSink for JsonlSink<W> {
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn emit(&self, event: CompileEvent) {
-        let mut out = self.out.borrow_mut();
+        let mut out = self.out.lock().expect("sink lock");
         let _ = out.write_all(event.to_json().as_bytes());
         let _ = out.write_all(b"\n");
     }
@@ -173,6 +197,36 @@ mod tests {
             ]
         );
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn collecting_sink_assigns_sequence_numbers() {
+        let sink = CollectingSink::new();
+        for i in 0..4 {
+            sink.emit(CompileEvent::FuelCharged {
+                amount: i,
+                spent: i,
+            });
+        }
+        let seqs: Vec<u64> = sink.take_sequenced().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let sink = std::sync::Arc::new(CollectingSink::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sink = std::sync::Arc::clone(&sink);
+                s.spawn(move || {
+                    sink.emit(CompileEvent::FuelCharged {
+                        amount: t,
+                        spent: t,
+                    });
+                });
+            }
+        });
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]

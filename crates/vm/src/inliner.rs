@@ -183,7 +183,11 @@ pub struct CompileOutcome {
 }
 
 /// An inlining algorithm driving a compilation.
-pub trait Inliner {
+///
+/// `Send + Sync` is a supertrait requirement: the VM's compile broker shares
+/// one inliner across its worker threads, and every inliner in the workspace
+/// is immutable configuration plus pure functions, so the bound is free.
+pub trait Inliner: Send + Sync {
     /// Short stable name used in benchmark tables.
     fn name(&self) -> &str;
 

@@ -32,6 +32,7 @@
 //! # Ok::<(), incline_vm::ExecError>(())
 //! ```
 
+pub mod broker;
 pub mod cost;
 pub mod faults;
 pub mod inliner;
@@ -39,6 +40,7 @@ pub mod machine;
 pub mod runner;
 pub mod value;
 
+pub use broker::{CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats};
 pub use cost::{CostModel, Tier};
 pub use faults::{FaultKind, FaultPlan};
 pub use incline_opt::{CompileFuel, UNLIMITED_FUEL};
@@ -51,8 +53,8 @@ pub use inliner::{
     CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, NoInline, Speculation,
 };
 pub use machine::{
-    BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, Machine,
-    RunOutcome, VmConfig,
+    BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, InstallPolicy,
+    Machine, RunOutcome, VmConfig,
 };
 pub use runner::{
     run_benchmark, run_benchmark_faulted, run_benchmark_traced, BenchError, BenchResult, BenchSpec,

@@ -30,22 +30,37 @@
 //! Every rung failure is recorded in [`BailoutCounters`] and the
 //! per-method [`BailoutRecord`] log, and the deterministic fault-injection
 //! harness in [`crate::faults`] exercises all three rungs.
+//!
+//! # Background compilation
+//!
+//! The ladder itself lives in [`crate::broker`] as a pure function over a
+//! [`CompileRequest`]: the machine *enqueues* requests (snapshotting fuel,
+//! fault and speculation per request) and *drains* the queue through a pool
+//! of [`VmConfig::compile_threads`] scoped worker threads — or inline when
+//! the pool size is 0. [`InstallPolicy`] picks the drain points: `Barrier`
+//! drains at the hotness trigger (observably identical to the synchronous
+//! broker, cycle for cycle and event for event), `Safepoint` lets the
+//! mutator keep interpreting and installs at activation boundaries, with
+//! the compile latency hidden by a virtual-time worker model — only the
+//! queue wait that outlives the mutator's progress is charged as
+//! [`RunOutcome::stall_cycles`].
 
 use std::collections::{HashMap, HashSet};
-use std::panic::{self, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline_ir::eval::{self, TrapKind};
 use incline_ir::graph::{CallTarget, DeoptReason, Op, Terminator};
 use incline_ir::loops::LoopForest;
 use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
-use incline_opt::CompileFuel;
 use incline_profile::ProfileTable;
-use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, OptPhase, TraceSink};
+use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, TraceSink};
 
+use crate::broker::{
+    self, CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats,
+};
 use crate::cost::{CostModel, Tier};
-use crate::faults::{self, FaultKind, FaultPlan};
-use crate::inliner::{CompileCx, CompileError, CompileOutcome, InlineStats, Inliner, Speculation};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::inliner::{CompileError, InlineStats, Inliner, Speculation};
 use crate::value::{Heap, HeapCell, HeapRef, Output, Value};
 
 /// VM configuration.
@@ -85,6 +100,45 @@ pub struct VmConfig {
     /// Storm throttle: recompilations granted after invalidation before
     /// the method is pinned to fallback-only (never `deopt`) code.
     pub max_recompiles: u32,
+    /// Size of the background compile-worker pool. `0` compiles inline on
+    /// the mutator thread (today's synchronous broker); `N >= 1` runs each
+    /// queue drain on up to `N` scoped worker threads. In
+    /// [`InstallPolicy::Barrier`] mode any value produces byte-identical
+    /// observable behavior — the differential matrix tests assert it.
+    /// Defaults to the `INCLINE_COMPILE_THREADS` environment variable
+    /// (read once), or `0`.
+    pub compile_threads: usize,
+    /// Where compile-queue drains happen; see [`InstallPolicy`].
+    pub install_policy: InstallPolicy,
+}
+
+/// When the compile queue drains and installed code becomes visible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InstallPolicy {
+    /// **Deterministic mode**: the virtual-time barrier sits at the hotness
+    /// trigger — the request is enqueued and the queue drained before the
+    /// triggering invocation proceeds, so the mutator observes exactly the
+    /// synchronous broker's behavior (cycles, trace stream, tier-up point)
+    /// regardless of [`VmConfig::compile_threads`].
+    #[default]
+    Barrier,
+    /// **Pipelined mode**: the triggering invocation keeps interpreting;
+    /// in-flight compilations install at the next safepoint (an activation
+    /// boundary of the method, or the start of the next `run`), and tier-up
+    /// happens on the following invocation. Semantics are still exactly
+    /// preserved — only the timeline differs: compile latency overlaps
+    /// mutator progress, so [`RunOutcome::stall_cycles`] shrinks.
+    Safepoint,
+}
+
+fn env_compile_threads() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("INCLINE_COMPILE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 impl Default for VmConfig {
@@ -103,6 +157,8 @@ impl Default for VmConfig {
             drift_rate: 2.0,
             drift_min_samples: 8,
             max_recompiles: 3,
+            compile_threads: env_compile_threads(),
+            install_policy: InstallPolicy::Barrier,
         }
     }
 }
@@ -126,7 +182,7 @@ impl std::fmt::Display for CompileStage {
 }
 
 impl CompileStage {
-    fn bailout_stage(self) -> BailoutStage {
+    pub(crate) fn bailout_stage(self) -> BailoutStage {
         match self {
             CompileStage::Full => BailoutStage::Full,
             CompileStage::Degraded => BailoutStage::Degraded,
@@ -211,6 +267,9 @@ pub struct CompilationReport {
     pub compilations: u64,
     /// Cycles spent compiling over the machine's lifetime.
     pub total_compile_cycles: u64,
+    /// Mutator-visible compilation stall cycles over the machine's
+    /// lifetime (== `total_compile_cycles` unless the broker is pipelined).
+    pub total_stall_cycles: u64,
     /// Machine-code bytes currently installed.
     pub installed_bytes: u64,
     /// Aggregate bailout counters.
@@ -255,21 +314,30 @@ pub struct RunOutcome {
     pub value: Option<Value>,
     /// Cycles spent executing code this run.
     pub exec_cycles: u64,
-    /// Cycles spent compiling this run.
+    /// Cycles of compile work performed for requests applied this run
+    /// (wherever the work ran — mutator or worker pool).
     pub compile_cycles: u64,
+    /// Cycles the mutator was stalled on compilation this run. With the
+    /// synchronous broker (`compile_threads == 0`) or in
+    /// [`InstallPolicy::Barrier`] mode this equals `compile_cycles`; in
+    /// pipelined mode it is only the portion of compile latency that was
+    /// not hidden behind mutator progress (see the virtual-time model in
+    /// the broker docs).
+    pub stall_cycles: u64,
     /// Observable output of the run.
     pub output: Output,
 }
 
 impl RunOutcome {
-    /// Execution plus compilation cycles (what an iteration "takes").
+    /// Execution plus mutator-visible compilation stall (what an iteration
+    /// "takes" on the simulated timeline).
     pub fn total_cycles(&self) -> u64 {
-        self.exec_cycles + self.compile_cycles
+        self.exec_cycles + self.stall_cycles
     }
 }
 
 struct CompiledMethod {
-    graph: Rc<Graph>,
+    graph: Arc<Graph>,
     /// Modeled code size; released back to `installed_bytes` on invalidation.
     bytes: u64,
     /// Whether the graph contains a `deopt` terminator, i.e. whether its
@@ -364,7 +432,17 @@ pub struct Machine<'p> {
     bailout_log: Vec<BailoutRecord>,
     fault_plan: FaultPlan,
     compile_requests: u64,
-    trace: Rc<dyn TraceSink + 'p>,
+    trace: Arc<dyn TraceSink + 'p>,
+    // Background compilation.
+    queue: CompileQueue,
+    in_flight: HashSet<MethodId>,
+    /// Virtual-time broker model: the cycle at which each worker in the
+    /// pool finishes its last assigned request. Indexed 0..compile_threads
+    /// (one slot for the synchronous broker).
+    worker_free: Vec<u64>,
+    /// Virtual cycles accumulated by completed runs; the live clock is
+    /// `vbase + exec_cycles + run_stall_cycles`.
+    vbase: u64,
     // Deoptimization.
     spec: HashMap<MethodId, SpecState>,
     journal: Vec<JournalEntry>,
@@ -374,9 +452,11 @@ pub struct Machine<'p> {
     output: Output,
     exec_cycles: u64,
     run_compile_cycles: u64,
+    run_stall_cycles: u64,
     steps: u64,
     // Lifetime totals.
     total_compile_cycles: u64,
+    total_stall_cycles: u64,
     last_compile_stats: Vec<(MethodId, crate::inliner::InlineStats)>,
 }
 
@@ -397,7 +477,11 @@ impl<'p> Machine<'p> {
             bailout_log: Vec::new(),
             fault_plan: FaultPlan::new(),
             compile_requests: 0,
-            trace: Rc::new(NullSink),
+            trace: Arc::new(NullSink),
+            queue: CompileQueue::default(),
+            in_flight: HashSet::new(),
+            worker_free: vec![0; config.compile_threads.max(1)],
+            vbase: 0,
             spec: HashMap::new(),
             journal: Vec::new(),
             journal_scopes: 0,
@@ -405,8 +489,10 @@ impl<'p> Machine<'p> {
             output: Output::new(),
             exec_cycles: 0,
             run_compile_cycles: 0,
+            run_stall_cycles: 0,
             steps: 0,
             total_compile_cycles: 0,
+            total_stall_cycles: 0,
             last_compile_stats: Vec::new(),
         }
     }
@@ -422,16 +508,28 @@ impl<'p> Machine<'p> {
         self.output = Output::new();
         self.exec_cycles = 0;
         self.run_compile_cycles = 0;
+        self.run_stall_cycles = 0;
         self.steps = 0;
         self.journal.clear();
         self.journal_scopes = 0;
+        // Run entry is a safepoint: requests still in flight from the
+        // previous run (pipelined mode) install before execution starts.
+        self.drain_compile_queue();
         let value = self.exec_method(entry, args, 0)?;
+        self.vbase += self.exec_cycles + self.run_stall_cycles;
         Ok(RunOutcome {
             value,
             exec_cycles: self.exec_cycles,
             compile_cycles: self.run_compile_cycles,
+            stall_cycles: self.run_stall_cycles,
             output: std::mem::take(&mut self.output),
         })
+    }
+
+    /// The live virtual clock: cycles accumulated by completed runs plus
+    /// this run's execution and stall so far.
+    fn vnow(&self) -> u64 {
+        self.vbase + self.exec_cycles + self.run_stall_cycles
     }
 
     /// Total machine-code bytes currently installed.
@@ -447,6 +545,25 @@ impl<'p> Machine<'p> {
     /// Cycles spent in the compiler over the machine's lifetime.
     pub fn total_compile_cycles(&self) -> u64 {
         self.total_compile_cycles
+    }
+
+    /// Mutator-visible compilation stall cycles over the machine's
+    /// lifetime. Equals [`Machine::total_compile_cycles`] for the
+    /// synchronous broker and in barrier mode; lower in pipelined mode.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_stall_cycles
+    }
+
+    /// Lifetime compile-queue counters (requests enqueued / completed /
+    /// installed). `enqueued == completed` whenever the queue is drained —
+    /// no request is ever lost.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Number of compile requests currently waiting in the queue.
+    pub fn pending_compiles(&self) -> usize {
+        self.queue.len()
     }
 
     /// The profile table (for inspection or seeding).
@@ -518,6 +635,7 @@ impl<'p> Machine<'p> {
             compile_requests: self.compile_requests,
             compilations: self.compilations,
             total_compile_cycles: self.total_compile_cycles,
+            total_stall_cycles: self.total_stall_cycles,
             installed_bytes: self.installed_bytes,
             bailouts: self.bailouts,
             bailout_log: self.bailout_log.clone(),
@@ -536,13 +654,15 @@ impl<'p> Machine<'p> {
     /// Routes all subsequent compilations' [`CompileEvent`] streams — the
     /// broker's own tier/bailout/installation events and everything the
     /// inliner and opt pipeline emit — into `sink`.
-    pub fn set_trace_sink(&mut self, sink: Rc<dyn TraceSink + 'p>) {
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink + 'p>) {
         self.trace = sink;
     }
 
     /// Force-compiles a method immediately (used by experiments that want
     /// a deterministic compile point). Returns whether code was installed;
     /// `false` means the ladder exhausted and the method is blacklisted.
+    /// Drains the whole queue, so any pipelined in-flight requests install
+    /// here too.
     pub fn compile_now(&mut self, method: MethodId) -> bool {
         if self.code.contains_key(&method) {
             return true;
@@ -551,6 +671,90 @@ impl<'p> Machine<'p> {
             return false;
         }
         self.compile(method)
+    }
+
+    /// Removes a method's installed code, releasing its bytes and starting
+    /// a fresh profiling baseline — the deterministic external invalidation
+    /// point for tests and experiments. No-op when the method has no
+    /// installed code.
+    pub fn invalidate_code(&mut self, method: MethodId) {
+        self.invalidate(method);
+    }
+
+    /// Enqueues a compilation request for `method` without draining the
+    /// queue. Returns `false` (and enqueues nothing) when the method is
+    /// already compiled, blacklisted, or has a request in flight — the
+    /// guards that make double-installs impossible. The request snapshots
+    /// fuel, fault and speculation; in [`InstallPolicy::Safepoint`] mode it
+    /// also snapshots the profile table.
+    pub fn enqueue_compile(&mut self, method: MethodId) -> bool {
+        if self.code.contains_key(&method)
+            || self.blacklist.contains(&method)
+            || self.in_flight.contains(&method)
+        {
+            return false;
+        }
+        let id = self.compile_requests;
+        self.compile_requests += 1;
+        let fault = self.fault_plan.fault_at(id);
+
+        // Storm throttle: a method that deoptimized past the recompile cap
+        // is pinned — this compile and every later one emit fallback-only
+        // (never `deopt`) code and the drift monitor stays off. Decided at
+        // enqueue (same point as the synchronous broker: request counted,
+        // compilation not yet started).
+        if self.config.deopt {
+            let pin_now = self
+                .spec
+                .get(&method)
+                .is_some_and(|s| !s.pinned && s.recompiles >= self.config.max_recompiles);
+            if pin_now {
+                self.spec.get_mut(&method).expect("just probed").pinned = true;
+                self.bailouts.pinned += 1;
+                self.emit(|| CompileEvent::SpeculationPinned { method });
+            }
+        }
+        let profiles = match self.config.install_policy {
+            // Barrier mode drains before the mutator runs another
+            // instruction, so the live table is already the enqueue-time
+            // view — no clone needed.
+            InstallPolicy::Barrier => None,
+            InstallPolicy::Safepoint => Some(self.profiles.clone()),
+        };
+        self.queue.push(CompileRequest {
+            id,
+            method,
+            fuel_limit: self.config.compile_fuel,
+            fault,
+            speculation: self.speculation_for(method),
+            profiles,
+            enqueued_at: self.vnow(),
+        });
+        self.in_flight.insert(method);
+        true
+    }
+
+    /// Drains the compile queue: runs every pending request through the
+    /// worker pool (or inline for a pool size of 0) and applies the
+    /// responses in request-id order — counters, wasted-work charges,
+    /// trace-buffer replay, then install or blacklist.
+    pub fn drain_compile_queue(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let requests = self.queue.take_all();
+        let responses = broker::process(
+            self.program,
+            &*self.inliner,
+            &self.profiles,
+            requests,
+            self.config.compile_threads,
+            self.trace.enabled(),
+        );
+        for resp in responses {
+            self.charge_response(&resp);
+            self.apply_response(resp);
+        }
     }
 
     // ---- internals ---------------------------------------------------------
@@ -581,14 +785,6 @@ impl<'p> Machine<'p> {
             .saturating_mul(1u64 << recompiles.min(20))
     }
 
-    fn make_fuel(&self) -> CompileFuel {
-        if self.config.compile_fuel == u64::MAX {
-            CompileFuel::unlimited()
-        } else {
-            CompileFuel::limited(self.config.compile_fuel)
-        }
-    }
-
     /// Emits a broker-level trace event, building it only if the sink is
     /// enabled.
     fn emit(&self, event: impl FnOnce() -> CompileEvent) {
@@ -597,114 +793,16 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// One compilation request, run down the bailout ladder. Returns
-    /// whether code was installed; on `false` the method is blacklisted
-    /// and will never be attempted again.
+    /// One compilation request, enqueued and drained to completion — the
+    /// synchronous entry point the `Barrier` install policy uses at the
+    /// hotness trigger. Returns whether code was installed; on `false` the
+    /// method is blacklisted and will never be attempted again.
     fn compile(&mut self, method: MethodId) -> bool {
-        let request = self.compile_requests;
-        self.compile_requests += 1;
-        let fault = self.fault_plan.fault_at(request);
-
-        // Storm throttle: a method that deoptimized past the recompile cap
-        // is pinned — this compile and every later one emit fallback-only
-        // (never `deopt`) code and the drift monitor stays off.
-        if self.config.deopt {
-            let pin_now = self
-                .spec
-                .get(&method)
-                .is_some_and(|s| !s.pinned && s.recompiles >= self.config.max_recompiles);
-            if pin_now {
-                self.spec.get_mut(&method).expect("just probed").pinned = true;
-                self.bailouts.pinned += 1;
-                self.emit(|| CompileEvent::SpeculationPinned { method });
-            }
+        if !self.enqueue_compile(method) {
+            return self.code.contains_key(&method);
         }
-
-        for stage in [CompileStage::Full, CompileStage::Degraded] {
-            let attempt = match stage {
-                CompileStage::Full => self.try_full_tier(method, fault),
-                CompileStage::Degraded => self.try_degraded_tier(method, fault),
-            };
-            match attempt {
-                Ok(()) => return true,
-                Err(error) => {
-                    self.emit(|| CompileEvent::Bailout {
-                        method,
-                        stage: stage.bailout_stage(),
-                        error: error.to_string(),
-                    });
-                    self.bailouts.record(stage, &error);
-                    self.bailout_log.push(BailoutRecord {
-                        method,
-                        stage,
-                        error,
-                    });
-                }
-            }
-        }
-        self.blacklist.insert(method);
-        self.bailouts.blacklisted += 1;
-        self.emit(|| CompileEvent::TierTransition {
-            method,
-            tier: CodeTier::Interpreter,
-        });
-        false
-    }
-
-    /// Ladder rung 1: the configured inliner, panic-fenced and metered.
-    fn try_full_tier(
-        &mut self,
-        method: MethodId,
-        fault: Option<FaultKind>,
-    ) -> Result<(), CompileError> {
-        let fuel = if fault == Some(FaultKind::ExhaustFuel) {
-            CompileFuel::limited(0)
-        } else {
-            self.make_fuel()
-        };
-        let sink = Rc::clone(&self.trace);
-        let cx = CompileCx::new(self.program, &self.profiles)
-            .with_fuel(&fuel)
-            .with_trace(&*sink)
-            .with_speculation(self.speculation_for(method));
-        let inliner = &self.inliner;
-        let guarded = faults::with_quiet_panics(|| {
-            panic::catch_unwind(AssertUnwindSafe(|| {
-                if fault == Some(FaultKind::PanicInCompile) {
-                    panic!("{}: compilation request panicked", faults::INJECTED_PANIC);
-                }
-                inliner.compile(method, &cx)
-            }))
-        });
-        let outcome = match guarded {
-            Ok(result) => {
-                // A failed attempt still burned the fuel it charged.
-                if result.is_err() {
-                    self.charge_wasted_work(fuel.spent());
-                }
-                result?
-            }
-            Err(payload) => {
-                return Err(CompileError::Panicked(panic_message(payload.as_ref())));
-            }
-        };
-        let CompileOutcome {
-            graph,
-            work_nodes,
-            stats,
-        } = outcome;
-        // Drop the tombstones passes leave behind: the interpreter sizes
-        // its register file by value_count, so installing compacted code
-        // is part of "code generation".
-        let mut graph = graph.compacted();
-        if fault == Some(FaultKind::CorruptGraph) {
-            faults::corrupt_graph(&mut graph);
-        }
-        self.verify_and_install(method, graph, work_nodes, stats, CompileStage::Full, fault)
-            .inspect_err(|_| {
-                // The rejected graph's compile effort is still paid for.
-                self.charge_wasted_work(work_nodes as u64);
-            })
+        self.drain_compile_queue();
+        self.code.contains_key(&method)
     }
 
     /// The speculation policy handed to a compilation of `method`.
@@ -716,90 +814,104 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Ladder rung 2: an inline-free compile of the method's own graph
-    /// through the optimization pipeline. Deliberately bypasses the
-    /// configured inliner — a buggy inliner must not poison this rung.
-    fn try_degraded_tier(
-        &mut self,
-        method: MethodId,
-        fault: Option<FaultKind>,
-    ) -> Result<(), CompileError> {
-        // Injected compile-path faults target the full tier only; the
-        // degraded tier always gets a fresh budget from the config (the
-        // speculation faults still reach `verify_and_install` below).
-        let fuel = self.make_fuel();
-        let program = self.program;
-        let sink = Rc::clone(&self.trace);
-        let guarded = faults::with_quiet_panics(|| {
-            panic::catch_unwind(AssertUnwindSafe(|| {
-                let mut graph = program.method(method).graph.clone();
-                let before = graph.size();
-                if !fuel.charge(before as u64) {
-                    return Err(crate::inliner::fuel_error(&fuel));
-                }
-                let opt = incline_trace::optimize_with_trace(
-                    program,
-                    &mut graph,
-                    incline_opt::PipelineConfig::default(),
-                    &fuel,
-                    &*sink,
-                    OptPhase::Degraded,
-                );
-                Ok((graph, before, opt.total()))
-            }))
-        });
-        let (graph, before, opt_events) = match guarded {
-            Ok(result) => {
-                if result.is_err() {
-                    self.charge_wasted_work(fuel.spent());
-                }
-                result?
-            }
-            Err(payload) => {
-                return Err(CompileError::Panicked(panic_message(payload.as_ref())));
-            }
-        };
-        let graph = graph.compacted();
-        let final_size = graph.size();
-        let stats = InlineStats {
-            inlined_calls: 0,
-            rounds: 1,
-            explored_nodes: 0,
-            final_size: final_size as u64,
-            opt_events,
-            speculative_sites: 0,
-        };
-        self.verify_and_install(
-            method,
-            graph,
-            before + final_size,
-            stats,
-            CompileStage::Degraded,
-            fault,
-        )
+    /// The simulated compile cycles one response cost: wasted work from
+    /// failed rungs plus (on success) the installed graph's compile cost.
+    /// `compile_cost` is linear in work nodes, so charging the aggregate
+    /// here equals the synchronous broker's incremental charges exactly.
+    fn response_cycles(&self, resp: &CompileResponse) -> u64 {
+        let mut cycles = self.config.cost.compile_cost(resp.wasted_work as usize);
+        if let Some(pkg) = &resp.package {
+            cycles += self.config.cost.compile_cost(pkg.work_nodes);
+        }
+        cycles
     }
 
-    /// The always-on installation gate: every graph is verified in every
-    /// build profile before it reaches the code cache. A rejected graph is
-    /// never installed.
-    fn verify_and_install(
-        &mut self,
-        method: MethodId,
-        graph: Graph,
-        work_nodes: usize,
-        stats: InlineStats,
-        stage: CompileStage,
-        fault: Option<FaultKind>,
-    ) -> Result<(), CompileError> {
-        let decl = self.program.method(method);
-        incline_ir::verify::verify_graph(self.program, &graph, &decl.params, decl.ret)
-            .map_err(|e| CompileError::Rejected(format!("{} (method {})", e.message, decl.name)))?;
+    /// Charges a response's compile cycles to the accounting counters and
+    /// computes the mutator-visible stall it caused. With a worker pool the
+    /// compile ran in the background from `enqueued_at` on the earliest-free
+    /// worker, so the mutator only stalls for the portion not yet finished
+    /// at the install safepoint; with zero threads the mutator did the work
+    /// itself and stalls for all of it. In `Barrier` mode every drain holds
+    /// exactly one request whose enqueue time is "now", so both formulas
+    /// yield `stall == cycles` and the policies stay cycle-identical.
+    fn charge_response(&mut self, resp: &CompileResponse) {
+        let cycles = self.response_cycles(resp);
+        self.run_compile_cycles += cycles;
+        self.total_compile_cycles += cycles;
+        let stall = if self.config.compile_threads == 0 {
+            cycles
+        } else {
+            let (w, free_at) = self
+                .worker_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, free)| free)
+                .expect("worker_free is never empty");
+            let start = resp.enqueued_at.max(free_at);
+            let finish = start + cycles;
+            self.worker_free[w] = finish;
+            finish.saturating_sub(self.vnow())
+        };
+        self.run_stall_cycles += stall;
+        self.total_stall_cycles += stall;
+    }
+
+    /// Applies one compile response on the mutator: replays the worker's
+    /// buffered trace events in order, records failed-rung bailouts, then
+    /// installs the surviving package or blacklists the method.
+    fn apply_response(&mut self, resp: CompileResponse) {
+        self.in_flight.remove(&resp.method);
+        let method = resp.method;
+        if self.trace.enabled() {
+            for event in resp.events {
+                self.trace.emit(event);
+            }
+        }
+        for (stage, error) in resp.failures {
+            self.bailouts.record(stage, &error);
+            self.bailout_log.push(BailoutRecord {
+                method,
+                stage,
+                error,
+            });
+        }
+        let installed = resp.package.is_some();
+        self.queue.note_completed(installed);
+        match resp.package {
+            Some(pkg) => self.install_package(method, pkg, resp.fault),
+            None => {
+                self.blacklist.insert(method);
+                self.bailouts.blacklisted += 1;
+                self.emit(|| CompileEvent::TierTransition {
+                    method,
+                    tier: CodeTier::Interpreter,
+                });
+            }
+        }
+    }
+
+    /// Installs a verified package into the code cache: cache accounting,
+    /// speculation bookkeeping, and the tier-transition / install events.
+    /// The graph was already verified on the worker — verification is part
+    /// of the ladder, so a rejected graph never reaches this point.
+    fn install_package(&mut self, method: MethodId, pkg: InstallPackage, fault: Option<FaultKind>) {
+        debug_assert!(
+            !self.code.contains_key(&method),
+            "double-install of {method:?}: the in-flight guard should make this impossible"
+        );
+        // Defensive in release builds: replacing code must release the old
+        // bytes first or `installed_bytes` drifts.
+        self.invalidate(method);
+        let InstallPackage {
+            stage,
+            graph,
+            work_nodes,
+            stats,
+        } = pkg;
         let graph_size = graph.size();
         let bytes = self.config.cost.code_bytes(graph_size);
-        let compile_cycles = self.config.cost.compile_cost(work_nodes);
         self.installed_bytes += bytes;
-        self.run_compile_cycles += compile_cycles;
-        self.total_compile_cycles += compile_cycles;
         self.compilations += 1;
         self.last_compile_stats.push((method, stats));
         let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
@@ -816,7 +928,7 @@ impl<'p> Machine<'p> {
         self.code.insert(
             method,
             CompiledMethod {
-                graph: Rc::new(graph),
+                graph: Arc::new(graph),
                 bytes,
                 has_deopt,
                 drift_armed,
@@ -854,14 +966,13 @@ impl<'p> Machine<'p> {
                 threshold,
             });
         }
-        Ok(())
     }
 
     /// Removes a method's installed code, releasing its bytes back to the
     /// cache accounting, and starts a fresh profiling baseline for the
     /// backed-off recompilation bar. No-op when the code is already gone
     /// (a nested activation of the same method may have invalidated it
-    /// first — outer activations keep executing their `Rc` of the old
+    /// first — outer activations keep executing their `Arc` of the old
     /// graph safely).
     fn invalidate(&mut self, method: MethodId) {
         let Some(cm) = self.code.remove(&method) else {
@@ -906,14 +1017,6 @@ impl<'p> Machine<'p> {
         cm.virtual_dispatches as f64 > self.config.drift_rate * cm.invocations as f64
     }
 
-    /// Charges the cycles a failed compilation attempt burned before it
-    /// bailed out (a real JIT pays for abandoned compilations too).
-    fn charge_wasted_work(&mut self, spent_fuel: u64) {
-        let cycles = self.config.cost.compile_cost(spent_fuel as usize);
-        self.run_compile_cycles += cycles;
-        self.total_compile_cycles += cycles;
-    }
-
     fn back_edge_set(&mut self, method: MethodId) -> HashSet<(BlockId, BlockId)> {
         if let Some(s) = self.back_edges.get(&method) {
             return s.clone();
@@ -939,6 +1042,12 @@ impl<'p> Machine<'p> {
         if depth > self.config.max_depth {
             return Err(ExecError::StackOverflow);
         }
+        // Activation entry is a safepoint: a method with a request in
+        // flight installs (or blacklists) here, so pipelined compilation
+        // tiers up on the next invocation after completion.
+        if !self.in_flight.is_empty() && self.in_flight.contains(&method) {
+            self.drain_compile_queue();
+        }
         if self.code.contains_key(&method) {
             return match self.exec_compiled(method, args, depth)? {
                 CompiledExit::Returned(v) => Ok(v),
@@ -954,13 +1063,29 @@ impl<'p> Machine<'p> {
         self.profiles.record_invocation(method);
         if self.config.jit
             && !self.blacklist.contains(&method)
+            && !self.in_flight.contains(&method)
             && self.hot(method)
-            && self.compile(method)
         {
-            return match self.exec_compiled(method, args, depth)? {
-                CompiledExit::Returned(v) => Ok(v),
-                CompiledExit::Deoptimized(args) => self.exec_interpreted(method, args, depth),
-            };
+            match self.config.install_policy {
+                // Barrier: compile at the trigger and run the compiled
+                // code immediately — the classic synchronous behavior.
+                InstallPolicy::Barrier => {
+                    if self.compile(method) {
+                        return match self.exec_compiled(method, args, depth)? {
+                            CompiledExit::Returned(v) => Ok(v),
+                            CompiledExit::Deoptimized(args) => {
+                                self.exec_interpreted(method, args, depth)
+                            }
+                        };
+                    }
+                }
+                // Safepoint: hand the request to the background broker and
+                // keep interpreting this activation; the drain above picks
+                // the result up at a later safepoint.
+                InstallPolicy::Safepoint => {
+                    self.enqueue_compile(method);
+                }
+            }
         }
         self.exec_interpreted(method, args, depth)
     }
@@ -1011,7 +1136,7 @@ impl<'p> Machine<'p> {
         cm.invocations += 1;
         let force_deopt = cm.force_deopt;
         let deoptable = cm.has_deopt;
-        let graph = Rc::clone(&cm.graph);
+        let graph = Arc::clone(&cm.graph);
         if force_deopt {
             // Injected uncommon trap at entry: no effects yet, nothing to
             // roll back. One-shot by construction — the code is gone.
@@ -1413,21 +1538,10 @@ fn graph_has_virtual_call(graph: &Graph) -> bool {
     })
 }
 
-/// Extracts a readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inliner::NoInline;
+    use crate::inliner::{CompileCx, CompileOutcome, NoInline};
     use incline_ir::builder::FunctionBuilder;
     use incline_ir::types::RetType;
     use incline_ir::Type;
@@ -1949,5 +2063,75 @@ mod tests {
             vm.installed_bytes() > 0,
             "the compiled code stays installed"
         );
+    }
+
+    fn machine_with_threshold(threshold: u64) -> (MethodId, Machine<'static>) {
+        // Leak the program so the machine can borrow it with a 'static
+        // lifetime — these tests only probe pure arithmetic helpers.
+        let (p, m) = sum_program();
+        let p: &'static Program = Box::leak(Box::new(p));
+        let vm = Machine::new(
+            p,
+            Box::new(NoInline),
+            VmConfig {
+                hotness_threshold: threshold,
+                ..VmConfig::default()
+            },
+        );
+        (m, vm)
+    }
+
+    #[test]
+    fn recompile_bar_is_threshold_times_two_to_the_n() {
+        let (_, vm) = machine_with_threshold(3);
+        let bars: Vec<u64> = (0..6).map(|n| vm.recompile_bar(n)).collect();
+        assert_eq!(bars, vec![3, 6, 12, 24, 48, 96]);
+    }
+
+    #[test]
+    fn recompile_bar_saturates_instead_of_overflowing() {
+        // The exponent clamps at 20 and the multiply saturates, so even
+        // absurd recompile counts and thresholds cannot wrap.
+        let (_, vm) = machine_with_threshold(5);
+        assert_eq!(vm.recompile_bar(20), 5 * (1 << 20));
+        assert_eq!(vm.recompile_bar(63), 5 * (1 << 20), "exponent clamps at 20");
+        assert_eq!(vm.recompile_bar(u32::MAX), 5 * (1 << 20));
+        let (_, vm) = machine_with_threshold(u64::MAX);
+        assert_eq!(vm.recompile_bar(0), u64::MAX);
+        assert_eq!(vm.recompile_bar(1), u64::MAX, "multiply saturates");
+        let (_, vm) = machine_with_threshold(u64::MAX / 2 + 1);
+        assert_eq!(vm.recompile_bar(1), u64::MAX);
+    }
+
+    #[test]
+    fn hotness_backoff_doubles_the_bar_per_recompile() {
+        // A method with speculation state re-promotes against
+        // `threshold * 2^recompiles` counted from its post-invalidation
+        // profile baseline — the storm-throttle backoff sequence.
+        let (m, mut vm) = machine_with_threshold(4);
+        for (recompiles, bar) in [(0u32, 4u64), (1, 8), (2, 16), (3, 32)] {
+            vm.spec.insert(
+                m,
+                SpecState {
+                    recompiles,
+                    pinned: false,
+                    base_invocations: 100,
+                    base_backedges: 0,
+                },
+            );
+            vm.profiles = ProfileTable::default();
+            for _ in 0..(100 + bar - 1) {
+                vm.profiles.record_invocation(m);
+            }
+            assert!(
+                !vm.hot(m),
+                "one below the backed-off bar (recompiles={recompiles}) must stay cold"
+            );
+            vm.profiles.record_invocation(m);
+            assert!(
+                vm.hot(m),
+                "reaching baseline + {bar} fresh invocations must re-promote"
+            );
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! compilation) has finished. Per-iteration cycles are retained so warmup
 //! curves (Figure 5) can be plotted.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline_ir::{MethodId, Program};
 use incline_trace::{NullSink, TraceSink};
@@ -29,9 +29,13 @@ pub struct BenchSpec {
 }
 
 /// Measurements from one benchmark run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` so the deterministic-mode tests can assert that different
+/// `compile_threads` settings produce *identical* results wholesale.
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchResult {
-    /// Total cycles (execution + compilation) of each repetition.
+    /// Total cycles (execution + mutator-visible compile stall) of each
+    /// repetition.
     pub per_iteration: Vec<u64>,
     /// Mean cycles over the steady-state window.
     pub steady_state: f64,
@@ -43,6 +47,10 @@ pub struct BenchResult {
     pub compilations: u64,
     /// Cycles spent compiling over the whole run.
     pub compile_cycles: u64,
+    /// Cycles the mutator observably stalled waiting on compilations —
+    /// equals `compile_cycles` for the synchronous broker, strictly less
+    /// when background workers overlap compilation with interpretation.
+    pub stall_cycles: u64,
     /// Output lines of the final repetition (for cross-config checking).
     pub final_output: Vec<String>,
     /// Return value of the final repetition, printed for digests.
@@ -136,7 +144,7 @@ pub fn run_benchmark_faulted(
     config: VmConfig,
     plan: FaultPlan,
 ) -> Result<BenchResult, BenchError> {
-    run_benchmark_traced(program, spec, inliner, config, plan, Rc::new(NullSink))
+    run_benchmark_traced(program, spec, inliner, config, plan, Arc::new(NullSink))
 }
 
 /// Like [`run_benchmark_faulted`], but also routes every compilation's
@@ -152,7 +160,7 @@ pub fn run_benchmark_traced<'p>(
     inliner: Box<dyn Inliner + 'p>,
     config: VmConfig,
     plan: FaultPlan,
-    sink: Rc<dyn TraceSink + 'p>,
+    sink: Arc<dyn TraceSink + 'p>,
 ) -> Result<BenchResult, BenchError> {
     if spec.iterations == 0 {
         return Err(BenchError::ZeroIterations);
@@ -186,6 +194,7 @@ pub fn run_benchmark_traced<'p>(
         installed_bytes: vm.installed_bytes(),
         compilations: vm.compilations(),
         compile_cycles: vm.total_compile_cycles(),
+        stall_cycles: vm.total_stall_cycles(),
         final_output: last.output.lines().to_vec(),
         final_value: last.value.map(|v| format!("{v:?}")),
         bailouts: vm.bailouts(),
@@ -266,6 +275,7 @@ mod tests {
             installed_bytes: 0,
             compilations: 0,
             compile_cycles: 0,
+            stall_cycles: 0,
             final_output: vec![],
             final_value: None,
             bailouts: BailoutCounters::default(),

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline::prelude::*;
 
@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Collect in memory so we can both summarize and serialize.
-    let sink = Rc::new(CollectingSink::new());
-    let handle: Rc<dyn TraceSink> = sink.clone();
+    let sink = Arc::new(CollectingSink::new());
+    let handle: Arc<dyn TraceSink> = sink.clone();
     let result = run_benchmark_traced(
         &w.program,
         &spec,

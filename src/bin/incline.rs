@@ -4,11 +4,11 @@
 //! ```text
 //! incline print   <file.ir> [--optimize]
 //! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
-//!                           [--no-deopt]
+//!                           [--no-deopt] [--compile-threads N] [--pipelined]
 //! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
 //!                           [--trace] [--trace-json FILE]
 //! incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
-//!                           [--no-deopt]
+//!                           [--no-deopt] [--compile-threads N] [--pipelined]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
 //! ```
@@ -19,10 +19,13 @@
 //! debugging workflow); `--trace-json FILE` writes them as JSONL.
 //! Deoptimization is enabled by default for `run`/`bench`; `--no-deopt`
 //! restricts compiled code to the always-correct virtual fallback.
+//! `--compile-threads N` sizes the background compile broker's worker pool
+//! (0 = compile on the mutator thread); `--pipelined` installs code at
+//! safepoints while the mutator keeps interpreting.
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline::baselines::{C2Inliner, GreedyInliner};
 use incline::prelude::*;
@@ -70,11 +73,11 @@ incline — optimization-driven incremental inline substitution (CGO'19)
 USAGE:
   incline print   <file.ir> [--optimize]
   incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
-                            [--no-deopt]
+                            [--no-deopt] [--compile-threads N] [--pipelined]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
                             [--trace] [--trace-json FILE]
   incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
-                            [--no-deopt]
+                            [--no-deopt] [--compile-threads N] [--pipelined]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
 
@@ -82,7 +85,10 @@ Inliners: incremental (default), greedy, c2, none.
 Tracing: --trace streams compile events to stderr; --trace-json FILE writes JSONL.
 Deoptimization is on by default for run/bench: hot typeswitches may speculate
 with uncommon traps, deoptimize, and recompile. --no-deopt restricts compiled
-code to the always-correct virtual fallback.";
+code to the always-correct virtual fallback.
+Broker: --compile-threads N sizes the background worker pool (0 = compile on
+the mutator thread); --pipelined installs at safepoints while the mutator
+keeps interpreting (INCLINE_COMPILE_THREADS sets the pool from the env).";
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -103,6 +109,20 @@ fn load(path: &str) -> Result<Program, String> {
             .map_err(|e| format!("{path}: method `{}`: {e}", program.method(m).name))?;
     }
     Ok(program)
+}
+
+/// Builds a `VmConfig` carrying the broker flags: `--compile-threads N`
+/// (worker pool size; also readable from `INCLINE_COMPILE_THREADS`) and
+/// `--pipelined` (install at safepoints instead of compile-at-trigger).
+fn broker_config(args: &[String]) -> Result<VmConfig, String> {
+    let mut config = VmConfig::default();
+    if let Some(n) = opt_value(args, "--compile-threads") {
+        config.compile_threads = n.parse().map_err(|e| format!("--compile-threads: {e}"))?;
+    }
+    if flag(args, "--pipelined") {
+        config.install_policy = InstallPolicy::Safepoint;
+    }
+    Ok(config)
 }
 
 fn make_inliner(name: &str) -> Result<Box<dyn Inliner>, String> {
@@ -154,11 +174,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         jit,
         hotness_threshold: 5,
         deopt: !flag(args, "--no-deopt"),
-        ..VmConfig::default()
+        ..broker_config(args)?
     };
     let mut vm = Machine::new(&program, inliner, config);
     if flag(args, "--trace") {
-        vm.set_trace_sink(Rc::new(StderrSink));
+        vm.set_trace_sink(Arc::new(StderrSink));
     }
     let runs = if jit { 8 } else { 1 };
     let mut last = None;
@@ -277,13 +297,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let config = VmConfig {
         hotness_threshold: 5,
         deopt: !flag(args, "--no-deopt"),
-        ..VmConfig::default()
+        ..broker_config(args)?
     };
     let json_path = opt_value(args, "--trace-json");
     let r = if let Some(path) = json_path {
         let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let sink = Rc::new(JsonlSink::new(std::io::BufWriter::new(f)));
-        let handle: Rc<dyn TraceSink> = sink.clone();
+        let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
+        let handle: Arc<dyn TraceSink> = sink.clone();
         let r = run_benchmark_traced(
             &w.program,
             &spec,
@@ -293,7 +313,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             handle,
         )
         .map_err(|e| e.to_string())?;
-        let owned = Rc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
+        let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
         owned
             .into_inner()
             .flush()
@@ -307,7 +327,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             inliner,
             config,
             FaultPlan::default(),
-            Rc::new(StderrSink),
+            Arc::new(StderrSink),
         )
         .map_err(|e| e.to_string())?
     } else {
@@ -318,6 +338,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!(
         "steady state: {:.0} ± {:.0} cycles; code {} bytes; {} compilations",
         r.steady_state, r.std_dev, r.installed_bytes, r.compilations
+    );
+    println!(
+        "compile: {} cycles total, {} stalling the mutator",
+        r.compile_cycles, r.stall_cycles
     );
     if r.bailouts.total() > 0 {
         println!("bailouts: {:?}", r.bailouts);

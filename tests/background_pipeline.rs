@@ -1,0 +1,129 @@
+//! Pipelined background compilation: with `InstallPolicy::Safepoint` the
+//! hotness trigger only *enqueues* a request — the triggering activation
+//! keeps interpreting while a background worker compiles, and the result
+//! installs at the next safepoint (an activation of an in-flight method,
+//! or the start of the next run). Two properties are locked down here:
+//! the mode is observably semantics-preserving, and it buys the thing it
+//! exists for — strictly fewer mutator-visible stall cycles than the
+//! synchronous broker on real workloads.
+
+use incline_core::IncrementalInliner;
+use incline_vm::{
+    run_benchmark, BenchResult, BenchSpec, InstallPolicy, Machine, NoInline, Value, VmConfig,
+};
+use incline_workloads::{GenConfig, Workload};
+
+fn bench(w: &Workload, policy: InstallPolicy, threads: usize, deopt: bool) -> BenchResult {
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt,
+        compile_threads: threads,
+        install_policy: policy,
+        ..VmConfig::default()
+    };
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input.min(8))],
+        iterations: 8,
+    };
+    run_benchmark(
+        &w.program,
+        &spec,
+        Box::new(IncrementalInliner::new()),
+        config,
+    )
+    .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
+}
+
+#[test]
+fn pipelined_mode_is_semantics_preserving() {
+    // Tier-up timing changes; observable behavior must not. Every paper
+    // and extra workload (plus a slice of the random corpus) is compared
+    // against the interpreted reference, with and without deopt.
+    let mut targets: Vec<Workload> = incline_workloads::all_benchmarks();
+    targets.extend(incline_workloads::extra_benchmarks());
+    for seed in 0..8u64 {
+        targets.push(incline_workloads::generate(seed, GenConfig::default()));
+    }
+    for w in &targets {
+        let input = w.input.min(8);
+        let mut interp = Machine::new(
+            &w.program,
+            Box::new(NoInline),
+            VmConfig {
+                jit: false,
+                ..VmConfig::default()
+            },
+        );
+        let reference = interp
+            .run(w.entry, vec![Value::Int(input)])
+            .unwrap_or_else(|e| panic!("{}: reference failed: {e}", w.name));
+        for deopt in [false, true] {
+            let out = bench(w, InstallPolicy::Safepoint, 4, deopt);
+            assert_eq!(
+                out.final_value,
+                reference.value.map(|v| format!("{v:?}")),
+                "{}: pipelined return value differs (deopt={deopt})",
+                w.name
+            );
+            assert_eq!(
+                out.final_output,
+                reference.output.lines().to_vec(),
+                "{}: pipelined output differs (deopt={deopt})",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_mode_is_deterministic() {
+    // Same config, same seed-free workload → byte-identical measurements.
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let a = bench(&w, InstallPolicy::Safepoint, 4, true);
+    let b = bench(&w, InstallPolicy::Safepoint, 4, true);
+    assert_eq!(a, b, "pipelined runs must be reproducible");
+}
+
+#[test]
+fn pipelined_broker_stalls_strictly_less_than_synchronous() {
+    // The acceptance bar: on real workloads the pipelined broker's
+    // mutator-visible stall is strictly lower than the synchronous
+    // broker's (which by construction stalls for every compile cycle).
+    let mut wins = 0usize;
+    let mut checked = 0usize;
+    for name in ["scalatest", "factorie", "tmt", "phase_change"] {
+        let Some(w) = incline_workloads::by_name(name) else {
+            continue;
+        };
+        let deopt = name == "phase_change";
+        let sync = bench(&w, InstallPolicy::Barrier, 0, deopt);
+        let pipelined = bench(&w, InstallPolicy::Safepoint, 4, deopt);
+        checked += 1;
+        assert!(
+            sync.stall_cycles > 0 && sync.compilations > 0,
+            "{name}: the synchronous baseline must actually compile and stall"
+        );
+        assert_eq!(
+            sync.stall_cycles, sync.compile_cycles,
+            "{name}: the synchronous broker stalls for every compile cycle"
+        );
+        assert!(
+            pipelined.compilations > 0,
+            "{name}: pipelined mode must compile"
+        );
+        assert!(
+            pipelined.stall_cycles < sync.stall_cycles,
+            "{name}: pipelined stall {} must be strictly below synchronous stall {}",
+            pipelined.stall_cycles,
+            sync.stall_cycles
+        );
+        if pipelined.stall_cycles < sync.stall_cycles {
+            wins += 1;
+        }
+    }
+    assert!(
+        checked >= 2 && wins >= 2,
+        "the stall win must hold on at least two workloads (checked {checked}, wins {wins})"
+    );
+}

@@ -1,0 +1,189 @@
+//! Compile-broker stress tests: hundreds of methods pushed through the
+//! queue in a seeded random interleaving of enqueues, invalidations,
+//! synchronous compiles and drains, across worker-pool sizes. The
+//! invariants under test are the broker's bookkeeping laws — no request is
+//! ever lost, no method is ever double-installed, and the code-cache byte
+//! accounting is exactly symmetric (installing then invalidating
+//! everything returns `installed_bytes` to zero).
+
+use incline_ir::{FunctionBuilder, MethodId, Program, Rng64, Type};
+use incline_vm::{
+    BailoutCounters, FaultKind, FaultPlan, Machine, NoInline, QueueStats, Value, VmConfig,
+};
+
+/// A program with `n` tiny distinct methods (`f_i(x) = x + i`), plus an
+/// entry point so the machine has something executable if needed.
+fn many_methods(n: usize) -> (Program, Vec<MethodId>) {
+    let mut p = Program::new();
+    let mut methods = Vec::with_capacity(n);
+    for i in 0..n {
+        let m = p.declare_function(format!("f{i}"), vec![Type::Int], Type::Int);
+        let mut fb = FunctionBuilder::new(&p, m);
+        let x = fb.param(0);
+        let k = fb.const_int(i as i64);
+        let r = fb.iadd(x, k);
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(m, g);
+        methods.push(m);
+    }
+    (p, methods)
+}
+
+/// Drives one machine through `steps` seeded random queue operations and
+/// returns the observable fingerprint of the run.
+fn stress(
+    program: &Program,
+    methods: &[MethodId],
+    threads: usize,
+    plan: FaultPlan,
+    steps: usize,
+) -> (QueueStats, u64, u64, BailoutCounters) {
+    let config = VmConfig {
+        compile_threads: threads,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(program, Box::new(NoInline), config);
+    vm.set_fault_plan(plan);
+    let mut rng = Rng64::new(0xC0FF_EE00);
+    for _ in 0..steps {
+        let m = methods[rng.gen_index(methods.len())];
+        match rng.gen_index(10) {
+            // Mostly enqueues: build up batches so drains actually hand
+            // multiple requests to the worker pool at once.
+            0..=4 => {
+                vm.enqueue_compile(m);
+            }
+            // Invalidations race against pending requests for the same
+            // method (a no-op while the code is not yet installed).
+            5 | 6 => {
+                vm.invalidate_code(m);
+            }
+            // Periodic drains flush whatever batch accumulated.
+            7 | 8 => {
+                vm.drain_compile_queue();
+            }
+            // Synchronous compile: enqueue + drain in one call, mixed in
+            // with the batched traffic.
+            _ => {
+                vm.compile_now(m);
+            }
+        }
+    }
+    vm.drain_compile_queue();
+    let stats = vm.queue_stats();
+    assert_eq!(vm.pending_compiles(), 0, "final drain left requests behind");
+    // Every request that went in came out: nothing lost, nothing invented.
+    assert_eq!(
+        stats.enqueued, stats.completed,
+        "lost or duplicated compile requests (threads={threads})"
+    );
+    // Every completion either installed code or blacklisted the method.
+    assert_eq!(
+        stats.installed + vm.bailouts().blacklisted,
+        stats.completed,
+        "completions must split into installs and blacklists (threads={threads})"
+    );
+    let bytes_at_peak = vm.installed_bytes();
+    let compilations = vm.compilations();
+    let bailouts = vm.bailouts();
+    // Symmetry: tearing every install down again returns the byte
+    // accounting to exactly zero. A double-install (or a missed
+    // invalidation) leaves a residue here.
+    for &m in methods {
+        vm.invalidate_code(m);
+    }
+    assert_eq!(
+        vm.installed_bytes(),
+        0,
+        "install/invalidate byte accounting must be symmetric (threads={threads})"
+    );
+    (stats, bytes_at_peak, compilations, bailouts)
+}
+
+#[test]
+fn queue_stress_invariants_hold_across_worker_pools() {
+    let (p, methods) = many_methods(300);
+    let reference = stress(&p, &methods, 0, FaultPlan::new(), 3000);
+    assert!(
+        reference.0.enqueued > 500,
+        "the schedule should generate real traffic, got {:?}",
+        reference.0
+    );
+    assert!(reference.2 > 0, "some methods must have compiled");
+    for threads in [1usize, 2, 4, 8] {
+        let got = stress(&p, &methods, threads, FaultPlan::new(), 3000);
+        assert_eq!(
+            reference, got,
+            "queue observables must not depend on worker-pool size"
+        );
+    }
+}
+
+#[test]
+fn queue_stress_with_injected_faults_still_balances() {
+    // Sprinkle compile-path faults over the same schedule: panics and
+    // fuel exhaustion fail the full tier (the degraded rung still
+    // installs), so the ledger must balance with bailouts in the mix.
+    let (p, methods) = many_methods(120);
+    let mut plan = FaultPlan::new();
+    for r in 0..2000u64 {
+        match r % 13 {
+            0 => plan = plan.inject(r, FaultKind::PanicInCompile),
+            5 => plan = plan.inject(r, FaultKind::ExhaustFuel),
+            9 => plan = plan.inject(r, FaultKind::CorruptGraph),
+            _ => {}
+        }
+    }
+    let reference = stress(&p, &methods, 0, plan.clone(), 2000);
+    assert!(
+        reference.3.full_tier > 0,
+        "the fault plan must actually trip full-tier bailouts: {:?}",
+        reference.3
+    );
+    for threads in [1usize, 4] {
+        let got = stress(&p, &methods, threads, plan.clone(), 2000);
+        assert_eq!(
+            reference, got,
+            "fault handling must not depend on worker-pool size"
+        );
+    }
+}
+
+#[test]
+fn recompilation_after_invalidation_goes_through_the_queue() {
+    // Deterministic micro-check of the enqueue guards: a second enqueue
+    // while a request is in flight is refused, as is one while code is
+    // installed; invalidation re-opens the gate.
+    let (p, methods) = many_methods(1);
+    let m = methods[0];
+    let mut vm = Machine::new(&p, Box::new(NoInline), VmConfig::default());
+    assert!(vm.enqueue_compile(m), "first enqueue must be accepted");
+    assert!(
+        !vm.enqueue_compile(m),
+        "in-flight guard must refuse a second"
+    );
+    assert_eq!(vm.pending_compiles(), 1);
+    vm.drain_compile_queue();
+    assert_eq!(vm.queue_stats().installed, 1);
+    assert!(
+        !vm.enqueue_compile(m),
+        "installed code must refuse re-enqueue"
+    );
+    vm.invalidate_code(m);
+    assert!(vm.enqueue_compile(m), "invalidation re-opens compilation");
+    vm.drain_compile_queue();
+    let stats = vm.queue_stats();
+    assert_eq!(
+        (stats.enqueued, stats.completed, stats.installed),
+        (2, 2, 2)
+    );
+    // The recompile kept the byte accounting symmetric.
+    let bytes = vm.installed_bytes();
+    assert!(bytes > 0);
+    vm.invalidate_code(m);
+    assert_eq!(vm.installed_bytes(), 0);
+    // Executing the freshly compiled method still works.
+    let out = vm.run(m, vec![Value::Int(41)]).unwrap();
+    assert_eq!(out.value, Some(Value::Int(41)));
+}

@@ -11,7 +11,7 @@
 //! at the flip, rolls back, replays interpreted, and recompiles against
 //! the merged profile — which must cover the new dominant receiver.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline::ir::graph::{Op, Terminator};
 use incline::ir::Graph;
@@ -63,7 +63,7 @@ fn phase_change_deopts_then_recompiles_for_the_new_receiver() {
         ..VmConfig::default()
     };
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
-    let sink = Rc::new(CollectingSink::new());
+    let sink = Arc::new(CollectingSink::new());
     vm.set_trace_sink(sink.clone());
     for _ in 0..6 {
         let out = vm

@@ -8,7 +8,9 @@
 
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::{IncrementalInliner, PolicyConfig};
-use incline_vm::{Inliner, Machine, NoInline, RunOutcome, Value, VmConfig};
+use incline_vm::{
+    run_benchmark, BenchResult, BenchSpec, Inliner, Machine, NoInline, RunOutcome, Value, VmConfig,
+};
 use incline_workloads::{GenConfig, Workload};
 
 /// Runs a workload to completion on a fresh machine and returns the final
@@ -183,6 +185,89 @@ fn phase_change_flip_is_semantics_preserving_with_full_input() {
             reference.output, out.output,
             "phase_change: output differs with deopt under `{name}`"
         );
+    }
+}
+
+/// One full benchmark measurement with an explicit broker worker-pool
+/// size. Everything else matches the differential helpers above.
+fn bench_with_threads(
+    w: &Workload,
+    inliner: Box<dyn Inliner + '_>,
+    input: i64,
+    deopt: bool,
+    threads: usize,
+) -> BenchResult {
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt,
+        compile_threads: threads,
+        ..VmConfig::default()
+    };
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(input)],
+        iterations: 6,
+    };
+    run_benchmark(&w.program, &spec, inliner, config)
+        .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
+}
+
+#[test]
+fn compile_thread_matrix_is_observably_identical_on_all_workloads() {
+    // The tentpole determinism property: in deterministic (barrier) mode
+    // the size of the background worker pool must be invisible — the whole
+    // `BenchResult` (per-iteration cycles, installed bytes, compilations,
+    // compile and stall cycles, output, bailout counters) is compared
+    // wholesale across compile_threads ∈ {0, 1, 4}, for every paper and
+    // extra workload, under every inliner, with and without deopt. This
+    // includes phase_change, whose mid-run receiver flip exercises
+    // deoptimization, invalidation and recompilation through the broker.
+    let mut targets: Vec<Workload> = incline_workloads::all_benchmarks();
+    targets.extend(incline_workloads::extra_benchmarks());
+    // A representative policy spread keeps the matrix affordable in debug
+    // builds: no inlining at all, the C2 baseline, and the paper's
+    // incremental algorithm (the corpus test below adds more shapes).
+    for w in targets {
+        let input = w.input.min(8);
+        for deopt in [false, true] {
+            for idx in [0usize, 2, 3] {
+                let (name, inliner) = all_inliners().swap_remove(idx);
+                let reference = bench_with_threads(&w, inliner, input, deopt, 0);
+                for threads in [1usize, 4] {
+                    let (_, inliner) = all_inliners().swap_remove(idx);
+                    let out = bench_with_threads(&w, inliner, input, deopt, threads);
+                    assert_eq!(
+                        reference, out,
+                        "{}: BenchResult differs between compile_threads=0 and {threads} \
+                         under inliner `{name}` (deopt={deopt})",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compile_thread_matrix_on_random_corpus() {
+    // Same wholesale identity over generated programs: the corpus hits
+    // graph shapes the curated workloads do not.
+    for seed in 0..16u64 {
+        let w = incline_workloads::generate(seed, GenConfig::default());
+        for deopt in [false, true] {
+            let reference =
+                bench_with_threads(&w, Box::new(IncrementalInliner::new()), 12, deopt, 0);
+            for threads in [1usize, 4] {
+                let out =
+                    bench_with_threads(&w, Box::new(IncrementalInliner::new()), 12, deopt, threads);
+                assert_eq!(
+                    reference, out,
+                    "{}: BenchResult differs between compile_threads=0 and {threads} \
+                     (deopt={deopt})",
+                    w.name
+                );
+            }
+        }
     }
 }
 

@@ -171,6 +171,90 @@ fn every_seeded_fault_is_contained() {
     assert_eq!(vm.bailout_log().len() as u64, triggered);
 }
 
+/// Like [`run_faulted`] but with an explicit broker worker-pool size, so
+/// the injected faults fire on background worker threads.
+fn run_faulted_threads(w: &Workload, plan: FaultPlan, runs: usize, threads: usize) -> Machine<'_> {
+    let input = 4;
+    let expected = reference(w, input);
+    let config = VmConfig {
+        hotness_threshold: 2,
+        compile_threads: threads,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(plan);
+    for _ in 0..runs {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("faulted run completes");
+        assert_eq!(out.value, expected.0, "result must match reference");
+        assert_eq!(out.output.to_string(), expected.1, "output must match");
+    }
+    vm
+}
+
+#[test]
+fn worker_thread_panics_are_contained_by_the_ladder() {
+    // The panic now fires on a background worker thread, not the mutator.
+    // The ladder's catch_unwind fence sits inside the worker's request
+    // processing, so the panic must neither abort the process nor poison
+    // the thread pool: it is counted, the degraded rung installs code, and
+    // nothing is blacklisted — exactly as in the synchronous broker.
+    let w = workload();
+    for threads in [1usize, 2, 4] {
+        let plan = FaultPlan::new()
+            .inject(0, FaultKind::PanicInCompile)
+            .inject(1, FaultKind::PanicInCompile);
+        let vm = run_faulted_threads(&w, plan, 8, threads);
+        let b = vm.bailouts();
+        assert_eq!(
+            b.contained_panics, 2,
+            "both worker-thread panics must be caught (threads={threads})"
+        );
+        assert_eq!(b.full_tier, 2, "each panic costs one full-tier bailout");
+        assert_eq!(b.degraded_tier, 0, "the degraded tier absorbs the panics");
+        assert_eq!(b.blacklisted, 0, "nothing reaches the blacklist");
+        assert!(
+            vm.compilations() >= 1,
+            "the ladder still installs code from the worker"
+        );
+        assert!(vm.blacklisted_methods().is_empty());
+    }
+}
+
+#[test]
+fn seeded_fault_counters_are_identical_across_worker_pools() {
+    // Whole-plan equivalence: a seeded storm of mixed faults handled on
+    // four background workers must land exactly the same counters and
+    // bailout log as the synchronous broker handling it on the mutator.
+    let w = workload();
+    let plan = FaultPlan::seeded(0xFA17, 16, 0.5);
+    assert!(!plan.is_empty());
+    let reference_vm = run_faulted_threads(&w, plan.clone(), 10, 0);
+    let reference_log: Vec<String> = reference_vm
+        .bailout_log()
+        .iter()
+        .map(|r| format!("{:?}/{:?}/{}", r.method, r.stage, r.error))
+        .collect();
+    assert!(reference_vm.bailouts().total() > 0);
+    for threads in [1usize, 4] {
+        let vm = run_faulted_threads(&w, plan.clone(), 10, threads);
+        assert_eq!(
+            vm.bailouts(),
+            reference_vm.bailouts(),
+            "bailout counters must not depend on the worker pool (threads={threads})"
+        );
+        let log: Vec<String> = vm
+            .bailout_log()
+            .iter()
+            .map(|r| format!("{:?}/{:?}/{}", r.method, r.stage, r.error))
+            .collect();
+        assert_eq!(log, reference_log, "bailout log must be identical");
+        assert_eq!(vm.compilations(), reference_vm.compilations());
+        assert_eq!(vm.installed_bytes(), reference_vm.installed_bytes());
+    }
+}
+
 #[test]
 fn bench_result_surfaces_bailout_counters() {
     let w = workload();
@@ -260,7 +344,7 @@ fn force_deopt_storm_trips_the_cap_and_pins() {
         plan = plan.inject(request, FaultKind::ForceDeopt);
     }
     vm.set_fault_plan(plan);
-    let sink = std::rc::Rc::new(CollectingSink::new());
+    let sink = std::sync::Arc::new(CollectingSink::new());
     vm.set_trace_sink(sink.clone());
     for _ in 0..80 {
         let out = vm.run(m, vec![Value::Int(21)]).expect("run completes");
@@ -300,7 +384,7 @@ fn force_guard_failure_trips_the_drift_monitor() {
     };
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
     vm.set_fault_plan(FaultPlan::new().inject(0, FaultKind::ForceGuardFailure));
-    let sink = std::rc::Rc::new(CollectingSink::new());
+    let sink = std::sync::Arc::new(CollectingSink::new());
     vm.set_trace_sink(sink.clone());
     for _ in 0..10 {
         let out = vm

@@ -4,7 +4,7 @@
 //! and consistent with the broker's own telemetry (`Bailout` events agree
 //! exactly with `Machine::bailout_log`).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incline::prelude::*;
 use incline::workloads::Workload;
@@ -21,6 +21,12 @@ fn jsonl_trace() -> Vec<u8> {
 
 /// [`jsonl_trace`] for an arbitrary workload, with deoptimization toggled.
 fn jsonl_trace_of(w: Workload, deopt: bool) -> Vec<u8> {
+    let threads = VmConfig::default().compile_threads;
+    jsonl_trace_threads(w, deopt, threads)
+}
+
+/// [`jsonl_trace_of`] with an explicit broker worker-pool size.
+fn jsonl_trace_threads(w: Workload, deopt: bool, threads: usize) -> Vec<u8> {
     let spec = BenchSpec {
         entry: w.entry,
         args: vec![Value::Int(4)],
@@ -29,10 +35,11 @@ fn jsonl_trace_of(w: Workload, deopt: bool) -> Vec<u8> {
     let config = VmConfig {
         hotness_threshold: 2,
         deopt,
+        compile_threads: threads,
         ..VmConfig::default()
     };
-    let sink = Rc::new(JsonlSink::new(Vec::new()));
-    let handle: Rc<dyn TraceSink> = sink.clone();
+    let sink = Arc::new(JsonlSink::new(Vec::new()));
+    let handle: Arc<dyn TraceSink> = sink.clone();
     run_benchmark_traced(
         &w.program,
         &spec,
@@ -42,7 +49,7 @@ fn jsonl_trace_of(w: Workload, deopt: bool) -> Vec<u8> {
         handle,
     )
     .expect("benchmark completes");
-    Rc::try_unwrap(sink)
+    Arc::try_unwrap(sink)
         .map_err(|_| "sink still shared")
         .expect("sink uniquely owned after the run")
         .into_inner()
@@ -112,6 +119,107 @@ fn deopt_enabled_runs_produce_byte_identical_jsonl() {
 }
 
 #[test]
+fn jsonl_identical_across_worker_pool_sizes() {
+    // The tentpole trace-determinism property: the worker pool must be
+    // invisible in the JSONL stream. The broker buffers each request's
+    // events on the worker and replays the buffers in request-id order at
+    // the install point, so the raw bytes — not just some canonical
+    // sort — are identical for 0, 1 and 4 workers, with and without the
+    // deoptimization lifecycle in the stream.
+    for (bench, deopt) in [("scalatest", false), ("phase_change", true)] {
+        let w = || incline::workloads::by_name(bench).expect("benchmark exists");
+        let reference = jsonl_trace_threads(w(), deopt, 0);
+        assert!(!reference.is_empty());
+        for threads in [1usize, 4] {
+            let got = jsonl_trace_threads(w(), deopt, threads);
+            assert_eq!(
+                reference, got,
+                "{bench}: raw JSONL must not depend on compile_threads={threads}"
+            );
+        }
+        // The canonical per-method sort is stable and idempotent on top of
+        // the already-deterministic stream: sorting cannot un-determinize.
+        let text = String::from_utf8(reference).expect("JSONL is UTF-8");
+        let sorted = incline::trace::order::sort_jsonl_by_method(&text);
+        assert_eq!(
+            incline::trace::order::sort_jsonl_by_method(&sorted),
+            sorted,
+            "canonicalization must be idempotent"
+        );
+        for threads in [1usize, 4] {
+            let got = String::from_utf8(jsonl_trace_threads(w(), deopt, threads)).expect("UTF-8");
+            assert_eq!(
+                incline::trace::order::sort_jsonl_by_method(&got),
+                sorted,
+                "{bench}: canonically sorted JSONL must match at compile_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_method_lifecycle_order_survives_the_worker_pool() {
+    // With four background workers compiling concurrently, each method's
+    // lifecycle must still read in program order after the broker's
+    // replay: its RoundStart strictly before its CodeInstalled, any
+    // InlineDecisions in between, and no other compilation's events
+    // spliced into the window (requests replay atomically).
+    let w = incline::workloads::by_name("phase_change").expect("benchmark exists");
+    let config = VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        compile_threads: 4,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    let sink = Arc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..6 {
+        vm.run(w.entry, vec![Value::Int(w.input)])
+            .expect("run completes");
+    }
+    let events = sink.take();
+    let installs: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, CompileEvent::CodeInstalled { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        installs.len() > 1,
+        "expected several installs, got {installs:?}"
+    );
+    let mut windows_with_decisions = 0usize;
+    for &end in &installs {
+        let CompileEvent::CodeInstalled { method, .. } = events[end] else {
+            unreachable!()
+        };
+        // Walk back to this compilation's first round.
+        let start = (0..end)
+            .rev()
+            .find(|&i| matches!(events[i], CompileEvent::RoundStart { method: m, round: 1, .. } if m == method))
+            .unwrap_or_else(|| panic!("install of {method:?} has no preceding RoundStart"));
+        for e in &events[start + 1..end] {
+            match e {
+                CompileEvent::CodeInstalled { .. } => {
+                    panic!("foreign CodeInstalled inside {method:?}'s compilation window")
+                }
+                CompileEvent::RoundStart { method: m, .. } => assert_eq!(
+                    *m, method,
+                    "foreign RoundStart inside {method:?}'s compilation window"
+                ),
+                CompileEvent::InlineDecision { .. } => windows_with_decisions += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        windows_with_decisions > 0,
+        "the incremental inliner must log decisions between RoundStart and CodeInstalled"
+    );
+}
+
+#[test]
 fn deopt_events_agree_with_bailout_counters() {
     let w = incline::workloads::by_name("phase_change").expect("extra benchmark exists");
     let config = VmConfig {
@@ -120,7 +228,7 @@ fn deopt_events_agree_with_bailout_counters() {
         ..VmConfig::default()
     };
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
-    let sink = Rc::new(CollectingSink::new());
+    let sink = Arc::new(CollectingSink::new());
     vm.set_trace_sink(sink.clone());
     for _ in 0..6 {
         vm.run(w.entry, vec![Value::Int(w.input)])
@@ -178,7 +286,7 @@ fn bailout_events_agree_with_bailout_log() {
         .inject(1, FaultKind::CorruptGraph);
     let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
     vm.set_fault_plan(plan);
-    let sink = Rc::new(CollectingSink::new());
+    let sink = Arc::new(CollectingSink::new());
     vm.set_trace_sink(sink.clone());
     for _ in 0..8 {
         vm.run(w.entry, vec![Value::Int(4)]).expect("run completes");
