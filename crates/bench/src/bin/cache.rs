@@ -1,0 +1,6 @@
+//! Bounded code cache under pressure: per-policy eviction, admission and
+//! stall statistics as machine-readable JSON (seeds `BENCH_cache.json`).
+
+fn main() {
+    println!("{}", incline_bench::figures::cache());
+}

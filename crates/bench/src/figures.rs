@@ -421,6 +421,83 @@ pub fn stalls() -> String {
     out
 }
 
+/// Nearest-rank percentile of an unsorted series (deterministic: integer
+/// ranks on a sorted copy).
+fn percentile(series: &[u64], pct: usize) -> u64 {
+    if series.is_empty() {
+        return 0;
+    }
+    let mut sorted = series.to_vec();
+    sorted.sort_unstable();
+    let rank = (pct * (sorted.len() - 1)) / 100;
+    sorted[rank]
+}
+
+/// Bounded code cache under pressure (beyond the paper): the storm-sized
+/// cache-pressure workload, run unbounded and then under a tight budget
+/// with each eviction policy. Emits machine-readable JSON — the seed of
+/// `BENCH_cache.json` — with per-policy evictions, admission rejections,
+/// re-tier counts, stall percentiles and the high-water mark.
+pub fn cache() -> String {
+    use incline_vm::EvictionPolicy;
+    let w = incline_workloads::cache_pressure::storm();
+    let budget: u64 = 8 * 1024;
+    let config = Config::paper();
+    let mut policies = String::new();
+    for policy in EvictionPolicy::all() {
+        let m = measure_with_vm(
+            &w,
+            &config,
+            incline_vm::VmConfig {
+                code_cache_budget: budget,
+                eviction_policy: policy,
+                ..crate::default_vm()
+            },
+        );
+        let r = &m.result;
+        let c = r.cache;
+        if !policies.is_empty() {
+            policies.push_str(",\n");
+        }
+        policies.push_str(&format!(
+            "    {{\"policy\":\"{}\",\"evictions\":{},\"forced_evictions\":{},\
+             \"admission_rejections\":{},\"degraded_admissions\":{},\"re_tiered\":{},\
+             \"aged\":{},\"high_water_bytes\":{},\"installed_bytes\":{},\
+             \"compilations\":{},\"steady_state\":{:.1},\"stall_p50\":{},\"stall_p99\":{},\
+             \"stall_total\":{}}}",
+            policy.label(),
+            c.evictions,
+            c.forced_evictions,
+            c.admission_rejections,
+            c.degraded_admissions,
+            c.re_tiered,
+            c.aged,
+            c.high_water_bytes,
+            r.installed_bytes,
+            r.compilations,
+            r.steady_state,
+            percentile(&r.stall_per_iteration, 50),
+            percentile(&r.stall_per_iteration, 99),
+            r.stall_cycles,
+        ));
+    }
+    let unbounded = measure_with_vm(&w, &config, crate::default_vm());
+    let u = &unbounded.result;
+    format!(
+        "{{\n  \"workload\":\"{}\",\"budget\":{budget},\n  \"unbounded\":{{\
+         \"installed_bytes\":{},\"compilations\":{},\"steady_state\":{:.1},\
+         \"stall_p50\":{},\"stall_p99\":{},\"stall_total\":{}}},\n  \"policies\":[\n{}\n  ]\n}}",
+        w.name,
+        u.installed_bytes,
+        u.compilations,
+        u.steady_state,
+        percentile(&u.stall_per_iteration, 50),
+        percentile(&u.stall_per_iteration, 99),
+        u.stall_cycles,
+        policies
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,35 @@ pub fn render_trace(events: &[CompileEvent]) -> String {
             CompileEvent::SpeculationPinned { method } => {
                 let _ = writeln!(out, "!! pinned {method}: fallback-only from here");
             }
+            // Code-cache lifecycle: evictions, admission verdicts and
+            // re-admissions are part of the same between-compilations story.
+            CompileEvent::CodeEvicted {
+                method,
+                bytes,
+                policy,
+                resident_uses,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "!! evicted {method}: {bytes} bytes by {policy}, uses={resident_uses}"
+                );
+            }
+            CompileEvent::AdmissionRejected {
+                method,
+                bytes,
+                reason,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "!! admission rejected {method}: {bytes} bytes, {reason}"
+                );
+            }
+            CompileEvent::MethodAged { method, idle } => {
+                let _ = writeln!(out, "!! aged {method}: idle for {idle} uses");
+            }
+            CompileEvent::ReTiered { method, evictions } => {
+                let _ = writeln!(out, "!! re-tiered {method} after {evictions} evictions");
+            }
             _ => {}
         }
     }

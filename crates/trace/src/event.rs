@@ -258,6 +258,47 @@ pub enum CompileEvent {
         /// The pinned method.
         method: MethodId,
     },
+    /// The bounded code cache evicted a method's installed code to make
+    /// room under the configured budget (or on an injected `ForceEvict`).
+    CodeEvicted {
+        /// The method whose code was evicted.
+        method: MethodId,
+        /// Modeled code bytes released back to the cache budget.
+        bytes: u64,
+        /// Eviction policy that picked this victim (`lru`, `hotness`,
+        /// `cost-benefit`, or `forced` for injected evictions).
+        policy: String,
+        /// Compiled activations the victim served while resident.
+        resident_uses: u64,
+    },
+    /// Admission control refused to install a compiled package: its modeled
+    /// benefit could not beat the cheapest victim, or no victim was
+    /// evictable. The method stays in (or returns to) the interpreter with a
+    /// backed-off re-admission bar.
+    AdmissionRejected {
+        /// The method whose package was rejected.
+        method: MethodId,
+        /// Modeled code size of the rejected package.
+        bytes: u64,
+        /// Why: `no_evictable_victim` or `benefit_below_bar`.
+        reason: String,
+    },
+    /// A resident method went idle past the aging window; its eviction score
+    /// floors so any policy will prefer it as a victim.
+    MethodAged {
+        /// The aged method.
+        method: MethodId,
+        /// Compiled-entry ticks since the method last ran.
+        idle: u64,
+    },
+    /// An evicted method became hot again through the normal hotness path
+    /// and was re-admitted to the code cache.
+    ReTiered {
+        /// The re-admitted method.
+        method: MethodId,
+        /// How many times this method has been evicted so far.
+        evictions: u32,
+    },
 }
 
 impl CompileEvent {
@@ -280,6 +321,10 @@ impl CompileEvent {
             CompileEvent::CodeInvalidated { .. } => "CodeInvalidated",
             CompileEvent::Recompiled { .. } => "Recompiled",
             CompileEvent::SpeculationPinned { .. } => "SpeculationPinned",
+            CompileEvent::CodeEvicted { .. } => "CodeEvicted",
+            CompileEvent::AdmissionRejected { .. } => "AdmissionRejected",
+            CompileEvent::MethodAged { .. } => "MethodAged",
+            CompileEvent::ReTiered { .. } => "ReTiered",
         }
     }
 
@@ -305,7 +350,11 @@ impl CompileEvent {
             | CompileEvent::Deoptimized { method, .. }
             | CompileEvent::CodeInvalidated { method, .. }
             | CompileEvent::Recompiled { method, .. }
-            | CompileEvent::SpeculationPinned { method } => Some(*method),
+            | CompileEvent::SpeculationPinned { method }
+            | CompileEvent::CodeEvicted { method, .. }
+            | CompileEvent::AdmissionRejected { method, .. }
+            | CompileEvent::MethodAged { method, .. }
+            | CompileEvent::ReTiered { method, .. } => Some(*method),
             CompileEvent::ClusterFormed { method, .. }
             | CompileEvent::InlineDecision { method, .. } => *method,
             CompileEvent::OptPassStats { .. }
@@ -451,6 +500,26 @@ impl fmt::Display for CompileEvent {
             ),
             CompileEvent::SpeculationPinned { method } => {
                 write!(f, "{method} pinned to fallback-only code")
+            }
+            CompileEvent::CodeEvicted {
+                method,
+                bytes,
+                policy,
+                resident_uses,
+            } => write!(
+                f,
+                "evicted {method}: {bytes} bytes freed by {policy}, uses={resident_uses}"
+            ),
+            CompileEvent::AdmissionRejected {
+                method,
+                bytes,
+                reason,
+            } => write!(f, "admission rejected {method}: {bytes} bytes, {reason}"),
+            CompileEvent::MethodAged { method, idle } => {
+                write!(f, "{method} aged: idle for {idle} uses")
+            }
+            CompileEvent::ReTiered { method, evictions } => {
+                write!(f, "re-tiered {method} after {evictions} evictions")
             }
         }
     }

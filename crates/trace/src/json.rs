@@ -286,6 +286,34 @@ impl CompileEvent {
             CompileEvent::SpeculationPinned { method } => JsonObj::new("SpeculationPinned")
                 .method("method", method)
                 .finish(),
+            CompileEvent::CodeEvicted {
+                method,
+                bytes,
+                policy,
+                resident_uses,
+            } => JsonObj::new("CodeEvicted")
+                .method("method", method)
+                .raw("bytes", bytes)
+                .str("policy", policy)
+                .raw("resident_uses", resident_uses)
+                .finish(),
+            CompileEvent::AdmissionRejected {
+                method,
+                bytes,
+                reason,
+            } => JsonObj::new("AdmissionRejected")
+                .method("method", method)
+                .raw("bytes", bytes)
+                .str("reason", reason)
+                .finish(),
+            CompileEvent::MethodAged { method, idle } => JsonObj::new("MethodAged")
+                .method("method", method)
+                .raw("idle", idle)
+                .finish(),
+            CompileEvent::ReTiered { method, evictions } => JsonObj::new("ReTiered")
+                .method("method", method)
+                .raw("evictions", evictions)
+                .finish(),
         }
     }
 }
@@ -375,6 +403,48 @@ mod tests {
         assert_eq!(
             CompileEvent::SpeculationPinned { method: m }.to_json(),
             "{\"ev\":\"SpeculationPinned\",\"method\":\"m5\"}"
+        );
+    }
+
+    #[test]
+    fn cache_lifecycle_events_serialize_flat() {
+        let m = MethodId::new(7);
+        assert_eq!(
+            CompileEvent::CodeEvicted {
+                method: m,
+                bytes: 448,
+                policy: "lru".to_string(),
+                resident_uses: 12,
+            }
+            .to_json(),
+            "{\"ev\":\"CodeEvicted\",\"method\":\"m7\",\"bytes\":448,\
+             \"policy\":\"lru\",\"resident_uses\":12}"
+        );
+        assert_eq!(
+            CompileEvent::AdmissionRejected {
+                method: m,
+                bytes: 640,
+                reason: "no_evictable_victim".to_string(),
+            }
+            .to_json(),
+            "{\"ev\":\"AdmissionRejected\",\"method\":\"m7\",\"bytes\":640,\
+             \"reason\":\"no_evictable_victim\"}"
+        );
+        assert_eq!(
+            CompileEvent::MethodAged {
+                method: m,
+                idle: 2048
+            }
+            .to_json(),
+            "{\"ev\":\"MethodAged\",\"method\":\"m7\",\"idle\":2048}"
+        );
+        assert_eq!(
+            CompileEvent::ReTiered {
+                method: m,
+                evictions: 2,
+            }
+            .to_json(),
+            "{\"ev\":\"ReTiered\",\"method\":\"m7\",\"evictions\":2}"
         );
     }
 

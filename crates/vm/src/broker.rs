@@ -358,6 +358,31 @@ fn degraded_tier(program: &Program, req: &CompileRequest, sink: &dyn TraceSink) 
     }
 }
 
+/// Runs the degraded (inline-free) rung alone, outside the ladder — the
+/// bounded code cache's admission-failure fallback. When a full-tier
+/// package is too big to admit under the budget, the mutator retries with
+/// this smaller package before deferring the compile entirely. The rung
+/// verifies its graph like any other; `None` means it failed and the
+/// caller must defer. Runs on the mutator, so its events go straight into
+/// the machine's sink in deterministic order.
+pub(crate) fn degraded_package(
+    program: &Program,
+    method: MethodId,
+    fuel_limit: u64,
+    sink: &dyn TraceSink,
+) -> Option<InstallPackage> {
+    let req = CompileRequest {
+        id: u64::MAX,
+        method,
+        fuel_limit,
+        fault: None,
+        speculation: Speculation::default(),
+        profiles: None,
+        enqueued_at: 0,
+    };
+    degraded_tier(program, &req, sink).ok()
+}
+
 /// The always-on installation gate: every graph is verified in every build
 /// profile before it reaches the code cache.
 fn verify(program: &Program, method: MethodId, graph: &Graph) -> Result<(), CompileError> {

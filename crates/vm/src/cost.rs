@@ -69,6 +69,15 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Builder-style override of the instruction-cache parameters — the
+    /// knobs the `--icache-capacity` / `--icache-scale` CLI flags expose
+    /// for exploring the over-inlining cliff and cache-pressure scenarios.
+    pub fn with_icache(mut self, capacity: u64, scale: u64) -> Self {
+        self.icache_capacity = capacity;
+        self.icache_scale = scale.max(1);
+        self
+    }
+
     /// Base cycle cost of one operation (tier-independent part).
     pub fn op_cost(&self, op: &Op) -> u64 {
         match op {

@@ -19,12 +19,15 @@
 //! * [`FaultKind::ExhaustFuel`] — a pathological compilation that would
 //!   blow the compile budget. The ladder must retry on a cheaper tier.
 //!
-//! Two further kinds target the speculation machinery rather than the
-//! compile path itself: [`FaultKind::ForceDeopt`] makes installed code take
-//! an uncommon trap on first entry and [`FaultKind::ForceGuardFailure`]
-//! makes the drift monitor trip as if every speculated guard were failing.
-//! Both are only ever injected explicitly — `seeded` plans draw from the
-//! three compile-path kinds so existing seeded tests stay byte-identical.
+//! Three further kinds target the speculation and code-cache machinery
+//! rather than the compile path itself: [`FaultKind::ForceDeopt`] makes
+//! installed code take an uncommon trap on first entry,
+//! [`FaultKind::ForceGuardFailure`] makes the drift monitor trip as if
+//! every speculated guard were failing, and [`FaultKind::ForceEvict`]
+//! throws freshly installed code straight back out of the code cache.
+//! All three are only ever injected explicitly — `seeded` plans draw from
+//! the three compile-path kinds so existing seeded tests stay
+//! byte-identical.
 
 use std::collections::BTreeMap;
 
@@ -53,6 +56,11 @@ pub enum FaultKind {
     /// trips once its minimum sample count accrues, as if every speculated
     /// guard were failing. Never drawn by [`FaultPlan::seeded`].
     ForceGuardFailure,
+    /// Evict the method's code from the code cache immediately after it is
+    /// installed, as if cache pressure had picked it as a victim. Effective
+    /// regardless of `code_cache_budget`; exercises the evict → reprofile →
+    /// re-tier cycle and its backoff. Never drawn by [`FaultPlan::seeded`].
+    ForceEvict,
 }
 
 /// A deterministic schedule of compiler faults, keyed by compilation

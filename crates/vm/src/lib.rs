@@ -33,6 +33,7 @@
 //! ```
 
 pub mod broker;
+pub mod cache;
 pub mod cost;
 pub mod faults;
 pub mod inliner;
@@ -41,6 +42,7 @@ pub mod runner;
 pub mod value;
 
 pub use broker::{CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats};
+pub use cache::{CacheEntry, CacheStats, EvictionPolicy};
 pub use cost::{CostModel, Tier};
 pub use faults::{FaultKind, FaultPlan};
 pub use incline_opt::{CompileFuel, UNLIMITED_FUEL};

@@ -58,6 +58,7 @@ use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, TraceSink};
 use crate::broker::{
     self, CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats,
 };
+use crate::cache::{self, CacheEntry, CacheStats, EvictionPolicy};
 use crate::cost::{CostModel, Tier};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::inliner::{CompileError, InlineStats, Inliner, Speculation};
@@ -110,6 +111,21 @@ pub struct VmConfig {
     pub compile_threads: usize,
     /// Where compile-queue drains happen; see [`InstallPolicy`].
     pub install_policy: InstallPolicy,
+    /// Code-cache budget in modeled machine-code bytes. `0` = unbounded —
+    /// every pre-existing behavior is preserved bit for bit. A finite
+    /// budget is enforced at install time: `installed_bytes` never exceeds
+    /// it at any observable point; installs that don't fit evict victims
+    /// under [`VmConfig::eviction_policy`], clear admission control, or
+    /// are gracefully deferred (never a panic, never an overshoot).
+    pub code_cache_budget: u64,
+    /// Victim-selection policy under a finite budget; see
+    /// [`EvictionPolicy`]. Ignored when the budget is 0.
+    pub eviction_policy: EvictionPolicy,
+    /// Aging window in compiled-entry ticks: a resident idle this long has
+    /// its eviction score floored, making it the preferred victim under
+    /// every policy. `0` disables aging. Only evaluated under a finite
+    /// budget.
+    pub cache_age_window: u64,
 }
 
 /// When the compile queue drains and installed code becomes visible.
@@ -159,6 +175,9 @@ impl Default for VmConfig {
             max_recompiles: 3,
             compile_threads: env_compile_threads(),
             install_policy: InstallPolicy::Barrier,
+            code_cache_budget: 0,
+            eviction_policy: EvictionPolicy::default(),
+            cache_age_window: 1024,
         }
     }
 }
@@ -274,6 +293,8 @@ pub struct CompilationReport {
     pub installed_bytes: u64,
     /// Aggregate bailout counters.
     pub bailouts: BailoutCounters,
+    /// Code-cache statistics (evictions, admissions, re-tiers, aging).
+    pub cache: CacheStats,
     /// Every recorded bailout, in occurrence order.
     pub bailout_log: Vec<BailoutRecord>,
     /// Per-compilation inliner statistics, in compilation order.
@@ -356,6 +377,15 @@ struct CompiledMethod {
     invocations: u64,
     /// Fallback virtual dispatches executed inside this compiled graph.
     virtual_dispatches: u64,
+    /// Use tick of the last compiled activation (install counts as a use).
+    last_used: u64,
+    /// Modeled residency benefit frozen at install: profiled hotness × the
+    /// interpreter dispatch premium (the `b` of the paper's `b|c` tuples;
+    /// `bytes` above is the `c`). Drives the cost-benefit eviction policy
+    /// and the admission rule.
+    benefit: u64,
+    /// Idle past [`VmConfig::cache_age_window`]; cleared on the next use.
+    aged: bool,
 }
 
 /// Per-method speculation bookkeeping for the storm throttle.
@@ -369,6 +399,23 @@ struct SpecState {
     /// Profile counters at the last invalidation. The backed-off hotness
     /// bar measures *fresh* profile data beyond this baseline, while the
     /// compile itself still sees the full merged (old + fresh) profile.
+    base_invocations: u64,
+    /// See `base_invocations`.
+    base_backedges: u64,
+}
+
+/// Per-method code-cache bookkeeping: eviction history and the
+/// admission-deferral backoff. Mirrors [`SpecState`]'s baseline scheme —
+/// an evicted or deferred method re-promotes on *fresh* hotness only.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheState {
+    /// Times this method's code has been evicted.
+    evictions: u32,
+    /// Consecutive admission deferrals since the last successful install;
+    /// each one doubles the re-admission bar. Reset when code installs.
+    deferrals: u32,
+    /// Profile counters at the last eviction or deferral; the
+    /// re-admission bar measures fresh hotness beyond this baseline.
     base_invocations: u64,
     /// See `base_invocations`.
     base_backedges: u64,
@@ -447,6 +494,17 @@ pub struct Machine<'p> {
     spec: HashMap<MethodId, SpecState>,
     journal: Vec<JournalEntry>,
     journal_scopes: u32,
+    // Bounded code cache.
+    /// Monotone use tick: bumped on every compiled activation entry and at
+    /// each admission decision. Drives LRU recency, decay idle times and
+    /// the aging window. Not observable at `code_cache_budget == 0`.
+    use_seq: u64,
+    cache: CacheStats,
+    cache_state: HashMap<MethodId, CacheState>,
+    /// Live compiled activations per method. A method with a live compiled
+    /// frame is never an eviction victim — installs at inner safepoints
+    /// must not pull code out from under an executing activation.
+    live_compiled: HashMap<MethodId, u32>,
     // Per-run state.
     heap: Heap,
     output: Output,
@@ -485,6 +543,10 @@ impl<'p> Machine<'p> {
             spec: HashMap::new(),
             journal: Vec::new(),
             journal_scopes: 0,
+            use_seq: 0,
+            cache: CacheStats::default(),
+            cache_state: HashMap::new(),
+            live_compiled: HashMap::new(),
             heap: Heap::new(),
             output: Output::new(),
             exec_cycles: 0,
@@ -598,6 +660,13 @@ impl<'p> Machine<'p> {
         self.bailouts
     }
 
+    /// Lifetime code-cache statistics: evictions, admission rejections,
+    /// re-tiers, aging events and the installed-bytes high-water mark.
+    /// Deterministic for a given run setup, like [`Machine::bailouts`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+    }
+
     /// Every recorded bailout, in occurrence order.
     pub fn bailout_log(&self) -> &[BailoutRecord] {
         &self.bailout_log
@@ -638,6 +707,7 @@ impl<'p> Machine<'p> {
             total_stall_cycles: self.total_stall_cycles,
             installed_bytes: self.installed_bytes,
             bailouts: self.bailouts,
+            cache: self.cache,
             bailout_log: self.bailout_log.clone(),
             compile_log: self.last_compile_stats.clone(),
             blacklisted: self.blacklisted_methods(),
@@ -763,7 +833,7 @@ impl<'p> Machine<'p> {
         let inv = self.profiles.invocations(method);
         let be = self.profiles.backedges(method);
         let hotness = inv + be / 4;
-        match self.spec.get(&method) {
+        let spec_ok = match self.spec.get(&method) {
             // A previously invalidated method re-promotes on *fresh* profile
             // data only, against an exponentially backed-off bar — a method
             // that keeps deoptimizing has to prove itself harder each time
@@ -774,7 +844,32 @@ impl<'p> Machine<'p> {
                 hotness.saturating_sub(base) >= self.recompile_bar(s.recompiles)
             }
             None => hotness >= self.config.hotness_threshold,
+        };
+        if !spec_ok {
+            return false;
         }
+        // The code-cache gate, populated only by evictions and admission
+        // deferrals (so it never fires at budget 0): an evicted method
+        // re-tiers through the normal hotness path — fresh hotness above
+        // the eviction-time baseline at the plain threshold — while each
+        // admission deferral doubles the bar, throttling a method the
+        // cache keeps refusing.
+        match self.cache_state.get(&method) {
+            Some(c) => {
+                let base = c.base_invocations + c.base_backedges / 4;
+                hotness.saturating_sub(base) >= self.readmission_bar(c.deferrals)
+            }
+            None => true,
+        }
+    }
+
+    /// The backed-off hotness bar after a method's Nth admission deferral:
+    /// `hotness_threshold * 2^n`, saturating — the cache-pressure analogue
+    /// of [`Machine::recompile_bar`].
+    fn readmission_bar(&self, deferrals: u32) -> u64 {
+        self.config
+            .hotness_threshold
+            .saturating_mul(1u64 << deferrals.min(20))
     }
 
     /// The backed-off hotness bar for a method's Nth recompilation:
@@ -876,11 +971,15 @@ impl<'p> Machine<'p> {
                 error,
             });
         }
-        let installed = resp.package.is_some();
-        self.queue.note_completed(installed);
         match resp.package {
-            Some(pkg) => self.install_package(method, pkg, resp.fault),
+            Some(pkg) => {
+                // Admission control can still refuse the package, so the
+                // queue's install counter reflects the actual outcome.
+                let installed = self.install_package(method, pkg, resp.fault);
+                self.queue.note_completed(installed);
+            }
             None => {
+                self.queue.note_completed(false);
                 self.blacklist.insert(method);
                 self.bailouts.blacklisted += 1;
                 self.emit(|| CompileEvent::TierTransition {
@@ -891,18 +990,60 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Installs a verified package into the code cache: cache accounting,
-    /// speculation bookkeeping, and the tier-transition / install events.
-    /// The graph was already verified on the worker — verification is part
-    /// of the ladder, so a rejected graph never reaches this point.
-    fn install_package(&mut self, method: MethodId, pkg: InstallPackage, fault: Option<FaultKind>) {
+    /// Installs a verified package into the code cache: budget admission,
+    /// cache accounting, speculation bookkeeping, and the tier-transition /
+    /// install events. The graph was already verified on the worker —
+    /// verification is part of the ladder, so a rejected graph never
+    /// reaches this point. Returns whether code was actually installed;
+    /// `false` means admission control deferred the compile (the method is
+    /// *not* blacklisted — it can re-heat through the backed-off bar).
+    ///
+    /// This is also where Safepoint-mode installs re-check admission: the
+    /// cache state is read here, at the install point on the mutator in
+    /// request-id order, never at enqueue — so in-flight compilations can
+    /// never race an eviction, and the decision stream is byte-identical
+    /// across worker-pool sizes.
+    fn install_package(
+        &mut self,
+        method: MethodId,
+        pkg: InstallPackage,
+        fault: Option<FaultKind>,
+    ) -> bool {
         debug_assert!(
             !self.code.contains_key(&method),
             "double-install of {method:?}: the in-flight guard should make this impossible"
         );
-        // Defensive in release builds: replacing code must release the old
-        // bytes first or `installed_bytes` drifts.
+        // Defensive in release builds: any stale code is funneled through
+        // `invalidate` — and thus the audited accounting helpers — so
+        // every byte is released exactly once before the new package's
+        // bytes are added. Replacing code in place would drift
+        // `installed_bytes`.
         self.invalidate(method);
+        let mut pkg = pkg;
+        if self.config.code_cache_budget > 0 {
+            if let Err(reason) = self.make_room(method, &pkg) {
+                // A full-tier package that cannot be admitted gets one
+                // shot at the inline-free degraded tier — a smaller
+                // package that may still clear admission — before the
+                // compile is deferred outright. This is the degradation
+                // ladder's cache-pressure rung.
+                let retry = if pkg.stage == CompileStage::Full {
+                    self.degraded_retry(method)
+                } else {
+                    None
+                };
+                match retry {
+                    Some(smaller) if self.make_room(method, &smaller).is_ok() => {
+                        self.cache.degraded_admissions += 1;
+                        pkg = smaller;
+                    }
+                    _ => {
+                        let bytes = self.config.cost.code_bytes(pkg.graph.size());
+                        return self.defer_install(method, bytes, reason);
+                    }
+                }
+            }
+        }
         let InstallPackage {
             stage,
             graph,
@@ -911,7 +1052,7 @@ impl<'p> Machine<'p> {
         } = pkg;
         let graph_size = graph.size();
         let bytes = self.config.cost.code_bytes(graph_size);
-        self.installed_bytes += bytes;
+        self.account_install(bytes);
         self.compilations += 1;
         self.last_compile_stats.push((method, stats));
         let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
@@ -925,6 +1066,7 @@ impl<'p> Machine<'p> {
         let drift_armed = self.config.deopt
             && !pinned
             && (force_drift || (stats.speculative_sites > 0 && has_virtual));
+        let hotness = self.profiles.invocations(method) + self.profiles.backedges(method) / 4;
         self.code.insert(
             method,
             CompiledMethod {
@@ -936,6 +1078,9 @@ impl<'p> Machine<'p> {
                 force_drift,
                 invocations: 0,
                 virtual_dispatches: 0,
+                last_used: self.use_seq,
+                benefit: self.modeled_benefit(hotness),
+                aged: false,
             },
         );
         self.emit(|| CompileEvent::TierTransition {
@@ -948,6 +1093,16 @@ impl<'p> Machine<'p> {
             graph_size,
             work_nodes: work_nodes as u64,
         });
+        // A successful install clears the admission backoff, and a method
+        // with eviction history has observably re-tiered.
+        if let Some(c) = self.cache_state.get_mut(&method) {
+            c.deferrals = 0;
+            if c.evictions > 0 {
+                let evictions = c.evictions;
+                self.cache.re_tiered += 1;
+                self.emit(|| CompileEvent::ReTiered { method, evictions });
+            }
+        }
         // Every install after an invalidation is a recompilation against
         // the merged profile; the bar it cleared is recorded for tooling.
         if self.config.deopt && self.spec.contains_key(&method) {
@@ -966,6 +1121,13 @@ impl<'p> Machine<'p> {
                 threshold,
             });
         }
+        // Injected cache fault: throw the fresh install straight back out,
+        // as if pressure had picked it — exercises the evict → reprofile →
+        // re-tier cycle deterministically, with or without a real budget.
+        if fault == Some(FaultKind::ForceEvict) {
+            self.evict(method, "forced", true);
+        }
+        true
     }
 
     /// Removes a method's installed code, releasing its bytes back to the
@@ -978,7 +1140,7 @@ impl<'p> Machine<'p> {
         let Some(cm) = self.code.remove(&method) else {
             return;
         };
-        self.installed_bytes = self.installed_bytes.saturating_sub(cm.bytes);
+        self.account_release(cm.bytes);
         self.bailouts.invalidations += 1;
         let inv = self.profiles.invocations(method);
         let be = self.profiles.backedges(method);
@@ -996,6 +1158,239 @@ impl<'p> Machine<'p> {
             method,
             tier: CodeTier::Interpreter,
         });
+    }
+
+    // ---- bounded code cache ------------------------------------------------
+
+    /// The audited install side of the cache accounting. Every byte that
+    /// enters `installed_bytes` flows through here (and leaves through
+    /// [`Machine::account_release`]), so the budget invariant and the
+    /// high-water mark are maintained at a single point.
+    fn account_install(&mut self, bytes: u64) {
+        self.installed_bytes += bytes;
+        if self.installed_bytes > self.cache.high_water_bytes {
+            self.cache.high_water_bytes = self.installed_bytes;
+        }
+        debug_assert!(
+            self.config.code_cache_budget == 0
+                || self.installed_bytes <= self.config.code_cache_budget,
+            "code-cache budget exceeded: {} installed > {} budget",
+            self.installed_bytes,
+            self.config.code_cache_budget
+        );
+    }
+
+    /// The audited release side of the cache accounting: invalidation and
+    /// eviction both return bytes through here, so double-release (the
+    /// classic accounting-drift hazard) trips immediately in debug builds
+    /// instead of silently skewing the budget.
+    fn account_release(&mut self, bytes: u64) {
+        debug_assert!(
+            self.installed_bytes >= bytes,
+            "code-cache accounting drift: releasing {bytes} bytes with only {} installed",
+            self.installed_bytes
+        );
+        self.installed_bytes = self.installed_bytes.saturating_sub(bytes);
+    }
+
+    /// Modeled benefit of keeping `method` compiled, given its profiled
+    /// hotness: every profiled activation saved the interpreter dispatch
+    /// premium. Deliberately *not* scaled by graph size — benefit is the
+    /// `b` of the paper's `b|c` tuple and bytes are the `c`, so the
+    /// cost-benefit density `b/c` stays meaningful.
+    fn modeled_benefit(&self, hotness: u64) -> u64 {
+        hotness.saturating_mul(self.config.cost.interp_dispatch)
+    }
+
+    /// Makes room in the budgeted cache for `pkg`, evicting victims in
+    /// policy order if necessary. `Err` carries the admission-rejection
+    /// reason: `no_evictable_victim` (everything resident is pinned,
+    /// mid-activation, or simply smaller in total than the shortfall —
+    /// which includes any package bigger than the whole budget) or
+    /// `benefit_below_bar` (the candidate does not strictly beat the
+    /// cheapest victim under the configured policy).
+    fn make_room(&mut self, method: MethodId, pkg: &InstallPackage) -> Result<(), &'static str> {
+        let budget = self.config.code_cache_budget;
+        let bytes = self.config.cost.code_bytes(pkg.graph.size());
+        let free = budget.saturating_sub(self.installed_bytes);
+        if bytes <= free {
+            return Ok(());
+        }
+        let need = bytes - free;
+        self.age_scan();
+        let entries: Vec<CacheEntry> = self
+            .code
+            .iter()
+            .filter(|&(&m, _)| m != method && self.evictable(m))
+            .map(|(&m, cm)| CacheEntry {
+                method: m,
+                last_used: cm.last_used,
+                uses: cm.invocations,
+                benefit: cm.benefit,
+                bytes: cm.bytes,
+                aged: cm.aged,
+            })
+            .collect();
+        if entries.iter().map(|e| e.bytes).sum::<u64>() < need {
+            return Err("no_evictable_victim");
+        }
+        // The install point is a use tick of its own, taken *before*
+        // scoring, so an admitted candidate is strictly newer than every
+        // resident — under LRU a hot re-arrival always beats the stalest
+        // victim rather than tying with it.
+        self.use_seq += 1;
+        let now = self.use_seq;
+        let hotness = self.profiles.invocations(method) + self.profiles.backedges(method) / 4;
+        let candidate = CacheEntry {
+            method,
+            last_used: now,
+            uses: hotness,
+            benefit: self.modeled_benefit(hotness),
+            bytes,
+            aged: false,
+        };
+        let policy = self.config.eviction_policy;
+        let order = cache::victim_order(policy, &entries, now);
+        if !cache::admits(policy, &candidate, &order[0], now) {
+            return Err("benefit_below_bar");
+        }
+        let mut freed = 0u64;
+        for e in order {
+            if freed >= need {
+                break;
+            }
+            freed += e.bytes;
+            self.evict(e.method, policy.label(), false);
+        }
+        Ok(())
+    }
+
+    /// Evicts `method`'s installed code: releases its bytes, records a
+    /// fresh profiling baseline so re-admission requires genuinely new
+    /// heat, and emits the eviction events. Unlike [`Machine::invalidate`]
+    /// this is *not* a speculation event — `spec` state and the
+    /// invalidation counters are untouched, so eviction never burns a
+    /// recompile attempt.
+    fn evict(&mut self, method: MethodId, policy: &'static str, forced: bool) {
+        let Some(cm) = self.code.remove(&method) else {
+            return;
+        };
+        self.account_release(cm.bytes);
+        self.cache.evictions += 1;
+        if forced {
+            self.cache.forced_evictions += 1;
+        }
+        let inv = self.profiles.invocations(method);
+        let be = self.profiles.backedges(method);
+        let c = self.cache_state.entry(method).or_default();
+        c.evictions += 1;
+        c.base_invocations = inv;
+        c.base_backedges = be;
+        let bytes = cm.bytes;
+        let resident_uses = cm.invocations;
+        self.emit(|| CompileEvent::CodeEvicted {
+            method,
+            bytes,
+            policy: policy.to_string(),
+            resident_uses,
+        });
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: CodeTier::Interpreter,
+        });
+    }
+
+    /// Graceful rejection: the compile is dropped (not blacklisted), the
+    /// method goes back to the interpreter, and its re-admission bar backs
+    /// off exponentially — the cache-pressure analogue of the recompile
+    /// storm throttle. Returns `false` for `install_package`.
+    fn defer_install(&mut self, method: MethodId, bytes: u64, reason: &'static str) -> bool {
+        self.cache.admission_rejections += 1;
+        let inv = self.profiles.invocations(method);
+        let be = self.profiles.backedges(method);
+        let c = self.cache_state.entry(method).or_default();
+        c.deferrals = c.deferrals.saturating_add(1);
+        c.base_invocations = inv;
+        c.base_backedges = be;
+        self.emit(|| CompileEvent::AdmissionRejected {
+            method,
+            bytes,
+            reason: reason.to_string(),
+        });
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: CodeTier::Interpreter,
+        });
+        false
+    }
+
+    /// Recompiles `method` on the inline-free degraded tier at the install
+    /// safepoint, for the admission retry. This is mutator work (the
+    /// worker already finished its full-tier package), so its compile cost
+    /// is charged entirely as stall — no worker-pool overlap.
+    fn degraded_retry(&mut self, method: MethodId) -> Option<InstallPackage> {
+        let trace = Arc::clone(&self.trace);
+        let sink: &dyn TraceSink = if trace.enabled() { &*trace } else { &NullSink };
+        let pkg = broker::degraded_package(self.program, method, self.config.compile_fuel, sink)?;
+        let cycles = self.config.cost.compile_cost(pkg.work_nodes);
+        self.run_compile_cycles += cycles;
+        self.total_compile_cycles += cycles;
+        self.run_stall_cycles += cycles;
+        self.total_stall_cycles += cycles;
+        Some(pkg)
+    }
+
+    /// Marks residents idle past [`VmConfig::cache_age_window`] use ticks
+    /// as aged, flooring their eviction score under every policy. Runs on
+    /// demand when the cache is under pressure; methods un-age on their
+    /// next compiled activation.
+    fn age_scan(&mut self) {
+        let window = self.config.cache_age_window;
+        if window == 0 {
+            return;
+        }
+        let mut newly_aged: Vec<(MethodId, u64)> = self
+            .code
+            .iter()
+            .filter(|(_, cm)| !cm.aged)
+            .filter_map(|(&m, cm)| {
+                let idle = self.use_seq.saturating_sub(cm.last_used);
+                (idle >= window).then_some((m, idle))
+            })
+            .collect();
+        newly_aged.sort();
+        for (m, idle) in newly_aged {
+            if let Some(cm) = self.code.get_mut(&m) {
+                cm.aged = true;
+            }
+            self.cache.aged += 1;
+            self.emit(|| CompileEvent::MethodAged { method: m, idle });
+        }
+    }
+
+    /// Whether `method`'s code may be evicted right now: storm-pinned
+    /// methods keep their fallback-only code (evicting it would re-open
+    /// the recompile storm the pin closed), and a method with a live
+    /// compiled activation on the stack is untouchable mid-flight.
+    fn evictable(&self, method: MethodId) -> bool {
+        !self.spec.get(&method).is_some_and(|s| s.pinned)
+            && self.live_compiled.get(&method).copied().unwrap_or(0) == 0
+    }
+
+    /// Brackets a compiled activation for the eviction guard.
+    fn note_compiled_entry(&mut self, method: MethodId) {
+        *self.live_compiled.entry(method).or_insert(0) += 1;
+    }
+
+    fn note_compiled_exit(&mut self, method: MethodId) {
+        let Some(n) = self.live_compiled.get_mut(&method) else {
+            debug_assert!(false, "compiled-frame exit without a matching entry");
+            return;
+        };
+        *n -= 1;
+        if *n == 0 {
+            self.live_compiled.remove(&method);
+        }
     }
 
     /// Whether the drift monitor wants to invalidate `method` before its
@@ -1129,11 +1524,18 @@ impl<'p> Machine<'p> {
         if self.drift_tripped(method) {
             return Ok(self.deoptimize(method, "drift", args));
         }
+        // Every compiled activation is a use tick for the eviction clock:
+        // recency feeds LRU and the decay policy, and any activation
+        // un-ages the method.
+        self.use_seq += 1;
+        let now = self.use_seq;
         let cm = self
             .code
             .get_mut(&method)
             .expect("caller checked code presence");
         cm.invocations += 1;
+        cm.last_used = now;
+        cm.aged = false;
         let force_deopt = cm.force_deopt;
         let deoptable = cm.has_deopt;
         let graph = Arc::clone(&cm.graph);
@@ -1143,7 +1545,13 @@ impl<'p> Machine<'p> {
             return Ok(self.deoptimize(method, "injected", args));
         }
         if !deoptable {
-            return match self.exec_graph(method, &graph, Tier::Compiled, args, depth)? {
+            // The live-activation guard makes the method unevictable while
+            // its compiled frame is on the stack (an install in a callee
+            // could otherwise tear code out from under us mid-activation).
+            self.note_compiled_entry(method);
+            let flow = self.exec_graph(method, &graph, Tier::Compiled, args, depth);
+            self.note_compiled_exit(method);
+            return match flow? {
                 Flow::Return(v) => Ok(CompiledExit::Returned(v)),
                 Flow::Deopt(_) => unreachable!("graph without deopt terminators cannot deopt"),
             };
@@ -1160,7 +1568,9 @@ impl<'p> Machine<'p> {
             journal_len: self.journal.len(),
         };
         self.journal_scopes += 1;
+        self.note_compiled_entry(method);
         let flow = self.exec_graph(method, &graph, Tier::Compiled, args.clone(), depth);
+        self.note_compiled_exit(method);
         self.journal_scopes -= 1;
         match flow {
             Ok(Flow::Return(v)) => {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use incline_ir::{MethodId, Program};
 use incline_trace::{NullSink, TraceSink};
 
+use crate::cache::CacheStats;
 use crate::faults::FaultPlan;
 use crate::inliner::Inliner;
 use crate::machine::{BailoutCounters, ExecError, Machine, RunOutcome, VmConfig};
@@ -57,6 +58,12 @@ pub struct BenchResult {
     pub final_value: Option<String>,
     /// Bailout counters accumulated by the machine over the run.
     pub bailouts: BailoutCounters,
+    /// Mutator-visible compile stall of each repetition — the per-iteration
+    /// decomposition of `stall_cycles`, for latency percentiles under
+    /// cache pressure.
+    pub stall_per_iteration: Vec<u64>,
+    /// Code-cache statistics accumulated by the machine over the run.
+    pub cache: CacheStats,
 }
 
 /// Why a benchmark run could not produce a measurement.
@@ -169,10 +176,12 @@ pub fn run_benchmark_traced<'p>(
     vm.set_fault_plan(plan);
     vm.set_trace_sink(sink);
     let mut per_iteration = Vec::with_capacity(spec.iterations);
+    let mut stall_per_iteration = Vec::with_capacity(spec.iterations);
     let mut last: Option<RunOutcome> = None;
     for _ in 0..spec.iterations {
         let out = vm.run(spec.entry, spec.args.clone())?;
         per_iteration.push(out.total_cycles());
+        stall_per_iteration.push(out.stall_cycles);
         last = Some(out);
     }
     let window = BenchResult::steady_window(spec.iterations);
@@ -198,6 +207,8 @@ pub fn run_benchmark_traced<'p>(
         final_output: last.output.lines().to_vec(),
         final_value: last.value.map(|v| format!("{v:?}")),
         bailouts: vm.bailouts(),
+        stall_per_iteration,
+        cache: vm.cache_stats(),
     })
 }
 
@@ -279,6 +290,8 @@ mod tests {
             final_output: vec![],
             final_value: None,
             bailouts: BailoutCounters::default(),
+            stall_per_iteration: vec![],
+            cache: CacheStats::default(),
         };
         assert_eq!(r.warmup_iterations(), 3); // 210 ≤ 220 = 200·1.10
     }

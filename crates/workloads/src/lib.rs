@@ -16,6 +16,7 @@
 //! differential testing.
 
 pub mod actors;
+pub mod cache_pressure;
 pub mod collections;
 pub mod dispatch_loop;
 pub mod doc_layout;
@@ -209,7 +210,10 @@ pub fn all_benchmarks() -> Vec<Workload> {
 /// are addressable through [`by_name`] (and thus the CLI) but do not
 /// participate in the figure-matching suites.
 pub fn extra_benchmarks() -> Vec<Workload> {
-    vec![phase_change::build("phase_change", Suite::Other, 60)]
+    vec![
+        phase_change::build("phase_change", Suite::Other, 60),
+        cache_pressure::standard(),
+    ]
 }
 
 /// Fetches one benchmark by its paper name (including the extras).

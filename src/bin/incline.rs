@@ -74,10 +74,14 @@ USAGE:
   incline print   <file.ir> [--optimize]
   incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
                             [--no-deopt] [--compile-threads N] [--pipelined]
+                            [--cache-budget BYTES] [--eviction POLICY]
+                            [--icache-capacity BYTES] [--icache-scale BYTES]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
                             [--trace] [--trace-json FILE]
   incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
                             [--no-deopt] [--compile-threads N] [--pipelined]
+                            [--cache-budget BYTES] [--eviction POLICY]
+                            [--icache-capacity BYTES] [--icache-scale BYTES]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
 
@@ -88,7 +92,11 @@ with uncommon traps, deoptimize, and recompile. --no-deopt restricts compiled
 code to the always-correct virtual fallback.
 Broker: --compile-threads N sizes the background worker pool (0 = compile on
 the mutator thread); --pipelined installs at safepoints while the mutator
-keeps interpreting (INCLINE_COMPILE_THREADS sets the pool from the env).";
+keeps interpreting (INCLINE_COMPILE_THREADS sets the pool from the env).
+Code cache: --cache-budget BYTES bounds installed code (0 = unbounded,
+the default); --eviction picks the victim policy (lru, hotness,
+cost-benefit). --icache-capacity / --icache-scale tune the cost model's
+instruction-cache pressure curve.";
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -111,9 +119,11 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-/// Builds a `VmConfig` carrying the broker flags: `--compile-threads N`
+/// Builds a `VmConfig` carrying the broker flags — `--compile-threads N`
 /// (worker pool size; also readable from `INCLINE_COMPILE_THREADS`) and
-/// `--pipelined` (install at safepoints instead of compile-at-trigger).
+/// `--pipelined` (install at safepoints instead of compile-at-trigger) —
+/// plus the code-cache knobs: `--cache-budget BYTES`, `--eviction POLICY`,
+/// and the cost model's `--icache-capacity` / `--icache-scale` overrides.
 fn broker_config(args: &[String]) -> Result<VmConfig, String> {
     let mut config = VmConfig::default();
     if let Some(n) = opt_value(args, "--compile-threads") {
@@ -122,6 +132,21 @@ fn broker_config(args: &[String]) -> Result<VmConfig, String> {
     if flag(args, "--pipelined") {
         config.install_policy = InstallPolicy::Safepoint;
     }
+    if let Some(n) = opt_value(args, "--cache-budget") {
+        config.code_cache_budget = n.parse().map_err(|e| format!("--cache-budget: {e}"))?;
+    }
+    if let Some(p) = opt_value(args, "--eviction") {
+        config.eviction_policy = p.parse().map_err(|e| format!("--eviction: {e}"))?;
+    }
+    let capacity = match opt_value(args, "--icache-capacity") {
+        Some(n) => n.parse().map_err(|e| format!("--icache-capacity: {e}"))?,
+        None => config.cost.icache_capacity,
+    };
+    let scale = match opt_value(args, "--icache-scale") {
+        Some(n) => n.parse().map_err(|e| format!("--icache-scale: {e}"))?,
+        None => config.cost.icache_scale,
+    };
+    config.cost = config.cost.with_icache(capacity, scale);
     Ok(config)
 }
 
@@ -350,6 +375,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!(
             "deopt: {} deopts, {} invalidations, {} recompiles, {} pinned",
             r.bailouts.deopts, r.bailouts.invalidations, r.bailouts.recompiles, r.bailouts.pinned
+        );
+    }
+    if r.cache.evictions > 0 || r.cache.admission_rejections > 0 {
+        println!(
+            "cache: {} evictions, {} admission rejections, {} degraded admissions, \
+             {} re-tiered, {} aged, high water {} bytes",
+            r.cache.evictions,
+            r.cache.admission_rejections,
+            r.cache.degraded_admissions,
+            r.cache.re_tiered,
+            r.cache.aged,
+            r.cache.high_water_bytes
         );
     }
     Ok(())

@@ -43,9 +43,9 @@ pub mod prelude {
     };
     pub use incline_vm::{
         run_benchmark, run_benchmark_faulted, run_benchmark_traced, BailoutCounters, BenchSpec,
-        CompilationReport, CompileCx, CompileError, CompileFuel, CompileQueue, FaultKind,
-        FaultPlan, Inliner, InstallPolicy, Machine, NoInline, QueueStats, Speculation, Value,
-        VmConfig,
+        CacheStats, CompilationReport, CompileCx, CompileError, CompileFuel, CompileQueue,
+        EvictionPolicy, FaultKind, FaultPlan, Inliner, InstallPolicy, Machine, NoInline,
+        QueueStats, Speculation, Value, VmConfig,
     };
     pub use incline_workloads::{all_benchmarks, by_name, extra_benchmarks, Suite, Workload};
 }

@@ -432,6 +432,140 @@ fn force_deopt_counters_are_deterministic() {
     assert_eq!(run(), run(), "storm runs must be byte-identical");
 }
 
+// ---- code-cache faults: forced eviction ------------------------------------
+
+#[test]
+fn force_evict_triggers_evict_reprofile_retier_cycle() {
+    // The eviction analogue of the ForceDeopt cycle test: the freshly
+    // installed code is immediately evicted (as if cache pressure picked
+    // it), the method drops back to the interpreter, re-heats through the
+    // normal hotness path, and re-tiers — with correct output throughout
+    // and no bailout-ladder involvement at all.
+    let w = workload();
+    let input = 4;
+    let expected = reference(&w, input);
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&w.program, Box::new(IncrementalInliner::new()), config);
+    vm.set_fault_plan(FaultPlan::new().inject(0, FaultKind::ForceEvict));
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..8 {
+        let out = vm
+            .run(w.entry, vec![Value::Int(input)])
+            .expect("run completes");
+        assert_eq!(out.value, expected.0, "eviction must not change results");
+        assert_eq!(out.output.to_string(), expected.1);
+    }
+    let stats = vm.cache_stats();
+    assert_eq!(
+        stats.forced_evictions, 1,
+        "the injected eviction fires once"
+    );
+    assert_eq!(stats.evictions, 1);
+    assert!(
+        stats.re_tiered >= 1,
+        "the evicted method must come back through the hotness path"
+    );
+    assert_eq!(
+        vm.bailouts().total(),
+        0,
+        "eviction is not a compile-path bailout"
+    );
+    assert_eq!(
+        vm.bailouts().invalidations,
+        0,
+        "eviction is not a speculation event"
+    );
+    assert!(vm.blacklisted_methods().is_empty());
+    let events = sink.take();
+    let count = |name: &str| events.iter().filter(|e| e.name() == name).count();
+    assert_eq!(count("CodeEvicted"), 1);
+    assert!(count("ReTiered") >= 1);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, CompileEvent::CodeEvicted { policy, .. } if policy == "forced")),
+        "the eviction must be labeled as forced"
+    );
+}
+
+#[test]
+fn force_evict_storm_cycles_without_pinning_or_blacklisting() {
+    // Five consecutive compilations of the same method are each evicted the
+    // moment they install. Unlike a deopt storm there is no cap to trip:
+    // eviction says nothing about the code's correctness, so the method
+    // just keeps re-heating and re-tiering until the faults run out, and
+    // the sixth install sticks.
+    let (p, m) = single_method_program();
+    let config = VmConfig {
+        hotness_threshold: 2,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
+    let mut plan = FaultPlan::new();
+    for request in 0..=4 {
+        plan = plan.inject(request, FaultKind::ForceEvict);
+    }
+    vm.set_fault_plan(plan);
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    vm.set_trace_sink(sink.clone());
+    for _ in 0..80 {
+        let out = vm.run(m, vec![Value::Int(21)]).expect("run completes");
+        assert_eq!(out.value, Some(Value::Int(42)), "results never diverge");
+    }
+    let stats = vm.cache_stats();
+    assert_eq!(stats.forced_evictions, 5, "every scheduled eviction fires");
+    assert_eq!(stats.evictions, 5);
+    assert_eq!(
+        stats.re_tiered, 5,
+        "requests 1..=5 each reinstall a previously evicted method"
+    );
+    let b = vm.bailouts();
+    assert_eq!(b.total(), 0, "the bailout ladder never gets involved");
+    assert_eq!(b.pinned, 0, "eviction storms must not pin");
+    assert!(vm.pinned_methods().is_empty());
+    assert!(vm.blacklisted_methods().is_empty());
+    assert!(
+        vm.installed_bytes() > 0,
+        "the post-storm install must stick"
+    );
+    let events = sink.take();
+    let count = |name: &str| events.iter().filter(|e| e.name() == name).count();
+    assert_eq!(count("CodeEvicted"), 5);
+    assert_eq!(count("ReTiered"), 5);
+    assert_eq!(count("CodeInstalled"), 6);
+}
+
+#[test]
+fn force_evict_counters_are_identical_across_worker_pools() {
+    // Forced evictions happen on the mutator immediately after the install
+    // commits, in request-id order — so an eviction storm handled by four
+    // background workers must land exactly the same cache statistics as
+    // the synchronous broker.
+    let w = workload();
+    let mut plan = FaultPlan::new();
+    for request in 0..=2 {
+        plan = plan.inject(request, FaultKind::ForceEvict);
+    }
+    let reference_vm = run_faulted_threads(&w, plan.clone(), 10, 0);
+    let reference_stats = reference_vm.cache_stats();
+    assert!(reference_stats.forced_evictions > 0, "the storm must bite");
+    for threads in [1usize, 4] {
+        let vm = run_faulted_threads(&w, plan.clone(), 10, threads);
+        assert_eq!(
+            vm.cache_stats(),
+            reference_stats,
+            "cache counters must not depend on the worker pool (threads={threads})"
+        );
+        assert_eq!(vm.compilations(), reference_vm.compilations());
+        assert_eq!(vm.installed_bytes(), reference_vm.installed_bytes());
+        assert_eq!(vm.bailouts(), reference_vm.bailouts());
+    }
+}
+
 #[test]
 fn faulted_runs_are_deterministic() {
     let w = workload();
