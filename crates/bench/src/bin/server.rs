@@ -1,0 +1,7 @@
+//! Multi-tenant server simulation: install-policy × eviction-policy grid
+//! with request-latency and stall tails as machine-readable JSON (seeds
+//! `BENCH_server.json`).
+
+fn main() {
+    println!("{}", incline_bench::server::figure());
+}

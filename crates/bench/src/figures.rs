@@ -421,18 +421,6 @@ pub fn stalls() -> String {
     out
 }
 
-/// Nearest-rank percentile of an unsorted series (deterministic: integer
-/// ranks on a sorted copy).
-fn percentile(series: &[u64], pct: usize) -> u64 {
-    if series.is_empty() {
-        return 0;
-    }
-    let mut sorted = series.to_vec();
-    sorted.sort_unstable();
-    let rank = (pct * (sorted.len() - 1)) / 100;
-    sorted[rank]
-}
-
 /// Bounded code cache under pressure (beyond the paper): the storm-sized
 /// cache-pressure workload, run unbounded and then under a tight budget
 /// with each eviction policy. Emits machine-readable JSON — the seed of
@@ -476,8 +464,8 @@ pub fn cache() -> String {
             r.installed_bytes,
             r.compilations,
             r.steady_state,
-            percentile(&r.stall_per_iteration, 50),
-            percentile(&r.stall_per_iteration, 99),
+            r.stall_percentile(0.50),
+            r.stall_percentile(0.99),
             r.stall_cycles,
         ));
     }
@@ -491,8 +479,8 @@ pub fn cache() -> String {
         u.installed_bytes,
         u.compilations,
         u.steady_state,
-        percentile(&u.stall_per_iteration, 50),
-        percentile(&u.stall_per_iteration, 99),
+        u.stall_percentile(0.50),
+        u.stall_percentile(0.99),
         u.stall_cycles,
         policies
     )

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::{IncrementalInliner, PolicyConfig};
 use incline_vm::{
-    run_benchmark, run_benchmark_traced, BenchResult, BenchSpec, CollectingSink, CompileEvent,
-    FaultPlan, Inliner, NoInline, TraceSink, Value, VmConfig,
+    BenchResult, BenchSpec, CollectingSink, CompileEvent, Inliner, NoInline, RunSession, TraceSink,
+    Value, VmConfig,
 };
 use incline_workloads::Workload;
 
@@ -125,7 +125,10 @@ pub fn measure_with_vm(w: &Workload, config: &Config, vm: VmConfig) -> Measureme
         args: vec![Value::Int(w.input)],
         iterations: w.iterations,
     };
-    let result = run_benchmark(&w.program, &spec, config.build(), vm)
+    let result = RunSession::new(&w.program, spec)
+        .inliner(config.build())
+        .config(vm)
+        .run()
         .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
     Measurement {
         benchmark: w.name.clone(),
@@ -146,15 +149,12 @@ pub fn measure_traced(w: &Workload, config: &Config) -> (Measurement, Vec<Compil
     };
     let sink = Arc::new(CollectingSink::new());
     let handle: Arc<dyn TraceSink> = sink.clone();
-    let result = run_benchmark_traced(
-        &w.program,
-        &spec,
-        config.build(),
-        config.vm(),
-        FaultPlan::default(),
-        handle,
-    )
-    .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
+    let result = RunSession::new(&w.program, spec)
+        .inliner(config.build())
+        .config(config.vm())
+        .trace(handle)
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, config.name()));
     let measurement = Measurement {
         benchmark: w.name.clone(),
         config: config.name().to_string(),
@@ -303,3 +303,5 @@ mod tests {
 }
 
 pub mod figures;
+pub mod server;
+pub mod stats;

@@ -1,0 +1,9 @@
+//! Shared summary statistics for experiment harnesses.
+//!
+//! Thin re-export of [`incline_vm::stats`] — the single source of truth
+//! for nearest-rank percentiles, Jain's fairness index and the
+//! p50/p99/p999 latency summary. The `cache` and `server` figures, the
+//! server report and `BenchResult::stall_percentile` all share these, so
+//! every tail-latency number in the repo is computed the same way.
+
+pub use incline_vm::stats::{fairness_index, percentile, LatencyStats};

@@ -114,6 +114,22 @@ pub fn render_trace(events: &[CompileEvent]) -> String {
             CompileEvent::ReTiered { method, evictions } => {
                 let _ = writeln!(out, "!! re-tiered {method} after {evictions} evictions");
             }
+            // Server-simulation timeline markers, interleaved so a replayed
+            // transcript shows which requests paid for which compilations.
+            CompileEvent::RequestRetired {
+                tenant,
+                request,
+                latency,
+                stall,
+            } => {
+                let _ = writeln!(
+                    out,
+                    ">> request {request} ({tenant}): latency={latency} stall={stall}"
+                );
+            }
+            CompileEvent::QueueDepth { request, depth } => {
+                let _ = writeln!(out, ">> queue depth @{request}: {depth}");
+            }
             _ => {}
         }
     }

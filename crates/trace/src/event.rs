@@ -299,6 +299,27 @@ pub enum CompileEvent {
         /// How many times this method has been evicted so far.
         evictions: u32,
     },
+    /// The server simulation finished serving one request (emitted by
+    /// `incline_vm::server` from the mutator loop, not by the compiler).
+    RequestRetired {
+        /// Name of the tenant the request belonged to.
+        tenant: String,
+        /// Global request sequence number (arrival order, 0-based).
+        request: u64,
+        /// End-to-end latency in virtual cycles (queueing + execution +
+        /// mutator-visible compile stall).
+        latency: u64,
+        /// The mutator-visible compile stall portion of the latency.
+        stall: u64,
+    },
+    /// Compile-queue depth sampled at a request boundary of the server
+    /// simulation — the queue-depth-over-time timeline.
+    QueueDepth {
+        /// Global request sequence number at which the sample was taken.
+        request: u64,
+        /// Compilations enqueued or in flight at the sample point.
+        depth: u64,
+    },
 }
 
 impl CompileEvent {
@@ -325,6 +346,8 @@ impl CompileEvent {
             CompileEvent::AdmissionRejected { .. } => "AdmissionRejected",
             CompileEvent::MethodAged { .. } => "MethodAged",
             CompileEvent::ReTiered { .. } => "ReTiered",
+            CompileEvent::RequestRetired { .. } => "RequestRetired",
+            CompileEvent::QueueDepth { .. } => "QueueDepth",
         }
     }
 
@@ -359,7 +382,9 @@ impl CompileEvent {
             | CompileEvent::InlineDecision { method, .. } => *method,
             CompileEvent::OptPassStats { .. }
             | CompileEvent::FuelCharged { .. }
-            | CompileEvent::TreeSnapshot { .. } => None,
+            | CompileEvent::TreeSnapshot { .. }
+            | CompileEvent::RequestRetired { .. }
+            | CompileEvent::QueueDepth { .. } => None,
         }
     }
 }
@@ -520,6 +545,18 @@ impl fmt::Display for CompileEvent {
             }
             CompileEvent::ReTiered { method, evictions } => {
                 write!(f, "re-tiered {method} after {evictions} evictions")
+            }
+            CompileEvent::RequestRetired {
+                tenant,
+                request,
+                latency,
+                stall,
+            } => write!(
+                f,
+                "request {request} retired for {tenant}: latency={latency} stall={stall}"
+            ),
+            CompileEvent::QueueDepth { request, depth } => {
+                write!(f, "queue depth at request {request}: {depth}")
             }
         }
     }

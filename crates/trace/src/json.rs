@@ -314,6 +314,21 @@ impl CompileEvent {
                 .method("method", method)
                 .raw("evictions", evictions)
                 .finish(),
+            CompileEvent::RequestRetired {
+                tenant,
+                request,
+                latency,
+                stall,
+            } => JsonObj::new("RequestRetired")
+                .str("tenant", tenant)
+                .raw("request", request)
+                .raw("latency", latency)
+                .raw("stall", stall)
+                .finish(),
+            CompileEvent::QueueDepth { request, depth } => JsonObj::new("QueueDepth")
+                .raw("request", request)
+                .raw("depth", depth)
+                .finish(),
         }
     }
 }
@@ -445,6 +460,29 @@ mod tests {
             }
             .to_json(),
             "{\"ev\":\"ReTiered\",\"method\":\"m7\",\"evictions\":2}"
+        );
+    }
+
+    #[test]
+    fn server_events_serialize_flat() {
+        assert_eq!(
+            CompileEvent::RequestRetired {
+                tenant: "tenant3".to_string(),
+                request: 42,
+                latency: 9001,
+                stall: 120,
+            }
+            .to_json(),
+            "{\"ev\":\"RequestRetired\",\"tenant\":\"tenant3\",\"request\":42,\
+             \"latency\":9001,\"stall\":120}"
+        );
+        assert_eq!(
+            CompileEvent::QueueDepth {
+                request: 16,
+                depth: 3,
+            }
+            .to_json(),
+            "{\"ev\":\"QueueDepth\",\"request\":16,\"depth\":3}"
         );
     }
 

@@ -39,6 +39,8 @@ pub mod faults;
 pub mod inliner;
 pub mod machine;
 pub mod runner;
+pub mod server;
+pub mod stats;
 pub mod value;
 
 pub use broker::{CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats};
@@ -56,9 +58,13 @@ pub use inliner::{
 };
 pub use machine::{
     BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, InstallPolicy,
-    Machine, RunOutcome, VmConfig,
+    Machine, RunOutcome, VmConfig, VmConfigBuilder,
 };
+#[allow(deprecated)]
 pub use runner::{
     run_benchmark, run_benchmark_faulted, run_benchmark_traced, BenchError, BenchResult, BenchSpec,
+    RunSession,
 };
+pub use server::{ServerError, ServerReport, ServerSession, ServerSpec, TenantReport, TenantSpec};
+pub use stats::{fairness_index, percentile, LatencyStats};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

@@ -182,6 +182,148 @@ impl Default for VmConfig {
     }
 }
 
+impl VmConfig {
+    /// Starts a fluent builder seeded with [`VmConfig::default`] — the
+    /// call-site-friendly alternative to enumerating struct fields:
+    ///
+    /// ```
+    /// use incline_vm::VmConfig;
+    /// let config = VmConfig::builder()
+    ///     .hotness_threshold(5)
+    ///     .code_cache_budget(8 * 1024)
+    ///     .deopt(true)
+    ///     .build();
+    /// assert_eq!(config.hotness_threshold, 5);
+    /// ```
+    pub fn builder() -> VmConfigBuilder {
+        VmConfigBuilder {
+            config: VmConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`VmConfig`], obtained via [`VmConfig::builder`].
+/// One setter per field, plus the [`VmConfigBuilder::pipelined`]
+/// convenience for the common Safepoint switch.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfigBuilder {
+    config: VmConfig,
+}
+
+impl VmConfigBuilder {
+    /// Sets the cost model constants.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Sets the hotness threshold (see [`VmConfig::hotness_threshold`]).
+    pub fn hotness_threshold(mut self, threshold: u64) -> Self {
+        self.config.hotness_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables the JIT (false = pure interpreter).
+    pub fn jit(mut self, jit: bool) -> Self {
+        self.config.jit = jit;
+        self
+    }
+
+    /// Sets the interpreter step budget per `run`.
+    pub fn fuel_steps(mut self, fuel_steps: u64) -> Self {
+        self.config.fuel_steps = fuel_steps;
+        self
+    }
+
+    /// Sets the maximum call depth.
+    pub fn max_depth(mut self, max_depth: usize) -> Self {
+        self.config.max_depth = max_depth;
+        self
+    }
+
+    /// Sets the compile-work budget per compilation attempt.
+    pub fn compile_fuel(mut self, compile_fuel: u64) -> Self {
+        self.config.compile_fuel = compile_fuel;
+        self
+    }
+
+    /// Enables or disables deoptimization (see [`VmConfig::deopt`]).
+    pub fn deopt(mut self, deopt: bool) -> Self {
+        self.config.deopt = deopt;
+        self
+    }
+
+    /// Sets the minimum typeswitch coverage before speculation.
+    pub fn deopt_confidence(mut self, confidence: f64) -> Self {
+        self.config.deopt_confidence = confidence;
+        self
+    }
+
+    /// Sets the drift monitor's dispatch-rate trip point.
+    pub fn drift_rate(mut self, rate: f64) -> Self {
+        self.config.drift_rate = rate;
+        self
+    }
+
+    /// Sets the drift monitor's minimum sample count.
+    pub fn drift_min_samples(mut self, samples: u64) -> Self {
+        self.config.drift_min_samples = samples;
+        self
+    }
+
+    /// Sets the recompilation cap before speculation pinning.
+    pub fn max_recompiles(mut self, max: u32) -> Self {
+        self.config.max_recompiles = max;
+        self
+    }
+
+    /// Sizes the background compile-worker pool (0 = synchronous).
+    pub fn compile_threads(mut self, threads: usize) -> Self {
+        self.config.compile_threads = threads;
+        self
+    }
+
+    /// Sets the install policy (see [`InstallPolicy`]).
+    pub fn install_policy(mut self, policy: InstallPolicy) -> Self {
+        self.config.install_policy = policy;
+        self
+    }
+
+    /// Convenience: `true` selects [`InstallPolicy::Safepoint`] (the
+    /// `--pipelined` CLI switch), `false` [`InstallPolicy::Barrier`].
+    pub fn pipelined(mut self, pipelined: bool) -> Self {
+        self.config.install_policy = if pipelined {
+            InstallPolicy::Safepoint
+        } else {
+            InstallPolicy::Barrier
+        };
+        self
+    }
+
+    /// Sets the code-cache budget in modeled bytes (0 = unbounded).
+    pub fn code_cache_budget(mut self, budget: u64) -> Self {
+        self.config.code_cache_budget = budget;
+        self
+    }
+
+    /// Sets the eviction policy under a finite budget.
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.config.eviction_policy = policy;
+        self
+    }
+
+    /// Sets the idle-aging window in compiled-entry ticks (0 = off).
+    pub fn cache_age_window(mut self, window: u64) -> Self {
+        self.config.cache_age_window = window;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> VmConfig {
+        self.config
+    }
+}
+
 /// Which rung of the bailout ladder a compilation attempt ran on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CompileStage {

@@ -109,6 +109,14 @@ impl BenchResult {
         ((n as f64 * 0.4) as usize).clamp(1, 20)
     }
 
+    /// Nearest-rank quantile of the per-iteration mutator stall series
+    /// (`q` ∈ `[0, 1]`, e.g. `0.99` for the p99 stall) — the tail-latency
+    /// view of [`BenchResult::stall_per_iteration`], shared with the
+    /// server report via [`crate::stats::percentile`].
+    pub fn stall_percentile(&self, q: f64) -> u64 {
+        crate::stats::percentile(&self.stall_per_iteration, q)
+    }
+
     /// Warmup length: the first repetition whose time is within 10% of the
     /// steady state (1-based). The paper's parameter tuning constrains the
     /// algorithm "not to increase the warmup time by more than 20%".
@@ -122,28 +130,167 @@ impl BenchResult {
     }
 }
 
+/// A configured benchmark run, built fluently and executed once.
+///
+/// `RunSession` replaces the old positional-argument ladder
+/// (`run_benchmark` → `run_benchmark_faulted` → `run_benchmark_traced`):
+/// every optional capability — inliner, VM configuration, fault plan,
+/// trace sink — is a builder method, so new capabilities extend the
+/// builder instead of forking another entry point.
+///
+/// ```
+/// use incline_vm::{RunSession, BenchSpec, NoInline, Value, VmConfig};
+/// # use incline_ir::{FunctionBuilder, Program, Type};
+/// # let mut p = Program::new();
+/// # let m = p.declare_function("answer", vec![Type::Int], Type::Int);
+/// # let mut fb = FunctionBuilder::new(&p, m);
+/// # let k = fb.const_int(42);
+/// # fb.ret(Some(k));
+/// # let g = fb.finish();
+/// # p.define_method(m, g);
+/// let spec = BenchSpec { entry: m, args: vec![Value::Int(1)], iterations: 3 };
+/// let result = RunSession::new(&p, spec)
+///     .inliner(Box::new(NoInline))
+///     .config(VmConfig::builder().hotness_threshold(2).build())
+///     .run()?;
+/// assert_eq!(result.per_iteration.len(), 3);
+/// # Ok::<(), incline_vm::BenchError>(())
+/// ```
+pub struct RunSession<'p> {
+    program: &'p Program,
+    spec: BenchSpec,
+    inliner: Box<dyn Inliner + 'p>,
+    config: VmConfig,
+    plan: FaultPlan,
+    sink: Arc<dyn TraceSink + 'p>,
+}
+
+impl<'p> RunSession<'p> {
+    /// Starts a session over `program` running `spec`. Defaults: the
+    /// [`NoInline`](crate::NoInline) inliner, [`VmConfig::default`], no
+    /// faults, no tracing.
+    pub fn new(program: &'p Program, spec: BenchSpec) -> Self {
+        RunSession {
+            program,
+            spec,
+            inliner: Box::new(crate::inliner::NoInline),
+            config: VmConfig::default(),
+            plan: FaultPlan::new(),
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Drives compilation with `inliner` (default: no inlining).
+    pub fn inliner(mut self, inliner: Box<dyn Inliner + 'p>) -> Self {
+        self.inliner = inliner;
+        self
+    }
+
+    /// Runs under `config` (default: [`VmConfig::default`]).
+    pub fn config(mut self, config: VmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] before the first repetition —
+    /// the entry point of the fault-injection harness.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Routes every compilation's [`incline_trace::CompileEvent`] stream
+    /// into `sink` — the way to capture a whole benchmark's trace (see
+    /// `examples/trace_dump.rs`).
+    pub fn trace(mut self, sink: Arc<dyn TraceSink + 'p>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Executes the configured run on a fresh [`Machine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::ZeroIterations`] for an empty spec and
+    /// [`BenchError::Exec`] when a repetition stops abnormally.
+    pub fn run(self) -> Result<BenchResult, BenchError> {
+        let spec = &self.spec;
+        if spec.iterations == 0 {
+            return Err(BenchError::ZeroIterations);
+        }
+        let mut vm = Machine::new(self.program, self.inliner, self.config);
+        vm.set_fault_plan(self.plan);
+        vm.set_trace_sink(self.sink);
+        let mut per_iteration = Vec::with_capacity(spec.iterations);
+        let mut stall_per_iteration = Vec::with_capacity(spec.iterations);
+        let mut last: Option<RunOutcome> = None;
+        for _ in 0..spec.iterations {
+            let out = vm.run(spec.entry, spec.args.clone())?;
+            per_iteration.push(out.total_cycles());
+            stall_per_iteration.push(out.stall_cycles);
+            last = Some(out);
+        }
+        let window = BenchResult::steady_window(spec.iterations);
+        let steady = &per_iteration[per_iteration.len() - window..];
+        let mean = steady.iter().copied().sum::<u64>() as f64 / window as f64;
+        let var = steady
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / window as f64;
+        let last = last.expect("at least one iteration");
+        Ok(BenchResult {
+            per_iteration,
+            steady_state: mean,
+            std_dev: var.sqrt(),
+            installed_bytes: vm.installed_bytes(),
+            compilations: vm.compilations(),
+            compile_cycles: vm.total_compile_cycles(),
+            stall_cycles: vm.total_stall_cycles(),
+            final_output: last.output.lines().to_vec(),
+            final_value: last.value.map(|v| format!("{v:?}")),
+            bailouts: vm.bailouts(),
+            stall_per_iteration,
+            cache: vm.cache_stats(),
+        })
+    }
+}
+
 /// Runs `spec` on a fresh [`Machine`] driven by `inliner`.
 ///
 /// # Errors
 ///
 /// Returns [`BenchError::ZeroIterations`] for an empty spec and
 /// [`BenchError::Exec`] when a repetition stops abnormally.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSession::new(program, spec).inliner(..).config(..).run()"
+)]
 pub fn run_benchmark(
     program: &Program,
     spec: &BenchSpec,
     inliner: Box<dyn Inliner + '_>,
     config: VmConfig,
 ) -> Result<BenchResult, BenchError> {
-    run_benchmark_faulted(program, spec, inliner, config, FaultPlan::new())
+    RunSession::new(program, spec.clone())
+        .inliner(inliner)
+        .config(config)
+        .run()
 }
 
-/// Like [`run_benchmark`], but installs a deterministic [`FaultPlan`]
-/// before the first repetition — the entry point of the fault-injection
-/// harness.
+/// Like `run_benchmark`, but installs a deterministic [`FaultPlan`]
+/// before the first repetition.
 ///
 /// # Errors
 ///
-/// Same as [`run_benchmark`].
+/// Same as [`RunSession::run`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSession::new(program, spec).inliner(..).config(..).faults(..).run()"
+)]
 pub fn run_benchmark_faulted(
     program: &Program,
     spec: &BenchSpec,
@@ -151,16 +298,23 @@ pub fn run_benchmark_faulted(
     config: VmConfig,
     plan: FaultPlan,
 ) -> Result<BenchResult, BenchError> {
-    run_benchmark_traced(program, spec, inliner, config, plan, Arc::new(NullSink))
+    RunSession::new(program, spec.clone())
+        .inliner(inliner)
+        .config(config)
+        .faults(plan)
+        .run()
 }
 
-/// Like [`run_benchmark_faulted`], but also routes every compilation's
-/// [`incline_trace::CompileEvent`] stream into `sink` — the entry point for
-/// capturing a whole benchmark's trace (see `examples/trace_dump.rs`).
+/// Like `run_benchmark_faulted`, but also routes every compilation's
+/// [`incline_trace::CompileEvent`] stream into `sink`.
 ///
 /// # Errors
 ///
-/// Same as [`run_benchmark`].
+/// Same as [`RunSession::run`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSession::new(program, spec).inliner(..).config(..).faults(..).trace(..).run()"
+)]
 pub fn run_benchmark_traced<'p>(
     program: &'p Program,
     spec: &BenchSpec,
@@ -169,47 +323,12 @@ pub fn run_benchmark_traced<'p>(
     plan: FaultPlan,
     sink: Arc<dyn TraceSink + 'p>,
 ) -> Result<BenchResult, BenchError> {
-    if spec.iterations == 0 {
-        return Err(BenchError::ZeroIterations);
-    }
-    let mut vm = Machine::new(program, inliner, config);
-    vm.set_fault_plan(plan);
-    vm.set_trace_sink(sink);
-    let mut per_iteration = Vec::with_capacity(spec.iterations);
-    let mut stall_per_iteration = Vec::with_capacity(spec.iterations);
-    let mut last: Option<RunOutcome> = None;
-    for _ in 0..spec.iterations {
-        let out = vm.run(spec.entry, spec.args.clone())?;
-        per_iteration.push(out.total_cycles());
-        stall_per_iteration.push(out.stall_cycles);
-        last = Some(out);
-    }
-    let window = BenchResult::steady_window(spec.iterations);
-    let steady = &per_iteration[per_iteration.len() - window..];
-    let mean = steady.iter().copied().sum::<u64>() as f64 / window as f64;
-    let var = steady
-        .iter()
-        .map(|&c| {
-            let d = c as f64 - mean;
-            d * d
-        })
-        .sum::<f64>()
-        / window as f64;
-    let last = last.expect("at least one iteration");
-    Ok(BenchResult {
-        per_iteration,
-        steady_state: mean,
-        std_dev: var.sqrt(),
-        installed_bytes: vm.installed_bytes(),
-        compilations: vm.compilations(),
-        compile_cycles: vm.total_compile_cycles(),
-        stall_cycles: vm.total_stall_cycles(),
-        final_output: last.output.lines().to_vec(),
-        final_value: last.value.map(|v| format!("{v:?}")),
-        bailouts: vm.bailouts(),
-        stall_per_iteration,
-        cache: vm.cache_stats(),
-    })
+    RunSession::new(program, spec.clone())
+        .inliner(inliner)
+        .config(config)
+        .faults(plan)
+        .trace(sink)
+        .run()
 }
 
 #[cfg(test)]
@@ -252,11 +371,12 @@ mod tests {
             args: vec![Value::Int(500)],
             iterations: 12,
         };
-        let config = VmConfig {
-            hotness_threshold: 3,
-            ..VmConfig::default()
-        };
-        let r = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        let config = VmConfig::builder().hotness_threshold(3).build();
+        let r = RunSession::new(&p, spec)
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .run()
+            .unwrap();
         assert_eq!(r.per_iteration.len(), 12);
         let first = r.per_iteration[0];
         let last = *r.per_iteration.last().unwrap();
@@ -290,10 +410,12 @@ mod tests {
             final_output: vec![],
             final_value: None,
             bailouts: BailoutCounters::default(),
-            stall_per_iteration: vec![],
+            stall_per_iteration: vec![800, 0, 10, 0, 0, 0],
             cache: CacheStats::default(),
         };
         assert_eq!(r.warmup_iterations(), 3); // 210 ≤ 220 = 200·1.10
+        assert_eq!(r.stall_percentile(0.5), 0);
+        assert_eq!(r.stall_percentile(0.99), 800);
     }
 
     #[test]
@@ -304,8 +426,43 @@ mod tests {
             args: vec![Value::Int(1)],
             iterations: 0,
         };
-        let err = run_benchmark(&p, &spec, Box::new(NoInline), VmConfig::default()).unwrap_err();
+        let err = RunSession::new(&p, spec)
+            .inliner(Box::new(NoInline))
+            .run()
+            .unwrap_err();
         assert_eq!(err, BenchError::ZeroIterations);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_unchanged() {
+        let (p, m) = loopy_program();
+        let spec = BenchSpec {
+            entry: m,
+            args: vec![Value::Int(100)],
+            iterations: 6,
+        };
+        let config = VmConfig::builder().hotness_threshold(2).build();
+        let via_session = RunSession::new(&p, spec.clone())
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .run()
+            .unwrap();
+        let via_shim = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        assert_eq!(via_session, via_shim, "shims must delegate bit-for-bit");
+        let via_faulted =
+            run_benchmark_faulted(&p, &spec, Box::new(NoInline), config, FaultPlan::new()).unwrap();
+        assert_eq!(via_session, via_faulted);
+        let via_traced = run_benchmark_traced(
+            &p,
+            &spec,
+            Box::new(NoInline),
+            config,
+            FaultPlan::new(),
+            Arc::new(NullSink),
+        )
+        .unwrap();
+        assert_eq!(via_session, via_traced);
     }
 
     #[test]
@@ -316,12 +473,17 @@ mod tests {
             args: vec![Value::Int(100)],
             iterations: 6,
         };
-        let config = VmConfig {
-            hotness_threshold: 2,
-            ..VmConfig::default()
-        };
-        let a = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
-        let b = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
+        let config = VmConfig::builder().hotness_threshold(2).build();
+        let a = RunSession::new(&p, spec.clone())
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .run()
+            .unwrap();
+        let b = RunSession::new(&p, spec)
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .run()
+            .unwrap();
         assert_eq!(
             a.per_iteration, b.per_iteration,
             "the VM must be deterministic"

@@ -31,6 +31,7 @@ pub mod search_index;
 pub mod spec_suite;
 pub mod sql_engine;
 pub mod stm;
+pub mod tenants;
 pub mod tree_transform;
 pub mod util;
 pub mod workload;

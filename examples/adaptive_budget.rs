@@ -7,7 +7,6 @@
 //! ```
 
 use incline::prelude::*;
-use incline::vm::run_benchmark;
 
 fn main() -> Result<(), incline::vm::BenchError> {
     let name = std::env::args()
@@ -34,7 +33,10 @@ fn main() -> Result<(), incline::vm::BenchError> {
             ..VmConfig::default()
         };
         let inliner = Box::new(IncrementalInliner::with_config(config));
-        let r = run_benchmark(&w.program, &spec, inliner, vm_config)?;
+        let r = RunSession::new(&w.program, spec)
+            .inliner(inliner)
+            .config(vm_config)
+            .run()?;
         println!(
             "{:<18} {:>14.0} {:>12} {:>9}",
             label, r.steady_state, r.installed_bytes, r.compilations

@@ -8,7 +8,6 @@
 
 use incline::baselines::{C2Inliner, GreedyInliner};
 use incline::prelude::*;
-use incline::vm::run_benchmark;
 
 fn measure(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
     let spec = BenchSpec {
@@ -20,7 +19,11 @@ fn measure(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
         hotness_threshold: 5,
         ..VmConfig::default()
     };
-    let r = run_benchmark(&w.program, &spec, inliner, config).expect("benchmark runs");
+    let r = RunSession::new(&w.program, spec)
+        .inliner(inliner)
+        .config(config)
+        .run()
+        .expect("benchmark runs");
     (r.steady_state, r.installed_bytes)
 }
 

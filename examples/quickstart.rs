@@ -62,22 +62,35 @@ fn main() -> Result<(), incline::vm::ExecError> {
     println!("=== program ===\n{}", incline::ir::print::program_str(&p));
 
     // Run it: the first iterations interpret (collecting profiles), then
-    // the broker hands hot methods to the incremental inliner.
-    let config = VmConfig {
-        hotness_threshold: 3,
-        ..VmConfig::default()
+    // the broker hands hot methods to the incremental inliner. The
+    // measurement protocol is one fluent `RunSession`.
+    let config = VmConfig::builder().hotness_threshold(3).build();
+    let spec = BenchSpec {
+        entry,
+        args: vec![Value::Int(10_000)],
+        iterations: 8,
     };
-    let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
+    let result = RunSession::new(&p, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .run()
+        .expect("quickstart program runs");
 
     println!("=== warmup ===");
-    for i in 0..8 {
-        let out = vm.run(entry, vec![Value::Int(10_000)])?;
-        println!(
-            "iteration {i}: {:>9} cycles (+{} compile), result = {:?}",
-            out.exec_cycles,
-            out.compile_cycles,
-            out.value.unwrap()
-        );
+    for (i, cycles) in result.per_iteration.iter().enumerate() {
+        println!("iteration {i}: {cycles:>9} cycles");
+    }
+    println!(
+        "steady state: {:.0} cycles, warm after {} iterations, result = {:?}",
+        result.steady_state,
+        result.warmup_iterations(),
+        result.final_value
+    );
+
+    // Re-run on a bare Machine to inspect what the JIT actually built.
+    let mut vm = Machine::new(&p, Box::new(IncrementalInliner::new()), config);
+    for _ in 0..8 {
+        vm.run(entry, vec![Value::Int(10_000)])?;
     }
 
     println!("\n=== what the JIT did ===");

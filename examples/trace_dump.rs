@@ -32,14 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Collect in memory so we can both summarize and serialize.
     let sink = Arc::new(CollectingSink::new());
     let handle: Arc<dyn TraceSink> = sink.clone();
-    let result = run_benchmark_traced(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-        FaultPlan::default(),
-        handle,
-    )?;
+    let result = RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .trace(handle)
+        .run()?;
     let events = sink.take();
 
     // Serialize the captured stream as JSONL.

@@ -9,6 +9,8 @@
 //!                           [--trace] [--trace-json FILE]
 //! incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
 //!                           [--no-deopt] [--compile-threads N] [--pipelined]
+//! incline server  [--tenants N] [--seed N] [--requests N] [--inliner NAME]
+//!                           [--compile-threads N] [--pipelined] [--trace-json FILE]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
 //! ```
@@ -29,7 +31,6 @@ use std::sync::Arc;
 
 use incline::baselines::{C2Inliner, GreedyInliner};
 use incline::prelude::*;
-use incline::vm::run_benchmark;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "compile" => cmd_compile(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "server" => cmd_server(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "list-benchmarks" => {
             for w in incline::workloads::all_benchmarks() {
@@ -82,10 +84,15 @@ USAGE:
                             [--no-deopt] [--compile-threads N] [--pipelined]
                             [--cache-budget BYTES] [--eviction POLICY]
                             [--icache-capacity BYTES] [--icache-scale BYTES]
+  incline server  [--tenants N] [--seed N] [--requests N] [--inliner NAME]
+                            [--compile-threads N] [--pipelined] [--trace-json FILE]
+                            [--cache-budget BYTES] [--eviction POLICY]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
 
 Inliners: incremental (default), greedy, c2, none.
+Server: a seeded multi-tenant serving simulation (bursty arrivals, per-tenant
+phase flips) printing request-latency and mutator-stall tails per tenant.
 Tracing: --trace streams compile events to stderr; --trace-json FILE writes JSONL.
 Deoptimization is on by default for run/bench: hot typeswitches may speculate
 with uncommon traps, deoptimize, and recompile. --no-deopt restricts compiled
@@ -125,19 +132,17 @@ fn load(path: &str) -> Result<Program, String> {
 /// plus the code-cache knobs: `--cache-budget BYTES`, `--eviction POLICY`,
 /// and the cost model's `--icache-capacity` / `--icache-scale` overrides.
 fn broker_config(args: &[String]) -> Result<VmConfig, String> {
-    let mut config = VmConfig::default();
+    let mut b = VmConfig::builder().pipelined(flag(args, "--pipelined"));
     if let Some(n) = opt_value(args, "--compile-threads") {
-        config.compile_threads = n.parse().map_err(|e| format!("--compile-threads: {e}"))?;
-    }
-    if flag(args, "--pipelined") {
-        config.install_policy = InstallPolicy::Safepoint;
+        b = b.compile_threads(n.parse().map_err(|e| format!("--compile-threads: {e}"))?);
     }
     if let Some(n) = opt_value(args, "--cache-budget") {
-        config.code_cache_budget = n.parse().map_err(|e| format!("--cache-budget: {e}"))?;
+        b = b.code_cache_budget(n.parse().map_err(|e| format!("--cache-budget: {e}"))?);
     }
     if let Some(p) = opt_value(args, "--eviction") {
-        config.eviction_policy = p.parse().map_err(|e| format!("--eviction: {e}"))?;
+        b = b.eviction_policy(p.parse().map_err(|e| format!("--eviction: {e}"))?);
     }
+    let mut config = b.build();
     let capacity = match opt_value(args, "--icache-capacity") {
         Some(n) => n.parse().map_err(|e| format!("--icache-capacity: {e}"))?,
         None => config.cost.icache_capacity,
@@ -325,19 +330,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         ..broker_config(args)?
     };
     let json_path = opt_value(args, "--trace-json");
+    let session = RunSession::new(&w.program, spec)
+        .inliner(inliner)
+        .config(config);
     let r = if let Some(path) = json_path {
         let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
         let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
         let handle: Arc<dyn TraceSink> = sink.clone();
-        let r = run_benchmark_traced(
-            &w.program,
-            &spec,
-            inliner,
-            config,
-            FaultPlan::default(),
-            handle,
-        )
-        .map_err(|e| e.to_string())?;
+        let r = session.trace(handle).run().map_err(|e| e.to_string())?;
         let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
         owned
             .into_inner()
@@ -346,17 +346,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         eprintln!("trace written to {path}");
         r
     } else if flag(args, "--trace") {
-        run_benchmark_traced(
-            &w.program,
-            &spec,
-            inliner,
-            config,
-            FaultPlan::default(),
-            Arc::new(StderrSink),
-        )
-        .map_err(|e| e.to_string())?
+        session
+            .trace(Arc::new(StderrSink))
+            .run()
+            .map_err(|e| e.to_string())?
     } else {
-        run_benchmark(&w.program, &spec, inliner, config).map_err(|e| e.to_string())?
+        session.run().map_err(|e| e.to_string())?
     };
     println!("benchmark: {} ({})", w.name, w.suite.label());
     println!("per-iteration cycles: {:?}", r.per_iteration);
@@ -387,6 +382,92 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             r.cache.re_tiered,
             r.cache.aged,
             r.cache.high_water_bytes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_server(args: &[String]) -> Result<(), String> {
+    let tenants: usize = opt_value(args, "--tenants")
+        .unwrap_or("6")
+        .parse()
+        .map_err(|e| format!("--tenants: {e}"))?;
+    let seed: u64 = opt_value(args, "--seed")
+        .unwrap_or("23")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let requests: usize = opt_value(args, "--requests")
+        .unwrap_or("600")
+        .parse()
+        .map_err(|e| format!("--requests: {e}"))?;
+    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
+    let mix = incline::workloads::tenants::build(seed, tenants);
+    let spec = ServerSpec {
+        requests,
+        ..ServerSpec::default()
+    };
+    let config = VmConfig {
+        hotness_threshold: 4,
+        ..broker_config(args)?
+    };
+    let session = ServerSession::new(
+        &mix.program,
+        incline::bench::server::tenant_specs(&mix),
+        spec,
+    )
+    .inliner(inliner)
+    .config(config);
+    let json_path = opt_value(args, "--trace-json");
+    let report = if let Some(path) = json_path {
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
+        let handle: Arc<dyn TraceSink> = sink.clone();
+        let r = session.trace(handle).serve().map_err(|e| e.to_string())?;
+        let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
+        owned
+            .into_inner()
+            .flush()
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path}");
+        r
+    } else {
+        session.serve().map_err(|e| e.to_string())?
+    };
+    println!(
+        "server: {} requests over {} tenants (seed {seed}), {} cycles total",
+        report.requests,
+        report.tenants.len(),
+        report.total_cycles
+    );
+    println!(
+        "latency: p50 {} p99 {} p999 {} max {} (mean {:.0})",
+        report.latency.p50,
+        report.latency.p99,
+        report.latency.p999,
+        report.latency.max,
+        report.latency.mean
+    );
+    println!(
+        "stall:   p50 {} p99 {} p999 {} worst pause {}",
+        report.stall.p50, report.stall.p99, report.stall.p999, report.stall.max
+    );
+    println!(
+        "fairness {:.4}; max queue depth {}; {} compilations, {} code bytes",
+        report.fairness, report.max_queue_depth, report.compilations, report.installed_bytes
+    );
+    if report.cache.evictions > 0 || report.cache.admission_rejections > 0 {
+        println!(
+            "cache: {} evictions, {} admission rejections, {} re-tiered, high water {} bytes",
+            report.cache.evictions,
+            report.cache.admission_rejections,
+            report.cache.re_tiered,
+            report.cache.high_water_bytes
+        );
+    }
+    for t in &report.tenants {
+        println!(
+            "  {:<14} {:>4} requests ({} failed)  latency p50 {:>6} p99 {:>7} | stall p99 {:>6}",
+            t.name, t.requests, t.failed, t.latency.p50, t.latency.p99, t.stall.p99
         );
     }
     Ok(())

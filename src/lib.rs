@@ -24,6 +24,7 @@
 //! ```
 
 pub use incline_baselines as baselines;
+pub use incline_bench as bench;
 pub use incline_core as core;
 pub use incline_ir as ir;
 pub use incline_opt as opt;
@@ -41,11 +42,13 @@ pub mod prelude {
     pub use incline_trace::{
         CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink,
     };
+    #[allow(deprecated)]
+    pub use incline_vm::{run_benchmark, run_benchmark_faulted, run_benchmark_traced};
     pub use incline_vm::{
-        run_benchmark, run_benchmark_faulted, run_benchmark_traced, BailoutCounters, BenchSpec,
-        CacheStats, CompilationReport, CompileCx, CompileError, CompileFuel, CompileQueue,
-        EvictionPolicy, FaultKind, FaultPlan, Inliner, InstallPolicy, Machine, NoInline,
-        QueueStats, Speculation, Value, VmConfig,
+        BailoutCounters, BenchSpec, CacheStats, CompilationReport, CompileCx, CompileError,
+        CompileFuel, CompileQueue, EvictionPolicy, FaultKind, FaultPlan, Inliner, InstallPolicy,
+        LatencyStats, Machine, NoInline, QueueStats, RunSession, ServerReport, ServerSession,
+        ServerSpec, Speculation, TenantSpec, Value, VmConfig, VmConfigBuilder,
     };
     pub use incline_workloads::{all_benchmarks, by_name, extra_benchmarks, Suite, Workload};
 }

@@ -9,7 +9,7 @@
 
 use incline_core::IncrementalInliner;
 use incline_vm::{
-    run_benchmark, BenchResult, BenchSpec, InstallPolicy, Machine, NoInline, Value, VmConfig,
+    BenchResult, BenchSpec, InstallPolicy, Machine, NoInline, RunSession, Value, VmConfig,
 };
 use incline_workloads::{GenConfig, Workload};
 
@@ -26,13 +26,11 @@ fn bench(w: &Workload, policy: InstallPolicy, threads: usize, deopt: bool) -> Be
         args: vec![Value::Int(w.input.min(8))],
         iterations: 8,
     };
-    run_benchmark(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-    )
-    .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
+    RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
 }
 
 #[test]

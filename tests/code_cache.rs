@@ -53,13 +53,11 @@ fn bench_budget(w: &Workload, config: VmConfig) -> BenchResult {
         args: vec![Value::Int(w.input.min(48))],
         iterations: 8,
     };
-    run_benchmark(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-    )
-    .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
+    RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
 }
 
 #[test]
@@ -127,15 +125,16 @@ fn budget_zero_knobs_are_inert_on_all_workloads() {
             cache_age_window: 1,
             ..base
         };
-        let a = run_benchmark(&w.program, &spec, Box::new(IncrementalInliner::new()), base)
+        let a = RunSession::new(&w.program, spec.clone())
+            .inliner(Box::new(IncrementalInliner::new()))
+            .config(base)
+            .run()
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let b = run_benchmark(
-            &w.program,
-            &spec,
-            Box::new(IncrementalInliner::new()),
-            knobs,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let b = RunSession::new(&w.program, spec)
+            .inliner(Box::new(IncrementalInliner::new()))
+            .config(knobs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(
             a, b,
             "{}: cache knobs must be inert when the budget is 0",
@@ -161,15 +160,12 @@ fn bench_traced(w: &Workload, config: VmConfig) -> (BenchResult, Vec<String>) {
     };
     let sink = Arc::new(CollectingSink::new());
     let handle: Arc<dyn TraceSink> = sink.clone();
-    let r = run_benchmark_traced(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-        FaultPlan::default(),
-        handle,
-    )
-    .unwrap_or_else(|e| panic!("{}: traced benchmark failed: {e}", w.name));
+    let r = RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .trace(handle)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: traced benchmark failed: {e}", w.name));
     let jsonl = sink.take().iter().map(|e| e.to_json()).collect();
     (r, jsonl)
 }

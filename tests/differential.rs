@@ -9,7 +9,7 @@
 use incline_baselines::{C2Inliner, GreedyInliner};
 use incline_core::{IncrementalInliner, PolicyConfig};
 use incline_vm::{
-    run_benchmark, BenchResult, BenchSpec, Inliner, Machine, NoInline, RunOutcome, Value, VmConfig,
+    BenchResult, BenchSpec, Inliner, Machine, NoInline, RunOutcome, RunSession, Value, VmConfig,
 };
 use incline_workloads::{GenConfig, Workload};
 
@@ -208,7 +208,10 @@ fn bench_with_threads(
         args: vec![Value::Int(input)],
         iterations: 6,
     };
-    run_benchmark(&w.program, &spec, inliner, config)
+    RunSession::new(&w.program, spec)
+        .inliner(inliner)
+        .config(config)
+        .run()
         .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name))
 }
 

@@ -5,7 +5,6 @@
 
 use incline::baselines::{C2Inliner, GreedyInliner};
 use incline::prelude::*;
-use incline::vm::run_benchmark;
 
 fn steady(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
     let spec = BenchSpec {
@@ -17,7 +16,11 @@ fn steady(w: &Workload, inliner: Box<dyn Inliner + '_>) -> (f64, u64) {
         hotness_threshold: 4,
         ..VmConfig::default()
     };
-    let r = run_benchmark(&w.program, &spec, inliner, config).expect("benchmark runs");
+    let r = RunSession::new(&w.program, spec)
+        .inliner(inliner)
+        .config(config)
+        .run()
+        .expect("benchmark runs");
     (r.steady_state, r.installed_bytes)
 }
 
@@ -108,7 +111,10 @@ fn deep_trials_help_on_trial_sensitive_benchmarks() {
             hotness_threshold: 5,
             ..VmConfig::default()
         };
-        run_benchmark(&w.program, &spec, inliner, config)
+        RunSession::new(&w.program, spec)
+            .inliner(inliner)
+            .config(config)
+            .run()
             .expect("runs")
             .steady_state
     };

@@ -72,14 +72,12 @@ fn bench_faulted(w: &Workload, plan: FaultPlan) -> BenchResult {
         hotness_threshold: 2,
         ..VmConfig::default()
     };
-    run_benchmark_faulted(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-        plan,
-    )
-    .expect("faulted benchmark completes")
+    RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .faults(plan)
+        .run()
+        .expect("faulted benchmark completes")
 }
 
 #[test]

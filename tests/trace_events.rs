@@ -40,15 +40,12 @@ fn jsonl_trace_threads(w: Workload, deopt: bool, threads: usize) -> Vec<u8> {
     };
     let sink = Arc::new(JsonlSink::new(Vec::new()));
     let handle: Arc<dyn TraceSink> = sink.clone();
-    run_benchmark_traced(
-        &w.program,
-        &spec,
-        Box::new(IncrementalInliner::new()),
-        config,
-        FaultPlan::default(),
-        handle,
-    )
-    .expect("benchmark completes");
+    RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .trace(handle)
+        .run()
+        .expect("benchmark completes");
     Arc::try_unwrap(sink)
         .map_err(|_| "sink still shared")
         .expect("sink uniquely owned after the run")
