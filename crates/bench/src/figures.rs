@@ -486,6 +486,148 @@ pub fn cache() -> String {
     )
 }
 
+/// Warmup elimination via persistent snapshots (beyond the paper): every
+/// standard workload is run cold (writing a snapshot to an in-memory
+/// store), then replayed eagerly (snapshot's compile decisions recompiled
+/// up front) and with counter seeding (hotness pre-warmed, decisions
+/// re-derived). Emits machine-readable JSON — the seed of
+/// `BENCH_warmup.json` — with "cycles to within 5% of steady state" as the
+/// first-class metric, plus the multi-tenant server scenario where one
+/// run's snapshot warms the next server's shared cache.
+///
+/// A workload *passes* when the eager replay reaches within 5% of
+/// steady-state throughput in ≤ 25% of the cold run's warmup cycles with a
+/// byte-identical answer digest; the acceptance criterion is a pass on at
+/// least half of the standard workloads.
+pub fn warmup() -> String {
+    use std::sync::Arc;
+
+    use incline_vm::snapshot::ReplayMode;
+    use incline_vm::{
+        BenchResult, BenchSpec, MemoryStore, RunSession, ServerSession, Value, VmConfig,
+    };
+
+    const FRAC: f64 = 0.05;
+    let config = Config::paper();
+    let run = |w: &Workload,
+               replay: ReplayMode,
+               snap_in: Option<Arc<MemoryStore>>,
+               snap_out: Option<Arc<MemoryStore>>|
+     -> BenchResult {
+        let spec = BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(w.input)],
+            iterations: w.iterations,
+        };
+        let mut session = RunSession::new(&w.program, spec)
+            .inliner(config.build())
+            .config(VmConfig {
+                replay,
+                ..crate::default_vm()
+            });
+        if let Some(store) = snap_in {
+            session = session.snapshot_in(store);
+        }
+        if let Some(store) = snap_out {
+            session = session.snapshot_out(store);
+        }
+        session.run().unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    };
+
+    let benches = all_benchmarks();
+    let mut rows = String::new();
+    let mut passes = 0usize;
+    for w in &benches {
+        let store = Arc::new(MemoryStore::new());
+        let cold = run(w, ReplayMode::Eager, None, Some(store.clone()));
+        let eager = run(w, ReplayMode::Eager, Some(store.clone()), None);
+        let seed = run(w, ReplayMode::Seed, Some(store.clone()), None);
+        let cold_cycles = cold.warmup_cycles_within(FRAC);
+        let eager_cycles = eager.warmup_cycles_within(FRAC);
+        let digest_ok = eager.answer_digest() == cold.answer_digest();
+        let seed_ok = seed.answer_digest() == cold.answer_digest();
+        let pass = digest_ok && eager_cycles * 4 <= cold_cycles;
+        if pass {
+            passes += 1;
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workload\":\"{}\",\"suite\":\"{}\",\
+             \"cold\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"steady_state\":{:.1}}},\
+             \"eager\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"replayed_compiles\":{},\
+             \"digest_match\":{}}},\
+             \"seed\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"seeded_methods\":{},\
+             \"digest_match\":{}}},\"pass\":{}}}",
+            w.name,
+            w.suite.label(),
+            cold.warmup_within(FRAC),
+            cold_cycles,
+            cold.steady_state,
+            eager.warmup_within(FRAC),
+            eager_cycles,
+            eager.snapshot.replayed_compiles,
+            digest_ok,
+            seed.warmup_within(FRAC),
+            seed.warmup_cycles_within(FRAC),
+            seed.snapshot.seeded_methods,
+            seed_ok,
+            pass,
+        ));
+    }
+
+    // Fleet warming: one server's snapshot pre-warms the next server's
+    // shared code cache before it takes its first request. Unlike the
+    // cache-churn grid this serves with an unbounded cache — the point is
+    // the warmup, not eviction pressure.
+    let mix = crate::server::standard_mix();
+    let server_store = Arc::new(MemoryStore::new());
+    let serve = |snap_in: Option<Arc<MemoryStore>>, snap_out: Option<Arc<MemoryStore>>| {
+        let mut session = ServerSession::new(
+            &mix.program,
+            crate::server::tenant_specs(&mix),
+            crate::server::standard_spec(),
+        )
+        .inliner(config.build())
+        .config(VmConfig::builder().hotness_threshold(4).build());
+        if let Some(store) = snap_in {
+            session = session.snapshot_in(store);
+        }
+        if let Some(store) = snap_out {
+            session = session.snapshot_out(store);
+        }
+        session.serve().expect("server scenario must serve")
+    };
+    let cold_srv = serve(None, Some(server_store.clone()));
+    let warm_srv = serve(Some(server_store), None);
+    let tenants_match = cold_srv
+        .tenants
+        .iter()
+        .zip(&warm_srv.tenants)
+        .all(|(c, w)| c.digest == w.digest);
+
+    format!(
+        "{{\n  \"metric\":\"cycles to within 5% of steady state\",\
+         \"criterion\":\"eager warmup cycles <= 25% of cold with identical digest\",\n  \
+         \"workloads\":[\n{rows}\n  ],\n  \
+         \"summary\":{{\"passes\":{passes},\"total\":{total},\"meets_criterion\":{meets}}},\n  \
+         \"server\":{{\"cold_cycles\":{},\"warm_cycles\":{},\"replayed_compiles\":{},\
+         \"cold_latency_p99\":{},\"warm_latency_p99\":{},\
+         \"cold_stall_p99\":{},\"warm_stall_p99\":{},\"tenant_digests_match\":{}}}\n}}",
+        cold_srv.total_cycles,
+        warm_srv.total_cycles,
+        warm_srv.snapshot.replayed_compiles,
+        cold_srv.latency.p99,
+        warm_srv.latency.p99,
+        cold_srv.stall.p99,
+        warm_srv.stall.p99,
+        tenants_match,
+        total = benches.len(),
+        meets = passes * 2 >= benches.len(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

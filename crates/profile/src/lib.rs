@@ -191,6 +191,30 @@ impl ProfileTable {
     pub fn clear(&mut self) {
         self.methods.clear();
     }
+
+    // ---- bulk access (snapshot serialization) ------------------------------
+
+    /// Number of methods with any recorded profile data.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Whether the table holds no profile data at all.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Iterates over every profiled method in unspecified (hash) order.
+    /// Consumers that need determinism — the snapshot serializer — must
+    /// sort by [`MethodId`] themselves.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, &MethodProfile)> {
+        self.methods.iter().map(|(&m, p)| (m, p))
+    }
+
+    /// Replaces the profile of `m` wholesale (snapshot deserialization).
+    pub fn insert(&mut self, m: MethodId, profile: MethodProfile) {
+        self.methods.insert(m, profile);
+    }
 }
 
 #[cfg(test)]

@@ -320,6 +320,32 @@ pub enum CompileEvent {
         /// Compilations enqueued or in flight at the sample point.
         depth: u64,
     },
+    /// A warmup snapshot was parsed, fingerprint-checked and applied before
+    /// the run started.
+    SnapshotLoaded {
+        /// Method profiles seeded from the snapshot.
+        methods: u64,
+        /// Compile decisions carried by the snapshot.
+        decisions: u64,
+        /// Replay mode applied: `eager` or `seed`.
+        mode: String,
+    },
+    /// A snapshot could not be applied (stale, corrupt, version mismatch,
+    /// unreadable) and the machine fell back to a cold start.
+    SnapshotFallback {
+        /// Human-readable reason, as rendered by `SnapshotError`.
+        reason: String,
+    },
+    /// End-of-run profile + decision-log snapshot was serialized and handed
+    /// to its store.
+    SnapshotWritten {
+        /// Method profiles captured.
+        methods: u64,
+        /// Compile decisions captured.
+        decisions: u64,
+        /// Serialized snapshot size in bytes.
+        bytes: u64,
+    },
 }
 
 impl CompileEvent {
@@ -348,6 +374,9 @@ impl CompileEvent {
             CompileEvent::ReTiered { .. } => "ReTiered",
             CompileEvent::RequestRetired { .. } => "RequestRetired",
             CompileEvent::QueueDepth { .. } => "QueueDepth",
+            CompileEvent::SnapshotLoaded { .. } => "SnapshotLoaded",
+            CompileEvent::SnapshotFallback { .. } => "SnapshotFallback",
+            CompileEvent::SnapshotWritten { .. } => "SnapshotWritten",
         }
     }
 
@@ -384,7 +413,10 @@ impl CompileEvent {
             | CompileEvent::FuelCharged { .. }
             | CompileEvent::TreeSnapshot { .. }
             | CompileEvent::RequestRetired { .. }
-            | CompileEvent::QueueDepth { .. } => None,
+            | CompileEvent::QueueDepth { .. }
+            | CompileEvent::SnapshotLoaded { .. }
+            | CompileEvent::SnapshotFallback { .. }
+            | CompileEvent::SnapshotWritten { .. } => None,
         }
     }
 }
@@ -558,6 +590,25 @@ impl fmt::Display for CompileEvent {
             CompileEvent::QueueDepth { request, depth } => {
                 write!(f, "queue depth at request {request}: {depth}")
             }
+            CompileEvent::SnapshotLoaded {
+                methods,
+                decisions,
+                mode,
+            } => write!(
+                f,
+                "snapshot loaded: {methods} profiles, {decisions} decisions, replay={mode}"
+            ),
+            CompileEvent::SnapshotFallback { reason } => {
+                write!(f, "snapshot fallback to cold start: {reason}")
+            }
+            CompileEvent::SnapshotWritten {
+                methods,
+                decisions,
+                bytes,
+            } => write!(
+                f,
+                "snapshot written: {methods} profiles, {decisions} decisions, {bytes} bytes"
+            ),
         }
     }
 }

@@ -329,6 +329,27 @@ impl CompileEvent {
                 .raw("request", request)
                 .raw("depth", depth)
                 .finish(),
+            CompileEvent::SnapshotLoaded {
+                methods,
+                decisions,
+                mode,
+            } => JsonObj::new("SnapshotLoaded")
+                .raw("methods", methods)
+                .raw("decisions", decisions)
+                .str("mode", mode)
+                .finish(),
+            CompileEvent::SnapshotFallback { reason } => JsonObj::new("SnapshotFallback")
+                .str("reason", reason)
+                .finish(),
+            CompileEvent::SnapshotWritten {
+                methods,
+                decisions,
+                bytes,
+            } => JsonObj::new("SnapshotWritten")
+                .raw("methods", methods)
+                .raw("decisions", decisions)
+                .raw("bytes", bytes)
+                .finish(),
         }
     }
 }
@@ -483,6 +504,35 @@ mod tests {
             }
             .to_json(),
             "{\"ev\":\"QueueDepth\",\"request\":16,\"depth\":3}"
+        );
+    }
+
+    #[test]
+    fn snapshot_events_serialize_flat() {
+        assert_eq!(
+            CompileEvent::SnapshotLoaded {
+                methods: 4,
+                decisions: 3,
+                mode: "eager".to_string(),
+            }
+            .to_json(),
+            "{\"ev\":\"SnapshotLoaded\",\"methods\":4,\"decisions\":3,\"mode\":\"eager\"}"
+        );
+        assert_eq!(
+            CompileEvent::SnapshotFallback {
+                reason: "snapshot checksum mismatch".to_string(),
+            }
+            .to_json(),
+            "{\"ev\":\"SnapshotFallback\",\"reason\":\"snapshot checksum mismatch\"}"
+        );
+        assert_eq!(
+            CompileEvent::SnapshotWritten {
+                methods: 4,
+                decisions: 3,
+                bytes: 512,
+            }
+            .to_json(),
+            "{\"ev\":\"SnapshotWritten\",\"methods\":4,\"decisions\":3,\"bytes\":512}"
         );
     }
 

@@ -40,6 +40,7 @@ pub mod inliner;
 pub mod machine;
 pub mod runner;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
 
@@ -60,11 +61,11 @@ pub use machine::{
     BailoutCounters, BailoutRecord, CompilationReport, CompileStage, ExecError, InstallPolicy,
     Machine, RunOutcome, VmConfig, VmConfigBuilder,
 };
-#[allow(deprecated)]
-pub use runner::{
-    run_benchmark, run_benchmark_faulted, run_benchmark_traced, BenchError, BenchResult, BenchSpec,
-    RunSession,
-};
+pub use runner::{BenchError, BenchResult, BenchSpec, RunSession};
 pub use server::{ServerError, ServerReport, ServerSession, ServerSpec, TenantReport, TenantSpec};
+pub use snapshot::{
+    DecisionRecord, FileStore, MemoryStore, MethodRecord, ReplayMode, Snapshot, SnapshotError,
+    SnapshotIo, SnapshotStats, SnapshotStore, SNAPSHOT_VERSION,
+};
 pub use stats::{fairness_index, percentile, LatencyStats};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

@@ -62,6 +62,7 @@ use crate::cache::{self, CacheEntry, CacheStats, EvictionPolicy};
 use crate::cost::{CostModel, Tier};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::inliner::{CompileError, InlineStats, Inliner, Speculation};
+use crate::snapshot::{self, DecisionRecord, ReplayMode, Snapshot, SnapshotError, SnapshotStats};
 use crate::value::{Heap, HeapCell, HeapRef, Output, Value};
 
 /// VM configuration.
@@ -126,6 +127,9 @@ pub struct VmConfig {
     /// every policy. `0` disables aging. Only evaluated under a finite
     /// budget.
     pub cache_age_window: u64,
+    /// How a loaded warmup snapshot is applied before the first run; see
+    /// [`ReplayMode`]. Irrelevant unless a snapshot is actually loaded.
+    pub replay: ReplayMode,
 }
 
 /// When the compile queue drains and installed code becomes visible.
@@ -178,6 +182,7 @@ impl Default for VmConfig {
             code_cache_budget: 0,
             eviction_policy: EvictionPolicy::default(),
             cache_age_window: 1024,
+            replay: ReplayMode::default(),
         }
     }
 }
@@ -318,6 +323,12 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Sets how a loaded warmup snapshot is applied (see [`ReplayMode`]).
+    pub fn replay(mut self, mode: ReplayMode) -> Self {
+        self.config.replay = mode;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> VmConfig {
         self.config
@@ -445,6 +456,9 @@ pub struct CompilationReport {
     pub blacklisted: Vec<MethodId>,
     /// Methods pinned to fallback-only code by the storm throttle, sorted.
     pub pinned: Vec<MethodId>,
+    /// Warmup-snapshot counters (loads, graceful fallbacks, replays,
+    /// writes).
+    pub snapshot: SnapshotStats,
 }
 
 /// Why execution stopped abnormally.
@@ -658,6 +672,11 @@ pub struct Machine<'p> {
     total_compile_cycles: u64,
     total_stall_cycles: u64,
     last_compile_stats: Vec<(MethodId, crate::inliner::InlineStats)>,
+    // Warmup snapshots.
+    /// Every successful install, in installation order — the decision log
+    /// a snapshot captures for eager replay.
+    decision_log: Vec<DecisionRecord>,
+    snapshot_stats: SnapshotStats,
 }
 
 impl<'p> Machine<'p> {
@@ -698,6 +717,8 @@ impl<'p> Machine<'p> {
             total_compile_cycles: 0,
             total_stall_cycles: 0,
             last_compile_stats: Vec::new(),
+            decision_log: Vec::new(),
+            snapshot_stats: SnapshotStats::default(),
         }
     }
 
@@ -854,6 +875,7 @@ impl<'p> Machine<'p> {
             compile_log: self.last_compile_stats.clone(),
             blacklisted: self.blacklisted_methods(),
             pinned: self.pinned_methods(),
+            snapshot: self.snapshot_stats,
         }
     }
 
@@ -868,6 +890,144 @@ impl<'p> Machine<'p> {
     /// inliner and opt pipeline emit — into `sink`.
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink + 'p>) {
         self.trace = sink;
+    }
+
+    // ---- warmup snapshots --------------------------------------------------
+
+    /// Lifetime snapshot counters (loads, graceful fallbacks, replayed
+    /// compiles, writes). Deterministic for a given run setup.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshot_stats
+    }
+
+    /// Every successful install in installation order — the decision log a
+    /// warmup snapshot captures.
+    pub fn decision_log(&self) -> &[DecisionRecord] {
+        &self.decision_log
+    }
+
+    /// Captures the machine's learned state — the full profile table plus
+    /// the compile decision log — as a [`Snapshot`] fingerprinted against
+    /// the running program. Byte-deterministic: two machines that observed
+    /// the same run produce identical [`Snapshot::to_bytes`] output
+    /// regardless of [`VmConfig::compile_threads`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(
+            snapshot::fingerprint(self.program),
+            &self.profiles,
+            &self.decision_log,
+        )
+    }
+
+    /// Strictly loads a serialized snapshot: parse, checksum, fingerprint
+    /// check, then [`Machine::apply_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; the machine state is untouched on error.
+    pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        self.apply_snapshot(&snap)
+    }
+
+    /// Gracefully loads a serialized snapshot: on any error the machine
+    /// counts a fallback, emits [`CompileEvent::SnapshotFallback`] and
+    /// proceeds as a cold start — never a panic. Returns whether the
+    /// snapshot was applied.
+    pub fn load_snapshot_or_cold(&mut self, bytes: &[u8]) -> bool {
+        match self.load_snapshot(bytes) {
+            Ok(()) => true,
+            Err(e) => {
+                self.note_snapshot_fallback(&e.to_string());
+                false
+            }
+        }
+    }
+
+    /// Applies a parsed snapshot before the first run: verifies the program
+    /// fingerprint, merges the snapshot's profiles into the live table, and
+    /// — under [`ReplayMode::Eager`] — compiles the decision log's method
+    /// set up front through the normal broker/ladder/cache-admission path
+    /// (budgets, verification, admission control and fault injection all
+    /// still apply). The replay's compile latency is folded into the
+    /// virtual clock as pre-run warmup, so measured iterations start
+    /// steady.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::StaleProgram`] when the fingerprint does not match
+    /// the running program; profiles are untouched in that case.
+    pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let expected = snapshot::fingerprint(self.program);
+        if snap.fingerprint != expected {
+            return Err(SnapshotError::StaleProgram {
+                expected,
+                found: snap.fingerprint,
+            });
+        }
+        let table = snap.profile_table();
+        self.snapshot_stats.seeded_methods += table.len() as u64;
+        self.profiles.merge(&table);
+        self.snapshot_stats.loaded += 1;
+        let (methods, decisions, mode) = (
+            snap.methods.len() as u64,
+            snap.decisions.len() as u64,
+            self.config.replay,
+        );
+        self.emit(|| CompileEvent::SnapshotLoaded {
+            methods,
+            decisions,
+            mode: mode.label().to_string(),
+        });
+        if mode == ReplayMode::Eager {
+            // One request per decided method, enqueued and drained
+            // sequentially — exactly the Barrier-mode hotness trigger, so
+            // stall accounting is identical across worker-pool sizes.
+            for m in snap.decided_methods() {
+                if self.code.contains_key(&m) || self.blacklist.contains(&m) {
+                    continue;
+                }
+                if self.compile(m) {
+                    self.snapshot_stats.replayed_compiles += 1;
+                }
+            }
+            // The replay is pre-run warmup: fold its stall into the virtual
+            // clock base so the first measured run starts clean (and the
+            // worker-pool timeline stays monotone).
+            self.vbase += self.exec_cycles + self.run_stall_cycles;
+            self.exec_cycles = 0;
+            self.run_compile_cycles = 0;
+            self.run_stall_cycles = 0;
+        }
+        Ok(())
+    }
+
+    /// Counts a graceful cold-start fallback (snapshot unreadable, stale or
+    /// corrupt) and emits [`CompileEvent::SnapshotFallback`]. Called by the
+    /// session layers for store-read failures; [`Machine::load_snapshot_or_cold`]
+    /// calls it for parse/fingerprint failures.
+    pub fn note_snapshot_fallback(&mut self, reason: &str) {
+        self.snapshot_stats.fallbacks += 1;
+        self.emit(|| CompileEvent::SnapshotFallback {
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Counts a successful snapshot write and emits
+    /// [`CompileEvent::SnapshotWritten`].
+    pub fn note_snapshot_written(&mut self, methods: u64, decisions: u64, bytes: u64) {
+        self.snapshot_stats.written += 1;
+        self.emit(|| CompileEvent::SnapshotWritten {
+            methods,
+            decisions,
+            bytes,
+        });
+    }
+
+    /// Counts a snapshot write the store rejected (graceful, like every
+    /// other snapshot failure).
+    pub fn note_snapshot_write_failed(&mut self) {
+        self.snapshot_stats.write_failures += 1;
     }
 
     /// Force-compiles a method immediately (used by experiments that want
@@ -1197,6 +1357,18 @@ impl<'p> Machine<'p> {
         self.account_install(bytes);
         self.compilations += 1;
         self.last_compile_stats.push((method, stats));
+        // Decision log for warmup snapshots: the plan hash fingerprints the
+        // installed graph's printed text, so replayed runs can be checked
+        // against the decisions they were seeded from. Hashed here, while
+        // the graph is still unwrapped.
+        self.decision_log.push(DecisionRecord {
+            method,
+            tier: stage,
+            plan_hash: snapshot::fnv1a(
+                incline_ir::print::graph_str(self.program, &graph).as_bytes(),
+            ),
+            speculative_sites: stats.speculative_sites,
+        });
         let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
         let has_deopt = graph_has_deopt(&graph);
         let has_virtual = graph_has_virtual_call(&graph);

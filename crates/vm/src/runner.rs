@@ -16,6 +16,7 @@ use crate::cache::CacheStats;
 use crate::faults::FaultPlan;
 use crate::inliner::Inliner;
 use crate::machine::{BailoutCounters, ExecError, Machine, RunOutcome, VmConfig};
+use crate::snapshot::{self, SnapshotIo, SnapshotStats};
 use crate::value::Value;
 
 /// A runnable benchmark: entry point plus arguments and repetition count.
@@ -64,6 +65,8 @@ pub struct BenchResult {
     pub stall_per_iteration: Vec<u64>,
     /// Code-cache statistics accumulated by the machine over the run.
     pub cache: CacheStats,
+    /// Warmup-snapshot counters accumulated by the machine over the run.
+    pub snapshot: SnapshotStats,
 }
 
 /// Why a benchmark run could not produce a measurement.
@@ -121,22 +124,54 @@ impl BenchResult {
     /// steady state (1-based). The paper's parameter tuning constrains the
     /// algorithm "not to increase the warmup time by more than 20%".
     pub fn warmup_iterations(&self) -> usize {
-        let target = self.steady_state * 1.10;
+        self.warmup_within(0.10)
+    }
+
+    /// Warmup length at an arbitrary tolerance: the first repetition whose
+    /// time is within `frac` of the steady state (1-based; `frac = 0.05`
+    /// is the "within 5%" criterion of the warmup benchmarks). Falls back
+    /// to the repetition count when no repetition gets that close.
+    pub fn warmup_within(&self, frac: f64) -> usize {
+        let target = self.steady_state * (1.0 + frac);
         self.per_iteration
             .iter()
             .position(|&c| (c as f64) <= target)
             .map(|i| i + 1)
             .unwrap_or(self.per_iteration.len())
     }
+
+    /// Cycles spent warming up at tolerance `frac`: the sum of every
+    /// repetition *before* the first one within `frac` of the steady state.
+    /// `0` when the very first repetition is already steady — the number
+    /// eager snapshot replay drives toward zero.
+    pub fn warmup_cycles_within(&self, frac: f64) -> u64 {
+        let first_steady = self.warmup_within(frac);
+        self.per_iteration[..first_steady - 1].iter().sum()
+    }
+
+    /// FNV-1a 64 digest of the run's observable answer: the final
+    /// repetition's output lines and return value. Replayed runs must
+    /// produce the same digest as cold runs — the differential tests and
+    /// the CI warmup job compare exactly this.
+    pub fn answer_digest(&self) -> u64 {
+        let mut text = String::new();
+        for line in &self.final_output {
+            text.push_str(line);
+            text.push('\n');
+        }
+        if let Some(v) = &self.final_value {
+            text.push_str(v);
+        }
+        snapshot::fnv1a(text.as_bytes())
+    }
 }
 
 /// A configured benchmark run, built fluently and executed once.
 ///
-/// `RunSession` replaces the old positional-argument ladder
-/// (`run_benchmark` → `run_benchmark_faulted` → `run_benchmark_traced`):
-/// every optional capability — inliner, VM configuration, fault plan,
-/// trace sink — is a builder method, so new capabilities extend the
-/// builder instead of forking another entry point.
+/// Every optional capability — inliner, VM configuration, fault plan,
+/// trace sink, warmup snapshots — is a builder method, so new capabilities
+/// extend the builder instead of forking another entry point (the old
+/// positional-argument function ladder is gone).
 ///
 /// ```
 /// use incline_vm::{RunSession, BenchSpec, NoInline, Value, VmConfig};
@@ -163,6 +198,8 @@ pub struct RunSession<'p> {
     config: VmConfig,
     plan: FaultPlan,
     sink: Arc<dyn TraceSink + 'p>,
+    snapshot_in: Option<SnapshotIo>,
+    snapshot_out: Option<SnapshotIo>,
 }
 
 impl<'p> RunSession<'p> {
@@ -177,6 +214,8 @@ impl<'p> RunSession<'p> {
             config: VmConfig::default(),
             plan: FaultPlan::new(),
             sink: Arc::new(NullSink),
+            snapshot_in: None,
+            snapshot_out: None,
         }
     }
 
@@ -207,6 +246,26 @@ impl<'p> RunSession<'p> {
         self
     }
 
+    /// Loads a warmup snapshot before the first repetition. Accepts
+    /// anything [`SnapshotIo`] converts from: a path (`&str`, `String`,
+    /// `&Path`, `PathBuf`), raw snapshot bytes (`Vec<u8>`), or an `Arc`ed
+    /// [`SnapshotStore`](crate::snapshot::SnapshotStore). The snapshot is
+    /// applied under [`VmConfig::replay`]; a stale, corrupt or unreadable
+    /// snapshot degrades gracefully to a cold start ([`SnapshotStats::fallbacks`]
+    /// in [`BenchResult::snapshot`]), never an error.
+    pub fn snapshot_in(mut self, io: impl Into<SnapshotIo>) -> Self {
+        self.snapshot_in = Some(io.into());
+        self
+    }
+
+    /// Writes the machine's end-of-run snapshot (profiles + compile
+    /// decision log) to `io` after the last repetition. Write failures are
+    /// counted in [`SnapshotStats::write_failures`], never an error.
+    pub fn snapshot_out(mut self, io: impl Into<SnapshotIo>) -> Self {
+        self.snapshot_out = Some(io.into());
+        self
+    }
+
     /// Executes the configured run on a fresh [`Machine`].
     ///
     /// # Errors
@@ -221,6 +280,14 @@ impl<'p> RunSession<'p> {
         let mut vm = Machine::new(self.program, self.inliner, self.config);
         vm.set_fault_plan(self.plan);
         vm.set_trace_sink(self.sink);
+        if let Some(io) = &self.snapshot_in {
+            match io.store().read() {
+                Ok(bytes) => {
+                    vm.load_snapshot_or_cold(&bytes);
+                }
+                Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+            }
+        }
         let mut per_iteration = Vec::with_capacity(spec.iterations);
         let mut stall_per_iteration = Vec::with_capacity(spec.iterations);
         let mut last: Option<RunOutcome> = None;
@@ -242,6 +309,18 @@ impl<'p> RunSession<'p> {
             .sum::<f64>()
             / window as f64;
         let last = last.expect("at least one iteration");
+        if let Some(io) = &self.snapshot_out {
+            let snap = vm.snapshot();
+            let bytes = snap.to_bytes();
+            match io.store().write(&bytes) {
+                Ok(()) => vm.note_snapshot_written(
+                    snap.methods.len() as u64,
+                    snap.decisions.len() as u64,
+                    bytes.len() as u64,
+                ),
+                Err(_) => vm.note_snapshot_write_failed(),
+            }
+        }
         Ok(BenchResult {
             per_iteration,
             steady_state: mean,
@@ -255,80 +334,9 @@ impl<'p> RunSession<'p> {
             bailouts: vm.bailouts(),
             stall_per_iteration,
             cache: vm.cache_stats(),
+            snapshot: vm.snapshot_stats(),
         })
     }
-}
-
-/// Runs `spec` on a fresh [`Machine`] driven by `inliner`.
-///
-/// # Errors
-///
-/// Returns [`BenchError::ZeroIterations`] for an empty spec and
-/// [`BenchError::Exec`] when a repetition stops abnormally.
-#[deprecated(
-    since = "0.1.0",
-    note = "use RunSession::new(program, spec).inliner(..).config(..).run()"
-)]
-pub fn run_benchmark(
-    program: &Program,
-    spec: &BenchSpec,
-    inliner: Box<dyn Inliner + '_>,
-    config: VmConfig,
-) -> Result<BenchResult, BenchError> {
-    RunSession::new(program, spec.clone())
-        .inliner(inliner)
-        .config(config)
-        .run()
-}
-
-/// Like `run_benchmark`, but installs a deterministic [`FaultPlan`]
-/// before the first repetition.
-///
-/// # Errors
-///
-/// Same as [`RunSession::run`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use RunSession::new(program, spec).inliner(..).config(..).faults(..).run()"
-)]
-pub fn run_benchmark_faulted(
-    program: &Program,
-    spec: &BenchSpec,
-    inliner: Box<dyn Inliner + '_>,
-    config: VmConfig,
-    plan: FaultPlan,
-) -> Result<BenchResult, BenchError> {
-    RunSession::new(program, spec.clone())
-        .inliner(inliner)
-        .config(config)
-        .faults(plan)
-        .run()
-}
-
-/// Like `run_benchmark_faulted`, but also routes every compilation's
-/// [`incline_trace::CompileEvent`] stream into `sink`.
-///
-/// # Errors
-///
-/// Same as [`RunSession::run`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use RunSession::new(program, spec).inliner(..).config(..).faults(..).trace(..).run()"
-)]
-pub fn run_benchmark_traced<'p>(
-    program: &'p Program,
-    spec: &BenchSpec,
-    inliner: Box<dyn Inliner + 'p>,
-    config: VmConfig,
-    plan: FaultPlan,
-    sink: Arc<dyn TraceSink + 'p>,
-) -> Result<BenchResult, BenchError> {
-    RunSession::new(program, spec.clone())
-        .inliner(inliner)
-        .config(config)
-        .faults(plan)
-        .trace(sink)
-        .run()
 }
 
 #[cfg(test)]
@@ -412,10 +420,40 @@ mod tests {
             bailouts: BailoutCounters::default(),
             stall_per_iteration: vec![800, 0, 10, 0, 0, 0],
             cache: CacheStats::default(),
+            snapshot: SnapshotStats::default(),
         };
         assert_eq!(r.warmup_iterations(), 3); // 210 ≤ 220 = 200·1.10
+        assert_eq!(r.warmup_within(0.05), 3); // 210 ≤ 210 = 200·1.05
+        assert_eq!(r.warmup_cycles_within(0.05), 1000 + 400);
+        assert_eq!(r.warmup_within(0.01), 4); // 200 ≤ 202 = 200·1.01
+        assert_eq!(r.warmup_cycles_within(0.01), 1000 + 400 + 210);
         assert_eq!(r.stall_percentile(0.5), 0);
         assert_eq!(r.stall_percentile(0.99), 800);
+    }
+
+    #[test]
+    fn warmup_cycles_zero_when_steady_from_the_start() {
+        let r = BenchResult {
+            per_iteration: vec![200, 200, 200],
+            steady_state: 200.0,
+            std_dev: 0.0,
+            installed_bytes: 0,
+            compilations: 0,
+            compile_cycles: 0,
+            stall_cycles: 0,
+            final_output: vec!["ok".to_string()],
+            final_value: Some("Int(7)".to_string()),
+            bailouts: BailoutCounters::default(),
+            stall_per_iteration: vec![0, 0, 0],
+            cache: CacheStats::default(),
+            snapshot: SnapshotStats::default(),
+        };
+        assert_eq!(r.warmup_within(0.05), 1);
+        assert_eq!(r.warmup_cycles_within(0.05), 0);
+        // The digest covers output lines and the final value.
+        let mut other = r.clone();
+        other.final_value = Some("Int(8)".to_string());
+        assert_ne!(r.answer_digest(), other.answer_digest());
     }
 
     #[test]
@@ -434,8 +472,46 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_unchanged() {
+    fn snapshot_round_trip_warms_the_next_session() {
+        let (p, m) = loopy_program();
+        let spec = BenchSpec {
+            entry: m,
+            args: vec![Value::Int(500)],
+            iterations: 8,
+        };
+        let config = VmConfig::builder().hotness_threshold(3).build();
+        let store = Arc::new(crate::snapshot::MemoryStore::new());
+        let cold = RunSession::new(&p, spec.clone())
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .snapshot_out(store.clone())
+            .run()
+            .unwrap();
+        assert_eq!(cold.snapshot.written, 1);
+        assert!(store.bytes().is_some(), "snapshot must land in the store");
+        let warm = RunSession::new(&p, spec)
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .snapshot_in(store)
+            .run()
+            .unwrap();
+        assert_eq!(warm.snapshot.loaded, 1);
+        assert_eq!(warm.snapshot.replayed_compiles, 1);
+        assert_eq!(
+            warm.answer_digest(),
+            cold.answer_digest(),
+            "replay must not change the answer"
+        );
+        assert!(
+            warm.warmup_cycles_within(0.05) < cold.warmup_cycles_within(0.05),
+            "eager replay must shrink warmup: {} vs {}",
+            warm.warmup_cycles_within(0.05),
+            cold.warmup_cycles_within(0.05)
+        );
+    }
+
+    #[test]
+    fn unreadable_snapshot_store_degrades_to_cold_start() {
         let (p, m) = loopy_program();
         let spec = BenchSpec {
             entry: m,
@@ -443,26 +519,22 @@ mod tests {
             iterations: 6,
         };
         let config = VmConfig::builder().hotness_threshold(2).build();
-        let via_session = RunSession::new(&p, spec.clone())
+        let cold = RunSession::new(&p, spec.clone())
             .inliner(Box::new(NoInline))
             .config(config)
             .run()
             .unwrap();
-        let via_shim = run_benchmark(&p, &spec, Box::new(NoInline), config).unwrap();
-        assert_eq!(via_session, via_shim, "shims must delegate bit-for-bit");
-        let via_faulted =
-            run_benchmark_faulted(&p, &spec, Box::new(NoInline), config, FaultPlan::new()).unwrap();
-        assert_eq!(via_session, via_faulted);
-        let via_traced = run_benchmark_traced(
-            &p,
-            &spec,
-            Box::new(NoInline),
-            config,
-            FaultPlan::new(),
-            Arc::new(NullSink),
-        )
-        .unwrap();
-        assert_eq!(via_session, via_traced);
+        // An empty MemoryStore fails the read; the run proceeds cold.
+        let fallback = RunSession::new(&p, spec)
+            .inliner(Box::new(NoInline))
+            .config(config)
+            .snapshot_in(Arc::new(crate::snapshot::MemoryStore::new()))
+            .run()
+            .unwrap();
+        assert_eq!(fallback.snapshot.fallbacks, 1);
+        let mut comparable = fallback.clone();
+        comparable.snapshot = cold.snapshot;
+        assert_eq!(comparable, cold, "fallback must behave exactly like cold");
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::cache::CacheStats;
 use crate::faults::FaultPlan;
 use crate::inliner::Inliner;
 use crate::machine::{BailoutCounters, Machine, VmConfig};
+use crate::snapshot::{SnapshotIo, SnapshotStats};
 use crate::stats::{fairness_index, LatencyStats};
 use crate::value::Value;
 
@@ -190,6 +191,8 @@ pub struct ServerReport {
     pub bailouts: BailoutCounters,
     /// Final virtual clock — wall time of the whole serving run.
     pub total_cycles: u64,
+    /// Warmup-snapshot counters accumulated over the run.
+    pub snapshot: SnapshotStats,
 }
 
 /// One entry in the precomputed arrival schedule.
@@ -272,6 +275,8 @@ pub struct ServerSession<'p> {
     config: VmConfig,
     plan: FaultPlan,
     sink: Arc<dyn TraceSink + 'p>,
+    snapshot_in: Option<SnapshotIo>,
+    snapshot_out: Option<SnapshotIo>,
 }
 
 impl<'p> ServerSession<'p> {
@@ -287,6 +292,8 @@ impl<'p> ServerSession<'p> {
             config: VmConfig::default(),
             plan: FaultPlan::new(),
             sink: Arc::new(NullSink),
+            snapshot_in: None,
+            snapshot_out: None,
         }
     }
 
@@ -313,6 +320,23 @@ impl<'p> ServerSession<'p> {
     /// into `sink`.
     pub fn trace(mut self, sink: Arc<dyn TraceSink + 'p>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Loads a warmup snapshot into the shared machine before the first
+    /// request — the fleet-warming path: one server's snapshot warms
+    /// another server's shared cache for *all* tenants. Same conversions
+    /// and graceful-fallback semantics as
+    /// [`RunSession::snapshot_in`](crate::RunSession::snapshot_in).
+    pub fn snapshot_in(mut self, io: impl Into<SnapshotIo>) -> Self {
+        self.snapshot_in = Some(io.into());
+        self
+    }
+
+    /// Writes the shared machine's end-of-run snapshot to `io` after the
+    /// last request. Write failures are counted, never an error.
+    pub fn snapshot_out(mut self, io: impl Into<SnapshotIo>) -> Self {
+        self.snapshot_out = Some(io.into());
         self
     }
 
@@ -353,6 +377,14 @@ impl<'p> ServerSession<'p> {
         let mut vm = Machine::new(self.program, self.inliner, self.config);
         vm.set_fault_plan(self.plan);
         vm.set_trace_sink(Arc::clone(&self.sink));
+        if let Some(io) = &self.snapshot_in {
+            match io.store().read() {
+                Ok(bytes) => {
+                    vm.load_snapshot_or_cold(&bytes);
+                }
+                Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+            }
+        }
 
         let mut clock = 0u64;
         let mut served = vec![0u64; n];
@@ -440,6 +472,18 @@ impl<'p> ServerSession<'p> {
             })
             .collect();
         let max_queue_depth = queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        if let Some(io) = &self.snapshot_out {
+            let snap = vm.snapshot();
+            let bytes = snap.to_bytes();
+            match io.store().write(&bytes) {
+                Ok(()) => vm.note_snapshot_written(
+                    snap.methods.len() as u64,
+                    snap.decisions.len() as u64,
+                    bytes.len() as u64,
+                ),
+                Err(_) => vm.note_snapshot_write_failed(),
+            }
+        }
         Ok(ServerReport {
             requests: arrivals.len() as u64,
             latency: LatencyStats::of(&lat_all),
@@ -453,6 +497,7 @@ impl<'p> ServerSession<'p> {
             cache: vm.cache_stats(),
             bailouts: vm.bailouts(),
             total_cycles: clock,
+            snapshot: vm.snapshot_stats(),
         })
     }
 }
@@ -591,6 +636,41 @@ mod tests {
             .serve()
             .unwrap_err();
         assert_eq!(err, ServerError::ZeroWeights);
+    }
+
+    #[test]
+    fn one_servers_snapshot_warms_the_next() {
+        let (p, a, b) = two_tenant_program();
+        let spec = ServerSpec {
+            requests: 80,
+            ..ServerSpec::default()
+        };
+        let config = VmConfig::builder().hotness_threshold(4).build();
+        let store = Arc::new(crate::snapshot::MemoryStore::new());
+        let cold = ServerSession::new(&p, tenants(a, b), spec.clone())
+            .config(config)
+            .snapshot_out(store.clone())
+            .serve()
+            .unwrap();
+        assert_eq!(cold.snapshot.written, 1);
+        let warm = ServerSession::new(&p, tenants(a, b), spec)
+            .config(config)
+            .snapshot_in(store)
+            .serve()
+            .unwrap();
+        assert_eq!(warm.snapshot.loaded, 1);
+        assert!(warm.snapshot.replayed_compiles > 0);
+        // Same answers per tenant, faster wall clock: the warmed server
+        // never pays mutator-visible warmup compiles.
+        for (c, w) in cold.tenants.iter().zip(&warm.tenants) {
+            assert_eq!(c.digest, w.digest, "tenant {} answers must match", c.name);
+        }
+        assert!(
+            warm.total_cycles <= cold.total_cycles,
+            "fleet warming must not slow the run: {} vs {}",
+            warm.total_cycles,
+            cold.total_cycles
+        );
     }
 
     #[test]

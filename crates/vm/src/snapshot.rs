@@ -1,0 +1,1014 @@
+//! Persistent profile/compile snapshots with deterministic replay.
+//!
+//! A [`Snapshot`] serializes everything the VM learned during a run that is
+//! worth carrying into the *next* run: the full [`incline_profile`] state
+//! (hotness counters, block counts, callsite counts, receiver histograms —
+//! including profiles merged back after deoptimizations) plus the
+//! per-method **compile decision log** (tier, inline-plan hash, speculation
+//! sites, in installation order). On the next run the snapshot is applied
+//! in one of two [`ReplayMode`]s:
+//!
+//! * [`ReplayMode::Eager`] — the snapshot's method set is compiled up front
+//!   **through the normal broker/ladder/cache-admission path**, so compile
+//!   budgets, verification, admission control and fault injection all still
+//!   apply. Warmup moves out of the measured iterations.
+//! * [`ReplayMode::Seed`] — only the hotness counters are pre-warmed, so
+//!   tiering triggers on the first invocation but every compile decision is
+//!   re-derived from the (seeded) profiles.
+//!
+//! # Format
+//!
+//! Snapshots are versioned, dependency-free JSONL — the same hand-rolled
+//! idiom as the [`incline_trace`] JSONL sinks. One header line, one line
+//! per profiled method, one line per compile decision, and a trailing
+//! checksum line (FNV-1a 64 over every preceding byte):
+//!
+//! ```text
+//! {"snapshot":"incline","v":1,"fingerprint":"4af37...","methods":2,"decisions":1}
+//! {"rec":"profile","method":3,"inv":120,"back":960,"blocks":[[0,120],[1,960]],"sites":[[0,960]],"recv":[[0,[[2,900],[5,60]]]]}
+//! {"rec":"decision","method":3,"tier":"full","plan":"9e10c7...","spec":1}
+//! {"rec":"end","crc":"77f0a..."}
+//! ```
+//!
+//! Every map is sorted before serialization, so a snapshot of a
+//! deterministic run is **byte-identical across `compile_threads`** — the
+//! round-trip tests assert it. The header's `fingerprint` hashes the
+//! printed program text; loading a snapshot against a different program
+//! fails with [`SnapshotError::StaleProgram`]. Truncated, bit-flipped or
+//! version-bumped snapshots fail parsing or the checksum — **never a
+//! panic** — and the machine falls back to a cold start, counting the
+//! event in [`SnapshotStats::fallbacks`].
+//!
+//! # I/O
+//!
+//! Snapshot bytes move through the [`SnapshotStore`] trait so the library
+//! stays testable without touching disk: [`MemoryStore`] keeps bytes in a
+//! mutex-guarded cell (share it via `Arc` between a writing and a reading
+//! session), [`FileStore`] reads/writes one file. [`SnapshotIo`] is the
+//! `Into`-friendly handle the builders accept, with conversions from
+//! paths, raw bytes and `Arc`ed stores.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+use incline_ir::{BlockId, ClassId, MethodId, Program};
+use incline_profile::{MethodProfile, ProfileTable};
+
+use crate::machine::CompileStage;
+
+/// Current snapshot format version. Readers reject any other value.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// How a loaded snapshot is applied before the next run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Compile the snapshot's method set up front through the normal
+    /// broker/ladder/cache-admission path (budgets and verification still
+    /// apply), in recorded decision order.
+    #[default]
+    Eager,
+    /// Pre-warm the hotness counters only; tiering triggers immediately
+    /// but every compile decision is re-derived.
+    Seed,
+}
+
+impl ReplayMode {
+    /// CLI/JSON label: `"eager"` or `"seed"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayMode::Eager => "eager",
+            ReplayMode::Seed => "seed",
+        }
+    }
+}
+
+impl FromStr for ReplayMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "eager" => Ok(ReplayMode::Eager),
+            "seed" => Ok(ReplayMode::Seed),
+            other => Err(format!("unknown replay mode `{other}` (eager, seed)")),
+        }
+    }
+}
+
+/// Lifetime snapshot counters, reported via
+/// [`CompilationReport`](crate::CompilationReport). Deterministic for a
+/// given run setup, like the bailout and cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshots successfully parsed, fingerprint-checked and applied.
+    pub loaded: u64,
+    /// Stale/corrupt/version-mismatched (or unreadable) snapshots that
+    /// degraded gracefully to a cold start.
+    pub fallbacks: u64,
+    /// Methods compiled up front by eager replay (through the normal
+    /// broker path; admission-deferred or blacklisted methods don't count).
+    pub replayed_compiles: u64,
+    /// Methods whose profile counters were pre-warmed by a loaded snapshot.
+    pub seeded_methods: u64,
+    /// Snapshots serialized and handed to a store.
+    pub written: u64,
+    /// Snapshot writes the store rejected (I/O errors degrade gracefully).
+    pub write_failures: u64,
+}
+
+/// The serialized profile of one method, maps sorted for determinism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodRecord {
+    /// The profiled method.
+    pub method: MethodId,
+    /// Interpreted activations.
+    pub invocations: u64,
+    /// Taken loop back edges.
+    pub backedges: u64,
+    /// Per-block execution counts, sorted by block id.
+    pub blocks: Vec<(BlockId, u64)>,
+    /// Per-callsite execution counts, sorted by site index.
+    pub callsites: Vec<(u32, u64)>,
+    /// Receiver histograms per callsite, sorted by site index then class.
+    pub receivers: Vec<(u32, Vec<(ClassId, u64)>)>,
+}
+
+/// One compile decision the broker took, recorded at install time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The installed method.
+    pub method: MethodId,
+    /// The ladder rung the surviving package came from.
+    pub tier: CompileStage,
+    /// FNV-1a 64 hash of the installed graph's printed text — a stable
+    /// fingerprint of the inline plan the compile produced.
+    pub plan_hash: u64,
+    /// Speculative (deopt-guarded) typeswitch sites in the installed code.
+    pub speculative_sites: u64,
+}
+
+/// A versioned, self-checksummed capture of profile state plus the compile
+/// decision log. See the [module docs](self) for the format.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// FNV-1a 64 hash of the printed program this snapshot was taken from.
+    pub fingerprint: u64,
+    /// Per-method profiles, sorted by method id.
+    pub methods: Vec<MethodRecord>,
+    /// Compile decisions in installation order (a method recompiled after
+    /// a deoptimization appears once per install).
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// Why a snapshot could not be loaded (or a store could not move bytes).
+/// Every variant degrades to a cold start when hit through the graceful
+/// paths — none of them ever panics the VM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The header's `v` field is not [`SNAPSHOT_VERSION`].
+    VersionMismatch {
+        /// The version the snapshot claims.
+        found: u64,
+    },
+    /// The bytes do not parse as a well-formed snapshot (truncation,
+    /// bit flips, wrong file).
+    Corrupt(String),
+    /// The trailing FNV-1a checksum does not match the preceding bytes.
+    ChecksumMismatch,
+    /// The snapshot was taken from a different program.
+    StaleProgram {
+        /// Fingerprint of the program being run.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// The [`SnapshotStore`] could not read or write.
+    Io(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "snapshot version {found} != supported {SNAPSHOT_VERSION}"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::StaleProgram { expected, found } => write!(
+                f,
+                "stale snapshot: program fingerprint {found:016x} != {expected:016x}"
+            ),
+            SnapshotError::Io(why) => write!(f, "snapshot i/o: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---- fingerprint & hashing -------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice — the workspace's stock digest (same
+/// constants as the server report's answer digests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprints a program by hashing its printed text: any change to a
+/// method body, signature or class layout changes the fingerprint, so a
+/// snapshot can never seed profiles into the wrong program.
+pub fn fingerprint(program: &Program) -> u64 {
+    fnv1a(incline_ir::print::program_str(program).as_bytes())
+}
+
+// ---- capture ---------------------------------------------------------------
+
+impl MethodRecord {
+    fn capture(method: MethodId, p: &MethodProfile) -> Self {
+        let mut blocks: Vec<(BlockId, u64)> =
+            p.block_counts.iter().map(|(&b, &c)| (b, c)).collect();
+        blocks.sort();
+        let mut callsites: Vec<(u32, u64)> =
+            p.callsite_counts.iter().map(|(&s, &c)| (s, c)).collect();
+        callsites.sort();
+        let mut receivers: Vec<(u32, Vec<(ClassId, u64)>)> = p
+            .receivers
+            .iter()
+            .map(|(&site, hist)| {
+                let mut h: Vec<(ClassId, u64)> = hist.iter().map(|(&cl, &c)| (cl, c)).collect();
+                h.sort();
+                (site, h)
+            })
+            .collect();
+        receivers.sort_by_key(|&(site, _)| site);
+        MethodRecord {
+            method,
+            invocations: p.invocations,
+            backedges: p.backedges,
+            blocks,
+            callsites,
+            receivers,
+        }
+    }
+
+    fn to_profile(&self) -> MethodProfile {
+        MethodProfile {
+            invocations: self.invocations,
+            backedges: self.backedges,
+            block_counts: self.blocks.iter().copied().collect(),
+            callsite_counts: self.callsites.iter().copied().collect(),
+            receivers: self
+                .receivers
+                .iter()
+                .map(|(site, hist)| {
+                    let h: HashMap<ClassId, u64> = hist.iter().copied().collect();
+                    (*site, h)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Captures profiles and the decision log under `fingerprint`, sorting
+    /// every map so the result is deterministic.
+    pub fn capture(
+        fingerprint: u64,
+        profiles: &ProfileTable,
+        decisions: &[DecisionRecord],
+    ) -> Snapshot {
+        let mut methods: Vec<MethodRecord> = profiles
+            .iter()
+            .map(|(m, p)| MethodRecord::capture(m, p))
+            .collect();
+        methods.sort_by_key(|r| r.method);
+        Snapshot {
+            fingerprint,
+            methods,
+            decisions: decisions.to_vec(),
+        }
+    }
+
+    /// Rebuilds a [`ProfileTable`] from the serialized per-method records.
+    pub fn profile_table(&self) -> ProfileTable {
+        let mut t = ProfileTable::new();
+        for r in &self.methods {
+            t.insert(r.method, r.to_profile());
+        }
+        t
+    }
+
+    // ---- serialization -----------------------------------------------------
+
+    /// Serializes to the versioned JSONL format, byte-deterministic for a
+    /// given snapshot value.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.methods.len() * 128);
+        let _ = writeln!(
+            out,
+            "{{\"snapshot\":\"incline\",\"v\":{SNAPSHOT_VERSION},\"fingerprint\":\"{:016x}\",\
+             \"methods\":{},\"decisions\":{}}}",
+            self.fingerprint,
+            self.methods.len(),
+            self.decisions.len()
+        );
+        for r in &self.methods {
+            let _ = write!(
+                out,
+                "{{\"rec\":\"profile\",\"method\":{},\"inv\":{},\"back\":{},\"blocks\":[",
+                r.method.index(),
+                r.invocations,
+                r.backedges
+            );
+            for (i, (b, c)) in r.blocks.iter().enumerate() {
+                let _ = write!(out, "{}[{},{c}]", if i > 0 { "," } else { "" }, b.index());
+            }
+            out.push_str("],\"sites\":[");
+            for (i, (s, c)) in r.callsites.iter().enumerate() {
+                let _ = write!(out, "{}[{s},{c}]", if i > 0 { "," } else { "" });
+            }
+            out.push_str("],\"recv\":[");
+            for (i, (site, hist)) in r.receivers.iter().enumerate() {
+                let _ = write!(out, "{}[{site},[", if i > 0 { "," } else { "" });
+                for (j, (cl, c)) in hist.iter().enumerate() {
+                    let _ = write!(out, "{}[{},{c}]", if j > 0 { "," } else { "" }, cl.index());
+                }
+                out.push_str("]]");
+            }
+            out.push_str("]}\n");
+        }
+        for d in &self.decisions {
+            let _ = writeln!(
+                out,
+                "{{\"rec\":\"decision\",\"method\":{},\"tier\":\"{}\",\"plan\":\"{:016x}\",\
+                 \"spec\":{}}}",
+                d.method.index(),
+                d.tier,
+                d.plan_hash,
+                d.speculative_sites
+            );
+        }
+        let crc = fnv1a(out.as_bytes());
+        let _ = writeln!(out, "{{\"rec\":\"end\",\"crc\":\"{crc:016x}\"}}");
+        out.into_bytes()
+    }
+
+    /// Parses and checksums snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on any malformed byte,
+    /// [`SnapshotError::VersionMismatch`] on an unsupported header version,
+    /// [`SnapshotError::ChecksumMismatch`] when the trailing CRC does not
+    /// cover the preceding bytes (truncation, bit flips).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SnapshotError::Corrupt("not utf-8".to_string()))?;
+        // Locate the checksum line and verify it covers everything before it.
+        let body_end = text
+            .rfind("{\"rec\":\"end\"")
+            .ok_or_else(|| SnapshotError::Corrupt("missing end record".to_string()))?;
+        let (body, end_line) = text.split_at(body_end);
+        let end = parse::object(end_line.trim_end())
+            .map_err(|e| SnapshotError::Corrupt(format!("end record: {e}")))?;
+        let crc = end
+            .hex("crc")
+            .ok_or_else(|| SnapshotError::Corrupt("end record lacks crc".to_string()))?;
+        if crc != fnv1a(body.as_bytes()) {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut lines = body.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| SnapshotError::Corrupt("empty snapshot".to_string()))?;
+        let header = parse::object(header_line)
+            .map_err(|e| SnapshotError::Corrupt(format!("header: {e}")))?;
+        if header.str("snapshot") != Some("incline") {
+            return Err(SnapshotError::Corrupt(
+                "not an incline snapshot".to_string(),
+            ));
+        }
+        let version = header
+            .num("v")
+            .ok_or_else(|| SnapshotError::Corrupt("header lacks version".to_string()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        let fingerprint = header
+            .hex("fingerprint")
+            .ok_or_else(|| SnapshotError::Corrupt("header lacks fingerprint".to_string()))?;
+        let want_methods = header.num("methods").unwrap_or(0) as usize;
+        let want_decisions = header.num("decisions").unwrap_or(0) as usize;
+
+        let mut methods = Vec::with_capacity(want_methods);
+        let mut decisions = Vec::with_capacity(want_decisions);
+        for (i, line) in lines.enumerate() {
+            let obj = parse::object(line)
+                .map_err(|e| SnapshotError::Corrupt(format!("record {i}: {e}")))?;
+            match obj.str("rec") {
+                Some("profile") => methods.push(parse_method(&obj, i)?),
+                Some("decision") => decisions.push(parse_decision(&obj, i)?),
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "record {i}: unknown kind {other:?}"
+                    )))
+                }
+            }
+        }
+        if methods.len() != want_methods || decisions.len() != want_decisions {
+            return Err(SnapshotError::Corrupt(format!(
+                "header promised {want_methods} profiles + {want_decisions} decisions, \
+                 found {} + {}",
+                methods.len(),
+                decisions.len()
+            )));
+        }
+        Ok(Snapshot {
+            fingerprint,
+            methods,
+            decisions,
+        })
+    }
+
+    /// The set of methods the decision log covers, first-appearance order —
+    /// the set eager replay compiles up front.
+    pub fn decided_methods(&self) -> Vec<MethodId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for d in &self.decisions {
+            if seen.insert(d.method) {
+                out.push(d.method);
+            }
+        }
+        out
+    }
+}
+
+fn corrupt(i: usize, why: &str) -> SnapshotError {
+    SnapshotError::Corrupt(format!("record {i}: {why}"))
+}
+
+fn parse_method(obj: &parse::Obj, i: usize) -> Result<MethodRecord, SnapshotError> {
+    let method = MethodId::new(obj.num("method").ok_or_else(|| corrupt(i, "method"))? as usize);
+    let blocks = obj
+        .pairs("blocks")
+        .ok_or_else(|| corrupt(i, "blocks"))?
+        .into_iter()
+        .map(|(b, c)| (BlockId::new(b as usize), c))
+        .collect();
+    let callsites = obj
+        .pairs("sites")
+        .ok_or_else(|| corrupt(i, "sites"))?
+        .into_iter()
+        .map(|(s, c)| (s as u32, c))
+        .collect();
+    let receivers = obj
+        .nested_pairs("recv")
+        .ok_or_else(|| corrupt(i, "recv"))?
+        .into_iter()
+        .map(|(site, hist)| {
+            let h: Vec<(ClassId, u64)> = hist
+                .into_iter()
+                .map(|(cl, c)| (ClassId::new(cl as usize), c))
+                .collect();
+            (site as u32, h)
+        })
+        .collect();
+    Ok(MethodRecord {
+        method,
+        invocations: obj.num("inv").ok_or_else(|| corrupt(i, "inv"))?,
+        backedges: obj.num("back").ok_or_else(|| corrupt(i, "back"))?,
+        blocks,
+        callsites,
+        receivers,
+    })
+}
+
+fn parse_decision(obj: &parse::Obj, i: usize) -> Result<DecisionRecord, SnapshotError> {
+    let tier = match obj.str("tier") {
+        Some("full") => CompileStage::Full,
+        Some("degraded") => CompileStage::Degraded,
+        other => return Err(corrupt(i, &format!("tier {other:?}"))),
+    };
+    Ok(DecisionRecord {
+        method: MethodId::new(obj.num("method").ok_or_else(|| corrupt(i, "method"))? as usize),
+        tier,
+        plan_hash: obj.hex("plan").ok_or_else(|| corrupt(i, "plan"))?,
+        speculative_sites: obj.num("spec").ok_or_else(|| corrupt(i, "spec"))?,
+    })
+}
+
+// ---- minimal JSON parsing --------------------------------------------------
+
+/// Just enough JSON to read the snapshot's own output: flat objects whose
+/// values are unsigned integers, strings, or (nested) arrays of unsigned
+/// integers. Strict — anything else is an error, which is exactly what the
+/// corruption tests want.
+mod parse {
+    /// One parsed value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Val {
+        /// An unsigned integer.
+        Num(u64),
+        /// A string (no escapes needed by the snapshot format).
+        Str(String),
+        /// An array of values.
+        Arr(Vec<Val>),
+    }
+
+    /// A parsed flat object: ordered `(key, value)` pairs.
+    #[derive(Clone, Debug, Default)]
+    pub struct Obj {
+        fields: Vec<(String, Val)>,
+    }
+
+    impl Obj {
+        fn get(&self, key: &str) -> Option<&Val> {
+            self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        pub fn num(&self, key: &str) -> Option<u64> {
+            match self.get(key)? {
+                Val::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn str(&self, key: &str) -> Option<&str> {
+            match self.get(key)? {
+                Val::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A 16-digit lowercase hex string field.
+        pub fn hex(&self, key: &str) -> Option<u64> {
+            u64::from_str_radix(self.str(key)?, 16).ok()
+        }
+
+        /// `[[a,b],...]` — an array of integer pairs.
+        pub fn pairs(&self, key: &str) -> Option<Vec<(u64, u64)>> {
+            match self.get(key)? {
+                Val::Arr(items) => items.iter().map(pair).collect(),
+                _ => None,
+            }
+        }
+
+        /// `[[k,[[a,b],...]],...]` — pairs whose second element is itself a
+        /// pair list (receiver histograms).
+        pub fn nested_pairs(&self, key: &str) -> Option<NestedPairs> {
+            let Val::Arr(items) = self.get(key)? else {
+                return None;
+            };
+            items
+                .iter()
+                .map(|item| {
+                    let Val::Arr(kv) = item else { return None };
+                    let [Val::Num(k), Val::Arr(hist)] = kv.as_slice() else {
+                        return None;
+                    };
+                    let h: Option<Vec<(u64, u64)>> = hist.iter().map(pair).collect();
+                    Some((*k, h?))
+                })
+                .collect()
+        }
+    }
+
+    /// Keys paired with `[(a, b), ...]` lists, as read by
+    /// [`Obj::nested_pairs`].
+    pub type NestedPairs = Vec<(u64, Vec<(u64, u64)>)>;
+
+    fn pair(v: &Val) -> Option<(u64, u64)> {
+        let Val::Arr(kv) = v else { return None };
+        let [Val::Num(a), Val::Num(b)] = kv.as_slice() else {
+            return None;
+        };
+        Some((*a, *b))
+    }
+
+    /// Parses one line as a flat JSON object.
+    pub fn object(line: &str) -> Result<Obj, String> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let obj = p.object()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(obj)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected `{}` at {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn object(&mut self) -> Result<Obj, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Obj { fields });
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Obj { fields });
+                    }
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+        }
+
+        fn value(&mut self) -> Result<Val, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'"') => Ok(Val::Str(self.string()?)),
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Val::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Val::Arr(items));
+                            }
+                            other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                        }
+                    }
+                }
+                Some(b'0'..=b'9') => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.pos += 1;
+                    }
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .map(Val::Num)
+                        .ok_or_else(|| format!("bad number at {start}"))
+                }
+                other => Err(format!("unexpected value start {other:?}")),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "bad utf-8 in string".to_string())?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                if b == b'\\' {
+                    return Err("escapes are not part of the snapshot format".to_string());
+                }
+                self.pos += 1;
+            }
+            Err("unterminated string".to_string())
+        }
+    }
+}
+
+// ---- stores ----------------------------------------------------------------
+
+/// Moves snapshot bytes in and out of some backing medium. The trait is
+/// deliberately byte-oriented: parsing, versioning and checksum policy stay
+/// in [`Snapshot`], so every store is trivially correct.
+pub trait SnapshotStore: Send + Sync {
+    /// Reads the stored snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when nothing is stored or the read fails.
+    fn read(&self) -> Result<Vec<u8>, SnapshotError>;
+
+    /// Stores snapshot bytes, replacing any previous content.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the write fails.
+    fn write(&self, bytes: &[u8]) -> Result<(), SnapshotError>;
+}
+
+/// In-memory [`SnapshotStore`]: a mutex-guarded cell, shared via `Arc`
+/// between the session that writes and the session that replays — the
+/// no-disk path the library tests use.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    cell: Mutex<Option<Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+
+    /// A store pre-loaded with `bytes` (the `snapshot_in(bytes)` path).
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        MemoryStore {
+            cell: Mutex::new(Some(bytes)),
+        }
+    }
+
+    /// The currently stored bytes, if any.
+    pub fn bytes(&self) -> Option<Vec<u8>> {
+        self.cell.lock().expect("snapshot store poisoned").clone()
+    }
+}
+
+impl SnapshotStore for MemoryStore {
+    fn read(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.bytes()
+            .ok_or_else(|| SnapshotError::Io("memory store is empty".to_string()))
+    }
+
+    fn write(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        *self.cell.lock().expect("snapshot store poisoned") = Some(bytes.to_vec());
+        Ok(())
+    }
+}
+
+/// File-backed [`SnapshotStore`]: one snapshot per path.
+#[derive(Clone, Debug)]
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// A store reading/writing `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileStore { path: path.into() }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl SnapshotStore for FileStore {
+    fn read(&self) -> Result<Vec<u8>, SnapshotError> {
+        std::fs::read(&self.path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
+    }
+
+    fn write(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        std::fs::write(&self.path, bytes)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
+    }
+}
+
+/// The `Into`-friendly store handle the session builders accept:
+/// `session.snapshot_in("warm.snap")`, `.snapshot_in(bytes)`, or
+/// `.snapshot_out(Arc::new(MemoryStore::new()))` all convert here.
+#[derive(Clone)]
+pub struct SnapshotIo {
+    store: Arc<dyn SnapshotStore>,
+}
+
+impl SnapshotIo {
+    /// Wraps an arbitrary store.
+    pub fn new(store: Arc<dyn SnapshotStore>) -> Self {
+        SnapshotIo { store }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &dyn SnapshotStore {
+        &*self.store
+    }
+}
+
+impl std::fmt::Debug for SnapshotIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SnapshotIo(..)")
+    }
+}
+
+impl From<Arc<dyn SnapshotStore>> for SnapshotIo {
+    fn from(store: Arc<dyn SnapshotStore>) -> Self {
+        SnapshotIo { store }
+    }
+}
+
+impl From<Arc<MemoryStore>> for SnapshotIo {
+    fn from(store: Arc<MemoryStore>) -> Self {
+        SnapshotIo { store }
+    }
+}
+
+impl From<Arc<FileStore>> for SnapshotIo {
+    fn from(store: Arc<FileStore>) -> Self {
+        SnapshotIo { store }
+    }
+}
+
+impl From<&str> for SnapshotIo {
+    fn from(path: &str) -> Self {
+        SnapshotIo {
+            store: Arc::new(FileStore::new(path)),
+        }
+    }
+}
+
+impl From<String> for SnapshotIo {
+    fn from(path: String) -> Self {
+        SnapshotIo {
+            store: Arc::new(FileStore::new(path)),
+        }
+    }
+}
+
+impl From<&Path> for SnapshotIo {
+    fn from(path: &Path) -> Self {
+        SnapshotIo {
+            store: Arc::new(FileStore::new(path)),
+        }
+    }
+}
+
+impl From<PathBuf> for SnapshotIo {
+    fn from(path: PathBuf) -> Self {
+        SnapshotIo {
+            store: Arc::new(FileStore::new(path)),
+        }
+    }
+}
+
+impl From<Vec<u8>> for SnapshotIo {
+    fn from(bytes: Vec<u8>) -> Self {
+        SnapshotIo {
+            store: Arc::new(MemoryStore::with_bytes(bytes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut profiles = ProfileTable::new();
+        let m = MethodId::new(3);
+        for _ in 0..7 {
+            profiles.record_invocation(m);
+        }
+        profiles.record_backedge(m);
+        profiles.record_block(m, BlockId::new(0));
+        profiles.record_block(m, BlockId::new(2));
+        let site = incline_ir::CallSiteId {
+            method: m,
+            index: 1,
+        };
+        profiles.record_callsite(site);
+        profiles.record_receiver(site, ClassId::new(4));
+        profiles.record_receiver(site, ClassId::new(2));
+        let decisions = vec![DecisionRecord {
+            method: m,
+            tier: CompileStage::Full,
+            plan_hash: 0xdead_beef,
+            speculative_sites: 1,
+        }];
+        Snapshot::capture(0x1234_5678_9abc_def0, &profiles, &decisions)
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes, "serialize∘parse must be identity");
+    }
+
+    #[test]
+    fn profile_table_round_trips() {
+        let snap = sample();
+        let table = snap.profile_table();
+        let m = MethodId::new(3);
+        assert_eq!(table.invocations(m), 7);
+        assert_eq!(table.backedges(m), 1);
+        let again = Snapshot::capture(snap.fingerprint, &table, &snap.decisions);
+        assert_eq!(again, snap);
+    }
+
+    #[test]
+    fn truncation_and_bitflips_are_corrupt_not_panics() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 2] {
+            assert!(
+                Snapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        for flip in [8, bytes.len() / 3, bytes.len() / 2] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x20;
+            assert!(
+                Snapshot::from_bytes(&bad).is_err(),
+                "bit flip at {flip} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected_as_version_mismatch() {
+        let text = String::from_utf8(sample().to_bytes()).unwrap();
+        let bumped = text.replacen("\"v\":1,", "\"v\":2,", 1);
+        // Re-checksum so only the version differs.
+        let body_end = bumped.rfind("{\"rec\":\"end\"").unwrap();
+        let body = &bumped[..body_end];
+        let fixed = format!(
+            "{body}{{\"rec\":\"end\",\"crc\":\"{:016x}\"}}\n",
+            fnv1a(body.as_bytes())
+        );
+        assert_eq!(
+            Snapshot::from_bytes(fixed.as_bytes()),
+            Err(SnapshotError::VersionMismatch { found: 2 })
+        );
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_reports_empty() {
+        let store = MemoryStore::new();
+        assert!(matches!(store.read(), Err(SnapshotError::Io(_))));
+        store.write(b"abc").unwrap();
+        assert_eq!(store.read().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn file_store_round_trips() {
+        let path = std::env::temp_dir().join("incline-snapshot-store-test.snap");
+        let store = FileStore::new(&path);
+        store.write(b"xyz").unwrap();
+        assert_eq!(store.read().unwrap(), b"xyz");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_mode_labels_parse() {
+        assert_eq!("eager".parse::<ReplayMode>().unwrap(), ReplayMode::Eager);
+        assert_eq!("seed".parse::<ReplayMode>().unwrap(), ReplayMode::Seed);
+        assert!("hot".parse::<ReplayMode>().is_err());
+        assert_eq!(ReplayMode::default(), ReplayMode::Eager);
+    }
+}

@@ -3,34 +3,41 @@
 //!
 //! ```text
 //! incline print   <file.ir> [--optimize]
-//! incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
-//!                           [--no-deopt] [--compile-threads N] [--pipelined]
+//! incline run     <file.ir> [--entry main] [--input N] [--jit] [COMMON]
 //! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
 //!                           [--trace] [--trace-json FILE]
-//! incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
-//!                           [--no-deopt] [--compile-threads N] [--pipelined]
-//! incline server  [--tenants N] [--seed N] [--requests N] [--inliner NAME]
-//!                           [--compile-threads N] [--pipelined] [--trace-json FILE]
+//! incline bench   <benchmark-name> [COMMON]
+//! incline server  [--tenants N] [--seed N] [--requests N] [COMMON]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
 //! ```
 //!
+//! `COMMON` is the shared flag surface parsed by [`incline::cli::CommonOpts`]
+//! — identical across `run`, `bench`, and `server`:
+//!
+//! ```text
+//! [--inliner NAME] [--trace] [--trace-json FILE] [--no-deopt]
+//! [--compile-threads N] [--pipelined]
+//! [--cache-budget BYTES] [--eviction POLICY]
+//! [--icache-capacity BYTES] [--icache-scale BYTES]
+//! [--snapshot-in FILE] [--snapshot-out FILE] [--replay eager|seed]
+//! ```
+//!
 //! Inliner names: `incremental` (default), `greedy`, `c2`, `none`.
 //!
-//! `--trace` streams compilation events to stderr (the old `INCLINE_TRACE`
-//! debugging workflow); `--trace-json FILE` writes them as JSONL.
-//! Deoptimization is enabled by default for `run`/`bench`; `--no-deopt`
-//! restricts compiled code to the always-correct virtual fallback.
-//! `--compile-threads N` sizes the background compile broker's worker pool
-//! (0 = compile on the mutator thread); `--pipelined` installs code at
-//! safepoints while the mutator keeps interpreting.
+//! `--snapshot-out` writes the run's profiles and compile decisions as a
+//! versioned JSONL snapshot; `--snapshot-in` loads one before the first
+//! iteration, eliminating warmup. `--replay eager` (default) recompiles the
+//! snapshot's method set up front through the normal broker path; `--replay
+//! seed` only pre-warms the hotness counters and lets decisions re-derive.
+//! Stale, truncated or corrupt snapshots fall back to a cold start — never
+//! an error.
 
-use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use incline::baselines::{C2Inliner, GreedyInliner};
+use incline::cli::{flag, opt_value, CommonOpts};
 use incline::prelude::*;
+use incline::snapshot::{FileStore, SnapshotStore};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,21 +81,20 @@ incline — optimization-driven incremental inline substitution (CGO'19)
 
 USAGE:
   incline print   <file.ir> [--optimize]
-  incline run     <file.ir> [--entry main] [--input N] [--jit] [--inliner NAME] [--trace]
-                            [--no-deopt] [--compile-threads N] [--pipelined]
-                            [--cache-budget BYTES] [--eviction POLICY]
-                            [--icache-capacity BYTES] [--icache-scale BYTES]
+  incline run     <file.ir> [--entry main] [--input N] [--jit] [COMMON]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
                             [--trace] [--trace-json FILE]
-  incline bench   <benchmark-name> [--inliner NAME] [--trace] [--trace-json FILE]
-                            [--no-deopt] [--compile-threads N] [--pipelined]
-                            [--cache-budget BYTES] [--eviction POLICY]
-                            [--icache-capacity BYTES] [--icache-scale BYTES]
-  incline server  [--tenants N] [--seed N] [--requests N] [--inliner NAME]
-                            [--compile-threads N] [--pipelined] [--trace-json FILE]
-                            [--cache-budget BYTES] [--eviction POLICY]
+  incline bench   <benchmark-name> [COMMON]
+  incline server  [--tenants N] [--seed N] [--requests N] [COMMON]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
+
+COMMON (identical across run, bench, server):
+  [--inliner NAME] [--trace] [--trace-json FILE] [--no-deopt]
+  [--compile-threads N] [--pipelined]
+  [--cache-budget BYTES] [--eviction POLICY]
+  [--icache-capacity BYTES] [--icache-scale BYTES]
+  [--snapshot-in FILE] [--snapshot-out FILE] [--replay eager|seed]
 
 Inliners: incremental (default), greedy, c2, none.
 Server: a seeded multi-tenant serving simulation (bursty arrivals, per-tenant
@@ -103,18 +109,12 @@ keeps interpreting (INCLINE_COMPILE_THREADS sets the pool from the env).
 Code cache: --cache-budget BYTES bounds installed code (0 = unbounded,
 the default); --eviction picks the victim policy (lru, hotness,
 cost-benefit). --icache-capacity / --icache-scale tune the cost model's
-instruction-cache pressure curve.";
-
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
+instruction-cache pressure curve.
+Snapshots: --snapshot-out FILE persists profiles + compile decisions after
+the run; --snapshot-in FILE replays them before the first iteration
+(--replay eager recompiles the decided set up front, --replay seed only
+pre-warms hotness counters). Corrupt or stale snapshots fall back to a
+cold start, counted in the compilation report.";
 
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -126,50 +126,27 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-/// Builds a `VmConfig` carrying the broker flags — `--compile-threads N`
-/// (worker pool size; also readable from `INCLINE_COMPILE_THREADS`) and
-/// `--pipelined` (install at safepoints instead of compile-at-trigger) —
-/// plus the code-cache knobs: `--cache-budget BYTES`, `--eviction POLICY`,
-/// and the cost model's `--icache-capacity` / `--icache-scale` overrides.
-fn broker_config(args: &[String]) -> Result<VmConfig, String> {
-    let mut b = VmConfig::builder().pipelined(flag(args, "--pipelined"));
-    if let Some(n) = opt_value(args, "--compile-threads") {
-        b = b.compile_threads(n.parse().map_err(|e| format!("--compile-threads: {e}"))?);
-    }
-    if let Some(n) = opt_value(args, "--cache-budget") {
-        b = b.code_cache_budget(n.parse().map_err(|e| format!("--cache-budget: {e}"))?);
-    }
-    if let Some(p) = opt_value(args, "--eviction") {
-        b = b.eviction_policy(p.parse().map_err(|e| format!("--eviction: {e}"))?);
-    }
-    let mut config = b.build();
-    let capacity = match opt_value(args, "--icache-capacity") {
-        Some(n) => n.parse().map_err(|e| format!("--icache-capacity: {e}"))?,
-        None => config.cost.icache_capacity,
-    };
-    let scale = match opt_value(args, "--icache-scale") {
-        Some(n) => n.parse().map_err(|e| format!("--icache-scale: {e}"))?,
-        None => config.cost.icache_scale,
-    };
-    config.cost = config.cost.with_icache(capacity, scale);
-    Ok(config)
-}
-
-fn make_inliner(name: &str) -> Result<Box<dyn Inliner>, String> {
-    Ok(match name {
-        "incremental" => Box::new(IncrementalInliner::new()),
-        "greedy" => Box::new(GreedyInliner::new()),
-        "c2" => Box::new(C2Inliner::new()),
-        "none" => Box::new(NoInline),
-        other => return Err(format!("unknown inliner `{other}`")),
-    })
-}
-
 fn entry_of(program: &Program, args: &[String]) -> Result<incline::ir::MethodId, String> {
     let name = opt_value(args, "--entry").unwrap_or("main");
     program
         .function_by_name(name)
         .ok_or_else(|| format!("no function `{name}`"))
+}
+
+fn print_snapshot_stats(stats: &SnapshotStats) {
+    if *stats == SnapshotStats::default() {
+        return;
+    }
+    println!(
+        "snapshot: {} loaded, {} fallbacks, {} replayed compiles, {} seeded methods, \
+         {} written, {} write failures",
+        stats.loaded,
+        stats.fallbacks,
+        stats.replayed_compiles,
+        stats.seeded_methods,
+        stats.written,
+        stats.write_failures
+    );
 }
 
 fn cmd_print(args: &[String]) -> Result<(), String> {
@@ -192,6 +169,7 @@ fn cmd_print(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.ir>")?;
+    let opts = CommonOpts::parse(args)?;
     let program = load(path)?;
     let entry = entry_of(&program, args)?;
     let input: i64 = opt_value(args, "--input")
@@ -199,16 +177,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("--input: {e}"))?;
     let jit = flag(args, "--jit");
-    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
     let config = VmConfig {
         jit,
-        hotness_threshold: 5,
-        deopt: !flag(args, "--no-deopt"),
-        ..broker_config(args)?
+        ..opts.vm_config(5, true)
     };
-    let mut vm = Machine::new(&program, inliner, config);
-    if flag(args, "--trace") {
-        vm.set_trace_sink(Arc::new(StderrSink));
+    let mut vm = Machine::new(&program, opts.make_inliner()?, config);
+    let trace = opts.trace_out()?;
+    if let Some(sink) = trace.sink() {
+        vm.set_trace_sink(sink);
+    }
+    if let Some(p) = &opts.snapshot_in {
+        match FileStore::new(p.as_str()).read() {
+            Ok(bytes) => {
+                vm.load_snapshot_or_cold(&bytes);
+            }
+            Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+        }
     }
     let runs = if jit { 8 } else { 1 };
     let mut last = None;
@@ -217,6 +201,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             vm.run(entry, vec![Value::Int(input)])
                 .map_err(|e| e.to_string())?,
         );
+    }
+    if let Some(p) = &opts.snapshot_out {
+        let snap = vm.snapshot();
+        let bytes = snap.to_bytes();
+        match FileStore::new(p.as_str()).write(&bytes) {
+            Ok(()) => vm.note_snapshot_written(
+                snap.methods.len() as u64,
+                snap.decisions.len() as u64,
+                bytes.len() as u64,
+            ),
+            Err(_) => vm.note_snapshot_write_failed(),
+        }
     }
     let out = last.expect("ran at least once");
     print!("{}", out.output);
@@ -228,11 +224,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         vm.compilations(),
         vm.installed_bytes()
     );
-    Ok(())
+    print_snapshot_stats(&vm.snapshot_stats());
+    trace.finish()
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.ir>")?;
+    let opts = CommonOpts::parse(args)?;
     let program = load(path)?;
     let entry = entry_of(&program, args)?;
     let input: i64 = opt_value(args, "--input")
@@ -256,7 +254,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 
     // Optional structured tracing: JSONL to a file, or one-liners to
     // stderr (the replacement for the old INCLINE_TRACE env var).
-    let json_path = opt_value(args, "--trace-json");
+    let json_path = opts.trace_json.as_deref();
     let json_sink = match json_path {
         Some(path) => {
             let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
@@ -265,15 +263,14 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let stderr_sink = StderrSink;
-    let cx = match (&json_sink, flag(args, "--trace")) {
+    let cx = match (&json_sink, opts.trace) {
         (Some(sink), _) => cx.with_trace(sink),
         (None, true) => cx.with_trace(&stderr_sink),
         (None, false) => cx,
     };
 
-    let name = opt_value(args, "--inliner").unwrap_or("incremental");
     if flag(args, "--explain") {
-        if name != "incremental" {
+        if opts.inliner != "incremental" {
             return Err("--explain requires the incremental inliner".to_string());
         }
         let (out, explain) = IncrementalInliner::new()
@@ -286,12 +283,13 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         );
         println!("stats: {:?}", out.stats);
     } else {
-        let inliner = make_inliner(name)?;
+        let inliner = opts.make_inliner()?;
         let out = inliner.compile(entry, &cx).map_err(|e| e.to_string())?;
         println!("{}", incline::ir::print::graph_str(&program, &out.graph));
         eprintln!("stats: {:?}", out.stats);
     }
     if let Some(sink) = json_sink {
+        use std::io::Write as _;
         let mut w = sink.into_inner();
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("trace written to {}", json_path.expect("path set"));
@@ -316,43 +314,29 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("missing <benchmark-name>")?;
+    let opts = CommonOpts::parse(args)?;
     let w = incline::workloads::by_name(name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (see `incline list-benchmarks`)"))?;
-    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
     let spec = BenchSpec {
         entry: w.entry,
         args: vec![Value::Int(w.input)],
         iterations: w.iterations,
     };
-    let config = VmConfig {
-        hotness_threshold: 5,
-        deopt: !flag(args, "--no-deopt"),
-        ..broker_config(args)?
-    };
-    let json_path = opt_value(args, "--trace-json");
-    let session = RunSession::new(&w.program, spec)
-        .inliner(inliner)
-        .config(config);
-    let r = if let Some(path) = json_path {
-        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
-        let handle: Arc<dyn TraceSink> = sink.clone();
-        let r = session.trace(handle).run().map_err(|e| e.to_string())?;
-        let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
-        owned
-            .into_inner()
-            .flush()
-            .map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("trace written to {path}");
-        r
-    } else if flag(args, "--trace") {
-        session
-            .trace(Arc::new(StderrSink))
-            .run()
-            .map_err(|e| e.to_string())?
-    } else {
-        session.run().map_err(|e| e.to_string())?
-    };
+    let mut session = RunSession::new(&w.program, spec)
+        .inliner(opts.make_inliner()?)
+        .config(opts.vm_config(5, true));
+    if let Some(p) = &opts.snapshot_in {
+        session = session.snapshot_in(p.as_str());
+    }
+    if let Some(p) = &opts.snapshot_out {
+        session = session.snapshot_out(p.as_str());
+    }
+    let trace = opts.trace_out()?;
+    if let Some(sink) = trace.sink() {
+        session = session.trace(sink);
+    }
+    let r = session.run().map_err(|e| e.to_string())?;
+    trace.finish()?;
     println!("benchmark: {} ({})", w.name, w.suite.label());
     println!("per-iteration cycles: {:?}", r.per_iteration);
     println!(
@@ -363,6 +347,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "compile: {} cycles total, {} stalling the mutator",
         r.compile_cycles, r.stall_cycles
     );
+    println!(
+        "warmup: {} iterations ({} cycles) to within 5% of steady state",
+        r.warmup_within(0.05),
+        r.warmup_cycles_within(0.05)
+    );
+    println!("answer digest: {:#018x}", r.answer_digest());
     if r.bailouts.total() > 0 {
         println!("bailouts: {:?}", r.bailouts);
     }
@@ -384,10 +374,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             r.cache.high_water_bytes
         );
     }
+    print_snapshot_stats(&r.snapshot);
     Ok(())
 }
 
 fn cmd_server(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
     let tenants: usize = opt_value(args, "--tenants")
         .unwrap_or("6")
         .parse()
@@ -400,39 +392,30 @@ fn cmd_server(args: &[String]) -> Result<(), String> {
         .unwrap_or("600")
         .parse()
         .map_err(|e| format!("--requests: {e}"))?;
-    let inliner = make_inliner(opt_value(args, "--inliner").unwrap_or("incremental"))?;
     let mix = incline::workloads::tenants::build(seed, tenants);
     let spec = ServerSpec {
         requests,
         ..ServerSpec::default()
     };
-    let config = VmConfig {
-        hotness_threshold: 4,
-        ..broker_config(args)?
-    };
-    let session = ServerSession::new(
+    let mut session = ServerSession::new(
         &mix.program,
         incline::bench::server::tenant_specs(&mix),
         spec,
     )
-    .inliner(inliner)
-    .config(config);
-    let json_path = opt_value(args, "--trace-json");
-    let report = if let Some(path) = json_path {
-        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
-        let handle: Arc<dyn TraceSink> = sink.clone();
-        let r = session.trace(handle).serve().map_err(|e| e.to_string())?;
-        let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
-        owned
-            .into_inner()
-            .flush()
-            .map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("trace written to {path}");
-        r
-    } else {
-        session.serve().map_err(|e| e.to_string())?
-    };
+    .inliner(opts.make_inliner()?)
+    .config(opts.vm_config(4, false));
+    if let Some(p) = &opts.snapshot_in {
+        session = session.snapshot_in(p.as_str());
+    }
+    if let Some(p) = &opts.snapshot_out {
+        session = session.snapshot_out(p.as_str());
+    }
+    let trace = opts.trace_out()?;
+    if let Some(sink) = trace.sink() {
+        session = session.trace(sink);
+    }
+    let report = session.serve().map_err(|e| e.to_string())?;
+    trace.finish()?;
     println!(
         "server: {} requests over {} tenants (seed {seed}), {} cycles total",
         report.requests,
@@ -464,6 +447,7 @@ fn cmd_server(args: &[String]) -> Result<(), String> {
             report.cache.high_water_bytes
         );
     }
+    print_snapshot_stats(&report.snapshot);
     for t in &report.tenants {
         println!(
             "  {:<14} {:>4} requests ({} failed)  latency p50 {:>6} p99 {:>7} | stall p99 {:>6}",

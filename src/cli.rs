@@ -1,0 +1,272 @@
+//! Shared command-line option parsing for the `incline` binary.
+//!
+//! Every subcommand that runs the VM (`run`, `bench`, `server`) accepts the
+//! same flag surface: inliner selection, tracing, deoptimization, broker
+//! sizing, code-cache knobs, and the warmup-snapshot flags
+//! (`--snapshot-in`, `--snapshot-out`, `--replay`). [`CommonOpts::parse`]
+//! extracts and validates those flags once; each subcommand then layers its
+//! own defaults (hotness threshold, deopt default) on top via
+//! [`CommonOpts::vm_config`].
+//!
+//! Parsing is scan-based: `CommonOpts` picks out the flags it owns and
+//! ignores everything else, so subcommand-specific arguments (`--entry`,
+//! `--input`, positional file names) coexist without a central registry.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use incline_baselines::{C2Inliner, GreedyInliner};
+use incline_core::IncrementalInliner;
+use incline_trace::{JsonlSink, StderrSink, TraceSink};
+use incline_vm::snapshot::ReplayMode;
+use incline_vm::{EvictionPolicy, Inliner, NoInline, VmConfig};
+
+/// Returns true when `name` appears anywhere in `args`.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Returns the value following `name` in `args`, if present.
+pub fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The flag surface shared by `run`, `bench`, and `server`.
+///
+/// One parse, one set of semantics: the same `--compile-threads` or
+/// `--snapshot-in` means the same thing on every VM-running subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// Inliner name: `incremental` (default), `greedy`, `c2`, or `none`.
+    pub inliner: String,
+    /// Stream compile events to stderr (`--trace`).
+    pub trace: bool,
+    /// Write compile events as JSONL to this file (`--trace-json FILE`).
+    pub trace_json: Option<String>,
+    /// Restrict compiled code to the virtual fallback (`--no-deopt`).
+    pub no_deopt: bool,
+    /// Load a warmup snapshot from this file before the run
+    /// (`--snapshot-in FILE`).
+    pub snapshot_in: Option<String>,
+    /// Write a warmup snapshot to this file after the run
+    /// (`--snapshot-out FILE`).
+    pub snapshot_out: Option<String>,
+    /// How `--snapshot-in` state is applied (`--replay eager|seed`).
+    pub replay: ReplayMode,
+    /// Background compile worker pool size (`--compile-threads N`).
+    pub compile_threads: Option<usize>,
+    /// Install at safepoints while the mutator keeps interpreting
+    /// (`--pipelined`).
+    pub pipelined: bool,
+    /// Code-cache byte budget, 0 = unbounded (`--cache-budget BYTES`).
+    pub cache_budget: Option<u64>,
+    /// Cache victim-selection policy (`--eviction POLICY`).
+    pub eviction: Option<EvictionPolicy>,
+    /// Cost-model instruction-cache capacity override
+    /// (`--icache-capacity BYTES`).
+    pub icache_capacity: Option<u64>,
+    /// Cost-model instruction-cache pressure scale override
+    /// (`--icache-scale BYTES`).
+    pub icache_scale: Option<u64>,
+}
+
+impl CommonOpts {
+    /// Extracts the shared flags from `args`, validating every value.
+    ///
+    /// Unrecognized arguments are left for the subcommand to interpret.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = CommonOpts {
+            inliner: opt_value(args, "--inliner")
+                .unwrap_or("incremental")
+                .to_string(),
+            trace: flag(args, "--trace"),
+            trace_json: opt_value(args, "--trace-json").map(String::from),
+            no_deopt: flag(args, "--no-deopt"),
+            snapshot_in: opt_value(args, "--snapshot-in").map(String::from),
+            snapshot_out: opt_value(args, "--snapshot-out").map(String::from),
+            pipelined: flag(args, "--pipelined"),
+            ..CommonOpts::default()
+        };
+        if let Some(mode) = opt_value(args, "--replay") {
+            opts.replay = mode.parse()?;
+        }
+        if let Some(n) = opt_value(args, "--compile-threads") {
+            opts.compile_threads = Some(n.parse().map_err(|e| format!("--compile-threads: {e}"))?);
+        }
+        if let Some(n) = opt_value(args, "--cache-budget") {
+            opts.cache_budget = Some(n.parse().map_err(|e| format!("--cache-budget: {e}"))?);
+        }
+        if let Some(p) = opt_value(args, "--eviction") {
+            opts.eviction = Some(p.parse().map_err(|e| format!("--eviction: {e}"))?);
+        }
+        if let Some(n) = opt_value(args, "--icache-capacity") {
+            opts.icache_capacity = Some(n.parse().map_err(|e| format!("--icache-capacity: {e}"))?);
+        }
+        if let Some(n) = opt_value(args, "--icache-scale") {
+            opts.icache_scale = Some(n.parse().map_err(|e| format!("--icache-scale: {e}"))?);
+        }
+        Ok(opts)
+    }
+
+    /// Builds the [`VmConfig`] these options describe.
+    ///
+    /// `hotness_threshold` and `deopt_default` are the subcommand's
+    /// defaults; `--no-deopt` forces deoptimization off regardless.
+    pub fn vm_config(&self, hotness_threshold: u64, deopt_default: bool) -> VmConfig {
+        let mut b = VmConfig::builder()
+            .hotness_threshold(hotness_threshold)
+            .deopt(deopt_default && !self.no_deopt)
+            .pipelined(self.pipelined)
+            .replay(self.replay);
+        if let Some(n) = self.compile_threads {
+            b = b.compile_threads(n);
+        }
+        if let Some(n) = self.cache_budget {
+            b = b.code_cache_budget(n);
+        }
+        if let Some(p) = self.eviction {
+            b = b.eviction_policy(p);
+        }
+        let mut config = b.build();
+        let capacity = self.icache_capacity.unwrap_or(config.cost.icache_capacity);
+        let scale = self.icache_scale.unwrap_or(config.cost.icache_scale);
+        config.cost = config.cost.with_icache(capacity, scale);
+        config
+    }
+
+    /// Instantiates the selected inliner.
+    pub fn make_inliner(&self) -> Result<Box<dyn Inliner>, String> {
+        Ok(match self.inliner.as_str() {
+            "incremental" => Box::new(IncrementalInliner::new()),
+            "greedy" => Box::new(GreedyInliner::new()),
+            "c2" => Box::new(C2Inliner::new()),
+            "none" => Box::new(NoInline),
+            other => return Err(format!("unknown inliner `{other}`")),
+        })
+    }
+
+    /// Opens the trace destination these options describe (JSONL file,
+    /// stderr, or none). Call [`TraceOut::finish`] after the run to flush.
+    pub fn trace_out(&self) -> Result<TraceOut, String> {
+        let json = match &self.trace_json {
+            Some(path) => {
+                let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                let sink = Arc::new(JsonlSink::new(std::io::BufWriter::new(f)));
+                Some((sink, path.clone()))
+            }
+            None => None,
+        };
+        Ok(TraceOut {
+            json,
+            stderr: self.trace,
+        })
+    }
+}
+
+/// An open trace destination: hand [`TraceOut::sink`] to the session,
+/// then [`TraceOut::finish`] to flush once the run completes.
+pub struct TraceOut {
+    json: Option<(Arc<JsonlSink<std::io::BufWriter<std::fs::File>>>, String)>,
+    stderr: bool,
+}
+
+impl TraceOut {
+    /// The sink to install on the session, if any tracing was requested.
+    pub fn sink(&self) -> Option<Arc<dyn TraceSink>> {
+        if let Some((sink, _)) = &self.json {
+            Some(sink.clone())
+        } else if self.stderr {
+            Some(Arc::new(StderrSink))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes a JSONL trace to disk. Call after the session has finished
+    /// (and dropped its sink handle).
+    pub fn finish(self) -> Result<(), String> {
+        if let Some((sink, path)) = self.json {
+            let owned = Arc::try_unwrap(sink).map_err(|_| "trace sink still shared".to_string())?;
+            owned
+                .into_inner()
+                .flush()
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_a_bare_invocation() {
+        let o = CommonOpts::parse(&args(&["file.ir"])).unwrap();
+        assert_eq!(o.inliner, "incremental");
+        assert!(!o.trace && !o.no_deopt && !o.pipelined);
+        assert!(o.trace_json.is_none() && o.snapshot_in.is_none() && o.snapshot_out.is_none());
+        assert_eq!(o.replay, ReplayMode::Eager);
+        let c = o.vm_config(5, true);
+        assert_eq!(c.hotness_threshold, 5);
+        assert!(c.deopt);
+        assert_eq!(c.replay, ReplayMode::Eager);
+    }
+
+    #[test]
+    fn every_shared_flag_parses() {
+        let o = CommonOpts::parse(&args(&[
+            "--inliner",
+            "greedy",
+            "--trace",
+            "--no-deopt",
+            "--snapshot-in",
+            "warm.jsonl",
+            "--snapshot-out",
+            "next.jsonl",
+            "--replay",
+            "seed",
+            "--compile-threads",
+            "4",
+            "--pipelined",
+            "--cache-budget",
+            "4096",
+            "--eviction",
+            "lru",
+            "--icache-capacity",
+            "1024",
+            "--icache-scale",
+            "2048",
+        ]))
+        .unwrap();
+        assert_eq!(o.inliner, "greedy");
+        assert_eq!(o.snapshot_in.as_deref(), Some("warm.jsonl"));
+        assert_eq!(o.snapshot_out.as_deref(), Some("next.jsonl"));
+        assert_eq!(o.replay, ReplayMode::Seed);
+        let c = o.vm_config(4, true);
+        assert!(!c.deopt, "--no-deopt wins over the subcommand default");
+        assert_eq!(c.compile_threads, 4);
+        assert_eq!(c.install_policy, incline_vm::InstallPolicy::Safepoint);
+        assert_eq!(c.code_cache_budget, 4096);
+        assert_eq!(c.cost.icache_capacity, 1024);
+        assert_eq!(c.cost.icache_scale, 2048);
+        assert!(o.make_inliner().is_ok());
+    }
+
+    #[test]
+    fn bad_values_are_reported_not_panicked() {
+        assert!(CommonOpts::parse(&args(&["--replay", "wat"])).is_err());
+        assert!(CommonOpts::parse(&args(&["--compile-threads", "x"])).is_err());
+        assert!(CommonOpts::parse(&args(&["--eviction", "nope"])).is_err());
+        let o = CommonOpts::parse(&args(&["--inliner", "nope"])).unwrap();
+        assert!(o.make_inliner().is_err());
+    }
+}

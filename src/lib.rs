@@ -23,6 +23,8 @@
 //! # Ok::<(), incline::vm::ExecError>(())
 //! ```
 
+pub mod cli;
+
 pub use incline_baselines as baselines;
 pub use incline_bench as bench;
 pub use incline_core as core;
@@ -31,6 +33,9 @@ pub use incline_opt as opt;
 pub use incline_profile as profile;
 pub use incline_trace as trace;
 pub use incline_vm as vm;
+/// Warmup snapshots: persistent profile/compile state with deterministic
+/// replay (see `incline_vm::snapshot`).
+pub use incline_vm::snapshot;
 pub use incline_workloads as workloads;
 
 /// Commonly used items in one import.
@@ -42,13 +47,12 @@ pub mod prelude {
     pub use incline_trace::{
         CollectingSink, CompileEvent, JsonlSink, NullSink, StderrSink, TraceSink,
     };
-    #[allow(deprecated)]
-    pub use incline_vm::{run_benchmark, run_benchmark_faulted, run_benchmark_traced};
     pub use incline_vm::{
         BailoutCounters, BenchSpec, CacheStats, CompilationReport, CompileCx, CompileError,
-        CompileFuel, CompileQueue, EvictionPolicy, FaultKind, FaultPlan, Inliner, InstallPolicy,
-        LatencyStats, Machine, NoInline, QueueStats, RunSession, ServerReport, ServerSession,
-        ServerSpec, Speculation, TenantSpec, Value, VmConfig, VmConfigBuilder,
+        CompileFuel, CompileQueue, EvictionPolicy, FaultKind, FaultPlan, FileStore, Inliner,
+        InstallPolicy, LatencyStats, Machine, MemoryStore, NoInline, QueueStats, ReplayMode,
+        RunSession, ServerReport, ServerSession, ServerSpec, Snapshot, SnapshotIo, SnapshotStats,
+        SnapshotStore, Speculation, TenantSpec, Value, VmConfig, VmConfigBuilder,
     };
     pub use incline_workloads::{all_benchmarks, by_name, extra_benchmarks, Suite, Workload};
 }

@@ -1,0 +1,237 @@
+//! Warmup-snapshot system tests: round-trip byte identity across the
+//! compile-thread matrix, deterministic replay (eager and counter-seeded)
+//! against cold runs, and graceful cold-start fallback for truncated,
+//! bit-flipped, version-bumped, stale or missing snapshots — over the
+//! paper workloads and the random-program corpus.
+
+use std::sync::Arc;
+
+use incline_core::IncrementalInliner;
+use incline_vm::snapshot::{fnv1a, MemoryStore, ReplayMode, Snapshot, SnapshotStore};
+use incline_vm::{BenchResult, BenchSpec, RunSession, Value, VmConfig};
+use incline_workloads::{GenConfig, Workload};
+
+fn spec(w: &Workload) -> BenchSpec {
+    BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input.min(8))],
+        iterations: 6,
+    }
+}
+
+fn config(threads: usize, replay: ReplayMode) -> VmConfig {
+    VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        compile_threads: threads,
+        replay,
+        ..VmConfig::default()
+    }
+}
+
+/// Runs `w` cold and returns the result plus the snapshot it wrote.
+fn cold_run(w: &Workload, threads: usize) -> (BenchResult, Vec<u8>) {
+    let store = Arc::new(MemoryStore::new());
+    let r = RunSession::new(&w.program, spec(w))
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config(threads, ReplayMode::Eager))
+        .snapshot_out(store.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", w.name));
+    let bytes = store.bytes().expect("cold run must write a snapshot");
+    (r, bytes)
+}
+
+/// Runs `w` with `bytes` loaded as the warmup snapshot.
+fn warm_run(w: &Workload, bytes: Vec<u8>, threads: usize, replay: ReplayMode) -> BenchResult {
+    RunSession::new(&w.program, spec(w))
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config(threads, replay))
+        .snapshot_in(bytes)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: warm run failed: {e}", w.name))
+}
+
+fn corpus() -> Vec<Workload> {
+    let mut targets = vec![
+        incline_workloads::by_name("scalatest").unwrap(),
+        incline_workloads::by_name("avrora").unwrap(),
+        incline_workloads::by_name("phase_change").unwrap(),
+    ];
+    for seed in 0..12u64 {
+        targets.push(incline_workloads::generate(seed, GenConfig::default()));
+    }
+    targets
+}
+
+#[test]
+fn snapshots_are_byte_identical_across_compile_threads() {
+    // The format sorts every map before writing, and in barrier mode the
+    // worker-pool size is observably invisible — so the snapshot written
+    // at the end of a run must not depend on `compile_threads` either.
+    for w in corpus() {
+        let (_, reference) = cold_run(&w, 0);
+        for threads in [1usize, 4] {
+            let (_, bytes) = cold_run(&w, threads);
+            assert_eq!(
+                reference, bytes,
+                "{}: snapshot bytes differ between compile_threads=0 and {threads}",
+                w.name
+            );
+        }
+        // Parse → re-serialize is the identity on valid snapshots.
+        let snap = Snapshot::from_bytes(&reference)
+            .unwrap_or_else(|e| panic!("{}: snapshot must parse: {e}", w.name));
+        assert_eq!(
+            snap.to_bytes(),
+            reference,
+            "{}: re-serialization must be byte-identical",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn eager_and_seeded_replay_produce_cold_answers() {
+    // The replay correctness property: a replayed run must compute
+    // byte-identical answers (output digest, final value, per-tenant
+    // semantics) to the cold run it was snapshotted from, in both modes,
+    // across the worker-pool matrix.
+    for w in corpus() {
+        let (cold, bytes) = cold_run(&w, 0);
+        for replay in [ReplayMode::Eager, ReplayMode::Seed] {
+            let reference = warm_run(&w, bytes.clone(), 0, replay);
+            assert_eq!(
+                cold.answer_digest(),
+                reference.answer_digest(),
+                "{}: answers diverged under {replay:?} replay",
+                w.name
+            );
+            assert_eq!(cold.final_value, reference.final_value, "{}", w.name);
+            assert_eq!(cold.final_output, reference.final_output, "{}", w.name);
+            // Replay itself is deterministic across the pool size.
+            for threads in [1usize, 4] {
+                let out = warm_run(&w, bytes.clone(), threads, replay);
+                assert_eq!(
+                    reference, out,
+                    "{}: replayed BenchResult differs between compile_threads=0 and \
+                     {threads} under {replay:?}",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eager_replay_eliminates_warmup_on_paper_workloads() {
+    for w in incline_workloads::all_benchmarks() {
+        let (cold, bytes) = cold_run(&w, 0);
+        let warm = warm_run(&w, bytes, 0, ReplayMode::Eager);
+        assert!(
+            warm.warmup_cycles_within(0.05) <= cold.warmup_cycles_within(0.05),
+            "{}: eager replay must not warm up slower than cold \
+             (warm {} vs cold {} cycles)",
+            w.name,
+            warm.warmup_cycles_within(0.05),
+            cold.warmup_cycles_within(0.05)
+        );
+    }
+}
+
+/// Asserts that a session fed `bytes` falls back to a cold start: one
+/// fallback counted, zero loads, and a `BenchResult` equal to the cold
+/// run's in every field except the snapshot counters.
+fn assert_cold_fallback(w: &Workload, cold: &BenchResult, bytes: Vec<u8>, what: &str) {
+    let out = warm_run(w, bytes, 0, ReplayMode::Eager);
+    assert_eq!(
+        out.snapshot.fallbacks, 1,
+        "{}: {what}: fallback must be counted",
+        w.name
+    );
+    assert_eq!(out.snapshot.loaded, 0, "{}: {what}: nothing loaded", w.name);
+    let mut masked = out.clone();
+    masked.snapshot = cold.snapshot;
+    assert_eq!(
+        &masked, cold,
+        "{}: {what}: fallback run must equal the cold run",
+        w.name
+    );
+}
+
+#[test]
+fn corrupt_snapshots_degrade_to_cold_start() {
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let (cold, bytes) = cold_run(&w, 0);
+
+    // Truncations at several depths, including into the checksum digits.
+    // (Losing only the trailing newline is tolerated: the footer and the
+    // checksummed body are still intact.)
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 2] {
+        assert_cold_fallback(&w, &cold, bytes[..cut].to_vec(), "truncated");
+    }
+    // Bit flips sprinkled through the body trip the checksum (or the
+    // parser); either way the run degrades, never panics.
+    for pos in (0..bytes.len()).step_by(97) {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x10;
+        assert_cold_fallback(&w, &cold, flipped, "bit-flipped");
+    }
+    // Version bump with a *valid* checksum: only the version check fires.
+    let text = String::from_utf8(bytes.clone()).unwrap();
+    let body = text
+        .split_once("{\"rec\":\"end\"")
+        .map(|(b, _)| b.replace("\"v\":1", "\"v\":2"))
+        .unwrap();
+    let bumped = format!(
+        "{body}{{\"rec\":\"end\",\"crc\":\"{:016x}\"}}\n",
+        fnv1a(body.as_bytes())
+    );
+    assert_cold_fallback(&w, &cold, bumped.into_bytes(), "version-bumped");
+    // Garbage that is not even JSONL.
+    assert_cold_fallback(&w, &cold, b"not a snapshot at all".to_vec(), "garbage");
+}
+
+#[test]
+fn stale_snapshot_from_another_program_degrades_to_cold_start() {
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let other = incline_workloads::by_name("avrora").unwrap();
+    let (cold, _) = cold_run(&w, 0);
+    let (_, stale) = cold_run(&other, 0);
+    // Valid bytes, valid checksum — but the program fingerprint differs.
+    assert_cold_fallback(&w, &cold, stale, "stale-program");
+}
+
+#[test]
+fn empty_store_degrades_to_cold_start() {
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let (cold, _) = cold_run(&w, 0);
+    let out = RunSession::new(&w.program, spec(&w))
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config(0, ReplayMode::Eager))
+        .snapshot_in(Arc::new(MemoryStore::new()))
+        .run()
+        .unwrap();
+    assert_eq!(out.snapshot.fallbacks, 1);
+    let mut masked = out.clone();
+    masked.snapshot = cold.snapshot;
+    assert_eq!(masked, cold);
+}
+
+#[test]
+fn file_store_round_trips_through_disk() {
+    use incline_vm::snapshot::FileStore;
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let path = std::env::temp_dir().join(format!("incline-snap-{}.jsonl", std::process::id()));
+    let (cold, bytes) = cold_run(&w, 0);
+    FileStore::new(&path).write(&bytes).unwrap();
+    let warm = RunSession::new(&w.program, spec(&w))
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config(0, ReplayMode::Eager))
+        .snapshot_in(path.as_path())
+        .run()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(warm.snapshot.loaded, 1);
+    assert_eq!(cold.answer_digest(), warm.answer_digest());
+}
