@@ -1,0 +1,8 @@
+//! Snapshot drift harness: phase-A snapshots replayed against drifted
+//! phase-B traffic, per workload and for the multi-tenant server, as
+//! machine-readable JSON (seeds `BENCH_drift.json`). Panics — failing the
+//! run — if any warm digest diverges from its cold baseline.
+
+fn main() {
+    println!("{}", incline_bench::drift::figure());
+}

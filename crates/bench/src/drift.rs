@@ -1,0 +1,295 @@
+//! Drift harness: warmup snapshots taken under phase-A traffic, replayed
+//! against drifted phase-B traffic.
+//!
+//! Fleet snapshot distribution only pays off if a snapshot recorded under
+//! yesterday's traffic still helps under today's. This module measures the
+//! deopt-and-recover cost of serving a *drifted* workload from a stale
+//! snapshot: every standard workload is profiled and snapshotted under its
+//! default input (phase A), then served under a shifted input (phase B)
+//! twice — once cold, once warmed by the phase-A snapshot. The warm run
+//! may trap and recompile where speculation no longer holds, but it must
+//! compute the byte-identical answer and, in aggregate, still reach steady
+//! state cheaper than a cold start. The multi-tenant server scenario gets
+//! the same treatment through the per-tenant `flip_after` knob: phase A is
+//! a serve with every tenant pre-pivot, phase B flips every tenant
+//! post-pivot from request zero.
+//!
+//! [`figure`] renders the `BENCH_drift.json` report and panics on any
+//! warm/cold digest divergence — that assert is the regression gate the
+//! `drift` bench binary (and the CI `snapshot-drift` job) runs.
+
+use std::sync::Arc;
+
+use incline_vm::{
+    BenchResult, BenchSpec, MemoryStore, RunSession, ServerReport, ServerSession, Value, VmConfig,
+};
+use incline_workloads::{all_benchmarks, Workload};
+
+use crate::Config;
+
+/// Steady-state convergence fraction used by the recovery metric
+/// (recovery = cycles until throughput is within this fraction of
+/// steady state, matching the warmup figure).
+pub const FRAC: f64 = 0.05;
+
+/// Recovery-cost ceiling: a warm phase-B run must never need more than
+/// this many times the cold run's recovery cycles on any workload.
+pub const MAX_RATIO: f64 = 1.5;
+
+/// Number of workloads (out of all standard ones) whose warm recovery
+/// must beat cold strictly for the figure to meet its criterion.
+pub const MIN_IMPROVED: usize = 20;
+
+/// Phase-B input for a workload profiled under phase-A `input`: 50% more
+/// work (at least one unit). Enough to shift loop trip counts, block
+/// frequencies and receiver mixes — so stale speculation traps — without
+/// changing the program, whose fingerprint must keep matching the
+/// snapshot's.
+pub fn drifted_input(input: i64) -> i64 {
+    input + (input / 2).max(1)
+}
+
+/// One workload measured under A→B traffic drift.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Workload name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Phase-B run from a cold start — the recovery baseline.
+    pub cold: BenchResult,
+    /// Phase-B run warmed by a snapshot taken under phase A.
+    pub warm: BenchResult,
+}
+
+impl DriftRow {
+    /// Whether the warm run computed the same observable answer as the
+    /// cold run. Drift may cost traps and recompiles, never correctness.
+    pub fn digest_match(&self) -> bool {
+        self.warm.answer_digest() == self.cold.answer_digest()
+    }
+
+    /// Cold-start cycles to within [`FRAC`] of steady state.
+    pub fn cold_recovery(&self) -> u64 {
+        self.cold.warmup_cycles_within(FRAC)
+    }
+
+    /// Warm (deopt-and-recover) cycles to within [`FRAC`] of steady state.
+    pub fn warm_recovery(&self) -> u64 {
+        self.warm.warmup_cycles_within(FRAC)
+    }
+
+    /// Warm/cold recovery ratio; the cold denominator is clamped to one
+    /// cycle so a workload that starts in steady state divides cleanly.
+    pub fn ratio(&self) -> f64 {
+        self.warm_recovery() as f64 / self.cold_recovery().max(1) as f64
+    }
+}
+
+fn phase_run(
+    w: &Workload,
+    config: &VmConfig,
+    snap_in: Option<Arc<MemoryStore>>,
+    snap_out: Option<Arc<MemoryStore>>,
+) -> BenchResult {
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(w.input)],
+        iterations: w.iterations,
+    };
+    let mut session = RunSession::new(&w.program, spec)
+        .inliner(Config::paper().build())
+        .config(*config);
+    if let Some(store) = snap_in {
+        session = session.snapshot_in(store);
+    }
+    if let Some(store) = snap_out {
+        session = session.snapshot_out(store);
+    }
+    session.run().unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+fn measure_with(w: &Workload, config: VmConfig) -> DriftRow {
+    let store = Arc::new(MemoryStore::new());
+    phase_run(w, &config, None, Some(store.clone()));
+    let phase_b = w.clone().with_input(drifted_input(w.input));
+    let cold = phase_run(&phase_b, &config, None, None);
+    let warm = phase_run(&phase_b, &config, Some(store), None);
+    DriftRow {
+        name: w.name.clone(),
+        suite: w.suite.label().to_string(),
+        cold,
+        warm,
+    }
+}
+
+/// Snapshots `w` under its phase-A (default) input, then serves the
+/// drifted phase-B input cold and warmed by that snapshot. Runs with
+/// deoptimization enabled — stale speculation must trap and recover, not
+/// stay conservatively correct.
+pub fn measure(w: &Workload) -> DriftRow {
+    measure_with(
+        w,
+        VmConfig {
+            deopt: true,
+            ..crate::default_vm()
+        },
+    )
+}
+
+/// Like [`measure`] with an explicit compile-worker pool size: every
+/// drift-run observable must be byte-identical across pool sizes, and the
+/// system tests pin that down.
+pub fn measure_with_threads(w: &Workload, threads: usize) -> DriftRow {
+    measure_with(
+        w,
+        VmConfig {
+            deopt: true,
+            compile_threads: threads,
+            ..crate::default_vm()
+        },
+    )
+}
+
+/// Drift rows for every standard workload.
+pub fn measure_all() -> Vec<DriftRow> {
+    all_benchmarks().iter().map(measure).collect()
+}
+
+/// Server drift: serves the standard tenant mix entirely pre-pivot
+/// (phase A) to record a snapshot, then serves it entirely post-pivot
+/// (phase B) cold and warmed by that snapshot. Returns
+/// `(cold phase-B, warm phase-B)` reports.
+pub fn serve_drift() -> (ServerReport, ServerReport) {
+    let mix = crate::server::standard_mix();
+    let serve = |flip_after: f64,
+                 snap_in: Option<Arc<MemoryStore>>,
+                 snap_out: Option<Arc<MemoryStore>>|
+     -> ServerReport {
+        let tenants = crate::server::tenant_specs(&mix)
+            .into_iter()
+            .map(|mut t| {
+                t.flip_after = flip_after;
+                t
+            })
+            .collect();
+        let mut session = ServerSession::new(&mix.program, tenants, crate::server::standard_spec())
+            .inliner(Config::paper().build())
+            .config(VmConfig::builder().hotness_threshold(4).deopt(true).build());
+        if let Some(store) = snap_in {
+            session = session.snapshot_in(store);
+        }
+        if let Some(store) = snap_out {
+            session = session.snapshot_out(store);
+        }
+        session.serve().expect("drift server scenario must serve")
+    };
+    let store = Arc::new(MemoryStore::new());
+    serve(1.0, None, Some(store.clone()));
+    let cold = serve(0.0, None, None);
+    let warm = serve(0.0, Some(store), None);
+    (cold, warm)
+}
+
+/// Renders the drift report (`BENCH_drift.json`). Panics on any warm/cold
+/// digest divergence — per workload or per server tenant — so the bench
+/// binary doubles as a regression gate.
+pub fn figure() -> String {
+    let benches = measure_all();
+    let mut rows = String::new();
+    let mut improved = 0usize;
+    let mut worst_ratio = 0f64;
+    for r in &benches {
+        assert!(
+            r.digest_match(),
+            "{}: warm phase-B digest diverged from cold",
+            r.name
+        );
+        let ratio = r.ratio();
+        if r.warm_recovery() < r.cold_recovery() {
+            improved += 1;
+        }
+        if ratio > worst_ratio {
+            worst_ratio = ratio;
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workload\":\"{}\",\"suite\":\"{}\",\
+             \"cold\":{{\"recovery_cycles\":{},\"deopts\":{},\"recompiles\":{}}},\
+             \"warm\":{{\"recovery_cycles\":{},\"deopts\":{},\"recompiles\":{},\
+             \"replayed_compiles\":{},\"poisoned\":{}}},\
+             \"ratio\":{:.3},\"digest_match\":{},\"improved\":{}}}",
+            r.name,
+            r.suite,
+            r.cold_recovery(),
+            r.cold.bailouts.deopts,
+            r.cold.bailouts.recompiles,
+            r.warm_recovery(),
+            r.warm.bailouts.deopts,
+            r.warm.bailouts.recompiles,
+            r.warm.snapshot.replayed_compiles,
+            r.warm.snapshot.poisoned,
+            ratio,
+            r.digest_match(),
+            r.warm_recovery() < r.cold_recovery(),
+        ));
+    }
+
+    let (cold_srv, warm_srv) = serve_drift();
+    for (c, w) in cold_srv.tenants.iter().zip(&warm_srv.tenants) {
+        assert!(
+            c.digest == w.digest,
+            "tenant {}: warm phase-B digest diverged from cold",
+            c.name
+        );
+    }
+
+    format!(
+        "{{\n  \"metric\":\"cycles to within 5% of steady state under A->B input drift\",\n  \
+         \"criteria\":{{\"improved_min\":{min_improved},\"max_ratio\":{max_ratio:.1},\
+         \"digests\":\"warm == cold on every workload and tenant\"}},\n  \
+         \"workloads\":[\n{rows}\n  ],\n  \
+         \"summary\":{{\"improved\":{improved},\"total\":{total},\"worst_ratio\":{worst_ratio:.3},\
+         \"meets_recovery\":{meets_recovery},\"meets_bound\":{meets_bound}}},\n  \
+         \"server\":{{\"cold_cycles\":{},\"warm_cycles\":{},\"warm_deopts\":{},\
+         \"warm_recompiles\":{},\"replayed_compiles\":{},\"poisoned\":{},\
+         \"cold_latency_p99\":{},\"warm_latency_p99\":{},\"tenant_digests_match\":true}}\n}}",
+        cold_srv.total_cycles,
+        warm_srv.total_cycles,
+        warm_srv.bailouts.deopts,
+        warm_srv.bailouts.recompiles,
+        warm_srv.snapshot.replayed_compiles,
+        warm_srv.snapshot.poisoned,
+        cold_srv.latency.p99,
+        warm_srv.latency.p99,
+        min_improved = MIN_IMPROVED,
+        max_ratio = MAX_RATIO,
+        improved = improved,
+        total = benches.len(),
+        worst_ratio = worst_ratio,
+        meets_recovery = improved >= MIN_IMPROVED,
+        meets_bound = worst_ratio <= MAX_RATIO,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifted_input_always_moves() {
+        for i in [-3, 0, 1, 2, 7, 40, 1000] {
+            assert!(drifted_input(i) > i, "input {i} must drift forward");
+        }
+    }
+
+    #[test]
+    fn drift_preserves_answers_on_a_sample() {
+        for w in all_benchmarks().iter().take(4) {
+            let row = measure(w);
+            assert!(row.digest_match(), "{}: digest diverged", row.name);
+        }
+    }
+}

@@ -302,6 +302,7 @@ mod tests {
     }
 }
 
+pub mod drift;
 pub mod figures;
 pub mod server;
 pub mod stats;

@@ -36,6 +36,76 @@ pub struct MethodProfile {
     pub receivers: HashMap<u32, HashMap<ClassId, u64>>,
 }
 
+impl MethodProfile {
+    /// The method's observed hotness: invocations plus taken back edges —
+    /// the weight a replica's evidence carries in snapshot-merge votes and
+    /// the quantity the decision support check compares against.
+    pub fn hotness(&self) -> u64 {
+        self.invocations.saturating_add(self.backedges)
+    }
+
+    /// Accumulates `other` into this profile (weighted histogram union —
+    /// every counter adds, so merging N replicas weighs each by its own
+    /// observation counts).
+    pub fn add(&mut self, other: &MethodProfile) {
+        self.invocations += other.invocations;
+        self.backedges += other.backedges;
+        for (&b, &c) in &other.block_counts {
+            *self.block_counts.entry(b).or_insert(0) += c;
+        }
+        for (&s, &c) in &other.callsite_counts {
+            *self.callsite_counts.entry(s).or_insert(0) += c;
+        }
+        for (&s, hist) in &other.receivers {
+            let d = self.receivers.entry(s).or_default();
+            for (&cl, &c) in hist {
+                *d.entry(cl).or_insert(0) += c;
+            }
+        }
+    }
+
+    /// Removes `other`'s contribution from this profile, saturating at
+    /// zero and pruning emptied entries — the quarantine ladder's profile
+    /// rollback, so a poisoned replayed decision must re-earn its heat
+    /// from genuinely fresh observations.
+    pub fn subtract(&mut self, other: &MethodProfile) {
+        self.invocations = self.invocations.saturating_sub(other.invocations);
+        self.backedges = self.backedges.saturating_sub(other.backedges);
+        for (&b, &c) in &other.block_counts {
+            if let Some(v) = self.block_counts.get_mut(&b) {
+                *v = v.saturating_sub(c);
+            }
+        }
+        self.block_counts.retain(|_, &mut c| c > 0);
+        for (&s, &c) in &other.callsite_counts {
+            if let Some(v) = self.callsite_counts.get_mut(&s) {
+                *v = v.saturating_sub(c);
+            }
+        }
+        self.callsite_counts.retain(|_, &mut c| c > 0);
+        for (&s, hist) in &other.receivers {
+            if let Some(d) = self.receivers.get_mut(&s) {
+                for (&cl, &c) in hist {
+                    if let Some(v) = d.get_mut(&cl) {
+                        *v = v.saturating_sub(c);
+                    }
+                }
+                d.retain(|_, &mut c| c > 0);
+            }
+        }
+        self.receivers.retain(|_, h| !h.is_empty());
+    }
+
+    /// Whether the profile carries no observations at all.
+    pub fn is_empty(&self) -> bool {
+        self.invocations == 0
+            && self.backedges == 0
+            && self.block_counts.is_empty()
+            && self.callsite_counts.is_empty()
+            && self.receivers.is_empty()
+    }
+}
+
 /// One entry of a receiver type profile.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReceiverEntry {
@@ -166,23 +236,27 @@ impl ProfileTable {
     }
 
     /// Merges another table into this one (used when profiles from several
-    /// benchmark iterations are aggregated).
+    /// benchmark iterations — or several fleet replicas — are aggregated).
     pub fn merge(&mut self, other: &ProfileTable) {
         for (&m, mp) in &other.methods {
-            let dst = self.method_mut(m);
-            dst.invocations += mp.invocations;
-            dst.backedges += mp.backedges;
-            for (&b, &c) in &mp.block_counts {
-                *dst.block_counts.entry(b).or_insert(0) += c;
-            }
-            for (&s, &c) in &mp.callsite_counts {
-                *dst.callsite_counts.entry(s).or_insert(0) += c;
-            }
-            for (&s, hist) in &mp.receivers {
-                let d = dst.receivers.entry(s).or_default();
-                for (&cl, &c) in hist {
-                    *d.entry(cl).or_insert(0) += c;
-                }
+            self.method_mut(m).add(mp);
+        }
+    }
+
+    /// The observed hotness of `m`: invocations + back edges (0 when
+    /// never profiled).
+    pub fn hotness(&self, m: MethodId) -> u64 {
+        self.method(m).map_or(0, MethodProfile::hotness)
+    }
+
+    /// Removes `seed`'s contribution from `m`'s profile (saturating), and
+    /// drops the method entirely once nothing remains — the quarantine
+    /// rollback of a poisoned snapshot's seeded counters.
+    pub fn subtract(&mut self, m: MethodId, seed: &MethodProfile) {
+        if let Some(p) = self.methods.get_mut(&m) {
+            p.subtract(seed);
+            if p.is_empty() {
+                self.methods.remove(&m);
             }
         }
     }
@@ -291,6 +365,50 @@ mod tests {
         assert_eq!(a.invocations(m), 3);
         assert_eq!(a.callsite_count(site(1, 0)), 2);
         assert_eq!(a.receiver_profile(site(1, 0)).len(), 1);
+    }
+
+    #[test]
+    fn subtract_rolls_back_a_merge_and_prunes() {
+        let mut live = ProfileTable::new();
+        let m = MethodId::new(2);
+        let s = site(2, 0);
+        for _ in 0..5 {
+            live.record_invocation(m);
+        }
+        live.record_backedge(m);
+        live.record_callsite(s);
+        live.record_receiver(s, ClassId::new(1));
+        let seed = live.method(m).unwrap().clone();
+        // Fresh traffic on top of the seed.
+        live.record_invocation(m);
+        live.record_receiver(s, ClassId::new(3));
+        assert_eq!(live.hotness(m), 7);
+        live.subtract(m, &seed);
+        assert_eq!(live.invocations(m), 1);
+        assert_eq!(live.backedges(m), 0);
+        assert_eq!(live.callsite_count(s), 0);
+        let prof = live.receiver_profile(s);
+        assert_eq!(prof.len(), 1, "seeded receiver class must be pruned");
+        assert_eq!(prof[0].class, ClassId::new(3));
+        // Subtracting the remainder empties and removes the method.
+        let rest = live.method(m).unwrap().clone();
+        live.subtract(m, &rest);
+        assert!(live.method(m).is_none());
+        assert_eq!(live.hotness(m), 0);
+    }
+
+    #[test]
+    fn subtract_saturates_instead_of_underflowing() {
+        let mut t = ProfileTable::new();
+        let m = MethodId::new(0);
+        t.record_invocation(m);
+        let seed = MethodProfile {
+            invocations: 100,
+            backedges: 100,
+            ..MethodProfile::default()
+        };
+        t.subtract(m, &seed);
+        assert!(t.method(m).is_none());
     }
 
     #[test]

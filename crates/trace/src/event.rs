@@ -346,6 +346,44 @@ pub enum CompileEvent {
         /// Serialized snapshot size in bytes.
         bytes: u64,
     },
+    /// N replica snapshots were merged into one before the run: profile
+    /// histograms unioned with weighted counts, the decision log settled by
+    /// majority vote (ties broken by total observed hotness).
+    SnapshotMerged {
+        /// Distinct replica snapshots that contributed.
+        replicas: u64,
+        /// Method profiles in the merged snapshot.
+        methods: u64,
+        /// Compile decisions that survived the vote and the support check.
+        decisions: u64,
+        /// Methods on which replicas voted for different decisions.
+        conflicts: u64,
+        /// Decisions dropped because the merged profile no longer
+        /// justified them.
+        aged_out: u64,
+    },
+    /// A replayed snapshot decision deoptimized within its first K compiled
+    /// activations and was quarantined: code dropped, seeded profile rolled
+    /// back, the decision excluded from the next `snapshot_out`.
+    DecisionPoisoned {
+        /// The quarantined method.
+        method: MethodId,
+        /// Compiled activations the replayed code served before the deopt.
+        activations: u64,
+        /// The attribution window K it fell inside.
+        window: u64,
+    },
+    /// A snapshot-merge support check dropped a decision the merged profile
+    /// no longer justifies (the method's observed hotness fell below the
+    /// support bar).
+    DecisionAgedOut {
+        /// The method whose decision was dropped.
+        method: MethodId,
+        /// The method's hotness in the merged profile.
+        hotness: u64,
+        /// The support bar it failed to meet.
+        required: u64,
+    },
 }
 
 impl CompileEvent {
@@ -377,6 +415,9 @@ impl CompileEvent {
             CompileEvent::SnapshotLoaded { .. } => "SnapshotLoaded",
             CompileEvent::SnapshotFallback { .. } => "SnapshotFallback",
             CompileEvent::SnapshotWritten { .. } => "SnapshotWritten",
+            CompileEvent::SnapshotMerged { .. } => "SnapshotMerged",
+            CompileEvent::DecisionPoisoned { .. } => "DecisionPoisoned",
+            CompileEvent::DecisionAgedOut { .. } => "DecisionAgedOut",
         }
     }
 
@@ -406,7 +447,9 @@ impl CompileEvent {
             | CompileEvent::CodeEvicted { method, .. }
             | CompileEvent::AdmissionRejected { method, .. }
             | CompileEvent::MethodAged { method, .. }
-            | CompileEvent::ReTiered { method, .. } => Some(*method),
+            | CompileEvent::ReTiered { method, .. }
+            | CompileEvent::DecisionPoisoned { method, .. }
+            | CompileEvent::DecisionAgedOut { method, .. } => Some(*method),
             CompileEvent::ClusterFormed { method, .. }
             | CompileEvent::InlineDecision { method, .. } => *method,
             CompileEvent::OptPassStats { .. }
@@ -416,7 +459,8 @@ impl CompileEvent {
             | CompileEvent::QueueDepth { .. }
             | CompileEvent::SnapshotLoaded { .. }
             | CompileEvent::SnapshotFallback { .. }
-            | CompileEvent::SnapshotWritten { .. } => None,
+            | CompileEvent::SnapshotWritten { .. }
+            | CompileEvent::SnapshotMerged { .. } => None,
         }
     }
 }
@@ -608,6 +652,33 @@ impl fmt::Display for CompileEvent {
             } => write!(
                 f,
                 "snapshot written: {methods} profiles, {decisions} decisions, {bytes} bytes"
+            ),
+            CompileEvent::SnapshotMerged {
+                replicas,
+                methods,
+                decisions,
+                conflicts,
+                aged_out,
+            } => write!(
+                f,
+                "snapshot merged: {replicas} replicas -> {methods} profiles, \
+                 {decisions} decisions ({conflicts} conflicts, {aged_out} aged out)"
+            ),
+            CompileEvent::DecisionPoisoned {
+                method,
+                activations,
+                window,
+            } => write!(
+                f,
+                "{method} poisoned: deopt after {activations} activations (window {window})"
+            ),
+            CompileEvent::DecisionAgedOut {
+                method,
+                hotness,
+                required,
+            } => write!(
+                f,
+                "{method} decision aged out: hotness {hotness} < support {required}"
             ),
         }
     }

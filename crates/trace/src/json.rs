@@ -350,6 +350,37 @@ impl CompileEvent {
                 .raw("decisions", decisions)
                 .raw("bytes", bytes)
                 .finish(),
+            CompileEvent::SnapshotMerged {
+                replicas,
+                methods,
+                decisions,
+                conflicts,
+                aged_out,
+            } => JsonObj::new("SnapshotMerged")
+                .raw("replicas", replicas)
+                .raw("methods", methods)
+                .raw("decisions", decisions)
+                .raw("conflicts", conflicts)
+                .raw("aged_out", aged_out)
+                .finish(),
+            CompileEvent::DecisionPoisoned {
+                method,
+                activations,
+                window,
+            } => JsonObj::new("DecisionPoisoned")
+                .method("method", method)
+                .raw("activations", activations)
+                .raw("window", window)
+                .finish(),
+            CompileEvent::DecisionAgedOut {
+                method,
+                hotness,
+                required,
+            } => JsonObj::new("DecisionAgedOut")
+                .method("method", method)
+                .raw("hotness", hotness)
+                .raw("required", required)
+                .finish(),
         }
     }
 }
@@ -533,6 +564,40 @@ mod tests {
             }
             .to_json(),
             "{\"ev\":\"SnapshotWritten\",\"methods\":4,\"decisions\":3,\"bytes\":512}"
+        );
+    }
+
+    #[test]
+    fn merge_and_quarantine_events_serialize_flat() {
+        assert_eq!(
+            CompileEvent::SnapshotMerged {
+                replicas: 3,
+                methods: 9,
+                decisions: 5,
+                conflicts: 1,
+                aged_out: 2,
+            }
+            .to_json(),
+            "{\"ev\":\"SnapshotMerged\",\"replicas\":3,\"methods\":9,\"decisions\":5,\
+             \"conflicts\":1,\"aged_out\":2}"
+        );
+        assert_eq!(
+            CompileEvent::DecisionPoisoned {
+                method: MethodId::new(7),
+                activations: 2,
+                window: 8,
+            }
+            .to_json(),
+            "{\"ev\":\"DecisionPoisoned\",\"method\":\"m7\",\"activations\":2,\"window\":8}"
+        );
+        assert_eq!(
+            CompileEvent::DecisionAgedOut {
+                method: MethodId::new(4),
+                hotness: 3,
+                required: 16,
+            }
+            .to_json(),
+            "{\"ev\":\"DecisionAgedOut\",\"method\":\"m4\",\"hotness\":3,\"required\":16}"
         );
     }
 

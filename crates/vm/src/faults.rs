@@ -61,6 +61,21 @@ pub enum FaultKind {
     /// regardless of `code_cache_budget`; exercises the evict → reprofile →
     /// re-tier cycle and its backoff. Never drawn by [`FaultPlan::seeded`].
     ForceEvict,
+    /// Poison one decision of a replayed warmup snapshot: the decision at
+    /// index `decision_idx` of the snapshot's decided-method order is
+    /// installed normally during eager replay but takes an uncommon trap
+    /// on its first compiled activation, driving the quarantine ladder
+    /// (poison attribution, profile rollback, `snapshot_out` exclusion)
+    /// deterministically from tests. Inert outside snapshot replay (the
+    /// plan key is conventionally `decision_idx` itself, but unlike the
+    /// other kinds the key does not select a compile request). Only
+    /// effective when deoptimization is enabled and the method is not
+    /// pinned; never drawn by [`FaultPlan::seeded`].
+    PoisonSnapshot {
+        /// Index into the snapshot's decided-method order (the order
+        /// eager replay compiles, i.e. `Snapshot::decided_methods`).
+        decision_idx: u64,
+    },
 }
 
 /// A deterministic schedule of compiler faults, keyed by compilation
@@ -119,6 +134,18 @@ impl FaultPlan {
     /// The scheduled faults in request order.
     pub fn entries(&self) -> impl Iterator<Item = (u64, FaultKind)> + '_ {
         self.faults.iter().map(|(&r, &k)| (r, k))
+    }
+
+    /// The decided-method indices poisoned by [`FaultKind::PoisonSnapshot`]
+    /// entries, in sorted order — consumed by snapshot replay.
+    pub fn poisoned_decisions(&self) -> std::collections::BTreeSet<u64> {
+        self.faults
+            .values()
+            .filter_map(|k| match k {
+                FaultKind::PoisonSnapshot { decision_idx } => Some(*decision_idx),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -210,6 +237,20 @@ mod tests {
             entries,
             vec![(0, FaultKind::PanicInCompile), (3, FaultKind::CorruptGraph)]
         );
+    }
+
+    #[test]
+    fn poison_entries_are_collected_and_inert_elsewhere() {
+        let plan = FaultPlan::new()
+            .inject(0, FaultKind::PoisonSnapshot { decision_idx: 0 })
+            .inject(2, FaultKind::PoisonSnapshot { decision_idx: 2 })
+            .inject(5, FaultKind::ForceDeopt);
+        let poisoned: Vec<u64> = plan.poisoned_decisions().into_iter().collect();
+        assert_eq!(poisoned, vec![0, 2]);
+        assert!(FaultPlan::new()
+            .inject(1, FaultKind::ForceEvict)
+            .poisoned_decisions()
+            .is_empty());
     }
 
     #[test]

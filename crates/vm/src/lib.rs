@@ -64,8 +64,9 @@ pub use machine::{
 pub use runner::{BenchError, BenchResult, BenchSpec, RunSession};
 pub use server::{ServerError, ServerReport, ServerSession, ServerSpec, TenantReport, TenantSpec};
 pub use snapshot::{
-    DecisionRecord, FileStore, MemoryStore, MethodRecord, ReplayMode, Snapshot, SnapshotError,
-    SnapshotIo, SnapshotStats, SnapshotStore, SNAPSHOT_VERSION,
+    DecisionRecord, FileStore, MemoryStore, MergePolicy, MergeStats, Merged, MethodRecord,
+    ReplayMode, Snapshot, SnapshotError, SnapshotIo, SnapshotStats, SnapshotStore,
+    SNAPSHOT_VERSION,
 };
 pub use stats::{fairness_index, percentile, LatencyStats};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

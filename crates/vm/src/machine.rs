@@ -45,14 +45,14 @@
 //! queue wait that outlives the mutator's progress is charged as
 //! [`RunOutcome::stall_cycles`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use incline_ir::eval::{self, TrapKind};
 use incline_ir::graph::{CallTarget, DeoptReason, Op, Terminator};
 use incline_ir::loops::LoopForest;
 use incline_ir::{BlockId, CmpOp, Graph, MethodId, Program, ValueId};
-use incline_profile::ProfileTable;
+use incline_profile::{MethodProfile, ProfileTable};
 use incline_trace::{BailoutStage, CodeTier, CompileEvent, NullSink, TraceSink};
 
 use crate::broker::{
@@ -62,7 +62,9 @@ use crate::cache::{self, CacheEntry, CacheStats, EvictionPolicy};
 use crate::cost::{CostModel, Tier};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::inliner::{CompileError, InlineStats, Inliner, Speculation};
-use crate::snapshot::{self, DecisionRecord, ReplayMode, Snapshot, SnapshotError, SnapshotStats};
+use crate::snapshot::{
+    self, DecisionRecord, MergePolicy, ReplayMode, Snapshot, SnapshotError, SnapshotStats,
+};
 use crate::value::{Heap, HeapCell, HeapRef, Output, Value};
 
 /// VM configuration.
@@ -130,6 +132,13 @@ pub struct VmConfig {
     /// How a loaded warmup snapshot is applied before the first run; see
     /// [`ReplayMode`]. Irrelevant unless a snapshot is actually loaded.
     pub replay: ReplayMode,
+    /// Quarantine ladder probation window, in compiled activations: a
+    /// decision replayed from a snapshot that deoptimizes within its first
+    /// `poison_window` activations is attributed as *poisoned* — its code
+    /// is dropped evict-style (no recompile-budget burn, no pinning), its
+    /// seeded profile contribution is rolled back, and the decision is
+    /// excluded from the next snapshot. `0` disables the ladder.
+    pub poison_window: u64,
 }
 
 /// When the compile queue drains and installed code becomes visible.
@@ -183,6 +192,7 @@ impl Default for VmConfig {
             eviction_policy: EvictionPolicy::default(),
             cache_age_window: 1024,
             replay: ReplayMode::default(),
+            poison_window: 8,
         }
     }
 }
@@ -326,6 +336,13 @@ impl VmConfigBuilder {
     /// Sets how a loaded warmup snapshot is applied (see [`ReplayMode`]).
     pub fn replay(mut self, mode: ReplayMode) -> Self {
         self.config.replay = mode;
+        self
+    }
+
+    /// Sets the quarantine probation window in compiled activations
+    /// (see [`VmConfig::poison_window`]; 0 = off).
+    pub fn poison_window(mut self, window: u64) -> Self {
+        self.config.poison_window = window;
         self
     }
 
@@ -676,7 +693,26 @@ pub struct Machine<'p> {
     /// Every successful install, in installation order — the decision log
     /// a snapshot captures for eager replay.
     decision_log: Vec<DecisionRecord>,
+    /// Parallel to `decision_log`: whether the install happened during
+    /// snapshot replay. Replayed installs of a later-poisoned method are
+    /// excluded from [`Machine::snapshot`] output.
+    decision_replayed: Vec<bool>,
     snapshot_stats: SnapshotStats,
+    // Quarantine ladder (see [`VmConfig::poison_window`]).
+    /// Whether the machine is inside `apply_snapshot`'s eager replay loop;
+    /// marks installs as replayed.
+    replay_active: bool,
+    /// Methods whose replayed code is still inside its probation window —
+    /// a deopt here is attributed to the snapshot, not live drift.
+    replay_guard: HashSet<MethodId>,
+    /// Each method's profile contribution from applied snapshots, kept so
+    /// a poisoned decision can roll its seeded counters back out.
+    replay_seed: HashMap<MethodId, MethodProfile>,
+    /// Decided methods a [`FaultKind::PoisonSnapshot`] entry targets: their
+    /// replayed installs take an uncommon trap on first entry.
+    replay_poison: HashSet<MethodId>,
+    /// Methods whose replayed decision was quarantined as poisoned.
+    poisoned_methods: BTreeSet<MethodId>,
 }
 
 impl<'p> Machine<'p> {
@@ -718,7 +754,13 @@ impl<'p> Machine<'p> {
             total_stall_cycles: 0,
             last_compile_stats: Vec::new(),
             decision_log: Vec::new(),
+            decision_replayed: Vec::new(),
             snapshot_stats: SnapshotStats::default(),
+            replay_active: false,
+            replay_guard: HashSet::new(),
+            replay_seed: HashMap::new(),
+            replay_poison: HashSet::new(),
+            poisoned_methods: BTreeSet::new(),
         }
     }
 
@@ -906,16 +948,37 @@ impl<'p> Machine<'p> {
         &self.decision_log
     }
 
+    /// Methods whose replayed snapshot decision was quarantined as
+    /// poisoned (sorted). See [`VmConfig::poison_window`].
+    pub fn poisoned_methods(&self) -> Vec<MethodId> {
+        self.poisoned_methods.iter().copied().collect()
+    }
+
     /// Captures the machine's learned state — the full profile table plus
     /// the compile decision log — as a [`Snapshot`] fingerprinted against
     /// the running program. Byte-deterministic: two machines that observed
     /// the same run produce identical [`Snapshot::to_bytes`] output
     /// regardless of [`VmConfig::compile_threads`].
+    ///
+    /// Decisions that were replayed from a snapshot and later quarantined
+    /// as poisoned are excluded — a bad snapshot does not propagate its
+    /// poison to the next generation. A decision the method *re-earned*
+    /// from live traffic after quarantine is included normally.
     pub fn snapshot(&self) -> Snapshot {
+        let decisions: Vec<DecisionRecord> = self
+            .decision_log
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                !(self.decision_replayed.get(*i).copied().unwrap_or(false)
+                    && self.poisoned_methods.contains(&d.method))
+            })
+            .map(|(_, d)| d.clone())
+            .collect();
         Snapshot::capture(
             snapshot::fingerprint(self.program),
             &self.profiles,
-            &self.decision_log,
+            &decisions,
         )
     }
 
@@ -936,6 +999,71 @@ impl<'p> Machine<'p> {
     /// snapshot was applied.
     pub fn load_snapshot_or_cold(&mut self, bytes: &[u8]) -> bool {
         match self.load_snapshot(bytes) {
+            Ok(()) => true,
+            Err(e) => {
+                self.note_snapshot_fallback(&e.to_string());
+                false
+            }
+        }
+    }
+
+    /// Gracefully merges N parsed replica snapshots and applies the result:
+    /// replicas with a foreign program fingerprint are dropped (each counts
+    /// a fallback), the survivors go through [`Snapshot::merge`] with the
+    /// machine's own `hotness_threshold` as the support bar, and the merged
+    /// snapshot is applied like any other load. Emits
+    /// [`CompileEvent::SnapshotMerged`] plus one
+    /// [`CompileEvent::DecisionAgedOut`] per decision the support check
+    /// dropped. On any failure (zero usable replicas) the machine counts a
+    /// fallback and proceeds cold — never a panic. Returns whether a merged
+    /// snapshot was applied.
+    pub fn load_merged_or_cold(&mut self, replicas: &[Snapshot]) -> bool {
+        let expected = snapshot::fingerprint(self.program);
+        let mut usable: Vec<Snapshot> = Vec::new();
+        for r in replicas {
+            if r.fingerprint == expected {
+                usable.push(r.clone());
+            } else {
+                self.note_snapshot_fallback(&format!(
+                    "stale replica: program fingerprint {:016x} expected {:016x}",
+                    r.fingerprint, expected
+                ));
+            }
+        }
+        if usable.is_empty() {
+            if replicas.is_empty() {
+                self.note_snapshot_fallback("merge of zero replicas");
+            }
+            return false;
+        }
+        let policy = MergePolicy::with_support(self.config.hotness_threshold.max(1));
+        let merged = match Snapshot::merge(&usable, &policy) {
+            Ok(m) => m,
+            Err(e) => {
+                self.note_snapshot_fallback(&e.to_string());
+                return false;
+            }
+        };
+        let stats = merged.stats;
+        self.emit(|| CompileEvent::SnapshotMerged {
+            replicas: stats.replicas,
+            methods: stats.methods,
+            decisions: stats.decisions,
+            conflicts: stats.conflicts,
+            aged_out: stats.aged_out,
+        });
+        let required = merged.min_support;
+        for (rec, hotness) in &merged.aged_out {
+            let (method, hotness) = (rec.method, *hotness);
+            self.emit(|| CompileEvent::DecisionAgedOut {
+                method,
+                hotness,
+                required,
+            });
+        }
+        self.snapshot_stats.merged += stats.replicas;
+        self.snapshot_stats.aged_out += stats.aged_out;
+        match self.apply_snapshot(&merged.snapshot) {
             Ok(()) => true,
             Err(e) => {
                 self.note_snapshot_fallback(&e.to_string());
@@ -967,6 +1095,13 @@ impl<'p> Machine<'p> {
         }
         let table = snap.profile_table();
         self.snapshot_stats.seeded_methods += table.len() as u64;
+        // Remember each method's seeded contribution so the quarantine
+        // ladder can roll it back if the decision turns out poisoned.
+        if self.config.poison_window > 0 {
+            for (m, mp) in table.iter() {
+                self.replay_seed.entry(m).or_default().add(mp);
+            }
+        }
         self.profiles.merge(&table);
         self.snapshot_stats.loaded += 1;
         let (methods, decisions, mode) = (
@@ -980,10 +1115,21 @@ impl<'p> Machine<'p> {
             mode: mode.label().to_string(),
         });
         if mode == ReplayMode::Eager {
+            // Injected snapshot poison: `decision_idx` indexes the decided-
+            // method order about to be replayed; the targeted installs take
+            // an uncommon trap on first entry.
+            let decided = snap.decided_methods();
+            let poisoned_idx = self.fault_plan.poisoned_decisions();
+            for &idx in &poisoned_idx {
+                if let Some(&m) = decided.get(idx as usize) {
+                    self.replay_poison.insert(m);
+                }
+            }
             // One request per decided method, enqueued and drained
             // sequentially — exactly the Barrier-mode hotness trigger, so
             // stall accounting is identical across worker-pool sizes.
-            for m in snap.decided_methods() {
+            self.replay_active = true;
+            for m in decided {
                 if self.code.contains_key(&m) || self.blacklist.contains(&m) {
                     continue;
                 }
@@ -991,6 +1137,7 @@ impl<'p> Machine<'p> {
                     self.snapshot_stats.replayed_compiles += 1;
                 }
             }
+            self.replay_active = false;
             // The replay is pre-run warmup: fold its stall into the virtual
             // clock base so the first measured run starts clean (and the
             // worker-pool timeline stays monotone).
@@ -1369,12 +1516,17 @@ impl<'p> Machine<'p> {
             ),
             speculative_sites: stats.speculative_sites,
         });
+        self.decision_replayed.push(self.replay_active);
         let pinned = self.spec.get(&method).is_some_and(|s| s.pinned);
         let has_deopt = graph_has_deopt(&graph);
         let has_virtual = graph_has_virtual_call(&graph);
+        // Snapshot poison (quarantine ladder): a replayed install targeted
+        // by a `PoisonSnapshot` fault traps on first entry, like ForceDeopt.
+        let poisoned = self.replay_active && self.replay_poison.contains(&method);
         // The injected speculation faults are ignored for pinned methods —
         // pinned code must never deoptimize, even under fault injection.
-        let force_deopt = self.config.deopt && !pinned && fault == Some(FaultKind::ForceDeopt);
+        let force_deopt =
+            self.config.deopt && !pinned && (fault == Some(FaultKind::ForceDeopt) || poisoned);
         let force_drift =
             self.config.deopt && !pinned && fault == Some(FaultKind::ForceGuardFailure);
         let drift_armed = self.config.deopt
@@ -1435,6 +1587,12 @@ impl<'p> Machine<'p> {
                 threshold,
             });
         }
+        // A replayed install starts its quarantine probation: a deopt
+        // within the first `poison_window` activations is attributed to
+        // the snapshot, not live drift.
+        if self.replay_active && self.config.poison_window > 0 {
+            self.replay_guard.insert(method);
+        }
         // Injected cache fault: throw the fresh install straight back out,
         // as if pressure had picked it — exercises the evict → reprofile →
         // re-tier cycle deterministically, with or without a real budget.
@@ -1454,6 +1612,9 @@ impl<'p> Machine<'p> {
         let Some(cm) = self.code.remove(&method) else {
             return;
         };
+        // The replayed code is gone; whatever installs next was decided
+        // live, so probation ends here.
+        self.replay_guard.remove(&method);
         self.account_release(cm.bytes);
         self.bailouts.invalidations += 1;
         let inv = self.profiles.invocations(method);
@@ -1589,6 +1750,8 @@ impl<'p> Machine<'p> {
         let Some(cm) = self.code.remove(&method) else {
             return;
         };
+        // Evicted replayed code ends its probation like any other exit.
+        self.replay_guard.remove(&method);
         self.account_release(cm.bytes);
         self.cache.evictions += 1;
         if forced {
@@ -1909,16 +2072,65 @@ impl<'p> Machine<'p> {
     }
 
     /// Common deoptimization bookkeeping: counters, events, invalidation,
-    /// and the profiled-invocation record for the interpreted replay.
+    /// and the profiled-invocation record for the interpreted replay. A
+    /// deopt inside a replayed decision's probation window takes the
+    /// quarantine path instead of the speculation path.
     fn deoptimize(&mut self, method: MethodId, reason: &str, args: Vec<Value>) -> CompiledExit {
         self.bailouts.deopts += 1;
         self.emit(|| CompileEvent::Deoptimized {
             method,
             reason: reason.to_string(),
         });
-        self.invalidate(method);
+        if !self.try_quarantine(method) {
+            self.invalidate(method);
+        }
         self.profiles.record_invocation(method);
         CompiledExit::Deoptimized(args)
+    }
+
+    /// Quarantine ladder: attributes a deopt to the snapshot it was
+    /// replayed from if the method's replayed code is still inside its
+    /// probation window. A poisoned decision is handled evict-style — the
+    /// code is dropped without creating speculation state, so the recompile
+    /// budget is never burned and the method cannot be pinned by a bad
+    /// snapshot — its seeded profile contribution is rolled back so the
+    /// method re-earns its hotness from live traffic (a fully poisoned
+    /// snapshot thereby converges to a cold start), and the decision is
+    /// excluded from future [`Machine::snapshot`] output. Returns whether
+    /// the quarantine fired; `false` means the ordinary
+    /// invalidate → reprofile → recompile path should run.
+    fn try_quarantine(&mut self, method: MethodId) -> bool {
+        if !self.replay_guard.contains(&method) {
+            return false;
+        }
+        // Any deopt settles the probation one way or the other.
+        self.replay_guard.remove(&method);
+        let window = self.config.poison_window;
+        let Some(cm) = self.code.get(&method) else {
+            return false;
+        };
+        if window == 0 || cm.invocations > window {
+            // Survived probation: this deopt is live drift, not poison.
+            return false;
+        }
+        let activations = cm.invocations;
+        let cm = self.code.remove(&method).expect("probed just above");
+        self.account_release(cm.bytes);
+        if let Some(seed) = self.replay_seed.remove(&method) {
+            self.profiles.subtract(method, &seed);
+        }
+        self.poisoned_methods.insert(method);
+        self.snapshot_stats.poisoned += 1;
+        self.emit(|| CompileEvent::DecisionPoisoned {
+            method,
+            activations,
+            window,
+        });
+        self.emit(|| CompileEvent::TierTransition {
+            method,
+            tier: CodeTier::Interpreter,
+        });
+        true
     }
 
     /// Rewinds all observable effects to `save`: journaled heap writes are

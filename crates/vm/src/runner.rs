@@ -199,6 +199,7 @@ pub struct RunSession<'p> {
     plan: FaultPlan,
     sink: Arc<dyn TraceSink + 'p>,
     snapshot_in: Option<SnapshotIo>,
+    snapshot_merge: Vec<SnapshotIo>,
     snapshot_out: Option<SnapshotIo>,
 }
 
@@ -215,6 +216,7 @@ impl<'p> RunSession<'p> {
             plan: FaultPlan::new(),
             sink: Arc::new(NullSink),
             snapshot_in: None,
+            snapshot_merge: Vec::new(),
             snapshot_out: None,
         }
     }
@@ -258,6 +260,20 @@ impl<'p> RunSession<'p> {
         self
     }
 
+    /// Merges N replica snapshots before the first repetition (fleet
+    /// distribution): each source is read and parsed, unreadable or
+    /// corrupt replicas degrade to fallbacks, and the survivors go through
+    /// [`Snapshot`](crate::Snapshot)'s N-way merge
+    /// (profile union, decision majority vote, support check) before being
+    /// applied like a single warmup snapshot. Zero usable replicas is a
+    /// cold start, never an error. Overrides nothing: combine with
+    /// [`RunSession::snapshot_in`] and the merge set simply includes it —
+    /// but the CLI keeps them mutually exclusive for clarity.
+    pub fn snapshot_merge(mut self, ios: Vec<SnapshotIo>) -> Self {
+        self.snapshot_merge = ios;
+        self
+    }
+
     /// Writes the machine's end-of-run snapshot (profiles + compile
     /// decision log) to `io` after the last repetition. Write failures are
     /// counted in [`SnapshotStats::write_failures`], never an error.
@@ -287,6 +303,10 @@ impl<'p> RunSession<'p> {
                 }
                 Err(e) => vm.note_snapshot_fallback(&e.to_string()),
             }
+        }
+        if !self.snapshot_merge.is_empty() {
+            let replicas = read_replicas(&self.snapshot_merge, &mut vm);
+            vm.load_merged_or_cold(&replicas);
         }
         let mut per_iteration = Vec::with_capacity(spec.iterations);
         let mut stall_per_iteration = Vec::with_capacity(spec.iterations);
@@ -337,6 +357,24 @@ impl<'p> RunSession<'p> {
             snapshot: vm.snapshot_stats(),
         })
     }
+}
+
+/// Reads and parses a replica set for the merge path: unreadable or
+/// unparsable sources each count a graceful fallback on `vm`; the
+/// survivors are returned for [`Machine::load_merged_or_cold`]. Shared by
+/// [`RunSession`] and [`crate::ServerSession`].
+pub(crate) fn read_replicas(ios: &[SnapshotIo], vm: &mut Machine<'_>) -> Vec<snapshot::Snapshot> {
+    let mut replicas = Vec::with_capacity(ios.len());
+    for io in ios {
+        match io.store().read() {
+            Ok(bytes) => match snapshot::Snapshot::from_bytes(&bytes) {
+                Ok(snap) => replicas.push(snap),
+                Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+            },
+            Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+        }
+    }
+    replicas
 }
 
 #[cfg(test)]

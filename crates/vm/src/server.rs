@@ -276,6 +276,7 @@ pub struct ServerSession<'p> {
     plan: FaultPlan,
     sink: Arc<dyn TraceSink + 'p>,
     snapshot_in: Option<SnapshotIo>,
+    snapshot_merge: Vec<SnapshotIo>,
     snapshot_out: Option<SnapshotIo>,
 }
 
@@ -293,6 +294,7 @@ impl<'p> ServerSession<'p> {
             plan: FaultPlan::new(),
             sink: Arc::new(NullSink),
             snapshot_in: None,
+            snapshot_merge: Vec::new(),
             snapshot_out: None,
         }
     }
@@ -330,6 +332,16 @@ impl<'p> ServerSession<'p> {
     /// [`RunSession::snapshot_in`](crate::RunSession::snapshot_in).
     pub fn snapshot_in(mut self, io: impl Into<SnapshotIo>) -> Self {
         self.snapshot_in = Some(io.into());
+        self
+    }
+
+    /// Merges N replica snapshots into the shared machine before the first
+    /// request — the fleet-distribution path: divergent replicas' warmup
+    /// state folds into one deterministic merge (profile union, decision
+    /// majority vote, support check). Degrades per replica, exactly like
+    /// [`RunSession::snapshot_merge`](crate::RunSession::snapshot_merge).
+    pub fn snapshot_merge(mut self, ios: Vec<SnapshotIo>) -> Self {
+        self.snapshot_merge = ios;
         self
     }
 
@@ -384,6 +396,10 @@ impl<'p> ServerSession<'p> {
                 }
                 Err(e) => vm.note_snapshot_fallback(&e.to_string()),
             }
+        }
+        if !self.snapshot_merge.is_empty() {
+            let replicas = crate::runner::read_replicas(&self.snapshot_merge, &mut vm);
+            vm.load_merged_or_cold(&replicas);
         }
 
         let mut clock = 0u64;

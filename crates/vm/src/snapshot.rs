@@ -48,7 +48,7 @@
 //! `Into`-friendly handle the builders accept, with conversions from
 //! paths, raw bytes and `Arc`ed stores.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::{Arc, Mutex};
@@ -115,6 +115,15 @@ pub struct SnapshotStats {
     pub written: u64,
     /// Snapshot writes the store rejected (I/O errors degrade gracefully).
     pub write_failures: u64,
+    /// Distinct replica snapshots folded into an applied N-way merge.
+    pub merged: u64,
+    /// Decisions the merge's support check dropped because the merged
+    /// profile no longer justified them.
+    pub aged_out: u64,
+    /// Replayed decisions quarantined after deoptimizing within their
+    /// first `poison_window` compiled activations (excluded from the next
+    /// `snapshot_out`).
+    pub poisoned: u64,
 }
 
 /// The serialized profile of one method, maps sorted for determinism.
@@ -453,6 +462,203 @@ impl Snapshot {
             }
         }
         out
+    }
+}
+
+// ---- N-way replica merge ---------------------------------------------------
+
+/// Tuning knobs of [`Snapshot::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergePolicy {
+    /// The support bar of the `DecisionAge` check: a voted-in decision
+    /// survives only while its method's hotness (invocations + back edges)
+    /// in the *merged* profile is at least this. The machine's merge path
+    /// uses its own `hotness_threshold` here, so a decision is kept exactly
+    /// as long as the merged evidence would still tier the method up.
+    pub min_support: u64,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy { min_support: 1 }
+    }
+}
+
+impl MergePolicy {
+    /// A policy with an explicit support bar.
+    pub fn with_support(min_support: u64) -> Self {
+        MergePolicy { min_support }
+    }
+}
+
+/// Counters describing one N-way merge, carried in [`Merged`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Distinct replicas that contributed (after deduplication).
+    pub replicas: u64,
+    /// Byte-identical replica inputs dropped by deduplication.
+    pub duplicates: u64,
+    /// Method profiles in the merged snapshot.
+    pub methods: u64,
+    /// Decisions that survived the vote and the support check.
+    pub decisions: u64,
+    /// Methods on which replicas cast ballots for different decisions.
+    pub conflicts: u64,
+    /// Decisions dropped by the support check.
+    pub aged_out: u64,
+}
+
+/// The result of [`Snapshot::merge`]: the merged snapshot plus everything
+/// an observer needs (counters and the aged-out decision list).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Merged {
+    /// The merged, deterministic snapshot (decisions sorted by method).
+    pub snapshot: Snapshot,
+    /// Merge counters.
+    pub stats: MergeStats,
+    /// Decisions dropped by the support check, with the merged hotness
+    /// that failed the bar — in method order.
+    pub aged_out: Vec<(DecisionRecord, u64)>,
+    /// The support bar the aged-out decisions failed to meet.
+    pub min_support: u64,
+}
+
+fn tier_rank(tier: CompileStage) -> u8 {
+    match tier {
+        CompileStage::Full => 0,
+        CompileStage::Degraded => 1,
+    }
+}
+
+impl Snapshot {
+    /// Merges N replica snapshots of the *same program* into one:
+    ///
+    /// * **profiles** — the union of every replica's histograms with
+    ///   weighted (summed) counts, via [`ProfileTable::merge`];
+    /// * **decisions** — one ballot per replica per method (a replica's
+    ///   *last* recorded decision for that method); the candidate with the
+    ///   most ballots wins, ties broken by the total observed hotness of
+    ///   the replicas backing each candidate, then by the smallest
+    ///   `(tier, plan, spec)` key so the result is a pure function of the
+    ///   input *set*;
+    /// * **support check** — a winning decision is dropped (aged out) when
+    ///   the merged profile's hotness for its method falls below
+    ///   [`MergePolicy::min_support`].
+    ///
+    /// Byte-identical replica inputs are deduplicated first, so at-least-
+    /// once snapshot delivery cannot double-weigh a replica's traffic —
+    /// this is what makes the merge idempotent. The output's methods and
+    /// decisions are sorted by method id, so any permutation of the same
+    /// replica set serializes to byte-identical output.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on an empty replica list and
+    /// [`SnapshotError::StaleProgram`] when the replicas disagree on the
+    /// program fingerprint — callers that merge best-effort should filter
+    /// foreign replicas out first (the machine's merge path does).
+    pub fn merge(replicas: &[Snapshot], policy: &MergePolicy) -> Result<Merged, SnapshotError> {
+        let first = replicas
+            .first()
+            .ok_or_else(|| SnapshotError::Corrupt("merge of zero replicas".to_string()))?;
+        let fingerprint = first.fingerprint;
+        for r in replicas {
+            if r.fingerprint != fingerprint {
+                return Err(SnapshotError::StaleProgram {
+                    expected: fingerprint,
+                    found: r.fingerprint,
+                });
+            }
+        }
+        // Deduplicate byte-identical replicas: redelivered snapshots must
+        // not double-count their observations.
+        let mut seen = BTreeSet::new();
+        let mut uniq: Vec<&Snapshot> = Vec::with_capacity(replicas.len());
+        for r in replicas {
+            if seen.insert(fnv1a(&r.to_bytes())) {
+                uniq.push(r);
+            }
+        }
+        let duplicates = (replicas.len() - uniq.len()) as u64;
+
+        // Union of the profile histograms, weighted by raw counts.
+        let mut table = ProfileTable::new();
+        for r in &uniq {
+            table.merge(&r.profile_table());
+        }
+
+        // One ballot per replica per method: its last recorded decision.
+        // Candidates are keyed by decision content; each accumulates its
+        // ballot count and the total hotness of the replicas backing it.
+        type CandKey = (u8, u64, u64);
+        let mut ballots: BTreeMap<MethodId, BTreeMap<CandKey, (u64, u64)>> = BTreeMap::new();
+        for r in &uniq {
+            let mut last: BTreeMap<MethodId, &DecisionRecord> = BTreeMap::new();
+            for d in &r.decisions {
+                last.insert(d.method, d);
+            }
+            for (m, d) in last {
+                let hot = r
+                    .methods
+                    .binary_search_by_key(&m, |rec| rec.method)
+                    .ok()
+                    .map_or(0, |i| {
+                        r.methods[i]
+                            .invocations
+                            .saturating_add(r.methods[i].backedges)
+                    });
+                let key = (tier_rank(d.tier), d.plan_hash, d.speculative_sites);
+                let slot = ballots.entry(m).or_default().entry(key).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += hot;
+            }
+        }
+
+        let mut decisions = Vec::new();
+        let mut aged_out = Vec::new();
+        let mut conflicts = 0u64;
+        for (&m, cands) in &ballots {
+            if cands.len() > 1 {
+                conflicts += 1;
+            }
+            let (&(tier, plan_hash, speculative_sites), _) = cands
+                .iter()
+                .max_by(|(ka, (va, ha)), (kb, (vb, hb))| {
+                    va.cmp(vb).then(ha.cmp(hb)).then(kb.cmp(ka))
+                })
+                .expect("ballot map is non-empty");
+            let rec = DecisionRecord {
+                method: m,
+                tier: match tier {
+                    0 => CompileStage::Full,
+                    _ => CompileStage::Degraded,
+                },
+                plan_hash,
+                speculative_sites,
+            };
+            let hotness = table.hotness(m);
+            if hotness < policy.min_support {
+                aged_out.push((rec, hotness));
+            } else {
+                decisions.push(rec);
+            }
+        }
+
+        let snapshot = Snapshot::capture(fingerprint, &table, &decisions);
+        let stats = MergeStats {
+            replicas: uniq.len() as u64,
+            duplicates,
+            methods: snapshot.methods.len() as u64,
+            decisions: snapshot.decisions.len() as u64,
+            conflicts,
+            aged_out: aged_out.len() as u64,
+        };
+        Ok(Merged {
+            snapshot,
+            stats,
+            aged_out,
+            min_support: policy.min_support,
+        })
     }
 }
 
@@ -806,15 +1012,41 @@ impl FileStore {
     }
 }
 
-impl SnapshotStore for FileStore {
-    fn read(&self) -> Result<Vec<u8>, SnapshotError> {
-        std::fs::read(&self.path)
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
+impl FileStore {
+    /// The sibling temp path writes land on before the atomic rename.
+    fn tmp_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
     }
 
+    fn io_err(&self, e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(format!("{}: {e}", self.path.display()))
+    }
+}
+
+impl SnapshotStore for FileStore {
+    fn read(&self) -> Result<Vec<u8>, SnapshotError> {
+        std::fs::read(&self.path).map_err(|e| self.io_err(e))
+    }
+
+    /// Atomic write: the bytes land on `<path>.tmp`, are fsynced, and only
+    /// then renamed over `path` — a crash mid-write leaves the previous
+    /// snapshot intact instead of a torn tail that would fail its checksum.
     fn write(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        std::fs::write(&self.path, bytes)
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
+        use std::io::Write as _;
+        let tmp = self.tmp_path();
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &self.path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map_err(|e| self.io_err(e))
     }
 }
 
@@ -1002,6 +1234,150 @@ mod tests {
         store.write(b"xyz").unwrap();
         assert_eq!(store.read().unwrap(), b"xyz");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A replica with one method profile (`inv` invocations) and one
+    /// full-tier decision for it with the given plan hash.
+    fn replica(m: usize, inv: u64, plan: u64) -> Snapshot {
+        let mut profiles = ProfileTable::new();
+        let method = MethodId::new(m);
+        for _ in 0..inv {
+            profiles.record_invocation(method);
+        }
+        let decisions = vec![DecisionRecord {
+            method,
+            tier: CompileStage::Full,
+            plan_hash: plan,
+            speculative_sites: 0,
+        }];
+        Snapshot::capture(0xfeed, &profiles, &decisions)
+    }
+
+    #[test]
+    fn merge_unions_profiles_and_is_order_independent() {
+        let a = replica(1, 10, 0xaa);
+        let b = replica(2, 5, 0xbb);
+        let c = replica(1, 3, 0xaa);
+        let fwd =
+            Snapshot::merge(&[a.clone(), b.clone(), c.clone()], &MergePolicy::default()).unwrap();
+        let rev = Snapshot::merge(&[c, b, a], &MergePolicy::default()).unwrap();
+        assert_eq!(fwd.snapshot.to_bytes(), rev.snapshot.to_bytes());
+        assert_eq!(fwd.stats, rev.stats);
+        let table = fwd.snapshot.profile_table();
+        assert_eq!(table.invocations(MethodId::new(1)), 13, "counts sum");
+        assert_eq!(table.invocations(MethodId::new(2)), 5);
+        assert_eq!(fwd.snapshot.decisions.len(), 2);
+        assert_eq!(fwd.stats.conflicts, 0);
+    }
+
+    #[test]
+    fn merge_majority_vote_wins_and_ties_break_by_hotness() {
+        // Two replicas vote plan 0xaa, one hotter replica votes 0xbb:
+        // majority wins despite lower hotness.
+        let out = Snapshot::merge(
+            &[
+                replica(1, 2, 0xaa),
+                replica(1, 3, 0xaa),
+                replica(1, 90, 0xbb),
+            ],
+            &MergePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.snapshot.decisions[0].plan_hash, 0xaa);
+        assert_eq!(out.stats.conflicts, 1);
+        // One ballot each: the hotter replica's candidate wins the tie.
+        let out = Snapshot::merge(
+            &[replica(1, 2, 0xaa), replica(1, 90, 0xbb)],
+            &MergePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.snapshot.decisions[0].plan_hash, 0xbb);
+        // Equal votes and equal hotness: smallest candidate key wins, so
+        // the result is still a pure function of the input set.
+        let out = Snapshot::merge(
+            &[replica(1, 5, 0xbb), replica(1, 5, 0xaa)],
+            &MergePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.snapshot.decisions[0].plan_hash, 0xaa);
+    }
+
+    #[test]
+    fn merge_dedups_identical_replicas() {
+        let a = replica(1, 10, 0xaa);
+        let once = Snapshot::merge(std::slice::from_ref(&a), &MergePolicy::default()).unwrap();
+        let thrice = Snapshot::merge(&[a.clone(), a.clone(), a], &MergePolicy::default()).unwrap();
+        assert_eq!(once.snapshot.to_bytes(), thrice.snapshot.to_bytes());
+        assert_eq!(thrice.stats.duplicates, 2);
+        assert_eq!(thrice.stats.replicas, 1);
+        assert_eq!(
+            once.snapshot.profile_table().invocations(MethodId::new(1)),
+            10,
+            "redelivery must not double-count"
+        );
+    }
+
+    #[test]
+    fn merge_support_check_ages_out_cold_decisions() {
+        let out = Snapshot::merge(
+            &[replica(1, 3, 0xaa), replica(2, 50, 0xbb)],
+            &MergePolicy::with_support(10),
+        )
+        .unwrap();
+        assert_eq!(out.snapshot.decisions.len(), 1);
+        assert_eq!(out.snapshot.decisions[0].method, MethodId::new(2));
+        assert_eq!(out.stats.aged_out, 1);
+        assert_eq!(out.aged_out.len(), 1);
+        assert_eq!(out.aged_out[0].0.method, MethodId::new(1));
+        assert_eq!(out.aged_out[0].1, 3);
+        // The aged-out method's *profile* survives — only the decision is
+        // dropped, so the next run re-derives it from fresh evidence.
+        assert_eq!(
+            out.snapshot.profile_table().invocations(MethodId::new(1)),
+            3
+        );
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_mixed_fingerprints() {
+        assert!(matches!(
+            Snapshot::merge(&[], &MergePolicy::default()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let a = replica(1, 5, 0xaa);
+        let mut b = replica(1, 5, 0xaa);
+        b.fingerprint = 0xbeef;
+        assert!(matches!(
+            Snapshot::merge(&[a, b], &MergePolicy::default()),
+            Err(SnapshotError::StaleProgram { .. })
+        ));
+    }
+
+    #[test]
+    fn file_store_write_is_atomic_and_leaves_no_tmp() {
+        let path = std::env::temp_dir().join("incline-snapshot-atomic-test.snap");
+        let store = FileStore::new(&path);
+        store.write(b"first").unwrap();
+        store.write(b"second").unwrap();
+        assert_eq!(store.read().unwrap(), b"second");
+        assert!(
+            !store.tmp_path().exists(),
+            "tmp file must be renamed away on success"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_store_write_failure_cleans_tmp_and_keeps_old_snapshot() {
+        // A directory at the target path makes the rename fail after the
+        // tmp write succeeded — the tmp file must still be cleaned up.
+        let dir = std::env::temp_dir().join("incline-snapshot-atomic-dir-test.snap");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = FileStore::new(&dir);
+        assert!(matches!(store.write(b"nope"), Err(SnapshotError::Io(_))));
+        assert!(!store.tmp_path().exists(), "failed write must clean up tmp");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! incline run     <file.ir> [--entry main] [--input N] [--jit] [COMMON]
 //! incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
 //!                           [--trace] [--trace-json FILE]
-//! incline bench   <benchmark-name> [COMMON]
+//! incline bench   <benchmark-name> [--input N] [COMMON]
 //! incline server  [--tenants N] [--seed N] [--requests N] [COMMON]
 //! incline dot     <file.ir> [--entry main] [--optimize]
 //! incline list-benchmarks
@@ -20,14 +20,18 @@
 //! [--compile-threads N] [--pipelined]
 //! [--cache-budget BYTES] [--eviction POLICY]
 //! [--icache-capacity BYTES] [--icache-scale BYTES]
-//! [--snapshot-in FILE] [--snapshot-out FILE] [--replay eager|seed]
+//! [--snapshot-in FILE] [--snapshot-merge FILE ...] [--snapshot-out FILE]
+//! [--replay eager|seed]
 //! ```
 //!
 //! Inliner names: `incremental` (default), `greedy`, `c2`, `none`.
 //!
 //! `--snapshot-out` writes the run's profiles and compile decisions as a
 //! versioned JSONL snapshot; `--snapshot-in` loads one before the first
-//! iteration, eliminating warmup. `--replay eager` (default) recompiles the
+//! iteration, eliminating warmup. `--snapshot-merge` (repeatable, mutually
+//! exclusive with `--snapshot-in`) merges N replica snapshots — profile
+//! union, decision majority vote, support check — before applying the
+//! result like a single snapshot. `--replay eager` (default) recompiles the
 //! snapshot's method set up front through the normal broker path; `--replay
 //! seed` only pre-warms the hotness counters and lets decisions re-derive.
 //! Stale, truncated or corrupt snapshots fall back to a cold start — never
@@ -37,7 +41,7 @@ use std::process::ExitCode;
 
 use incline::cli::{flag, opt_value, CommonOpts};
 use incline::prelude::*;
-use incline::snapshot::{FileStore, SnapshotStore};
+use incline::snapshot::{FileStore, Snapshot, SnapshotIo, SnapshotStore};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,7 +88,7 @@ USAGE:
   incline run     <file.ir> [--entry main] [--input N] [--jit] [COMMON]
   incline compile <file.ir> [--entry main] [--input N] [--inliner NAME] [--explain]
                             [--trace] [--trace-json FILE]
-  incline bench   <benchmark-name> [COMMON]
+  incline bench   <benchmark-name> [--input N] [COMMON]
   incline server  [--tenants N] [--seed N] [--requests N] [COMMON]
   incline dot     <file.ir> [--entry main] [--optimize]
   incline list-benchmarks
@@ -94,7 +98,8 @@ COMMON (identical across run, bench, server):
   [--compile-threads N] [--pipelined]
   [--cache-budget BYTES] [--eviction POLICY]
   [--icache-capacity BYTES] [--icache-scale BYTES]
-  [--snapshot-in FILE] [--snapshot-out FILE] [--replay eager|seed]
+  [--snapshot-in FILE] [--snapshot-merge FILE ...] [--snapshot-out FILE]
+  [--replay eager|seed]
 
 Inliners: incremental (default), greedy, c2, none.
 Server: a seeded multi-tenant serving simulation (bursty arrivals, per-tenant
@@ -113,8 +118,12 @@ instruction-cache pressure curve.
 Snapshots: --snapshot-out FILE persists profiles + compile decisions after
 the run; --snapshot-in FILE replays them before the first iteration
 (--replay eager recompiles the decided set up front, --replay seed only
-pre-warms hotness counters). Corrupt or stale snapshots fall back to a
-cold start, counted in the compilation report.";
+pre-warms hotness counters). --snapshot-merge FILE (repeatable, exclusive
+with --snapshot-in) merges N divergent replica snapshots deterministically:
+profile histograms union with summed counts, compile decisions go to a
+majority vote (ties broken by observed hotness), and decisions the merged
+profile no longer supports age out. Corrupt or stale snapshots (and
+replicas) fall back to a cold start, counted in the compilation report.";
 
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -139,13 +148,16 @@ fn print_snapshot_stats(stats: &SnapshotStats) {
     }
     println!(
         "snapshot: {} loaded, {} fallbacks, {} replayed compiles, {} seeded methods, \
-         {} written, {} write failures",
+         {} written, {} write failures, {} merged, {} aged out, {} poisoned",
         stats.loaded,
         stats.fallbacks,
         stats.replayed_compiles,
         stats.seeded_methods,
         stats.written,
-        stats.write_failures
+        stats.write_failures,
+        stats.merged,
+        stats.aged_out,
+        stats.poisoned
     );
 }
 
@@ -193,6 +205,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             Err(e) => vm.note_snapshot_fallback(&e.to_string()),
         }
+    }
+    if !opts.snapshot_merge.is_empty() {
+        let mut replicas = Vec::new();
+        for p in &opts.snapshot_merge {
+            match FileStore::new(p.as_str()).read() {
+                Ok(bytes) => match Snapshot::from_bytes(&bytes) {
+                    Ok(s) => replicas.push(s),
+                    Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+                },
+                Err(e) => vm.note_snapshot_fallback(&e.to_string()),
+            }
+        }
+        vm.load_merged_or_cold(&replicas);
     }
     let runs = if jit { 8 } else { 1 };
     let mut last = None;
@@ -317,9 +342,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let opts = CommonOpts::parse(args)?;
     let w = incline::workloads::by_name(name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (see `incline list-benchmarks`)"))?;
+    let input: i64 = match opt_value(args, "--input") {
+        Some(v) => v.parse().map_err(|e| format!("--input: {e}"))?,
+        None => w.input,
+    };
     let spec = BenchSpec {
         entry: w.entry,
-        args: vec![Value::Int(w.input)],
+        args: vec![Value::Int(input)],
         iterations: w.iterations,
     };
     let mut session = RunSession::new(&w.program, spec)
@@ -327,6 +356,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .config(opts.vm_config(5, true));
     if let Some(p) = &opts.snapshot_in {
         session = session.snapshot_in(p.as_str());
+    }
+    if !opts.snapshot_merge.is_empty() {
+        session = session.snapshot_merge(
+            opts.snapshot_merge
+                .iter()
+                .map(|p| SnapshotIo::from(p.as_str()))
+                .collect(),
+        );
     }
     if let Some(p) = &opts.snapshot_out {
         session = session.snapshot_out(p.as_str());
@@ -406,6 +443,14 @@ fn cmd_server(args: &[String]) -> Result<(), String> {
     .config(opts.vm_config(4, false));
     if let Some(p) = &opts.snapshot_in {
         session = session.snapshot_in(p.as_str());
+    }
+    if !opts.snapshot_merge.is_empty() {
+        session = session.snapshot_merge(
+            opts.snapshot_merge
+                .iter()
+                .map(|p| SnapshotIo::from(p.as_str()))
+                .collect(),
+        );
     }
     if let Some(p) = &opts.snapshot_out {
         session = session.snapshot_out(p.as_str());

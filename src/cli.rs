@@ -34,6 +34,17 @@ pub fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Returns the value following *every* occurrence of `name` in `args` —
+/// the scan for repeatable flags like `--snapshot-merge`.
+pub fn opt_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
 /// The flag surface shared by `run`, `bench`, and `server`.
 ///
 /// One parse, one set of semantics: the same `--compile-threads` or
@@ -51,6 +62,10 @@ pub struct CommonOpts {
     /// Load a warmup snapshot from this file before the run
     /// (`--snapshot-in FILE`).
     pub snapshot_in: Option<String>,
+    /// Merge N replica snapshots before the run, one path per occurrence
+    /// of the repeatable flag (`--snapshot-merge FILE ...`). Mutually
+    /// exclusive with `--snapshot-in`.
+    pub snapshot_merge: Vec<String>,
     /// Write a warmup snapshot to this file after the run
     /// (`--snapshot-out FILE`).
     pub snapshot_out: Option<String>,
@@ -86,10 +101,17 @@ impl CommonOpts {
             trace_json: opt_value(args, "--trace-json").map(String::from),
             no_deopt: flag(args, "--no-deopt"),
             snapshot_in: opt_value(args, "--snapshot-in").map(String::from),
+            snapshot_merge: opt_values(args, "--snapshot-merge")
+                .into_iter()
+                .map(String::from)
+                .collect(),
             snapshot_out: opt_value(args, "--snapshot-out").map(String::from),
             pipelined: flag(args, "--pipelined"),
             ..CommonOpts::default()
         };
+        if opts.snapshot_in.is_some() && !opts.snapshot_merge.is_empty() {
+            return Err("--snapshot-in and --snapshot-merge are mutually exclusive".to_string());
+        }
         if let Some(mode) = opt_value(args, "--replay") {
             opts.replay = mode.parse()?;
         }
@@ -259,6 +281,33 @@ mod tests {
         assert_eq!(c.cost.icache_capacity, 1024);
         assert_eq!(c.cost.icache_scale, 2048);
         assert!(o.make_inliner().is_ok());
+    }
+
+    #[test]
+    fn snapshot_merge_collects_every_occurrence() {
+        let o = CommonOpts::parse(&args(&[
+            "--snapshot-merge",
+            "a.jsonl",
+            "--snapshot-merge",
+            "b.jsonl",
+            "--snapshot-merge",
+            "c.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.snapshot_merge, vec!["a.jsonl", "b.jsonl", "c.jsonl"]);
+        assert!(o.snapshot_in.is_none());
+    }
+
+    #[test]
+    fn snapshot_in_and_merge_are_mutually_exclusive() {
+        let err = CommonOpts::parse(&args(&[
+            "--snapshot-in",
+            "warm.jsonl",
+            "--snapshot-merge",
+            "a.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "got: {err}");
     }
 
     #[test]

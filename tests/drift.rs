@@ -1,0 +1,53 @@
+//! Drift-harness system tests: a snapshot taken under phase-A traffic and
+//! replayed against drifted phase-B traffic must compute cold answers,
+//! recover within the documented bound, and produce byte-identical
+//! observables whatever the compile-worker pool size.
+
+use incline_bench::drift;
+
+fn sample() -> Vec<incline::workloads::Workload> {
+    ["scalatest", "avrora", "phase_change", "jython", "scaladoc"]
+        .iter()
+        .map(|n| incline::workloads::by_name(n).expect("benchmark exists"))
+        .collect()
+}
+
+#[test]
+fn drift_observables_are_identical_across_compile_threads() {
+    for w in sample() {
+        let reference = drift::measure_with_threads(&w, 0);
+        assert!(
+            reference.digest_match(),
+            "{}: warm phase-B answer diverged from cold",
+            w.name
+        );
+        for threads in [1usize, 4] {
+            let out = drift::measure_with_threads(&w, threads);
+            assert_eq!(
+                reference.cold, out.cold,
+                "{}: cold phase-B run differs at compile_threads={threads}",
+                w.name
+            );
+            assert_eq!(
+                reference.warm, out.warm,
+                "{}: warm phase-B run differs at compile_threads={threads}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn drift_recovery_stays_within_the_documented_bound() {
+    for w in sample() {
+        let row = drift::measure(&w);
+        assert!(row.digest_match(), "{}: digest diverged", w.name);
+        assert!(
+            row.ratio() <= drift::MAX_RATIO,
+            "{}: warm recovery {}x cold exceeds the {}x bound",
+            w.name,
+            row.ratio(),
+            drift::MAX_RATIO
+        );
+    }
+}

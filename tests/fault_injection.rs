@@ -564,6 +564,237 @@ fn force_evict_counters_are_identical_across_worker_pools() {
     }
 }
 
+// ---- snapshot faults: poisoned warmup state --------------------------------
+
+/// Cold-runs `w` with deopt enabled and returns the result plus the
+/// snapshot it wrote — the warmup state the poison tests then corrupt.
+fn snapshot_of(w: &Workload, iterations: usize) -> (BenchResult, Vec<u8>) {
+    use incline::snapshot::MemoryStore;
+    let store = std::sync::Arc::new(MemoryStore::new());
+    let r = RunSession::new(
+        &w.program,
+        BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(4)],
+            iterations,
+        },
+    )
+    .inliner(Box::new(IncrementalInliner::new()))
+    .config(VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    })
+    .snapshot_out(store.clone())
+    .run()
+    .expect("cold run completes");
+    (r, store.bytes().expect("snapshot written"))
+}
+
+/// The decided-method index of `w.entry` in `bytes` — the one decision
+/// guaranteed to activate standalone every iteration (leaf decisions can
+/// be inlined into their callers and never run their own code, in which
+/// case poisoning them is a no-op).
+fn entry_decision_idx(w: &Workload, bytes: &[u8]) -> u64 {
+    use incline::snapshot::Snapshot;
+    let snap = Snapshot::from_bytes(bytes).expect("snapshot parses");
+    snap.decided_methods()
+        .iter()
+        .position(|&m| m == w.entry)
+        .expect("the benchmark entry must be hot enough to be decided") as u64
+}
+
+/// Warm-runs `w` from `bytes` with `plan` injected.
+fn run_poisoned(
+    w: &Workload,
+    bytes: Vec<u8>,
+    plan: FaultPlan,
+    iterations: usize,
+    threads: usize,
+) -> BenchResult {
+    RunSession::new(
+        &w.program,
+        BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(4)],
+            iterations,
+        },
+    )
+    .inliner(Box::new(IncrementalInliner::new()))
+    .config(VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        compile_threads: threads,
+        ..VmConfig::default()
+    })
+    .faults(plan)
+    .snapshot_in(bytes)
+    .run()
+    .expect("poisoned run completes")
+}
+
+#[test]
+fn poison_snapshot_quarantines_without_burning_recompiles() {
+    let w = workload();
+    let (cold, bytes) = snapshot_of(&w, 10);
+    let idx = entry_decision_idx(&w, &bytes);
+    let plan = FaultPlan::new().inject(0, FaultKind::PoisonSnapshot { decision_idx: idx });
+    let out = run_poisoned(&w, bytes, plan, 10, 0);
+    assert_eq!(
+        out.answer_digest(),
+        cold.answer_digest(),
+        "a poisoned decision must never change the answer"
+    );
+    assert_eq!(out.snapshot.poisoned, 1, "the quarantine must be counted");
+    assert_eq!(
+        out.bailouts.deopts, 1,
+        "the poisoned code traps exactly once"
+    );
+    assert_eq!(
+        out.bailouts.recompiles, 0,
+        "quarantine bypasses the invalidate -> recompile path entirely"
+    );
+    assert_eq!(out.bailouts.pinned, 0, "no method reaches the storm cap");
+}
+
+#[test]
+fn poison_snapshot_emits_the_quarantine_event() {
+    let w = workload();
+    let (_, bytes) = snapshot_of(&w, 10);
+    let idx = entry_decision_idx(&w, &bytes);
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    let plan = FaultPlan::new().inject(0, FaultKind::PoisonSnapshot { decision_idx: idx });
+    RunSession::new(
+        &w.program,
+        BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(4)],
+            iterations: 10,
+        },
+    )
+    .inliner(Box::new(IncrementalInliner::new()))
+    .config(VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    })
+    .faults(plan)
+    .snapshot_in(bytes)
+    .trace(sink.clone())
+    .run()
+    .expect("poisoned run completes");
+    let events = sink.take();
+    let poisoned: Vec<_> = events
+        .iter()
+        .filter(|e| e.name() == "DecisionPoisoned")
+        .collect();
+    assert_eq!(poisoned.len(), 1, "exactly one quarantine event");
+    assert!(
+        matches!(
+            poisoned[0],
+            CompileEvent::DecisionPoisoned { activations, .. } if *activations >= 1
+        ),
+        "the event carries the activation count inside the window"
+    );
+}
+
+#[test]
+fn poison_snapshot_excludes_the_decision_from_the_next_snapshot() {
+    use incline::snapshot::{MemoryStore, Snapshot};
+    let w = workload();
+    let (_, bytes) = snapshot_of(&w, 10);
+    let idx = entry_decision_idx(&w, &bytes);
+    let original = Snapshot::from_bytes(&bytes).expect("snapshot parses");
+    let victim = original.decided_methods()[idx as usize];
+    // One iteration: the poisoned method traps on its first activation and
+    // its subtracted profile cannot re-cross the tier threshold, so the
+    // re-snapshot must not carry any decision for it.
+    let store = std::sync::Arc::new(MemoryStore::new());
+    let out = RunSession::new(
+        &w.program,
+        BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(4)],
+            iterations: 1,
+        },
+    )
+    .inliner(Box::new(IncrementalInliner::new()))
+    .config(VmConfig {
+        hotness_threshold: 2,
+        deopt: true,
+        ..VmConfig::default()
+    })
+    .faults(FaultPlan::new().inject(0, FaultKind::PoisonSnapshot { decision_idx: idx }))
+    .snapshot_in(bytes)
+    .snapshot_out(store.clone())
+    .run()
+    .expect("poisoned run completes");
+    assert_eq!(out.snapshot.poisoned, 1);
+    let next = Snapshot::from_bytes(&store.bytes().expect("re-snapshot written"))
+        .expect("re-snapshot parses");
+    assert!(
+        !next.decided_methods().contains(&victim),
+        "the poisoned decision must be excluded from snapshot_out"
+    );
+    assert!(
+        next.decisions.len() < original.decisions.len(),
+        "the re-snapshot shrinks by the quarantined decision"
+    );
+}
+
+#[test]
+fn poison_every_decision_degrades_to_cold_start_without_storms() {
+    use incline::snapshot::Snapshot;
+    let w = workload();
+    let (cold, bytes) = snapshot_of(&w, 12);
+    let n = Snapshot::from_bytes(&bytes)
+        .expect("snapshot parses")
+        .decisions
+        .len() as u64;
+    assert!(n >= 2, "the workload must log several decisions");
+    let mut plan = FaultPlan::new();
+    for idx in 0..n {
+        plan = plan.inject(idx, FaultKind::PoisonSnapshot { decision_idx: idx });
+    }
+    let out = run_poisoned(&w, bytes, plan, 12, 0);
+    assert_eq!(
+        out.answer_digest(),
+        cold.answer_digest(),
+        "a fully poisoned snapshot must still compute cold answers"
+    );
+    assert!(
+        out.snapshot.poisoned >= 1,
+        "every activated replayed decision is quarantined"
+    );
+    assert!(out.snapshot.poisoned <= n);
+    assert_eq!(
+        out.bailouts.recompiles, 0,
+        "quarantine must not feed the recompile storm throttle"
+    );
+    assert_eq!(out.bailouts.pinned, 0, "no method may end up pinned");
+    assert!(
+        out.compilations >= out.snapshot.poisoned,
+        "quarantined methods re-earn their tier through the cold path"
+    );
+}
+
+#[test]
+fn poison_counters_are_identical_across_worker_pools() {
+    let w = workload();
+    let (_, bytes) = snapshot_of(&w, 10);
+    let idx = entry_decision_idx(&w, &bytes);
+    let plan = FaultPlan::new().inject(0, FaultKind::PoisonSnapshot { decision_idx: idx });
+    let reference = run_poisoned(&w, bytes.clone(), plan.clone(), 10, 0);
+    assert_eq!(reference.snapshot.poisoned, 1);
+    for threads in [1usize, 4] {
+        let out = run_poisoned(&w, bytes.clone(), plan.clone(), 10, threads);
+        assert_eq!(
+            reference, out,
+            "poisoned-run results must not depend on the worker pool (threads={threads})"
+        );
+    }
+}
+
 #[test]
 fn faulted_runs_are_deterministic() {
     let w = workload();

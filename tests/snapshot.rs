@@ -218,6 +218,272 @@ fn empty_store_degrades_to_cold_start() {
     assert_eq!(masked, cold);
 }
 
+/// Cold-runs `w` with explicit `iterations`/`input` overrides and returns
+/// the snapshot it wrote — the way fleet replicas diverge: same program,
+/// different traffic.
+fn replica_run(w: &Workload, iterations: usize, input: i64) -> Vec<u8> {
+    let store = Arc::new(MemoryStore::new());
+    RunSession::new(
+        &w.program,
+        BenchSpec {
+            entry: w.entry,
+            args: vec![Value::Int(input)],
+            iterations,
+        },
+    )
+    .inliner(Box::new(IncrementalInliner::new()))
+    .config(config(0, ReplayMode::Eager))
+    .snapshot_out(store.clone())
+    .run()
+    .unwrap_or_else(|e| panic!("{}: replica run failed: {e}", w.name));
+    store.bytes().expect("replica run must write a snapshot")
+}
+
+fn parse(bytes: &[u8]) -> Snapshot {
+    Snapshot::from_bytes(bytes).expect("replica snapshot must parse")
+}
+
+/// Three replicas of `w` under diverged traffic: same program
+/// fingerprint, different iteration counts and inputs. Replicas whose
+/// profiles froze at the same compile point may still come out
+/// byte-identical — the merge dedups those, and the tests must hold
+/// either way.
+fn divergent_replicas(w: &Workload) -> Vec<Snapshot> {
+    let base = w.input.clamp(2, 8);
+    vec![
+        parse(&replica_run(w, 4, base)),
+        parse(&replica_run(w, 6, base + 1)),
+        parse(&replica_run(w, 9, base + 2)),
+    ]
+}
+
+/// A synthetic replica: `snap` with every profile count multiplied by
+/// `k` — the shape a longer-lived replica of identical traffic would
+/// have. Decisions are untouched, so scaled replicas never conflict.
+fn scaled(snap: &Snapshot, k: u64) -> Snapshot {
+    let mut out = snap.clone();
+    for m in &mut out.methods {
+        m.invocations *= k;
+        m.backedges *= k;
+        for (_, n) in &mut m.blocks {
+            *n *= k;
+        }
+        for (_, n) in &mut m.callsites {
+            *n *= k;
+        }
+        for (_, hist) in &mut m.receivers {
+            for (_, n) in hist {
+                *n *= k;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn merge_is_permutation_invariant_and_idempotent() {
+    use incline_vm::snapshot::MergePolicy;
+    const PERMS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let policy = MergePolicy::with_support(2);
+    for w in corpus() {
+        let replicas = divergent_replicas(&w);
+        let reference = Snapshot::merge(&replicas, &policy)
+            .unwrap_or_else(|e| panic!("{}: merge failed: {e}", w.name))
+            .snapshot
+            .to_bytes();
+        for perm in PERMS {
+            let shuffled: Vec<Snapshot> = perm.iter().map(|&i| replicas[i].clone()).collect();
+            let merged = Snapshot::merge(&shuffled, &policy).unwrap().snapshot;
+            assert_eq!(
+                merged.to_bytes(),
+                reference,
+                "{}: merged snapshot depends on replica order {perm:?}",
+                w.name
+            );
+        }
+        // Idempotence: byte-identical replicas are deduplicated, so
+        // feeding every replica twice changes nothing but the counters.
+        let mut doubled = replicas.clone();
+        doubled.extend(replicas.iter().cloned());
+        let merged = Snapshot::merge(&doubled, &policy).unwrap();
+        assert_eq!(
+            merged.snapshot.to_bytes(),
+            reference,
+            "{}: duplicate replicas must not change the merge",
+            w.name
+        );
+        assert_eq!(
+            merged.stats.replicas + merged.stats.duplicates,
+            6,
+            "{}",
+            w.name
+        );
+        assert!(merged.stats.duplicates >= 3, "{}", w.name);
+        // Pure idempotence: merging a replica with itself N times equals
+        // merging it once.
+        let one = Snapshot::merge(&replicas[..1], &policy).unwrap().snapshot;
+        let thrice = Snapshot::merge(
+            &[
+                replicas[0].clone(),
+                replicas[0].clone(),
+                replicas[0].clone(),
+            ],
+            &policy,
+        )
+        .unwrap()
+        .snapshot;
+        assert_eq!(
+            one.to_bytes(),
+            thrice.to_bytes(),
+            "{}: merge must be idempotent",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_on_conflict_free_replicas() {
+    // Conflict-free replicas: identical decision plans, distinct profile
+    // weights (replicas of the same traffic observed for different
+    // lifetimes, one of which hadn't tiered its last method up yet). On
+    // such sets profile union is pure count addition and every ballot
+    // agrees, so grouping must not matter. Conflict *resolution* is
+    // deliberately a single N-way vote — majority-with-pruning is not
+    // associative under disagreement — and is covered by the unit tests.
+    use incline_vm::snapshot::MergePolicy;
+    let policy = MergePolicy::with_support(1);
+    for w in corpus() {
+        let a = parse(&replica_run(&w, 6, w.input.min(8)));
+        let b = scaled(&a, 2);
+        let mut c = scaled(&a, 3);
+        c.decisions.pop();
+        let all = Snapshot::merge(&[a.clone(), b.clone(), c.clone()], &policy)
+            .unwrap()
+            .snapshot
+            .to_bytes();
+        let ab = Snapshot::merge(&[a.clone(), b.clone()], &policy)
+            .unwrap()
+            .snapshot;
+        let bc = Snapshot::merge(&[b, c.clone()], &policy).unwrap().snapshot;
+        let left = Snapshot::merge(&[ab, c], &policy).unwrap().snapshot;
+        let right = Snapshot::merge(&[a, bc], &policy).unwrap().snapshot;
+        assert_eq!(
+            left.to_bytes(),
+            all,
+            "{}: merge((a,b),c) differs from merge(a,b,c)",
+            w.name
+        );
+        assert_eq!(
+            right.to_bytes(),
+            all,
+            "{}: merge(a,(b,c)) differs from merge(a,b,c)",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn merged_replay_matches_cold_answers_across_compile_threads() {
+    for w in corpus() {
+        // Guaranteed-distinct replica set: one real run plus two
+        // count-scaled variants of it (so dedup never collapses the set),
+        // shipped as raw bytes the way the CLI's --snapshot-merge does.
+        let base = parse(&replica_run(&w, 6, w.input.min(8)));
+        let replicas: Vec<Vec<u8>> = [base.clone(), scaled(&base, 2), scaled(&base, 3)]
+            .iter()
+            .map(Snapshot::to_bytes)
+            .collect();
+        let cold = RunSession::new(&w.program, spec(&w))
+            .inliner(Box::new(IncrementalInliner::new()))
+            .config(config(0, ReplayMode::Eager))
+            .run()
+            .unwrap();
+        let mut reference: Option<BenchResult> = None;
+        for threads in [0usize, 1, 4] {
+            let out = RunSession::new(&w.program, spec(&w))
+                .inliner(Box::new(IncrementalInliner::new()))
+                .config(config(threads, ReplayMode::Eager))
+                .snapshot_merge(replicas.iter().map(|b| b.clone().into()).collect())
+                .run()
+                .unwrap();
+            assert_eq!(
+                out.snapshot.merged, 3,
+                "{}: all three replicas must fold into the merge",
+                w.name
+            );
+            assert_eq!(
+                cold.answer_digest(),
+                out.answer_digest(),
+                "{}: merged replay diverged from the cold answer",
+                w.name
+            );
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(
+                    r, &out,
+                    "{}: merged replay differs at compile_threads={threads}",
+                    w.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn atomic_file_store_overwrite_leaves_no_partial_state() {
+    use incline_vm::snapshot::FileStore;
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let path = std::env::temp_dir().join(format!("incline-atomic-{}.jsonl", std::process::id()));
+    let first = replica_run(&w, 4, 4);
+    let second = replica_run(&w, 9, 8);
+    let store = FileStore::new(&path);
+    store.write(&first).unwrap();
+    store.write(&second).unwrap();
+    // The rename is the commit point: the file holds exactly the second
+    // snapshot and the staging file is gone.
+    assert_eq!(std::fs::read(&path).unwrap(), second);
+    let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("incline-atomic-") && n.ends_with(".tmp"))
+        .collect();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        leftovers.is_empty(),
+        "staging files left behind: {leftovers:?}"
+    );
+}
+
+#[test]
+fn truncated_tail_on_disk_degrades_to_cold_start() {
+    // A torn tail is what a crashed *non-atomic* writer would leave; the
+    // reader must treat it exactly like any corrupt snapshot.
+    let w = incline_workloads::by_name("scalatest").unwrap();
+    let path = std::env::temp_dir().join(format!("incline-torn-{}.jsonl", std::process::id()));
+    let (cold, bytes) = cold_run(&w, 0);
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    let out = RunSession::new(&w.program, spec(&w))
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config(0, ReplayMode::Eager))
+        .snapshot_in(path.as_path())
+        .run()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.snapshot.fallbacks, 1);
+    assert_eq!(out.snapshot.loaded, 0);
+    let mut masked = out.clone();
+    masked.snapshot = cold.snapshot;
+    assert_eq!(masked, cold, "torn-tail run must equal the cold run");
+}
+
 #[test]
 fn file_store_round_trips_through_disk() {
     use incline_vm::snapshot::FileStore;
