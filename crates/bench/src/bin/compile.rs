@@ -1,0 +1,13 @@
+//! Emits `BENCH_compile.json`: per-workload compiler cost (wall time,
+//! virtual cycles, allocations) with the trial cache off vs on. This is
+//! the one bench bin that registers the counting allocator, so its
+//! allocation columns are real; see `incline_bench::compile`.
+
+use incline_bench::alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    println!("{}", incline_bench::compile::figure());
+}

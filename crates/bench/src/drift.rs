@@ -195,8 +195,10 @@ pub fn serve_drift() -> (ServerReport, ServerReport) {
 /// digest divergence — per workload or per server tenant — so the bench
 /// binary doubles as a regression gate.
 pub fn figure() -> String {
+    use crate::json::Json;
+
     let benches = measure_all();
-    let mut rows = String::new();
+    let mut rows = Vec::new();
     let mut improved = 0usize;
     let mut worst_ratio = 0f64;
     for r in &benches {
@@ -212,29 +214,34 @@ pub fn figure() -> String {
         if ratio > worst_ratio {
             worst_ratio = ratio;
         }
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"workload\":\"{}\",\"suite\":\"{}\",\
-             \"cold\":{{\"recovery_cycles\":{},\"deopts\":{},\"recompiles\":{}}},\
-             \"warm\":{{\"recovery_cycles\":{},\"deopts\":{},\"recompiles\":{},\
-             \"replayed_compiles\":{},\"poisoned\":{}}},\
-             \"ratio\":{:.3},\"digest_match\":{},\"improved\":{}}}",
-            r.name,
-            r.suite,
-            r.cold_recovery(),
-            r.cold.bailouts.deopts,
-            r.cold.bailouts.recompiles,
-            r.warm_recovery(),
-            r.warm.bailouts.deopts,
-            r.warm.bailouts.recompiles,
-            r.warm.snapshot.replayed_compiles,
-            r.warm.snapshot.poisoned,
-            ratio,
-            r.digest_match(),
-            r.warm_recovery() < r.cold_recovery(),
-        ));
+        rows.push(Json::obj(vec![
+            ("workload", r.name.as_str().into()),
+            ("suite", r.suite.as_str().into()),
+            (
+                "cold",
+                Json::obj(vec![
+                    ("recovery_cycles", r.cold_recovery().into()),
+                    ("deopts", r.cold.bailouts.deopts.into()),
+                    ("recompiles", r.cold.bailouts.recompiles.into()),
+                ]),
+            ),
+            (
+                "warm",
+                Json::obj(vec![
+                    ("recovery_cycles", r.warm_recovery().into()),
+                    ("deopts", r.warm.bailouts.deopts.into()),
+                    ("recompiles", r.warm.bailouts.recompiles.into()),
+                    (
+                        "replayed_compiles",
+                        r.warm.snapshot.replayed_compiles.into(),
+                    ),
+                    ("poisoned", r.warm.snapshot.poisoned.into()),
+                ]),
+            ),
+            ("ratio", Json::f3(ratio)),
+            ("digest_match", r.digest_match().into()),
+            ("improved", (r.warm_recovery() < r.cold_recovery()).into()),
+        ]));
     }
 
     let (cold_srv, warm_srv) = serve_drift();
@@ -246,32 +253,52 @@ pub fn figure() -> String {
         );
     }
 
-    format!(
-        "{{\n  \"metric\":\"cycles to within 5% of steady state under A->B input drift\",\n  \
-         \"criteria\":{{\"improved_min\":{min_improved},\"max_ratio\":{max_ratio:.1},\
-         \"digests\":\"warm == cold on every workload and tenant\"}},\n  \
-         \"workloads\":[\n{rows}\n  ],\n  \
-         \"summary\":{{\"improved\":{improved},\"total\":{total},\"worst_ratio\":{worst_ratio:.3},\
-         \"meets_recovery\":{meets_recovery},\"meets_bound\":{meets_bound}}},\n  \
-         \"server\":{{\"cold_cycles\":{},\"warm_cycles\":{},\"warm_deopts\":{},\
-         \"warm_recompiles\":{},\"replayed_compiles\":{},\"poisoned\":{},\
-         \"cold_latency_p99\":{},\"warm_latency_p99\":{},\"tenant_digests_match\":true}}\n}}",
-        cold_srv.total_cycles,
-        warm_srv.total_cycles,
-        warm_srv.bailouts.deopts,
-        warm_srv.bailouts.recompiles,
-        warm_srv.snapshot.replayed_compiles,
-        warm_srv.snapshot.poisoned,
-        cold_srv.latency.p99,
-        warm_srv.latency.p99,
-        min_improved = MIN_IMPROVED,
-        max_ratio = MAX_RATIO,
-        improved = improved,
-        total = benches.len(),
-        worst_ratio = worst_ratio,
-        meets_recovery = improved >= MIN_IMPROVED,
-        meets_bound = worst_ratio <= MAX_RATIO,
-    )
+    Json::obj(vec![
+        (
+            "metric",
+            "cycles to within 5% of steady state under A->B input drift".into(),
+        ),
+        (
+            "criteria",
+            Json::obj(vec![
+                ("improved_min", MIN_IMPROVED.into()),
+                ("max_ratio", Json::f1(MAX_RATIO)),
+                (
+                    "digests",
+                    "warm == cold on every workload and tenant".into(),
+                ),
+            ]),
+        ),
+        ("workloads", Json::Arr(rows)),
+        (
+            "summary",
+            Json::obj(vec![
+                ("improved", improved.into()),
+                ("total", benches.len().into()),
+                ("worst_ratio", Json::f3(worst_ratio)),
+                ("meets_recovery", (improved >= MIN_IMPROVED).into()),
+                ("meets_bound", (worst_ratio <= MAX_RATIO).into()),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("cold_cycles", cold_srv.total_cycles.into()),
+                ("warm_cycles", warm_srv.total_cycles.into()),
+                ("warm_deopts", warm_srv.bailouts.deopts.into()),
+                ("warm_recompiles", warm_srv.bailouts.recompiles.into()),
+                (
+                    "replayed_compiles",
+                    warm_srv.snapshot.replayed_compiles.into(),
+                ),
+                ("poisoned", warm_srv.snapshot.poisoned.into()),
+                ("cold_latency_p99", cold_srv.latency.p99.into()),
+                ("warm_latency_p99", warm_srv.latency.p99.into()),
+                ("tenant_digests_match", true.into()),
+            ]),
+        ),
+    ])
+    .render()
 }
 
 #[cfg(test)]

@@ -427,11 +427,12 @@ pub fn stalls() -> String {
 /// `BENCH_cache.json` — with per-policy evictions, admission rejections,
 /// re-tier counts, stall percentiles and the high-water mark.
 pub fn cache() -> String {
+    use crate::json::Json;
     use incline_vm::EvictionPolicy;
     let w = incline_workloads::cache_pressure::storm();
     let budget: u64 = 8 * 1024;
     let config = Config::paper();
-    let mut policies = String::new();
+    let mut policies = Vec::new();
     for policy in EvictionPolicy::all() {
         let m = measure_with_vm(
             &w,
@@ -444,46 +445,42 @@ pub fn cache() -> String {
         );
         let r = &m.result;
         let c = r.cache;
-        if !policies.is_empty() {
-            policies.push_str(",\n");
-        }
-        policies.push_str(&format!(
-            "    {{\"policy\":\"{}\",\"evictions\":{},\"forced_evictions\":{},\
-             \"admission_rejections\":{},\"degraded_admissions\":{},\"re_tiered\":{},\
-             \"aged\":{},\"high_water_bytes\":{},\"installed_bytes\":{},\
-             \"compilations\":{},\"steady_state\":{:.1},\"stall_p50\":{},\"stall_p99\":{},\
-             \"stall_total\":{}}}",
-            policy.label(),
-            c.evictions,
-            c.forced_evictions,
-            c.admission_rejections,
-            c.degraded_admissions,
-            c.re_tiered,
-            c.aged,
-            c.high_water_bytes,
-            r.installed_bytes,
-            r.compilations,
-            r.steady_state,
-            r.stall_percentile(0.50),
-            r.stall_percentile(0.99),
-            r.stall_cycles,
-        ));
+        policies.push(Json::obj(vec![
+            ("policy", policy.label().into()),
+            ("evictions", c.evictions.into()),
+            ("forced_evictions", c.forced_evictions.into()),
+            ("admission_rejections", c.admission_rejections.into()),
+            ("degraded_admissions", c.degraded_admissions.into()),
+            ("re_tiered", c.re_tiered.into()),
+            ("aged", c.aged.into()),
+            ("high_water_bytes", c.high_water_bytes.into()),
+            ("installed_bytes", r.installed_bytes.into()),
+            ("compilations", r.compilations.into()),
+            ("steady_state", Json::f1(r.steady_state)),
+            ("stall_p50", r.stall_percentile(0.50).into()),
+            ("stall_p99", r.stall_percentile(0.99).into()),
+            ("stall_total", r.stall_cycles.into()),
+        ]));
     }
     let unbounded = measure_with_vm(&w, &config, crate::default_vm());
     let u = &unbounded.result;
-    format!(
-        "{{\n  \"workload\":\"{}\",\"budget\":{budget},\n  \"unbounded\":{{\
-         \"installed_bytes\":{},\"compilations\":{},\"steady_state\":{:.1},\
-         \"stall_p50\":{},\"stall_p99\":{},\"stall_total\":{}}},\n  \"policies\":[\n{}\n  ]\n}}",
-        w.name,
-        u.installed_bytes,
-        u.compilations,
-        u.steady_state,
-        u.stall_percentile(0.50),
-        u.stall_percentile(0.99),
-        u.stall_cycles,
-        policies
-    )
+    Json::obj(vec![
+        ("workload", w.name.as_str().into()),
+        ("budget", budget.into()),
+        (
+            "unbounded",
+            Json::obj(vec![
+                ("installed_bytes", u.installed_bytes.into()),
+                ("compilations", u.compilations.into()),
+                ("steady_state", Json::f1(u.steady_state)),
+                ("stall_p50", u.stall_percentile(0.50).into()),
+                ("stall_p99", u.stall_percentile(0.99).into()),
+                ("stall_total", u.stall_cycles.into()),
+            ]),
+        ),
+        ("policies", Json::Arr(policies)),
+    ])
+    .render()
 }
 
 /// Warmup elimination via persistent snapshots (beyond the paper): every
@@ -502,6 +499,7 @@ pub fn cache() -> String {
 pub fn warmup() -> String {
     use std::sync::Arc;
 
+    use crate::json::Json;
     use incline_vm::snapshot::ReplayMode;
     use incline_vm::{
         BenchResult, BenchSpec, MemoryStore, RunSession, ServerSession, Value, VmConfig,
@@ -535,7 +533,7 @@ pub fn warmup() -> String {
     };
 
     let benches = all_benchmarks();
-    let mut rows = String::new();
+    let mut rows = Vec::new();
     let mut passes = 0usize;
     for w in &benches {
         let store = Arc::new(MemoryStore::new());
@@ -550,31 +548,37 @@ pub fn warmup() -> String {
         if pass {
             passes += 1;
         }
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"workload\":\"{}\",\"suite\":\"{}\",\
-             \"cold\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"steady_state\":{:.1}}},\
-             \"eager\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"replayed_compiles\":{},\
-             \"digest_match\":{}}},\
-             \"seed\":{{\"warmup_iters\":{},\"warmup_cycles\":{},\"seeded_methods\":{},\
-             \"digest_match\":{}}},\"pass\":{}}}",
-            w.name,
-            w.suite.label(),
-            cold.warmup_within(FRAC),
-            cold_cycles,
-            cold.steady_state,
-            eager.warmup_within(FRAC),
-            eager_cycles,
-            eager.snapshot.replayed_compiles,
-            digest_ok,
-            seed.warmup_within(FRAC),
-            seed.warmup_cycles_within(FRAC),
-            seed.snapshot.seeded_methods,
-            seed_ok,
-            pass,
-        ));
+        rows.push(Json::obj(vec![
+            ("workload", w.name.as_str().into()),
+            ("suite", w.suite.label().into()),
+            (
+                "cold",
+                Json::obj(vec![
+                    ("warmup_iters", cold.warmup_within(FRAC).into()),
+                    ("warmup_cycles", cold_cycles.into()),
+                    ("steady_state", Json::f1(cold.steady_state)),
+                ]),
+            ),
+            (
+                "eager",
+                Json::obj(vec![
+                    ("warmup_iters", eager.warmup_within(FRAC).into()),
+                    ("warmup_cycles", eager_cycles.into()),
+                    ("replayed_compiles", eager.snapshot.replayed_compiles.into()),
+                    ("digest_match", digest_ok.into()),
+                ]),
+            ),
+            (
+                "seed",
+                Json::obj(vec![
+                    ("warmup_iters", seed.warmup_within(FRAC).into()),
+                    ("warmup_cycles", seed.warmup_cycles_within(FRAC).into()),
+                    ("seeded_methods", seed.snapshot.seeded_methods.into()),
+                    ("digest_match", seed_ok.into()),
+                ]),
+            ),
+            ("pass", pass.into()),
+        ]));
     }
 
     // Fleet warming: one server's snapshot pre-warms the next server's
@@ -607,25 +611,39 @@ pub fn warmup() -> String {
         .zip(&warm_srv.tenants)
         .all(|(c, w)| c.digest == w.digest);
 
-    format!(
-        "{{\n  \"metric\":\"cycles to within 5% of steady state\",\
-         \"criterion\":\"eager warmup cycles <= 25% of cold with identical digest\",\n  \
-         \"workloads\":[\n{rows}\n  ],\n  \
-         \"summary\":{{\"passes\":{passes},\"total\":{total},\"meets_criterion\":{meets}}},\n  \
-         \"server\":{{\"cold_cycles\":{},\"warm_cycles\":{},\"replayed_compiles\":{},\
-         \"cold_latency_p99\":{},\"warm_latency_p99\":{},\
-         \"cold_stall_p99\":{},\"warm_stall_p99\":{},\"tenant_digests_match\":{}}}\n}}",
-        cold_srv.total_cycles,
-        warm_srv.total_cycles,
-        warm_srv.snapshot.replayed_compiles,
-        cold_srv.latency.p99,
-        warm_srv.latency.p99,
-        cold_srv.stall.p99,
-        warm_srv.stall.p99,
-        tenants_match,
-        total = benches.len(),
-        meets = passes * 2 >= benches.len(),
-    )
+    Json::obj(vec![
+        ("metric", "cycles to within 5% of steady state".into()),
+        (
+            "criterion",
+            "eager warmup cycles <= 25% of cold with identical digest".into(),
+        ),
+        ("workloads", Json::Arr(rows)),
+        (
+            "summary",
+            Json::obj(vec![
+                ("passes", passes.into()),
+                ("total", benches.len().into()),
+                ("meets_criterion", (passes * 2 >= benches.len()).into()),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("cold_cycles", cold_srv.total_cycles.into()),
+                ("warm_cycles", warm_srv.total_cycles.into()),
+                (
+                    "replayed_compiles",
+                    warm_srv.snapshot.replayed_compiles.into(),
+                ),
+                ("cold_latency_p99", cold_srv.latency.p99.into()),
+                ("warm_latency_p99", warm_srv.latency.p99.into()),
+                ("cold_stall_p99", cold_srv.stall.p99.into()),
+                ("warm_stall_p99", warm_srv.stall.p99.into()),
+                ("tenant_digests_match", tenants_match.into()),
+            ]),
+        ),
+    ])
+    .render()
 }
 
 #[cfg(test)]

@@ -302,7 +302,10 @@ mod tests {
     }
 }
 
+pub mod alloc;
+pub mod compile;
 pub mod drift;
 pub mod figures;
+pub mod json;
 pub mod server;
 pub mod stats;

@@ -93,55 +93,55 @@ fn install_label(install: InstallPolicy) -> &'static str {
 /// request-latency and mutator-stall tails, fairness, queue depth and
 /// cache churn per cell.
 pub fn figure() -> String {
+    use crate::json::Json;
+
     let mix = standard_mix();
-    let mut cells = String::new();
+    let mut cells = Vec::new();
     for install in [InstallPolicy::Barrier, InstallPolicy::Safepoint] {
         for policy in EvictionPolicy::all() {
             let r = serve_standard(&mix, install, policy, 4);
             let depths: Vec<u64> = r.queue_depth.iter().map(|&(_, d)| d).collect();
-            if !cells.is_empty() {
-                cells.push_str(",\n");
-            }
-            cells.push_str(&format!(
-                "    {{\"install\":\"{}\",\"eviction\":\"{}\",\
-                 \"latency_p50\":{},\"latency_p99\":{},\"latency_p999\":{},\"latency_max\":{},\
-                 \"stall_p50\":{},\"stall_p99\":{},\"stall_p999\":{},\"worst_pause\":{},\
-                 \"fairness\":{:.4},\"max_queue_depth\":{},\"queue_depth_p99\":{},\
-                 \"compilations\":{},\"evictions\":{},\"re_tiered\":{},\
-                 \"installed_bytes\":{},\"total_cycles\":{}}}",
-                install_label(install),
-                policy.label(),
-                r.latency.p50,
-                r.latency.p99,
-                r.latency.p999,
-                r.latency.max,
-                r.stall.p50,
-                r.stall.p99,
-                r.stall.p999,
-                r.stall.max,
-                r.fairness,
-                r.max_queue_depth,
-                percentile(&depths, 0.99),
-                r.compilations,
-                r.cache.evictions,
-                r.cache.re_tiered,
-                r.installed_bytes,
-                r.total_cycles,
-            ));
+            cells.push(Json::obj(vec![
+                ("install", install_label(install).into()),
+                ("eviction", policy.label().into()),
+                ("latency_p50", r.latency.p50.into()),
+                ("latency_p99", r.latency.p99.into()),
+                ("latency_p999", r.latency.p999.into()),
+                ("latency_max", r.latency.max.into()),
+                ("stall_p50", r.stall.p50.into()),
+                ("stall_p99", r.stall.p99.into()),
+                ("stall_p999", r.stall.p999.into()),
+                ("worst_pause", r.stall.max.into()),
+                ("fairness", Json::Raw(format!("{:.4}", r.fairness))),
+                ("max_queue_depth", r.max_queue_depth.into()),
+                ("queue_depth_p99", percentile(&depths, 0.99).into()),
+                ("compilations", r.compilations.into()),
+                ("evictions", r.cache.evictions.into()),
+                ("re_tiered", r.cache.re_tiered.into()),
+                ("installed_bytes", r.installed_bytes.into()),
+                ("total_cycles", r.total_cycles.into()),
+            ]));
         }
     }
-    let mix_desc: Vec<String> = mix
+    let mix_desc: Vec<Json> = mix
         .tenants
         .iter()
-        .map(|t| format!("\"{}(w{})\"", t.name, t.weight))
+        .map(|t| format!("{}(w{})", t.name, t.weight).into())
         .collect();
-    format!(
-        "{{\n  \"scenario\":{{\"seed\":{DEFAULT_SEED},\"tenants\":[{}],\
-         \"requests\":{},\"budget\":1536,\"threads\":4}},\n  \"cells\":[\n{}\n  ]\n}}",
-        mix_desc.join(","),
-        standard_spec().requests,
-        cells
-    )
+    Json::obj(vec![
+        (
+            "scenario",
+            Json::obj(vec![
+                ("seed", DEFAULT_SEED.into()),
+                ("tenants", Json::Arr(mix_desc)),
+                ("requests", standard_spec().requests.into()),
+                ("budget", 1536u64.into()),
+                ("threads", 4u64.into()),
+            ]),
+        ),
+        ("cells", Json::Arr(cells)),
+    ])
+    .render()
 }
 
 #[cfg(test)]

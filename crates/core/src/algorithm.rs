@@ -588,6 +588,7 @@ fn inline_cluster(
                 .take()
                 .expect("expanded node has a graph");
             let res = inline_call(&mut tree.root_graph, block, callsite, &body);
+            tree.recycle_graph(body);
             *inlined += 1;
             tree.node_mut(n).kind = NodeKind::Inlined;
 
@@ -700,13 +701,16 @@ fn refresh_specializations(tree: &mut CallTree, cx: &CompileCx<'_>, config: &Pol
         }
         if tree.potential_ns(c, cx) > tree.node(c).ns {
             // Re-run the trial with the improved argument facts.
-            {
+            let stale = {
                 let n = tree.node_mut(c);
                 n.kind = NodeKind::Cutoff;
-                n.graph = None;
                 n.children.clear();
                 n.ns = 0;
                 n.no = 0;
+                n.graph.take()
+            };
+            if let Some(g) = stale {
+                tree.recycle_graph(g);
             }
             tree.expand_node(c, cx, config);
         }

@@ -13,11 +13,12 @@
 //! foundation of deep inlining trials (§IV).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use incline_ir::graph::{CallTarget, Op};
 use incline_ir::ids::{CallSiteId, ClassId, InstId, MethodId};
-use incline_ir::{Graph, Type};
-use incline_vm::CompileCx;
+use incline_ir::{Graph, GraphPool, StructuralHasher, Type};
+use incline_vm::{CompileCx, TrialKey, TrialOutcome};
 
 use crate::metrics::Tuple;
 use crate::policy::{PolicyConfig, Trials};
@@ -127,6 +128,10 @@ pub struct CallTree {
     root_method: MethodId,
     /// Total IR nodes attached by expansions (compile-work accounting).
     pub explored_nodes: usize,
+    /// Recycling arena for expansion/trial graphs: consumed bodies go back
+    /// via [`CallTree::recycle_graph`] and the next expansion reuses their
+    /// buffers instead of allocating a fresh graph.
+    pool: GraphPool,
 }
 
 impl CallTree {
@@ -144,6 +149,7 @@ impl CallTree {
             root_graph,
             root_method: method,
             explored_nodes: 0,
+            pool: GraphPool::new(),
         };
         let mut root = CallNode::new(NodeKind::Root);
         root.method = Some(method);
@@ -423,7 +429,6 @@ impl CallTree {
     pub fn expand_node(&mut self, n: NodeId, cx: &CompileCx<'_>, config: &PolicyConfig) -> usize {
         debug_assert_eq!(self.nodes[n.0].kind, NodeKind::Cutoff);
         let method = self.nodes[n.0].method.expect("cutoff has a target");
-        let mut graph = cx.program.method(method).graph.clone();
 
         // Depth of the node (for shallow trials: only depth-1 specializes).
         let depth = {
@@ -440,26 +445,13 @@ impl CallTree {
             Trials::Shallow => depth <= 1,
         };
 
-        let mut ns = 0u32;
-        let mut no = 0u64;
-        if specialize {
+        let (graph, ns, no) = if specialize {
             let arg_info = self.callsite_arg_info(n, cx);
-            ns = specialize_params(cx, &mut graph, &arg_info);
-            // The trial bundle (canonicalize_bundle) runs unmetered and
-            // reports per-stage deltas to the trace as Trial-phase events.
-            let stats = incline_trace::optimize_with_trace(
-                cx.program,
-                &mut graph,
-                incline_opt::PipelineConfig {
-                    peel_loops: false,
-                    max_rounds: 3,
-                },
-                &incline_opt::UNLIMITED_FUEL,
-                cx.trace,
-                incline_trace::OptPhase::Trial,
-            );
-            no = stats.simple_count();
-        }
+            self.run_trial(method, &arg_info, cx)
+        } else {
+            let graph = self.pool.clone_graph(&cx.program.method(method).graph);
+            (graph, 0, 0)
+        };
 
         let attached = graph.size();
         self.explored_nodes += attached;
@@ -472,6 +464,93 @@ impl CallTree {
         }
         self.create_children(n, cx, config);
         attached
+    }
+
+    /// Returns a consumed expansion graph's buffers to the tree's pool so
+    /// the next expansion reuses them.
+    pub fn recycle_graph(&mut self, graph: Graph) {
+        self.pool.recycle(graph);
+    }
+
+    /// Runs the deep-inlining trial bundle for `(method, args)` — clone,
+    /// specialize, trial-optimize — or replays a memoized outcome from the
+    /// [`incline_vm::TrialCache`] when one is attached.
+    ///
+    /// The trial reads no profile data (profiles enter only through
+    /// `args`), so its output is a pure function of the callee graph and
+    /// the argument facts: a hit returns the same graph bytes, the same
+    /// `(ns, no)` and re-emits the same trace events a fresh run would
+    /// produce. The differential tests assert this end to end.
+    fn run_trial(
+        &mut self,
+        method: MethodId,
+        args: &[ArgInfo],
+        cx: &CompileCx<'_>,
+    ) -> (Graph, u32, u64) {
+        let template = &cx.program.method(method).graph;
+        let key = cx.trials.map(|t| TrialKey {
+            method,
+            graph_fp: t.method_fingerprint(method, template),
+            args_fp: hash_args(args),
+        });
+        if let (Some(trials), Some(key)) = (cx.trials, key) {
+            if let Some(hit) = trials.lookup(key) {
+                if cx.tracing() {
+                    for e in &hit.events {
+                        cx.trace.emit(e.clone());
+                    }
+                }
+                return (self.pool.clone_graph(&hit.graph), hit.ns, hit.no);
+            }
+        }
+        let mut graph = self.pool.clone_graph(template);
+        let ns = specialize_params(cx, &mut graph, args);
+        // The trial bundle (canonicalize_bundle) runs unmetered and
+        // reports per-stage deltas to the trace as Trial-phase events.
+        let trial_config = incline_opt::PipelineConfig {
+            peel_loops: false,
+            max_rounds: 3,
+        };
+        let (no, events) = if cx.tracing() {
+            // Capture the trial's events locally so a later cache hit can
+            // replay the identical stream, then forward them unchanged.
+            let local = incline_trace::CollectingSink::new();
+            let stats = incline_trace::optimize_with_trace(
+                cx.program,
+                &mut graph,
+                trial_config,
+                &incline_opt::UNLIMITED_FUEL,
+                &local,
+                incline_trace::OptPhase::Trial,
+            );
+            let events = local.take();
+            for e in &events {
+                cx.trace.emit(e.clone());
+            }
+            (stats.simple_count(), events)
+        } else {
+            let stats = incline_trace::optimize_with_trace(
+                cx.program,
+                &mut graph,
+                trial_config,
+                &incline_opt::UNLIMITED_FUEL,
+                cx.trace,
+                incline_trace::OptPhase::Trial,
+            );
+            (stats.simple_count(), Vec::new())
+        };
+        if let (Some(trials), Some(key)) = (cx.trials, key) {
+            trials.insert(
+                key,
+                Arc::new(TrialOutcome {
+                    graph: graph.clone(),
+                    ns,
+                    no,
+                    events,
+                }),
+            );
+        }
+        (graph, ns, no)
     }
 
     /// Argument specialization facts for a node's callsite: per parameter,
@@ -573,6 +652,31 @@ pub struct ArgInfo {
     pub konst: Option<Op>,
     /// The argument's type, when strictly narrower than the parameter.
     pub ty: Option<Type>,
+}
+
+/// Structural hash of an argument-specialization vector — the `args_fp`
+/// component of a [`TrialKey`]. Two callsites with the same constants and
+/// the same narrowed types hash equal and share a memoized trial.
+pub fn hash_args(args: &[ArgInfo]) -> u64 {
+    let mut h = StructuralHasher::new();
+    h.write_u64(args.len() as u64);
+    for a in args {
+        match &a.konst {
+            Some(op) => {
+                h.write_u64(1);
+                h.write_op(op);
+            }
+            None => h.write_u64(0),
+        }
+        match a.ty {
+            Some(t) => {
+                h.write_u64(1);
+                h.write_type(t);
+            }
+            None => h.write_u64(0),
+        }
+    }
+    h.finish()
 }
 
 /// Applies argument specialization to a cloned callee graph: constant

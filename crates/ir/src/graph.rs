@@ -309,7 +309,7 @@ pub struct ValueData {
 }
 
 /// An instruction: operation, operands and optional result value.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct InstData {
     /// The operation.
     pub op: Op,
@@ -317,6 +317,25 @@ pub struct InstData {
     pub args: Vec<ValueId>,
     /// Result value, if the operation produces one.
     pub result: Option<ValueId>,
+}
+
+impl Clone for InstData {
+    fn clone(&self) -> Self {
+        InstData {
+            op: self.op.clone(),
+            args: self.args.clone(),
+            result: self.result,
+        }
+    }
+
+    // Reuses the operand buffer — `Vec::clone_from` keeps the existing
+    // allocation — so pooled graph clones (see [`GraphPool`]) do not
+    // re-allocate per instruction.
+    fn clone_from(&mut self, source: &Self) {
+        self.op = source.op.clone();
+        self.args.clone_from(&source.args);
+        self.result = source.result;
+    }
 }
 
 /// Why a [`Terminator::Deopt`] uncommon trap was emitted.
@@ -355,7 +374,7 @@ impl std::fmt::Display for DeoptReason {
 }
 
 /// Block terminators.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub enum Terminator {
     /// Unconditional jump passing `args` to the target's parameters.
     Jump(BlockId, Vec<ValueId>),
@@ -380,6 +399,55 @@ pub enum Terminator {
     },
     /// Marker for not-yet-terminated blocks; invalid in finished graphs.
     Unterminated,
+}
+
+impl Clone for Terminator {
+    fn clone(&self) -> Self {
+        match self {
+            Terminator::Jump(b, args) => Terminator::Jump(*b, args.clone()),
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => Terminator::Branch {
+                cond: *cond,
+                then_dest: then_dest.clone(),
+                else_dest: else_dest.clone(),
+            },
+            Terminator::Return(v) => Terminator::Return(*v),
+            Terminator::Deopt { reason } => Terminator::Deopt { reason: *reason },
+            Terminator::Unterminated => Terminator::Unterminated,
+        }
+    }
+
+    // Same-variant clones reuse the argument buffers (pooled graph reuse).
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (Terminator::Jump(b, args), Terminator::Jump(sb, sargs)) => {
+                *b = *sb;
+                args.clone_from(sargs);
+            }
+            (
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                },
+                Terminator::Branch {
+                    cond: sc,
+                    then_dest: st,
+                    else_dest: se,
+                },
+            ) => {
+                *cond = *sc;
+                then_dest.0 = st.0;
+                then_dest.1.clone_from(&st.1);
+                else_dest.0 = se.0;
+                else_dest.1.clone_from(&se.1);
+            }
+            (this, source) => *this = source.clone(),
+        }
+    }
 }
 
 impl Terminator {
@@ -419,7 +487,7 @@ impl Terminator {
 }
 
 /// A basic block: parameters, instruction list, terminator.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BlockData {
     /// Parameter values of the block (the SSA phi replacement).
     pub params: Vec<ValueId>,
@@ -429,13 +497,50 @@ pub struct BlockData {
     pub term: Terminator,
 }
 
+impl Clone for BlockData {
+    fn clone(&self) -> Self {
+        BlockData {
+            params: self.params.clone(),
+            insts: self.insts.clone(),
+            term: self.term.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.params.clone_from(&source.params);
+        self.insts.clone_from(&source.insts);
+        self.term.clone_from(&source.term);
+    }
+}
+
 /// An IR graph: the body of one method.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Graph {
     values: Vec<ValueData>,
     insts: Vec<InstData>,
     blocks: Vec<BlockData>,
     entry: BlockId,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            values: self.values.clone(),
+            insts: self.insts.clone(),
+            blocks: self.blocks.clone(),
+            entry: self.entry,
+        }
+    }
+
+    // Field-wise `clone_from` so a recycled graph (see [`GraphPool`]) reuses
+    // its outer vectors and every inner operand/parameter buffer instead of
+    // re-allocating the whole arena.
+    fn clone_from(&mut self, source: &Self) {
+        self.values.clone_from(&source.values);
+        self.insts.clone_from(&source.insts);
+        self.blocks.clone_from(&source.blocks);
+        self.entry = source.entry;
+    }
 }
 
 impl Default for Graph {
@@ -837,6 +942,292 @@ impl Graph {
         }
         out
     }
+
+    /// FNV-1a 64 structural fingerprint of the reachable program text:
+    /// block parameters (ids + types), instructions (op, operands, result),
+    /// and terminators, walked in depth-first preorder. Two graphs that
+    /// print identically fingerprint identically; the hash never allocates
+    /// beyond the reachability scratch, unlike hashing the printed text.
+    ///
+    /// This is the `graph_fp` component of the deep-inlining trial-cache
+    /// key (DESIGN.md §15).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StructuralHasher::new();
+        let reach = self.reachable_blocks();
+        h.write_u64(reach.len() as u64);
+        for &b in &reach {
+            let bd = &self.blocks[b.index()];
+            h.write_u64(b.index() as u64);
+            h.write_u64(bd.params.len() as u64);
+            for &p in &bd.params {
+                h.write_u64(p.index() as u64);
+                h.write_type(self.values[p.index()].ty);
+            }
+            h.write_u64(bd.insts.len() as u64);
+            for &i in &bd.insts {
+                let inst = &self.insts[i.index()];
+                h.write_op(&inst.op);
+                h.write_u64(inst.args.len() as u64);
+                for &a in &inst.args {
+                    h.write_u64(a.index() as u64);
+                }
+                match inst.result {
+                    Some(r) => {
+                        h.write_u64(1);
+                        h.write_u64(r.index() as u64);
+                        h.write_type(self.values[r.index()].ty);
+                    }
+                    None => h.write_u64(0),
+                }
+            }
+            h.write_terminator(&bd.term);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a 64 accumulator with typed writers for IR entities — the shared
+/// substrate of [`Graph::fingerprint`] and the inliner's trial-cache
+/// argument hashing (which hashes `Op` constants and `Type` narrowings
+/// without a graph in hand).
+#[derive(Clone, Copy, Debug)]
+pub struct StructuralHasher {
+    state: u64,
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StructuralHasher {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        StructuralHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds eight little-endian bytes into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.state ^= byte as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The accumulated digest.
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+
+    /// Folds a [`Type`] (tag + payload).
+    pub fn write_type(&mut self, ty: Type) {
+        match ty {
+            Type::Int => self.write_u64(0),
+            Type::Float => self.write_u64(1),
+            Type::Bool => self.write_u64(2),
+            Type::Object(c) => {
+                self.write_u64(3);
+                self.write_u64(c.index() as u64);
+            }
+            Type::Array(e) => {
+                self.write_u64(4);
+                self.write_elem(e);
+            }
+        }
+    }
+
+    fn write_elem(&mut self, e: ElemType) {
+        match e {
+            ElemType::Int => self.write_u64(0),
+            ElemType::Float => self.write_u64(1),
+            ElemType::Bool => self.write_u64(2),
+            ElemType::Object(c) => {
+                self.write_u64(3);
+                self.write_u64(c.index() as u64);
+            }
+        }
+    }
+
+    /// Folds an [`Op`] (variant tag + payload; float constants by bits).
+    pub fn write_op(&mut self, op: &Op) {
+        match op {
+            Op::Nop => self.write_u64(0),
+            Op::ConstInt(k) => {
+                self.write_u64(1);
+                self.write_u64(*k as u64);
+            }
+            Op::ConstFloat(bits) => {
+                self.write_u64(2);
+                self.write_u64(*bits);
+            }
+            Op::ConstBool(b) => {
+                self.write_u64(3);
+                self.write_u64(*b as u64);
+            }
+            Op::ConstNull(t) => {
+                self.write_u64(4);
+                self.write_type(*t);
+            }
+            Op::Bin(b) => {
+                self.write_u64(5);
+                self.write_u64(*b as u64);
+            }
+            Op::Cmp(c) => {
+                self.write_u64(6);
+                self.write_u64(*c as u64);
+            }
+            Op::Not => self.write_u64(7),
+            Op::INeg => self.write_u64(8),
+            Op::FNeg => self.write_u64(9),
+            Op::IntToFloat => self.write_u64(10),
+            Op::FloatToInt => self.write_u64(11),
+            Op::New(c) => {
+                self.write_u64(12);
+                self.write_u64(c.index() as u64);
+            }
+            Op::GetField(f) => {
+                self.write_u64(13);
+                self.write_u64(f.index() as u64);
+            }
+            Op::SetField(f) => {
+                self.write_u64(14);
+                self.write_u64(f.index() as u64);
+            }
+            Op::NewArray(e) => {
+                self.write_u64(15);
+                self.write_elem(*e);
+            }
+            Op::ArrayGet => self.write_u64(16),
+            Op::ArraySet => self.write_u64(17),
+            Op::ArrayLen => self.write_u64(18),
+            Op::Call(info) => {
+                self.write_u64(19);
+                match info.target {
+                    CallTarget::Static(m) => {
+                        self.write_u64(0);
+                        self.write_u64(m.index() as u64);
+                    }
+                    CallTarget::Virtual(s) => {
+                        self.write_u64(1);
+                        self.write_u64(s.index() as u64);
+                    }
+                }
+                self.write_u64(info.site.method.index() as u64);
+                self.write_u64(info.site.index as u64);
+            }
+            Op::InstanceOf(c) => {
+                self.write_u64(20);
+                self.write_u64(c.index() as u64);
+            }
+            Op::Cast(c) => {
+                self.write_u64(21);
+                self.write_u64(c.index() as u64);
+            }
+            Op::Print => self.write_u64(22),
+        }
+    }
+
+    fn write_terminator(&mut self, term: &Terminator) {
+        match term {
+            Terminator::Jump(b, args) => {
+                self.write_u64(0);
+                self.write_u64(b.index() as u64);
+                self.write_u64(args.len() as u64);
+                for a in args {
+                    self.write_u64(a.index() as u64);
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
+                self.write_u64(1);
+                self.write_u64(cond.index() as u64);
+                for (b, args) in [then_dest, else_dest] {
+                    self.write_u64(b.index() as u64);
+                    self.write_u64(args.len() as u64);
+                    for a in args {
+                        self.write_u64(a.index() as u64);
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                self.write_u64(2);
+                match v {
+                    Some(v) => self.write_u64(1 + v.index() as u64),
+                    None => self.write_u64(0),
+                }
+            }
+            Terminator::Deopt { reason } => {
+                self.write_u64(3);
+                self.write_u64(*reason as u64);
+            }
+            Terminator::Unterminated => self.write_u64(4),
+        }
+    }
+}
+
+/// A recycling pool of [`Graph`] allocations — the arena the incremental
+/// inliner draws trial and expansion graphs from.
+///
+/// Call-tree expansion clones a callee graph per expanded node and the
+/// trial pipeline churns through scratch graphs every round; allocating
+/// each from scratch dominated the compiler's allocation profile (see
+/// `BENCH_compile.json`). The pool keeps up to [`GraphPool::CAPACITY`]
+/// retired graphs and re-populates them with [`Clone::clone_from`], which
+/// reuses the value/instruction/block vectors and every inner operand
+/// buffer.
+#[derive(Debug, Default)]
+pub struct GraphPool {
+    free: Vec<Graph>,
+}
+
+impl Clone for GraphPool {
+    // Pooled graphs are scratch buffers, not state: a clone starts empty
+    // and warms its own pool, which keeps cloning a pool-holding structure
+    // cheap.
+    fn clone(&self) -> Self {
+        GraphPool::new()
+    }
+}
+
+impl GraphPool {
+    /// Retired graphs kept for reuse; beyond this, recycled graphs drop.
+    pub const CAPACITY: usize = 32;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        GraphPool::default()
+    }
+
+    /// Clones `template`, reusing a retired graph's buffers when one is
+    /// available. The result is indistinguishable from `template.clone()`.
+    pub fn clone_graph(&mut self, template: &Graph) -> Graph {
+        match self.free.pop() {
+            Some(mut g) => {
+                g.clone_from(template);
+                g
+            }
+            None => template.clone(),
+        }
+    }
+
+    /// Returns a graph's buffers to the pool for a later
+    /// [`GraphPool::clone_graph`].
+    pub fn recycle(&mut self, graph: Graph) {
+        if self.free.len() < Self::CAPACITY {
+            self.free.push(graph);
+        }
+    }
+
+    /// Number of retired graphs currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
 }
 
 #[cfg(test)]
@@ -1027,6 +1418,70 @@ mod tests {
         assert_eq!(c.size(), g.size());
         assert_eq!(crate::loops::LoopForest::compute(&c).loops.len(), 1);
         assert_eq!(c.block(c.entry()).params.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let build = |k_val: i64| {
+            let mut g = Graph::empty();
+            let e = g.entry();
+            let a = k(&mut g, e, k_val);
+            let b = k(&mut g, e, 3);
+            let (_, sum) = g.append(e, Op::Bin(BinOp::IAdd), vec![a, b], Some(Type::Int));
+            g.set_terminator(e, Terminator::Return(sum));
+            g
+        };
+        assert_eq!(build(2).fingerprint(), build(2).fingerprint());
+        assert_ne!(build(2).fingerprint(), build(4).fingerprint());
+        // Unreachable garbage does not perturb the fingerprint.
+        let mut g = build(2);
+        let dead = g.add_block();
+        k(&mut g, dead, 99);
+        g.set_terminator(dead, Terminator::Return(None));
+        assert_eq!(g.fingerprint(), build(2).fingerprint());
+    }
+
+    #[test]
+    fn pooled_clone_matches_fresh_clone() {
+        let mut g = Graph::empty();
+        let e = g.entry();
+        let a = k(&mut g, e, 1);
+        let b = k(&mut g, e, 2);
+        let (_, s) = g.append(e, Op::Bin(BinOp::IAdd), vec![a, b], Some(Type::Int));
+        g.set_terminator(e, Terminator::Return(s));
+
+        let mut pool = GraphPool::new();
+        // Seed the pool with a retired graph of a very different shape.
+        let mut other = Graph::empty();
+        let o = other.entry();
+        for v in 0..8 {
+            k(&mut other, o, v);
+        }
+        other.set_terminator(o, Terminator::Return(None));
+        pool.recycle(other);
+        assert_eq!(pool.pooled(), 1);
+
+        let cloned = pool.clone_graph(&g);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(cloned.fingerprint(), g.fingerprint());
+        assert_eq!(cloned.size(), g.size());
+        assert_eq!(cloned.inst_count(), g.inst_count());
+        assert_eq!(cloned.value_count(), g.value_count());
+        // And a pool miss falls back to a fresh clone.
+        let fresh = pool.clone_graph(&g);
+        assert_eq!(fresh.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn terminator_clone_from_reuses_same_variant() {
+        let mut t = Terminator::Jump(BlockId::new(0), vec![ValueId::new(0)]);
+        let s = Terminator::Jump(BlockId::new(2), vec![ValueId::new(3), ValueId::new(4)]);
+        t.clone_from(&s);
+        assert_eq!(t, s);
+        // Cross-variant falls back to a plain clone.
+        let r = Terminator::Return(None);
+        t.clone_from(&r);
+        assert_eq!(t, r);
     }
 
     #[test]

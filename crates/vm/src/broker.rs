@@ -112,6 +112,10 @@ pub struct CompileResponse {
     /// in request-id order, which keeps merged streams byte-identical
     /// across thread counts.
     pub events: Vec<CompileEvent>,
+    /// Host wall-clock nanoseconds the ladder spent on this request.
+    /// Real time, not virtual time: feeds the compiler-throughput report
+    /// only and never any deterministic observable.
+    pub wall_nanos: u64,
 }
 
 /// The pending-request queue plus lifetime accounting, owned by the
@@ -204,7 +208,9 @@ pub(crate) fn run_ladder(
     inliner: &dyn Inliner,
     req: &CompileRequest,
     tracing: bool,
+    trials: Option<&crate::trials::TrialCache>,
 ) -> CompileResponse {
+    let started = std::time::Instant::now();
     let profiles = req.profiles.as_ref().unwrap_or(live_profiles);
     let buffer = CollectingSink::new();
     let sink: &dyn TraceSink = if tracing { &buffer } else { &NULL_SINK };
@@ -213,7 +219,7 @@ pub(crate) fn run_ladder(
     let mut package = None;
     for stage in [CompileStage::Full, CompileStage::Degraded] {
         let attempt = match stage {
-            CompileStage::Full => full_tier(program, profiles, inliner, req, sink),
+            CompileStage::Full => full_tier(program, profiles, inliner, req, sink, trials),
             CompileStage::Degraded => degraded_tier(program, req, sink),
         };
         match attempt {
@@ -243,6 +249,7 @@ pub(crate) fn run_ladder(
         failures,
         package,
         events: buffer.take(),
+        wall_nanos: started.elapsed().as_nanos() as u64,
     }
 }
 
@@ -253,6 +260,7 @@ fn full_tier(
     inliner: &dyn Inliner,
     req: &CompileRequest,
     sink: &dyn TraceSink,
+    trials: Option<&crate::trials::TrialCache>,
 ) -> RungResult {
     let fuel = if req.fault == Some(FaultKind::ExhaustFuel) {
         CompileFuel::limited(0)
@@ -262,7 +270,8 @@ fn full_tier(
     let cx = CompileCx::new(program, profiles)
         .with_fuel(&fuel)
         .with_trace(sink)
-        .with_speculation(req.speculation);
+        .with_speculation(req.speculation)
+        .with_trials(trials);
     let fault = req.fault;
     let method = req.method;
     let guarded = faults::with_quiet_panics(|| {
@@ -405,11 +414,12 @@ pub(crate) fn process(
     requests: Vec<CompileRequest>,
     threads: usize,
     tracing: bool,
+    trials: Option<&crate::trials::TrialCache>,
 ) -> Vec<CompileResponse> {
     let mut responses = if threads == 0 || requests.len() <= 1 {
         requests
             .iter()
-            .map(|req| run_ladder(program, live_profiles, inliner, req, tracing))
+            .map(|req| run_ladder(program, live_profiles, inliner, req, tracing, trials))
             .collect::<Vec<_>>()
     } else {
         let workers = threads.min(requests.len());
@@ -422,7 +432,7 @@ pub(crate) fn process(
                     // compiling so workers overlap.
                     let next = queue.lock().expect("queue lock").pop_front();
                     let Some(req) = next else { break };
-                    let resp = run_ladder(program, live_profiles, inliner, &req, tracing);
+                    let resp = run_ladder(program, live_profiles, inliner, &req, tracing, trials);
                     done.lock().expect("done lock").push(resp);
                 });
             }
@@ -473,7 +483,7 @@ mod tests {
     fn ladder_produces_full_tier_package() {
         let (p, ids) = straight_line_program(1);
         let profiles = ProfileTable::new();
-        let resp = run_ladder(&p, &profiles, &NoInline, &request(0, ids[0]), false);
+        let resp = run_ladder(&p, &profiles, &NoInline, &request(0, ids[0]), false, None);
         assert_eq!(resp.id, 0);
         assert!(resp.failures.is_empty());
         assert_eq!(resp.wasted_work, 0);
@@ -487,7 +497,7 @@ mod tests {
         let profiles = ProfileTable::new();
         let mut req = request(0, ids[0]);
         req.fault = Some(FaultKind::PanicInCompile);
-        let resp = run_ladder(&p, &profiles, &NoInline, &req, false);
+        let resp = run_ladder(&p, &profiles, &NoInline, &req, false, None);
         assert_eq!(resp.failures.len(), 1);
         assert!(matches!(
             resp.failures[0],
@@ -506,8 +516,8 @@ mod tests {
             .enumerate()
             .map(|(i, &m)| request(i as u64, m))
             .collect();
-        let inline = process(&p, &NoInline, &profiles, requests.clone(), 0, true);
-        let pooled = process(&p, &NoInline, &profiles, requests, 4, true);
+        let inline = process(&p, &NoInline, &profiles, requests.clone(), 0, true, None);
+        let pooled = process(&p, &NoInline, &profiles, requests, 4, true, None);
         assert_eq!(inline.len(), pooled.len());
         for (a, b) in inline.iter().zip(&pooled) {
             assert_eq!(a.id, b.id);

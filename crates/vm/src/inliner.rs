@@ -62,6 +62,10 @@ pub struct CompileCx<'a> {
     pub trace: &'a dyn TraceSink,
     /// Speculation policy for this compilation.
     pub speculation: Speculation,
+    /// Memoized deep-inlining-trial results shared across compilations of
+    /// this machine, or `None` when trial caching is disabled. Carried by
+    /// reference so the context stays `Copy`.
+    pub trials: Option<&'a crate::trials::TrialCache>,
 }
 
 impl<'a> CompileCx<'a> {
@@ -73,6 +77,7 @@ impl<'a> CompileCx<'a> {
             fuel: &UNLIMITED_FUEL,
             trace: &NULL_SINK,
             speculation: Speculation::default(),
+            trials: None,
         }
     }
 
@@ -92,6 +97,11 @@ impl<'a> CompileCx<'a> {
             speculation,
             ..self
         }
+    }
+
+    /// Attaches (or detaches) the shared trial cache.
+    pub fn with_trials(self, trials: Option<&'a crate::trials::TrialCache>) -> Self {
+        CompileCx { trials, ..self }
     }
 
     /// Whether the trace sink wants events. Producers should gate any

@@ -42,6 +42,7 @@ pub mod runner;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+pub mod trials;
 pub mod value;
 
 pub use broker::{CompileQueue, CompileRequest, CompileResponse, InstallPackage, QueueStats};
@@ -69,4 +70,5 @@ pub use snapshot::{
     SNAPSHOT_VERSION,
 };
 pub use stats::{fairness_index, percentile, LatencyStats};
+pub use trials::{TrialCache, TrialKey, TrialOutcome};
 pub use value::{Heap, HeapCell, HeapRef, Output, Value};

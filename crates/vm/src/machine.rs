@@ -139,6 +139,13 @@ pub struct VmConfig {
     /// seeded profile contribution is rolled back, and the decision is
     /// excluded from the next snapshot. `0` disables the ladder.
     pub poison_window: u64,
+    /// Whether deep-inlining-trial results are memoized across rounds and
+    /// compilations (see [`crate::trials::TrialCache`]). Trials are pure
+    /// functions of (callee graph, argument specialization), so caching
+    /// never changes an observable — the differential tests assert
+    /// byte-identical results with the cache on and off. On by default;
+    /// the CLI disables it with `--no-trial-cache`.
+    pub trial_cache: bool,
 }
 
 /// When the compile queue drains and installed code becomes visible.
@@ -193,6 +200,7 @@ impl Default for VmConfig {
             cache_age_window: 1024,
             replay: ReplayMode::default(),
             poison_window: 8,
+            trial_cache: true,
         }
     }
 }
@@ -346,6 +354,13 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Enables or disables trial-result memoization
+    /// (see [`VmConfig::trial_cache`]).
+    pub fn trial_cache(mut self, enabled: bool) -> Self {
+        self.config.trial_cache = enabled;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> VmConfig {
         self.config
@@ -476,6 +491,17 @@ pub struct CompilationReport {
     /// Warmup-snapshot counters (loads, graceful fallbacks, replays,
     /// writes).
     pub snapshot: SnapshotStats,
+    /// Host wall-clock nanoseconds spent inside the compile ladder over
+    /// the machine's lifetime. Real time (not virtual cycles): the
+    /// compiler-throughput figures read it; it never feeds a
+    /// deterministic observable.
+    pub compile_wall_nanos: u64,
+    /// Deep-inlining-trial cache hits (0 when the cache is disabled).
+    /// Under worker threads concurrent misses on one key may both count,
+    /// so treat these as telemetry, not exact dedup counts.
+    pub trial_hits: u64,
+    /// Deep-inlining-trial cache misses (0 when the cache is disabled).
+    pub trial_misses: u64,
 }
 
 /// Why execution stopped abnormally.
@@ -688,7 +714,13 @@ pub struct Machine<'p> {
     // Lifetime totals.
     total_compile_cycles: u64,
     total_stall_cycles: u64,
+    /// Host wall-clock nanoseconds spent in the compile ladder (real time,
+    /// telemetry only — never feeds the deterministic cycle model).
+    compile_wall_nanos: u64,
     last_compile_stats: Vec<(MethodId, crate::inliner::InlineStats)>,
+    /// Shared trial memo table, or `None` when [`VmConfig::trial_cache`]
+    /// is off.
+    trials: Option<Arc<crate::trials::TrialCache>>,
     // Warmup snapshots.
     /// Every successful install, in installation order — the decision log
     /// a snapshot captures for eager replay.
@@ -752,7 +784,11 @@ impl<'p> Machine<'p> {
             steps: 0,
             total_compile_cycles: 0,
             total_stall_cycles: 0,
+            compile_wall_nanos: 0,
             last_compile_stats: Vec::new(),
+            trials: config
+                .trial_cache
+                .then(|| Arc::new(crate::trials::TrialCache::default())),
             decision_log: Vec::new(),
             decision_replayed: Vec::new(),
             snapshot_stats: SnapshotStats::default(),
@@ -918,6 +954,9 @@ impl<'p> Machine<'p> {
             blacklisted: self.blacklisted_methods(),
             pinned: self.pinned_methods(),
             snapshot: self.snapshot_stats,
+            compile_wall_nanos: self.compile_wall_nanos,
+            trial_hits: self.trials.as_ref().map_or(0, |t| t.hits()),
+            trial_misses: self.trials.as_ref().map_or(0, |t| t.misses()),
         }
     }
 
@@ -1269,8 +1308,10 @@ impl<'p> Machine<'p> {
             requests,
             self.config.compile_threads,
             self.trace.enabled(),
+            self.trials.as_deref(),
         );
         for resp in responses {
+            self.compile_wall_nanos += resp.wall_nanos;
             self.charge_response(&resp);
             self.apply_response(resp);
         }

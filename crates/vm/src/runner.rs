@@ -289,6 +289,19 @@ impl<'p> RunSession<'p> {
     /// Returns [`BenchError::ZeroIterations`] for an empty spec and
     /// [`BenchError::Exec`] when a repetition stops abnormally.
     pub fn run(self) -> Result<BenchResult, BenchError> {
+        self.run_with_report().map(|(result, _)| result)
+    }
+
+    /// Like [`RunSession::run`], additionally returning the machine's
+    /// [`CompilationReport`](crate::CompilationReport) — compile wall
+    /// time, trial-cache hits/misses, bailout and cache telemetry — for
+    /// the compiler-throughput figures. The `BenchResult` is bit-identical
+    /// to what [`RunSession::run`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RunSession::run`].
+    pub fn run_with_report(self) -> Result<(BenchResult, crate::CompilationReport), BenchError> {
         let spec = &self.spec;
         if spec.iterations == 0 {
             return Err(BenchError::ZeroIterations);
@@ -341,7 +354,7 @@ impl<'p> RunSession<'p> {
                 Err(_) => vm.note_snapshot_write_failed(),
             }
         }
-        Ok(BenchResult {
+        let result = BenchResult {
             per_iteration,
             steady_state: mean,
             std_dev: var.sqrt(),
@@ -355,7 +368,8 @@ impl<'p> RunSession<'p> {
             stall_per_iteration,
             cache: vm.cache_stats(),
             snapshot: vm.snapshot_stats(),
-        })
+        };
+        Ok((result, vm.report()))
     }
 }
 

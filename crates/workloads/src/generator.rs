@@ -14,7 +14,7 @@ use crate::util::{counted_loop, if_else};
 use crate::workload::{Suite, Workload};
 
 /// Tunables for generated programs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GenConfig {
     /// Number of generated functions (call-DAG depth).
     pub functions: usize,
@@ -24,6 +24,16 @@ pub struct GenConfig {
     pub loop_prob: f64,
     /// Probability of a conditional per function (0–1).
     pub branch_prob: f64,
+    /// Number of `GenBase` subclasses (clamped to ≥ 2). With more than
+    /// two, the loop-nested polymorphic callsite becomes megamorphic.
+    pub subclasses: usize,
+    /// Probability of a loop-nested polymorphic `mix` call per function
+    /// (0–1): a bounded loop whose single virtual callsite cycles its
+    /// receiver through every subclass.
+    pub loop_poly_prob: f64,
+    /// Maximum static calls to earlier functions per body (≥ 1). Higher
+    /// fanout produces deeper, busier call chains.
+    pub call_fanout: usize,
 }
 
 impl Default for GenConfig {
@@ -33,6 +43,26 @@ impl Default for GenConfig {
             ops_per_function: 14,
             loop_prob: 0.5,
             branch_prob: 0.6,
+            subclasses: 2,
+            loop_poly_prob: 0.0,
+            call_fanout: 2,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The hardened corpus preset: deeper call chains, megamorphic
+    /// receiver sets and loop-nested polymorphic callsites. This is the
+    /// configuration the differential trial-cache identity tests sweep.
+    pub fn hardened() -> GenConfig {
+        GenConfig {
+            functions: 12,
+            ops_per_function: 20,
+            loop_prob: 0.7,
+            branch_prob: 0.8,
+            subclasses: 4,
+            loop_poly_prob: 0.6,
+            call_fanout: 3,
         }
     }
 }
@@ -42,32 +72,44 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
     let mut rng = Rng64::new(seed);
     let mut p = Program::new();
 
-    // A small class pair with a virtual `mix`.
+    // A class family with a virtual `mix`: `subclasses` concrete
+    // receivers, each with a distinct body so devirtualizing to the
+    // wrong class changes the answer.
     let base = p.add_class("GenBase", None);
     let k_f = p.add_field(base, "k", Type::Int);
-    let sub_a = p.add_class("GenA", Some(base));
-    let sub_b = p.add_class("GenB", Some(base));
-    let mix_a = p.declare_method(sub_a, "mix", vec![Type::Int], Type::Int);
-    let mix_b = p.declare_method(sub_b, "mix", vec![Type::Int], Type::Int);
+    let n_sub = config.subclasses.max(2);
+    let classes: Vec<_> = (0..n_sub)
+        .map(|j| p.add_class(format!("GenSub{j}"), Some(base)))
+        .collect();
+    let mix_methods: Vec<_> = classes
+        .iter()
+        .map(|&cls| p.declare_method(cls, "mix", vec![Type::Int], Type::Int))
+        .collect();
     let sel_mix = p.selector_by_name("mix", 2).unwrap();
 
-    let mut fb = FunctionBuilder::new(&p, mix_a);
-    let this = fb.param(0);
-    let x = fb.param(1);
-    let k = fb.get_field(k_f, this);
-    let r = fb.iadd(x, k);
-    fb.ret(Some(r));
-    let g = fb.finish();
-    p.define_method(mix_a, g);
-
-    let mut fb = FunctionBuilder::new(&p, mix_b);
-    let this = fb.param(0);
-    let x = fb.param(1);
-    let k = fb.get_field(k_f, this);
-    let r = fb.binop(BinOp::IXor, x, k);
-    fb.ret(Some(r));
-    let g = fb.finish();
-    p.define_method(mix_b, g);
+    for (j, &mix) in mix_methods.iter().enumerate() {
+        let mut fb = FunctionBuilder::new(&p, mix);
+        let this = fb.param(0);
+        let x = fb.param(1);
+        let k = fb.get_field(k_f, this);
+        let r = match j % 4 {
+            0 => fb.iadd(x, k),
+            1 => fb.binop(BinOp::IXor, x, k),
+            2 => {
+                let t = fb.imul(x, k);
+                let mask = fb.const_int(0xFFFF);
+                fb.binop(BinOp::IAnd, t, mask)
+            }
+            _ => {
+                let t = fb.isub(x, k);
+                let c = fb.const_int(j as i64 + 1);
+                fb.iadd(t, c)
+            }
+        };
+        fb.ret(Some(r));
+        let g = fb.finish();
+        p.define_method(mix, g);
+    }
 
     // Declare the function DAG up front (bodies may call earlier ones).
     let mut funcs: Vec<MethodId> = Vec::new();
@@ -84,7 +126,7 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
 
             // Optionally allocate an object for field traffic + virtual mix.
             let obj = if rng.gen_bool(0.5) {
-                let cls = if rng.gen_bool(0.5) { sub_a } else { sub_b };
+                let cls = classes[rng.gen_index(classes.len())];
                 let o = fb.new_object(cls);
                 let kv = fb.const_int(rng.gen_range(1, 50));
                 fb.set_field(k_f, o, kv);
@@ -113,6 +155,45 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
                 pool.push(out[0]);
             }
 
+            // Optionally a loop-nested polymorphic call: one receiver per
+            // subclass, and a single virtual callsite inside a bounded
+            // loop whose receiver cycles through all of them — the
+            // megamorphic shape the clustering and typeswitch paths must
+            // get right.
+            if rng.gen_bool(config.loop_poly_prob) {
+                let recvs: Vec<ValueId> = classes
+                    .iter()
+                    .map(|&cls| {
+                        let o = fb.new_object(cls);
+                        let kv = fb.const_int(rng.gen_range(1, 50));
+                        fb.set_field(k_f, o, kv);
+                        fb.cast(base, o)
+                    })
+                    .collect();
+                let trips = fb.const_int(rng.gen_range(3, 9));
+                let seed_v = *last(&pool);
+                let out = counted_loop(&mut fb, trips, &[seed_v], |fb, iv, s| {
+                    // Select the receiver by a masked induction value
+                    // folded through an if-else chain, so one callsite
+                    // sees every subclass.
+                    let mask = fb.const_int(recvs.len().next_power_of_two() as i64 - 1);
+                    let idx = fb.binop(BinOp::IAnd, iv, mask);
+                    let mut sel = recvs[recvs.len() - 1];
+                    for j in (0..recvs.len() - 1).rev() {
+                        let jc = fb.const_int(j as i64);
+                        let c = fb.cmp(CmpOp::IEq, idx, jc);
+                        let prev = sel;
+                        sel = if_else(fb, c, Type::Object(base), |_fb| recvs[j], |_fb| prev);
+                    }
+                    let r = fb.call_virtual(sel_mix, vec![sel, s[0]]).unwrap();
+                    let t = fb.iadd(s[0], r);
+                    let mask16 = fb.const_int(0xFFFF);
+                    let t = fb.binop(BinOp::IAnd, t, mask16);
+                    vec![t]
+                });
+                pool.push(out[0]);
+            }
+
             // Optionally a conditional.
             if rng.gen_bool(config.branch_prob) {
                 let l = pool[rng.gen_index(pool.len())];
@@ -133,9 +214,10 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
                 pool.push(v);
             }
 
-            // Call an earlier function (acyclic) once or twice.
+            // Call earlier functions (acyclic), up to `call_fanout` times.
             if i > 0 {
-                for _ in 0..rng.gen_range(1, 3) {
+                let fanout = config.call_fanout.max(1) as i64;
+                for _ in 0..rng.gen_range(1, fanout + 1) {
                     let callee = funcs[rng.gen_index(i)];
                     let x = pool[rng.gen_index(pool.len())];
                     let y = pool[rng.gen_index(pool.len())];
@@ -189,6 +271,85 @@ pub fn generate(seed: u64, config: GenConfig) -> Workload {
 
 fn last(pool: &[ValueId]) -> &ValueId {
     pool.last().expect("pool never empty")
+}
+
+/// Candidate one-step reductions of a config, most aggressive first.
+fn shrink_candidates(c: GenConfig) -> Vec<GenConfig> {
+    let mut out = Vec::new();
+    if c.functions > 1 {
+        out.push(GenConfig {
+            functions: c.functions / 2,
+            ..c
+        });
+        out.push(GenConfig {
+            functions: c.functions - 1,
+            ..c
+        });
+    }
+    if c.ops_per_function > 1 {
+        out.push(GenConfig {
+            ops_per_function: c.ops_per_function / 2,
+            ..c
+        });
+        out.push(GenConfig {
+            ops_per_function: c.ops_per_function - 1,
+            ..c
+        });
+    }
+    if c.loop_poly_prob > 0.0 {
+        out.push(GenConfig {
+            loop_poly_prob: 0.0,
+            ..c
+        });
+    }
+    if c.subclasses > 2 {
+        out.push(GenConfig { subclasses: 2, ..c });
+    }
+    if c.call_fanout > 1 {
+        out.push(GenConfig {
+            call_fanout: c.call_fanout - 1,
+            ..c
+        });
+    }
+    if c.loop_prob > 0.0 {
+        out.push(GenConfig {
+            loop_prob: 0.0,
+            ..c
+        });
+    }
+    if c.branch_prob > 0.0 {
+        out.push(GenConfig {
+            branch_prob: 0.0,
+            ..c
+        });
+    }
+    out
+}
+
+/// Shrinks a failing generated program, JOG-style: given a seed and a
+/// config whose workload makes `failing` return `true`, greedily applies
+/// the first one-step reduction that still fails until no reduction
+/// does, and returns the minimized config plus its workload. Fully
+/// deterministic for a deterministic predicate: the search order is
+/// fixed and regeneration is seeded.
+///
+/// The differential tests call this before reporting a divergence, so
+/// the assertion message names the smallest reproducer found rather
+/// than the original (much larger) program.
+pub fn shrink<F>(seed: u64, config: GenConfig, failing: &mut F) -> (GenConfig, Workload)
+where
+    F: FnMut(&Workload) -> bool,
+{
+    let mut best = config;
+    loop {
+        let step = shrink_candidates(best)
+            .into_iter()
+            .find(|&cand| failing(&generate(seed, cand)));
+        match step {
+            Some(cand) => best = cand,
+            None => return (best, generate(seed, best)),
+        }
+    }
 }
 
 /// Emits one random integer operation over the pool.
@@ -297,5 +458,50 @@ mod tests {
             incline_ir::print::program_str(&a.program),
             incline_ir::print::program_str(&b.program)
         );
+    }
+
+    #[test]
+    fn hardened_programs_verify_across_seeds() {
+        for seed in 0..30 {
+            let w = generate(seed, GenConfig::hardened());
+            w.verify_all();
+        }
+    }
+
+    #[test]
+    fn hardened_corpus_contains_megamorphic_sites() {
+        // With loop_poly_prob well above zero, some seed in a small range
+        // must emit the loop-nested polymorphic callsite over all four
+        // subclasses.
+        let found = (0..10).any(|seed| {
+            let w = generate(seed, GenConfig::hardened());
+            incline_ir::print::program_str(&w.program).contains("GenSub3")
+        });
+        assert!(found, "hardened preset must allocate megamorphic receivers");
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_monotone_predicate() {
+        // Predicate: "the program still declares gen_f4" — true iff
+        // functions > 4, so the shrinker must land exactly on 5.
+        let mut failing =
+            |w: &Workload| incline_ir::print::program_str(&w.program).contains("gen_f4");
+        let start = GenConfig::hardened();
+        assert!(failing(&generate(7, start)));
+        let (min_cfg, min_w) = shrink(7, start, &mut failing);
+        assert_eq!(min_cfg.functions, 5);
+        assert!(failing(&min_w));
+        // Everything orthogonal to the predicate shrinks to the floor.
+        assert_eq!(min_cfg.loop_poly_prob, 0.0);
+        assert_eq!(min_cfg.subclasses, 2);
+        assert_eq!(min_cfg.call_fanout, 1);
+    }
+
+    #[test]
+    fn shrinker_is_deterministic() {
+        let pred = |w: &Workload| w.program.method_ids().count() > 6;
+        let (a, _) = shrink(3, GenConfig::hardened(), &mut { pred });
+        let (b, _) = shrink(3, GenConfig::hardened(), &mut { pred });
+        assert_eq!(a, b);
     }
 }

@@ -36,7 +36,7 @@ pub mod tree_transform;
 pub mod util;
 pub mod workload;
 
-pub use generator::{generate, GenConfig};
+pub use generator::{generate, shrink, GenConfig};
 pub use workload::{Suite, Workload};
 
 use actors::ActorParams;

@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! [--inliner NAME] [--trace] [--trace-json FILE] [--no-deopt]
-//! [--compile-threads N] [--pipelined]
+//! [--compile-threads N] [--pipelined] [--no-trial-cache]
 //! [--cache-budget BYTES] [--eviction POLICY]
 //! [--icache-capacity BYTES] [--icache-scale BYTES]
 //! [--snapshot-in FILE] [--snapshot-merge FILE ...] [--snapshot-out FILE]
@@ -95,7 +95,7 @@ USAGE:
 
 COMMON (identical across run, bench, server):
   [--inliner NAME] [--trace] [--trace-json FILE] [--no-deopt]
-  [--compile-threads N] [--pipelined]
+  [--compile-threads N] [--pipelined] [--no-trial-cache]
   [--cache-budget BYTES] [--eviction POLICY]
   [--icache-capacity BYTES] [--icache-scale BYTES]
   [--snapshot-in FILE] [--snapshot-merge FILE ...] [--snapshot-out FILE]
@@ -111,6 +111,8 @@ code to the always-correct virtual fallback.
 Broker: --compile-threads N sizes the background worker pool (0 = compile on
 the mutator thread); --pipelined installs at safepoints while the mutator
 keeps interpreting (INCLINE_COMPILE_THREADS sets the pool from the env).
+--no-trial-cache disables deep-inlining-trial memoization (results are
+byte-identical either way; the cache only speeds compilation up).
 Code cache: --cache-budget BYTES bounds installed code (0 = unbounded,
 the default); --eviction picks the victim policy (lru, hotness,
 cost-benefit). --icache-capacity / --icache-scale tune the cost model's

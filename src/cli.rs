@@ -86,6 +86,10 @@ pub struct CommonOpts {
     /// Cost-model instruction-cache pressure scale override
     /// (`--icache-scale BYTES`).
     pub icache_scale: Option<u64>,
+    /// Disable deep-inlining-trial memoization (`--no-trial-cache`).
+    /// Observables are identical either way; the flag exists for compiler-
+    /// throughput baselines and for bisecting cache suspicions.
+    pub no_trial_cache: bool,
 }
 
 impl CommonOpts {
@@ -107,6 +111,7 @@ impl CommonOpts {
                 .collect(),
             snapshot_out: opt_value(args, "--snapshot-out").map(String::from),
             pipelined: flag(args, "--pipelined"),
+            no_trial_cache: flag(args, "--no-trial-cache"),
             ..CommonOpts::default()
         };
         if opts.snapshot_in.is_some() && !opts.snapshot_merge.is_empty() {
@@ -142,7 +147,8 @@ impl CommonOpts {
             .hotness_threshold(hotness_threshold)
             .deopt(deopt_default && !self.no_deopt)
             .pipelined(self.pipelined)
-            .replay(self.replay);
+            .replay(self.replay)
+            .trial_cache(!self.no_trial_cache);
         if let Some(n) = self.compile_threads {
             b = b.compile_threads(n);
         }
@@ -267,6 +273,7 @@ mod tests {
             "1024",
             "--icache-scale",
             "2048",
+            "--no-trial-cache",
         ]))
         .unwrap();
         assert_eq!(o.inliner, "greedy");
@@ -275,6 +282,7 @@ mod tests {
         assert_eq!(o.replay, ReplayMode::Seed);
         let c = o.vm_config(4, true);
         assert!(!c.deopt, "--no-deopt wins over the subcommand default");
+        assert!(!c.trial_cache, "--no-trial-cache must disable the memo");
         assert_eq!(c.compile_threads, 4);
         assert_eq!(c.install_policy, incline_vm::InstallPolicy::Safepoint);
         assert_eq!(c.code_cache_budget, 4096);

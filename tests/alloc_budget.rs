@@ -1,0 +1,94 @@
+//! Allocation-regression gate: compiling and running every paper
+//! workload under the tuned configuration (paper inliner, trial cache
+//! on, synchronous broker) must stay within a checked-in per-workload
+//! allocation budget.
+//!
+//! This test binary registers the in-repo counting allocator, so
+//! [`incline_bench::compile::measure_cost`] observes real allocation
+//! totals — the same protocol the `compile` bench bin uses to seed
+//! `BENCH_compile.json`. Budgets are the measured totals with a 30%
+//! margin: enough headroom for allocator-order jitter and small
+//! legitimate growth, tight enough that a clone-heavy regression on the
+//! inlining hot path (the thing the arena/trial-cache refactor removed)
+//! trips the gate and names the offending workload.
+//!
+//! When an intentional change moves the totals, regenerate the table
+//! from a fresh `BENCH_compile.json` (tuned `alloc_bytes` × 1.3).
+
+use incline_bench::alloc::{counting_enabled, CountingAlloc};
+use incline_bench::compile::measure_cost;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Per-workload allocation budgets in bytes (tuned run, 1.3× margin).
+const BUDGETS: &[(&str, u64)] = &[
+    ("avrora", 1_233_092),
+    ("batik", 9_627_641),
+    ("fop", 10_387_791),
+    ("h2", 5_755_408),
+    ("jython", 29_986_130),
+    ("luindex", 5_671_279),
+    ("lusearch", 5_595_271),
+    ("pmd", 10_781_026),
+    ("sunflow", 854_172),
+    ("xalan", 10_388_622),
+    ("actors", 2_609_192),
+    ("apparat", 2_213_950),
+    ("factorie", 264_230_739),
+    ("kiama", 16_531_156),
+    ("scalac", 18_245_275),
+    ("scaladoc", 27_962_534),
+    ("scalap", 12_556_258),
+    ("scalariform", 15_321_725),
+    ("scalatest", 2_339_161),
+    ("scalaxb", 2_192_867),
+    ("specs", 1_973_705),
+    ("tmt", 2_382_616),
+    ("gauss-mix", 52_068_823),
+    ("dec-tree", 5_585_039),
+    ("naive-bayes", 3_660_469),
+    ("neo4j", 4_142_602),
+    ("dotty", 1_898_144),
+    ("stmbench7", 2_411_169),
+];
+
+#[test]
+fn per_workload_allocations_stay_within_budget() {
+    assert!(
+        counting_enabled(),
+        "counting allocator not registered — the budget test binary must \
+         declare #[global_allocator] static ALLOC: CountingAlloc"
+    );
+    let benches = incline_workloads::all_benchmarks();
+    assert_eq!(
+        benches.len(),
+        BUDGETS.len(),
+        "budget table out of date: {} workloads, {} budgets — add the \
+         missing rows from a fresh BENCH_compile.json",
+        benches.len(),
+        BUDGETS.len()
+    );
+    let mut over = Vec::new();
+    for w in &benches {
+        let budget = BUDGETS
+            .iter()
+            .find(|(name, _)| *name == w.name)
+            .unwrap_or_else(|| panic!("no allocation budget for workload {}", w.name))
+            .1;
+        let cost = measure_cost(w, true);
+        assert!(cost.alloc_bytes > 0, "{}: window observed nothing", w.name);
+        if cost.alloc_bytes > budget {
+            over.push(format!(
+                "{}: allocated {} bytes, budget {} ({} calls, peak {})",
+                w.name, cost.alloc_bytes, budget, cost.alloc_calls, cost.alloc_peak
+            ));
+        }
+    }
+    assert!(
+        over.is_empty(),
+        "allocation budget exceeded on {} workload(s):\n  {}",
+        over.len(),
+        over.join("\n  ")
+    );
+}

@@ -112,6 +112,7 @@ fn random_programs_with_heavier_bodies() {
         ops_per_function: 24,
         loop_prob: 0.7,
         branch_prob: 0.8,
+        ..GenConfig::default()
     };
     for seed in 100..115u64 {
         let w = incline_workloads::generate(seed, config);
@@ -270,6 +271,103 @@ fn compile_thread_matrix_on_random_corpus() {
                     w.name
                 );
             }
+        }
+    }
+}
+
+/// One traced benchmark run of the paper's incremental inliner with the
+/// deep-inlining-trial cache toggled. Returns the whole `BenchResult`
+/// plus the compile-event stream rendered to JSONL lines — the two
+/// observables the trial cache must leave byte-identical.
+fn bench_traced_with_cache(
+    w: &Workload,
+    input: i64,
+    threads: usize,
+    trial_cache: bool,
+) -> (BenchResult, Vec<String>) {
+    use std::sync::Arc;
+
+    let config = VmConfig {
+        hotness_threshold: 2,
+        compile_threads: threads,
+        trial_cache,
+        ..VmConfig::default()
+    };
+    let spec = BenchSpec {
+        entry: w.entry,
+        args: vec![Value::Int(input)],
+        iterations: 6,
+    };
+    let sink = Arc::new(incline_vm::CollectingSink::new());
+    let handle: Arc<dyn incline_vm::TraceSink> = sink.clone();
+    let result = RunSession::new(&w.program, spec)
+        .inliner(Box::new(IncrementalInliner::new()))
+        .config(config)
+        .trace(handle)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: benchmark failed: {e}", w.name));
+    let lines = sink.take().iter().map(|e| e.to_json()).collect();
+    (result, lines)
+}
+
+/// Whether toggling the trial cache moves any observable on `w`:
+/// the wholesale `BenchResult` or the JSONL trace.
+fn trial_cache_diverges(w: &Workload, input: i64, threads: usize) -> bool {
+    let (off, trace_off) = bench_traced_with_cache(w, input, threads, false);
+    let (on, trace_on) = bench_traced_with_cache(w, input, threads, true);
+    off != on || trace_off != trace_on
+}
+
+#[test]
+fn trial_cache_identity_on_all_workloads() {
+    // The trial-cache correctness property: memoizing deep-inlining
+    // trials is an implementation detail — with the cache on or off, the
+    // whole BenchResult and the full JSONL compile trace must be
+    // byte-identical, for every paper and extra workload, across
+    // compile_threads ∈ {0, 1, 4}.
+    let mut targets: Vec<Workload> = incline_workloads::all_benchmarks();
+    targets.extend(incline_workloads::extra_benchmarks());
+    for w in targets {
+        let input = w.input.min(8);
+        for threads in [0usize, 1, 4] {
+            let (off, trace_off) = bench_traced_with_cache(&w, input, threads, false);
+            let (on, trace_on) = bench_traced_with_cache(&w, input, threads, true);
+            assert_eq!(
+                off, on,
+                "{}: BenchResult differs with the trial cache on \
+                 (compile_threads={threads})",
+                w.name
+            );
+            assert_eq!(
+                trace_off, trace_on,
+                "{}: JSONL trace differs with the trial cache on \
+                 (compile_threads={threads})",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn trial_cache_identity_on_hardened_random_corpus() {
+    // The same identity over 200 hardened generated programs: deep call
+    // chains, megamorphic receiver sets and loop-nested polymorphic
+    // callsites stress trial keying (graph fingerprint × argument
+    // fingerprint) far beyond the curated workloads. On a divergence the
+    // seeded shrinker minimizes the reproducer before reporting, so the
+    // failure message names the smallest program that still diverges.
+    let config = GenConfig::hardened();
+    for seed in 0..200u64 {
+        let w = incline_workloads::generate(seed, config);
+        if trial_cache_diverges(&w, 9, 0) {
+            let (min_cfg, min_w) =
+                incline_workloads::shrink(seed, config, &mut |w| trial_cache_diverges(w, 9, 0));
+            panic!(
+                "seed {seed}: trial cache changed observables; minimized reproducer \
+                 (config {min_cfg:?}, {} methods): rerun with \
+                 incline_workloads::generate({seed}, {min_cfg:?})",
+                min_w.program.method_ids().count(),
+            );
         }
     }
 }

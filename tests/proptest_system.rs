@@ -22,6 +22,7 @@ fn gen_config() -> GenConfig {
         ops_per_function: 12,
         loop_prob: 0.5,
         branch_prob: 0.6,
+        ..GenConfig::default()
     }
 }
 
